@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the reproduction benches: problem builders,
+ * convergence counting against the KKT oracle, and banner output.
+ */
+
+#ifndef DPC_BENCH_COMMON_HH
+#define DPC_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "alloc/diba.hh"
+#include "alloc/kkt.hh"
+#include "alloc/primal_dual.hh"
+#include "alloc/problem.hh"
+#include "alloc/uniform.hh"
+#include "graph/topologies.hh"
+#include "metrics/performance.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+namespace dpc {
+namespace bench {
+
+/** Print a figure/table banner. */
+inline void
+banner(const std::string &title, const std::string &what)
+{
+    std::cout << "\n=== " << title << " ===\n" << what << "\n\n";
+}
+
+/** Random NPB cluster problem at `wpn` Watts per node. */
+inline AllocationProblem
+npbProblem(std::size_t n, double wpn, std::uint64_t seed)
+{
+    Rng rng(seed);
+    AllocationProblem prob;
+    prob.utilities = utilitiesOf(drawNpbAssignment(n, rng));
+    prob.budget = wpn * static_cast<double>(n);
+    return prob;
+}
+
+/**
+ * Run DiBA until it reaches `fraction` of the oracle utility;
+ * returns the iteration count (or max_iters if never reached).
+ */
+inline std::size_t
+dibaIterationsToFraction(DibaAllocator &diba,
+                         const AllocationProblem &prob,
+                         double optimal_utility, double fraction,
+                         std::size_t max_iters = 60000)
+{
+    diba.reset(prob);
+    for (std::size_t it = 1; it <= max_iters; ++it) {
+        diba.iterate();
+        const double u =
+            totalUtility(prob.utilities, diba.power());
+        if (withinFractionOfOptimal(u, optimal_utility, fraction))
+            return it;
+    }
+    return max_iters;
+}
+
+/** Iterations for the primal-dual scheme to reach the fraction. */
+inline std::size_t
+pdIterationsToFraction(const AllocationProblem &prob,
+                       double optimal_utility, double fraction)
+{
+    PrimalDualAllocator pd;
+    pd.allocate(prob);
+    const auto &trace = pd.utilityTrace();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (withinFractionOfOptimal(trace[i], optimal_utility,
+                                    fraction))
+            return i + 1;
+    }
+    return trace.size();
+}
+
+/** SNP of an allocation under the problem's utilities. */
+inline double
+snpOf(const AllocationProblem &prob, const std::vector<double> &p)
+{
+    return snpArithmetic(anpVector(prob.utilities, p));
+}
+
+} // namespace bench
+} // namespace dpc
+
+#endif // DPC_BENCH_COMMON_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fig. 3.12 reproduction: SNP (geometric), slowdown norm and
+ * unfairness of four computing-power budgeting methods --
+ * uniform, previous-greedy [58/64], the proposed
+ * predictor+knapsack, and the oracle+knapsack upper bound --
+ * across computing budgets, for both workload cases:
+ *   (a) heterogeneous across servers, homogeneous within;
+ *   (b) heterogeneous across servers, heterogeneous within.
+ */
+
+#include <iostream>
+
+#include "alloc/knapsack.hh"
+#include "metrics/performance.hh"
+#include "model/predictors.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+using namespace dpc;
+
+namespace {
+
+void
+runCase(const char *title, MixKind kind, std::uint64_t seed)
+{
+    const std::size_t n = 1600;
+    Rng rng(seed);
+    const auto cluster = drawSpecMixAssignment(n, kind, rng);
+    const auto us = utilitiesOf(cluster);
+
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+
+    // Oracle values and predictor-estimated values per cap.
+    auto predictor = makeQuadraticLlcTpPredictor();
+    Rng train_rng(seed + 1);
+    predictor->train(makeCharacterizationSet(300, train_rng));
+
+    std::vector<std::vector<double>> oracle_vals(n);
+    std::vector<std::vector<double>> pred_vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double peak = us[i]->peakValue();
+        ServerObservation obs{145.0, us[i]->value(145.0),
+                              cluster[i].llc};
+        const auto curve = predictor->predict(obs);
+        for (std::size_t j = 0; j < grid.levels; ++j) {
+            const double cap = grid.capAt(j);
+            oracle_vals[i].push_back(us[i]->value(cap) / peak);
+            pred_vals[i].push_back(
+                std::max(curve(cap) / peak, 1e-6));
+        }
+    }
+
+    std::cout << "\n--- " << title << " ---\n";
+    Table table({"B_s_W/srv", "method", "SNP_geo", "slowdown",
+                 "unfairness"});
+    for (double wpn : {136.0, 142.0, 148.0, 154.0, 160.0}) {
+        const double budget = wpn * static_cast<double>(n);
+
+        // Uniform: the highest common cap not exceeding the share.
+        double share_cap = grid.capAt(0);
+        for (std::size_t j = 0; j < grid.levels; ++j)
+            if (grid.capAt(j) <= wpn)
+                share_cap = grid.capAt(j);
+        const std::vector<double> uniform_caps(n, share_cap);
+
+        // Previous-greedy: grant increments by throughput/Watt.
+        std::vector<double> greedy_caps(n, grid.capAt(0));
+        {
+            double remaining =
+                budget - grid.p0 * static_cast<double>(n);
+            bool progress = true;
+            while (remaining >= grid.increment && progress) {
+                progress = false;
+                double best_key = -1.0;
+                std::size_t best_i = n;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (greedy_caps[i] + grid.increment >
+                        grid.maxCap() + 1e-9)
+                        continue;
+                    const double key =
+                        us[i]->value(greedy_caps[i]) /
+                        greedy_caps[i];
+                    if (key > best_key) {
+                        best_key = key;
+                        best_i = i;
+                    }
+                }
+                if (best_i < n) {
+                    greedy_caps[best_i] += grid.increment;
+                    remaining -= grid.increment;
+                    progress = true;
+                }
+            }
+        }
+
+        const auto knap_pred = budgeter.allocate(pred_vals, budget);
+        const auto knap_oracle =
+            budgeter.allocate(oracle_vals, budget);
+
+        struct Row
+        {
+            const char *method;
+            const std::vector<double> *caps;
+        };
+        const Row rows[] = {
+            {"uniform", &uniform_caps},
+            {"previous-greedy", &greedy_caps},
+            {"predictor+knapsack", &knap_pred.power},
+            {"oracle+knapsack", &knap_oracle.power},
+        };
+        for (const auto &r : rows) {
+            const auto rep = evaluateAllocation(us, *r.caps);
+            table.addRow({Table::num(wpn, 0), r.method,
+                          Table::num(rep.snp_geo, 4),
+                          Table::num(rep.slowdown, 4),
+                          Table::num(rep.unfair, 4)});
+        }
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "\n=== Figure 3.12 ===\n"
+              << "Four budgeting methods x three metrics x five "
+                 "budgets, N=1600 servers\n";
+
+    runCase("(a-c) heterogeneous across, homogeneous within",
+            MixKind::HomogeneousWithinServer, 59);
+    runCase("(d-f) heterogeneous across, heterogeneous within",
+            MixKind::HeterogeneousWithinServer, 67);
+
+    std::cout
+        << "\nPaper shape: predictor+knapsack tracks oracle+"
+           "knapsack closely and beats uniform and previous-greedy "
+           "on every metric, with the biggest wins (especially in "
+           "unfairness) at tight budgets; greedy is worst on "
+           "unfairness at low budgets.\n";
+    return 0;
+}

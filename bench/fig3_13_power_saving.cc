@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fig. 3.13 reproduction: computing power needed to reach a target
+ * SNP, reported as the saving over the uniform baseline for
+ * previous-greedy, predictor+knapsack and oracle+knapsack.  The
+ * minimum budget per method is found by bisection on the budget.
+ */
+
+#include <functional>
+#include <iostream>
+
+#include "alloc/knapsack.hh"
+#include "metrics/performance.hh"
+#include "model/predictors.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+using namespace dpc;
+
+namespace {
+
+using CapsAt = std::function<std::vector<double>(double)>;
+
+/** Smallest budget whose allocation reaches the target SNP. */
+double
+minBudgetFor(double target_snp, double lo, double hi,
+             const std::vector<UtilityPtr> &us, const CapsAt &caps)
+{
+    auto snp_at = [&](double b) {
+        return snpGeometric(anpVector(us, caps(b)));
+    };
+    if (snp_at(hi) < target_snp)
+        return hi;
+    for (int it = 0; it < 30; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (snp_at(mid) >= target_snp)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "\n=== Figure 3.13 ===\n"
+              << "Computing-power saving over uniform at equal "
+                 "SNP, N=800 servers\n\n";
+
+    const std::size_t n = 800;
+    Rng rng(71);
+    const auto cluster = drawSpecMixAssignment(
+        n, MixKind::HomogeneousWithinServer, rng);
+    const auto us = utilitiesOf(cluster);
+
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+    auto predictor = makeQuadraticLlcTpPredictor();
+    Rng train_rng(72);
+    predictor->train(makeCharacterizationSet(300, train_rng));
+
+    std::vector<std::vector<double>> oracle_vals(n), pred_vals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double peak = us[i]->peakValue();
+        ServerObservation obs{145.0, us[i]->value(145.0),
+                              cluster[i].llc};
+        const auto curve = predictor->predict(obs);
+        for (std::size_t j = 0; j < grid.levels; ++j) {
+            const double cap = grid.capAt(j);
+            oracle_vals[i].push_back(us[i]->value(cap) / peak);
+            pred_vals[i].push_back(
+                std::max(curve(cap) / peak, 1e-6));
+        }
+    }
+
+    const CapsAt uniform_caps = [&](double b) {
+        const double wpn = b / static_cast<double>(n);
+        double cap = grid.capAt(0);
+        for (std::size_t j = 0; j < grid.levels; ++j)
+            if (grid.capAt(j) <= wpn)
+                cap = grid.capAt(j);
+        return std::vector<double>(n, cap);
+    };
+    const CapsAt pred_caps = [&](double b) {
+        return budgeter.allocate(pred_vals, b).power;
+    };
+    const CapsAt oracle_caps = [&](double b) {
+        return budgeter.allocate(oracle_vals, b).power;
+    };
+    const CapsAt greedy_caps = [&](double b) {
+        std::vector<double> caps(n, grid.capAt(0));
+        double remaining = b - grid.p0 * static_cast<double>(n);
+        bool progress = true;
+        while (remaining >= grid.increment && progress) {
+            progress = false;
+            double best_key = -1.0;
+            std::size_t best_i = n;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (caps[i] + grid.increment >
+                    grid.maxCap() + 1e-9)
+                    continue;
+                const double key = us[i]->value(caps[i]) / caps[i];
+                if (key > best_key) {
+                    best_key = key;
+                    best_i = i;
+                }
+            }
+            if (best_i < n) {
+                caps[best_i] += grid.increment;
+                remaining -= grid.increment;
+                progress = true;
+            }
+        }
+        return caps;
+    };
+
+    const double lo = grid.p0 * static_cast<double>(n);
+    const double hi = grid.maxCap() * static_cast<double>(n);
+
+    Table table({"target_SNP", "greedy_saving_%",
+                 "predictor+knapsack_saving_%",
+                 "oracle+knapsack_saving_%"});
+    for (double target : {0.90, 0.92, 0.94, 0.96, 0.98}) {
+        const double b_uni =
+            minBudgetFor(target, lo, hi, us, uniform_caps);
+        auto saving = [&](const CapsAt &caps) {
+            const double b =
+                minBudgetFor(target, lo, hi, us, caps);
+            return 100.0 * (b_uni - b) / b_uni;
+        };
+        table.addRow({Table::num(target, 2),
+                      Table::num(saving(greedy_caps), 2),
+                      Table::num(saving(pred_caps), 2),
+                      Table::num(saving(oracle_caps), 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper shape: the proposed method saves ~1.3-"
+                 "2.5% computing power over uniform at equal SNP "
+                 "and always beats greedy (which can even cost "
+                 "more than uniform at low/mid targets).\n";
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figs. 3.14 / 3.15 reproduction: 75 s of cluster operation with
+ * the budget re-solved every 15 s.  Servers start at random caps;
+ * a 0.66 MW-equivalent budget is applied at t=15 s, re-solved at
+ * t=30 s, lowered at t=45 s and re-solved at t=60 s.  Fig. 3.14:
+ * SNP over time for knapsack budgeting vs. uniform.  Fig. 3.15:
+ * the distribution of per-server caps at each epoch (how the
+ * budgeter classifies servers by workload).
+ */
+
+#include <iostream>
+
+#include "alloc/knapsack.hh"
+#include "metrics/performance.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+using namespace dpc;
+
+int
+main()
+{
+    std::cout << "\n=== Figures 3.14 and 3.15 ===\n"
+              << "Dynamic budgeting over 75 s, N=1600 servers, "
+                 "epochs every 15 s\n\n";
+
+    const std::size_t n = 1600;
+    Rng rng(73);
+    const auto cluster = drawSpecMixAssignment(
+        n, MixKind::HomogeneousWithinServer, rng);
+    const auto us = utilitiesOf(cluster);
+
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+    std::vector<std::vector<double>> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < grid.levels; ++j)
+            values[i].push_back(
+                us[i]->value(grid.capAt(j)) / us[i]->peakValue());
+
+    // Budgets per epoch (W per server), mirroring the 0.66 -> 0.62
+    // MW schedule at the paper's 3200-server scale.
+    const double high = 149.0, low = 140.5;
+
+    // Epoch 0: random caps (the paper's random initialization).
+    std::vector<double> caps(n);
+    for (auto &c : caps)
+        c = grid.capAt(rng.index(grid.levels));
+
+    Table fig14({"t_s", "budget_W/srv", "SNP_knapsack",
+                 "SNP_uniform"});
+    Table fig15({"t_s", "cap130", "cap135", "cap140", "cap145",
+                 "cap150", "cap155", "cap160", "cap165"});
+
+    auto histogram = [&](double t,
+                         const std::vector<double> &cs) {
+        std::vector<long long> bins(grid.levels, 0);
+        for (double c : cs)
+            ++bins[static_cast<std::size_t>(
+                (c - grid.p0) / grid.increment + 0.5)];
+        std::vector<std::string> row{Table::num(t, 0)};
+        for (auto b : bins)
+            row.push_back(Table::num(b));
+        fig15.addRow(std::move(row));
+    };
+
+    double epoch_budget = 0.0;
+    for (int epoch = 0; epoch < 5; ++epoch) {
+        const double t = 15.0 * epoch;
+        if (epoch >= 1)
+            epoch_budget = (epoch >= 3 ? low : high);
+        if (epoch >= 1) {
+            caps = budgeter
+                       .allocate(values, epoch_budget *
+                                             static_cast<double>(n))
+                       .power;
+        }
+        const double snp_k = snpGeometric(anpVector(us, caps));
+
+        // Uniform reference at the same budget.
+        double snp_u;
+        if (epoch == 0) {
+            snp_u = snp_k; // both start from the random caps
+        } else {
+            double share_cap = grid.capAt(0);
+            for (std::size_t j = 0; j < grid.levels; ++j)
+                if (grid.capAt(j) <= epoch_budget)
+                    share_cap = grid.capAt(j);
+            snp_u = snpGeometric(anpVector(
+                us, std::vector<double>(n, share_cap)));
+        }
+
+        fig14.addRow({Table::num(t, 0),
+                      epoch == 0 ? "random"
+                                 : Table::num(epoch_budget, 1),
+                      Table::num(snp_k, 4), Table::num(snp_u, 4)});
+        histogram(t, caps);
+    }
+
+    std::cout << "--- Fig 3.14: SNP over time ---\n";
+    fig14.print(std::cout);
+    std::cout << "\n--- Fig 3.15: servers per cap level ---\n";
+    fig15.print(std::cout);
+    std::cout
+        << "\nPaper shape: knapsack SNP consistently above "
+           "uniform; caps spread across levels according to "
+           "workload characteristics and shift down when the "
+           "budget drops at t=45 s.\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 4.4 reproduction: dynamic total-budget reallocation.  The
+ * budget steps to a new level every simulated minute (a
+ * demand-response program); DiBA retracks each level with no
+ * budget violation at any sample.
+ */
+
+#include "bench/common.hh"
+#include "cluster/sim.hh"
+
+using namespace dpc;
+
+int
+main()
+{
+    bench::banner("Figure 4.4",
+                  "N=1000 cluster, budget re-set every 60 s; total "
+                  "power and SNP over five minutes");
+
+    const std::size_t n = 1000;
+    Rng rng(29);
+    auto assignment = drawNpbAssignment(n, rng);
+    ClusterSimConfig cfg;
+    cfg.diba_rounds_per_step = 80;
+    ClusterSim sim(std::move(assignment), makeRing(n),
+                   static_cast<double>(n) * 180.0,
+                   DibaAllocator::Config(), cfg);
+
+    const std::vector<double> levels{180.0, 170.0, 186.0, 166.0,
+                                     176.0};
+    sim.setBudgetSchedule([&](double t) {
+        const auto k = std::min<std::size_t>(
+            static_cast<std::size_t>(t / 60.0), levels.size() - 1);
+        return static_cast<double>(n) * levels[k];
+    });
+
+    const auto samples = sim.run(300.0);
+    Table table({"t_s", "budget_kW", "alloc_kW", "consumed_kW",
+                 "snp", "violation"});
+    bool violated = false;
+    for (std::size_t i = 0; i < samples.size(); i += 10) {
+        const auto &s = samples[i];
+        const bool v = s.allocated_power >= s.budget;
+        violated |= v;
+        table.addRow({Table::num(s.t, 0),
+                      Table::num(s.budget / 1000.0, 1),
+                      Table::num(s.allocated_power / 1000.0, 2),
+                      Table::num(s.consumed_power / 1000.0, 2),
+                      Table::num(s.snp, 4), v ? "YES" : "no"});
+    }
+    table.print(std::cout);
+    std::cout << "\nPaper shape: near-optimal SNP at every plateau "
+                 "with zero budget violations.  Violations seen: "
+              << (violated ? "YES (bug!)" : "none") << "\n";
+    return 0;
+}

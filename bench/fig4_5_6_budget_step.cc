@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figs. 4.5 / 4.6 reproduction: iteration-resolution view of a
+ * budget drop (190 kW -> 170 kW) and a budget jump (170 kW ->
+ * 190 kW) for N=1000 servers.  The drop is absorbed immediately
+ * (local shedding inside the announcement step); the jump is
+ * climbed over subsequent consensus rounds, always from below.
+ */
+
+#include "bench/common.hh"
+
+using namespace dpc;
+
+namespace {
+
+void
+runStep(const char *title, double from_wpn, double to_wpn)
+{
+    const std::size_t n = 1000;
+    auto prob = bench::npbProblem(n, from_wpn, 31);
+    DibaAllocator diba(makeRing(n));
+    diba.reset(prob);
+    for (int it = 0; it < 4000; ++it)
+        diba.iterate();
+
+    const double new_budget = to_wpn * static_cast<double>(n);
+    auto eval_prob = prob;
+    eval_prob.budget = new_budget;
+    const auto oracle = solveKkt(eval_prob);
+    const double snp_opt = bench::snpOf(eval_prob, oracle.power);
+
+    std::cout << "\n--- " << title << " ---\n";
+    Table table({"round", "total_kW", "budget_kW", "snp",
+                 "snp_opt_after"});
+    auto sample = [&](long long round) {
+        table.addRow({Table::num(round),
+                      Table::num(diba.totalPower() / 1000.0, 2),
+                      Table::num(diba.budget() / 1000.0, 1),
+                      Table::num(
+                          bench::snpOf(eval_prob, diba.power()), 4),
+                      Table::num(snp_opt, 4)});
+    };
+    sample(-1); // settled at the old budget
+    diba.setBudget(new_budget);
+    sample(0); // immediately after the announcement
+    long long round = 0;
+    for (int block : {1, 4, 15, 30, 50, 100, 300, 800, 1500}) {
+        while (round < block) {
+            diba.iterate();
+            ++round;
+        }
+        sample(round);
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figures 4.5 and 4.6",
+                  "Budget drop 190->170 kW and jump 170->190 kW, "
+                  "N=1000, iteration resolution");
+
+    runStep("Fig 4.5: drop 190 kW -> 170 kW", 190.0, 170.0);
+    runStep("Fig 4.6: jump 170 kW -> 190 kW", 170.0, 190.0);
+
+    std::cout << "\nPaper shape: after a drop the total power is "
+                 "under the new budget within the announcement "
+                 "step; after a jump the power ramps up from below "
+                 "and settles at the new optimum.\n";
+    return 0;
+}

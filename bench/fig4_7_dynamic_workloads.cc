@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 4.7 reproduction: a N=1000 cluster at a fixed 180 kW budget
+ * with continuous workload churn (finished jobs replaced by fresh
+ * draws from Table 4.1).  DiBA retracks the moving optimum; the
+ * total power stays strictly under the limit throughout.
+ */
+
+#include "bench/common.hh"
+#include "cluster/sim.hh"
+
+using namespace dpc;
+
+int
+main()
+{
+    bench::banner("Figure 4.7",
+                  "N=1000, P=180 kW, 80 minutes of workload churn "
+                  "(mean job 120 s); one row per simulated minute");
+
+    const std::size_t n = 1000;
+    const double budget = 180.0 * static_cast<double>(n);
+    Rng rng(37);
+    auto assignment = drawNpbAssignment(n, rng);
+    ClusterSimConfig cfg;
+    cfg.mean_job_s = 120.0;
+    cfg.diba_rounds_per_step = 30;
+    ClusterSim sim(std::move(assignment), makeRing(n), budget,
+                   DibaAllocator::Config(), cfg);
+
+    // Stream samples and summarise per minute.
+    const auto samples = sim.run(80.0 * 60.0);
+    Table table({"minute", "total_kW", "snp", "snp_opt",
+                 "frac_of_opt"});
+    double worst_frac = 1.0;
+    bool violated = false;
+    for (std::size_t minute = 1; minute <= 80; minute += 4) {
+        const auto &s = samples[minute * 60 - 1];
+        violated |= s.allocated_power >= budget;
+        // Oracle for the mix in force at this minute is not
+        // directly recoverable from samples; recompute it at the
+        // end only (below).  Report the SNP trajectory here.
+        table.addRow({Table::num((long long)minute),
+                      Table::num(s.allocated_power / 1000.0, 2),
+                      Table::num(s.snp, 4), "-", "-"});
+    }
+    table.print(std::cout);
+
+    // Final-mix optimality check.
+    AllocationProblem prob;
+    prob.utilities = sim.diba().utilities();
+    prob.budget = budget;
+    const auto oracle = solveKkt(prob);
+    const double u =
+        totalUtility(prob.utilities, sim.diba().power());
+    worst_frac = u / oracle.utility;
+
+    std::cout << "\nFinal-mix utility fraction of optimal: "
+              << Table::num(worst_frac, 4)
+              << " (paper: 'close to optimal').\nBudget "
+                 "violations during churn: "
+              << (violated ? "YES (bug!)" : "none")
+              << " (paper: 'strictly below the power limit').\n";
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core algorithms: the
+ * KKT oracle, one DiBA round, a full DiBA solve, the primal-dual
+ * solve, and the knapsack DP -- the computational costs behind
+ * Table 4.2 and the Ch.3 budgeter.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/diba.hh"
+#include "alloc/kkt.hh"
+#include "alloc/knapsack.hh"
+#include "alloc/primal_dual.hh"
+#include "bench/common.hh"
+
+using namespace dpc;
+
+namespace {
+
+void
+BM_KktSolve(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto prob = bench::npbProblem(n, 172.0, 1);
+    for (auto _ : state) {
+        auto res = solveKkt(prob);
+        benchmark::DoNotOptimize(res.utility);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_DibaRound(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto prob = bench::npbProblem(n, 172.0, 2);
+    DibaAllocator diba(makeRing(n));
+    diba.reset(prob);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(diba.iterate());
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_DibaSolve(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto prob = bench::npbProblem(n, 172.0, 3);
+    for (auto _ : state) {
+        DibaAllocator diba(makeRing(n));
+        auto res = diba.allocate(prob);
+        benchmark::DoNotOptimize(res.utility);
+    }
+}
+
+void
+BM_PrimalDualSolve(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto prob = bench::npbProblem(n, 172.0, 4);
+    for (auto _ : state) {
+        PrimalDualAllocator pd;
+        auto res = pd.allocate(prob);
+        benchmark::DoNotOptimize(res.utility);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_KnapsackDp(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(5);
+    const auto cluster = drawSpecMixAssignment(
+        n, MixKind::HomogeneousWithinServer, rng);
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+    std::vector<std::vector<double>> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < grid.levels; ++j)
+            values[i].push_back(
+                cluster[i].utility->value(grid.capAt(j)));
+    const double budget = 147.0 * static_cast<double>(n);
+    for (auto _ : state) {
+        auto res = budgeter.allocate(values, budget);
+        benchmark::DoNotOptimize(res.log_value);
+    }
+    state.SetComplexityN(state.range(0));
+}
+
+} // namespace
+
+BENCHMARK(BM_KktSolve)->Arg(100)->Arg(400)->Arg(1600)->Complexity();
+BENCHMARK(BM_DibaRound)->Arg(100)->Arg(400)->Arg(1600)->Arg(6400)
+    ->Complexity();
+BENCHMARK(BM_DibaSolve)->Arg(100)->Arg(400);
+BENCHMARK(BM_PrimalDualSolve)->Arg(100)->Arg(400)->Arg(1600)
+    ->Complexity();
+BENCHMARK(BM_KnapsackDp)->Arg(100)->Arg(400)->Arg(800)
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Table 4.2 reproduction: computation vs. communication time of
+ * the centralized solver, the primal-dual scheme and DiBA as the
+ * cluster grows from 400 to 6400 nodes.
+ *
+ * Computation is measured wall-clock on this machine (per-node
+ * wall time for the parallel schemes); communication comes from
+ * the queueing model of Sec. 4.4.2 with the paper's measured
+ * 200 us read / 10 us write socket latencies, multiplied by the
+ * number of iterations each scheme needs to hit 99% of the
+ * optimal utility (Eq. 4.11).  Absolute numbers differ from the
+ * paper's testbed; the shape to check is: centralized comp and
+ * PD comm grow with N, DiBA stays flat.
+ */
+
+#include <chrono>
+
+#include "alloc/centralized.hh"
+#include "bench/common.hh"
+#include "net/comm_model.hh"
+
+using namespace dpc;
+
+namespace {
+
+double
+ms(std::chrono::steady_clock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 4.2",
+                  "Runtime breakdown (ms) vs. cluster size; comm "
+                  "from the 200us/10us queueing model");
+
+    CommModel net;
+    Rng net_rng(5);
+    Table table({"nodes", "cent_comp", "cent_comm", "pd_comp",
+                 "pd_comm", "pd_iters", "diba_comp", "diba_comm",
+                 "diba_iters"});
+
+    for (std::size_t n : {400u, 800u, 1600u, 3200u, 6400u}) {
+        const auto prob = bench::npbProblem(n, 172.0, 23);
+        const auto oracle = solveKkt(prob);
+
+        // Centralized: one full solve, one gather/scatter round.
+        CentralizedAllocator central;
+        auto t0 = std::chrono::steady_clock::now();
+        central.allocate(prob);
+        const double cent_comp =
+            ms(std::chrono::steady_clock::now() - t0);
+        const double cent_comm =
+            net.coordinatorRoundUs(n, net_rng) / 1000.0;
+
+        // Primal-dual: nodes compute best responses in parallel;
+        // each iteration costs one coordinator round.
+        const std::size_t pd_iters =
+            bench::pdIterationsToFraction(prob, oracle.utility,
+                                          0.99);
+        PrimalDualAllocator pd;
+        t0 = std::chrono::steady_clock::now();
+        pd.allocate(prob);
+        const double pd_wall =
+            ms(std::chrono::steady_clock::now() - t0);
+        const double pd_comp =
+            pd_wall / static_cast<double>(n); // per-node, parallel
+        double pd_comm = 0.0;
+        for (std::size_t i = 0; i < pd_iters; ++i)
+            pd_comm += net.coordinatorRoundUs(n, net_rng) / 1000.0;
+
+        // DiBA: per-node compute in parallel, neighbour-only comm.
+        DibaAllocator diba(makeRing(n));
+        t0 = std::chrono::steady_clock::now();
+        const std::size_t diba_iters =
+            bench::dibaIterationsToFraction(diba, prob,
+                                            oracle.utility, 0.99);
+        const double diba_wall =
+            ms(std::chrono::steady_clock::now() - t0);
+        const double diba_comp =
+            diba_wall / static_cast<double>(n);
+        const double diba_comm =
+            static_cast<double>(diba_iters) *
+            net.dibaRoundUs(diba.topology()) / 1000.0;
+
+        table.addRow({Table::num(static_cast<long long>(n)),
+                      Table::num(cent_comp, 2),
+                      Table::num(cent_comm, 2),
+                      Table::num(pd_comp, 3),
+                      Table::num(pd_comm, 2),
+                      Table::num(static_cast<long long>(pd_iters)),
+                      Table::num(diba_comp, 3),
+                      Table::num(diba_comm, 2),
+                      Table::num(
+                          static_cast<long long>(diba_iters))});
+    }
+    table.print(std::cout);
+    std::cout
+        << "\nPaper shape: centralized comp and comm grow ~linearly "
+           "with N; PD comm dominates (serial coordinator each "
+           "iteration); DiBA comm stays flat (~28 ms) regardless "
+           "of N, giving a >100x total-runtime win at 6400 nodes.\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Demand-response scenario: a 200-server cluster rides through a
+ * utility-company curtailment event.  The grid price signal cuts
+ * the allowed power 12% for two minutes, then restores it.  The
+ * simulation shows the caps shedding within one control step on
+ * the cut (hard budget guarantee) and climbing back afterwards,
+ * with the RAPL-style per-server controllers enforcing the caps
+ * against metered (noisy) power.
+ */
+
+#include <iostream>
+
+#include "cluster/sim.hh"
+#include "graph/topologies.hh"
+#include "util/table.hh"
+
+using namespace dpc;
+
+int
+main()
+{
+    const std::size_t n = 200;
+    const double nominal = 178.0 * static_cast<double>(n);
+    const double curtailed = 0.88 * nominal;
+
+    Rng rng(7);
+    auto assignment = drawNpbAssignment(n, rng);
+
+    ClusterSimConfig cfg;
+    cfg.diba_rounds_per_step = 80;
+    cfg.mean_job_s = 90.0; // light churn during the event
+    ClusterSim sim(std::move(assignment), makeRing(n), nominal,
+                   DibaAllocator::Config(), cfg);
+
+    // Curtailment window: t in [60, 180).
+    sim.setBudgetSchedule([&](double t) {
+        return (t >= 60.0 && t < 180.0) ? curtailed : nominal;
+    });
+
+    const auto samples = sim.run(240.0);
+
+    Table table({"t_s", "budget_kW", "allocated_kW", "consumed_kW",
+                 "snp"});
+    for (std::size_t i = 0; i < samples.size(); i += 15) {
+        const auto &s = samples[i];
+        table.addRow({Table::num(s.t, 0),
+                      Table::num(s.budget / 1000.0, 2),
+                      Table::num(s.allocated_power / 1000.0, 2),
+                      Table::num(s.consumed_power / 1000.0, 2),
+                      Table::num(s.snp, 4)});
+    }
+    table.print(std::cout);
+
+    bool violated = false;
+    for (const auto &s : samples)
+        violated |= s.allocated_power >= s.budget;
+    std::cout << "\nBudget violations during the event: "
+              << (violated ? "YES" : "none")
+              << "\nThe caps drop inside the announcement step at "
+                 "t=60 s and recover after t=180 s; SNP dips only "
+                 "as far as the curtailed optimum requires.\n";
+    return 0;
+}

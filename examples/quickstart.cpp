@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: build a small cluster, cap its total power with
+ * DiBA, and compare the decentralized result against the exact
+ * optimum.
+ *
+ * This walks the core public API end to end:
+ *   1. describe per-server workloads as concave throughput
+ *      functions (here: the built-in NPB/HPCC profiles);
+ *   2. pose an AllocationProblem (utilities + total budget);
+ *   3. pick a communication topology and run DibaAllocator;
+ *   4. inspect the caps and the SNP metrics.
+ */
+
+#include <iostream>
+
+#include "alloc/diba.hh"
+#include "alloc/kkt.hh"
+#include "graph/topologies.hh"
+#include "metrics/performance.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+using namespace dpc;
+
+int
+main()
+{
+    // 1. A 16-server cluster with a random NPB/HPCC mix.
+    Rng rng(2026);
+    const auto assignment = drawNpbAssignment(16, rng);
+
+    // 2. Cap the cluster at 170 W per server on average.
+    AllocationProblem prob;
+    prob.utilities = utilitiesOf(assignment);
+    prob.budget = 170.0 * 16.0;
+
+    // 3. Decentralized allocation over a ring overlay: each server
+    //    only ever talks to its two ring neighbours.
+    DibaAllocator diba(makeRing(16));
+    const auto result = diba.allocate(prob);
+
+    // Exact optimum for reference (needs global knowledge).
+    const auto oracle = solveKkt(prob);
+
+    // 4. Report.
+    std::cout << "DiBA converged after " << result.iterations
+              << " rounds; total power "
+              << Table::num(result.totalPower(), 1) << " W of "
+              << Table::num(prob.budget, 1) << " W budget\n\n";
+
+    Table table({"server", "workload", "diba_cap_W",
+                 "optimal_cap_W", "ANP"});
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        table.addRow(
+            {Table::num((long long)i), assignment[i].name,
+             Table::num(result.power[i], 1),
+             Table::num(oracle.power[i], 1),
+             Table::num(anp(*prob.utilities[i], result.power[i]),
+                        3)});
+    }
+    table.print(std::cout);
+
+    const auto rep = evaluateAllocation(prob.utilities, result.power);
+    const auto rep_opt =
+        evaluateAllocation(prob.utilities, oracle.power);
+    std::cout << "\nSNP (arith): " << Table::num(rep.snp_arith, 4)
+              << "  vs optimal " << Table::num(rep_opt.snp_arith, 4)
+              << "\nutility fraction of optimal: "
+              << Table::num(result.utility / oracle.utility, 4)
+              << "\n\nNote how compute-bound workloads (EP, HPL) "
+                 "receive high caps while memory-bound ones (CG, "
+                 "RA) are throttled -- with no central "
+                 "coordinator.\n";
+    return 0;
+}

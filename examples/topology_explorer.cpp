@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Topology explorer: how does the communication overlay shape
+ * DiBA's convergence and per-round communication cost?  Compares
+ * the plain ring, chord-augmented rings (the paper's fault-
+ * tolerance recommendation), Erdos-Renyi random graphs of rising
+ * density, and the complete graph, on the same 200-server problem.
+ */
+
+#include <iostream>
+
+#include "alloc/diba.hh"
+#include "alloc/kkt.hh"
+#include "graph/topologies.hh"
+#include "metrics/performance.hh"
+#include "net/comm_model.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+using namespace dpc;
+
+namespace {
+
+std::size_t
+iterationsTo99(DibaAllocator &diba, const AllocationProblem &prob,
+               double optimal)
+{
+    diba.reset(prob);
+    for (std::size_t it = 1; it <= 60000; ++it) {
+        diba.iterate();
+        const double u =
+            totalUtility(prob.utilities, diba.power());
+        if (withinFractionOfOptimal(u, optimal, 0.99))
+            return it;
+    }
+    return 60000;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t n = 200;
+    Rng rng(11);
+
+    AllocationProblem prob;
+    prob.utilities = utilitiesOf(drawNpbAssignment(n, rng));
+    prob.budget = 172.0 * static_cast<double>(n);
+    const auto oracle = solveKkt(prob);
+
+    struct Candidate
+    {
+        std::string name;
+        Graph graph;
+    };
+    std::vector<Candidate> candidates;
+    candidates.push_back({"ring", makeRing(n)});
+    candidates.push_back(
+        {"ring + 20 chords", makeChordalRing(n, 20, rng)});
+    candidates.push_back(
+        {"ring + 100 chords", makeChordalRing(n, 100, rng)});
+    candidates.push_back(
+        {"ER m=400", makeConnectedErdosRenyi(n, 400, rng)});
+    candidates.push_back(
+        {"ER m=1000", makeConnectedErdosRenyi(n, 1000, rng)});
+    candidates.push_back({"complete", makeComplete(n)});
+
+    CommModel net;
+    Table table({"topology", "avg_degree", "diameter",
+                 "iters_to_99%", "round_us", "total_comm_ms",
+                 "packets/round"});
+    for (auto &c : candidates) {
+        const double avg_deg = c.graph.averageDegree();
+        const auto diam = c.graph.diameter();
+        const double round_us = net.dibaRoundUs(c.graph);
+        const auto packets =
+            CommModel::dibaPacketsPerRound(c.graph);
+        DibaAllocator diba(std::move(c.graph));
+        const auto iters = iterationsTo99(diba, prob,
+                                          oracle.utility);
+        table.addRow({c.name, Table::num(avg_deg, 1),
+                      Table::num((long long)diam),
+                      Table::num((long long)iters),
+                      Table::num(round_us, 0),
+                      Table::num(static_cast<double>(iters) *
+                                     round_us / 1000.0,
+                                 1),
+                      Table::num((long long)packets)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nTakeaway (Fig. 4.10): more connectivity buys fewer "
+           "iterations, but each round carries more packets and a "
+           "heavier per-node burst -- a few chords on the ring is "
+           "the sweet spot the paper recommends for fault "
+           "tolerance without a dense overlay.\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "alloc/centralized.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/performance.hh"
+#include "util/logging.hh"
+
+namespace dpc {
+
+std::vector<double>
+projectToFeasible(const AllocationProblem &prob, std::vector<double> p)
+{
+    const std::size_t n = prob.size();
+    DPC_ASSERT(p.size() == n, "projection dimension mismatch");
+
+    auto clampedTotal = [&](double theta) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            total += prob.utilities[i]->clampPower(p[i] - theta);
+        return total;
+    };
+
+    if (clampedTotal(0.0) <= prob.budget + 1e-12) {
+        for (std::size_t i = 0; i < n; ++i)
+            p[i] = prob.utilities[i]->clampPower(p[i]);
+        return p;
+    }
+
+    // Bisect the uniform shift theta so the clipped vector hits the
+    // budget hyperplane; the map theta -> total is non-increasing.
+    double lo = 0.0;
+    double hi = 1.0;
+    while (clampedTotal(hi) > prob.budget) {
+        hi *= 2.0;
+        DPC_ASSERT(hi < 1e12, "projection shift bracket runaway");
+    }
+    for (int it = 0; it < 100; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (clampedTotal(mid) > prob.budget)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        p[i] = prob.utilities[i]->clampPower(p[i] - hi);
+    return p;
+}
+
+AllocationResult
+CentralizedAllocator::allocate(const AllocationProblem &prob)
+{
+    prob.validate();
+    const std::size_t n = prob.size();
+
+    // Step size from the largest gradient Lipschitz constant over
+    // the boxes (finite-differenced so utilities stay black boxes).
+    double lipschitz = 0.0;
+    for (const auto &u : prob.utilities) {
+        const double span = u->maxPower() - u->minPower();
+        const double dg = std::fabs(u->derivative(u->minPower()) -
+                                    u->derivative(u->maxPower()));
+        lipschitz = std::max(lipschitz, dg / span);
+    }
+    const double step = 1.0 / std::max(lipschitz, 1e-6);
+
+    AllocationResult res;
+    res.power = projectToFeasible(prob, uniformStart(prob));
+    double prev_utility = totalUtility(prob.utilities, res.power);
+
+    std::vector<double> trial(n);
+    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+        for (std::size_t i = 0; i < n; ++i) {
+            trial[i] = res.power[i] +
+                       step * prob.utilities[i]->derivative(
+                                  res.power[i]);
+        }
+        res.power = projectToFeasible(prob, std::move(trial));
+        trial.assign(n, 0.0);
+        const double utility =
+            totalUtility(prob.utilities, res.power);
+        res.iterations = it + 1;
+        if (utility - prev_utility <=
+            cfg_.tolerance * std::max(std::fabs(utility), 1.0)) {
+            res.converged = true;
+            prev_utility = utility;
+            break;
+        }
+        prev_utility = utility;
+    }
+    res.utility = prev_utility;
+    return res;
+}
+
+} // namespace dpc

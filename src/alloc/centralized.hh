@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Centralized general-purpose solver, the stand-in for the CVX
+ * toolbox the paper uses ("the computing servers transmit their
+ * utility functions to the centralized power management unit").
+ *
+ * Projected gradient ascent on the concave objective over the
+ * intersection of the box and the budget half-space; the projection
+ * is computed exactly by bisecting the shift of a clipped
+ * simplex-style projection.  Unlike the KKT oracle, this solver
+ * treats the utilities as black boxes (value/gradient only) and its
+ * computation time grows with cluster size the way a generic convex
+ * solver does — which is what Table 4.2 measures.
+ */
+
+#ifndef DPC_ALLOC_CENTRALIZED_HH
+#define DPC_ALLOC_CENTRALIZED_HH
+
+#include "alloc/problem.hh"
+
+namespace dpc {
+
+/** Projected-gradient centralized solver (CVX substitute). */
+class CentralizedAllocator : public Allocator
+{
+  public:
+    struct Config
+    {
+        /** Relative utility improvement below which we stop. */
+        double tolerance = 1e-9;
+        /** Hard iteration cap. */
+        std::size_t max_iterations = 20000;
+    };
+
+    CentralizedAllocator() = default;
+    explicit CentralizedAllocator(Config cfg) : cfg_(cfg) {}
+
+    AllocationResult allocate(const AllocationProblem &prob) override;
+
+    std::string name() const override { return "centralized"; }
+
+  private:
+    Config cfg_;
+};
+
+/**
+ * Euclidean projection of `p` onto {x : box, sum x <= budget}
+ * (exposed for testing).  Boxes are taken from the problem's
+ * utilities.
+ */
+std::vector<double> projectToFeasible(const AllocationProblem &prob,
+                                      std::vector<double> p);
+
+} // namespace dpc
+
+#endif // DPC_ALLOC_CENTRALIZED_HH

@@ -1,0 +1,390 @@
+#include "alloc/diba.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/performance.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+
+namespace {
+
+/** Numerical floor keeping the barrier defined in transients. */
+constexpr double kBarrierFloor = 1e-9;
+
+} // namespace
+
+DibaAllocator::DibaAllocator(Graph topology)
+    : DibaAllocator(std::move(topology), Config())
+{
+}
+
+DibaAllocator::DibaAllocator(Graph topology, Config cfg)
+    : topo_(std::move(topology)), cfg_(cfg)
+{
+    for (std::size_t v = 0; v < topo_.numVertices(); ++v)
+        for (std::size_t w : topo_.neighbors(v))
+            if (v < w)
+                edges_.emplace_back(v, w);
+    DPC_ASSERT(topo_.numVertices() >= 2,
+               "DiBA needs at least two nodes");
+    DPC_ASSERT(topo_.isConnected(),
+               "DiBA requires a connected communication graph");
+    DPC_ASSERT(cfg_.eta > 0.0, "barrier weight must be positive");
+    DPC_ASSERT(cfg_.eta_initial >= cfg_.eta,
+               "initial barrier weight below the floor");
+    DPC_ASSERT(cfg_.eta_decay > 0.0 && cfg_.eta_decay <= 1.0,
+               "eta_decay must be in (0, 1]");
+    DPC_ASSERT(cfg_.barrier_keep > 0.0 && cfg_.barrier_keep < 1.0,
+               "barrier_keep must be in (0, 1)");
+}
+
+void
+DibaAllocator::reset(const AllocationProblem &prob)
+{
+    prob.validate();
+    DPC_ASSERT(prob.size() == topo_.numVertices(),
+               "problem size ", prob.size(),
+               " != topology size ", topo_.numVertices());
+    DPC_ASSERT(prob.budget > prob.minTotalPower(),
+               "DiBA needs strict interior feasibility");
+
+    u_ = prob.utilities;
+    budget_ = prob.budget;
+    p_ = uniformStart(prob, cfg_.slack_frac);
+    const double n = static_cast<double>(prob.size());
+    const double e0 = (sum(p_) - budget_) / n;
+    e_.assign(prob.size(), e0);
+    eta_now_.assign(prob.size(), cfg_.eta_initial);
+    active_.assign(prob.size(), true);
+    num_active_ = prob.size();
+    if (e0 >= 0.0)
+        emergencyShed();
+}
+
+double
+DibaAllocator::iterate()
+{
+    const std::size_t n = p_.size();
+    DPC_ASSERT(n > 0, "iterate() before reset()");
+
+    // Phase 1: neighbour exchange.
+    diffuse();
+
+    // Phase 2: local barrier-gradient steps, followed by the
+    // local annealing decision: a quiescent node tightens its
+    // barrier toward the floor, a node still transporting power
+    // re-widens it (both purely local, no coordination).
+    double max_dp = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!active_[i])
+            continue;
+        const double dp = std::fabs(localStep(i));
+        max_dp = std::max(max_dp, dp);
+        annealNode(i, dp);
+    }
+    return max_dp;
+}
+
+void
+DibaAllocator::annealNode(std::size_t i, double moved)
+{
+    if (moved < cfg_.anneal_gate) {
+        eta_now_[i] =
+            std::max(cfg_.eta, eta_now_[i] * cfg_.eta_decay);
+    } else if (moved > cfg_.reheat_gate) {
+        eta_now_[i] = std::min(cfg_.eta_initial,
+                               eta_now_[i] * cfg_.eta_reheat);
+    }
+}
+
+double
+DibaAllocator::gossipTick(Rng &rng)
+{
+    DPC_ASSERT(!p_.empty(), "gossipTick() before reset()");
+    DPC_ASSERT(!edges_.empty(), "overlay with no edges");
+    // Activate one random live edge; retry over failed endpoints
+    // (a dead neighbour simply never answers).
+    std::size_t u = 0, v = 0;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        const auto &[a, b] = edges_[rng.index(edges_.size())];
+        if (active_[a] && active_[b]) {
+            u = a;
+            v = b;
+            break;
+        }
+        DPC_ASSERT(attempt + 1 < 1000,
+                   "no live edge left in the overlay");
+    }
+    // Pairwise estimate averaging preserves e_u + e_v exactly and
+    // keeps both strictly negative.
+    const double mean_e = 0.5 * (e_[u] + e_[v]);
+    e_[u] = mean_e;
+    e_[v] = mean_e;
+    double max_dp = 0.0;
+    for (std::size_t i : {u, v}) {
+        const double dp = std::fabs(localStep(i));
+        max_dp = std::max(max_dp, dp);
+        annealNode(i, dp);
+    }
+    return max_dp;
+}
+
+void
+DibaAllocator::failNode(std::size_t i)
+{
+    DPC_ASSERT(i < p_.size(), "failNode index out of range");
+    DPC_ASSERT(active_[i], "node already failed");
+    DPC_ASSERT(num_active_ > 1, "cannot fail the last node");
+    active_[i] = false;
+    --num_active_;
+    if (!activeSubgraphConnected()) {
+        // Survivors split into components.  Every component keeps
+        // its share of the invariant (sum e = sum p - P holds
+        // globally and per component), so the budget guarantee is
+        // unaffected; each partition simply optimizes within the
+        // slack it holds.  Chord-equipped rings avoid this
+        // (Sec. 4.4.2).
+        warn("DiBA overlay disconnected after node ", i,
+             " failed; partitions optimize independently");
+    }
+
+    // The dead server draws no more power: hand its slack estimate
+    // plus its entire released cap to the surviving neighbours,
+    // preserving sum_active(e) == sum_active(p) - P.
+    std::vector<std::size_t> live;
+    for (std::size_t j : topo_.neighbors(i))
+        if (active_[j])
+            live.push_back(j);
+    if (live.empty()) {
+        // Connectivity check above guarantees this only for the
+        // two-node corner case; give it to any survivor.
+        for (std::size_t j = 0; j < p_.size(); ++j)
+            if (active_[j])
+                live.push_back(j);
+    }
+    const double gift =
+        (e_[i] - p_[i]) / static_cast<double>(live.size());
+    for (std::size_t j : live)
+        e_[j] += gift;
+    p_[i] = 0.0;
+    e_[i] = 0.0;
+}
+
+bool
+DibaAllocator::isActive(std::size_t i) const
+{
+    DPC_ASSERT(i < active_.size(), "index out of range");
+    return active_[i];
+}
+
+bool
+DibaAllocator::activeSubgraphConnected() const
+{
+    std::size_t source = active_.size();
+    for (std::size_t v = 0; v < active_.size(); ++v) {
+        if (active_[v]) {
+            source = v;
+            break;
+        }
+    }
+    if (source == active_.size())
+        return true;
+    std::vector<bool> seen(active_.size(), false);
+    std::vector<std::size_t> stack{source};
+    seen[source] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        for (std::size_t w : topo_.neighbors(v)) {
+            if (active_[w] && !seen[w]) {
+                seen[w] = true;
+                ++count;
+                stack.push_back(w);
+            }
+        }
+    }
+    return count == num_active_;
+}
+
+double
+DibaAllocator::localStep(std::size_t i)
+{
+    const UtilityFunction &u = *u_[i];
+    const double p = p_[i];
+    const double e_eff = std::min(e_[i], -kBarrierFloor);
+
+    // Gradient of R_i = r_i(p) + eta * log(-e_i) in the direction
+    // of a joint (p_i, e_i) move.
+    const double eta = eta_now_[i];
+    const double grad = u.derivative(p) + eta / e_eff;
+
+    // Curvature-scaled (quasi-Newton) step: finite-difference the
+    // utility curvature so utilities stay black boxes, and add the
+    // barrier curvature eta / e^2.
+    const double h = 0.5;
+    const double x1 = u.clampPower(p + h);
+    const double x0 = u.clampPower(p - h);
+    double curv = eta / (e_eff * e_eff);
+    if (x1 > x0) {
+        curv +=
+            std::fabs(u.derivative(x1) - u.derivative(x0)) /
+            (x1 - x0);
+    }
+    double dp = cfg_.damping * grad / std::max(curv, 1e-12);
+
+    // Backtracking into the action space (the beta^t of Algorithm
+    // 4): per-round move limit, keep e_i strictly negative, stay in
+    // the power box.
+    dp = std::clamp(dp, -cfg_.max_move, cfg_.max_move);
+    if (dp > 0.0)
+        dp = std::min(dp, (cfg_.barrier_keep - 1.0) * e_[i]);
+    dp = std::clamp(dp, u.minPower() - p, u.maxPower() - p);
+
+    p_[i] = p + dp;
+    e_[i] += dp;
+    return dp;
+}
+
+void
+DibaAllocator::diffuse()
+{
+    // Each node sends its estimate to its neighbours and folds the
+    // received values in with Metropolis weights
+    // w_ij = 1 / (1 + max(deg_i, deg_j)), which preserves sum(e)
+    // exactly (the pairwise transfers cancel) and keeps every e_i
+    // a convex combination of the old values.
+    //
+    // With a positive deadband (gated-gossip option), transfers
+    // inside the relative gap gate are suppressed; the default of
+    // zero exchanges on every edge.
+    const std::size_t n = e_.size();
+    e_snapshot_ = e_;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!active_[i])
+            continue;
+        double acc = 0.0;
+        for (std::size_t j : topo_.neighbors(i)) {
+            if (!active_[j])
+                continue;
+            const double gap = e_snapshot_[j] - e_snapshot_[i];
+            const double gate =
+                cfg_.deadband * std::max(std::fabs(e_snapshot_[i]),
+                                         std::fabs(e_snapshot_[j]));
+            if (std::fabs(gap) <= gate)
+                continue;
+            const double w =
+                1.0 / (1.0 + static_cast<double>(std::max(
+                                 topo_.degree(i), topo_.degree(j))));
+            acc += w * gap;
+        }
+        e_[i] = e_snapshot_[i] + acc;
+    }
+}
+
+void
+DibaAllocator::emergencyShed()
+{
+    // Power-capping safety action: any node whose local slack is
+    // exhausted (e_i >= 0 after a budget drop) immediately lowers
+    // its own cap as far as its box permits.  Nodes already at
+    // their power floor cannot shed, so a few neighbour-exchange
+    // rounds move their surplus to nodes that still can -- still
+    // fully decentralized, and all inside one control step.
+    constexpr double floor = 1e-2;
+    // Debt can sit several hops inside a floor-clamped region and
+    // diffusion moves it one hop per exchange, so budget as many
+    // exchanges as the overlay could need (bounded by its size).
+    const int max_rounds = static_cast<int>(
+        std::min<std::size_t>(topo_.numVertices(), 96));
+    for (int round = 0; round < max_rounds; ++round) {
+        bool any_over = false;
+        for (std::size_t i = 0; i < p_.size(); ++i) {
+            if (!active_[i])
+                continue;
+            if (e_[i] > -floor) {
+                const double want = e_[i] + floor;
+                const double can = p_[i] - u_[i]->minPower();
+                const double shed = std::min(want, can);
+                if (shed > 0.0) {
+                    p_[i] -= shed;
+                    e_[i] -= shed;
+                }
+                any_over |= e_[i] > -floor;
+            }
+        }
+        if (!any_over)
+            return;
+        diffuse();
+    }
+}
+
+void
+DibaAllocator::setBudget(double new_budget)
+{
+    DPC_ASSERT(!p_.empty(), "setBudget() before reset()");
+    DPC_ASSERT(new_budget > 0.0, "non-positive budget");
+    const double delta = new_budget - budget_;
+    const double n = static_cast<double>(num_active_);
+    for (std::size_t i = 0; i < e_.size(); ++i)
+        if (active_[i])
+            e_[i] -= delta / n;
+    budget_ = new_budget;
+    if (delta < 0.0)
+        emergencyShed();
+}
+
+void
+DibaAllocator::setUtility(std::size_t i, UtilityPtr u)
+{
+    DPC_ASSERT(i < u_.size(), "setUtility index out of range");
+    DPC_ASSERT(u != nullptr, "null utility");
+    const double clamped = u->clampPower(p_[i]);
+    e_[i] += clamped - p_[i];
+    p_[i] = clamped;
+    u_[i] = std::move(u);
+}
+
+double
+DibaAllocator::totalPower() const
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p_.size(); ++i)
+        if (active_[i])
+            acc += p_[i];
+    return acc;
+}
+
+std::size_t
+DibaAllocator::messagesPerRound() const
+{
+    return 2 * topo_.numEdges();
+}
+
+AllocationResult
+DibaAllocator::allocate(const AllocationProblem &prob)
+{
+    reset(prob);
+    AllocationResult res;
+    std::size_t quiet = 0;
+    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+        const double moved = iterate();
+        res.iterations = it + 1;
+        if (moved < cfg_.tolerance) {
+            if (++quiet >= cfg_.quiet_rounds) {
+                res.converged = true;
+                break;
+            }
+        } else {
+            quiet = 0;
+        }
+    }
+    res.power = p_;
+    res.utility = totalUtility(u_, p_);
+    return res;
+}
+
+} // namespace dpc

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * DiBA: fully decentralized power-budget allocation (Algorithm 4,
+ * the paper's core contribution).
+ *
+ * Every server i holds two local state variables: its power cap
+ * p_i and an estimate e_i of its share of the coupled constraint
+ * sum_j p_j - P (Eq. 4.7).  One synchronized round consists of
+ *
+ *  1. neighbour exchange: each node sends e_i to its graph
+ *     neighbours and folds the received estimates in with
+ *     Metropolis consensus weights (the \hat e_{i->j} transfers of
+ *     Eq. 4.9, realised as the equivalent pairwise slack
+ *     diffusion);
+ *  2. a barrier-regularized gradient step on the local utility
+ *     R_i = r_i(p_i) + eta * log(-e_i) with curvature-scaled step
+ *     size and backtracking into the action space (box constraints
+ *     and e_i strictly negative), applied to p_i and e_i jointly
+ *     (Eq. 4.8).
+ *
+ * Invariants maintained exactly at every round:
+ *   - sum_i e_i == sum_i p_i - P (pairwise transfers cancel;
+ *     gradient steps add to p_i and e_i simultaneously);
+ *   - every e_i < 0, hence sum_i p_i < P: the budget is a hard
+ *     guarantee at all times, including across budget changes.
+ *
+ * Note on Eq. 4.10: the dissertation text writes the penalty as
+ * "- eta log(-e)", which diverges to +infinity at the boundary and
+ * would reward constraint violation under maximization; we use the
+ * standard log-barrier sign (see DESIGN.md, "DiBA faithfulness").
+ *
+ * The class exposes both the one-shot Allocator interface and an
+ * incremental interface (reset / iterate / setBudget / setUtility)
+ * used by the dynamic-reallocation experiments (Figs. 4.4-4.9).
+ */
+
+#ifndef DPC_ALLOC_DIBA_HH
+#define DPC_ALLOC_DIBA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "alloc/problem.hh"
+#include "graph/graph.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+
+/** Decentralized consensus/barrier budget allocator. */
+class DibaAllocator : public Allocator
+{
+  public:
+    struct Config
+    {
+        /**
+         * Final barrier weight eta: smaller tracks the optimum
+         * closer but conditions the barrier worse (Sec. 4.3.2).
+         * The equilibrium slack per node is ~eta / lambda*, and
+         * that slack is the "pipe" through which consensus moves
+         * power between nodes; DiBA therefore anneals eta from
+         * `eta_initial` down to this floor (the paper's
+         * non-increasing step sequence eps_i^t), interior-point
+         * style: a wide pipe while reallocating, tight budget
+         * tracking at the end.
+         */
+        double eta = 0.004;
+        /** Initial (annealed-from) barrier weight. */
+        double eta_initial = 0.08;
+        /**
+         * Geometric decay applied to a node's barrier weight in a
+         * round where it was locally quiescent (moved less than
+         * `anneal_gate`).  The annealing is therefore paced by the
+         * actual slack transport: dense overlays quiesce and
+         * anneal quickly, sparse rings keep the pipe wide while
+         * power is still in flight -- which is what makes the
+         * convergence time degree-dependent (Fig. 4.10).
+         */
+        double eta_decay = 0.93;
+        /** Per-round quiescence threshold for annealing (W). */
+        double anneal_gate = 0.05;
+        /**
+         * Reheat factor: a node moving more than `reheat_gate`
+         * widens its barrier again (up to eta_initial), re-opening
+         * the transport pipe after workload or budget changes.
+         */
+        double eta_reheat = 1.02;
+        /** Per-round movement that triggers reheating (W). */
+        double reheat_gate = 1.0;
+        /** Damping of the curvature-scaled gradient step. */
+        double damping = 0.65;
+        /** Per-round power move limit (W) per server. */
+        double max_move = 4.0;
+        /** Backtracking keeps at least this fraction of |e_i|. */
+        double barrier_keep = 0.1;
+        /**
+         * Optional relative estimate-gap deadband below which
+         * neighbours do not exchange slack (gated gossip).  Zero
+         * (default) gives exact price equalization and the closest
+         * tracking of the optimum; positive values cut message
+         * churn and further localize perturbation responses, at
+         * the cost of a price dispersion that can accumulate
+         * across the graph diameter.
+         */
+        double deadband = 0.0;
+        /** Initial budget slack fraction at reset(). */
+        double slack_frac = 0.01;
+        /** Fixed-point tolerance on the max per-round move (W). */
+        double tolerance = 0.008;
+        /** Rounds below tolerance required to declare convergence. */
+        std::size_t quiet_rounds = 5;
+        /** Hard iteration cap for allocate(). */
+        std::size_t max_iterations = 20000;
+    };
+
+    /**
+     * @param topology communication overlay; one vertex per server
+     *        (ring, chordal ring, ER graph, ...), must be connected
+     * @param cfg      algorithm parameters
+     */
+    explicit DibaAllocator(Graph topology);
+    DibaAllocator(Graph topology, Config cfg);
+
+    /** One-shot solve: reset() then iterate to the fixed point. */
+    AllocationResult allocate(const AllocationProblem &prob) override;
+
+    std::string name() const override { return "diba"; }
+
+    /**
+     * (Re)initialize state for a problem: uniform power start with
+     * cfg.slack_frac budget slack and equalized estimates.  The
+     * topology must have exactly prob.size() vertices.
+     */
+    void reset(const AllocationProblem &prob);
+
+    /**
+     * One synchronized round (consensus exchange + local gradient
+     * steps).  @return the largest |dp_i| moved this round (W).
+     */
+    double iterate();
+
+    /**
+     * Announce a new total budget P (the demand-response signal
+     * every node receives): each node shifts its estimate by
+     * -(delta P)/N and, if the budget dropped enough to exhaust
+     * its local slack, sheds power immediately so that sum p < P
+     * is restored within the same control step (Fig. 4.5).
+     */
+    void setBudget(double new_budget);
+
+    /**
+     * Replace one server's utility (a workload change, Fig. 4.8);
+     * its power cap is clamped into the new box and its estimate
+     * adjusted to preserve the global invariant.
+     */
+    void setUtility(std::size_t i, UtilityPtr u);
+
+    /**
+     * One *asynchronous* gossip tick: a single random edge {u, v}
+     * activates, the two endpoints exchange and average their
+     * estimates (preserving the global invariant), and both take a
+     * local gradient step.  No cluster-wide synchronization (no
+     * NTP round barrier) is required in this mode; N ticks do
+     * roughly the work of one synchronized round.
+     *
+     * @return the largest |dp| moved by the two endpoints (W)
+     */
+    double gossipTick(Rng &rng);
+
+    /**
+     * Permanently remove a failed server from the optimization:
+     * its cap is withdrawn (the electrical power it no longer
+     * draws is handed to its neighbours as slack) and it stops
+     * participating in exchanges.  If the failure disconnects the
+     * surviving overlay (avoidable with chord-equipped rings,
+     * Sec. 4.4.2), a warning is issued and each partition keeps
+     * optimizing within the slack it holds -- the global budget
+     * guarantee is unaffected.  This is the fault-isolation
+     * property motivating the decentralized design (Sec. 4.2).
+     */
+    void failNode(std::size_t i);
+
+    /** Whether node i is still participating. */
+    bool isActive(std::size_t i) const;
+
+    /** Number of surviving nodes. */
+    std::size_t numActive() const { return num_active_; }
+
+    /** Current power caps. */
+    const std::vector<double> &power() const { return p_; }
+
+    /** Current constraint estimates e_i (all < 0). */
+    const std::vector<double> &estimates() const { return e_; }
+
+    /** Current utilities (after any setUtility calls). */
+    const std::vector<UtilityPtr> &utilities() const { return u_; }
+
+    /** Sum of the current power caps over active nodes. */
+    double totalPower() const;
+
+    /** Current total budget. */
+    double budget() const { return budget_; }
+
+    /** Messages exchanged per round (one per directed edge). */
+    std::size_t messagesPerRound() const;
+
+    /** The communication topology. */
+    const Graph &topology() const { return topo_; }
+
+  private:
+    /** One Metropolis consensus exchange of the estimates. */
+    void diffuse();
+
+    /** Curvature-scaled barrier gradient step for one node. */
+    double localStep(std::size_t i);
+
+    /** Post-step annealing/reheating decision for one node. */
+    void annealNode(std::size_t i, double moved);
+
+    /** Immediately shed power at nodes whose slack is exhausted. */
+    void emergencyShed();
+
+    /** True if the active subgraph is connected. */
+    bool activeSubgraphConnected() const;
+
+    Graph topo_;
+    Config cfg_;
+    std::vector<UtilityPtr> u_;
+    std::vector<double> p_;
+    std::vector<double> e_;
+    std::vector<double> e_snapshot_;
+    double budget_ = 0.0;
+    /** Per-node annealed barrier weights (reset to eta_initial). */
+    std::vector<double> eta_now_;
+    /** Participation mask (nodes removed by failNode are false). */
+    std::vector<bool> active_;
+    std::size_t num_active_ = 0;
+    /** Edge list of the overlay, for async gossip activation. */
+    std::vector<std::pair<std::size_t, std::size_t>> edges_;
+};
+
+} // namespace dpc
+
+#endif // DPC_ALLOC_DIBA_HH

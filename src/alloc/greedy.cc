@@ -1,0 +1,69 @@
+#include "alloc/greedy.hh"
+
+#include <queue>
+
+#include "metrics/performance.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+
+AllocationResult
+GreedyTpwAllocator::allocate(const AllocationProblem &prob)
+{
+    prob.validate();
+    DPC_ASSERT(cfg_.increment > 0.0, "increment must be positive");
+    const std::size_t n = prob.size();
+
+    AllocationResult res;
+    res.power.reserve(n);
+    for (const auto &u : prob.utilities)
+        res.power.push_back(u->minPower());
+    double remaining = prob.budget - sum(res.power);
+
+    // Max-heap keyed on the current throughput-per-Watt ratio; a
+    // popped entry is re-scored before being granted to keep the
+    // key current as the server climbs its curve.
+    struct Entry
+    {
+        double key;
+        std::size_t server;
+        double scored_at;
+        bool operator<(const Entry &o) const { return key < o.key; }
+    };
+    auto score = [&](std::size_t i) {
+        return prob.utilities[i]->value(res.power[i]) /
+               res.power[i];
+    };
+    std::priority_queue<Entry> heap;
+    for (std::size_t i = 0; i < n; ++i)
+        heap.push({score(i), i, res.power[i]});
+
+    std::size_t grants = 0;
+    while (remaining >= cfg_.increment && !heap.empty()) {
+        Entry top = heap.top();
+        heap.pop();
+        const std::size_t i = top.server;
+        if (top.scored_at != res.power[i]) {
+            // Stale key (shouldn't happen with one entry per
+            // server, but keep the structure robust).
+            heap.push({score(i), i, res.power[i]});
+            continue;
+        }
+        const double headroom =
+            prob.utilities[i]->maxPower() - res.power[i];
+        if (headroom < cfg_.increment)
+            continue; // saturated; drop from contention
+        res.power[i] += cfg_.increment;
+        remaining -= cfg_.increment;
+        ++grants;
+        heap.push({score(i), i, res.power[i]});
+    }
+
+    res.iterations = grants;
+    res.utility = totalUtility(prob.utilities, res.power);
+    res.converged = true;
+    return res;
+}
+
+} // namespace dpc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * "Previous-greedy" baseline [58, 64]: servers with higher current
+ * throughput per Watt are allocated more power.  Power is handed
+ * out in fixed increments from the per-server minimum caps; at each
+ * step the server with the best tau(p)/p ratio that can still grow
+ * receives one increment.  The crossover workloads of Fig. 3.1 are
+ * exactly the cases where this heuristic picks the wrong server.
+ */
+
+#ifndef DPC_ALLOC_GREEDY_HH
+#define DPC_ALLOC_GREEDY_HH
+
+#include "alloc/problem.hh"
+
+namespace dpc {
+
+/** Throughput-per-Watt greedy allocator. */
+class GreedyTpwAllocator : public Allocator
+{
+  public:
+    struct Config
+    {
+        /** Power granularity of one greedy grant (W). */
+        double increment = 5.0;
+    };
+
+    GreedyTpwAllocator() = default;
+    explicit GreedyTpwAllocator(Config cfg) : cfg_(cfg) {}
+
+    AllocationResult allocate(const AllocationProblem &prob) override;
+
+    std::string name() const override { return "previous-greedy"; }
+
+  private:
+    Config cfg_;
+};
+
+} // namespace dpc
+
+#endif // DPC_ALLOC_GREEDY_HH

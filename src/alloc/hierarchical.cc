@@ -1,0 +1,91 @@
+#include "alloc/hierarchical.hh"
+
+#include <algorithm>
+
+#include "alloc/kkt.hh"
+#include "metrics/performance.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+
+AllocationResult
+HierarchicalAllocator::allocate(const AllocationProblem &prob)
+{
+    prob.validate();
+    DPC_ASSERT(cfg_.rack_size >= 1, "rack size must be >= 1");
+    DPC_ASSERT(cfg_.samples >= 3, "need >= 3 aggregate samples");
+    const std::size_t n = prob.size();
+    const std::size_t racks =
+        (n + cfg_.rack_size - 1) / cfg_.rack_size;
+
+    // Carve the cluster into rack sub-problems.
+    std::vector<AllocationProblem> sub(racks);
+    for (std::size_t i = 0; i < n; ++i)
+        sub[i / cfg_.rack_size].utilities.push_back(
+            prob.utilities[i]);
+
+    // Level-1 aggregates: the rack's optimal utility as a function
+    // of its budget share, sampled and interpolated (the value
+    // function of a concave program is concave, so the
+    // piecewise-linear interpolant is a valid concave utility).
+    std::size_t level2_iterations = 0;
+    std::vector<UtilityPtr> aggregates;
+    aggregates.reserve(racks);
+    for (auto &rack : sub) {
+        double lo = 0.0, hi = 0.0;
+        for (const auto &u : rack.utilities) {
+            lo += u->minPower();
+            hi += u->bestResponse(0.0); // per-server peak power
+        }
+        std::vector<double> budgets;
+        std::vector<double> values;
+        if (hi <= lo + 1e-9) {
+            budgets = {lo, lo + 1.0};
+            double v = 0.0;
+            for (const auto &u : rack.utilities)
+                v += u->value(u->minPower());
+            values = {v, v};
+        } else {
+            budgets = linspace(lo, hi, cfg_.samples);
+            values.reserve(budgets.size());
+            for (double b : budgets) {
+                rack.budget = b;
+                const auto res = solveKkt(rack);
+                level2_iterations += res.iterations;
+                values.push_back(res.utility);
+            }
+        }
+        aggregates.push_back(
+            std::make_shared<PiecewiseLinearUtility>(
+                std::move(budgets), std::move(values)));
+    }
+
+    // Level-1 split: water-fill the total budget over the rack
+    // aggregate curves.
+    AllocationProblem top;
+    top.utilities = aggregates;
+    top.budget = prob.budget;
+    const auto shares = solveKkt(top);
+
+    // Level-2: exact solve inside every rack at its share.
+    AllocationResult res;
+    res.power.reserve(n);
+    for (std::size_t r = 0; r < racks; ++r) {
+        sub[r].budget = shares.power[r];
+        const auto rack_res = solveKkt(sub[r]);
+        level2_iterations += rack_res.iterations;
+        res.power.insert(res.power.end(), rack_res.power.begin(),
+                         rack_res.power.end());
+    }
+    DPC_ASSERT(res.power.size() == n, "lost servers in hierarchy");
+
+    res.iterations = shares.iterations + level2_iterations;
+    res.utility = totalUtility(prob.utilities, res.power);
+    res.converged = true;
+    DPC_ASSERT(res.totalPower() <= prob.budget + 1e-6,
+               "hierarchy exceeded the budget");
+    return res;
+}
+
+} // namespace dpc

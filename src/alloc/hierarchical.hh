@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Two-level hierarchical budgeting baseline — the classic middle
+ * ground between the centralized coordinator and DiBA's flat
+ * gossip that production power-capping stacks deploy (a facility
+ * controller splits the budget over racks; each rack controller
+ * splits its share over its servers).
+ *
+ * Level 1 treats each rack as one aggregate server whose utility
+ * is evaluated by optimally budgeting a candidate rack share among
+ * its members (exact within the rack), and splits the total budget
+ * across racks by water-filling on sampled rack utilities.  Level
+ * 2 then solves each rack exactly.  The scheme is optimal within
+ * every rack but the inter-rack split works on an interpolated
+ * aggregate curve, so it gives up a little utility versus the
+ * global optimum while cutting the coordinator's span from N
+ * servers to N/rack_size racks.
+ */
+
+#ifndef DPC_ALLOC_HIERARCHICAL_HH
+#define DPC_ALLOC_HIERARCHICAL_HH
+
+#include "alloc/problem.hh"
+
+namespace dpc {
+
+/** Two-level (facility -> rack -> server) budget allocator. */
+class HierarchicalAllocator : public Allocator
+{
+  public:
+    struct Config
+    {
+        /** Servers per rack (last rack may be smaller). */
+        std::size_t rack_size = 40;
+        /** Sample points per rack aggregate-utility curve. */
+        std::size_t samples = 9;
+    };
+
+    HierarchicalAllocator() = default;
+    explicit HierarchicalAllocator(Config cfg) : cfg_(cfg) {}
+
+    AllocationResult allocate(const AllocationProblem &prob) override;
+
+    std::string name() const override { return "hierarchical"; }
+
+  private:
+    Config cfg_;
+};
+
+} // namespace dpc
+
+#endif // DPC_ALLOC_HIERARCHICAL_HH

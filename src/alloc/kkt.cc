@@ -1,0 +1,68 @@
+#include "alloc/kkt.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/performance.hh"
+#include "util/logging.hh"
+
+namespace dpc {
+
+AllocationResult
+KktAllocator::allocate(const AllocationProblem &prob)
+{
+    prob.validate();
+    const std::size_t n = prob.size();
+
+    auto respond = [&](double lambda, std::vector<double> &p) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = prob.utilities[i]->bestResponse(lambda);
+            total += p[i];
+        }
+        return total;
+    };
+
+    AllocationResult res;
+    res.power.assign(n, 0.0);
+
+    // Price zero: every server takes its unconstrained peak.
+    if (respond(0.0, res.power) <= prob.budget) {
+        last_lambda_ = 0.0;
+        res.iterations = 1;
+    } else {
+        // Find an upper price that drives everyone to p_min.
+        double hi = 1.0;
+        std::vector<double> trial(n);
+        std::size_t iters = 1;
+        while (respond(hi, trial) > prob.budget) {
+            hi *= 2.0;
+            ++iters;
+            DPC_ASSERT(hi < 1e12, "runaway KKT price bracket");
+        }
+        double lo = 0.0;
+        for (int it = 0; it < 100; ++it) {
+            const double mid = 0.5 * (lo + hi);
+            if (respond(mid, trial) > prob.budget)
+                lo = mid;
+            else
+                hi = mid;
+            ++iters;
+        }
+        last_lambda_ = hi;
+        respond(hi, res.power);
+        res.iterations = iters;
+    }
+    res.utility = totalUtility(prob.utilities, res.power);
+    res.converged = true;
+    return res;
+}
+
+AllocationResult
+solveKkt(const AllocationProblem &prob)
+{
+    KktAllocator alloc;
+    return alloc.allocate(prob);
+}
+
+} // namespace dpc

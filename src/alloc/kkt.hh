@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Exact water-filling solver for the concave budget-allocation
+ * problem, used as the optimality oracle throughout the tests and
+ * benchmarks (the "Optimal Utility" of Eq. 4.11).
+ *
+ * For concave r_i the KKT conditions reduce to a single shadow
+ * price lambda >= 0 with p_i = bestResponse_i(lambda) and either
+ * lambda = 0 (budget slack) or sum p_i = P.  Since each best
+ * response is non-increasing in lambda, the price is found by
+ * bisection to machine precision.
+ */
+
+#ifndef DPC_ALLOC_KKT_HH
+#define DPC_ALLOC_KKT_HH
+
+#include "alloc/problem.hh"
+
+namespace dpc {
+
+/** Exact KKT / water-filling allocator (optimality oracle). */
+class KktAllocator : public Allocator
+{
+  public:
+    AllocationResult allocate(const AllocationProblem &prob) override;
+
+    std::string name() const override { return "kkt-oracle"; }
+
+    /**
+     * The shadow price found by the last allocate() call (0 when
+     * the budget constraint was slack).
+     */
+    double lastLambda() const { return last_lambda_; }
+
+  private:
+    double last_lambda_ = 0.0;
+};
+
+/** One-shot convenience wrapper. */
+AllocationResult solveKkt(const AllocationProblem &prob);
+
+} // namespace dpc
+
+#endif // DPC_ALLOC_KKT_HH

@@ -1,0 +1,104 @@
+#include "alloc/knapsack.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+double
+CapGrid::capAt(std::size_t j) const
+{
+    DPC_ASSERT(j < levels, "cap index out of range");
+    return p0 + increment * static_cast<double>(j);
+}
+
+KnapsackResult
+KnapsackBudgeter::allocate(
+    const std::vector<std::vector<double>> &values,
+    double budget) const
+{
+    const std::size_t n = values.size();
+    DPC_ASSERT(n > 0, "knapsack with no servers");
+    for (const auto &row : values) {
+        DPC_ASSERT(row.size() == grid_.levels,
+                   "value row width must equal the cap-grid levels");
+        for (double v : row)
+            DPC_ASSERT(v > 0.0, "knapsack values must be positive");
+    }
+
+    // Budget in units of the cap increment, over and above the
+    // mandatory n * p0 floor.
+    const double floor_power =
+        grid_.p0 * static_cast<double>(n);
+    DPC_ASSERT(budget >= floor_power,
+               "budget below the minimum-cap floor");
+    const std::size_t max_units =
+        static_cast<std::size_t>(grid_.levels - 1) * n;
+    std::size_t units = static_cast<std::size_t>(
+        std::floor((budget - floor_power) / grid_.increment));
+    units = std::min(units, max_units);
+
+    constexpr double kNegInf =
+        -std::numeric_limits<double>::infinity();
+
+    // V[k]: best sum of log-values using exactly the servers
+    // processed so far and exactly k budget units; choice[i][k]
+    // records the cap index of server i in that optimum.
+    std::vector<double> v(units + 1, kNegInf);
+    v[0] = 0.0;
+    std::vector<std::uint8_t> choice(n * (units + 1), 0);
+
+    std::vector<double> logv(grid_.levels);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < grid_.levels; ++j)
+            logv[j] = std::log(values[i][j]);
+        // Descending k so each server is counted exactly once.
+        for (std::size_t k = units + 1; k-- > 0;) {
+            double best = kNegInf;
+            std::uint8_t best_j = 0;
+            const std::size_t j_cap =
+                std::min<std::size_t>(grid_.levels - 1, k);
+            for (std::size_t j = 0; j <= j_cap; ++j) {
+                const double cand = v[k - j] + logv[j];
+                if (cand > best) {
+                    best = cand;
+                    best_j = static_cast<std::uint8_t>(j);
+                }
+            }
+            v[k] = best;
+            choice[i * (units + 1) + k] = best_j;
+        }
+    }
+
+    // Best achievable over any k <= units.
+    std::size_t best_k = 0;
+    for (std::size_t k = 1; k <= units; ++k)
+        if (v[k] > v[best_k])
+            best_k = k;
+
+    KnapsackResult res;
+    DPC_ASSERT(v[best_k] > kNegInf, "knapsack DP found no solution");
+    res.log_value = v[best_k];
+    res.choice.assign(n, 0);
+    std::size_t k = best_k;
+    for (std::size_t i = n; i-- > 0;) {
+        const std::uint8_t j = choice[i * (units + 1) + k];
+        res.choice[i] = j;
+        k -= j;
+    }
+    DPC_ASSERT(k == 0, "knapsack backtrack did not consume all units");
+
+    res.power.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        res.power.push_back(grid_.capAt(res.choice[i]));
+        res.total_power += res.power.back();
+    }
+    DPC_ASSERT(res.total_power <= budget + 1e-9,
+               "knapsack exceeded the budget");
+    return res;
+}
+
+} // namespace dpc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Multiple-choice knapsack power budgeter (Ch. 3.2.2, Algorithm 2).
+ *
+ * Each server is a "class"; the items of a class are its discrete
+ * power caps p_0, p_0 + w, ..., p_0 + (r-1) w with per-cap values
+ * (predicted or true throughput).  One item must be chosen per
+ * class, the total power must not exceed the computing budget, and
+ * the *product* of values (equivalently the sum of logs, i.e. the
+ * geometric-mean SNP) is maximized by dynamic programming in
+ * O(n * r * B) time.
+ */
+
+#ifndef DPC_ALLOC_KNAPSACK_HH
+#define DPC_ALLOC_KNAPSACK_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dpc {
+
+/** Discrete cap grid shared by all servers (Ch.3 uses 130..165 W). */
+struct CapGrid
+{
+    double p0 = 130.0;      ///< least power cap (W)
+    double increment = 5.0; ///< cap step w (W)
+    std::size_t levels = 8; ///< number of caps r
+
+    /** Power of cap index j (0-based). */
+    double capAt(std::size_t j) const;
+
+    /** Highest cap. */
+    double maxCap() const { return capAt(levels - 1); }
+};
+
+/** Result of a knapsack budgeting run. */
+struct KnapsackResult
+{
+    /** Chosen cap index per server. */
+    std::vector<std::size_t> choice;
+    /** Chosen cap power per server (W). */
+    std::vector<double> power;
+    /** Sum of log(values) of the chosen items. */
+    double log_value = 0.0;
+    /** Total power of the chosen caps (W). */
+    double total_power = 0.0;
+};
+
+/** Multiple-choice knapsack DP budgeter. */
+class KnapsackBudgeter
+{
+  public:
+    explicit KnapsackBudgeter(CapGrid grid = {}) : grid_(grid) {}
+
+    /**
+     * @param values  values[i][j] > 0: value of server i at cap j
+     *                (predicted or oracle throughput); j indexes
+     *                the grid caps
+     * @param budget  computing power budget B_s (W); must admit at
+     *                least every server at p0
+     */
+    KnapsackResult allocate(
+        const std::vector<std::vector<double>> &values,
+        double budget) const;
+
+    const CapGrid &grid() const { return grid_; }
+
+  private:
+    CapGrid grid_;
+};
+
+} // namespace dpc
+
+#endif // DPC_ALLOC_KNAPSACK_HH

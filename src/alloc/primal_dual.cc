@@ -1,0 +1,123 @@
+#include "alloc/primal_dual.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "alloc/centralized.hh"
+#include "metrics/performance.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+
+AllocationResult
+PrimalDualAllocator::allocate(const AllocationProblem &prob)
+{
+    prob.validate();
+    const std::size_t n = prob.size();
+    trace_.clear();
+
+    auto respond = [&](double lambda, std::vector<double> &p) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = prob.utilities[i]->bestResponse(lambda);
+            total += p[i];
+        }
+        return total;
+    };
+
+    AllocationResult res;
+    res.power.assign(n, 0.0);
+
+    double lambda = 0.0;
+    double total = respond(lambda, res.power);
+    trace_.push_back(totalUtility(
+        prob.utilities, projectToFeasible(prob, res.power)));
+    res.iterations = 1;
+
+    if (total <= prob.budget) {
+        // Budget slack: the price stays at zero and everyone keeps
+        // the unconstrained peak.
+        res.utility = totalUtility(prob.utilities, res.power);
+        res.converged = true;
+        return res;
+    }
+
+    // Initial step from the aggregate price-response slope over
+    // the whole useful price range (a microscopic probe would see
+    // only the box-clamped, flat response), damped by cfg_.step;
+    // afterwards a secant estimate keeps the fixed-point iteration
+    // well conditioned across problem scales.
+    double lambda_probe = 0.0;
+    for (const auto &u : prob.utilities) {
+        lambda_probe = std::max(
+            lambda_probe, u->derivative(u->minPower()));
+    }
+    lambda_probe = std::max(lambda_probe, 1e-9);
+    std::vector<double> scratch(n);
+    const double slope0 =
+        (respond(lambda_probe, scratch) - total) / lambda_probe;
+    double step = cfg_.step / std::max(-slope0, 1e-9);
+
+    double prev_lambda = lambda;
+    double prev_violation = total - prob.budget;
+    // Price bracket: violation > 0 means lambda is too low.
+    double lambda_lo = 0.0;
+    double lambda_hi = -1.0; // unknown until first overshoot
+    // |violation| two updates ago, for stall detection.
+    double stall_ref = std::fabs(prev_violation);
+
+    for (std::size_t it = 1; it < cfg_.max_iterations; ++it) {
+        // Eq. 4.5 with the violation written as sum(p) - P.  The
+        // fixed-step subgradient rule stalls on the flat, box-
+        // clipped regions of the aggregate response, so the price
+        // falls back to bisection of the known bracket whenever
+        // the candidate leaves it or the violation stops
+        // shrinking.
+        double candidate =
+            std::max(0.0, lambda + step * prev_violation);
+        const bool bracketed = lambda_hi > 0.0;
+        if (bracketed &&
+            (candidate <= lambda_lo || candidate >= lambda_hi ||
+             std::fabs(prev_violation) >= 0.7 * stall_ref))
+            candidate = 0.5 * (lambda_lo + lambda_hi);
+        lambda = candidate;
+        total = respond(lambda, res.power);
+        const double violation = total - prob.budget;
+        stall_ref = std::fabs(prev_violation);
+        if (violation > 0.0)
+            lambda_lo = std::max(lambda_lo, lambda);
+        else
+            lambda_hi = lambda_hi < 0.0
+                            ? lambda
+                            : std::min(lambda_hi, lambda);
+        res.iterations = it + 1;
+        trace_.push_back(totalUtility(
+            prob.utilities, projectToFeasible(prob, res.power)));
+
+        const double rel = std::fabs(violation) / prob.budget;
+        if (rel < cfg_.tolerance ||
+            (lambda == 0.0 && violation <= 0.0) ||
+            (lambda_hi > 0.0 &&
+             lambda_hi - lambda_lo <
+                 cfg_.tolerance * std::max(lambda_hi, 1e-12))) {
+            res.converged = true;
+            break;
+        }
+
+        // Secant slope update.
+        const double dl = lambda - prev_lambda;
+        const double dv = violation - prev_violation;
+        if (dl != 0.0 && dv / dl < -1e-12)
+            step = cfg_.step / (-dv / dl);
+        prev_lambda = lambda;
+        prev_violation = violation;
+    }
+
+    // Report the feasible (projected) primal point.
+    res.power = projectToFeasible(prob, std::move(res.power));
+    res.utility = totalUtility(prob.utilities, res.power);
+    return res;
+}
+
+} // namespace dpc

@@ -1,0 +1,65 @@
+#include "alloc/problem.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+
+double
+AllocationProblem::minTotalPower() const
+{
+    double acc = 0.0;
+    for (const auto &u : utilities)
+        acc += u->minPower();
+    return acc;
+}
+
+double
+AllocationProblem::maxTotalPower() const
+{
+    double acc = 0.0;
+    for (const auto &u : utilities)
+        acc += u->maxPower();
+    return acc;
+}
+
+bool
+AllocationProblem::isFeasible() const
+{
+    return minTotalPower() <= budget;
+}
+
+void
+AllocationProblem::validate() const
+{
+    DPC_ASSERT(!utilities.empty(), "problem with no servers");
+    for (const auto &u : utilities)
+        DPC_ASSERT(u != nullptr, "null utility in problem");
+    DPC_ASSERT(budget > 0.0, "non-positive budget");
+    DPC_ASSERT(isFeasible(), "infeasible: sum p_min = ",
+               minTotalPower(), " > budget = ", budget);
+}
+
+double
+AllocationResult::totalPower() const
+{
+    return sum(power);
+}
+
+std::vector<double>
+uniformStart(const AllocationProblem &prob, double slack_frac)
+{
+    DPC_ASSERT(slack_frac >= 0.0 && slack_frac < 1.0,
+               "slack fraction out of range");
+    const double n = static_cast<double>(prob.size());
+    const double target = (1.0 - slack_frac) * prob.budget / n;
+    std::vector<double> p;
+    p.reserve(prob.size());
+    for (const auto &u : prob.utilities)
+        p.push_back(u->clampPower(target));
+    return p;
+}
+
+} // namespace dpc

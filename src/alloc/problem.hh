@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The cluster power-budgeting problem (Eqs. 4.1-4.3) and the common
+ * allocator interface:
+ *
+ *   maximize   sum_i r_i(p_i)
+ *   subject to sum_i p_i <= P
+ *              p_i in [p_i_min, p_i_max]
+ *
+ * with concave per-server utilities r_i.
+ */
+
+#ifndef DPC_ALLOC_PROBLEM_HH
+#define DPC_ALLOC_PROBLEM_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/utility.hh"
+
+namespace dpc {
+
+/** One instance of the budget-allocation problem. */
+struct AllocationProblem
+{
+    /** Per-server utility functions (box embedded in each). */
+    std::vector<UtilityPtr> utilities;
+
+    /** Total cluster power budget P (W). */
+    double budget = 0.0;
+
+    /** Number of servers. */
+    std::size_t size() const { return utilities.size(); }
+
+    /** Sum of per-server minimum powers. */
+    double minTotalPower() const;
+
+    /** Sum of per-server maximum powers. */
+    double maxTotalPower() const;
+
+    /** True when sum p_min <= budget (the problem has a solution). */
+    bool isFeasible() const;
+
+    /** Panics unless the problem is well formed and feasible. */
+    void validate() const;
+};
+
+/** Outcome of one allocator run. */
+struct AllocationResult
+{
+    /** Power cap per server. */
+    std::vector<double> power;
+
+    /** Iterations (algorithm rounds) executed. */
+    std::size_t iterations = 0;
+
+    /** Achieved total utility sum_i r_i(p_i). */
+    double utility = 0.0;
+
+    /** Whether the algorithm's own stopping rule was met. */
+    bool converged = false;
+
+    /** Sum of the allocated powers. */
+    double totalPower() const;
+};
+
+/** Common interface of every power-budgeting algorithm. */
+class Allocator
+{
+  public:
+    virtual ~Allocator() = default;
+
+    /** Solve one problem instance from a cold start. */
+    virtual AllocationResult
+    allocate(const AllocationProblem &prob) = 0;
+
+    /** Human-readable scheme name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Uniform warm start used by all iterative schemes: every server
+ * receives min(budget/n, p_max) clamped into its box, then the
+ * vector is scaled back if the box clamps pushed it over budget.
+ * The returned point is strictly feasible whenever slack_frac > 0
+ * (total power <= (1 - slack_frac) * budget, box permitting).
+ */
+std::vector<double> uniformStart(const AllocationProblem &prob,
+                                 double slack_frac = 0.0);
+
+} // namespace dpc
+
+#endif // DPC_ALLOC_PROBLEM_HH

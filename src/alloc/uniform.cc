@@ -1,0 +1,19 @@
+#include "alloc/uniform.hh"
+
+#include "metrics/performance.hh"
+
+namespace dpc {
+
+AllocationResult
+UniformAllocator::allocate(const AllocationProblem &prob)
+{
+    prob.validate();
+    AllocationResult res;
+    res.power = uniformStart(prob);
+    res.iterations = 1;
+    res.utility = totalUtility(prob.utilities, res.power);
+    res.converged = true;
+    return res;
+}
+
+} // namespace dpc

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The uniform power-budgeting baseline: the total budget is divided
+ * equally among the servers irrespective of their workloads (the
+ * "uniform" comparison point in Figs. 3.12 and 4.3).
+ */
+
+#ifndef DPC_ALLOC_UNIFORM_HH
+#define DPC_ALLOC_UNIFORM_HH
+
+#include "alloc/problem.hh"
+
+namespace dpc {
+
+/** Equal-share allocator. */
+class UniformAllocator : public Allocator
+{
+  public:
+    AllocationResult allocate(const AllocationProblem &prob) override;
+
+    std::string name() const override { return "uniform"; }
+};
+
+} // namespace dpc
+
+#endif // DPC_ALLOC_UNIFORM_HH

@@ -1,0 +1,166 @@
+#include "cluster/sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/performance.hh"
+#include "util/logging.hh"
+
+namespace dpc {
+
+namespace {
+
+/**
+ * Power model matching the benchmark utility boxes: full-activity
+ * power spans 120 W at the lowest p-state to 220 W at the highest.
+ * A 16-step ladder keeps the quantization loss of enforcing a
+ * continuous cap with discrete DVFS states small (real RAPL
+ * controllers additionally duty-cycle between states).
+ */
+ServerPowerModel
+makeReferencePowerModel()
+{
+    auto ladder = defaultPStateLadder(16);
+    const double s0 = ladder.front().dyn_scale;
+    const double dyn = (220.0 - 120.0) / (1.0 - s0);
+    const double idle = 220.0 - dyn;
+    return ServerPowerModel(idle, dyn, std::move(ladder));
+}
+
+} // namespace
+
+ClusterSim::ClusterSim(ClusterAssignment assignment, Graph topology,
+                       double initial_budget,
+                       DibaAllocator::Config diba_cfg,
+                       ClusterSimConfig cfg)
+    : assignment_(std::move(assignment)), cfg_(cfg),
+      budget_(initial_budget),
+      schedule_([initial_budget](double) { return initial_budget; }),
+      diba_(std::move(topology), diba_cfg),
+      power_model_(makeReferencePowerModel()),
+      meter_(cfg.meter_noise_frac, cfg.seed ^ 0xabcdef),
+      rng_(cfg.seed)
+{
+    DPC_ASSERT(!assignment_.empty(), "empty cluster");
+    names_.reserve(assignment_.size());
+    for (const auto &w : assignment_)
+        names_.push_back(w.name);
+
+    AllocationProblem prob{utilitiesOf(assignment_), budget_};
+    diba_.reset(prob);
+
+    controllers_.reserve(assignment_.size());
+    for (std::size_t i = 0; i < assignment_.size(); ++i) {
+        PowerCapController::Config cc;
+        cc.initial_pstate = 0;
+        controllers_.emplace_back(power_model_, cc);
+    }
+
+    job_ends_.assign(assignment_.size(), 0.0);
+    if (cfg_.mean_job_s > 0.0) {
+        for (double &end : job_ends_)
+            end = drawJobDuration(cfg_.mean_job_s, rng_);
+    }
+}
+
+void
+ClusterSim::setBudgetSchedule(std::function<double(double)> schedule)
+{
+    DPC_ASSERT(schedule != nullptr, "null budget schedule");
+    schedule_ = std::move(schedule);
+}
+
+void
+ClusterSim::setCapObserver(
+    std::function<void(double, const std::vector<double> &)>
+        observer)
+{
+    observer_ = std::move(observer);
+}
+
+void
+ClusterSim::maybeChurn(double t)
+{
+    if (cfg_.mean_job_s <= 0.0)
+        return;
+    const auto &suite = npbHpccBenchmarks();
+    for (std::size_t i = 0; i < assignment_.size(); ++i) {
+        if (job_ends_[i] > t)
+            continue;
+        const auto &b = rng_.choice(suite);
+        assignment_[i] = {b.name, b.llc, b.utilityPtr()};
+        names_[i] = b.name;
+        diba_.setUtility(i, assignment_[i].utility);
+        job_ends_[i] = t + drawJobDuration(cfg_.mean_job_s, rng_);
+    }
+}
+
+std::vector<double>
+ClusterSim::computeCaps()
+{
+    if (cfg_.policy == SimPolicy::Diba) {
+        for (std::size_t r = 0; r < cfg_.diba_rounds_per_step; ++r)
+            diba_.iterate();
+        return diba_.power();
+    }
+    // Uniform baseline: equal share clamped into every box.
+    const double share =
+        budget_ / static_cast<double>(assignment_.size());
+    std::vector<double> caps;
+    caps.reserve(assignment_.size());
+    for (const auto &w : assignment_)
+        caps.push_back(w.utility->clampPower(share));
+    return caps;
+}
+
+std::vector<ClusterSample>
+ClusterSim::run(double duration_s)
+{
+    DPC_ASSERT(duration_s > 0.0 && cfg_.dt_s > 0.0,
+               "bad simulation horizon");
+    const auto steps =
+        static_cast<std::size_t>(std::ceil(duration_s / cfg_.dt_s));
+    std::vector<ClusterSample> out;
+    out.reserve(steps);
+
+    for (std::size_t s = 0; s < steps; ++s) {
+        const double t = static_cast<double>(s) * cfg_.dt_s;
+
+        const double b = schedule_(t);
+        if (b != budget_) {
+            budget_ = b;
+            diba_.setBudget(b);
+        }
+        maybeChurn(t);
+
+        const auto caps = computeCaps();
+
+        ClusterSample sample;
+        sample.t = t;
+        sample.budget = budget_;
+        std::vector<double> anps;
+        anps.reserve(assignment_.size());
+        for (std::size_t i = 0; i < assignment_.size(); ++i) {
+            auto &ctl = controllers_[i];
+            ctl.setCap(caps[i]);
+            const double drawn =
+                power_model_.power(ctl.pstate(), 1.0);
+            const double measured = meter_.read(drawn);
+            ctl.engage(measured, 1.0);
+            const double now =
+                power_model_.power(ctl.pstate(), 1.0);
+            sample.allocated_power += caps[i];
+            sample.consumed_power += now;
+            const UtilityFunction &u = *assignment_[i].utility;
+            const double operating = std::min(now, caps[i]);
+            anps.push_back(anp(u, operating));
+        }
+        sample.snp = snpArithmetic(anps);
+        out.push_back(sample);
+        if (observer_)
+            observer_(t, caps);
+    }
+    return out;
+}
+
+} // namespace dpc

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Dynamic cluster simulator (the evaluation vehicle of Figs.
+ * 4.4-4.7 and 3.14-3.15).
+ *
+ * Time advances in fixed control steps.  Each step:
+ *   1. the total budget is read from the schedule (demand-response
+ *      signal); budget changes are announced to the allocator;
+ *   2. finished jobs are replaced by fresh draws from the benchmark
+ *      pool (workload churn, Fig. 4.7);
+ *   3. the budgeting algorithm runs for the number of rounds that
+ *      fit in the step (DiBA converges in milliseconds, so a
+ *      one-second step is ample);
+ *   4. the per-server RAPL-style cap controllers engage against the
+ *      new caps, and the electrical power actually drawn at the
+ *      selected p-states is metered (with noise);
+ *   5. SNP / power samples are recorded.
+ */
+
+#ifndef DPC_CLUSTER_SIM_HH
+#define DPC_CLUSTER_SIM_HH
+
+#include <functional>
+#include <vector>
+
+#include "alloc/diba.hh"
+#include "power/controller.hh"
+#include "power/server_model.hh"
+#include "workload/generator.hh"
+
+namespace dpc {
+
+/** Budgeting policy driving the caps. */
+enum class SimPolicy
+{
+    Diba,   ///< decentralized allocation (the paper's scheme)
+    Uniform ///< equal share baseline
+};
+
+/** Simulator configuration. */
+struct ClusterSimConfig
+{
+    /** Control step (s); also the cap-controller engagement. */
+    double dt_s = 1.0;
+    /** DiBA rounds executed per control step. */
+    std::size_t diba_rounds_per_step = 60;
+    /** Power meter noise fraction. */
+    double meter_noise_frac = 0.01;
+    /** Mean job duration for churn (s); 0 disables churn. */
+    double mean_job_s = 0.0;
+    /** RNG seed for churn and metering. */
+    std::uint64_t seed = 42;
+    SimPolicy policy = SimPolicy::Diba;
+};
+
+/** One recorded time step. */
+struct ClusterSample
+{
+    double t = 0.0;              ///< time (s)
+    double budget = 0.0;         ///< total budget in force (W)
+    double allocated_power = 0.0;///< sum of caps set (W)
+    double consumed_power = 0.0; ///< metered electrical power (W)
+    double snp = 0.0;            ///< arithmetic-mean SNP
+};
+
+/** The cluster-in-the-loop simulator. */
+class ClusterSim
+{
+  public:
+    /**
+     * @param assignment  initial per-server workloads
+     * @param topology    DiBA communication overlay (one vertex per
+     *                    server)
+     * @param initial_budget  budget before the schedule kicks in
+     * @param diba_cfg    DiBA parameters
+     * @param cfg         simulator parameters
+     */
+    ClusterSim(ClusterAssignment assignment, Graph topology,
+               double initial_budget,
+               DibaAllocator::Config diba_cfg = {},
+               ClusterSimConfig cfg = {});
+
+    /** Total budget as a function of time (defaults to constant). */
+    void setBudgetSchedule(std::function<double(double)> schedule);
+
+    /** Observe the cap vector after every control step. */
+    void setCapObserver(
+        std::function<void(double, const std::vector<double> &)>
+            observer);
+
+    /** Run for the given duration; returns one sample per step. */
+    std::vector<ClusterSample> run(double duration_s);
+
+    /** The decentralized allocator state (for tests). */
+    const DibaAllocator &diba() const { return diba_; }
+
+    /** Current workload names per server. */
+    const std::vector<std::string> &workloadNames() const
+    {
+        return names_;
+    }
+
+  private:
+    void maybeChurn(double t);
+    std::vector<double> computeCaps();
+
+    ClusterAssignment assignment_;
+    std::vector<std::string> names_;
+    ClusterSimConfig cfg_;
+    double budget_;
+    std::function<double(double)> schedule_;
+    std::function<void(double, const std::vector<double> &)>
+        observer_;
+
+    DibaAllocator diba_;
+    ServerPowerModel power_model_;
+    std::vector<PowerCapController> controllers_;
+    PowerMeter meter_;
+    Rng rng_;
+    std::vector<double> job_ends_;
+};
+
+} // namespace dpc
+
+#endif // DPC_CLUSTER_SIM_HH

@@ -1,0 +1,119 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+Graph::Graph(std::size_t n)
+    : adj_(n)
+{
+}
+
+bool
+Graph::addEdge(std::size_t u, std::size_t v)
+{
+    DPC_ASSERT(u < adj_.size() && v < adj_.size(),
+               "edge endpoint out of range");
+    if (u == v || hasEdge(u, v))
+        return false;
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    ++num_edges_;
+    return true;
+}
+
+bool
+Graph::hasEdge(std::size_t u, std::size_t v) const
+{
+    DPC_ASSERT(u < adj_.size() && v < adj_.size(),
+               "edge endpoint out of range");
+    const auto &smaller =
+        adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+    const std::size_t other = adj_[u].size() <= adj_[v].size() ? v : u;
+    return std::find(smaller.begin(), smaller.end(), other) !=
+           smaller.end();
+}
+
+const std::vector<std::size_t> &
+Graph::neighbors(std::size_t v) const
+{
+    DPC_ASSERT(v < adj_.size(), "vertex out of range");
+    return adj_[v];
+}
+
+std::size_t
+Graph::degree(std::size_t v) const
+{
+    return neighbors(v).size();
+}
+
+double
+Graph::averageDegree() const
+{
+    if (adj_.empty())
+        return 0.0;
+    return 2.0 * static_cast<double>(num_edges_) /
+           static_cast<double>(adj_.size());
+}
+
+std::size_t
+Graph::maxDegree() const
+{
+    std::size_t best = 0;
+    for (const auto &nbrs : adj_)
+        best = std::max(best, nbrs.size());
+    return best;
+}
+
+bool
+Graph::isConnected() const
+{
+    if (adj_.empty())
+        return true;
+    const auto dist = bfsDistances(0);
+    const std::size_t unreachable = adj_.size();
+    for (std::size_t d : dist)
+        if (d == unreachable)
+            return false;
+    return true;
+}
+
+std::vector<std::size_t>
+Graph::bfsDistances(std::size_t source) const
+{
+    DPC_ASSERT(source < adj_.size(), "BFS source out of range");
+    const std::size_t unreachable = adj_.size();
+    std::vector<std::size_t> dist(adj_.size(), unreachable);
+    std::queue<std::size_t> frontier;
+    dist[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const std::size_t v = frontier.front();
+        frontier.pop();
+        for (std::size_t w : adj_[v]) {
+            if (dist[w] == unreachable) {
+                dist[w] = dist[v] + 1;
+                frontier.push(w);
+            }
+        }
+    }
+    return dist;
+}
+
+std::size_t
+Graph::diameter() const
+{
+    DPC_ASSERT(isConnected(), "diameter of a disconnected graph");
+    std::size_t best = 0;
+    for (std::size_t v = 0; v < adj_.size(); ++v) {
+        const auto dist = bfsDistances(v);
+        for (std::size_t d : dist)
+            best = std::max(best, d);
+    }
+    return best;
+}
+
+} // namespace dpc

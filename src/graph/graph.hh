@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Undirected graph used as the communication overlay of the
+ * decentralized power-capping algorithms (ring, chordal ring,
+ * Erdos-Renyi, star, two-tier cluster fabric).  Adjacency-list
+ * representation with the structural queries the algorithms and the
+ * evaluation need: degrees, connectivity, BFS distances.
+ */
+
+#ifndef DPC_GRAPH_GRAPH_HH
+#define DPC_GRAPH_GRAPH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dpc {
+
+/** Simple undirected graph over vertices 0..n-1. */
+class Graph
+{
+  public:
+    /** Empty graph with n isolated vertices. */
+    explicit Graph(std::size_t n = 0);
+
+    /** Number of vertices. */
+    std::size_t numVertices() const { return adj_.size(); }
+
+    /** Number of undirected edges. */
+    std::size_t numEdges() const { return num_edges_; }
+
+    /**
+     * Add the undirected edge {u, v}.  Self-loops and duplicate
+     * edges are rejected (returns false).
+     */
+    bool addEdge(std::size_t u, std::size_t v);
+
+    /** True if {u, v} is an edge. */
+    bool hasEdge(std::size_t u, std::size_t v) const;
+
+    /** Neighbours of v, in insertion order. */
+    const std::vector<std::size_t> &neighbors(std::size_t v) const;
+
+    /** Degree of v. */
+    std::size_t degree(std::size_t v) const;
+
+    /** Mean degree over all vertices (0 for the empty graph). */
+    double averageDegree() const;
+
+    /** Largest degree (0 for the empty graph). */
+    std::size_t maxDegree() const;
+
+    /** True if every vertex is reachable from vertex 0. */
+    bool isConnected() const;
+
+    /**
+     * BFS hop distances from the source; unreachable vertices get
+     * numVertices() as a sentinel.
+     */
+    std::vector<std::size_t> bfsDistances(std::size_t source) const;
+
+    /**
+     * Graph diameter (max finite BFS distance over all pairs);
+     * requires a connected graph.
+     */
+    std::size_t diameter() const;
+
+  private:
+    std::vector<std::vector<std::size_t>> adj_;
+    std::size_t num_edges_ = 0;
+};
+
+} // namespace dpc
+
+#endif // DPC_GRAPH_GRAPH_HH

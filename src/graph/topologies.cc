@@ -1,0 +1,110 @@
+#include "graph/topologies.hh"
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+Graph
+makeRing(std::size_t n)
+{
+    DPC_ASSERT(n >= 3, "ring needs at least 3 vertices");
+    Graph g(n);
+    for (std::size_t v = 0; v < n; ++v)
+        g.addEdge(v, (v + 1) % n);
+    return g;
+}
+
+Graph
+makeChordalRing(std::size_t n, std::size_t chords, Rng &rng)
+{
+    Graph g = makeRing(n);
+    const std::size_t max_extra = n * (n - 1) / 2 - n;
+    DPC_ASSERT(chords <= max_extra, "too many chords requested");
+    std::size_t added = 0;
+    while (added < chords) {
+        const std::size_t u = rng.index(n);
+        const std::size_t v = rng.index(n);
+        if (g.addEdge(u, v))
+            ++added;
+    }
+    return g;
+}
+
+Graph
+makeStar(std::size_t n)
+{
+    DPC_ASSERT(n >= 2, "star needs at least 2 vertices");
+    Graph g(n);
+    for (std::size_t v = 1; v < n; ++v)
+        g.addEdge(0, v);
+    return g;
+}
+
+Graph
+makeConnectedErdosRenyi(std::size_t n, std::size_t m, Rng &rng)
+{
+    DPC_ASSERT(m >= n - 1, "too few edges for a connected graph");
+    DPC_ASSERT(m <= n * (n - 1) / 2, "more edges than pairs");
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+        Graph g(n);
+        while (g.numEdges() < m) {
+            const std::size_t u = rng.index(n);
+            const std::size_t v = rng.index(n);
+            g.addEdge(u, v);
+        }
+        if (g.isConnected())
+            return g;
+    }
+    fatal("could not sample a connected G(", n, ",", m,
+          ") graph; edge count too sparse");
+}
+
+Graph
+makeRandomConnectedGraph(std::size_t n, std::size_t m, Rng &rng)
+{
+    DPC_ASSERT(n >= 2, "need at least two vertices");
+    DPC_ASSERT(m >= n - 1, "too few edges for a connected graph");
+    DPC_ASSERT(m <= n * (n - 1) / 2, "more edges than pairs");
+    Graph g(n);
+    // Random spanning tree: attach each new vertex (in shuffled
+    // order) to a uniformly random already-attached vertex.
+    std::vector<std::size_t> order(n);
+    for (std::size_t v = 0; v < n; ++v)
+        order[v] = v;
+    rng.shuffle(order);
+    for (std::size_t k = 1; k < n; ++k)
+        g.addEdge(order[k], order[rng.index(k)]);
+    while (g.numEdges() < m) {
+        const std::size_t u = rng.index(n);
+        const std::size_t v = rng.index(n);
+        g.addEdge(u, v);
+    }
+    return g;
+}
+
+Graph
+makeTwoTierFabric(std::size_t n, std::size_t rack_size)
+{
+    DPC_ASSERT(n >= 1 && rack_size >= 1, "bad fabric dimensions");
+    const std::size_t racks = (n + rack_size - 1) / rack_size;
+    // Vertices: [0, n) servers, [n, n + racks) ToR, n + racks core.
+    Graph g(n + racks + 1);
+    const std::size_t core = n + racks;
+    for (std::size_t s = 0; s < n; ++s)
+        g.addEdge(s, n + s / rack_size);
+    for (std::size_t r = 0; r < racks; ++r)
+        g.addEdge(n + r, core);
+    return g;
+}
+
+Graph
+makeComplete(std::size_t n)
+{
+    Graph g(n);
+    for (std::size_t u = 0; u < n; ++u)
+        for (std::size_t v = u + 1; v < n; ++v)
+            g.addEdge(u, v);
+    return g;
+}
+
+} // namespace dpc

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generators for the communication topologies evaluated in the paper:
+ * the ring used by DiBA (Fig. 4.1 right), the coordinator star of the
+ * primal-dual / centralized schemes (Fig. 4.1 left), chord-augmented
+ * rings for fault tolerance, connected Erdos-Renyi random graphs
+ * (Fig. 4.10), and the two-tier rack/core physical fabric the
+ * network model rides on.
+ */
+
+#ifndef DPC_GRAPH_TOPOLOGIES_HH
+#define DPC_GRAPH_TOPOLOGIES_HH
+
+#include <cstddef>
+
+#include "graph/graph.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+
+/** Cycle over n >= 3 vertices; each vertex has degree 2. */
+Graph makeRing(std::size_t n);
+
+/**
+ * Ring plus `chords` random non-adjacent chords, the fault-tolerant
+ * variant the paper recommends ("the ring topology must be equipped
+ * with a few chords").
+ */
+Graph makeChordalRing(std::size_t n, std::size_t chords, Rng &rng);
+
+/** Star with vertex 0 as the hub (central coordinator). */
+Graph makeStar(std::size_t n);
+
+/**
+ * Erdos-Renyi G(n, m) graph conditioned on connectivity: sample m
+ * distinct edges uniformly, retrying whole graphs until connected.
+ * Matches the evaluation protocol of Fig. 4.10 ("100 instances of
+ * connected Erdos-Renyi random graphs").
+ */
+Graph makeConnectedErdosRenyi(std::size_t n, std::size_t m, Rng &rng);
+
+/**
+ * Connected random graph with exactly m >= n-1 edges: a uniform
+ * random spanning tree (random-attachment construction) plus
+ * m - (n-1) uniformly random extra edges.  Below average degree
+ * ~ln(n) a G(n, m) sample is essentially never connected, so the
+ * Fig. 4.10 sweep uses this generator for its sparse end.
+ */
+Graph makeRandomConnectedGraph(std::size_t n, std::size_t m,
+                               Rng &rng);
+
+/**
+ * Two-tier cluster fabric: servers grouped into racks of
+ * `rack_size`, each rack wired to a top-of-rack switch vertex and
+ * all ToR switches wired to one core switch vertex.  Server
+ * vertices are 0..n-1; switch vertices follow.
+ */
+Graph makeTwoTierFabric(std::size_t n, std::size_t rack_size);
+
+/** Complete graph over n vertices (used in tests as a limit case). */
+Graph makeComplete(std::size_t n);
+
+} // namespace dpc
+
+#endif // DPC_GRAPH_TOPOLOGIES_HH

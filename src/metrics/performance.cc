@@ -1,0 +1,100 @@
+#include "metrics/performance.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+
+double
+anp(const UtilityFunction &u, double p)
+{
+    const double peak = u.peakValue();
+    DPC_ASSERT(peak > 0.0, "utility peak must be positive");
+    return u.value(p) / peak;
+}
+
+std::vector<double>
+anpVector(const std::vector<UtilityPtr> &us,
+          const std::vector<double> &power)
+{
+    DPC_ASSERT(us.size() == power.size(),
+               "utilities/power size mismatch");
+    std::vector<double> out;
+    out.reserve(us.size());
+    for (std::size_t i = 0; i < us.size(); ++i)
+        out.push_back(anp(*us[i], power[i]));
+    return out;
+}
+
+double
+snpArithmetic(const std::vector<double> &anps)
+{
+    return mean(anps);
+}
+
+double
+snpGeometric(const std::vector<double> &anps)
+{
+    return geomean(anps);
+}
+
+double
+slowdownNorm(const std::vector<double> &anps)
+{
+    DPC_ASSERT(!anps.empty(), "slowdown of empty vector");
+    double acc = 0.0;
+    for (double a : anps) {
+        DPC_ASSERT(a > 0.0, "ANP must be positive for slowdown");
+        acc += 1.0 / a;
+    }
+    return acc / static_cast<double>(anps.size());
+}
+
+double
+unfairness(const std::vector<double> &anps)
+{
+    return coefficientOfVariation(anps);
+}
+
+double
+totalUtility(const std::vector<UtilityPtr> &us,
+             const std::vector<double> &power)
+{
+    DPC_ASSERT(us.size() == power.size(),
+               "utilities/power size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < us.size(); ++i)
+        acc += us[i]->value(power[i]);
+    return acc;
+}
+
+PerformanceReport
+evaluateAllocation(const std::vector<UtilityPtr> &us,
+                   const std::vector<double> &power)
+{
+    PerformanceReport rep;
+    const auto anps = anpVector(us, power);
+    rep.snp_arith = snpArithmetic(anps);
+    rep.snp_geo = snpGeometric(anps);
+    rep.slowdown = slowdownNorm(anps);
+    rep.unfair = unfairness(anps);
+    rep.utility = totalUtility(us, power);
+    rep.total_power = sum(power);
+    return rep;
+}
+
+bool
+withinFractionOfOptimal(double achieved, double optimal,
+                        double fraction)
+{
+    DPC_ASSERT(fraction > 0.0 && fraction <= 1.0,
+               "fraction must be in (0, 1]");
+    if (optimal == 0.0)
+        return achieved == 0.0;
+    return std::fabs(optimal - achieved) / std::fabs(optimal) <
+           1.0 - fraction;
+}
+
+} // namespace dpc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cluster performance metrics (Sections 2.2 and 4.4.1):
+ *
+ *  - ANP_i(p_i) = r_i(p_i) / r_i^max, the application normalized
+ *    performance of server i under its power cap;
+ *  - SNP, the system normalized performance: Ch.4 uses the
+ *    arithmetic mean of the ANPs, Ch.3 the geometric mean; both are
+ *    provided;
+ *  - slowdown norm: mean of 1/ANP_i;
+ *  - unfairness: coefficient of variation of the ANPs;
+ *  - the 99%-of-optimal convergence criterion of Eq. 4.11.
+ */
+
+#ifndef DPC_METRICS_PERFORMANCE_HH
+#define DPC_METRICS_PERFORMANCE_HH
+
+#include <vector>
+
+#include "model/utility.hh"
+
+namespace dpc {
+
+/** ANP of one server at power cap p. */
+double anp(const UtilityFunction &u, double p);
+
+/** ANPs of a whole allocation (vectors must align). */
+std::vector<double> anpVector(const std::vector<UtilityPtr> &us,
+                              const std::vector<double> &power);
+
+/** SNP as the arithmetic mean of ANPs (Ch.4 definition). */
+double snpArithmetic(const std::vector<double> &anps);
+
+/** SNP as the geometric mean of ANPs (Ch.3 definition). */
+double snpGeometric(const std::vector<double> &anps);
+
+/** Slowdown norm: mean of 1/ANP (requires positive ANPs). */
+double slowdownNorm(const std::vector<double> &anps);
+
+/** Unfairness: coefficient of variation of the ANPs. */
+double unfairness(const std::vector<double> &anps);
+
+/** Total utility sum_i r_i(p_i). */
+double totalUtility(const std::vector<UtilityPtr> &us,
+                    const std::vector<double> &power);
+
+/** Aggregate report for an allocation. */
+struct PerformanceReport
+{
+    double snp_arith = 0.0;
+    double snp_geo = 0.0;
+    double slowdown = 0.0;
+    double unfair = 0.0;
+    double utility = 0.0;
+    double total_power = 0.0;
+};
+
+/** Evaluate an allocation against its utilities. */
+PerformanceReport evaluateAllocation(const std::vector<UtilityPtr> &us,
+                                     const std::vector<double> &power);
+
+/**
+ * Eq. 4.11: |optimal - achieved| / |optimal| < (1 - fraction), e.g.
+ * fraction = 0.99 for the paper's convergence criterion.
+ */
+bool withinFractionOfOptimal(double achieved, double optimal,
+                             double fraction);
+
+} // namespace dpc
+
+#endif // DPC_METRICS_PERFORMANCE_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Runtime throughput predictors (Ch. 3.2.2, Table 3.2).
+ *
+ * During operation the budgeter only sees each server at its current
+ * power cap: the measured throughput tau(p_hat), the cap p_hat, and
+ * the LLC miss rate from the performance counters.  A predictor is
+ * trained offline on full characterization curves and, given one
+ * runtime observation, estimates the whole throughput-vs-power-cap
+ * curve.  Six model families are implemented, mirroring Table 3.2:
+ *
+ *   quadratic-LLC+TP   Eq. 3.7/3.8 (proposed; quadratic with
+ *                      parameters from throughput/Watt and exp(LLC))
+ *   linear-LLC+TP      linear-in-power model from IPC/LLC [66]
+ *   linear-TP          linear model from throughput/Watt only
+ *   exponential-LLC    parameters from LLC only (no TP anchoring)
+ *   previous-cubic     one fixed global cubic shape [27]
+ *   previous-linear    one fixed global linear shape [64, 27]
+ */
+
+#ifndef DPC_MODEL_PREDICTORS_HH
+#define DPC_MODEL_PREDICTORS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace dpc {
+
+/** Offline characterization of one workload set: a full curve. */
+struct CharacterizationCurve
+{
+    /** Normalized LLC misses per kilo-instruction in [0, 1]. */
+    double llc = 0.0;
+    /** Power caps at which the curve was measured (ascending). */
+    std::vector<double> caps;
+    /** Measured throughput at each cap. */
+    std::vector<double> taus;
+};
+
+/** What the runtime system observes about one server. */
+struct ServerObservation
+{
+    /** Currently applied power cap \hat p. */
+    double cap = 0.0;
+    /** Measured throughput tau(\hat p). */
+    double throughput = 0.0;
+    /** Normalized LLC miss rate. */
+    double llc = 0.0;
+};
+
+/** A fitted predictor: throughput as a function of a candidate cap. */
+using PredictedCurve = std::function<double(double)>;
+
+/**
+ * Base class for the throughput-predictor families of Table 3.2.
+ */
+class ThroughputPredictor
+{
+  public:
+    virtual ~ThroughputPredictor() = default;
+
+    /** Fit model coefficients from offline characterization data. */
+    virtual void train(
+        const std::vector<CharacterizationCurve> &curves) = 0;
+
+    /** Predict the full curve from one runtime observation. */
+    virtual PredictedCurve predict(
+        const ServerObservation &obs) const = 0;
+
+    /** Table 3.2 row label. */
+    virtual std::string name() const = 0;
+};
+
+/** Factory for each family (names match Table 3.2 rows). */
+std::unique_ptr<ThroughputPredictor> makeQuadraticLlcTpPredictor();
+std::unique_ptr<ThroughputPredictor> makeLinearLlcTpPredictor();
+std::unique_ptr<ThroughputPredictor> makeLinearTpPredictor();
+std::unique_ptr<ThroughputPredictor> makeExponentialLlcPredictor();
+std::unique_ptr<ThroughputPredictor> makePreviousCubicPredictor();
+std::unique_ptr<ThroughputPredictor> makePreviousLinearPredictor();
+
+/** All six families in Table 3.2 order. */
+std::vector<std::unique_ptr<ThroughputPredictor>> makeAllPredictors();
+
+/**
+ * Synthetic characterization database standing in for the paper's
+ * SPEC CPU2006 / PARSEC measurement traces: LLC-driven curvature
+ * and scale with multiplicative measurement noise, sampled at the
+ * discrete caps 130, 135, ..., 165 W.
+ */
+std::vector<CharacterizationCurve>
+makeCharacterizationSet(std::size_t n, Rng &rng,
+                        double noise_frac = 0.005);
+
+/**
+ * Mean absolute relative prediction error of `pred` over every
+ * (observation cap, target cap) pair of the evaluation curves.
+ */
+double evaluatePredictor(const ThroughputPredictor &pred,
+                         const std::vector<CharacterizationCurve>
+                             &eval_curves);
+
+} // namespace dpc
+
+#endif // DPC_MODEL_PREDICTORS_HH

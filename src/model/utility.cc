@@ -1,0 +1,167 @@
+#include "model/utility.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/fit.hh"
+#include "util/logging.hh"
+
+namespace dpc {
+
+double
+UtilityFunction::clampPower(double p) const
+{
+    return std::clamp(p, minPower(), maxPower());
+}
+
+double
+UtilityFunction::bestResponse(double lambda) const
+{
+    // The objective value(p) - lambda p is concave, so its gradient
+    // derivative(p) - lambda is non-increasing; bisect for the root.
+    double lo = minPower();
+    double hi = maxPower();
+    if (derivative(lo) - lambda <= 0.0)
+        return lo;
+    if (derivative(hi) - lambda >= 0.0)
+        return hi;
+    for (int it = 0; it < 64; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (derivative(mid) - lambda > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+UtilityFunction::peakPower() const
+{
+    return bestResponse(0.0);
+}
+
+double
+UtilityFunction::peakValue() const
+{
+    return value(peakPower());
+}
+
+QuadraticUtility::QuadraticUtility(double a, double b, double c,
+                                   double p_min, double p_max)
+    : a_(a), b_(b), c_(c), p_min_(p_min), p_max_(p_max)
+{
+    DPC_ASSERT(p_min < p_max, "empty power box");
+    DPC_ASSERT(c <= 0.0, "quadratic utility must be concave (c=", c,
+               ")");
+}
+
+QuadraticUtility
+QuadraticUtility::fromShape(double r0, double kappa, double p_min,
+                            double p_max, double scale)
+{
+    DPC_ASSERT(r0 > 0.0 && r0 <= 1.0, "r0 must be in (0, 1]");
+    DPC_ASSERT(kappa >= 0.0 && kappa <= 1.0, "kappa must be in [0,1]");
+    DPC_ASSERT(scale > 0.0, "scale must be positive");
+    // Normalized form: with u = (p - p_min) / (p_max - p_min),
+    //   r(u) = r0 + (1 - r0) * ((1 + kappa) u - kappa u^2)
+    // giving r(0) = r0, r(1) = 1, slope at u=1 of (1-r0)(1-kappa).
+    const double span = p_max - p_min;
+    const double g = (1.0 - r0) * scale;
+    const double c = -g * kappa / (span * span);
+    const double b = g * (1.0 + kappa) / span - 2.0 * c * p_min;
+    const double a = r0 * scale - b * p_min - c * p_min * p_min;
+    return QuadraticUtility(a, b, c, p_min, p_max);
+}
+
+QuadraticUtility
+QuadraticUtility::fitSamples(const std::vector<double> &ps,
+                             const std::vector<double> &rs)
+{
+    DPC_ASSERT(ps.size() >= 3, "need >= 3 samples for a quadratic");
+    auto coeffs = polyfit(ps, rs, 2);
+    if (coeffs[2] > 0.0) {
+        // Unconstrained fit came out convex (noise on nearly linear
+        // data); fall back to the best linear fit, which is the
+        // constrained optimum on the boundary c = 0.
+        const auto lin = polyfit(ps, rs, 1);
+        coeffs = {lin[0], lin[1], 0.0};
+    }
+    const double p_min = *std::min_element(ps.begin(), ps.end());
+    const double p_max = *std::max_element(ps.begin(), ps.end());
+    return QuadraticUtility(coeffs[0], coeffs[1], coeffs[2], p_min,
+                            p_max);
+}
+
+double
+QuadraticUtility::value(double p) const
+{
+    const double x = clampPower(p);
+    return a_ + b_ * x + c_ * x * x;
+}
+
+double
+QuadraticUtility::derivative(double p) const
+{
+    const double x = clampPower(p);
+    return b_ + 2.0 * c_ * x;
+}
+
+double
+QuadraticUtility::bestResponse(double lambda) const
+{
+    if (c_ == 0.0)
+        return b_ >= lambda ? p_max_ : p_min_;
+    // Stationary point of a + b p + c p^2 - lambda p.
+    const double p_star = (lambda - b_) / (2.0 * c_);
+    return std::clamp(p_star, p_min_, p_max_);
+}
+
+PiecewiseLinearUtility::PiecewiseLinearUtility(
+    std::vector<double> powers, std::vector<double> throughputs)
+    : powers_(std::move(powers)), throughputs_(std::move(throughputs))
+{
+    DPC_ASSERT(powers_.size() == throughputs_.size(),
+               "sample vectors must align");
+    DPC_ASSERT(powers_.size() >= 2, "need at least two samples");
+    for (std::size_t i = 1; i < powers_.size(); ++i)
+        DPC_ASSERT(powers_[i] > powers_[i - 1],
+                   "powers must be strictly increasing");
+}
+
+std::size_t
+PiecewiseLinearUtility::segmentOf(double p) const
+{
+    // Index i such that powers_[i] <= p <= powers_[i + 1].
+    const auto it =
+        std::upper_bound(powers_.begin(), powers_.end(), p);
+    std::size_t idx = static_cast<std::size_t>(
+        std::distance(powers_.begin(), it));
+    if (idx == 0)
+        return 0;
+    if (idx >= powers_.size())
+        return powers_.size() - 2;
+    return idx - 1;
+}
+
+double
+PiecewiseLinearUtility::value(double p) const
+{
+    const double x = clampPower(p);
+    const std::size_t i = segmentOf(x);
+    const double t =
+        (x - powers_[i]) / (powers_[i + 1] - powers_[i]);
+    return throughputs_[i] +
+           t * (throughputs_[i + 1] - throughputs_[i]);
+}
+
+double
+PiecewiseLinearUtility::derivative(double p) const
+{
+    const double x = clampPower(p);
+    const std::size_t i = segmentOf(x);
+    return (throughputs_[i + 1] - throughputs_[i]) /
+           (powers_[i + 1] - powers_[i]);
+}
+
+} // namespace dpc

@@ -1,0 +1,60 @@
+#include "net/comm_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+double
+CommModel::coordinatorRoundUs(std::size_t n) const
+{
+    return static_cast<double>(n) *
+           (params_.read_us + params_.write_us);
+}
+
+double
+CommModel::coordinatorRoundUs(std::size_t n, Rng &rng) const
+{
+    // Uplink: N packets arrive with exponential inter-arrival of
+    // mean read_us into a single FIFO server with deterministic
+    // read service; the phase ends when the last packet is read.
+    double arrival = 0.0;
+    double server_free = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        arrival += rng.exponential(1.0 / params_.read_us);
+        const double start = std::max(arrival, server_free);
+        server_free = start + params_.read_us;
+    }
+    // Downlink: serial writes back to every node.
+    return server_free +
+           static_cast<double>(n) * params_.write_us;
+}
+
+double
+CommModel::dibaRoundUs(std::size_t max_degree) const
+{
+    DPC_ASSERT(max_degree >= 1, "isolated node in DiBA topology");
+    return params_.read_us +
+           static_cast<double>(max_degree) * params_.write_us;
+}
+
+double
+CommModel::dibaRoundUs(const Graph &topo) const
+{
+    return dibaRoundUs(topo.maxDegree());
+}
+
+std::size_t
+CommModel::coordinatorPacketsPerRound(std::size_t n)
+{
+    return 2 * n;
+}
+
+std::size_t
+CommModel::dibaPacketsPerRound(const Graph &topo)
+{
+    return 2 * topo.numEdges();
+}
+
+} // namespace dpc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Communication-cost model of the three budgeting architectures
+ * (Sec. 4.4.2, experiment 2 / Table 4.2).
+ *
+ * The paper measures ~200 us to read and ~10 us to write a packet
+ * on a TCP socket of its 10 GbE cluster, and models the coordinator
+ * of the centralized / primal-dual schemes as a FIFO queue: in the
+ * uplink phase all N nodes' packets arrive (Poisson-spread) and are
+ * served serially at the read latency; the downlink sends N replies
+ * serially at the write latency.  DiBA has no coordinator: each
+ * node exchanges packets only with its d graph neighbours, in
+ * parallel across nodes, so one round costs one read plus d writes
+ * regardless of N.
+ */
+
+#ifndef DPC_NET_COMM_MODEL_HH
+#define DPC_NET_COMM_MODEL_HH
+
+#include <cstddef>
+
+#include "graph/graph.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+
+/** Measured per-packet service times (defaults from the paper). */
+struct NetParams
+{
+    double read_us = 200.0; ///< socket read service time
+    double write_us = 10.0; ///< socket write service time
+};
+
+/** Per-iteration communication times of each scheme. */
+class CommModel
+{
+  public:
+    explicit CommModel(NetParams params = {}) : params_(params) {}
+
+    /**
+     * Expected duration of one gather+scatter round through the
+     * central coordinator: N serial reads plus N serial writes.
+     */
+    double coordinatorRoundUs(std::size_t n) const;
+
+    /**
+     * Sampled duration of one coordinator round: uplink packets
+     * arrive with exponential spread (mean read_us apart) into a
+     * FIFO queue with deterministic read service; downlink is the
+     * serial write phase.
+     */
+    double coordinatorRoundUs(std::size_t n, Rng &rng) const;
+
+    /**
+     * Expected duration of one DiBA round on a topology with
+     * maximum degree d: neighbour exchanges proceed in parallel
+     * across nodes, so the round is bounded by the busiest node
+     * (one read of the merged neighbour state plus d writes).
+     */
+    double dibaRoundUs(std::size_t max_degree) const;
+
+    /** Convenience overload taking the topology. */
+    double dibaRoundUs(const Graph &topo) const;
+
+    /** Packets per iteration: 2N via the coordinator (Sec. 4.3.2). */
+    static std::size_t coordinatorPacketsPerRound(std::size_t n);
+
+    /** Packets per iteration for DiBA: one per directed edge. */
+    static std::size_t dibaPacketsPerRound(const Graph &topo);
+
+    const NetParams &params() const { return params_; }
+
+  private:
+    NetParams params_;
+};
+
+} // namespace dpc
+
+#endif // DPC_NET_COMM_MODEL_HH

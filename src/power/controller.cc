@@ -1,0 +1,48 @@
+#include "power/controller.hh"
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+PowerCapController::PowerCapController(const ServerPowerModel &model)
+    : PowerCapController(model, Config())
+{
+}
+
+PowerCapController::PowerCapController(const ServerPowerModel &model,
+                                       Config cfg)
+    : model_(model), cfg_(cfg), cap_w_(model.maxPower()),
+      pstate_(cfg.initial_pstate)
+{
+    DPC_ASSERT(pstate_ < model_.numPStates(),
+               "initial p-state out of range");
+    DPC_ASSERT(cfg_.headroom_w >= 0.0, "negative headroom");
+}
+
+void
+PowerCapController::setCap(double cap_w)
+{
+    DPC_ASSERT(cap_w > 0.0, "non-positive power cap");
+    cap_w_ = cap_w;
+}
+
+std::size_t
+PowerCapController::engage(double measured_w, double activity)
+{
+    if (measured_w > cap_w_) {
+        // Over the cap: throttle one state per period until back
+        // under (positive error decreases DVFS, Fig. 2.1).
+        if (pstate_ > 0)
+            --pstate_;
+    } else if (pstate_ + 1 < model_.numPStates()) {
+        // Under the cap: climb only if the model predicts the next
+        // state still fits with hysteresis headroom, preventing
+        // limit-cycling around the cap.
+        const double next_w = model_.power(pstate_ + 1, activity);
+        if (next_w <= cap_w_ - cfg_.headroom_w)
+            ++pstate_;
+    }
+    return pstate_;
+}
+
+} // namespace dpc

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RAPL-style server power-capping feedback controller (Fig. 2.1,
+ * Sec. 2.1): every engagement period the controller compares the
+ * measured power against the allocated cap and steps the DVFS
+ * p-state down when over the cap and up when there is headroom for
+ * the next state.  This is the local enforcement mechanism under
+ * every budgeting scheme ("The DVFS-based controller adjusts the
+ * DVFS up or down according to the difference between the power
+ * target and the current power consumption" [13]).
+ */
+
+#ifndef DPC_POWER_CONTROLLER_HH
+#define DPC_POWER_CONTROLLER_HH
+
+#include "power/server_model.hh"
+
+namespace dpc {
+
+/** Feedback p-state controller tracking a power cap. */
+class PowerCapController
+{
+  public:
+    struct Config
+    {
+        /** Hysteresis band below the cap before stepping up (W). */
+        double headroom_w = 1.0;
+        /** Initial p-state index. */
+        std::size_t initial_pstate = 0;
+    };
+
+    /**
+     * @param model  the server's power model (not owned; must
+     *               outlive the controller)
+     */
+    explicit PowerCapController(const ServerPowerModel &model);
+    PowerCapController(const ServerPowerModel &model, Config cfg);
+
+    /** Current power cap (W). */
+    double cap() const { return cap_w_; }
+
+    /** Set a new power cap (W). */
+    void setCap(double cap_w);
+
+    /** Current p-state index. */
+    std::size_t pstate() const { return pstate_; }
+
+    /**
+     * One engagement: given the measured power (possibly noisy),
+     * adjust the p-state.  Steps down when over the cap; steps up
+     * when the *predicted* power of the next state still fits
+     * under cap - headroom.
+     *
+     * @param measured_w  measured power at the current p-state
+     * @param activity    current workload activity in [0, 1]
+     * @return the p-state selected for the next period
+     */
+    std::size_t engage(double measured_w, double activity);
+
+  private:
+    const ServerPowerModel &model_;
+    Config cfg_;
+    double cap_w_;
+    std::size_t pstate_;
+};
+
+} // namespace dpc
+
+#endif // DPC_POWER_CONTROLLER_HH

@@ -1,0 +1,75 @@
+#include "power/server_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+std::vector<PState>
+defaultPStateLadder(std::size_t levels)
+{
+    DPC_ASSERT(levels >= 2, "need at least two p-states");
+    std::vector<PState> ladder;
+    ladder.reserve(levels);
+    const double f_lo = 1.60;
+    const double f_hi = 2.27;
+    for (std::size_t i = 0; i < levels; ++i) {
+        const double t = static_cast<double>(i) /
+                         static_cast<double>(levels - 1);
+        const double f = f_lo + t * (f_hi - f_lo);
+        // Dynamic power ~ f * V^2 with V roughly linear in f over
+        // the DVFS range; normalize so the top state scales to 1.
+        const double s = std::pow(f / f_hi, 3.0);
+        ladder.push_back({f, s});
+    }
+    return ladder;
+}
+
+ServerPowerModel::ServerPowerModel(double idle_w, double dyn_max_w,
+                                   std::vector<PState> ladder)
+    : idle_w_(idle_w), dyn_max_w_(dyn_max_w),
+      ladder_(std::move(ladder))
+{
+    DPC_ASSERT(idle_w_ > 0.0 && dyn_max_w_ > 0.0,
+               "power components must be positive");
+    DPC_ASSERT(!ladder_.empty(), "empty p-state ladder");
+    for (std::size_t i = 1; i < ladder_.size(); ++i)
+        DPC_ASSERT(ladder_[i].dyn_scale > ladder_[i - 1].dyn_scale,
+                   "p-state ladder must be strictly ascending");
+}
+
+double
+ServerPowerModel::power(std::size_t ps, double activity) const
+{
+    DPC_ASSERT(ps < ladder_.size(), "p-state out of range");
+    DPC_ASSERT(activity >= 0.0 && activity <= 1.0,
+               "activity must be in [0, 1]");
+    return idle_w_ + dyn_max_w_ * ladder_[ps].dyn_scale * activity;
+}
+
+double
+ServerPowerModel::minPower() const
+{
+    return power(0, 1.0);
+}
+
+double
+ServerPowerModel::maxPower() const
+{
+    return power(ladder_.size() - 1, 1.0);
+}
+
+PowerMeter::PowerMeter(double noise_frac, std::uint64_t seed)
+    : noise_frac_(noise_frac), rng_(seed)
+{
+    DPC_ASSERT(noise_frac_ >= 0.0, "negative noise fraction");
+}
+
+double
+PowerMeter::read(double true_power_w)
+{
+    return true_power_w * (1.0 + rng_.normal(0.0, noise_frac_));
+}
+
+} // namespace dpc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Server power substrate: the DVFS p-state ladder, a server power
+ * model mapping (p-state, workload activity) to drawn power, and a
+ * noisy power meter standing in for the Agilent multimeter / RAPL
+ * readings the paper's testbed uses.
+ */
+
+#ifndef DPC_POWER_SERVER_MODEL_HH
+#define DPC_POWER_SERVER_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace dpc {
+
+/** One DVFS operating point. */
+struct PState
+{
+    double freq_ghz;  ///< core frequency
+    double dyn_scale; ///< dynamic-power multiplier in (0, 1]
+};
+
+/**
+ * The p-state ladder of the reference node (Xeon L5520:
+ * 1.60-2.27 GHz).  Dynamic power scales roughly with f * V^2; the
+ * table bakes that into `dyn_scale`.
+ */
+std::vector<PState> defaultPStateLadder(std::size_t levels = 8);
+
+/**
+ * Power model of one server: idle floor plus workload-dependent
+ * dynamic power scaled by the active p-state.
+ */
+class ServerPowerModel
+{
+  public:
+    /**
+     * @param idle_w    power at idle (all p-states)
+     * @param dyn_max_w dynamic power at full activity, top p-state
+     * @param ladder    p-state table (non-empty, ascending scale)
+     */
+    ServerPowerModel(double idle_w, double dyn_max_w,
+                     std::vector<PState> ladder);
+
+    /** Number of p-states. */
+    std::size_t numPStates() const { return ladder_.size(); }
+
+    /**
+     * True electrical power at p-state `ps` with workload activity
+     * factor in [0, 1].
+     */
+    double power(std::size_t ps, double activity) const;
+
+    /** Lowest / highest possible power at full activity. */
+    double minPower() const;
+    double maxPower() const;
+
+    const std::vector<PState> &ladder() const { return ladder_; }
+
+  private:
+    double idle_w_;
+    double dyn_max_w_;
+    std::vector<PState> ladder_;
+};
+
+/**
+ * Power meter with multiplicative Gaussian noise, standing in for
+ * the instrumented AC line measurements.
+ */
+class PowerMeter
+{
+  public:
+    explicit PowerMeter(double noise_frac = 0.01,
+                        std::uint64_t seed = 1);
+
+    /** One reading of the given true power. */
+    double read(double true_power_w);
+
+  private:
+    double noise_frac_;
+    Rng rng_;
+};
+
+} // namespace dpc
+
+#endif // DPC_POWER_SERVER_MODEL_HH

@@ -1,0 +1,67 @@
+#include "thermal/cooling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+
+CopModel::CopModel(double c2, double c1, double c0)
+    : c2_(c2), c1_(c1), c0_(c0)
+{
+}
+
+double
+CopModel::cop(double t_sup_c) const
+{
+    const double v = c2_ * t_sup_c * t_sup_c + c1_ * t_sup_c + c0_;
+    DPC_ASSERT(v > 0.0, "non-positive CoP at t_sup=", t_sup_c);
+    return v;
+}
+
+CoolingModel::CoolingModel(const HeatModel &heat, CopModel cop)
+    : CoolingModel(heat, cop, Config())
+{
+}
+
+CoolingModel::CoolingModel(const HeatModel &heat, CopModel cop,
+                           Config cfg)
+    : heat_(heat), cop_(cop), cfg_(cfg)
+{
+    DPC_ASSERT(cfg_.rated_power_w > 0.0, "rated power must be > 0");
+    DPC_ASSERT(cfg_.airflow_saturation >= 0.0,
+               "negative saturation coefficient");
+}
+
+double
+CoolingModel::supplyTemp(const std::vector<double> &rack_power) const
+{
+    const auto rise = heat_.inletRise(rack_power);
+    const double total = sum(rack_power);
+    const double margin =
+        1.0 + cfg_.airflow_saturation * total / cfg_.rated_power_w;
+    double worst = 0.0;
+    for (double r : rise)
+        worst = std::max(worst, r * margin);
+    const double t_sup = heat_.tRed() - worst;
+    if (t_sup < cfg_.min_supply_c) {
+        fatal("cooling infeasible: required supply temperature ",
+              t_sup, " C below CRAC minimum ", cfg_.min_supply_c,
+              " C (total IT power ", total, " W)");
+    }
+    return t_sup;
+}
+
+double
+CoolingModel::coolingPower(
+    const std::vector<double> &rack_power) const
+{
+    const double total = sum(rack_power);
+    if (total <= 0.0)
+        return 0.0;
+    return total / cop_.cop(supplyTemp(rack_power));
+}
+
+} // namespace dpc

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CRAC cooling power model (Secs. 2.3, 3.2.1).
+ *
+ * Cooling power is the extracted heat divided by the CRAC
+ * coefficient of performance at the chosen supply temperature
+ * (Eq. 3.1); the CoP curve is the HP Labs chilled-water model
+ * CoP(t) = 0.0068 t^2 + 0.0008 t + 0.458 (Eq. 3.2).  The minimum
+ * sufficient cooling power uses the highest supply temperature that
+ * keeps every rack inlet at or below the redline (via HeatModel),
+ * with an airflow-saturation margin: as total load approaches the
+ * room's rated power, the fixed CRAC airflow leaves less mixing
+ * margin, which inflates the effective inlet rise.  This reproduces
+ * the super-linear growth of the cooling share in Fig. 3.10.
+ */
+
+#ifndef DPC_THERMAL_COOLING_HH
+#define DPC_THERMAL_COOLING_HH
+
+#include "thermal/heat_model.hh"
+
+namespace dpc {
+
+/** CRAC coefficient-of-performance curve (Eq. 3.2). */
+class CopModel
+{
+  public:
+    /** Default coefficients: HP Labs Utility datacenter CRACs. */
+    CopModel(double c2 = 0.0068, double c1 = 0.0008,
+             double c0 = 0.458);
+
+    /** CoP at the given supply temperature (degrees C). */
+    double cop(double t_sup_c) const;
+
+  private:
+    double c2_, c1_, c0_;
+};
+
+/** Minimum-sufficient cooling power of a rack power distribution. */
+class CoolingModel
+{
+  public:
+    struct Config
+    {
+        /** Airflow-margin saturation coefficient (dimensionless). */
+        double airflow_saturation = 1.0;
+        /** Room rated IT power (W) the saturation is relative to. */
+        double rated_power_w = 528000.0;
+        /** Lowest supply temperature the CRACs can deliver (C). */
+        double min_supply_c = 7.0;
+    };
+
+    /**
+     * @param heat  room thermal model (not owned; must outlive)
+     */
+    CoolingModel(const HeatModel &heat, CopModel cop);
+    CoolingModel(const HeatModel &heat, CopModel cop, Config cfg);
+
+    /**
+     * Highest admissible supply temperature for this rack power
+     * vector, including the airflow-saturation margin; fatal if
+     * even the coldest supply cannot hold the redline.
+     */
+    double supplyTemp(const std::vector<double> &rack_power) const;
+
+    /** Minimum sufficient CRAC power for this rack power vector. */
+    double coolingPower(const std::vector<double> &rack_power) const;
+
+    const HeatModel &heat() const { return heat_; }
+
+  private:
+    const HeatModel &heat_;
+    CopModel cop_;
+    Config cfg_;
+};
+
+} // namespace dpc
+
+#endif // DPC_THERMAL_COOLING_HH

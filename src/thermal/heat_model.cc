@@ -1,0 +1,129 @@
+#include "thermal/heat_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+HeatModel::HeatModel(Matrix d, std::vector<double> k_diag,
+                     double t_red)
+    : k_diag_(std::move(k_diag)), t_red_(t_red)
+{
+    const std::size_t n = k_diag_.size();
+    DPC_ASSERT(n > 0, "heat model with no racks");
+    DPC_ASSERT(d.rows() == n && d.cols() == n,
+               "recirculation matrix must be racks x racks");
+    for (std::size_t i = 0; i < n; ++i) {
+        DPC_ASSERT(k_diag_[i] > 0.0, "K coefficients must be > 0");
+        DPC_ASSERT(d(i, i) == 0.0, "D diagonal must be zero");
+    }
+
+    // F = (K - D^T K)^{-1} - K^{-1} = K^{-1} [ (I - D^T)^{-1} - I ].
+    Matrix i_minus_dt = Matrix::identity(n) - d.transpose();
+    const Matrix resolvent =
+        LuFactorization(i_minus_dt).solve(Matrix::identity(n));
+    f_ = Matrix(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) {
+            const double base = r == c ? 1.0 : 0.0;
+            f_(r, c) = (resolvent(r, c) - base) / k_diag_[r];
+            DPC_ASSERT(f_(r, c) > -1e-9,
+                       "negative heat influence; spectral radius of "
+                       "D is likely >= 1");
+        }
+    }
+}
+
+std::vector<double>
+HeatModel::inletRise(const std::vector<double> &rack_power) const
+{
+    DPC_ASSERT(rack_power.size() == numRacks(),
+               "rack power vector size mismatch");
+    return f_ * rack_power;
+}
+
+std::vector<double>
+HeatModel::inletTemps(const std::vector<double> &rack_power,
+                      double t_sup) const
+{
+    auto rise = inletRise(rack_power);
+    for (double &t : rise)
+        t += t_sup;
+    return rise;
+}
+
+double
+HeatModel::maxSupplyTemp(const std::vector<double> &rack_power) const
+{
+    const auto rise = inletRise(rack_power);
+    double worst = 0.0;
+    for (double r : rise)
+        worst = std::max(worst, r);
+    return t_red_ - worst;
+}
+
+Matrix
+makeSyntheticRecirculation(std::size_t rows,
+                           std::size_t racks_per_row,
+                           double max_row_sum, Rng &rng)
+{
+    DPC_ASSERT(rows >= 1 && racks_per_row >= 1, "empty floor plan");
+    DPC_ASSERT(max_row_sum > 0.0 && max_row_sum < 1.0,
+               "row sum must be in (0, 1) for stability");
+    const std::size_t n = rows * racks_per_row;
+
+    // Rack (r, c) sits at aisle row r, slot c.  Recirculation
+    // couples racks that are physically close, is strongest along
+    // an aisle, and is amplified near row ends where hot air wraps
+    // around the rack rows (the hotspot pattern of Fig. 3.3).
+    auto row_of = [&](std::size_t i) { return i / racks_per_row; };
+    auto col_of = [&](std::size_t i) { return i % racks_per_row; };
+    auto end_factor = [&](std::size_t i) {
+        const double c = static_cast<double>(col_of(i));
+        const double edge = std::min(
+            c, static_cast<double>(racks_per_row - 1) - c);
+        return 1.0 + 0.6 * std::exp(-edge / 1.5);
+    };
+
+    Matrix d(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const double dr =
+                static_cast<double>(row_of(i)) -
+                static_cast<double>(row_of(j));
+            const double dc =
+                static_cast<double>(col_of(i)) -
+                static_cast<double>(col_of(j));
+            // Anisotropic decay: crossing aisles attenuates faster
+            // than moving along one.
+            const double dist =
+                std::sqrt(2.5 * dr * dr + dc * dc);
+            const double jitter =
+                std::exp(rng.normal(0.0, 0.15));
+            d(i, j) = end_factor(i) * std::exp(-dist / 2.0) * jitter;
+        }
+    }
+
+    // Normalize the worst row *and* column sum to the requested
+    // value: row sums bound the spectral radius of D (so the
+    // fixed-point (I - D^T)^{-1} exists) and column sums bound the
+    // inlet-rise amplification, which keeps the thermal feedback
+    // of Algorithm 1 a contraction.
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double row = 0.0, col = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            row += d(i, j);
+            col += d(j, i);
+        }
+        worst = std::max({worst, row, col});
+    }
+    DPC_ASSERT(worst > 0.0, "degenerate recirculation matrix");
+    return d * (max_row_sum / worst);
+}
+
+} // namespace dpc

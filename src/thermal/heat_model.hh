@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Cluster thermal substrate (Secs. 2.3 and 3.2.1).
+ *
+ * The paper replaces full CFD with the heat cross-interference
+ * coefficient matrix abstraction of Tang et al. [73]:
+ *
+ *   T_out = T_sup + (K - D^T K)^{-1} P          (Eq. 3.3)
+ *   T_in  = T_out - K^{-1} P                    (Eq. 3.4)
+ *   T_in  = T_sup + [(K - D^T K)^{-1} - K^{-1}] P  (Eq. 3.5)
+ *
+ * where D(i, j) is the contribution of rack j's power to rack i's
+ * inlet temperature rise and K is the diagonal power-to-temperature
+ * matrix of the rack airflow.  `makeSyntheticRecirculation` stands
+ * in for the 6SigmaRoom CFD extraction: distance-decaying
+ * coefficients over the 8-row x 10-rack floor plan with stronger
+ * recirculation at row ends (the substitution table in DESIGN.md).
+ */
+
+#ifndef DPC_THERMAL_HEAT_MODEL_HH
+#define DPC_THERMAL_HEAT_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "util/linalg.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+
+/** Heat-recirculation thermal model of the rack room. */
+class HeatModel
+{
+  public:
+    /**
+     * @param d       racks x racks cross-interference matrix (zero
+     *                diagonal, non-negative, spectral radius < 1)
+     * @param k_diag  per-rack power-to-outlet-temperature
+     *                coefficients (W per degree C)
+     * @param t_red   manufacturer redline inlet temperature (C)
+     */
+    HeatModel(Matrix d, std::vector<double> k_diag, double t_red);
+
+    std::size_t numRacks() const { return k_diag_.size(); }
+
+    double tRed() const { return t_red_; }
+
+    /**
+     * Inlet temperature rise above the supply temperature for a
+     * rack power vector: F P with F = (K - D^T K)^{-1} - K^{-1}.
+     */
+    std::vector<double>
+    inletRise(const std::vector<double> &rack_power) const;
+
+    /** Inlet temperatures at a given CRAC supply temperature. */
+    std::vector<double>
+    inletTemps(const std::vector<double> &rack_power,
+               double t_sup) const;
+
+    /**
+     * Highest CRAC supply temperature keeping every inlet at or
+     * below the redline: t_red - max_i (F P)_i.
+     */
+    double maxSupplyTemp(const std::vector<double> &rack_power) const;
+
+    /** The precomputed influence matrix F (for tests). */
+    const Matrix &influence() const { return f_; }
+
+  private:
+    std::vector<double> k_diag_;
+    double t_red_;
+    Matrix f_;
+};
+
+/**
+ * Synthetic CFD-substitute recirculation matrix over an
+ * `rows x racks_per_row` floor plan: coefficients decay
+ * exponentially with inter-rack distance, racks near row ends and
+ * away from the CRAC aisles recirculate more, and the matrix is
+ * normalized so its largest row/column sum equals `max_row_sum`
+ * (< 1), bounding both the spectral radius and the inlet-rise
+ * amplification.
+ */
+Matrix makeSyntheticRecirculation(std::size_t rows,
+                                  std::size_t racks_per_row,
+                                  double max_row_sum, Rng &rng);
+
+} // namespace dpc
+
+#endif // DPC_THERMAL_HEAT_MODEL_HH

@@ -1,0 +1,63 @@
+#include "thermal/total_budgeter.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+TotalPowerBudgeter::TotalPowerBudgeter(const CoolingModel &cooling)
+    : TotalPowerBudgeter(cooling, Config())
+{
+}
+
+TotalPowerBudgeter::TotalPowerBudgeter(const CoolingModel &cooling,
+                                       Config cfg)
+    : cooling_(cooling), cfg_(cfg)
+{
+    DPC_ASSERT(cfg_.relaxation > 0.0 && cfg_.relaxation <= 1.0,
+               "relaxation must be in (0, 1]");
+}
+
+TotalPowerBudgeter::Result
+TotalPowerBudgeter::partition(double total_budget,
+                              const ComputeAllocator &allocate) const
+{
+    DPC_ASSERT(total_budget > 0.0, "non-positive total budget");
+
+    Result res;
+    // Step 1: initialize the cooling estimate from the thermal
+    // model at a nominal 70/30 computing/cooling split.
+    double b_s = 0.7 * total_budget;
+
+    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
+        const auto rack_power = allocate(b_s);
+        const double t_sup = cooling_.supplyTemp(rack_power);
+        const double b_crac = cooling_.coolingPower(rack_power);
+        res.trace.push_back({b_s, b_crac, t_sup});
+
+        const double gap = total_budget - (b_s + b_crac);
+        if (std::fabs(gap) <= cfg_.tolerance_w) {
+            res.b_s = b_s;
+            res.b_crac = b_crac;
+            res.t_sup = t_sup;
+            res.converged = true;
+            return res;
+        }
+        // Step 3 of Algorithm 1 (relaxed): move the computing
+        // budget toward B - B_CRAC.
+        b_s += cfg_.relaxation * gap;
+        DPC_ASSERT(b_s > 0.0,
+                   "computing budget driven non-positive; cooling "
+                   "dominates the total budget");
+    }
+
+    // Not converged: report the last iterate.
+    const auto &last = res.trace.back();
+    res.b_s = last.b_s;
+    res.b_crac = last.b_crac;
+    res.t_sup = last.t_sup;
+    return res;
+}
+
+} // namespace dpc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Self-consistent total power budgeting (Algorithm 1, Sec. 3.2.1):
+ * split a total budget B into computing power B_s and cooling power
+ * B_CRAC such that the cooling exactly removes the heat of the
+ * allocated computing power:
+ *
+ *   repeat:  B_s <- B - B_CRAC
+ *            allocate B_s across the servers (plug-in budgeter)
+ *            B_CRAC <- minimum sufficient cooling for that layout
+ *   until    B_s + B_CRAC = B
+ *
+ * The iteration is a contraction in practice (the paper's Ratio of
+ * Distance R(k) < 1, Fig. 3.4); an optional relaxation factor
+ * guards configurations where the thermal feedback is strong.
+ */
+
+#ifndef DPC_THERMAL_TOTAL_BUDGETER_HH
+#define DPC_THERMAL_TOTAL_BUDGETER_HH
+
+#include <functional>
+#include <vector>
+
+#include "thermal/cooling.hh"
+
+namespace dpc {
+
+/** Algorithm 1: self-consistent computing/cooling split. */
+class TotalPowerBudgeter
+{
+  public:
+    /**
+     * Plug-in computing budgeter: given a computing budget B_s,
+     * return the resulting per-rack power vector (the knapsack
+     * budgeter in the paper; uniform in the baseline).
+     */
+    using ComputeAllocator =
+        std::function<std::vector<double>(double)>;
+
+    struct Config
+    {
+        /** Absolute budget-closure tolerance (W). */
+        double tolerance_w = 10.0;
+        std::size_t max_iterations = 200;
+        /**
+         * Update relaxation in (0, 1]; 1 is the plain Algorithm-1
+         * iteration.  The default damping keeps the iteration a
+         * contraction even when the thermal feedback is strong
+         * (the paper's Ratio-of-Distance hovers just below 1).
+         */
+        double relaxation = 0.5;
+    };
+
+    struct IterationRecord
+    {
+        double b_s;    ///< computing budget tried
+        double b_crac; ///< cooling required for it
+        double t_sup;  ///< supply temperature used
+    };
+
+    struct Result
+    {
+        double b_s = 0.0;
+        double b_crac = 0.0;
+        double t_sup = 0.0;
+        bool converged = false;
+        std::vector<IterationRecord> trace;
+    };
+
+    explicit TotalPowerBudgeter(const CoolingModel &cooling);
+    TotalPowerBudgeter(const CoolingModel &cooling, Config cfg);
+
+    /**
+     * Split `total_budget` self-consistently, allocating computing
+     * power through `allocate` at every trial split.
+     */
+    Result partition(double total_budget,
+                     const ComputeAllocator &allocate) const;
+
+  private:
+    const CoolingModel &cooling_;
+    Config cfg_;
+};
+
+} // namespace dpc
+
+#endif // DPC_THERMAL_TOTAL_BUDGETER_HH

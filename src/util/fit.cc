@@ -1,0 +1,52 @@
+#include "util/fit.hh"
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace dpc {
+
+std::vector<double>
+polyfit(const std::vector<double> &xs, const std::vector<double> &ys,
+        std::size_t degree)
+{
+    std::vector<std::function<double(const double &)>> basis;
+    basis.reserve(degree + 1);
+    for (std::size_t d = 0; d <= degree; ++d) {
+        basis.emplace_back([d](const double &x) {
+            return std::pow(x, static_cast<double>(d));
+        });
+    }
+    return linearLeastSquares(xs, ys, basis);
+}
+
+double
+polyval(const std::vector<double> &coeffs, double x)
+{
+    double acc = 0.0;
+    for (std::size_t i = coeffs.size(); i-- > 0;)
+        acc = acc * x + coeffs[i];
+    return acc;
+}
+
+double
+rSquared(const std::vector<double> &predicted,
+         const std::vector<double> &observed)
+{
+    DPC_ASSERT(predicted.size() == observed.size(),
+               "rSquared size mismatch");
+    const double mu = mean(observed);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        const double r = observed[i] - predicted[i];
+        const double t = observed[i] - mu;
+        ss_res += r * r;
+        ss_tot += t * t;
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace dpc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Least-squares fitting: general linear least squares against an
+ * arbitrary basis (via normal equations + LU), polynomial fits, and
+ * goodness-of-fit.  Used to fit throughput-vs-power utility curves
+ * (Fig. 4.2), the Ch.3 throughput-predictor parameter models
+ * (Eq. 3.8), and the cubic regression of Fig. 4.10.
+ */
+
+#ifndef DPC_UTIL_FIT_HH
+#define DPC_UTIL_FIT_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/linalg.hh"
+#include "util/logging.hh"
+
+namespace dpc {
+
+/**
+ * Solve min_w || B w - y ||_2 where B(i,j) = basis[j](x_i), via the
+ * normal equations (the design matrices here are tiny and well
+ * conditioned after feature scaling).
+ *
+ * @param xs     sample abscissae (any feature payload)
+ * @param ys     observed values, same length as xs
+ * @param basis  basis functions evaluated on one sample
+ * @return       fitted weights, one per basis function
+ */
+template <typename X>
+std::vector<double>
+linearLeastSquares(const std::vector<X> &xs,
+                   const std::vector<double> &ys,
+                   const std::vector<std::function<double(const X &)>>
+                       &basis)
+{
+    DPC_ASSERT(xs.size() == ys.size(), "fit: xs/ys size mismatch");
+    DPC_ASSERT(xs.size() >= basis.size(),
+               "fit: underdetermined system (", xs.size(), " samples, ",
+               basis.size(), " basis functions)");
+    const std::size_t n = xs.size();
+    const std::size_t k = basis.size();
+    Matrix b(n, k);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            b(i, j) = basis[j](xs[i]);
+    const Matrix bt = b.transpose();
+    const Matrix gram = bt * b;
+    const std::vector<double> rhs = bt * ys;
+    return solveLinear(gram, rhs);
+}
+
+/**
+ * Fit a polynomial of the given degree: returns coefficients
+ * c[0] + c[1] x + ... + c[degree] x^degree.
+ */
+std::vector<double> polyfit(const std::vector<double> &xs,
+                            const std::vector<double> &ys,
+                            std::size_t degree);
+
+/** Evaluate a polynomial with coefficients in ascending order. */
+double polyval(const std::vector<double> &coeffs, double x);
+
+/** Coefficient of determination R^2 of predictions vs observations. */
+double rSquared(const std::vector<double> &predicted,
+                const std::vector<double> &observed);
+
+} // namespace dpc
+
+#endif // DPC_UTIL_FIT_HH

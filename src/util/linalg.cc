@@ -1,0 +1,223 @@
+#include "util/linalg.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::diagonal(const std::vector<double> &diag)
+{
+    Matrix m(diag.size(), diag.size());
+    for (std::size_t i = 0; i < diag.size(); ++i)
+        m(i, i) = diag[i];
+    return m;
+}
+
+double &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    DPC_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    DPC_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    DPC_ASSERT(cols_ == rhs.rows_, "matmul dimension mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < rhs.cols_; ++c)
+                out(r, c) += a * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::operator*(const std::vector<double> &v) const
+{
+    DPC_ASSERT(cols_ == v.size(), "matvec dimension mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix &rhs) const
+{
+    DPC_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "matrix sum dimension mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &rhs) const
+{
+    DPC_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+               "matrix diff dimension mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(double s) const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * s;
+    return out;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double best = 0.0;
+    for (double x : data_)
+        best = std::max(best, std::fabs(x));
+    return best;
+}
+
+LuFactorization::LuFactorization(const Matrix &a)
+    : lu_(a), perm_(a.rows())
+{
+    DPC_ASSERT(a.rows() == a.cols(), "LU of a non-square matrix");
+    const std::size_t n = a.rows();
+    for (std::size_t i = 0; i < n; ++i)
+        perm_[i] = i;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Partial pivot: find the largest magnitude in column k.
+        std::size_t pivot = k;
+        double best = std::fabs(lu_(k, k));
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double mag = std::fabs(lu_(r, k));
+            if (mag > best) {
+                best = mag;
+                pivot = r;
+            }
+        }
+        DPC_ASSERT(best > 1e-300, "singular matrix in LU");
+        if (pivot != k) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(lu_(k, c), lu_(pivot, c));
+            std::swap(perm_[k], perm_[pivot]);
+        }
+        for (std::size_t r = k + 1; r < n; ++r) {
+            const double f = lu_(r, k) / lu_(k, k);
+            lu_(r, k) = f;
+            for (std::size_t c = k + 1; c < n; ++c)
+                lu_(r, c) -= f * lu_(k, c);
+        }
+    }
+}
+
+std::vector<double>
+LuFactorization::solve(const std::vector<double> &b) const
+{
+    const std::size_t n = lu_.rows();
+    DPC_ASSERT(b.size() == n, "LU solve dimension mismatch");
+    std::vector<double> x(n);
+    // Forward substitution with the permuted right-hand side.
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[perm_[i]];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= lu_(i, j) * x[j];
+        x[i] = acc;
+    }
+    // Back substitution.
+    for (std::size_t ii = n; ii-- > 0;) {
+        double acc = x[ii];
+        for (std::size_t j = ii + 1; j < n; ++j)
+            acc -= lu_(ii, j) * x[j];
+        x[ii] = acc / lu_(ii, ii);
+    }
+    return x;
+}
+
+Matrix
+LuFactorization::solve(const Matrix &b) const
+{
+    const std::size_t n = lu_.rows();
+    DPC_ASSERT(b.rows() == n, "LU solve dimension mismatch");
+    Matrix out(n, b.cols());
+    std::vector<double> col(n);
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+        for (std::size_t r = 0; r < n; ++r)
+            col[r] = b(r, c);
+        const auto x = solve(col);
+        for (std::size_t r = 0; r < n; ++r)
+            out(r, c) = x[r];
+    }
+    return out;
+}
+
+std::vector<double>
+solveLinear(const Matrix &a, const std::vector<double> &b)
+{
+    return LuFactorization(a).solve(b);
+}
+
+Matrix
+inverse(const Matrix &a)
+{
+    return LuFactorization(a).solve(Matrix::identity(a.rows()));
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    DPC_ASSERT(a.size() == b.size(), "dot dimension mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace dpc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small dense linear-algebra kernel used by the thermal model
+ * (heat-recirculation matrix algebra, Eq. 3.3-3.5) and by the
+ * least-squares fitters: a row-major Matrix with matvec, matmul,
+ * transpose, LU factorization with partial pivoting, solve and
+ * inverse.  Sized for the problem scales in the paper (<= a few
+ * thousand rows), not for HPC workloads.
+ */
+
+#ifndef DPC_UTIL_LINALG_HH
+#define DPC_UTIL_LINALG_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dpc {
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix filled with `fill`. */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Identity matrix of order n. */
+    static Matrix identity(std::size_t n);
+
+    /** Diagonal matrix from a vector. */
+    static Matrix diagonal(const std::vector<double> &diag);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    /** Element access (bounds-checked in debug via assert). */
+    double &operator()(std::size_t r, std::size_t c);
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** Matrix transpose. */
+    Matrix transpose() const;
+
+    /** Matrix-matrix product; dimensions must agree. */
+    Matrix operator*(const Matrix &rhs) const;
+
+    /** Matrix-vector product; dimensions must agree. */
+    std::vector<double> operator*(const std::vector<double> &v) const;
+
+    /** Element-wise sum / difference; dimensions must agree. */
+    Matrix operator+(const Matrix &rhs) const;
+    Matrix operator-(const Matrix &rhs) const;
+
+    /** Scalar product. */
+    Matrix operator*(double s) const;
+
+    /** Max absolute element (infinity norm of vec(M)). */
+    double maxAbs() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * LU factorization with partial pivoting of a square matrix,
+ * supporting repeated solves against the same factorization.
+ */
+class LuFactorization
+{
+  public:
+    /** Factor a (square, non-singular) matrix; panics if singular. */
+    explicit LuFactorization(const Matrix &a);
+
+    /** Solve A x = b. */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+    /** Solve A X = B column-by-column. */
+    Matrix solve(const Matrix &b) const;
+
+  private:
+    Matrix lu_;
+    std::vector<std::size_t> perm_;
+};
+
+/** Solve A x = b via LU (one-shot convenience). */
+std::vector<double> solveLinear(const Matrix &a,
+                                const std::vector<double> &b);
+
+/** Inverse of a square non-singular matrix via LU. */
+Matrix inverse(const Matrix &a);
+
+/** Dot product of equal-length vectors. */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+} // namespace dpc
+
+#endif // DPC_UTIL_LINALG_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal logging / assertion helpers in the spirit of gem5's
+ * base/logging.hh.  `panic` flags library bugs (aborts), `fatal`
+ * flags user errors (clean exit), `warn`/`inform` are advisory.
+ */
+
+#ifndef DPC_UTIL_LOGGING_HH
+#define DPC_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dpc {
+
+namespace detail {
+
+/** Stream-compose a message from variadic parts. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an internal invariant violation (a library bug) and abort.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 detail::composeMessage(args...).c_str());
+    std::abort();
+}
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::fprintf(stderr, "fatal: %s\n",
+                 detail::composeMessage(args...).c_str());
+    std::exit(1);
+}
+
+/** Advisory warning; never stops the run. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::fprintf(stderr, "warn: %s\n",
+                 detail::composeMessage(args...).c_str());
+}
+
+/** Status message to the user. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::fprintf(stdout, "info: %s\n",
+                 detail::composeMessage(args...).c_str());
+}
+
+} // namespace dpc
+
+/**
+ * Assert an invariant with a formatted message; active in all build
+ * types because the simulators rely on these checks for correctness.
+ */
+#define DPC_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            ::dpc::panic("assertion '", #cond, "' failed at ",          \
+                         __FILE__, ":", __LINE__, ": ",                 \
+                         ##__VA_ARGS__);                                \
+        }                                                               \
+    } while (0)
+
+#endif // DPC_UTIL_LOGGING_HH

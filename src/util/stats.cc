@@ -1,0 +1,133 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    return sum(xs) / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    DPC_ASSERT(!xs.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        DPC_ASSERT(x > 0.0, "geomean requires positive entries, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mu) * (x - mu);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+coefficientOfVariation(const std::vector<double> &xs)
+{
+    const double mu = mean(xs);
+    if (mu == 0.0)
+        return 0.0;
+    return stddev(xs) / mu;
+}
+
+double
+sum(const std::vector<double> &xs)
+{
+    double total = 0.0;
+    for (double x : xs)
+        total += x;
+    return total;
+}
+
+double
+minElement(const std::vector<double> &xs)
+{
+    DPC_ASSERT(!xs.empty(), "minElement of empty vector");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+maxElement(const std::vector<double> &xs)
+{
+    DPC_ASSERT(!xs.empty(), "maxElement of empty vector");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+percentile(std::vector<double> xs, double pct)
+{
+    DPC_ASSERT(!xs.empty(), "percentile of empty vector");
+    DPC_ASSERT(pct >= 0.0 && pct <= 100.0, "percentile out of range");
+    std::sort(xs.begin(), xs.end());
+    const double pos = pct / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    DPC_ASSERT(n >= 2, "linspace needs at least two points");
+    std::vector<double> out(n);
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = lo + step * static_cast<double>(i);
+    return out;
+}
+
+void
+OnlineStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::reset()
+{
+    *this = OnlineStats();
+}
+
+} // namespace dpc

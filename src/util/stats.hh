@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Descriptive statistics used by the performance metrics and the
+ * benchmark harnesses: means (arithmetic / geometric), dispersion
+ * (stddev, coefficient of variation), extrema, percentiles, and a
+ * single-pass Welford accumulator.
+ */
+
+#ifndef DPC_UTIL_STATS_HH
+#define DPC_UTIL_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace dpc {
+
+/** Arithmetic mean; 0 for an empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean; requires all entries strictly positive. */
+double geomean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 if n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Coefficient of variation: stddev / mean (0 when mean is 0). */
+double coefficientOfVariation(const std::vector<double> &xs);
+
+/** Sum of the entries. */
+double sum(const std::vector<double> &xs);
+
+/** Minimum element; requires non-empty input. */
+double minElement(const std::vector<double> &xs);
+
+/** Maximum element; requires non-empty input. */
+double maxElement(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile in [0, 100]; requires non-empty
+ * input.  Copies and sorts internally.
+ */
+double percentile(std::vector<double> xs, double pct);
+
+/** Evenly spaced values from lo to hi inclusive (n >= 2). */
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/**
+ * Single-pass mean/variance accumulator (Welford's algorithm), used
+ * by the simulators to track running statistics without storing the
+ * full series.
+ */
+class OnlineStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return n_; }
+
+    /** Running arithmetic mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Running sample variance (0 when n < 2). */
+    double variance() const;
+
+    /** Running sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest sample seen (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace dpc
+
+#endif // DPC_UTIL_STATS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by the benchmark harnesses to
+ * reproduce the paper's tables and figure series as readable console
+ * output (plus a CSV dump for plotting).
+ */
+
+#ifndef DPC_UTIL_TABLE_HH
+#define DPC_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dpc {
+
+/**
+ * Column-aligned table builder.  Cells are strings; numeric helpers
+ * format with a fixed precision.  `print` renders with a header rule,
+ * `printCsv` renders comma-separated for downstream plotting.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a fully formatted row (must match header width). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with fixed precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer. */
+    static std::string num(long long v);
+
+    /** Render aligned text with a separator under the header. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dpc
+
+#endif // DPC_UTIL_TABLE_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Benchmark profiles standing in for the paper's measured workloads.
+ *
+ * Chapter 4 evaluates on eight NAS Parallel Benchmarks plus two HPCC
+ * benchmarks (Table 4.1), profiled on dual Xeon L5520 nodes across
+ * the DVFS range and fit with concave quadratic throughput functions
+ * (Fig. 4.2).  We reproduce each benchmark as a parametric shape:
+ * compute-bound codes (EP, HPL) gain nearly linearly from added
+ * power, memory-bound codes (CG, RA, IS) saturate early.  The `llc`
+ * field is the latent memory-boundedness feature the Ch.3 predictors
+ * key on.
+ */
+
+#ifndef DPC_WORKLOAD_BENCHMARKS_HH
+#define DPC_WORKLOAD_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "model/utility.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+
+/**
+ * A named benchmark with its throughput-vs-power shape on the
+ * reference server.
+ */
+struct BenchmarkProfile
+{
+    std::string name;        ///< e.g. "EP"
+    std::string suite;       ///< "NPB" or "HPCC"
+    std::string description; ///< Table 4.1 description
+    double r0;    ///< normalized throughput at minPower (0..1]
+    double kappa; ///< curvature: 0 linear gain, 1 fully saturating
+    double p_min; ///< power at the lowest DVFS level (W)
+    double p_max; ///< power at the highest DVFS level (W)
+    double llc;   ///< normalized LLC miss rate (memory boundedness)
+
+    /** The fitted concave quadratic r(p), normalized peak ~1. */
+    QuadraticUtility utility() const;
+
+    /** Shared-pointer convenience wrapper around utility(). */
+    UtilityPtr utilityPtr() const;
+
+    /**
+     * Noisy "measured" throughput samples at `levels` evenly spaced
+     * DVFS power levels, emulating the profiling runs the paper
+     * uses before interpolating the quadratic.
+     */
+    void sampleCurve(std::size_t levels, Rng &rng, double noise_frac,
+                     std::vector<double> &powers,
+                     std::vector<double> &throughputs) const;
+};
+
+/**
+ * The ten-benchmark suite of Table 4.1 (NPB BT, CG, EP, FT, IS, LU,
+ * MG, SP and HPCC HPL, RA) on the reference dual-socket node.
+ */
+const std::vector<BenchmarkProfile> &npbHpccBenchmarks();
+
+/** Look up a benchmark by name; fatal if unknown. */
+const BenchmarkProfile &findBenchmark(const std::string &name);
+
+} // namespace dpc
+
+#endif // DPC_WORKLOAD_BENCHMARKS_HH

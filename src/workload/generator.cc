@@ -1,0 +1,98 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+ClusterAssignment
+drawNpbAssignment(std::size_t n, Rng &rng)
+{
+    const auto &suite = npbHpccBenchmarks();
+    ClusterAssignment out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // First |suite| servers cover every benchmark once so the
+        // whole suite is always represented; the rest are uniform.
+        const auto &b = i < suite.size() && n >= suite.size()
+                            ? suite[i]
+                            : rng.choice(suite);
+        out.push_back({b.name, b.llc, b.utilityPtr()});
+    }
+    rng.shuffle(out);
+    return out;
+}
+
+namespace {
+
+/** Ch.3 reference server: discrete caps from 130 W to 165 W. */
+constexpr double kSpecPmin = 130.0;
+constexpr double kSpecPmax = 165.0;
+
+/** Draw one application's latent shape parameters. */
+struct AppShape
+{
+    double r0, kappa, llc;
+};
+
+AppShape
+drawApp(Rng &rng)
+{
+    const double llc = rng.uniform(0.0, 1.0);
+    AppShape s;
+    s.llc = llc;
+    s.r0 = std::clamp(0.50 + 0.38 * llc + rng.normal(0.0, 0.03),
+                      0.05, 0.97);
+    s.kappa = std::clamp(0.15 + 0.75 * llc + rng.normal(0.0, 0.06),
+                         0.0, 1.0);
+    return s;
+}
+
+} // namespace
+
+ClusterAssignment
+drawSpecMixAssignment(std::size_t n, MixKind kind, Rng &rng)
+{
+    ClusterAssignment out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        AppShape mix{0.0, 0.0, 0.0};
+        const std::size_t apps =
+            kind == MixKind::HomogeneousWithinServer ? 1 : 4;
+        for (std::size_t a = 0; a < apps; ++a) {
+            const AppShape s = drawApp(rng);
+            mix.r0 += s.r0 / static_cast<double>(apps);
+            mix.kappa += s.kappa / static_cast<double>(apps);
+            mix.llc += s.llc / static_cast<double>(apps);
+        }
+        auto u = std::make_shared<QuadraticUtility>(
+            QuadraticUtility::fromShape(mix.r0, mix.kappa, kSpecPmin,
+                                        kSpecPmax));
+        const std::string label =
+            kind == MixKind::HomogeneousWithinServer
+                ? "spec-homo-" + std::to_string(i)
+                : "spec-mix-" + std::to_string(i);
+        out.push_back({label, mix.llc, std::move(u)});
+    }
+    return out;
+}
+
+double
+drawJobDuration(double mean_seconds, Rng &rng)
+{
+    DPC_ASSERT(mean_seconds > 0.0, "job duration mean must be > 0");
+    return rng.exponential(1.0 / mean_seconds);
+}
+
+std::vector<UtilityPtr>
+utilitiesOf(const ClusterAssignment &a)
+{
+    std::vector<UtilityPtr> out;
+    out.reserve(a.size());
+    for (const auto &w : a)
+        out.push_back(w.utility);
+    return out;
+}
+
+} // namespace dpc

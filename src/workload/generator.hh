@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Workload assignment generators.
+ *
+ * Chapter 4's simulations draw one benchmark per server uniformly
+ * at random ("each server hosts at least one type of workload" with
+ * the cluster fully utilized); Chapter 3's simulations build SPEC /
+ * PARSEC workload *sets* of four co-located applications per server,
+ * either homogeneous within the server (four copies of one
+ * benchmark) or heterogeneous within the server (four different
+ * benchmarks, which averages the characteristics).  This module
+ * produces both, plus exponential job durations for the dynamic
+ * churn experiments (Fig. 4.7).
+ */
+
+#ifndef DPC_WORKLOAD_GENERATOR_HH
+#define DPC_WORKLOAD_GENERATOR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model/utility.hh"
+#include "workload/benchmarks.hh"
+
+namespace dpc {
+
+/** One server's current assignment. */
+struct ServerWorkload
+{
+    std::string name; ///< benchmark or mix label
+    double llc = 0.0; ///< normalized LLC miss rate of the mix
+    UtilityPtr utility;
+};
+
+/** A full cluster assignment. */
+using ClusterAssignment = std::vector<ServerWorkload>;
+
+/**
+ * Draw n servers, each hosting one Table 4.1 benchmark uniformly at
+ * random, guaranteeing every benchmark appears at least once when
+ * n >= suite size (the Ch.4 protocol).
+ */
+ClusterAssignment drawNpbAssignment(std::size_t n, Rng &rng);
+
+/** Kind of per-server workload-set mixing (Ch.3 cases a and b). */
+enum class MixKind
+{
+    HomogeneousWithinServer,  ///< four copies of one application
+    HeterogeneousWithinServer ///< four different applications
+};
+
+/**
+ * Draw n servers each running a four-application SPEC/PARSEC-style
+ * workload set on the Ch.3 reference server (caps 130..165 W).
+ * Heterogeneous-within mixes average shape parameters across the
+ * four applications, reducing differentiation between servers (the
+ * effect Ch.3 discusses for case b).
+ */
+ClusterAssignment drawSpecMixAssignment(std::size_t n, MixKind kind,
+                                        Rng &rng);
+
+/**
+ * Exponentially distributed job duration with the given mean, for
+ * the dynamic-churn simulation of Fig. 4.7.
+ */
+double drawJobDuration(double mean_seconds, Rng &rng);
+
+/** Extract the utility pointers of an assignment. */
+std::vector<UtilityPtr> utilitiesOf(const ClusterAssignment &a);
+
+} // namespace dpc
+
+#endif // DPC_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "alloc/centralized.hh"
+#include "alloc/kkt.hh"
+#include "tests/alloc/test_problems.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+TEST(ProjectionTest, InsideStaysPut)
+{
+    const auto prob = test::tinyProblem();
+    const auto p = projectToFeasible(prob, {120.0, 130.0});
+    EXPECT_DOUBLE_EQ(p[0], 120.0);
+    EXPECT_DOUBLE_EQ(p[1], 130.0);
+}
+
+TEST(ProjectionTest, OverBudgetLandsOnHyperplane)
+{
+    const auto prob = test::tinyProblem(); // budget 310
+    const auto p = projectToFeasible(prob, {200.0, 200.0});
+    EXPECT_NEAR(p[0] + p[1], 310.0, 1e-6);
+    // Equidistant shift: both move down by the same amount.
+    EXPECT_NEAR(p[0], p[1], 1e-6);
+}
+
+TEST(ProjectionTest, BoxClampsRespected)
+{
+    const auto prob = test::tinyProblem();
+    const auto p = projectToFeasible(prob, {500.0, 90.0});
+    EXPECT_LE(p[0], 200.0 + 1e-12);
+    EXPECT_GE(p[1], 100.0 - 1e-12);
+}
+
+TEST(CentralizedTest, MatchesKktOracleOnTiny)
+{
+    const auto prob = test::tinyProblem();
+    CentralizedAllocator solver;
+    const auto got = solver.allocate(prob);
+    const auto opt = solveKkt(prob);
+    EXPECT_NEAR(got.utility, opt.utility, 1e-6 * opt.utility);
+    EXPECT_TRUE(got.converged);
+}
+
+TEST(CentralizedTest, MatchesKktOracleOnRandomClusters)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        const auto prob = test::npbProblem(100, 168.0, seed);
+        CentralizedAllocator solver;
+        const auto got = solver.allocate(prob);
+        const auto opt = solveKkt(prob);
+        EXPECT_NEAR(got.utility, opt.utility,
+                    1e-4 * opt.utility)
+            << "seed " << seed;
+        EXPECT_LE(got.totalPower(), prob.budget + 1e-6);
+    }
+}
+
+TEST(CentralizedTest, RespectsBoxes)
+{
+    const auto prob = test::npbProblem(50, 150.0, 5);
+    CentralizedAllocator solver;
+    const auto res = solver.allocate(prob);
+    for (std::size_t i = 0; i < prob.size(); ++i) {
+        EXPECT_GE(res.power[i],
+                  prob.utilities[i]->minPower() - 1e-9);
+        EXPECT_LE(res.power[i],
+                  prob.utilities[i]->maxPower() + 1e-9);
+    }
+}
+
+TEST(CentralizedTest, IterationCapRespected)
+{
+    CentralizedAllocator::Config cfg;
+    cfg.max_iterations = 3;
+    cfg.tolerance = 0.0; // never satisfied
+    CentralizedAllocator solver(cfg);
+    const auto res = solver.allocate(test::npbProblem(20, 160.0, 9));
+    EXPECT_LE(res.iterations, 3u);
+}
+
+} // namespace
+} // namespace dpc

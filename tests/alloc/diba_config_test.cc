@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "alloc/diba.hh"
+#include "alloc/kkt.hh"
+#include "graph/topologies.hh"
+#include "metrics/performance.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+/**
+ * Configuration-space sweep: every supported parameterization must
+ * keep the safety invariants and land within a configuration-
+ * dependent distance of the oracle.  This pins down the behaviour
+ * the ablation bench reports.
+ */
+struct ConfigCase
+{
+    const char *label;
+    DibaAllocator::Config cfg;
+    double min_fraction; // of oracle utility after the horizon
+};
+
+class DibaConfigSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    static std::vector<ConfigCase>
+    cases()
+    {
+        std::vector<ConfigCase> out;
+        DibaAllocator::Config base;
+        out.push_back({"default", base, 0.985});
+
+        auto no_anneal = base;
+        no_anneal.eta_initial = no_anneal.eta;
+        out.push_back({"fixed floor barrier", no_anneal, 0.985});
+
+        auto loose = base;
+        loose.eta = loose.eta_initial;
+        // Never tightens onto the budget: capped utility.
+        out.push_back({"fixed loose barrier", loose, 0.85});
+
+        auto gated = base;
+        gated.deadband = 0.05;
+        out.push_back({"gated gossip", gated, 0.97});
+
+        auto tiny_moves = base;
+        tiny_moves.max_move = 1.0;
+        out.push_back({"small move cap", tiny_moves, 0.97});
+
+        auto heavy = base;
+        heavy.damping = 0.25;
+        out.push_back({"over-damped", heavy, 0.98});
+        return out;
+    }
+};
+
+TEST_P(DibaConfigSweep, SafeAndWithinExpectedDistance)
+{
+    const auto c = cases()[static_cast<std::size_t>(GetParam())];
+    const std::size_t n = 64;
+    const auto prob = test::npbProblem(n, 170.0, 41);
+    const auto opt = solveKkt(prob);
+    Rng topo_rng(42);
+    DibaAllocator diba(makeChordalRing(n, 16, topo_rng), c.cfg);
+    diba.reset(prob);
+    for (int it = 0; it < 4000; ++it) {
+        diba.iterate();
+        ASSERT_LT(diba.totalPower(), prob.budget) << c.label;
+    }
+    const double u = totalUtility(prob.utilities, diba.power());
+    EXPECT_GT(u, c.min_fraction * opt.utility)
+        << c.label << ": " << u << " vs " << opt.utility;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DibaConfigSweep,
+                         ::testing::Range(0, 6));
+
+TEST(DibaConfigTest, InvalidConfigsRejected)
+{
+    DibaAllocator::Config bad;
+    bad.eta = 0.0;
+    EXPECT_DEATH(DibaAllocator d(makeRing(4), bad), "positive");
+
+    DibaAllocator::Config inverted;
+    inverted.eta_initial = inverted.eta / 2.0;
+    EXPECT_DEATH(DibaAllocator d(makeRing(4), inverted), "floor");
+
+    DibaAllocator::Config keep;
+    keep.barrier_keep = 1.5;
+    EXPECT_DEATH(DibaAllocator d(makeRing(4), keep),
+                 "barrier_keep");
+
+    DibaAllocator::Config decay;
+    decay.eta_decay = 0.0;
+    EXPECT_DEATH(DibaAllocator d(makeRing(4), decay), "eta_decay");
+}
+
+TEST(DibaConfigTest, LooseBudgetEveryoneNearPeak)
+{
+    // With ample budget the barrier should not hold anyone back
+    // appreciably: everyone climbs to (near) peak power.
+    const std::size_t n = 24;
+    auto prob = test::npbProblem(n, 230.0, 43); // > p_max everywhere
+    DibaAllocator diba(makeRing(n));
+    diba.reset(prob);
+    for (int it = 0; it < 3000; ++it)
+        diba.iterate();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Near-peak in value terms (the top of a saturating curve
+        // is flat, so power converges there only asymptotically).
+        EXPECT_GT(anp(*prob.utilities[i], diba.power()[i]), 0.995)
+            << "node " << i;
+    }
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "alloc/greedy.hh"
+#include "alloc/kkt.hh"
+#include "alloc/uniform.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+TEST(GreedyTest, StaysWithinBudgetAndBoxes)
+{
+    const auto prob = test::npbProblem(50, 165.0, 1);
+    GreedyTpwAllocator greedy;
+    const auto res = greedy.allocate(prob);
+    EXPECT_LE(res.totalPower(), prob.budget + 1e-9);
+    for (std::size_t i = 0; i < prob.size(); ++i) {
+        EXPECT_GE(res.power[i],
+                  prob.utilities[i]->minPower() - 1e-9);
+        EXPECT_LE(res.power[i],
+                  prob.utilities[i]->maxPower() + 1e-9);
+    }
+}
+
+TEST(GreedyTest, UsesBudgetWhenAvailable)
+{
+    const auto prob = test::npbProblem(50, 170.0, 2);
+    GreedyTpwAllocator greedy;
+    const auto res = greedy.allocate(prob);
+    // Leaves less than one increment per server unspent.
+    EXPECT_GT(res.totalPower(),
+              prob.budget - 5.0 * static_cast<double>(prob.size()));
+}
+
+TEST(GreedyTest, NeverBeatsOracle)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const auto prob = test::npbProblem(60, 168.0, seed);
+        GreedyTpwAllocator greedy;
+        const auto res = greedy.allocate(prob);
+        const auto opt = solveKkt(prob);
+        EXPECT_LE(res.utility, opt.utility + 1e-9);
+    }
+}
+
+TEST(GreedyTest, SuboptimalOnCrossoverWorkloads)
+{
+    // Fig. 3.1's point: throughput-per-Watt ranking picks the wrong
+    // server when curves cross.  Server A: high value at low power
+    // but saturated (high tau/p, nothing to gain).  Server B: low
+    // value now but steep gains.
+    AllocationProblem prob;
+    prob.utilities.push_back(std::make_shared<QuadraticUtility>(
+        QuadraticUtility::fromShape(0.97, 1.0, 100.0, 200.0, 3.0)));
+    prob.utilities.push_back(std::make_shared<QuadraticUtility>(
+        QuadraticUtility::fromShape(0.30, 0.0, 100.0, 200.0, 1.0)));
+    prob.budget = 300.0;
+    GreedyTpwAllocator greedy;
+    const auto res = greedy.allocate(prob);
+    const auto opt = solveKkt(prob);
+    // Greedy funnels power to the saturated high-tau/p server and
+    // loses measurable utility.
+    EXPECT_GT(res.power[0], res.power[1]);
+    EXPECT_LT(res.utility, opt.utility - 1e-3);
+}
+
+TEST(GreedyTest, RejectsNonPositiveIncrement)
+{
+    GreedyTpwAllocator::Config cfg;
+    cfg.increment = 0.0;
+    GreedyTpwAllocator greedy(cfg);
+    auto prob = test::tinyProblem();
+    EXPECT_DEATH(greedy.allocate(prob), "increment");
+}
+
+TEST(UniformTest, EqualSharesClamped)
+{
+    const auto prob = test::npbProblem(40, 170.0, 5);
+    UniformAllocator uniform;
+    const auto res = uniform.allocate(prob);
+    for (double p : res.power)
+        EXPECT_DOUBLE_EQ(p, 170.0);
+    EXPECT_NEAR(res.totalPower(), prob.budget, 1e-9);
+}
+
+TEST(UniformTest, TrailsOracleOnHeterogeneousMixes)
+{
+    const auto prob = test::npbProblem(100, 170.0, 6);
+    UniformAllocator uniform;
+    const auto res = uniform.allocate(prob);
+    const auto opt = solveKkt(prob);
+    EXPECT_LT(res.utility, opt.utility);
+}
+
+} // namespace
+} // namespace dpc

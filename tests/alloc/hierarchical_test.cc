@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "alloc/hierarchical.hh"
+#include "alloc/kkt.hh"
+#include "alloc/uniform.hh"
+#include "metrics/performance.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+TEST(HierarchicalTest, FeasibleAndBoxed)
+{
+    const auto prob = test::npbProblem(100, 168.0, 1);
+    HierarchicalAllocator::Config cfg;
+    cfg.rack_size = 20;
+    HierarchicalAllocator h(cfg);
+    const auto res = h.allocate(prob);
+    EXPECT_LE(res.totalPower(), prob.budget + 1e-6);
+    for (std::size_t i = 0; i < prob.size(); ++i) {
+        EXPECT_GE(res.power[i],
+                  prob.utilities[i]->minPower() - 1e-9);
+        EXPECT_LE(res.power[i],
+                  prob.utilities[i]->maxPower() + 1e-9);
+    }
+}
+
+TEST(HierarchicalTest, BetweenUniformAndOracle)
+{
+    for (std::uint64_t seed : {2u, 3u, 4u}) {
+        const auto prob = test::npbProblem(120, 170.0, seed);
+        HierarchicalAllocator::Config cfg;
+        cfg.rack_size = 24;
+        HierarchicalAllocator h(cfg);
+        UniformAllocator uniform;
+        const auto r_h = h.allocate(prob);
+        const auto r_u = uniform.allocate(prob);
+        const auto opt = solveKkt(prob);
+        EXPECT_LE(r_h.utility, opt.utility + 1e-6) << seed;
+        EXPECT_GT(r_h.utility, r_u.utility) << seed;
+        // With exact intra-rack solves and sampled inter-rack
+        // splits, the hierarchy lands close to the optimum.
+        EXPECT_TRUE(withinFractionOfOptimal(r_h.utility,
+                                            opt.utility, 0.98))
+            << seed << ": " << r_h.utility << " vs "
+            << opt.utility;
+    }
+}
+
+TEST(HierarchicalTest, DegenerateRackSizes)
+{
+    const auto prob = test::npbProblem(30, 170.0, 5);
+    // Rack of one: level 1 is the whole problem.
+    HierarchicalAllocator::Config one;
+    one.rack_size = 1;
+    const auto r1 = HierarchicalAllocator(one).allocate(prob);
+    EXPECT_LE(r1.totalPower(), prob.budget + 1e-6);
+    // One giant rack: level 2 is the whole problem (exact).
+    HierarchicalAllocator::Config whole;
+    whole.rack_size = 64;
+    const auto r2 = HierarchicalAllocator(whole).allocate(prob);
+    const auto opt = solveKkt(prob);
+    EXPECT_NEAR(r2.utility, opt.utility, 1e-6 * opt.utility);
+}
+
+TEST(HierarchicalTest, MoreSamplesCannotHurtMuch)
+{
+    const auto prob = test::npbProblem(80, 169.0, 6);
+    HierarchicalAllocator::Config coarse;
+    coarse.rack_size = 16;
+    coarse.samples = 3;
+    HierarchicalAllocator::Config fine;
+    fine.rack_size = 16;
+    fine.samples = 17;
+    const auto r_coarse =
+        HierarchicalAllocator(coarse).allocate(prob);
+    const auto r_fine = HierarchicalAllocator(fine).allocate(prob);
+    EXPECT_GE(r_fine.utility, r_coarse.utility - 1e-3);
+}
+
+TEST(HierarchicalTest, RejectsBadConfig)
+{
+    HierarchicalAllocator::Config cfg;
+    cfg.samples = 2;
+    HierarchicalAllocator h(cfg);
+    auto prob = test::tinyProblem();
+    EXPECT_DEATH(h.allocate(prob), "samples");
+}
+
+} // namespace
+} // namespace dpc

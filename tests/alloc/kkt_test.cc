@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "alloc/kkt.hh"
+#include "metrics/performance.hh"
+#include "tests/alloc/test_problems.hh"
+#include "util/rng.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+TEST(KktTest, SlackBudgetGivesEveryonePeakPower)
+{
+    auto prob = test::tinyProblem();
+    prob.budget = 1000.0; // far more than 2 * 200
+    KktAllocator kkt;
+    const auto res = kkt.allocate(prob);
+    EXPECT_DOUBLE_EQ(res.power[0], 200.0);
+    EXPECT_DOUBLE_EQ(res.power[1], 200.0);
+    EXPECT_EQ(kkt.lastLambda(), 0.0);
+}
+
+TEST(KktTest, TightBudgetMeetsConstraint)
+{
+    const auto prob = test::tinyProblem();
+    const auto res = solveKkt(prob);
+    EXPECT_NEAR(res.totalPower(), prob.budget, 1e-6);
+    // Compute-bound server 0 deserves more power than the
+    // saturating server 1.
+    EXPECT_GT(res.power[0], res.power[1]);
+}
+
+TEST(KktTest, EqualShadowPriceAtOptimum)
+{
+    const auto prob = test::npbProblem(40, 170.0, 3);
+    KktAllocator kkt;
+    const auto res = kkt.allocate(prob);
+    const double lambda = kkt.lastLambda();
+    ASSERT_GT(lambda, 0.0);
+    for (std::size_t i = 0; i < prob.size(); ++i) {
+        const auto &u = *prob.utilities[i];
+        const double p = res.power[i];
+        if (p > u.minPower() + 1e-6 && p < u.maxPower() - 1e-6) {
+            // Interior servers share the price.
+            EXPECT_NEAR(u.derivative(p), lambda, 1e-5);
+        } else if (p <= u.minPower() + 1e-6) {
+            EXPECT_LE(u.derivative(p), lambda + 1e-5);
+        } else {
+            EXPECT_GE(u.derivative(p), lambda - 1e-5);
+        }
+    }
+}
+
+TEST(KktTest, BeatsRandomFeasiblePoints)
+{
+    const auto prob = test::npbProblem(30, 165.0, 7);
+    const auto res = solveKkt(prob);
+    Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        // Random feasible point: random in boxes, scaled back.
+        std::vector<double> p(prob.size());
+        for (std::size_t i = 0; i < prob.size(); ++i) {
+            const auto &u = *prob.utilities[i];
+            p[i] = rng.uniform(u.minPower(), u.maxPower());
+        }
+        const double total = sum(p);
+        if (total > prob.budget) {
+            // Pull back toward minimums proportionally.
+            const double need = total - prob.budget;
+            double slack = 0.0;
+            for (std::size_t i = 0; i < p.size(); ++i)
+                slack += p[i] - prob.utilities[i]->minPower();
+            for (std::size_t i = 0; i < p.size(); ++i) {
+                p[i] -= need *
+                        (p[i] - prob.utilities[i]->minPower()) /
+                        slack;
+            }
+        }
+        const double u_rand = totalUtility(prob.utilities, p);
+        EXPECT_LE(u_rand, res.utility + 1e-9);
+    }
+}
+
+/** Budget sweep: monotone utility, binding constraint when tight. */
+class KktBudgetSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(KktBudgetSweep, FeasibleAndMonotone)
+{
+    const auto prob = test::npbProblem(60, GetParam(), 11);
+    const auto res = solveKkt(prob);
+    EXPECT_LE(res.totalPower(), prob.budget + 1e-6);
+    for (std::size_t i = 0; i < prob.size(); ++i) {
+        EXPECT_GE(res.power[i],
+                  prob.utilities[i]->minPower() - 1e-9);
+        EXPECT_LE(res.power[i],
+                  prob.utilities[i]->maxPower() + 1e-9);
+    }
+    // Utility grows with the budget.
+    auto looser = prob;
+    looser.budget += 500.0;
+    const auto res2 = solveKkt(looser);
+    EXPECT_GE(res2.utility, res.utility - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, KktBudgetSweep,
+                         ::testing::Values(140.0, 155.0, 166.0,
+                                           174.0, 186.0, 210.0));
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alloc/knapsack.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+namespace {
+
+TEST(CapGridTest, CapIndexing)
+{
+    CapGrid grid; // 130..165 step 5, 8 levels
+    EXPECT_DOUBLE_EQ(grid.capAt(0), 130.0);
+    EXPECT_DOUBLE_EQ(grid.capAt(7), 165.0);
+    EXPECT_DOUBLE_EQ(grid.maxCap(), 165.0);
+    EXPECT_DEATH(grid.capAt(8), "out of range");
+}
+
+/** Exhaustive reference for small instances. */
+double
+bruteForceBest(const std::vector<std::vector<double>> &values,
+               const CapGrid &grid, double budget)
+{
+    const std::size_t n = values.size();
+    double best = -1e300;
+    std::vector<std::size_t> pick(n, 0);
+    while (true) {
+        double power = 0.0;
+        double logv = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            power += grid.capAt(pick[i]);
+            logv += std::log(values[i][pick[i]]);
+        }
+        if (power <= budget)
+            best = std::max(best, logv);
+        // Odometer increment.
+        std::size_t i = 0;
+        while (i < n && ++pick[i] == grid.levels) {
+            pick[i] = 0;
+            ++i;
+        }
+        if (i == n)
+            break;
+    }
+    return best;
+}
+
+TEST(KnapsackTest, MatchesBruteForceOnRandomInstances)
+{
+    Rng rng(7);
+    CapGrid grid;
+    grid.levels = 4; // keep 4^n enumerable
+    KnapsackBudgeter budgeter(grid);
+    for (int trial = 0; trial < 25; ++trial) {
+        const std::size_t n = 2 + rng.index(5);
+        std::vector<std::vector<double>> values(
+            n, std::vector<double>(grid.levels));
+        for (auto &row : values) {
+            double v = rng.uniform(0.3, 0.8);
+            for (auto &cell : row) {
+                cell = v;
+                v += rng.uniform(0.0, 0.2); // non-decreasing
+            }
+        }
+        const double budget =
+            grid.p0 * static_cast<double>(n) +
+            rng.uniform(0.0, grid.increment *
+                                 static_cast<double>(
+                                     (grid.levels - 1) * n));
+        const auto res = budgeter.allocate(values, budget);
+        const double ref = bruteForceBest(values, grid, budget);
+        EXPECT_NEAR(res.log_value, ref, 1e-9) << "trial " << trial;
+        EXPECT_LE(res.total_power, budget + 1e-9);
+    }
+}
+
+TEST(KnapsackTest, FullBudgetPicksTopCaps)
+{
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+    std::vector<std::vector<double>> values(
+        5, std::vector<double>(grid.levels));
+    for (auto &row : values)
+        for (std::size_t j = 0; j < grid.levels; ++j)
+            row[j] = 1.0 + 0.1 * static_cast<double>(j);
+    const auto res = budgeter.allocate(values, 5 * 165.0);
+    for (auto c : res.choice)
+        EXPECT_EQ(c, grid.levels - 1);
+}
+
+TEST(KnapsackTest, FloorBudgetPicksBottomCaps)
+{
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+    std::vector<std::vector<double>> values(
+        4, std::vector<double>(grid.levels, 1.0));
+    for (auto &row : values)
+        for (std::size_t j = 0; j < grid.levels; ++j)
+            row[j] += 0.05 * static_cast<double>(j);
+    const auto res = budgeter.allocate(values, 4 * 130.0 + 2.0);
+    for (auto c : res.choice)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(KnapsackTest, PrefersSteeperServer)
+{
+    CapGrid grid;
+    grid.levels = 2;
+    KnapsackBudgeter budgeter(grid);
+    // One increment available; server 1 gains more (in ratio).
+    std::vector<std::vector<double>> values{
+        {1.0, 1.02},
+        {1.0, 1.50},
+    };
+    const auto res = budgeter.allocate(values, 2 * 130.0 + 5.0);
+    EXPECT_EQ(res.choice[0], 0u);
+    EXPECT_EQ(res.choice[1], 1u);
+}
+
+TEST(KnapsackTest, RejectsBadInputs)
+{
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+    std::vector<std::vector<double>> values(
+        2, std::vector<double>(grid.levels, 1.0));
+    EXPECT_DEATH(budgeter.allocate(values, 100.0), "floor");
+    values[0][0] = 0.0;
+    EXPECT_DEATH(budgeter.allocate(values, 400.0), "positive");
+    values[0] = {1.0};
+    EXPECT_DEATH(budgeter.allocate(values, 400.0), "width");
+}
+
+TEST(KnapsackTest, MaximizesGeomeanNotSum)
+{
+    // Product objective: lifting the weakest server from 0.1 to 0.2
+    // (x2) beats lifting a strong one from 1.0 to 1.5 (x1.5), even
+    // though the sum objective prefers the latter.
+    CapGrid grid;
+    grid.levels = 2;
+    KnapsackBudgeter budgeter(grid);
+    std::vector<std::vector<double>> values{
+        {0.1, 0.2},
+        {1.0, 1.5},
+    };
+    const auto res = budgeter.allocate(values, 2 * 130.0 + 5.0);
+    EXPECT_EQ(res.choice[0], 1u);
+    EXPECT_EQ(res.choice[1], 0u);
+}
+
+} // namespace
+} // namespace dpc

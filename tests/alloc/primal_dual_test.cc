@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "alloc/kkt.hh"
+#include "alloc/primal_dual.hh"
+#include "metrics/performance.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+TEST(PrimalDualTest, SlackBudgetConvergesImmediately)
+{
+    auto prob = test::tinyProblem();
+    prob.budget = 1000.0;
+    PrimalDualAllocator pd;
+    const auto res = pd.allocate(prob);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 1u);
+    EXPECT_DOUBLE_EQ(res.power[0], 200.0);
+}
+
+TEST(PrimalDualTest, ReachesOracleUtility)
+{
+    for (std::uint64_t seed : {1u, 4u, 8u}) {
+        const auto prob = test::npbProblem(200, 170.0, seed);
+        PrimalDualAllocator pd;
+        const auto res = pd.allocate(prob);
+        const auto opt = solveKkt(prob);
+        EXPECT_TRUE(res.converged) << "seed " << seed;
+        EXPECT_TRUE(withinFractionOfOptimal(res.utility,
+                                            opt.utility, 0.999))
+            << "seed " << seed;
+    }
+}
+
+TEST(PrimalDualTest, ReportedPointIsFeasible)
+{
+    const auto prob = test::npbProblem(150, 165.0, 2);
+    PrimalDualAllocator pd;
+    const auto res = pd.allocate(prob);
+    EXPECT_LE(res.totalPower(), prob.budget + 1e-6);
+    for (std::size_t i = 0; i < prob.size(); ++i) {
+        EXPECT_GE(res.power[i],
+                  prob.utilities[i]->minPower() - 1e-9);
+        EXPECT_LE(res.power[i],
+                  prob.utilities[i]->maxPower() + 1e-9);
+    }
+}
+
+TEST(PrimalDualTest, ConvergesInFewIterations)
+{
+    // The paper's Table 4.2 behaviour: a handful of coordinator
+    // round trips to 99% of optimal, independent of cluster size
+    // (the tail to the tight default tolerance takes longer but
+    // stays bounded).
+    for (std::size_t n : {400u, 1600u}) {
+        const auto prob = test::npbProblem(n, 172.0, 13);
+        const auto opt = solveKkt(prob);
+        PrimalDualAllocator pd;
+        const auto res = pd.allocate(prob);
+        EXPECT_TRUE(res.converged);
+        EXPECT_LE(res.iterations, 150u) << "n=" << n;
+
+        const auto &trace = pd.utilityTrace();
+        std::size_t to99 = trace.size();
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            if (withinFractionOfOptimal(trace[i], opt.utility,
+                                        0.99)) {
+                to99 = i + 1;
+                break;
+            }
+        }
+        EXPECT_LE(to99, 15u) << "n=" << n;
+    }
+}
+
+TEST(PrimalDualTest, UtilityTraceImprovesOverall)
+{
+    const auto prob = test::npbProblem(100, 168.0, 3);
+    PrimalDualAllocator pd;
+    pd.allocate(prob);
+    const auto &trace = pd.utilityTrace();
+    ASSERT_GE(trace.size(), 2u);
+    EXPECT_GT(trace.back(), trace.front());
+}
+
+TEST(PrimalDualTest, IterationCapRespected)
+{
+    PrimalDualAllocator::Config cfg;
+    cfg.max_iterations = 5;
+    cfg.tolerance = 0.0;
+    PrimalDualAllocator pd(cfg);
+    const auto res = pd.allocate(test::npbProblem(50, 160.0, 6));
+    EXPECT_LE(res.iterations, 5u);
+}
+
+} // namespace
+} // namespace dpc

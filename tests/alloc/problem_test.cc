@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "alloc/problem.hh"
+#include "tests/alloc/test_problems.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+TEST(ProblemTest, TotalsAndFeasibility)
+{
+    const auto prob = test::tinyProblem();
+    EXPECT_DOUBLE_EQ(prob.minTotalPower(), 200.0);
+    EXPECT_DOUBLE_EQ(prob.maxTotalPower(), 400.0);
+    EXPECT_TRUE(prob.isFeasible());
+
+    auto tight = prob;
+    tight.budget = 150.0;
+    EXPECT_FALSE(tight.isFeasible());
+    EXPECT_DEATH(tight.validate(), "infeasible");
+}
+
+TEST(ProblemTest, ValidateRejectsEmptyAndNull)
+{
+    AllocationProblem empty;
+    empty.budget = 100.0;
+    EXPECT_DEATH(empty.validate(), "no servers");
+
+    AllocationProblem withnull;
+    withnull.utilities.push_back(nullptr);
+    withnull.budget = 100.0;
+    EXPECT_DEATH(withnull.validate(), "null utility");
+}
+
+TEST(ProblemTest, UniformStartSplitsEvenly)
+{
+    const auto prob = test::tinyProblem(); // budget 310, boxes 100-200
+    const auto p = uniformStart(prob);
+    ASSERT_EQ(p.size(), 2u);
+    EXPECT_DOUBLE_EQ(p[0], 155.0);
+    EXPECT_DOUBLE_EQ(p[1], 155.0);
+}
+
+TEST(ProblemTest, UniformStartClampsIntoBoxes)
+{
+    AllocationProblem prob;
+    prob.utilities.push_back(std::make_shared<QuadraticUtility>(
+        QuadraticUtility::fromShape(0.5, 0.5, 100.0, 140.0)));
+    prob.utilities.push_back(std::make_shared<QuadraticUtility>(
+        QuadraticUtility::fromShape(0.5, 0.5, 100.0, 300.0)));
+    prob.budget = 400.0;
+    const auto p = uniformStart(prob);
+    EXPECT_DOUBLE_EQ(p[0], 140.0); // clamped to its max
+    EXPECT_DOUBLE_EQ(p[1], 200.0);
+}
+
+TEST(ProblemTest, UniformStartSlackLeavesHeadroom)
+{
+    const auto prob = test::npbProblem(50, 170.0, 1);
+    const auto p = uniformStart(prob, 0.02);
+    EXPECT_LT(sum(p), prob.budget);
+    EXPECT_NEAR(sum(p), 0.98 * prob.budget, 1e-6);
+}
+
+TEST(ProblemTest, ResultTotalPower)
+{
+    AllocationResult res;
+    res.power = {10.0, 20.0, 30.0};
+    EXPECT_DOUBLE_EQ(res.totalPower(), 60.0);
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared problem builders for the allocator tests.
+ */
+
+#ifndef DPC_TESTS_ALLOC_TEST_PROBLEMS_HH
+#define DPC_TESTS_ALLOC_TEST_PROBLEMS_HH
+
+#include "alloc/problem.hh"
+#include "workload/generator.hh"
+
+namespace dpc {
+namespace test {
+
+/** Random NPB/HPCC problem with budget at `watts_per_node` * n. */
+inline AllocationProblem
+npbProblem(std::size_t n, double watts_per_node, std::uint64_t seed)
+{
+    Rng rng(seed);
+    AllocationProblem prob;
+    prob.utilities = utilitiesOf(drawNpbAssignment(n, rng));
+    prob.budget = watts_per_node * static_cast<double>(n);
+    return prob;
+}
+
+/** Tiny fixed problem with hand-checkable structure. */
+inline AllocationProblem
+tinyProblem()
+{
+    AllocationProblem prob;
+    // A compute-bound and a memory-bound server.
+    prob.utilities.push_back(std::make_shared<QuadraticUtility>(
+        QuadraticUtility::fromShape(0.4, 0.2, 100.0, 200.0)));
+    prob.utilities.push_back(std::make_shared<QuadraticUtility>(
+        QuadraticUtility::fromShape(0.9, 0.9, 100.0, 200.0)));
+    prob.budget = 310.0;
+    return prob;
+}
+
+} // namespace test
+} // namespace dpc
+
+#endif // DPC_TESTS_ALLOC_TEST_PROBLEMS_HH

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "cluster/sim.hh"
+#include "graph/topologies.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+ClusterSim
+makeSim(std::size_t n, double budget_per_node, ClusterSimConfig cfg)
+{
+    Rng rng(7);
+    auto assignment = drawNpbAssignment(n, rng);
+    return ClusterSim(std::move(assignment), makeRing(n),
+                      budget_per_node * static_cast<double>(n),
+                      DibaAllocator::Config(), cfg);
+}
+
+TEST(ClusterSimTest, RunsAndRecordsSamples)
+{
+    ClusterSimConfig cfg;
+    auto sim = makeSim(32, 170.0, cfg);
+    const auto samples = sim.run(20.0);
+    ASSERT_EQ(samples.size(), 20u);
+    for (const auto &s : samples) {
+        EXPECT_GT(s.snp, 0.0);
+        EXPECT_LE(s.snp, 1.0 + 1e-9);
+        EXPECT_GT(s.consumed_power, 0.0);
+    }
+}
+
+TEST(ClusterSimTest, AllocatedPowerStaysUnderBudget)
+{
+    ClusterSimConfig cfg;
+    auto sim = makeSim(32, 168.0, cfg);
+    const auto samples = sim.run(30.0);
+    for (const auto &s : samples)
+        EXPECT_LT(s.allocated_power, s.budget);
+}
+
+TEST(ClusterSimTest, BudgetScheduleIsFollowed)
+{
+    ClusterSimConfig cfg;
+    auto sim = makeSim(32, 170.0, cfg);
+    const double hi = 32 * 180.0;
+    const double lo = 32 * 160.0;
+    sim.setBudgetSchedule(
+        [=](double t) { return t < 10.0 ? hi : lo; });
+    const auto samples = sim.run(20.0);
+    EXPECT_DOUBLE_EQ(samples[5].budget, hi);
+    EXPECT_DOUBLE_EQ(samples[15].budget, lo);
+    // Power tracks the drop without overshoot.
+    for (std::size_t i = 11; i < 20; ++i)
+        EXPECT_LT(samples[i].allocated_power, lo);
+}
+
+TEST(ClusterSimTest, SnpRecoversAfterBudgetDrop)
+{
+    ClusterSimConfig cfg;
+    auto sim = makeSim(48, 175.0, cfg);
+    const double hi = 48 * 185.0;
+    const double lo = 48 * 165.0;
+    sim.setBudgetSchedule(
+        [=](double t) { return t < 15.0 ? hi : lo; });
+    const auto samples = sim.run(40.0);
+    // SNP at the lower budget settles below the high-budget SNP
+    // but stays reasonable.
+    const double snp_hi = samples[14].snp;
+    const double snp_lo = samples[39].snp;
+    EXPECT_LT(snp_lo, snp_hi);
+    EXPECT_GT(snp_lo, 0.6);
+}
+
+TEST(ClusterSimTest, DibaBeatsUniformOnHeterogeneousMix)
+{
+    ClusterSimConfig diba_cfg;
+    auto diba_sim = makeSim(64, 170.0, diba_cfg);
+    const auto diba_samples = diba_sim.run(30.0);
+
+    ClusterSimConfig uni_cfg;
+    uni_cfg.policy = SimPolicy::Uniform;
+    auto uni_sim = makeSim(64, 170.0, uni_cfg);
+    const auto uni_samples = uni_sim.run(30.0);
+
+    // Compare steady-state SNP (last 10 samples).
+    double diba_snp = 0.0, uni_snp = 0.0;
+    for (std::size_t i = 20; i < 30; ++i) {
+        diba_snp += diba_samples[i].snp;
+        uni_snp += uni_samples[i].snp;
+    }
+    EXPECT_GT(diba_snp, uni_snp * 1.02);
+}
+
+TEST(ClusterSimTest, ChurnReplacesWorkloads)
+{
+    ClusterSimConfig cfg;
+    cfg.mean_job_s = 5.0;
+    auto sim = makeSim(32, 170.0, cfg);
+    const auto names_before = sim.workloadNames();
+    sim.run(60.0);
+    const auto names_after = sim.workloadNames();
+    std::size_t changed = 0;
+    for (std::size_t i = 0; i < names_before.size(); ++i)
+        changed += names_before[i] != names_after[i] ? 1 : 0;
+    // With 5 s mean jobs over 60 s, most servers churned at least
+    // once (some may have drawn the same benchmark again).
+    EXPECT_GT(changed, 10u);
+}
+
+TEST(ClusterSimTest, ChurnKeepsBudgetGuarantee)
+{
+    ClusterSimConfig cfg;
+    cfg.mean_job_s = 4.0;
+    auto sim = makeSim(32, 168.0, cfg);
+    const auto samples = sim.run(60.0);
+    for (const auto &s : samples)
+        EXPECT_LT(s.allocated_power, s.budget);
+}
+
+TEST(ClusterSimTest, CapObserverSeesEveryStep)
+{
+    ClusterSimConfig cfg;
+    auto sim = makeSim(16, 170.0, cfg);
+    std::size_t calls = 0;
+    sim.setCapObserver(
+        [&](double, const std::vector<double> &caps) {
+            ++calls;
+            EXPECT_EQ(caps.size(), 16u);
+        });
+    sim.run(12.0);
+    EXPECT_EQ(calls, 12u);
+}
+
+} // namespace
+} // namespace dpc

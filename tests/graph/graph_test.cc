@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hh"
+
+namespace dpc {
+namespace {
+
+TEST(GraphTest, EmptyGraphBasics)
+{
+    Graph g(5);
+    EXPECT_EQ(g.numVertices(), 5u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_EQ(g.averageDegree(), 0.0);
+    EXPECT_FALSE(g.isConnected());
+}
+
+TEST(GraphTest, AddEdgeRejectsSelfLoopsAndDuplicates)
+{
+    Graph g(3);
+    EXPECT_TRUE(g.addEdge(0, 1));
+    EXPECT_FALSE(g.addEdge(0, 0));
+    EXPECT_FALSE(g.addEdge(1, 0));
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(GraphTest, HasEdgeSymmetric)
+{
+    Graph g(4);
+    g.addEdge(1, 3);
+    EXPECT_TRUE(g.hasEdge(1, 3));
+    EXPECT_TRUE(g.hasEdge(3, 1));
+    EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(GraphTest, DegreesAndAverage)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(0, 3);
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.maxDegree(), 3u);
+    EXPECT_DOUBLE_EQ(g.averageDegree(), 1.5);
+}
+
+TEST(GraphTest, BfsDistancesOnPath)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    const auto d = g.bfsDistances(0);
+    EXPECT_EQ(d[0], 0u);
+    EXPECT_EQ(d[3], 3u);
+}
+
+TEST(GraphTest, BfsUnreachableSentinel)
+{
+    Graph g(3);
+    g.addEdge(0, 1);
+    const auto d = g.bfsDistances(0);
+    EXPECT_EQ(d[2], g.numVertices());
+}
+
+TEST(GraphTest, ConnectivityDetection)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(2, 3);
+    EXPECT_FALSE(g.isConnected());
+    g.addEdge(1, 2);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GraphTest, DiameterOfPathGraph)
+{
+    Graph g(5);
+    for (std::size_t v = 0; v + 1 < 5; ++v)
+        g.addEdge(v, v + 1);
+    EXPECT_EQ(g.diameter(), 4u);
+}
+
+TEST(GraphTest, OutOfRangePanics)
+{
+    Graph g(2);
+    EXPECT_DEATH(g.addEdge(0, 2), "out of range");
+    EXPECT_DEATH(g.neighbors(5), "out of range");
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hh"
+
+namespace dpc {
+namespace {
+
+TEST(TopologiesTest, RingStructure)
+{
+    const auto g = makeRing(6);
+    EXPECT_EQ(g.numEdges(), 6u);
+    for (std::size_t v = 0; v < 6; ++v)
+        EXPECT_EQ(g.degree(v), 2u);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_EQ(g.diameter(), 3u);
+}
+
+TEST(TopologiesTest, ChordalRingAddsExactChords)
+{
+    Rng rng(1);
+    const auto g = makeChordalRing(20, 5, rng);
+    EXPECT_EQ(g.numEdges(), 25u);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(TopologiesTest, StarStructure)
+{
+    const auto g = makeStar(8);
+    EXPECT_EQ(g.numEdges(), 7u);
+    EXPECT_EQ(g.degree(0), 7u);
+    for (std::size_t v = 1; v < 8; ++v)
+        EXPECT_EQ(g.degree(v), 1u);
+    EXPECT_TRUE(g.isConnected());
+}
+
+TEST(TopologiesTest, CompleteGraph)
+{
+    const auto g = makeComplete(5);
+    EXPECT_EQ(g.numEdges(), 10u);
+    EXPECT_EQ(g.diameter(), 1u);
+}
+
+class ErdosRenyiTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ErdosRenyiTest, ConnectedWithExactEdgeCount)
+{
+    const std::size_t m = GetParam();
+    Rng rng(m);
+    const auto g = makeConnectedErdosRenyi(30, m, rng);
+    EXPECT_EQ(g.numVertices(), 30u);
+    EXPECT_EQ(g.numEdges(), m);
+    EXPECT_TRUE(g.isConnected());
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeCounts, ErdosRenyiTest,
+                         ::testing::Values(35, 45, 60, 90, 150, 300));
+
+TEST(TopologiesTest, ErdosRenyiBoundsChecked)
+{
+    Rng rng(2);
+    EXPECT_DEATH(makeConnectedErdosRenyi(10, 8, rng), "few edges");
+    EXPECT_DEATH(makeConnectedErdosRenyi(10, 46, rng), "pairs");
+}
+
+class SparseConnectedTest
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SparseConnectedTest, ConnectedWithExactEdges)
+{
+    const std::size_t m = GetParam();
+    Rng rng(m * 7 + 1);
+    const auto g = makeRandomConnectedGraph(50, m, rng);
+    EXPECT_EQ(g.numVertices(), 50u);
+    EXPECT_EQ(g.numEdges(), m);
+    EXPECT_TRUE(g.isConnected());
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeCounts, SparseConnectedTest,
+                         ::testing::Values(49, 55, 70, 100, 200));
+
+TEST(TopologiesTest, SparseConnectedBoundsChecked)
+{
+    Rng rng(9);
+    EXPECT_DEATH(makeRandomConnectedGraph(10, 8, rng), "few edges");
+    EXPECT_DEATH(makeRandomConnectedGraph(10, 46, rng), "pairs");
+}
+
+TEST(TopologiesTest, TwoTierFabricShape)
+{
+    // 10 servers in racks of 4 -> 3 ToR switches + 1 core.
+    const auto g = makeTwoTierFabric(10, 4);
+    EXPECT_EQ(g.numVertices(), 14u);
+    EXPECT_TRUE(g.isConnected());
+    // Every server leaf has degree 1.
+    for (std::size_t s = 0; s < 10; ++s)
+        EXPECT_EQ(g.degree(s), 1u);
+    // First ToR connects 4 servers + core.
+    EXPECT_EQ(g.degree(10), 5u);
+    // Core connects the 3 ToRs.
+    EXPECT_EQ(g.degree(13), 3u);
+}
+
+TEST(TopologiesTest, AverageDegreeGrowsWithEdges)
+{
+    Rng rng(3);
+    const auto sparse = makeConnectedErdosRenyi(40, 45, rng);
+    const auto dense = makeConnectedErdosRenyi(40, 200, rng);
+    EXPECT_LT(sparse.averageDegree(), dense.averageDegree());
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "alloc/diba.hh"
+#include "alloc/kkt.hh"
+#include "cluster/sim.hh"
+#include "graph/topologies.hh"
+#include "metrics/performance.hh"
+#include "tests/alloc/test_problems.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+/**
+ * Fig. 4.4 shape: a budget staircase tracked closely from above,
+ * never violated from below.
+ */
+TEST(DynamicScenariosTest, BudgetStaircaseTracked)
+{
+    const std::size_t n = 64;
+    Rng rng(61);
+    auto assignment = drawNpbAssignment(n, rng);
+    ClusterSimConfig cfg;
+    ClusterSim sim(std::move(assignment), makeRing(n),
+                   static_cast<double>(n) * 180.0,
+                   DibaAllocator::Config(), cfg);
+    const std::vector<double> levels{180.0, 170.0, 185.0, 165.0};
+    sim.setBudgetSchedule([&](double t) {
+        const auto k =
+            std::min<std::size_t>(static_cast<std::size_t>(t / 20.0),
+                                  levels.size() - 1);
+        return static_cast<double>(n) * levels[k];
+    });
+    const auto samples = sim.run(80.0);
+    for (const auto &s : samples) {
+        EXPECT_LT(s.allocated_power, s.budget);
+    }
+    // In the steady part of each plateau, allocation tracks within
+    // a few percent of the budget (near-optimal usage).
+    for (std::size_t plateau = 0; plateau < 4; ++plateau) {
+        const std::size_t idx = plateau * 20 + 15;
+        EXPECT_GT(samples[idx].allocated_power,
+                  0.93 * samples[idx].budget)
+            << "plateau " << plateau;
+    }
+}
+
+/**
+ * Figs. 4.5/4.6 shape: on a drop the power is shed within one
+ * control step; on a jump the power climbs over a few steps.
+ */
+TEST(DynamicScenariosTest, DropIsImmediateJumpIsGradual)
+{
+    const std::size_t n = 100;
+    const auto prob = test::npbProblem(n, 190.0, 62);
+    DibaAllocator diba(makeRing(n));
+    diba.reset(prob);
+    for (int it = 0; it < 2000; ++it)
+        diba.iterate();
+
+    // Drop 190 -> 170 W/node.
+    const double lo = static_cast<double>(n) * 170.0;
+    diba.setBudget(lo);
+    EXPECT_LE(diba.totalPower(), lo); // same control step
+
+    // Jump back 170 -> 190.
+    for (int it = 0; it < 2000; ++it)
+        diba.iterate();
+    const double hi = static_cast<double>(n) * 190.0;
+    const double before = diba.totalPower();
+    diba.setBudget(hi);
+    // No instantaneous jump...
+    EXPECT_NEAR(diba.totalPower(), before, 1e-9);
+    // ...but the headroom is consumed over subsequent rounds.
+    for (int it = 0; it < 2000; ++it)
+        diba.iterate();
+    EXPECT_GT(diba.totalPower(), before + 0.05 * (hi - before));
+    EXPECT_LT(diba.totalPower(), hi);
+}
+
+/**
+ * Fig. 4.7 shape: under continuous churn the SNP stays near the
+ * moving optimum and the budget is never violated.
+ */
+TEST(DynamicScenariosTest, ChurnTracksMovingOptimum)
+{
+    const std::size_t n = 64;
+    Rng rng(63);
+    auto assignment = drawNpbAssignment(n, rng);
+    ClusterSimConfig cfg;
+    cfg.mean_job_s = 8.0;
+    cfg.diba_rounds_per_step = 120;
+    ClusterSim sim(std::move(assignment), makeRing(n),
+                   static_cast<double>(n) * 175.0,
+                   DibaAllocator::Config(), cfg);
+    const auto samples = sim.run(90.0);
+
+    // Budget guarantee throughout the churn.
+    for (const auto &s : samples)
+        EXPECT_LT(s.allocated_power, s.budget);
+
+    // Compare the achieved caps against the oracle for the final
+    // workload mix.
+    AllocationProblem prob{utilitiesOf({}), 0.0};
+    prob.utilities = sim.diba().utilities();
+    prob.budget = static_cast<double>(n) * 175.0;
+    const auto opt = solveKkt(prob);
+    const double u_diba =
+        totalUtility(prob.utilities, sim.diba().power());
+    EXPECT_TRUE(
+        withinFractionOfOptimal(u_diba, opt.utility, 0.95));
+}
+
+/**
+ * Fig. 4.8 shape: the estimation disturbance from a single node's
+ * utility change spreads outward along the ring over iterations.
+ */
+TEST(DynamicScenariosTest, EstimateDisturbancePropagatesLocally)
+{
+    const std::size_t n = 100;
+    const auto prob = test::npbProblem(n, 172.0, 64);
+    DibaAllocator diba(makeRing(n));
+    diba.reset(prob);
+    for (int it = 0; it < 4000; ++it)
+        diba.iterate();
+    const auto e_before = diba.estimates();
+
+    // Perturb to the opposite workload class so the change really
+    // shifts node 50's demand.
+    const auto &u50 = *prob.utilities[50];
+    const bool saturating =
+        u50.value(u50.minPower()) / u50.peakValue() > 0.55;
+    diba.setUtility(
+        50, std::make_shared<QuadraticUtility>(
+                saturating ? QuadraticUtility::fromShape(
+                                 0.18, 0.03, 120.0, 220.0)
+                           : QuadraticUtility::fromShape(
+                                 0.88, 1.0, 120.0, 220.0)));
+    // After a few rounds the disturbance is concentrated near node
+    // 50.
+    for (int it = 0; it < 10; ++it)
+        diba.iterate();
+    const auto e_mid = diba.estimates();
+    double near = 0.0, far = 0.0;
+    for (std::size_t i = 45; i <= 55; ++i)
+        near += std::fabs(e_mid[i] - e_before[i]);
+    for (std::size_t i = 0; i <= 10; ++i)
+        far += std::fabs(e_mid[i] - e_before[i]);
+    EXPECT_GT(near, 2.0 * far);
+}
+
+} // namespace
+} // namespace dpc

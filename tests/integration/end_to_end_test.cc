@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "alloc/knapsack.hh"
+#include "alloc/uniform.hh"
+#include "metrics/performance.hh"
+#include "model/predictors.hh"
+#include "thermal/total_budgeter.hh"
+#include "workload/generator.hh"
+
+namespace dpc {
+namespace {
+
+/**
+ * The full Chapter-3 pipeline at reduced scale: characterize ->
+ * train predictor -> predict per-cap values -> knapsack budget ->
+ * compare against uniform and the oracle knapsack.
+ */
+TEST(EndToEndTest, PredictorKnapsackBeatsUniform)
+{
+    Rng rng(31);
+    const std::size_t n = 120;
+    const auto cluster =
+        drawSpecMixAssignment(n, MixKind::HomogeneousWithinServer,
+                              rng);
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+
+    // Train the proposed predictor on a disjoint characterization
+    // database.
+    auto predictor = makeQuadraticLlcTpPredictor();
+    Rng train_rng(32);
+    predictor->train(makeCharacterizationSet(200, train_rng));
+
+    // Runtime observations at a mid cap; predicted values per cap.
+    std::vector<std::vector<double>> predicted(n);
+    std::vector<std::vector<double>> oracle(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &u = *cluster[i].utility;
+        ServerObservation obs{145.0, u.value(145.0),
+                              cluster[i].llc};
+        const auto curve = predictor->predict(obs);
+        for (std::size_t j = 0; j < grid.levels; ++j) {
+            const double cap = grid.capAt(j);
+            predicted[i].push_back(std::max(curve(cap), 1e-6));
+            oracle[i].push_back(u.value(cap));
+        }
+    }
+
+    const double budget = 147.0 * static_cast<double>(n);
+    const auto knap_pred = budgeter.allocate(predicted, budget);
+    const auto knap_oracle = budgeter.allocate(oracle, budget);
+
+    // Uniform at the same budget: everyone gets the same cap.
+    const double share = budget / static_cast<double>(n);
+    std::vector<double> uniform_caps(n, grid.capAt(0));
+    for (std::size_t j = 0; j < grid.levels; ++j)
+        if (grid.capAt(j) <= share)
+            uniform_caps.assign(n, grid.capAt(j));
+
+    const auto us = utilitiesOf(cluster);
+    const double snp_pred = snpGeometric(
+        anpVector(us, knap_pred.power));
+    const double snp_oracle = snpGeometric(
+        anpVector(us, knap_oracle.power));
+    const double snp_uniform =
+        snpGeometric(anpVector(us, uniform_caps));
+
+    EXPECT_GT(snp_pred, snp_uniform);
+    EXPECT_GE(snp_oracle, snp_pred - 1e-9);
+    // Predictor-driven budgeting lands close to the oracle
+    // (Fig. 3.12's "close to the results from the oracle case").
+    EXPECT_GT(snp_pred, 0.97 * snp_oracle);
+}
+
+/**
+ * Algorithm 1 with the knapsack budgeter in the loop (Exp. 1 of
+ * Ch. 3) at reduced scale: 400 servers in 20 racks.
+ */
+TEST(EndToEndTest, SelfConsistentSplitWithKnapsackAllocator)
+{
+    Rng rng(41);
+    const std::size_t n = 400;
+    const std::size_t racks = 20;
+    const auto cluster = drawSpecMixAssignment(
+        n, MixKind::HomogeneousWithinServer, rng);
+    const auto us = utilitiesOf(cluster);
+
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+    std::vector<std::vector<double>> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < grid.levels; ++j)
+            values[i].push_back(us[i]->value(grid.capAt(j)));
+
+    const auto d = makeSyntheticRecirculation(4, 5, 0.25, rng);
+    HeatModel heat(d, std::vector<double>(racks, 500.0), 24.0);
+    CoolingModel::Config ccfg;
+    ccfg.rated_power_w = 165.0 * static_cast<double>(n);
+    CoolingModel cooling(heat, CopModel(), ccfg);
+    TotalPowerBudgeter total(cooling);
+
+    auto allocate = [&](double b_s) {
+        const auto res = budgeter.allocate(values, b_s);
+        std::vector<double> rack_power(racks, 0.0);
+        for (std::size_t i = 0; i < n; ++i)
+            rack_power[i % racks] += res.power[i];
+        return rack_power;
+    };
+
+    const double budget = 80000.0; // ~200 W/server total envelope
+    const auto res = total.partition(budget, allocate);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.b_s + res.b_crac, budget, 11.0);
+    // The computing split is actually allocatable by the knapsack.
+    EXPECT_GE(res.b_s, 130.0 * static_cast<double>(n));
+}
+
+/**
+ * Knapsack budgeting beats uniform on all three Ch.3 metrics at a
+ * tight budget (the Fig. 3.12 shape).
+ */
+TEST(EndToEndTest, KnapsackImprovesAllThreeMetrics)
+{
+    Rng rng(51);
+    const std::size_t n = 200;
+    const auto cluster = drawSpecMixAssignment(
+        n, MixKind::HomogeneousWithinServer, rng);
+    const auto us = utilitiesOf(cluster);
+
+    CapGrid grid;
+    KnapsackBudgeter budgeter(grid);
+    std::vector<std::vector<double>> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < grid.levels; ++j)
+            values[i].push_back(
+                us[i]->value(grid.capAt(j)) /
+                us[i]->peakValue());
+
+    const double budget = 140.0 * static_cast<double>(n);
+    const auto knap = budgeter.allocate(values, budget);
+    const std::vector<double> uniform_caps(n, 140.0);
+
+    const auto rep_k = evaluateAllocation(us, knap.power);
+    const auto rep_u = evaluateAllocation(us, uniform_caps);
+
+    EXPECT_GT(rep_k.snp_geo, rep_u.snp_geo);
+    EXPECT_LT(rep_k.slowdown, rep_u.slowdown);
+    EXPECT_LT(rep_k.unfair, rep_u.unfair);
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "alloc/diba.hh"
+#include "alloc/greedy.hh"
+#include "alloc/kkt.hh"
+#include "alloc/primal_dual.hh"
+#include "alloc/uniform.hh"
+#include "graph/topologies.hh"
+#include "metrics/performance.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+/**
+ * Cross-algorithm invariants over random problem instances: every
+ * scheme stays feasible, nobody beats the KKT oracle, and the
+ * paper's ordering (optimal ~ PD ~ DiBA > greedy/uniform) holds.
+ */
+class AllocatorProperties
+    : public ::testing::TestWithParam<std::tuple<std::size_t,
+                                                 double, int>>
+{
+};
+
+TEST_P(AllocatorProperties, OrderingAndFeasibility)
+{
+    const auto [n, wpn, seed] = GetParam();
+    const auto prob =
+        test::npbProblem(n, wpn, static_cast<std::uint64_t>(seed));
+    const auto oracle = solveKkt(prob);
+
+    UniformAllocator uniform;
+    GreedyTpwAllocator greedy;
+    PrimalDualAllocator pd;
+    DibaAllocator diba(makeRing(n));
+
+    const auto r_uniform = uniform.allocate(prob);
+    const auto r_greedy = greedy.allocate(prob);
+    const auto r_pd = pd.allocate(prob);
+    const auto r_diba = diba.allocate(prob);
+
+    for (const auto *r : {&r_uniform, &r_greedy, &r_pd, &r_diba}) {
+        EXPECT_LE(r->totalPower(), prob.budget + 1e-6);
+        EXPECT_LE(r->utility, oracle.utility + 1e-6);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_GE(r->power[i],
+                      prob.utilities[i]->minPower() - 1e-9);
+            EXPECT_LE(r->power[i],
+                      prob.utilities[i]->maxPower() + 1e-9);
+        }
+    }
+
+    // The decentralized schemes track the oracle closely...
+    EXPECT_TRUE(withinFractionOfOptimal(r_pd.utility,
+                                        oracle.utility, 0.995));
+    EXPECT_TRUE(withinFractionOfOptimal(r_diba.utility,
+                                        oracle.utility, 0.97));
+    // ...and beat the uniform baseline.
+    EXPECT_GE(r_pd.utility, r_uniform.utility - 1e-9);
+    EXPECT_GE(r_diba.utility, r_uniform.utility - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, AllocatorProperties,
+    ::testing::Combine(::testing::Values<std::size_t>(24, 60),
+                       ::testing::Values(163.0, 171.0, 181.0),
+                       ::testing::Values(1, 2)));
+
+/**
+ * SNP-level comparison mirroring Fig. 4.3: the optimizing schemes
+ * dominate uniform, with the gap shrinking as budgets loosen.
+ */
+TEST(SnpOrderingTest, GapShrinksWithBudget)
+{
+    const std::size_t n = 120;
+    auto snp_gap = [&](double wpn) {
+        const auto prob = test::npbProblem(n, wpn, 5);
+        UniformAllocator uniform;
+        const auto u = uniform.allocate(prob);
+        const auto o = solveKkt(prob);
+        const auto anp_u = anpVector(prob.utilities, u.power);
+        const auto anp_o = anpVector(prob.utilities, o.power);
+        return snpArithmetic(anp_o) / snpArithmetic(anp_u) - 1.0;
+    };
+    const double tight = snp_gap(166.0);
+    const double loose = snp_gap(186.0);
+    EXPECT_GT(tight, loose);
+    EXPECT_GT(tight, 0.05);  // noticeable win at tight budgets
+    EXPECT_GT(loose, 0.005); // still a win when loose
+}
+
+/** AM-GM sanity across every allocator output. */
+TEST(SnpOrderingTest, GeometricNeverExceedsArithmetic)
+{
+    const auto prob = test::npbProblem(80, 170.0, 9);
+    DibaAllocator diba(makeRing(80));
+    const auto res = diba.allocate(prob);
+    const auto anps = anpVector(prob.utilities, res.power);
+    EXPECT_LE(snpGeometric(anps), snpArithmetic(anps) + 1e-12);
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "metrics/performance.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+TEST(MetricsTest, AnpIsOneAtPeak)
+{
+    const auto u =
+        QuadraticUtility::fromShape(0.6, 0.5, 120.0, 220.0, 2.0);
+    EXPECT_NEAR(anp(u, 220.0), 1.0, 1e-12);
+    EXPECT_NEAR(anp(u, 120.0), 0.6, 1e-12);
+}
+
+TEST(MetricsTest, AnpVectorAligns)
+{
+    const auto prob = test::tinyProblem();
+    const auto anps =
+        anpVector(prob.utilities, {150.0, 150.0});
+    ASSERT_EQ(anps.size(), 2u);
+    for (double a : anps) {
+        EXPECT_GT(a, 0.0);
+        EXPECT_LE(a, 1.0);
+    }
+}
+
+TEST(MetricsTest, SnpDefinitions)
+{
+    const std::vector<double> anps{0.5, 1.0};
+    EXPECT_DOUBLE_EQ(snpArithmetic(anps), 0.75);
+    EXPECT_NEAR(snpGeometric(anps), std::sqrt(0.5), 1e-12);
+}
+
+TEST(MetricsTest, SlowdownNorm)
+{
+    const std::vector<double> anps{0.5, 1.0};
+    EXPECT_DOUBLE_EQ(slowdownNorm(anps), 1.5);
+    EXPECT_DEATH(slowdownNorm({0.0, 1.0}), "positive");
+}
+
+TEST(MetricsTest, UnfairnessZeroWhenEqual)
+{
+    EXPECT_NEAR(unfairness({0.7, 0.7, 0.7}), 0.0, 1e-12);
+    EXPECT_GT(unfairness({0.2, 0.9}), 0.0);
+}
+
+TEST(MetricsTest, TotalUtilityMatchesSum)
+{
+    const auto prob = test::tinyProblem();
+    const std::vector<double> p{150.0, 160.0};
+    const double expected = prob.utilities[0]->value(150.0) +
+                            prob.utilities[1]->value(160.0);
+    EXPECT_DOUBLE_EQ(totalUtility(prob.utilities, p), expected);
+}
+
+TEST(MetricsTest, EvaluateAllocationReport)
+{
+    const auto prob = test::tinyProblem();
+    const auto rep =
+        evaluateAllocation(prob.utilities, {150.0, 160.0});
+    EXPECT_GT(rep.snp_arith, 0.0);
+    EXPECT_LE(rep.snp_geo, rep.snp_arith + 1e-12); // AM-GM
+    EXPECT_GE(rep.slowdown, 1.0);
+    EXPECT_DOUBLE_EQ(rep.total_power, 310.0);
+}
+
+TEST(MetricsTest, WithinFractionOfOptimal)
+{
+    EXPECT_TRUE(withinFractionOfOptimal(99.5, 100.0, 0.99));
+    EXPECT_FALSE(withinFractionOfOptimal(98.0, 100.0, 0.99));
+    EXPECT_TRUE(withinFractionOfOptimal(0.0, 0.0, 0.99));
+    EXPECT_DEATH(withinFractionOfOptimal(1.0, 1.0, 0.0),
+                 "fraction");
+}
+
+} // namespace
+} // namespace dpc

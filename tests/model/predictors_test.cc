@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "model/predictors.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+namespace {
+
+std::vector<CharacterizationCurve>
+trainSet()
+{
+    Rng rng(101);
+    return makeCharacterizationSet(240, rng);
+}
+
+std::vector<CharacterizationCurve>
+testSet()
+{
+    Rng rng(202);
+    return makeCharacterizationSet(120, rng);
+}
+
+TEST(CharacterizationTest, CurvesAreWellFormed)
+{
+    Rng rng(1);
+    const auto curves = makeCharacterizationSet(50, rng);
+    ASSERT_EQ(curves.size(), 50u);
+    for (const auto &c : curves) {
+        EXPECT_GE(c.llc, 0.0);
+        EXPECT_LE(c.llc, 1.0);
+        ASSERT_EQ(c.caps.size(), 8u);
+        EXPECT_DOUBLE_EQ(c.caps.front(), 130.0);
+        EXPECT_DOUBLE_EQ(c.caps.back(), 165.0);
+        for (double t : c.taus)
+            EXPECT_GT(t, 0.0);
+        // Throughput roughly non-decreasing in the cap (noise may
+        // flip adjacent samples but the ends must be ordered).
+        EXPECT_GT(c.taus.back(), c.taus.front());
+    }
+}
+
+TEST(CharacterizationTest, LlcDrivesSaturation)
+{
+    Rng rng(2);
+    const auto curves = makeCharacterizationSet(400, rng, 0.0);
+    // Average relative gain from min to max cap, split by LLC.
+    double gain_lo = 0.0, gain_hi = 0.0;
+    int n_lo = 0, n_hi = 0;
+    for (const auto &c : curves) {
+        const double gain = c.taus.back() / c.taus.front() - 1.0;
+        if (c.llc < 0.3) {
+            gain_lo += gain;
+            ++n_lo;
+        } else if (c.llc > 0.7) {
+            gain_hi += gain;
+            ++n_hi;
+        }
+    }
+    ASSERT_GT(n_lo, 0);
+    ASSERT_GT(n_hi, 0);
+    // Memory-bound (high LLC) curves gain much less from power.
+    EXPECT_GT(gain_lo / n_lo, 2.0 * (gain_hi / n_hi));
+}
+
+TEST(PredictorsTest, AllFamiliesTrainAndPredict)
+{
+    const auto train = trainSet();
+    for (auto &p : makeAllPredictors()) {
+        p->train(train);
+        ServerObservation obs{145.0, 2.0, 0.5};
+        const auto curve = p->predict(obs);
+        // The curve is finite over the cap range.
+        for (double cap = 130.0; cap <= 165.0; cap += 5.0)
+            EXPECT_TRUE(std::isfinite(curve(cap))) << p->name();
+    }
+}
+
+TEST(PredictorsTest, ProposedModelErrorIsSmall)
+{
+    auto pred = makeQuadraticLlcTpPredictor();
+    pred->train(trainSet());
+    const double err = evaluatePredictor(*pred, testSet());
+    // Table 3.2 reports 1.37%; the synthetic database should land
+    // in the same few-percent regime.
+    EXPECT_LT(err, 0.03);
+}
+
+TEST(PredictorsTest, Table32OrderingHolds)
+{
+    const auto train = trainSet();
+    const auto test = testSet();
+    auto preds = makeAllPredictors();
+    std::vector<double> errs;
+    for (auto &p : preds) {
+        p->train(train);
+        errs.push_back(evaluatePredictor(*p, test));
+    }
+    // Proposed quadratic-LLC+TP beats every other family.
+    for (std::size_t i = 1; i < errs.size(); ++i)
+        EXPECT_LT(errs[0], errs[i]) << preds[i]->name();
+    // Workload-aware models beat the fixed global shapes.
+    const double fixed_best = std::min(errs[4], errs[5]);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_LT(errs[i], fixed_best) << preds[i]->name();
+}
+
+TEST(PredictorsTest, AnchoredModelsPassThroughObservation)
+{
+    const auto train = trainSet();
+    auto quad = makeQuadraticLlcTpPredictor();
+    quad->train(train);
+    auto lin = makeLinearLlcTpPredictor();
+    lin->train(train);
+    ServerObservation obs{150.0, 1.8, 0.4};
+    EXPECT_NEAR(quad->predict(obs)(150.0), 1.8, 1e-9);
+    EXPECT_NEAR(lin->predict(obs)(150.0), 1.8, 1e-9);
+}
+
+TEST(PredictorsTest, NamesMatchTableRows)
+{
+    const auto preds = makeAllPredictors();
+    ASSERT_EQ(preds.size(), 6u);
+    EXPECT_EQ(preds[0]->name(), "quadratic-LLC+TP");
+    EXPECT_EQ(preds[1]->name(), "linear-LLC+TP");
+    EXPECT_EQ(preds[2]->name(), "linear-TP");
+    EXPECT_EQ(preds[3]->name(), "exponential-LLC");
+    EXPECT_EQ(preds[4]->name(), "previous-cubic");
+    EXPECT_EQ(preds[5]->name(), "previous-linear");
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/utility.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+namespace {
+
+TEST(QuadraticUtilityTest, ValueAndDerivative)
+{
+    // r(p) = 1 + 0.02 p - 0.0001 p^2 on [50, 150].
+    QuadraticUtility u(1.0, 0.02, -0.0001, 50.0, 150.0);
+    EXPECT_DOUBLE_EQ(u.value(100.0), 1.0 + 2.0 - 1.0);
+    EXPECT_DOUBLE_EQ(u.derivative(100.0), 0.02 - 0.02);
+    // Clamping below/above the box.
+    EXPECT_DOUBLE_EQ(u.value(0.0), u.value(50.0));
+    EXPECT_DOUBLE_EQ(u.value(500.0), u.value(150.0));
+}
+
+TEST(QuadraticUtilityTest, RejectsConvex)
+{
+    EXPECT_DEATH(QuadraticUtility(0.0, 0.0, 1e-3, 0.0, 1.0),
+                 "concave");
+}
+
+TEST(QuadraticUtilityTest, BestResponseInteriorAndClamped)
+{
+    QuadraticUtility u(1.0, 0.02, -0.0001, 50.0, 150.0);
+    // Unconstrained peak of value - lambda p at (lambda - b)/(2c).
+    EXPECT_NEAR(u.bestResponse(0.0), 100.0, 1e-12);
+    EXPECT_NEAR(u.bestResponse(0.01), 50.0, 1e-12);
+    // Steep price drives to the floor.
+    EXPECT_DOUBLE_EQ(u.bestResponse(1.0), 50.0);
+}
+
+TEST(QuadraticUtilityTest, LinearDegenerateBestResponseIsBangBang)
+{
+    QuadraticUtility u(0.0, 0.01, 0.0, 10.0, 20.0);
+    EXPECT_DOUBLE_EQ(u.bestResponse(0.005), 20.0);
+    EXPECT_DOUBLE_EQ(u.bestResponse(0.02), 10.0);
+}
+
+TEST(QuadraticUtilityTest, FromShapeEndpoints)
+{
+    const auto u =
+        QuadraticUtility::fromShape(0.6, 0.5, 120.0, 220.0, 2.0);
+    EXPECT_NEAR(u.value(120.0), 1.2, 1e-12);
+    EXPECT_NEAR(u.value(220.0), 2.0, 1e-12);
+    // Monotone over the box for kappa <= 1.
+    EXPECT_GE(u.derivative(220.0), -1e-12);
+    EXPECT_GT(u.derivative(120.0), 0.0);
+}
+
+TEST(QuadraticUtilityTest, FromShapeKappaControlsCurvature)
+{
+    const auto lin =
+        QuadraticUtility::fromShape(0.5, 0.0, 100.0, 200.0);
+    const auto sat =
+        QuadraticUtility::fromShape(0.5, 1.0, 100.0, 200.0);
+    // Same endpoints.
+    EXPECT_NEAR(lin.value(100.0), sat.value(100.0), 1e-12);
+    EXPECT_NEAR(lin.value(200.0), sat.value(200.0), 1e-12);
+    // Saturating curve is above the chord at the midpoint.
+    EXPECT_GT(sat.value(150.0), lin.value(150.0));
+    // Zero slope at the top for kappa = 1.
+    EXPECT_NEAR(sat.derivative(200.0), 0.0, 1e-12);
+}
+
+TEST(QuadraticUtilityTest, PeakOfShapeAtMaxPower)
+{
+    const auto u =
+        QuadraticUtility::fromShape(0.7, 0.8, 120.0, 220.0);
+    EXPECT_NEAR(u.peakPower(), 220.0, 1e-9);
+    EXPECT_NEAR(u.peakValue(), 1.0, 1e-12);
+}
+
+TEST(QuadraticUtilityTest, FitSamplesRecoversCurve)
+{
+    const auto truth =
+        QuadraticUtility::fromShape(0.6, 0.7, 130.0, 165.0, 3.0);
+    std::vector<double> ps, rs;
+    for (double p = 130.0; p <= 165.0; p += 5.0) {
+        ps.push_back(p);
+        rs.push_back(truth.value(p));
+    }
+    const auto fit = QuadraticUtility::fitSamples(ps, rs);
+    for (double p = 130.0; p <= 165.0; p += 1.0)
+        EXPECT_NEAR(fit.value(p), truth.value(p), 1e-9);
+}
+
+TEST(QuadraticUtilityTest, FitSamplesConvexNoiseFallsBackToLinear)
+{
+    // Convex-looking samples: the constrained fit must drop to the
+    // boundary c = 0 rather than produce a convex quadratic.
+    const std::vector<double> ps{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> rs{1.0, 1.1, 1.4, 1.9};
+    const auto fit = QuadraticUtility::fitSamples(ps, rs);
+    EXPECT_EQ(fit.coeffC(), 0.0);
+}
+
+TEST(PiecewiseLinearUtilityTest, InterpolatesSamples)
+{
+    PiecewiseLinearUtility u({0.0, 1.0, 3.0}, {0.0, 2.0, 4.0});
+    EXPECT_DOUBLE_EQ(u.value(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(u.value(2.0), 3.0);
+    EXPECT_DOUBLE_EQ(u.derivative(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(u.derivative(2.0), 1.0);
+    // Clamped outside the box.
+    EXPECT_DOUBLE_EQ(u.value(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(u.value(9.0), 4.0);
+}
+
+TEST(PiecewiseLinearUtilityTest, BestResponseViaBisection)
+{
+    // Concave samples; generic bisection best response applies.
+    PiecewiseLinearUtility u({0.0, 1.0, 2.0}, {0.0, 1.0, 1.5});
+    // Price between the two slopes picks the kink.
+    EXPECT_NEAR(u.bestResponse(0.75), 1.0, 1e-6);
+    // Price below every slope picks the top.
+    EXPECT_NEAR(u.bestResponse(0.1), 2.0, 1e-6);
+}
+
+TEST(PiecewiseLinearUtilityTest, RejectsBadSamples)
+{
+    EXPECT_DEATH(PiecewiseLinearUtility({1.0, 1.0}, {0.0, 1.0}),
+                 "increasing");
+    EXPECT_DEATH(PiecewiseLinearUtility({1.0}, {0.0}), "two samples");
+}
+
+/** Property sweep: best response solves the priced problem. */
+class BestResponseProperty
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BestResponseProperty, MaximizesPricedObjective)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+    for (int trial = 0; trial < 25; ++trial) {
+        const double r0 = rng.uniform(0.2, 0.95);
+        const double kappa = rng.uniform(0.0, 1.0);
+        const auto u = QuadraticUtility::fromShape(
+            r0, kappa, 120.0, 220.0, rng.uniform(0.5, 3.0));
+        const double lambda = GetParam();
+        const double star = u.bestResponse(lambda);
+        const double best = u.value(star) - lambda * star;
+        for (double p = 120.0; p <= 220.0; p += 2.5) {
+            EXPECT_LE(u.value(p) - lambda * p, best + 1e-9)
+                << "lambda=" << lambda << " p=" << p;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PriceSweep, BestResponseProperty,
+                         ::testing::Values(0.0, 0.001, 0.003, 0.006,
+                                           0.01, 0.05));
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hh"
+#include "net/comm_model.hh"
+
+namespace dpc {
+namespace {
+
+TEST(CommModelTest, CoordinatorRoundScalesLinearly)
+{
+    CommModel model;
+    EXPECT_DOUBLE_EQ(model.coordinatorRoundUs(400), 400 * 210.0);
+    EXPECT_DOUBLE_EQ(model.coordinatorRoundUs(800),
+                     2.0 * model.coordinatorRoundUs(400));
+}
+
+TEST(CommModelTest, SampledRoundNearExpectation)
+{
+    CommModel model;
+    Rng rng(3);
+    double acc = 0.0;
+    const int trials = 50;
+    for (int i = 0; i < trials; ++i)
+        acc += model.coordinatorRoundUs(400, rng);
+    const double avg = acc / trials;
+    // Queueing jitter only adds a few percent over the serial bound.
+    EXPECT_GT(avg, model.coordinatorRoundUs(400) * 0.95);
+    EXPECT_LT(avg, model.coordinatorRoundUs(400) * 1.30);
+}
+
+TEST(CommModelTest, DibaRoundIndependentOfClusterSize)
+{
+    CommModel model;
+    const auto small = makeRing(10);
+    const auto large = makeRing(6400);
+    EXPECT_DOUBLE_EQ(model.dibaRoundUs(small),
+                     model.dibaRoundUs(large));
+    EXPECT_DOUBLE_EQ(model.dibaRoundUs(large), 200.0 + 2 * 10.0);
+}
+
+TEST(CommModelTest, DibaRoundGrowsWithDegree)
+{
+    CommModel model;
+    EXPECT_LT(model.dibaRoundUs(2), model.dibaRoundUs(8));
+}
+
+TEST(CommModelTest, DibaFarCheaperThanCoordinatorAtScale)
+{
+    CommModel model;
+    // The Table 4.2 shape: at 6400 nodes a coordinator round is
+    // thousands of times more expensive than a ring round.
+    EXPECT_GT(model.coordinatorRoundUs(6400),
+              100.0 * model.dibaRoundUs(2));
+}
+
+TEST(CommModelTest, PacketCounts)
+{
+    EXPECT_EQ(CommModel::coordinatorPacketsPerRound(100), 200u);
+    const auto ring = makeRing(100);
+    EXPECT_EQ(CommModel::dibaPacketsPerRound(ring), 200u);
+    // dN packets for average degree d (Sec. 4.3.2).
+    Rng rng(1);
+    const auto er = makeConnectedErdosRenyi(100, 300, rng);
+    EXPECT_EQ(CommModel::dibaPacketsPerRound(er), 600u);
+}
+
+TEST(CommModelTest, CustomParams)
+{
+    CommModel model(NetParams{100.0, 5.0});
+    EXPECT_DOUBLE_EQ(model.coordinatorRoundUs(10), 1050.0);
+    EXPECT_DOUBLE_EQ(model.dibaRoundUs(3), 115.0);
+}
+
+TEST(CommModelTest, IsolatedNodePanics)
+{
+    CommModel model;
+    EXPECT_DEATH(model.dibaRoundUs(std::size_t{0}), "isolated");
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "graph/topologies.hh"
+#include "net/packet_sim.hh"
+
+namespace dpc {
+namespace {
+
+PacketLevelSim::FabricParams
+quietParams()
+{
+    PacketLevelSim::FabricParams p;
+    p.launch_jitter_us = 1e-6; // effectively simultaneous launches
+    return p;
+}
+
+TEST(PacketSimTest, CoordinatorRoundDominatedBySerialReads)
+{
+    PacketLevelSim sim(quietParams());
+    Rng rng(1);
+    const double t = sim.coordinatorRoundUs(400, rng);
+    // Lower bound: 400 serial reads at the coordinator plus 400
+    // serial reply writes; upper bound adds switch latencies.
+    EXPECT_GT(t, 400 * 200.0 + 400 * 10.0);
+    EXPECT_LT(t, 400 * 200.0 + 400 * 10.0 + 400 * 3 * 2.0 + 500.0);
+}
+
+TEST(PacketSimTest, CoordinatorRoundScalesLinearly)
+{
+    PacketLevelSim sim(quietParams());
+    Rng rng(2);
+    const double t400 = sim.coordinatorRoundUs(400, rng);
+    const double t800 = sim.coordinatorRoundUs(800, rng);
+    EXPECT_NEAR(t800 / t400, 2.0, 0.1);
+}
+
+TEST(PacketSimTest, DibaRoundFlatInClusterSize)
+{
+    PacketLevelSim sim(quietParams());
+    Rng rng(3);
+    const double small = sim.dibaRoundUs(makeRing(80), rng);
+    const double large = sim.dibaRoundUs(makeRing(6400), rng);
+    // Contention at shared switches adds a little, but the round
+    // stays within a small factor while N grows 80x.
+    EXPECT_LT(large, 3.0 * small);
+}
+
+TEST(PacketSimTest, DibaRingRoundNearTwoReads)
+{
+    PacketLevelSim sim(quietParams());
+    Rng rng(4);
+    const double t = sim.dibaRoundUs(makeRing(400), rng);
+    // Each node reads two neighbour packets serially.
+    EXPECT_GT(t, 2 * 200.0);
+    EXPECT_LT(t, 2 * 200.0 + 600.0);
+}
+
+TEST(PacketSimTest, DibaRoundGrowsWithDegree)
+{
+    PacketLevelSim sim(quietParams());
+    Rng rng(5);
+    Rng topo_rng(6);
+    const double ring = sim.dibaRoundUs(makeRing(200), rng);
+    const double dense = sim.dibaRoundUs(
+        makeConnectedErdosRenyi(200, 2000, topo_rng), rng);
+    EXPECT_GT(dense, 2.0 * ring);
+}
+
+TEST(PacketSimTest, CoordinatorVsDibaAtScale)
+{
+    // The Table 4.2 shape, re-derived at packet level.
+    PacketLevelSim sim(quietParams());
+    Rng rng(7);
+    const double coord = sim.coordinatorRoundUs(6400, rng);
+    const double diba = sim.dibaRoundUs(makeRing(6400), rng);
+    EXPECT_GT(coord, 100.0 * diba);
+}
+
+TEST(PacketSimTest, JitterChangesButDoesNotExplodeMakespan)
+{
+    PacketLevelSim::FabricParams p;
+    p.launch_jitter_us = 50.0;
+    PacketLevelSim noisy(p);
+    PacketLevelSim quiet(quietParams());
+    Rng rng1(8), rng2(9);
+    const double a = noisy.dibaRoundUs(makeRing(200), rng1);
+    const double b = quiet.dibaRoundUs(makeRing(200), rng2);
+    EXPECT_GT(a, b * 0.8);
+    EXPECT_LT(a, b + 1000.0);
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "power/controller.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+namespace {
+
+ServerPowerModel
+testModel()
+{
+    return ServerPowerModel(60.0, 150.0, defaultPStateLadder(8));
+}
+
+TEST(ControllerTest, StepsDownWhenOverCap)
+{
+    const auto model = testModel();
+    PowerCapController::Config cfg;
+    cfg.initial_pstate = 7;
+    PowerCapController ctl(model, cfg);
+    ctl.setCap(150.0);
+    const double measured = model.power(7, 1.0); // 210 W > cap
+    const auto ps = ctl.engage(measured, 1.0);
+    EXPECT_EQ(ps, 6u);
+}
+
+TEST(ControllerTest, ClimbsOnlyWhenNextStateFits)
+{
+    const auto model = testModel();
+    PowerCapController ctl(model);
+    ctl.setCap(model.maxPower() + 10.0);
+    // From p-state 0 with a generous cap, the controller climbs.
+    std::size_t ps = ctl.pstate();
+    for (int i = 0; i < 20; ++i)
+        ps = ctl.engage(model.power(ps, 1.0), 1.0);
+    EXPECT_EQ(ps, model.numPStates() - 1);
+}
+
+TEST(ControllerTest, SettlesUnderTightCap)
+{
+    const auto model = testModel();
+    PowerCapController::Config cfg;
+    cfg.initial_pstate = 7;
+    PowerCapController ctl(model, cfg);
+    const double cap = 170.0;
+    ctl.setCap(cap);
+    std::size_t ps = ctl.pstate();
+    for (int i = 0; i < 30; ++i)
+        ps = ctl.engage(model.power(ps, 1.0), 1.0);
+    // Settled: power under the cap...
+    EXPECT_LE(model.power(ps, 1.0), cap);
+    // ...at the highest p-state that fits.
+    if (ps + 1 < model.numPStates()) {
+        EXPECT_GT(model.power(ps + 1, 1.0), cap - 1.0);
+    }
+}
+
+TEST(ControllerTest, NoLimitCyclingUnderNoise)
+{
+    const auto model = testModel();
+    PowerCapController ctl(model);
+    PowerMeter meter(0.01, 99);
+    ctl.setCap(180.0);
+    // Warm up.
+    for (int i = 0; i < 20; ++i)
+        ctl.engage(meter.read(model.power(ctl.pstate(), 1.0)), 1.0);
+    // Track p-state changes over a long window.
+    int changes = 0;
+    std::size_t prev = ctl.pstate();
+    for (int i = 0; i < 400; ++i) {
+        const auto ps = ctl.engage(
+            meter.read(model.power(ctl.pstate(), 1.0)), 1.0);
+        if (ps != prev)
+            ++changes;
+        prev = ps;
+    }
+    // The hysteresis headroom keeps flapping rare (< 5% of steps).
+    EXPECT_LT(changes, 20);
+}
+
+TEST(ControllerTest, CapNeverDrivesBelowFloorState)
+{
+    const auto model = testModel();
+    PowerCapController ctl(model);
+    ctl.setCap(10.0); // unattainable: even p-state 0 exceeds it
+    for (int i = 0; i < 10; ++i)
+        ctl.engage(model.power(ctl.pstate(), 1.0), 1.0);
+    EXPECT_EQ(ctl.pstate(), 0u);
+}
+
+TEST(ControllerTest, RejectsBadInputs)
+{
+    const auto model = testModel();
+    PowerCapController ctl(model);
+    EXPECT_DEATH(ctl.setCap(0.0), "cap");
+    PowerCapController::Config cfg;
+    cfg.initial_pstate = 20;
+    EXPECT_DEATH(PowerCapController bad(model, cfg),
+                 "out of range");
+}
+
+/** Parameterized settling sweep across the cap range. */
+class ControllerSettleSweep
+    : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ControllerSettleSweep, SettlesUnderAnyCap)
+{
+    const auto model = testModel();
+    PowerCapController::Config cfg;
+    cfg.initial_pstate = 7;
+    PowerCapController ctl(model, cfg);
+    ctl.setCap(GetParam());
+    for (int i = 0; i < 40; ++i)
+        ctl.engage(model.power(ctl.pstate(), 1.0), 1.0);
+    EXPECT_TRUE(model.power(ctl.pstate(), 1.0) <= GetParam() ||
+                ctl.pstate() == 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(CapSweep, ControllerSettleSweep,
+                         ::testing::Values(130.0, 150.0, 170.0,
+                                           190.0, 205.0, 215.0));
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "power/server_model.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+TEST(PStateLadderTest, DefaultLadderShape)
+{
+    const auto ladder = defaultPStateLadder(8);
+    ASSERT_EQ(ladder.size(), 8u);
+    EXPECT_NEAR(ladder.front().freq_ghz, 1.60, 1e-12);
+    EXPECT_NEAR(ladder.back().freq_ghz, 2.27, 1e-12);
+    EXPECT_NEAR(ladder.back().dyn_scale, 1.0, 1e-12);
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+        EXPECT_GT(ladder[i].freq_ghz, ladder[i - 1].freq_ghz);
+        EXPECT_GT(ladder[i].dyn_scale, ladder[i - 1].dyn_scale);
+    }
+}
+
+TEST(ServerPowerModelTest, PowerMonotoneInPStateAndActivity)
+{
+    ServerPowerModel m(60.0, 150.0, defaultPStateLadder(8));
+    for (std::size_t ps = 1; ps < m.numPStates(); ++ps)
+        EXPECT_GT(m.power(ps, 1.0), m.power(ps - 1, 1.0));
+    EXPECT_GT(m.power(3, 0.8), m.power(3, 0.4));
+    EXPECT_DOUBLE_EQ(m.power(5, 0.0), 60.0);
+}
+
+TEST(ServerPowerModelTest, MinMaxPower)
+{
+    ServerPowerModel m(60.0, 150.0, defaultPStateLadder(8));
+    EXPECT_DOUBLE_EQ(m.maxPower(), 210.0);
+    EXPECT_LT(m.minPower(), m.maxPower());
+    EXPECT_GT(m.minPower(), 60.0);
+}
+
+TEST(ServerPowerModelTest, RejectsBadConfig)
+{
+    EXPECT_DEATH(
+        ServerPowerModel(0.0, 100.0, defaultPStateLadder(4)),
+        "positive");
+    EXPECT_DEATH(ServerPowerModel(50.0, 100.0, {}), "empty");
+}
+
+TEST(ServerPowerModelTest, ActivityOutOfRangePanics)
+{
+    ServerPowerModel m(60.0, 150.0, defaultPStateLadder(4));
+    EXPECT_DEATH(m.power(0, 1.5), "activity");
+    EXPECT_DEATH(m.power(9, 1.0), "out of range");
+}
+
+TEST(PowerMeterTest, NoiseStatistics)
+{
+    PowerMeter meter(0.02, 7);
+    std::vector<double> readings;
+    for (int i = 0; i < 20000; ++i)
+        readings.push_back(meter.read(100.0));
+    EXPECT_NEAR(mean(readings), 100.0, 0.2);
+    EXPECT_NEAR(stddev(readings), 2.0, 0.2);
+}
+
+TEST(PowerMeterTest, ZeroNoiseIsExact)
+{
+    PowerMeter meter(0.0, 7);
+    EXPECT_DOUBLE_EQ(meter.read(123.0), 123.0);
+}
+
+} // namespace
+} // namespace dpc

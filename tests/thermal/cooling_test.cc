@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "thermal/cooling.hh"
+
+namespace dpc {
+namespace {
+
+TEST(CopModelTest, MatchesEquation32)
+{
+    CopModel cop;
+    // CoP(15) = 0.0068 * 225 + 0.0008 * 15 + 0.458.
+    EXPECT_NEAR(cop.cop(15.0), 1.53 + 0.012 + 0.458, 1e-12);
+}
+
+TEST(CopModelTest, HigherSupplyTempIsMoreEfficient)
+{
+    CopModel cop;
+    EXPECT_GT(cop.cop(20.0), cop.cop(10.0));
+}
+
+class CoolingFixture : public ::testing::Test
+{
+  protected:
+    CoolingFixture()
+        : rng_(5),
+          d_(makeSyntheticRecirculation(4, 5, 0.25, rng_)),
+          heat_(d_, std::vector<double>(20, 500.0), 24.0),
+          cooling_(heat_, CopModel())
+    {
+    }
+
+    Rng rng_;
+    Matrix d_;
+    HeatModel heat_;
+    CoolingModel cooling_;
+};
+
+TEST_F(CoolingFixture, SupplyTempDropsWithLoad)
+{
+    const std::vector<double> lo(20, 2000.0);
+    const std::vector<double> hi(20, 6000.0);
+    EXPECT_GT(cooling_.supplyTemp(lo), cooling_.supplyTemp(hi));
+}
+
+TEST_F(CoolingFixture, CoolingPowerSuperLinearInLoad)
+{
+    const std::vector<double> lo(20, 2000.0);
+    const std::vector<double> hi(20, 4000.0);
+    const double c_lo = cooling_.coolingPower(lo);
+    const double c_hi = cooling_.coolingPower(hi);
+    // Doubling the load more than doubles cooling (lower supply
+    // temperature, lower CoP, airflow margin).
+    EXPECT_GT(c_hi, 2.0 * c_lo);
+}
+
+TEST_F(CoolingFixture, CoolingShareGrowsWithLoad)
+{
+    const std::vector<double> lo(20, 2500.0);
+    const std::vector<double> hi(20, 5500.0);
+    const double share_lo =
+        cooling_.coolingPower(lo) / (20 * 2500.0);
+    const double share_hi =
+        cooling_.coolingPower(hi) / (20 * 5500.0);
+    EXPECT_GT(share_hi, share_lo);
+}
+
+TEST_F(CoolingFixture, ZeroLoadZeroCooling)
+{
+    EXPECT_DOUBLE_EQ(
+        cooling_.coolingPower(std::vector<double>(20, 0.0)), 0.0);
+}
+
+TEST_F(CoolingFixture, ConcentratedLoadCoolsWorseThanSpread)
+{
+    // Same total power: all in one hot rack vs spread evenly.
+    std::vector<double> spread(20, 3000.0);
+    std::vector<double> concentrated(20, 1000.0);
+    concentrated[7] = 3000.0 * 20.0 - 1000.0 * 19.0;
+    EXPECT_GT(cooling_.coolingPower(concentrated),
+              cooling_.coolingPower(spread));
+}
+
+TEST_F(CoolingFixture, InfeasibleLoadIsFatal)
+{
+    // Absurd load drives the required supply temp below the CRAC
+    // minimum.
+    EXPECT_DEATH(
+        cooling_.supplyTemp(std::vector<double>(20, 2.0e6)),
+        "infeasible");
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "thermal/heat_model.hh"
+
+namespace dpc {
+namespace {
+
+HeatModel
+smallModel(double coupling = 0.2)
+{
+    // Two racks with symmetric cross-interference.
+    Matrix d(2, 2);
+    d(0, 1) = coupling;
+    d(1, 0) = coupling;
+    return HeatModel(d, {500.0, 500.0}, 24.0);
+}
+
+TEST(HeatModelTest, InfluenceMatchesClosedForm)
+{
+    // For the symmetric 2-rack case, (I - D^T)^{-1} has diagonal
+    // 1/(1-c^2) and off-diagonal c/(1-c^2).
+    const double c = 0.2;
+    const auto m = smallModel(c);
+    const auto &f = m.influence();
+    const double denom = 1.0 - c * c;
+    EXPECT_NEAR(f(0, 0), (1.0 / denom - 1.0) / 500.0, 1e-12);
+    EXPECT_NEAR(f(0, 1), (c / denom) / 500.0, 1e-12);
+}
+
+TEST(HeatModelTest, InletRiseLinearInPower)
+{
+    const auto m = smallModel();
+    const auto r1 = m.inletRise({1000.0, 1000.0});
+    const auto r2 = m.inletRise({2000.0, 2000.0});
+    EXPECT_NEAR(r2[0], 2.0 * r1[0], 1e-9);
+    EXPECT_NEAR(r2[1], 2.0 * r1[1], 1e-9);
+}
+
+TEST(HeatModelTest, InletTempsAddSupply)
+{
+    const auto m = smallModel();
+    const auto rise = m.inletRise({1000.0, 500.0});
+    const auto temp = m.inletTemps({1000.0, 500.0}, 15.0);
+    EXPECT_NEAR(temp[0], rise[0] + 15.0, 1e-12);
+    EXPECT_NEAR(temp[1], rise[1] + 15.0, 1e-12);
+}
+
+TEST(HeatModelTest, MaxSupplyTempHitsRedlineExactly)
+{
+    const auto m = smallModel();
+    const std::vector<double> p{3000.0, 1000.0};
+    const double t_sup = m.maxSupplyTemp(p);
+    const auto temps = m.inletTemps(p, t_sup);
+    double worst = temps[0];
+    for (double t : temps)
+        worst = std::max(worst, t);
+    EXPECT_NEAR(worst, 24.0, 1e-9);
+}
+
+TEST(HeatModelTest, HotterNeighborRaisesInlet)
+{
+    const auto m = smallModel();
+    const auto base = m.inletRise({1000.0, 1000.0});
+    const auto hot = m.inletRise({1000.0, 3000.0});
+    EXPECT_GT(hot[0], base[0]);
+}
+
+TEST(HeatModelTest, RejectsBadInputs)
+{
+    Matrix d(2, 2);
+    d(0, 0) = 0.1; // non-zero diagonal
+    EXPECT_DEATH(HeatModel(d, {500.0, 500.0}, 24.0), "diagonal");
+    Matrix ok(2, 2);
+    EXPECT_DEATH(HeatModel(ok, {500.0, -1.0}, 24.0), "K coeff");
+    EXPECT_DEATH(HeatModel(ok, {500.0}, 24.0), "racks x racks");
+}
+
+TEST(SyntheticRecirculationTest, WellFormed)
+{
+    Rng rng(1);
+    const auto d = makeSyntheticRecirculation(8, 10, 0.25, rng);
+    ASSERT_EQ(d.rows(), 80u);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < 80; ++i) {
+        EXPECT_EQ(d(i, i), 0.0);
+        double row = 0.0, col = 0.0;
+        for (std::size_t j = 0; j < 80; ++j) {
+            EXPECT_GE(d(i, j), 0.0);
+            row += d(i, j);
+            col += d(j, i);
+        }
+        EXPECT_LE(row, 0.25 + 1e-9);
+        EXPECT_LE(col, 0.25 + 1e-9);
+        worst = std::max({worst, row, col});
+    }
+    EXPECT_NEAR(worst, 0.25, 1e-9);
+}
+
+TEST(SyntheticRecirculationTest, NearbyRacksCoupleMore)
+{
+    Rng rng(2);
+    const auto d = makeSyntheticRecirculation(8, 10, 0.25, rng);
+    // Rack 34 (row 3, slot 4): its neighbour in the same row (35)
+    // couples more strongly than a rack four rows away (74).
+    EXPECT_GT(d(34, 35), d(34, 74));
+}
+
+TEST(SyntheticRecirculationTest, UsableByHeatModel)
+{
+    Rng rng(3);
+    const auto d = makeSyntheticRecirculation(4, 5, 0.25, rng);
+    HeatModel m(d, std::vector<double>(20, 500.0), 24.0);
+    const auto rise =
+        m.inletRise(std::vector<double>(20, 5000.0));
+    for (double r : rise) {
+        EXPECT_GT(r, 0.0);
+        EXPECT_LT(r, 20.0);
+    }
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "thermal/total_budgeter.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+class BudgeterFixture : public ::testing::Test
+{
+  protected:
+    BudgeterFixture()
+        : rng_(11),
+          d_(makeSyntheticRecirculation(8, 10, 0.25, rng_)),
+          heat_(d_, std::vector<double>(80, 500.0), 24.0),
+          cooling_(heat_, CopModel(), coolingConfig()),
+          budgeter_(cooling_)
+    {
+    }
+
+    static CoolingModel::Config
+    coolingConfig()
+    {
+        CoolingModel::Config cfg;
+        cfg.rated_power_w = 528000.0; // 3200 servers at 165 W
+        return cfg;
+    }
+
+    /** Uniform rack allocation of a computing budget. */
+    static std::vector<double>
+    uniformRacks(double b_s)
+    {
+        return std::vector<double>(80, b_s / 80.0);
+    }
+
+    Rng rng_;
+    Matrix d_;
+    HeatModel heat_;
+    CoolingModel cooling_;
+    TotalPowerBudgeter budgeter_;
+};
+
+TEST_F(BudgeterFixture, ConvergesAndClosesBudget)
+{
+    const double total = 600000.0;
+    const auto res = budgeter_.partition(total, uniformRacks);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.b_s + res.b_crac, total, 11.0);
+    EXPECT_GT(res.b_s, 0.0);
+    EXPECT_GT(res.b_crac, 0.0);
+}
+
+TEST_F(BudgeterFixture, SelfConsistent)
+{
+    const auto res = budgeter_.partition(660000.0, uniformRacks);
+    // The reported cooling power actually suffices for the
+    // reported computing power.
+    const double need =
+        cooling_.coolingPower(uniformRacks(res.b_s));
+    EXPECT_NEAR(res.b_crac, need, 1.0);
+}
+
+TEST_F(BudgeterFixture, CoolingShareInPaperBand)
+{
+    // Fig. 3.10: cooling is roughly 30-38% of the total budget.
+    for (double total : {600000.0, 660000.0, 720000.0}) {
+        const auto res = budgeter_.partition(total, uniformRacks);
+        const double share = res.b_crac / total;
+        EXPECT_GT(share, 0.25) << total;
+        EXPECT_LT(share, 0.42) << total;
+    }
+}
+
+TEST_F(BudgeterFixture, CoolingShareIncreasesWithBudget)
+{
+    const auto lo = budgeter_.partition(600000.0, uniformRacks);
+    const auto hi = budgeter_.partition(720000.0, uniformRacks);
+    EXPECT_GT(hi.b_crac / 720000.0, lo.b_crac / 600000.0);
+}
+
+TEST_F(BudgeterFixture, TraceContracts)
+{
+    // Fig. 3.4: the distance to the fixed point shrinks over
+    // iterations.
+    const auto res = budgeter_.partition(700000.0, uniformRacks);
+    ASSERT_GE(res.trace.size(), 2u);
+    const double b_star = res.b_s;
+    double prev = std::fabs(res.trace.front().b_s - b_star);
+    for (std::size_t k = 1; k + 1 < res.trace.size(); ++k) {
+        const double cur = std::fabs(res.trace[k].b_s - b_star);
+        EXPECT_LT(cur, prev + 1e-9) << "iteration " << k;
+        prev = cur;
+    }
+}
+
+TEST_F(BudgeterFixture, RelaxationStillConverges)
+{
+    TotalPowerBudgeter::Config cfg;
+    cfg.relaxation = 0.5;
+    TotalPowerBudgeter damped(cooling_, cfg);
+    const auto res = damped.partition(660000.0, uniformRacks);
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.b_s + res.b_crac, 660000.0, cfg.tolerance_w + 1);
+}
+
+TEST_F(BudgeterFixture, RejectsBadConfig)
+{
+    TotalPowerBudgeter::Config cfg;
+    cfg.relaxation = 0.0;
+    EXPECT_DEATH(TotalPowerBudgeter bad(cooling_, cfg),
+                 "relaxation");
+    EXPECT_DEATH(budgeter_.partition(-1.0, uniformRacks),
+                 "budget");
+}
+
+} // namespace
+} // namespace dpc

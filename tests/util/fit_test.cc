@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/fit.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+namespace {
+
+TEST(FitTest, PolyfitRecoversExactQuadratic)
+{
+    const std::vector<double> xs{-2, -1, 0, 1, 2, 3};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(1.5 - 2.0 * x + 0.5 * x * x);
+    const auto c = polyfit(xs, ys, 2);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_NEAR(c[0], 1.5, 1e-9);
+    EXPECT_NEAR(c[1], -2.0, 1e-9);
+    EXPECT_NEAR(c[2], 0.5, 1e-9);
+}
+
+TEST(FitTest, PolyfitIsLeastSquaresUnderNoise)
+{
+    Rng rng(3);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform(-1.0, 1.0);
+        xs.push_back(x);
+        ys.push_back(2.0 + 3.0 * x + rng.normal(0.0, 0.01));
+    }
+    const auto c = polyfit(xs, ys, 1);
+    EXPECT_NEAR(c[0], 2.0, 0.01);
+    EXPECT_NEAR(c[1], 3.0, 0.01);
+}
+
+TEST(FitTest, PolyvalHornerMatchesDirect)
+{
+    const std::vector<double> c{1.0, -1.0, 2.0};
+    EXPECT_DOUBLE_EQ(polyval(c, 3.0), 1.0 - 3.0 + 18.0);
+    EXPECT_DOUBLE_EQ(polyval({}, 5.0), 0.0);
+}
+
+TEST(FitTest, GeneralBasisFit)
+{
+    // y = 2 sin(x) + 0.5 cos(x).
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.13 * i;
+        xs.push_back(x);
+        ys.push_back(2.0 * std::sin(x) + 0.5 * std::cos(x));
+    }
+    std::vector<std::function<double(const double &)>> basis{
+        [](const double &x) { return std::sin(x); },
+        [](const double &x) { return std::cos(x); },
+    };
+    const auto w = linearLeastSquares(xs, ys, basis);
+    EXPECT_NEAR(w[0], 2.0, 1e-9);
+    EXPECT_NEAR(w[1], 0.5, 1e-9);
+}
+
+TEST(FitTest, UnderdeterminedFitPanics)
+{
+    const std::vector<double> xs{1.0};
+    const std::vector<double> ys{1.0};
+    EXPECT_DEATH(polyfit(xs, ys, 2), "underdetermined");
+}
+
+TEST(FitTest, RSquaredPerfectAndBaseline)
+{
+    const std::vector<double> obs{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(rSquared(obs, obs), 1.0);
+    // Predicting the mean gives R^2 = 0.
+    const std::vector<double> pred{2.0, 2.0, 2.0};
+    EXPECT_NEAR(rSquared(pred, obs), 0.0, 1e-12);
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/linalg.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+namespace {
+
+TEST(MatrixTest, IdentityAndDiagonal)
+{
+    const auto eye = Matrix::identity(3);
+    EXPECT_EQ(eye(0, 0), 1.0);
+    EXPECT_EQ(eye(0, 1), 0.0);
+    const auto d = Matrix::diagonal({2.0, 3.0});
+    EXPECT_EQ(d(0, 0), 2.0);
+    EXPECT_EQ(d(1, 1), 3.0);
+    EXPECT_EQ(d(1, 0), 0.0);
+}
+
+TEST(MatrixTest, TransposeRoundTrip)
+{
+    Matrix m(2, 3);
+    m(0, 1) = 5.0;
+    m(1, 2) = -2.0;
+    const auto t = m.transpose();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t(1, 0), 5.0);
+    EXPECT_EQ(t(2, 1), -2.0);
+}
+
+TEST(MatrixTest, MatmulMatchesHandComputation)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 3.0;
+    a(1, 1) = 4.0;
+    const auto sq = a * a;
+    EXPECT_EQ(sq(0, 0), 7.0);
+    EXPECT_EQ(sq(0, 1), 10.0);
+    EXPECT_EQ(sq(1, 0), 15.0);
+    EXPECT_EQ(sq(1, 1), 22.0);
+}
+
+TEST(MatrixTest, MatvecMatchesHandComputation)
+{
+    Matrix a(2, 3);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(0, 2) = 3.0;
+    a(1, 0) = -1.0;
+    const auto y = a * std::vector<double>{1.0, 1.0, 1.0};
+    EXPECT_EQ(y[0], 6.0);
+    EXPECT_EQ(y[1], -1.0);
+}
+
+TEST(MatrixTest, SumDifferenceScale)
+{
+    Matrix a(1, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    const auto b = a * 3.0;
+    EXPECT_EQ(b(0, 1), 6.0);
+    const auto c = b - a;
+    EXPECT_EQ(c(0, 0), 2.0);
+    const auto d = c + a;
+    EXPECT_EQ(d(0, 1), 6.0);
+    EXPECT_EQ(d.maxAbs(), 6.0);
+}
+
+TEST(LuTest, SolvesRandomSystems)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + rng.index(12);
+        Matrix a(n, n);
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                a(r, c) = rng.normal();
+        // Diagonal dominance guarantees non-singularity.
+        for (std::size_t r = 0; r < n; ++r)
+            a(r, r) += static_cast<double>(n) + 1.0;
+        std::vector<double> x_true(n);
+        for (auto &x : x_true)
+            x = rng.normal();
+        const auto b = a * x_true;
+        const auto x = solveLinear(a, b);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], x_true[i], 1e-9);
+    }
+}
+
+TEST(LuTest, SolveNeedsPivoting)
+{
+    // Zero leading pivot forces a row swap.
+    Matrix a(2, 2);
+    a(0, 0) = 0.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 0.0;
+    const auto x = solveLinear(a, {3.0, 4.0});
+    EXPECT_NEAR(x[0], 4.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesMatrixIsIdentity)
+{
+    Rng rng(7);
+    Matrix a(5, 5);
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            a(r, c) = rng.normal();
+    for (std::size_t r = 0; r < 5; ++r)
+        a(r, r) += 10.0;
+    const auto inv = inverse(a);
+    const auto prod = a * inv;
+    for (std::size_t r = 0; r < 5; ++r)
+        for (std::size_t c = 0; c < 5; ++c)
+            EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(LuTest, SingularMatrixPanics)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 2.0;
+    a(1, 1) = 4.0;
+    EXPECT_DEATH(LuFactorization f(a), "singular");
+}
+
+TEST(DotTest, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+}
+
+} // namespace
+} // namespace dpc

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+TEST(StatsTest, MeanOfEmptyIsZero)
+{
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(StatsTest, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(StatsTest, SumBasic)
+{
+    EXPECT_DOUBLE_EQ(sum({0.5, 1.5, -2.0}), 0.0);
+}
+
+TEST(StatsTest, GeomeanMatchesClosedForm)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(StatsTest, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+}
+
+TEST(StatsTest, StddevMatchesHandComputation)
+{
+    // Samples 2, 4, 4, 4, 5, 5, 7, 9: sample stddev = sqrt(32/7).
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, StddevOfSingletonIsZero)
+{
+    EXPECT_EQ(stddev({3.0}), 0.0);
+}
+
+TEST(StatsTest, CoefficientOfVariation)
+{
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    EXPECT_NEAR(coefficientOfVariation(xs),
+                std::sqrt(32.0 / 7.0) / 5.0, 1e-12);
+    EXPECT_EQ(coefficientOfVariation({0.0, 0.0}), 0.0);
+}
+
+TEST(StatsTest, MinMaxElements)
+{
+    const std::vector<double> xs{3.0, -1.0, 7.5, 2.0};
+    EXPECT_EQ(minElement(xs), -1.0);
+    EXPECT_EQ(maxElement(xs), 7.5);
+}
+
+TEST(StatsTest, PercentileInterpolates)
+{
+    const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(StatsTest, LinspaceEndpointsAndSpacing)
+{
+    const auto xs = linspace(0.0, 1.0, 5);
+    ASSERT_EQ(xs.size(), 5u);
+    EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+    EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+    EXPECT_DOUBLE_EQ(xs[1], 0.25);
+}
+
+TEST(OnlineStatsTest, MatchesBatchStatistics)
+{
+    const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+    OnlineStats acc;
+    for (double x : xs)
+        acc.add(x);
+    EXPECT_EQ(acc.count(), xs.size());
+    EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(acc.stddev(), stddev(xs), 1e-12);
+    EXPECT_EQ(acc.min(), 2.0);
+    EXPECT_EQ(acc.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, ResetClearsState)
+{
+    OnlineStats acc;
+    acc.add(5.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+}
+
+} // namespace
+} // namespace dpc

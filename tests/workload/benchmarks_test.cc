@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "workload/benchmarks.hh"
+
+namespace dpc {
+namespace {
+
+TEST(BenchmarksTest, SuiteMatchesTable41)
+{
+    const auto &suite = npbHpccBenchmarks();
+    ASSERT_EQ(suite.size(), 10u);
+    int npb = 0, hpcc = 0;
+    for (const auto &b : suite) {
+        if (b.suite == "NPB")
+            ++npb;
+        else if (b.suite == "HPCC")
+            ++hpcc;
+    }
+    EXPECT_EQ(npb, 8);
+    EXPECT_EQ(hpcc, 2);
+}
+
+TEST(BenchmarksTest, FindByName)
+{
+    EXPECT_EQ(findBenchmark("EP").suite, "NPB");
+    EXPECT_EQ(findBenchmark("HPL").suite, "HPCC");
+    EXPECT_DEATH(findBenchmark("nope"), "unknown benchmark");
+}
+
+TEST(BenchmarksTest, ShapesAreSane)
+{
+    for (const auto &b : npbHpccBenchmarks()) {
+        EXPECT_GT(b.r0, 0.0) << b.name;
+        EXPECT_LE(b.r0, 1.0) << b.name;
+        EXPECT_GE(b.kappa, 0.0) << b.name;
+        EXPECT_LE(b.kappa, 1.0) << b.name;
+        EXPECT_LT(b.p_min, b.p_max) << b.name;
+        const auto u = b.utility();
+        // Normalized peak at the top of the box.
+        EXPECT_NEAR(u.peakValue(), 1.0, 1e-9) << b.name;
+        // Monotone non-decreasing over the box.
+        EXPECT_GE(u.derivative(b.p_max), -1e-12) << b.name;
+    }
+}
+
+TEST(BenchmarksTest, ComputeBoundGainsMoreThanMemoryBound)
+{
+    const auto ep = findBenchmark("EP").utility();  // compute bound
+    const auto ra = findBenchmark("RA").utility();  // memory bound
+    const double gain_ep =
+        ep.value(220.0) / ep.value(120.0);
+    const double gain_ra =
+        ra.value(220.0) / ra.value(120.0);
+    EXPECT_GT(gain_ep, 1.8);
+    EXPECT_LT(gain_ra, 1.25);
+}
+
+TEST(BenchmarksTest, LlcCorrelatesWithSaturation)
+{
+    // Within the suite, higher LLC must imply higher curvature.
+    const auto &suite = npbHpccBenchmarks();
+    for (const auto &a : suite) {
+        for (const auto &b : suite) {
+            if (a.llc < b.llc - 0.3) {
+                EXPECT_LT(a.kappa, b.kappa)
+                    << a.name << " vs " << b.name;
+            }
+        }
+    }
+}
+
+TEST(BenchmarksTest, SampleCurveMatchesUtilityUpToNoise)
+{
+    Rng rng(5);
+    const auto &ep = findBenchmark("EP");
+    std::vector<double> ps, ts;
+    ep.sampleCurve(8, rng, 0.0, ps, ts);
+    ASSERT_EQ(ps.size(), 8u);
+    const auto u = ep.utility();
+    for (std::size_t i = 0; i < ps.size(); ++i)
+        EXPECT_NEAR(ts[i], u.value(ps[i]), 1e-12);
+}
+
+TEST(BenchmarksTest, UtilityPtrSharesShape)
+{
+    const auto &cg = findBenchmark("CG");
+    const auto ptr = cg.utilityPtr();
+    ASSERT_NE(ptr, nullptr);
+    EXPECT_NEAR(ptr->value(170.0), cg.utility().value(170.0), 1e-12);
+}
+
+} // namespace
+} // namespace dpc

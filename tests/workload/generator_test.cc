@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/stats.hh"
+#include "workload/generator.hh"
+
+namespace dpc {
+namespace {
+
+TEST(GeneratorTest, NpbAssignmentCoversSuite)
+{
+    Rng rng(1);
+    const auto a = drawNpbAssignment(64, rng);
+    ASSERT_EQ(a.size(), 64u);
+    std::set<std::string> names;
+    for (const auto &w : a) {
+        ASSERT_NE(w.utility, nullptr);
+        names.insert(w.name);
+    }
+    EXPECT_EQ(names.size(), npbHpccBenchmarks().size());
+}
+
+TEST(GeneratorTest, SmallAssignmentStillValid)
+{
+    Rng rng(2);
+    const auto a = drawNpbAssignment(3, rng);
+    ASSERT_EQ(a.size(), 3u);
+    for (const auto &w : a)
+        ASSERT_NE(w.utility, nullptr);
+}
+
+TEST(GeneratorTest, SpecMixBoxesMatchChapter3Grid)
+{
+    Rng rng(3);
+    for (auto kind : {MixKind::HomogeneousWithinServer,
+                      MixKind::HeterogeneousWithinServer}) {
+        const auto a = drawSpecMixAssignment(20, kind, rng);
+        for (const auto &w : a) {
+            EXPECT_DOUBLE_EQ(w.utility->minPower(), 130.0);
+            EXPECT_DOUBLE_EQ(w.utility->maxPower(), 165.0);
+        }
+    }
+}
+
+TEST(GeneratorTest, HeterogeneousWithinAveragesCharacteristics)
+{
+    // Mixing four applications per server shrinks the spread of the
+    // per-server ANP-at-minimum values (Ch.3's "averaging in
+    // characteristics" for case b).
+    Rng rng(4);
+    auto spread = [&](MixKind kind) {
+        const auto a = drawSpecMixAssignment(400, kind, rng);
+        std::vector<double> r0s;
+        for (const auto &w : a) {
+            r0s.push_back(w.utility->value(130.0) /
+                          w.utility->value(165.0));
+        }
+        return stddev(r0s);
+    };
+    const double homo = spread(MixKind::HomogeneousWithinServer);
+    const double hetero =
+        spread(MixKind::HeterogeneousWithinServer);
+    EXPECT_LT(hetero, 0.7 * homo);
+}
+
+TEST(GeneratorTest, JobDurationsArePositiveWithRightMean)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i) {
+        const double d = drawJobDuration(120.0, rng);
+        EXPECT_GT(d, 0.0);
+        xs.push_back(d);
+    }
+    EXPECT_NEAR(mean(xs), 120.0, 5.0);
+}
+
+TEST(GeneratorTest, UtilitiesOfExtractsAll)
+{
+    Rng rng(6);
+    const auto a = drawNpbAssignment(12, rng);
+    const auto us = utilitiesOf(a);
+    ASSERT_EQ(us.size(), 12u);
+    for (std::size_t i = 0; i < us.size(); ++i)
+        EXPECT_EQ(us[i], a[i].utility);
+}
+
+} // namespace
+} // namespace dpc

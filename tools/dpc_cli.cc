@@ -1,0 +1,301 @@
+/**
+ * @file
+ * dpc — command-line front end to the library.
+ *
+ *   dpc allocate  --nodes N --budget W/node [--scheme S]
+ *                 [--topology T] [--chords K] [--seed X]
+ *       Solve one static budget-allocation instance and print the
+ *       per-benchmark cap summary plus SNP metrics.
+ *       Schemes: diba (default), pd, kkt, uniform, greedy.
+ *       Topologies: ring (default), chordal, er, complete.
+ *
+ *   dpc simulate  --nodes N --budget W/node --duration SECONDS
+ *                 [--churn MEAN_S] [--drop FRAC] [--seed X]
+ *       Run the dynamic cluster simulator; with --drop the budget
+ *       falls to FRAC of nominal for the middle third of the run.
+ *
+ *   dpc topology  --nodes N [--budget W/node] [--seed X]
+ *       Convergence/communication sweep across overlay topologies.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "alloc/diba.hh"
+#include "util/logging.hh"
+#include "alloc/greedy.hh"
+#include "alloc/kkt.hh"
+#include "alloc/primal_dual.hh"
+#include "alloc/uniform.hh"
+#include "cluster/sim.hh"
+#include "graph/topologies.hh"
+#include "metrics/performance.hh"
+#include "net/comm_model.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+using namespace dpc;
+
+namespace {
+
+/** Minimal --key value argument map. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i + 1 < argc; i += 2) {
+            if (std::strncmp(argv[i], "--", 2) != 0)
+                fatal("expected --option, got '", argv[i], "'");
+            kv_[argv[i] + 2] = argv[i + 1];
+        }
+        if ((argc - first) % 2 != 0)
+            fatal("dangling option '", argv[argc - 1], "'");
+    }
+
+    double
+    num(const std::string &key, double fallback) const
+    {
+        const auto it = kv_.find(key);
+        return it == kv_.end() ? fallback : std::stod(it->second);
+    }
+
+    std::string
+    str(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = kv_.find(key);
+        return it == kv_.end() ? fallback : it->second;
+    }
+
+  private:
+    std::map<std::string, std::string> kv_;
+};
+
+Graph
+buildTopology(const std::string &kind, std::size_t n,
+              std::size_t chords, Rng &rng)
+{
+    if (kind == "ring")
+        return makeRing(n);
+    if (kind == "chordal")
+        return makeChordalRing(n, chords, rng);
+    if (kind == "er")
+        return makeConnectedErdosRenyi(n, 3 * n, rng);
+    if (kind == "complete")
+        return makeComplete(n);
+    fatal("unknown topology '", kind,
+          "' (ring|chordal|er|complete)");
+}
+
+int
+cmdAllocate(const Args &args)
+{
+    const auto n = static_cast<std::size_t>(args.num("nodes", 64));
+    const double wpn = args.num("budget", 170.0);
+    const auto seed =
+        static_cast<std::uint64_t>(args.num("seed", 1));
+    const std::string scheme = args.str("scheme", "diba");
+
+    Rng rng(seed);
+    const auto assignment = drawNpbAssignment(n, rng);
+    AllocationProblem prob{utilitiesOf(assignment),
+                           wpn * static_cast<double>(n)};
+
+    AllocationResult res;
+    if (scheme == "diba") {
+        Rng topo_rng(seed ^ 0xbeef);
+        DibaAllocator diba(buildTopology(
+            args.str("topology", "ring"), n,
+            static_cast<std::size_t>(args.num("chords", n / 5)),
+            topo_rng));
+        res = diba.allocate(prob);
+    } else if (scheme == "pd") {
+        PrimalDualAllocator pd;
+        res = pd.allocate(prob);
+    } else if (scheme == "kkt") {
+        res = solveKkt(prob);
+    } else if (scheme == "uniform") {
+        UniformAllocator uniform;
+        res = uniform.allocate(prob);
+    } else if (scheme == "greedy") {
+        GreedyTpwAllocator greedy;
+        res = greedy.allocate(prob);
+    } else {
+        fatal("unknown scheme '", scheme,
+              "' (diba|pd|kkt|uniform|greedy)");
+    }
+
+    // Per-benchmark cap summary.
+    struct Acc
+    {
+        double power = 0.0;
+        double anp = 0.0;
+        long long count = 0;
+    };
+    std::map<std::string, Acc> by_bench;
+    for (std::size_t i = 0; i < n; ++i) {
+        auto &a = by_bench[assignment[i].name];
+        a.power += res.power[i];
+        a.anp += anp(*prob.utilities[i], res.power[i]);
+        ++a.count;
+    }
+    Table table({"workload", "servers", "mean_cap_W", "mean_ANP"});
+    for (const auto &[name, acc] : by_bench) {
+        table.addRow(
+            {name, Table::num(acc.count),
+             Table::num(acc.power / (double)acc.count, 1),
+             Table::num(acc.anp / (double)acc.count, 3)});
+    }
+    table.print(std::cout);
+
+    const auto rep = evaluateAllocation(prob.utilities, res.power);
+    const auto opt = solveKkt(prob);
+    std::cout << "\nscheme=" << scheme << "  iterations="
+              << res.iterations << "  converged="
+              << (res.converged ? "yes" : "no") << "\ntotal "
+              << Table::num(res.totalPower() / 1000.0, 2)
+              << " kW of " << Table::num(prob.budget / 1000.0, 2)
+              << " kW budget; SNP "
+              << Table::num(rep.snp_arith, 4) << "; "
+              << Table::num(100.0 * res.utility / opt.utility, 2)
+              << "% of optimal utility\n";
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    const auto n =
+        static_cast<std::size_t>(args.num("nodes", 128));
+    const double wpn = args.num("budget", 172.0);
+    const double duration = args.num("duration", 120.0);
+    const double churn = args.num("churn", 0.0);
+    const double drop = args.num("drop", 0.0);
+    const auto seed =
+        static_cast<std::uint64_t>(args.num("seed", 1));
+
+    Rng rng(seed);
+    auto assignment = drawNpbAssignment(n, rng);
+    ClusterSimConfig cfg;
+    cfg.mean_job_s = churn;
+    cfg.seed = seed;
+    const double nominal = wpn * static_cast<double>(n);
+    ClusterSim sim(std::move(assignment), makeRing(n), nominal,
+                   DibaAllocator::Config(), cfg);
+    if (drop > 0.0) {
+        sim.setBudgetSchedule([=](double t) {
+            const bool mid = t >= duration / 3.0 &&
+                             t < 2.0 * duration / 3.0;
+            return mid ? drop * nominal : nominal;
+        });
+    }
+
+    const auto samples = sim.run(duration);
+    Table table({"t_s", "budget_kW", "alloc_kW", "consumed_kW",
+                 "snp"});
+    const std::size_t stride =
+        std::max<std::size_t>(1, samples.size() / 20);
+    for (std::size_t i = 0; i < samples.size(); i += stride) {
+        const auto &s = samples[i];
+        table.addRow({Table::num(s.t, 0),
+                      Table::num(s.budget / 1000.0, 2),
+                      Table::num(s.allocated_power / 1000.0, 2),
+                      Table::num(s.consumed_power / 1000.0, 2),
+                      Table::num(s.snp, 4)});
+    }
+    table.print(std::cout);
+
+    bool violated = false;
+    for (const auto &s : samples)
+        violated |= s.allocated_power >= s.budget;
+    std::cout << "\nbudget violations: "
+              << (violated ? "YES" : "none") << "\n";
+    return 0;
+}
+
+int
+cmdTopology(const Args &args)
+{
+    const auto n =
+        static_cast<std::size_t>(args.num("nodes", 100));
+    const double wpn = args.num("budget", 172.0);
+    const auto seed =
+        static_cast<std::uint64_t>(args.num("seed", 1));
+
+    Rng rng(seed);
+    AllocationProblem prob{utilitiesOf(drawNpbAssignment(n, rng)),
+                           wpn * static_cast<double>(n)};
+    const auto opt = solveKkt(prob);
+    CommModel net;
+
+    Table table({"topology", "avg_degree", "iters_to_99%",
+                 "comm_ms"});
+    struct Cand
+    {
+        std::string name;
+        Graph g;
+    };
+    std::vector<Cand> cands;
+    cands.push_back({"ring", makeRing(n)});
+    cands.push_back(
+        {"chordal(+n/5)", makeChordalRing(n, n / 5, rng)});
+    cands.push_back({"er(3n)", makeConnectedErdosRenyi(
+                                   n, 3 * n, rng)});
+    for (auto &c : cands) {
+        const double deg = c.g.averageDegree();
+        const double round_us = net.dibaRoundUs(c.g);
+        DibaAllocator diba(std::move(c.g));
+        diba.reset(prob);
+        std::size_t iters = 30000;
+        for (std::size_t it = 1; it <= 30000; ++it) {
+            diba.iterate();
+            const double u =
+                totalUtility(prob.utilities, diba.power());
+            if (withinFractionOfOptimal(u, opt.utility, 0.99)) {
+                iters = it;
+                break;
+            }
+        }
+        table.addRow({c.name, Table::num(deg, 1),
+                      Table::num((long long)iters),
+                      Table::num(iters * round_us / 1000.0, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: dpc <allocate|simulate|topology> [--opt val]...\n"
+        << "  allocate: --nodes N --budget W/node --scheme "
+           "diba|pd|kkt|uniform|greedy --topology "
+           "ring|chordal|er|complete --seed X\n"
+        << "  simulate: --nodes N --budget W/node --duration S "
+           "--churn MEAN_S --drop FRAC --seed X\n"
+        << "  topology: --nodes N --budget W/node --seed X\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "allocate")
+        return cmdAllocate(args);
+    if (cmd == "simulate")
+        return cmdSimulate(args);
+    if (cmd == "topology")
+        return cmdTopology(args);
+    usage();
+    return 1;
+}
