@@ -22,7 +22,8 @@ void
 BM_KktSolve(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
-    const auto prob = bench::npbProblem(n, 172.0, 1);
+    const auto &prob = bench::cachedNpbProblem(n, 172.0, 1);
+    state.SetLabel(bench::problemLabel(n, 172.0, 1));
     for (auto _ : state) {
         auto res = solveKkt(prob);
         benchmark::DoNotOptimize(res.utility);
@@ -34,7 +35,8 @@ void
 BM_DibaRound(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
-    const auto prob = bench::npbProblem(n, 172.0, 2);
+    const auto &prob = bench::cachedNpbProblem(n, 172.0, 2);
+    state.SetLabel(bench::problemLabel(n, 172.0, 2));
     DibaAllocator diba(makeRing(n));
     diba.reset(prob);
     for (auto _ : state) {
@@ -47,7 +49,8 @@ void
 BM_DibaSolve(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
-    const auto prob = bench::npbProblem(n, 172.0, 3);
+    const auto &prob = bench::cachedNpbProblem(n, 172.0, 3);
+    state.SetLabel(bench::problemLabel(n, 172.0, 3));
     for (auto _ : state) {
         DibaAllocator diba(makeRing(n));
         auto res = diba.allocate(prob);
@@ -59,7 +62,8 @@ void
 BM_PrimalDualSolve(benchmark::State &state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
-    const auto prob = bench::npbProblem(n, 172.0, 4);
+    const auto &prob = bench::cachedNpbProblem(n, 172.0, 4);
+    state.SetLabel(bench::problemLabel(n, 172.0, 4));
     for (auto _ : state) {
         PrimalDualAllocator pd;
         auto res = pd.allocate(prob);

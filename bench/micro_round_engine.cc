@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Round-engine microbenchmarks: one synchronized DiBA round
+ * (diffuse + local steps) under the three engine configurations
+ * the scalability work introduced --
+ *
+ *   seed:      generic virtual-dispatch utility path, serial loop
+ *              over std::vector<std::vector> adjacency semantics
+ *              (enable_quad_fastpath = false, num_threads = 0);
+ *   soa:       devirtualized quadratic struct-of-arrays fast path
+ *              over the CSR overlay, still serial;
+ *   parallel:  soa + the static-chunked ThreadPool with one chunk
+ *              per hardware thread.
+ *
+ * plus the primal-dual best-response sweep reusing the same pool.
+ * The serial/parallel DiBA rounds are bitwise-identical by
+ * construction (see DESIGN.md "Round engine"), so these measure
+ * the same computation.  Problems come from the shared cache so
+ * harness re-entries never regenerate utilities inside setup.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/diba.hh"
+#include "alloc/primal_dual.hh"
+#include "bench/common.hh"
+#include "util/thread_pool.hh"
+
+using namespace dpc;
+
+namespace {
+
+constexpr double kWattsPerNode = 172.0;
+constexpr std::uint64_t kSeed = 23;
+
+DibaAllocator::Config
+engineConfig(bool soa, std::size_t threads)
+{
+    DibaAllocator::Config cfg;
+    cfg.enable_quad_fastpath = soa;
+    cfg.num_threads = threads;
+    return cfg;
+}
+
+void
+roundBench(benchmark::State &state, bool soa, std::size_t threads)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto &prob = bench::cachedNpbProblem(n, kWattsPerNode,
+                                               kSeed);
+    DibaAllocator diba(makeRing(n), engineConfig(soa, threads));
+    diba.reset(prob);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(diba.iterate());
+    state.SetLabel(bench::problemLabel(n, kWattsPerNode, kSeed));
+    state.counters["node_ns"] = benchmark::Counter(
+        static_cast<double>(n),
+        benchmark::Counter::kIsIterationInvariantRate |
+            benchmark::Counter::kInvert);
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_RoundSeedStyle(benchmark::State &state)
+{
+    roundBench(state, /*soa=*/false, /*threads=*/0);
+}
+
+void
+BM_RoundSoa(benchmark::State &state)
+{
+    roundBench(state, /*soa=*/true, /*threads=*/0);
+}
+
+void
+BM_RoundSoaParallel(benchmark::State &state)
+{
+    roundBench(state, /*soa=*/true, ThreadPool::hardwareChunks());
+}
+
+void
+BM_PdSolve(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto &prob = bench::cachedNpbProblem(n, kWattsPerNode,
+                                               kSeed);
+    PrimalDualAllocator::Config cfg;
+    cfg.num_threads = static_cast<std::size_t>(state.range(1));
+    PrimalDualAllocator pd(cfg);
+    for (auto _ : state) {
+        auto res = pd.allocate(prob);
+        benchmark::DoNotOptimize(res.utility);
+    }
+    state.SetLabel(bench::problemLabel(n, kWattsPerNode, kSeed));
+}
+
+} // namespace
+
+BENCHMARK(BM_RoundSeedStyle)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Arg(6400)
+    ->Arg(25600)
+    ->Complexity();
+BENCHMARK(BM_RoundSoa)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Arg(6400)
+    ->Arg(25600)
+    ->Complexity();
+BENCHMARK(BM_RoundSoaParallel)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Arg(6400)
+    ->Arg(25600)
+    ->Complexity();
+BENCHMARK(BM_PdSolve)
+    ->Args({6400, 0})
+    ->Args({6400, static_cast<long>(ThreadPool::hardwareChunks())});
+
+BENCHMARK_MAIN();

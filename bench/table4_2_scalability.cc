@@ -15,10 +15,13 @@
  */
 
 #include <chrono>
+#include <cstdlib>
 
 #include "alloc/centralized.hh"
 #include "bench/common.hh"
 #include "net/comm_model.hh"
+#include "tools/bench_json.hh"
+#include "util/thread_pool.hh"
 
 using namespace dpc;
 
@@ -28,6 +31,26 @@ double
 ms(std::chrono::steady_clock::duration d)
 {
     return std::chrono::duration<double, std::milli>(d).count();
+}
+
+/** Mean wall-clock per synchronized round over `rounds` rounds. */
+double
+msPerRound(DibaAllocator &diba, std::size_t rounds)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < rounds; ++r)
+        diba.iterate();
+    return ms(std::chrono::steady_clock::now() - t0) /
+           static_cast<double>(rounds);
+}
+
+DibaAllocator::Config
+engineConfig(bool soa, std::size_t threads)
+{
+    DibaAllocator::Config cfg;
+    cfg.enable_quad_fastpath = soa;
+    cfg.num_threads = threads;
+    return cfg;
 }
 
 } // namespace
@@ -105,5 +128,83 @@ main()
            "with N; PD comm dominates (serial coordinator each "
            "iteration); DiBA comm stays flat (~28 ms) regardless "
            "of N, giving a >100x total-runtime win at 6400 nodes.\n";
+
+    // Part 2: round-engine scaling.  Past 6400 nodes the oracle
+    // solves above become the bottleneck, so this section measures
+    // only what the paper claims stays flat -- DiBA per-round
+    // compute per node -- under the three engine configurations
+    // (seed-style generic serial, quadratic SoA serial, SoA +
+    // static-chunked thread pool).  Every run also lands in
+    // BENCH_diba_rounds.json for the perf trajectory.
+    bench::banner("Table 4.2 (round engine)",
+                  "DiBA per-round compute vs. cluster size; "
+                  "engines: seed (virtual+serial), soa "
+                  "(devirtualized), par (soa + thread pool)");
+
+    const std::size_t hw = ThreadPool::hardwareChunks();
+    tools::BenchJsonWriter json;
+    Table scaling({"nodes", "rounds", "seed_ms", "soa_ms",
+                   "par_ms", "seed_node_ns", "par_node_ns",
+                   "speedup"});
+    for (std::size_t n : {6400u, 25600u, 102400u}) {
+        const auto prob = bench::npbProblem(n, 172.0, 23);
+        const std::size_t rounds =
+            std::max<std::size_t>(20, 4000000 / n);
+
+        struct EngineRun
+        {
+            const char *name;
+            DibaAllocator::Config cfg;
+            double per_round_ms = 0.0;
+        } runs[] = {
+            {"seed", engineConfig(false, 0), 0.0},
+            {"soa", engineConfig(true, 0), 0.0},
+            {"par", engineConfig(true, hw), 0.0},
+        };
+        for (auto &run : runs) {
+            DibaAllocator diba(makeRing(n), run.cfg);
+            diba.reset(prob);
+            msPerRound(diba, 5); // warm caches / page in state
+            run.per_round_ms = msPerRound(diba, rounds);
+            json.record()
+                .field("bench", "diba_round")
+                .field("engine", run.name)
+                .field("nodes", n)
+                .field("threads",
+                       run.cfg.num_threads == 0
+                           ? static_cast<std::size_t>(1)
+                           : run.cfg.num_threads)
+                .field("rounds", rounds)
+                .field("ms_per_round", run.per_round_ms)
+                .field("ns_per_node", 1e6 * run.per_round_ms /
+                                          static_cast<double>(n))
+                .field("label",
+                       bench::problemLabel(n, 172.0, 23));
+        }
+        scaling.addRow(
+            {Table::num(static_cast<long long>(n)),
+             Table::num(static_cast<long long>(rounds)),
+             Table::num(runs[0].per_round_ms, 3),
+             Table::num(runs[1].per_round_ms, 3),
+             Table::num(runs[2].per_round_ms, 3),
+             Table::num(1e6 * runs[0].per_round_ms /
+                            static_cast<double>(n),
+                        1),
+             Table::num(1e6 * runs[2].per_round_ms /
+                            static_cast<double>(n),
+                        1),
+             Table::num(runs[0].per_round_ms /
+                            runs[2].per_round_ms,
+                        2)});
+    }
+    scaling.print(std::cout);
+    std::cout << "\nShape to check: per-node ns stays ~flat as N "
+                 "grows 16x (the decentralized round is O(deg) "
+                 "per node), and the SoA/parallel engines beat "
+                 "the seed path by a widening margin.\n";
+
+    const char *json_path = std::getenv("DPC_BENCH_JSON");
+    json.save(json_path != nullptr ? json_path
+                                   : "BENCH_diba_rounds.json");
     return 0;
 }

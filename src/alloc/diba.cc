@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "metrics/performance.hh"
 #include "util/logging.hh"
@@ -13,6 +14,55 @@ namespace {
 
 /** Numerical floor keeping the barrier defined in transients. */
 constexpr double kBarrierFloor = 1e-9;
+
+/**
+ * Target slack restored by an emergency shed: a node holding
+ * non-negative debt drops its cap until e_i <= -kShedFloor (box
+ * permitting).  Shared by emergencyShed() and the in-round safety
+ * action of the local steps.
+ */
+constexpr double kShedFloor = 1e-2;
+
+/**
+ * Power-capping safety action inside the local controller: with
+ * e >= 0 the barrier is undefined and the quasi-Newton step
+ * degenerates to an O(kBarrierFloor) move, so shed directly down
+ * to -kShedFloor instead.  Debt parked on floor-clamped nodes can
+ * reach a node with headroom only via diffusion (one hop per
+ * round); this absorbs it the moment it arrives.
+ */
+inline double
+emergencyShedStep(double &p, double &e, double p_min)
+{
+    const double want = e + kShedFloor;
+    const double can = p - p_min;
+    const double shed = std::max(0.0, std::min(want, can));
+    p -= shed;
+    e -= shed;
+    return -shed;
+}
+
+/**
+ * Barrier gradient step arithmetic for one quadratic node (the
+ * devirtualized core shared by localStepQuad and the dense fused
+ * kernel): gradient b + 2cp + eta/e, exact curvature 2|c| plus the
+ * barrier term, then the usual backtracking into the action
+ * space.  One reciprocal serves both barrier terms.
+ */
+inline double
+quadStepDp(double p, double e, double eta, double b, double c,
+           double lo, double hi, const DibaAllocator::Config &cfg)
+{
+    const double e_eff = std::min(e, -kBarrierFloor);
+    const double inv = 1.0 / e_eff;
+    const double grad = b + 2.0 * c * p + eta * inv;
+    const double curv = eta * inv * inv + 2.0 * std::fabs(c);
+    double dp = cfg.damping * grad / std::max(curv, 1e-12);
+    dp = std::clamp(dp, -cfg.max_move, cfg.max_move);
+    if (dp > 0.0)
+        dp = std::min(dp, (cfg.barrier_keep - 1.0) * e);
+    return std::clamp(dp, lo - p, hi - p);
+}
 
 } // namespace
 
@@ -28,6 +78,21 @@ DibaAllocator::DibaAllocator(Graph topology, Config cfg)
         for (std::size_t w : topo_.neighbors(v))
             if (v < w)
                 edges_.emplace_back(v, w);
+    // Force the CSR build now (lazy building is not thread-safe)
+    // and bake the Metropolis weights, one per directed edge slot:
+    // degrees never change, so the divisions leave the hot path.
+    const GraphCsr &g = topo_.csr();
+    w_.resize(g.neighbors.size());
+    for (std::size_t v = 0; v < topo_.numVertices(); ++v) {
+        for (std::uint32_t k = g.offsets[v]; k < g.offsets[v + 1];
+             ++k) {
+            const std::uint32_t j = g.neighbors[k];
+            w_[k] = 1.0 / (1.0 + static_cast<double>(std::max(
+                                     g.degree(v), g.degree(j))));
+        }
+    }
+    if (cfg_.num_threads >= 1)
+        pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
     DPC_ASSERT(topo_.numVertices() >= 2,
                "DiBA needs at least two nodes");
     DPC_ASSERT(topo_.isConnected(),
@@ -57,11 +122,37 @@ DibaAllocator::reset(const AllocationProblem &prob)
     const double n = static_cast<double>(prob.size());
     const double e0 = (sum(p_) - budget_) / n;
     e_.assign(prob.size(), e0);
+    e_snapshot_.assign(prob.size(), 0.0);
     eta_now_.assign(prob.size(), cfg_.eta_initial);
-    active_.assign(prob.size(), true);
+    active_.assign(prob.size(), 1);
     num_active_ = prob.size();
+    rebuildQuadFastPath();
     if (e0 >= 0.0)
         emergencyShed();
+}
+
+void
+DibaAllocator::rebuildQuadFastPath()
+{
+    quad_fast_ = false;
+    if (!cfg_.enable_quad_fastpath)
+        return;
+    const std::size_t n = u_.size();
+    qb_.resize(n);
+    qc_.resize(n);
+    qmin_.resize(n);
+    qmax_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto *q = dynamic_cast<const QuadraticUtility *>(
+            u_[i].get());
+        if (q == nullptr)
+            return;
+        qb_[i] = q->coeffB();
+        qc_[i] = q->coeffC();
+        qmin_[i] = q->minPower();
+        qmax_[i] = q->maxPower();
+    }
+    quad_fast_ = true;
 }
 
 double
@@ -70,20 +161,62 @@ DibaAllocator::iterate()
     const std::size_t n = p_.size();
     DPC_ASSERT(n > 0, "iterate() before reset()");
 
-    // Phase 1: neighbour exchange.
-    diffuse();
-
-    // Phase 2: local barrier-gradient steps, followed by the
-    // local annealing decision: a quiescent node tightens its
-    // barrier toward the floor, a node still transporting power
-    // re-widens it (both purely local, no coordination).
+    // Phase 1 (neighbour exchange) and phase 2 (local barrier-
+    // gradient steps + the local annealing decision: a quiescent
+    // node tightens its barrier toward the floor, a node still
+    // transporting power re-widens it) run fused in one pass over
+    // the nodes: a node's step reads no other node's post-exchange
+    // estimate, so fusing preserves the synchronized-round values
+    // exactly while halving the sweeps over the state arrays.
+    //
+    // Every phase reads the pre-round snapshot and writes only
+    // node-local state, so the chunked run is bitwise identical to
+    // the serial one; the per-round max |dp| is reduced per chunk
+    // and max-combined in chunk order.
+    snapshotSwap();
+    if (!pool_)
+        return roundRange(0, n);
+    const std::size_t chunks = pool_->numChunks();
+    chunk_max_.assign(chunks, 0.0);
+    pool_->parallelFor(
+        n, [this](std::size_t c, std::size_t b, std::size_t e) {
+            chunk_max_[c] = roundRange(b, e);
+        });
     double max_dp = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!active_[i])
-            continue;
-        const double dp = std::fabs(localStep(i));
-        max_dp = std::max(max_dp, dp);
-        annealNode(i, dp);
+    for (double m : chunk_max_)
+        max_dp = std::max(max_dp, m);
+    return max_dp;
+}
+
+double
+DibaAllocator::roundRange(std::size_t begin, std::size_t end)
+{
+    if (quad_fast_ && num_active_ == p_.size())
+        return roundRangeQuadDense(begin, end);
+    diffuseRange(begin, end);
+    return stepRange(begin, end);
+}
+
+double
+DibaAllocator::stepRange(std::size_t begin, std::size_t end)
+{
+    double max_dp = 0.0;
+    if (quad_fast_) {
+        for (std::size_t i = begin; i < end; ++i) {
+            if (!active_[i])
+                continue;
+            const double dp = std::fabs(localStepQuad(i));
+            max_dp = std::max(max_dp, dp);
+            annealNode(i, dp);
+        }
+    } else {
+        for (std::size_t i = begin; i < end; ++i) {
+            if (!active_[i])
+                continue;
+            const double dp = std::fabs(localStep(i));
+            max_dp = std::max(max_dp, dp);
+            annealNode(i, dp);
+        }
     }
     return max_dp;
 }
@@ -104,20 +237,13 @@ double
 DibaAllocator::gossipTick(Rng &rng)
 {
     DPC_ASSERT(!p_.empty(), "gossipTick() before reset()");
-    DPC_ASSERT(!edges_.empty(), "overlay with no edges");
-    // Activate one random live edge; retry over failed endpoints
-    // (a dead neighbour simply never answers).
-    std::size_t u = 0, v = 0;
-    for (int attempt = 0; attempt < 1000; ++attempt) {
-        const auto &[a, b] = edges_[rng.index(edges_.size())];
-        if (active_[a] && active_[b]) {
-            u = a;
-            v = b;
-            break;
-        }
-        DPC_ASSERT(attempt + 1 < 1000,
-                   "no live edge left in the overlay");
-    }
+    // failNode() prunes dead edges from edges_, so a uniform draw
+    // lands on a live edge in one attempt even when survivors are
+    // rare (a dead neighbour simply never answers).
+    DPC_ASSERT(!edges_.empty(), "no live edge left in the overlay");
+    const auto &[u, v] = edges_[rng.index(edges_.size())];
+    DPC_ASSERT(active_[u] && active_[v],
+               "stale dead edge in the live-edge list");
     // Pairwise estimate averaging preserves e_u + e_v exactly and
     // keeps both strictly negative.
     const double mean_e = 0.5 * (e_[u] + e_[v]);
@@ -125,7 +251,7 @@ DibaAllocator::gossipTick(Rng &rng)
     e_[v] = mean_e;
     double max_dp = 0.0;
     for (std::size_t i : {u, v}) {
-        const double dp = std::fabs(localStep(i));
+        const double dp = std::fabs(stepNode(i));
         max_dp = std::max(max_dp, dp);
         annealNode(i, dp);
     }
@@ -138,8 +264,17 @@ DibaAllocator::failNode(std::size_t i)
     DPC_ASSERT(i < p_.size(), "failNode index out of range");
     DPC_ASSERT(active_[i], "node already failed");
     DPC_ASSERT(num_active_ > 1, "cannot fail the last node");
-    active_[i] = false;
+    active_[i] = 0;
     --num_active_;
+    // Prune the dead node's edges from the gossip overlay so
+    // activation draws stay O(1) and the "no live edge" condition
+    // is exact (edges_ empty <=> no live edge exists).
+    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                                [i](const auto &e) {
+                                    return e.first == i ||
+                                           e.second == i;
+                                }),
+                 edges_.end());
     if (!activeSubgraphConnected()) {
         // Survivors split into components.  Every component keeps
         // its share of the invariant (sum e = sum p - P holds
@@ -215,6 +350,8 @@ DibaAllocator::localStep(std::size_t i)
 {
     const UtilityFunction &u = *u_[i];
     const double p = p_[i];
+    if (e_[i] >= 0.0)
+        return emergencyShedStep(p_[i], e_[i], u.minPower());
     const double e_eff = std::min(e_[i], -kBarrierFloor);
 
     // Gradient of R_i = r_i(p) + eta * log(-e_i) in the direction
@@ -249,6 +386,24 @@ DibaAllocator::localStep(std::size_t i)
     return dp;
 }
 
+double
+DibaAllocator::localStepQuad(std::size_t i)
+{
+    // Devirtualized localStep() over the SoA coefficient arrays:
+    // the gradient b + 2cp is computed inline and the exact
+    // curvature |r''| = 2|c| replaces the two-point finite
+    // difference (for a quadratic they agree to rounding error).
+    const double p = p_[i];
+    if (e_[i] >= 0.0)
+        return emergencyShedStep(p_[i], e_[i], qmin_[i]);
+    const double dp =
+        quadStepDp(p, e_[i], eta_now_[i], qb_[i], qc_[i], qmin_[i],
+                   qmax_[i], cfg_);
+    p_[i] = p + dp;
+    e_[i] += dp;
+    return dp;
+}
+
 void
 DibaAllocator::diffuse()
 {
@@ -261,27 +416,122 @@ DibaAllocator::diffuse()
     // With a positive deadband (gated-gossip option), transfers
     // inside the relative gap gate are suppressed; the default of
     // zero exchanges on every edge.
+    //
+    // Swapping the buffers instead of copying makes the snapshot
+    // free; diffuseRange rewrites every e_[i] from the snapshot,
+    // reading only e_snapshot_ and writing only its own slots, so
+    // chunked execution is race-free and bitwise deterministic.
     const std::size_t n = e_.size();
-    e_snapshot_ = e_;
-    for (std::size_t i = 0; i < n; ++i) {
-        if (!active_[i])
-            continue;
+    snapshotSwap();
+    if (!pool_) {
+        diffuseRange(0, n);
+        return;
+    }
+    pool_->parallelFor(
+        n, [this](std::size_t, std::size_t b, std::size_t e) {
+            diffuseRange(b, e);
+        });
+}
+
+void
+DibaAllocator::snapshotSwap()
+{
+    e_snapshot_.swap(e_);
+}
+
+double
+DibaAllocator::roundRangeQuadDense(std::size_t begin,
+                                   std::size_t end)
+{
+    // Fused diffuse + step + anneal with no participation checks:
+    // the all-active, all-quadratic configuration every large-scale
+    // experiment runs in.  Raw pointers keep the indexed loads out
+    // of the vector wrappers on the hot path.
+    const GraphCsr &g = topo_.csr();
+    const std::uint32_t *offs = g.offsets.data();
+    const std::uint32_t *nbr = g.neighbors.data();
+    const double *w = w_.data();
+    const double *snap = e_snapshot_.data();
+    double *p = p_.data();
+    double *e = e_.data();
+    double *eta = eta_now_.data();
+    const bool gated = cfg_.deadband > 0.0;
+    double max_dp = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const double ei = snap[i];
         double acc = 0.0;
-        for (std::size_t j : topo_.neighbors(i)) {
+        const std::uint32_t hi = offs[i + 1];
+        if (gated) {
+            for (std::uint32_t k = offs[i]; k < hi; ++k) {
+                const double ej = snap[nbr[k]];
+                const double gap = ej - ei;
+                const double gate =
+                    cfg_.deadband *
+                    std::max(std::fabs(ei), std::fabs(ej));
+                if (std::fabs(gap) <= gate)
+                    continue;
+                acc += w[k] * gap;
+            }
+        } else {
+            for (std::uint32_t k = offs[i]; k < hi; ++k)
+                acc += w[k] * (snap[nbr[k]] - ei);
+        }
+        const double e_now = ei + acc;
+        const double p_now = p[i];
+        double dp;
+        if (e_now >= 0.0) {
+            double pp = p_now, ee = e_now;
+            dp = emergencyShedStep(pp, ee, qmin_[i]);
+            p[i] = pp;
+            e[i] = ee;
+        } else {
+            dp = quadStepDp(p_now, e_now, eta[i], qb_[i], qc_[i],
+                            qmin_[i], qmax_[i], cfg_);
+            p[i] = p_now + dp;
+            e[i] = e_now + dp;
+        }
+        const double moved = std::fabs(dp);
+        max_dp = std::max(max_dp, moved);
+        // annealNode(), inlined on the local annealing state.
+        if (moved < cfg_.anneal_gate)
+            eta[i] = std::max(cfg_.eta, eta[i] * cfg_.eta_decay);
+        else if (moved > cfg_.reheat_gate)
+            eta[i] = std::min(cfg_.eta_initial,
+                              eta[i] * cfg_.eta_reheat);
+    }
+    return max_dp;
+}
+
+void
+DibaAllocator::diffuseRange(std::size_t begin, std::size_t end)
+{
+    const GraphCsr &g = topo_.csr();
+    const bool gated = cfg_.deadband > 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+        const double ei = e_snapshot_[i];
+        if (!active_[i]) {
+            e_[i] = ei;
+            continue;
+        }
+        double acc = 0.0;
+        const std::uint32_t lo = g.offsets[i];
+        const std::uint32_t hi = g.offsets[i + 1];
+        for (std::uint32_t k = lo; k < hi; ++k) {
+            const std::uint32_t j = g.neighbors[k];
             if (!active_[j])
                 continue;
-            const double gap = e_snapshot_[j] - e_snapshot_[i];
-            const double gate =
-                cfg_.deadband * std::max(std::fabs(e_snapshot_[i]),
-                                         std::fabs(e_snapshot_[j]));
-            if (std::fabs(gap) <= gate)
-                continue;
-            const double w =
-                1.0 / (1.0 + static_cast<double>(std::max(
-                                 topo_.degree(i), topo_.degree(j))));
-            acc += w * gap;
+            const double gap = e_snapshot_[j] - ei;
+            if (gated) {
+                const double gate =
+                    cfg_.deadband *
+                    std::max(std::fabs(ei),
+                             std::fabs(e_snapshot_[j]));
+                if (std::fabs(gap) <= gate)
+                    continue;
+            }
+            acc += w_[k] * gap;
         }
-        e_[i] = e_snapshot_[i] + acc;
+        e_[i] = ei + acc;
     }
 }
 
@@ -294,32 +544,51 @@ DibaAllocator::emergencyShed()
     // their power floor cannot shed, so a few neighbour-exchange
     // rounds move their surplus to nodes that still can -- still
     // fully decentralized, and all inside one control step.
-    constexpr double floor = 1e-2;
-    // Debt can sit several hops inside a floor-clamped region and
-    // diffusion moves it one hop per exchange, so budget as many
-    // exchanges as the overlay could need (bounded by its size).
-    const int max_rounds = static_cast<int>(
-        std::min<std::size_t>(topo_.numVertices(), 96));
-    for (int round = 0; round < max_rounds; ++round) {
-        bool any_over = false;
+    // One pass of local shedding; returns the remaining excess
+    // sum_active max(0, e_i + kShedFloor).  After a pass, every
+    // node still over the line is pinned at its power floor (it
+    // shed all it could), so leftover debt sits only on nodes that
+    // cannot act on it and must travel by diffusion.
+    auto shedPass = [&] {
+        double over = 0.0;
         for (std::size_t i = 0; i < p_.size(); ++i) {
             if (!active_[i])
                 continue;
-            if (e_[i] > -floor) {
-                const double want = e_[i] + floor;
-                const double can = p_[i] - u_[i]->minPower();
-                const double shed = std::min(want, can);
-                if (shed > 0.0) {
-                    p_[i] -= shed;
-                    e_[i] -= shed;
-                }
-                any_over |= e_[i] > -floor;
+            if (e_[i] > -kShedFloor) {
+                emergencyShedStep(p_[i], e_[i],
+                                  u_[i]->minPower());
+                over += std::max(0.0, e_[i] + kShedFloor);
             }
         }
-        if (!any_over)
+        return over;
+    };
+    // Debt can sit many hops inside a floor-clamped region and
+    // diffusion moves it one hop per exchange, so keep exchanging
+    // while the excess still shrinks.  Averaging never increases
+    // the positive part and shedding strictly removes whatever
+    // reaches a node with headroom, so the excess is monotone
+    // non-increasing; when it stalls for several rounds the rest
+    // is pinned debt no exchange can move (an over-floored
+    // partition), and we stop -- always on a shed pass, never on a
+    // diffuse, so every node with headroom leaves here holding
+    // e_i <= -kShedFloor.
+    const int stall_limit = 8;
+    const int hard_cap = 64 + 8 * static_cast<int>(std::min<
+                                  std::size_t>(
+                                  topo_.numVertices(), 4096));
+    double prev_over = std::numeric_limits<double>::infinity();
+    int stalled = 0;
+    for (int round = 0; round < hard_cap; ++round) {
+        const double over = shedPass();
+        if (over == 0.0)
             return;
+        stalled = over > 0.999 * prev_over ? stalled + 1 : 0;
+        if (stalled >= stall_limit)
+            return;
+        prev_over = over;
         diffuse();
     }
+    shedPass();
 }
 
 void
@@ -346,6 +615,9 @@ DibaAllocator::setUtility(std::size_t i, UtilityPtr u)
     e_[i] += clamped - p_[i];
     p_[i] = clamped;
     u_[i] = std::move(u);
+    // Utility swaps are rare control events (Fig. 4.8); an O(n)
+    // re-extraction keeps the SoA mirror trivially consistent.
+    rebuildQuadFastPath();
 }
 
 double

@@ -38,11 +38,13 @@
 #define DPC_ALLOC_DIBA_HH
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "alloc/problem.hh"
 #include "graph/graph.hh"
 #include "util/rng.hh"
+#include "util/thread_pool.hh"
 
 namespace dpc {
 
@@ -110,6 +112,25 @@ class DibaAllocator : public Allocator
         std::size_t quiet_rounds = 5;
         /** Hard iteration cap for allocate(). */
         std::size_t max_iterations = 20000;
+        /**
+         * Worker threads for the synchronized round engine: 0 runs
+         * the plain serial loops, T >= 1 splits both round phases
+         * into T static chunks (T - 1 pool threads plus the
+         * caller).  Both phases of iterate() read only
+         * barrier-separated snapshots and write node-local state,
+         * so every thread count produces bitwise-identical
+         * trajectories (see DESIGN.md, "Round engine").
+         */
+        std::size_t num_threads = 0;
+        /**
+         * When every utility in the problem is a QuadraticUtility,
+         * reset() extracts the coefficients into flat arrays and
+         * localStep() computes the gradient and the exact
+         * curvature 2|c| inline with zero virtual dispatch.  The
+         * switch exists for ablation; the fast path agrees with
+         * the generic finite-difference path to rounding error.
+         */
+        bool enable_quad_fastpath = true;
     };
 
     /**
@@ -206,12 +227,52 @@ class DibaAllocator : public Allocator
     /** The communication topology. */
     const Graph &topology() const { return topo_; }
 
+    /** True when the devirtualized quadratic SoA path is active
+     * for the current problem. */
+    bool quadFastPathActive() const { return quad_fast_; }
+
   private:
     /** One Metropolis consensus exchange of the estimates. */
     void diffuse();
 
+    /** Rotate e_ into e_snapshot_ before a diffusion pass. */
+    void snapshotSwap();
+
+    /** diffuse() body over the node range [begin, end). */
+    void diffuseRange(std::size_t begin, std::size_t end);
+
+    /** Gradient steps + annealing over [begin, end); returns the
+     * max |dp| moved in the range. */
+    double stepRange(std::size_t begin, std::size_t end);
+
+    /**
+     * One fused round (diffuse + step + anneal) over [begin, end),
+     * reading estimates only from e_snapshot_ and writing only
+     * node-local state; returns the max |dp| in the range.  Fusing
+     * is sound because a node's gradient step never reads another
+     * node's post-diffusion estimate.
+     */
+    double roundRange(std::size_t begin, std::size_t end);
+
+    /** roundRange hot kernel: every node active, all-quadratic
+     * SoA, no participation checks. */
+    double roundRangeQuadDense(std::size_t begin, std::size_t end);
+
     /** Curvature-scaled barrier gradient step for one node. */
     double localStep(std::size_t i);
+
+    /** Devirtualized localStep over the quadratic SoA arrays. */
+    double localStepQuad(std::size_t i);
+
+    /** Dispatch to the SoA or generic step for one node. */
+    double stepNode(std::size_t i)
+    {
+        return quad_fast_ ? localStepQuad(i) : localStep(i);
+    }
+
+    /** Extract quadratic coefficients into the SoA arrays (or
+     * disable the fast path if any utility is not quadratic). */
+    void rebuildQuadFastPath();
 
     /** Post-step annealing/reheating decision for one node. */
     void annealNode(std::size_t i, double moved);
@@ -231,11 +292,31 @@ class DibaAllocator : public Allocator
     double budget_ = 0.0;
     /** Per-node annealed barrier weights (reset to eta_initial). */
     std::vector<double> eta_now_;
-    /** Participation mask (nodes removed by failNode are false). */
-    std::vector<bool> active_;
+    /** Participation mask (nodes removed by failNode are 0); a
+     * byte per node so the hot loops do plain loads instead of
+     * vector<bool> bit arithmetic. */
+    std::vector<std::uint8_t> active_;
     std::size_t num_active_ = 0;
-    /** Edge list of the overlay, for async gossip activation. */
+    /**
+     * Live-edge list of the overlay for async gossip activation;
+     * failNode() prunes edges incident to the dead node, so a
+     * uniform draw always lands on a live edge.
+     */
     std::vector<std::pair<std::size_t, std::size_t>> edges_;
+    /**
+     * Metropolis weight per directed CSR slot, aligned with
+     * topology().csr().neighbors: w_[k] = 1 / (1 + max(deg_i,
+     * deg_j)).  Precomputed once (degrees are static) so diffuse()
+     * does no divisions on the hot path.
+     */
+    std::vector<double> w_;
+    /** Quadratic SoA mirror of u_ (valid iff quad_fast_). */
+    std::vector<double> qb_, qc_, qmin_, qmax_;
+    bool quad_fast_ = false;
+    /** Per-chunk max |dp| partials for the parallel reduction. */
+    std::vector<double> chunk_max_;
+    /** Round-engine pool (null when cfg_.num_threads < 1). */
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace dpc

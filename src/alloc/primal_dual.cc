@@ -16,13 +16,69 @@ PrimalDualAllocator::allocate(const AllocationProblem &prob)
     prob.validate();
     const std::size_t n = prob.size();
     trace_.clear();
+    if (cfg_.num_threads >= 1 &&
+        (!pool_ || pool_->numChunks() != cfg_.num_threads))
+        pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
 
-    auto respond = [&](double lambda, std::vector<double> &p) {
-        double total = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-            p[i] = prob.utilities[i]->bestResponse(lambda);
-            total += p[i];
+    // Devirtualized fast path: when every utility is quadratic the
+    // best response has the closed form clamp((lambda - b) / 2c),
+    // so the sweep reads flat coefficient arrays instead of making
+    // a virtual call per node (same arithmetic as
+    // QuadraticUtility::bestResponse, hence identical results).
+    std::vector<double> qb, qc, qmin, qmax;
+    bool quad = true;
+    qb.reserve(n);
+    qc.reserve(n);
+    qmin.reserve(n);
+    qmax.reserve(n);
+    for (const auto &u : prob.utilities) {
+        const auto *q =
+            dynamic_cast<const QuadraticUtility *>(u.get());
+        if (q == nullptr) {
+            quad = false;
+            break;
         }
+        qb.push_back(q->coeffB());
+        qc.push_back(q->coeffC());
+        qmin.push_back(q->minPower());
+        qmax.push_back(q->maxPower());
+    }
+
+    // Per-node best responses over [begin, end); returns the range
+    // power sum.
+    auto respondRange = [&](double lambda, std::vector<double> &p,
+                            std::size_t begin, std::size_t end) {
+        double partial = 0.0;
+        if (quad) {
+            for (std::size_t i = begin; i < end; ++i) {
+                p[i] = qc[i] == 0.0
+                           ? (qb[i] >= lambda ? qmax[i] : qmin[i])
+                           : std::clamp((lambda - qb[i]) /
+                                            (2.0 * qc[i]),
+                                        qmin[i], qmax[i]);
+                partial += p[i];
+            }
+        } else {
+            for (std::size_t i = begin; i < end; ++i) {
+                p[i] = prob.utilities[i]->bestResponse(lambda);
+                partial += p[i];
+            }
+        }
+        return partial;
+    };
+
+    std::vector<double> chunk_sums;
+    auto respond = [&](double lambda, std::vector<double> &p) {
+        if (!pool_)
+            return respondRange(lambda, p, 0, n);
+        chunk_sums.assign(pool_->numChunks(), 0.0);
+        pool_->parallelFor(
+            n, [&](std::size_t c, std::size_t b, std::size_t e) {
+                chunk_sums[c] = respondRange(lambda, p, b, e);
+            });
+        double total = 0.0;
+        for (double s : chunk_sums) // chunk order: deterministic
+            total += s;
         return total;
     };
 

@@ -15,7 +15,10 @@
 #ifndef DPC_ALLOC_PRIMAL_DUAL_HH
 #define DPC_ALLOC_PRIMAL_DUAL_HH
 
+#include <memory>
+
 #include "alloc/problem.hh"
+#include "util/thread_pool.hh"
 
 namespace dpc {
 
@@ -36,6 +39,16 @@ class PrimalDualAllocator : public Allocator
          * detected via lambda -> 0). */
         double tolerance = 1e-7;
         std::size_t max_iterations = 5000;
+        /**
+         * Worker threads for the per-node best-response sweep
+         * (Eq. 4.6), the embarrassingly parallel half of every
+         * coordinator iteration: 0 = serial loop, T >= 1 = T
+         * static chunks on the shared round-engine pool.  The
+         * per-chunk power sums are combined in chunk order, so a
+         * given thread count is run-to-run deterministic (the
+         * last-ulp total may differ between thread counts).
+         */
+        std::size_t num_threads = 0;
     };
 
     PrimalDualAllocator() = default;
@@ -55,6 +68,8 @@ class PrimalDualAllocator : public Allocator
   private:
     Config cfg_;
     std::vector<double> trace_;
+    /** Best-response pool, created on first parallel allocate(). */
+    std::unique_ptr<ThreadPool> pool_;
 };
 
 } // namespace dpc

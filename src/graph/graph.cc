@@ -1,7 +1,7 @@
 #include "graph/graph.hh"
 
 #include <algorithm>
-#include <queue>
+#include <limits>
 
 #include "util/logging.hh"
 
@@ -22,6 +22,7 @@ Graph::addEdge(std::size_t u, std::size_t v)
     adj_[u].push_back(v);
     adj_[v].push_back(u);
     ++num_edges_;
+    csr_valid_ = false;
     return true;
 }
 
@@ -50,6 +51,28 @@ Graph::degree(std::size_t v) const
     return neighbors(v).size();
 }
 
+const GraphCsr &
+Graph::csr() const
+{
+    if (csr_valid_)
+        return csr_;
+    DPC_ASSERT(adj_.size() <
+                   std::numeric_limits<std::uint32_t>::max(),
+               "CSR view limited to < 2^32 vertices");
+    csr_.offsets.assign(adj_.size() + 1, 0);
+    csr_.neighbors.clear();
+    csr_.neighbors.reserve(2 * num_edges_);
+    for (std::size_t v = 0; v < adj_.size(); ++v) {
+        for (std::size_t w : adj_[v])
+            csr_.neighbors.push_back(
+                static_cast<std::uint32_t>(w));
+        csr_.offsets[v + 1] =
+            static_cast<std::uint32_t>(csr_.neighbors.size());
+    }
+    csr_valid_ = true;
+    return csr_;
+}
+
 double
 Graph::averageDegree() const
 {
@@ -68,13 +91,48 @@ Graph::maxDegree() const
     return best;
 }
 
+std::size_t
+Graph::bfsInto(std::size_t source, std::vector<std::size_t> &dist,
+               std::vector<std::uint32_t> &cur,
+               std::vector<std::uint32_t> &next) const
+{
+    const GraphCsr &g = csr();
+    cur.clear();
+    next.clear();
+    std::size_t ecc = 0;
+    std::size_t depth = 0;
+    dist[source] = 0;
+    cur.push_back(static_cast<std::uint32_t>(source));
+    const std::size_t unreachable = adj_.size();
+    while (!cur.empty()) {
+        ++depth;
+        for (std::uint32_t v : cur) {
+            const std::uint32_t lo = g.offsets[v];
+            const std::uint32_t hi = g.offsets[v + 1];
+            for (std::uint32_t k = lo; k < hi; ++k) {
+                const std::uint32_t w = g.neighbors[k];
+                if (dist[w] == unreachable) {
+                    dist[w] = depth;
+                    ecc = depth;
+                    next.push_back(w);
+                }
+            }
+        }
+        cur.swap(next);
+        next.clear();
+    }
+    return ecc;
+}
+
 bool
 Graph::isConnected() const
 {
     if (adj_.empty())
         return true;
-    const auto dist = bfsDistances(0);
     const std::size_t unreachable = adj_.size();
+    std::vector<std::size_t> dist(adj_.size(), unreachable);
+    std::vector<std::uint32_t> cur, next;
+    bfsInto(0, dist, cur, next);
     for (std::size_t d : dist)
         if (d == unreachable)
             return false;
@@ -85,21 +143,9 @@ std::vector<std::size_t>
 Graph::bfsDistances(std::size_t source) const
 {
     DPC_ASSERT(source < adj_.size(), "BFS source out of range");
-    const std::size_t unreachable = adj_.size();
-    std::vector<std::size_t> dist(adj_.size(), unreachable);
-    std::queue<std::size_t> frontier;
-    dist[source] = 0;
-    frontier.push(source);
-    while (!frontier.empty()) {
-        const std::size_t v = frontier.front();
-        frontier.pop();
-        for (std::size_t w : adj_[v]) {
-            if (dist[w] == unreachable) {
-                dist[w] = dist[v] + 1;
-                frontier.push(w);
-            }
-        }
-    }
+    std::vector<std::size_t> dist(adj_.size(), adj_.size());
+    std::vector<std::uint32_t> cur, next;
+    bfsInto(source, dist, cur, next);
     return dist;
 }
 
@@ -107,11 +153,13 @@ std::size_t
 Graph::diameter() const
 {
     DPC_ASSERT(isConnected(), "diameter of a disconnected graph");
+    const std::size_t unreachable = adj_.size();
+    std::vector<std::size_t> dist(adj_.size(), unreachable);
+    std::vector<std::uint32_t> cur, next;
     std::size_t best = 0;
     for (std::size_t v = 0; v < adj_.size(); ++v) {
-        const auto dist = bfsDistances(v);
-        for (std::size_t d : dist)
-            best = std::max(best, d);
+        best = std::max(best, bfsInto(v, dist, cur, next));
+        std::fill(dist.begin(), dist.end(), unreachable);
     }
     return best;
 }

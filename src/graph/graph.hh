@@ -3,17 +3,42 @@
  * Undirected graph used as the communication overlay of the
  * decentralized power-capping algorithms (ring, chordal ring,
  * Erdos-Renyi, star, two-tier cluster fabric).  Adjacency-list
- * representation with the structural queries the algorithms and the
- * evaluation need: degrees, connectivity, BFS distances.
+ * representation for construction, plus a cached flat CSR view
+ * (contiguous offsets[]/neighbors[] arrays) that the hot round
+ * engines and the BFS-based structural queries iterate over:
+ * degrees, connectivity, BFS distances, diameter.
  */
 
 #ifndef DPC_GRAPH_GRAPH_HH
 #define DPC_GRAPH_GRAPH_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace dpc {
+
+/**
+ * Compressed-sparse-row view of an undirected graph: the
+ * neighbours of v are neighbors[offsets[v] .. offsets[v+1]), in
+ * the same order as Graph::neighbors(v).  32-bit entries keep the
+ * arrays cache-dense at million-node scale (2 x 4 bytes per
+ * directed edge instead of 8-byte pointers plus per-vertex heap
+ * blocks).
+ */
+struct GraphCsr
+{
+    /** Size numVertices() + 1; offsets.back() == 2 * numEdges(). */
+    std::vector<std::uint32_t> offsets;
+    /** Concatenated adjacency lists, size 2 * numEdges(). */
+    std::vector<std::uint32_t> neighbors;
+
+    /** Degree of v (== Graph::degree(v)). */
+    std::uint32_t degree(std::size_t v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+};
 
 /** Simple undirected graph over vertices 0..n-1. */
 class Graph
@@ -43,6 +68,15 @@ class Graph
     /** Degree of v. */
     std::size_t degree(std::size_t v) const;
 
+    /**
+     * Flat CSR adjacency view, built lazily on first access and
+     * cached until the next addEdge().  Building is not
+     * thread-safe; callers that iterate the view from worker
+     * threads must touch csr() once beforehand (the allocators do
+     * this in their constructors).
+     */
+    const GraphCsr &csr() const;
+
     /** Mean degree over all vertices (0 for the empty graph). */
     double averageDegree() const;
 
@@ -60,13 +94,31 @@ class Graph
 
     /**
      * Graph diameter (max finite BFS distance over all pairs);
-     * requires a connected graph.
+     * requires a connected graph.  One scratch distance buffer and
+     * frontier are reused across the V BFS passes, so the cost is
+     * O(V * E) time and O(V) scratch rather than O(V^2) allocation
+     * churn.
      */
     std::size_t diameter() const;
 
   private:
+    /**
+     * BFS from source into a caller-owned dist buffer (entries
+     * must be preset to the unreachable sentinel numVertices());
+     * cur/next are frontier scratch, cleared on entry.  Returns
+     * the eccentricity of the source (max finite distance seen).
+     */
+    std::size_t bfsInto(std::size_t source,
+                        std::vector<std::size_t> &dist,
+                        std::vector<std::uint32_t> &cur,
+                        std::vector<std::uint32_t> &next) const;
+
     std::vector<std::vector<std::size_t>> adj_;
     std::size_t num_edges_ = 0;
+
+    /** Lazily built CSR mirror of adj_. */
+    mutable GraphCsr csr_;
+    mutable bool csr_valid_ = false;
 };
 
 } // namespace dpc

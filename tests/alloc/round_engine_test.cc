@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Round-engine tests: the serial, single-chunk and multi-chunk
+ * engines must produce bitwise-identical trajectories; the
+ * devirtualized quadratic SoA path must agree with the generic
+ * black-box path; non-quadratic utilities must fall back; and
+ * failNode() must prune the live-edge list that async gossip
+ * samples from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "alloc/diba.hh"
+#include "graph/topologies.hh"
+#include "model/utility.hh"
+#include "tests/alloc/test_problems.hh"
+#include "util/stats.hh"
+
+namespace dpc {
+namespace {
+
+DibaAllocator::Config
+engineConfig(std::size_t threads, bool quad_fastpath = true)
+{
+    DibaAllocator::Config cfg;
+    cfg.num_threads = threads;
+    cfg.enable_quad_fastpath = quad_fastpath;
+    return cfg;
+}
+
+/** Run `rounds` synchronized rounds and return (power, estimates,
+ * per-round max moves). */
+struct Trajectory
+{
+    std::vector<double> p;
+    std::vector<double> e;
+    std::vector<double> moves;
+};
+
+Trajectory
+runRounds(const Graph &g, const AllocationProblem &prob,
+          const DibaAllocator::Config &cfg, std::size_t rounds)
+{
+    DibaAllocator diba(g, cfg);
+    diba.reset(prob);
+    Trajectory t;
+    for (std::size_t r = 0; r < rounds; ++r)
+        t.moves.push_back(diba.iterate());
+    t.p = diba.power();
+    t.e = diba.estimates();
+    return t;
+}
+
+void
+expectBitwiseEqual(const Trajectory &a, const Trajectory &b)
+{
+    ASSERT_EQ(a.p.size(), b.p.size());
+    for (std::size_t i = 0; i < a.p.size(); ++i) {
+        EXPECT_EQ(a.p[i], b.p[i]) << "power at node " << i;
+        EXPECT_EQ(a.e[i], b.e[i]) << "estimate at node " << i;
+    }
+    ASSERT_EQ(a.moves.size(), b.moves.size());
+    for (std::size_t r = 0; r < a.moves.size(); ++r)
+        EXPECT_EQ(a.moves[r], b.moves[r]) << "round " << r;
+}
+
+TEST(RoundEngineTest, ThreadCountsAreBitwiseIdenticalOnRing)
+{
+    const auto prob = test::npbProblem(96, 172.0, 11);
+    const Graph g = makeRing(96);
+    const auto serial = runRounds(g, prob, engineConfig(0), 500);
+    const auto one = runRounds(g, prob, engineConfig(1), 500);
+    const auto four = runRounds(g, prob, engineConfig(4), 500);
+    expectBitwiseEqual(serial, one);
+    expectBitwiseEqual(serial, four);
+}
+
+TEST(RoundEngineTest, ThreadCountsAreBitwiseIdenticalOnErdosRenyi)
+{
+    const auto prob = test::npbProblem(80, 172.0, 29);
+    Rng rng(5);
+    const Graph g = makeConnectedErdosRenyi(80, 200, rng);
+    const auto serial = runRounds(g, prob, engineConfig(0), 500);
+    const auto one = runRounds(g, prob, engineConfig(1), 500);
+    const auto four = runRounds(g, prob, engineConfig(4), 500);
+    expectBitwiseEqual(serial, one);
+    expectBitwiseEqual(serial, four);
+}
+
+TEST(RoundEngineTest, GenericPathIsAlsoThreadCountInvariant)
+{
+    // The fallback (finite-difference, virtual-dispatch) path goes
+    // through the same chunked engine and must be deterministic
+    // too.
+    const auto prob = test::npbProblem(64, 172.0, 7);
+    const Graph g = makeRing(64);
+    const auto serial =
+        runRounds(g, prob, engineConfig(0, false), 200);
+    const auto four =
+        runRounds(g, prob, engineConfig(4, false), 200);
+    expectBitwiseEqual(serial, four);
+}
+
+TEST(RoundEngineTest, QuadFastPathMatchesGenericPath)
+{
+    // One round of the SoA path against the black-box path: for a
+    // quadratic utility the finite-difference curvature is exact,
+    // so the two engines compute the same update up to a couple of
+    // ulps of rounding-order difference.
+    const auto prob = test::npbProblem(64, 172.0, 13);
+    const Graph g = makeRing(64);
+    const auto fast = runRounds(g, prob, engineConfig(0, true), 3);
+    const auto generic =
+        runRounds(g, prob, engineConfig(0, false), 3);
+    for (std::size_t i = 0; i < fast.p.size(); ++i) {
+        EXPECT_NEAR(fast.p[i], generic.p[i], 1e-12);
+        EXPECT_NEAR(fast.e[i], generic.e[i], 1e-12);
+    }
+}
+
+TEST(RoundEngineTest, QuadFastPathConvergesToTheSameAllocation)
+{
+    const auto prob = test::npbProblem(48, 172.0, 17);
+    DibaAllocator fast(makeRing(48), engineConfig(0, true));
+    DibaAllocator generic(makeRing(48), engineConfig(0, false));
+    const auto rf = fast.allocate(prob);
+    const auto rg = generic.allocate(prob);
+    EXPECT_TRUE(fast.quadFastPathActive());
+    EXPECT_FALSE(generic.quadFastPathActive());
+    EXPECT_NEAR(rf.utility, rg.utility,
+                1e-6 * std::fabs(rg.utility));
+    for (std::size_t i = 0; i < prob.size(); ++i)
+        EXPECT_NEAR(rf.power[i], rg.power[i], 1e-3);
+}
+
+TEST(RoundEngineTest, NonQuadraticUtilityDisablesFastPath)
+{
+    auto prob = test::npbProblem(16, 172.0, 3);
+    prob.utilities[5] = std::make_shared<PiecewiseLinearUtility>(
+        std::vector<double>{100.0, 150.0, 200.0},
+        std::vector<double>{0.2, 0.7, 0.9});
+    DibaAllocator diba(makeRing(16), engineConfig(4));
+    diba.reset(prob);
+    EXPECT_FALSE(diba.quadFastPathActive());
+    for (int r = 0; r < 50; ++r)
+        diba.iterate();
+    EXPECT_LT(diba.totalPower(), prob.budget);
+    for (double e : diba.estimates())
+        EXPECT_LT(e, 0.0);
+}
+
+TEST(RoundEngineTest, SetUtilityRefreshesFastPathState)
+{
+    auto prob = test::npbProblem(16, 172.0, 3);
+    DibaAllocator diba(makeRing(16), engineConfig(0));
+    diba.reset(prob);
+    EXPECT_TRUE(diba.quadFastPathActive());
+    diba.setUtility(2, std::make_shared<PiecewiseLinearUtility>(
+                           std::vector<double>{100.0, 200.0},
+                           std::vector<double>{0.1, 0.8}));
+    EXPECT_FALSE(diba.quadFastPathActive());
+    diba.setUtility(2,
+                    std::make_shared<QuadraticUtility>(
+                        QuadraticUtility::fromShape(0.5, 0.5,
+                                                    100.0, 200.0)));
+    EXPECT_TRUE(diba.quadFastPathActive());
+}
+
+TEST(RoundEngineTest, GossipNeverSamplesEdgesOfFailedNodes)
+{
+    // Chordal ring so removing several nodes keeps the survivors
+    // connected; failNode() prunes the dead edges from the live
+    // list, so every gossip tick lands on two active endpoints and
+    // the budget invariants keep holding.
+    const std::size_t n = 32;
+    const auto prob = test::npbProblem(n, 172.0, 19);
+    Rng topo_rng(2);
+    DibaAllocator diba(makeChordalRing(n, 16, topo_rng),
+                       engineConfig(0));
+    diba.reset(prob);
+    for (int r = 0; r < 20; ++r)
+        diba.iterate();
+
+    Rng rng(77);
+    for (std::size_t dead : {3u, 4u, 17u}) {
+        diba.failNode(dead);
+        const std::vector<double> before = diba.power();
+        for (int t = 0; t < 400; ++t)
+            diba.gossipTick(rng);
+        for (std::size_t d : {3u, 4u, 17u}) {
+            if (diba.isActive(d))
+                continue;
+            EXPECT_EQ(diba.power()[d], before[d])
+                << "dead node " << d << " moved power";
+        }
+        EXPECT_LT(diba.totalPower(), diba.budget());
+    }
+    EXPECT_EQ(diba.numActive(), n - 3);
+}
+
+} // namespace
+} // namespace dpc

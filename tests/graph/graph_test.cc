@@ -88,5 +88,56 @@ TEST(GraphTest, OutOfRangePanics)
     EXPECT_DEATH(g.neighbors(5), "out of range");
 }
 
+TEST(GraphTest, CsrMirrorsAdjacencyLists)
+{
+    Graph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(0, 3);
+    g.addEdge(1, 2);
+    g.addEdge(3, 4);
+    const GraphCsr &csr = g.csr();
+    ASSERT_EQ(csr.offsets.size(), g.numVertices() + 1);
+    EXPECT_EQ(csr.offsets.front(), 0u);
+    EXPECT_EQ(csr.offsets.back(), 2 * g.numEdges());
+    for (std::size_t v = 0; v < g.numVertices(); ++v) {
+        const auto &adj = g.neighbors(v);
+        ASSERT_EQ(csr.degree(v), adj.size());
+        EXPECT_EQ(csr.degree(v), g.degree(v));
+        for (std::size_t k = 0; k < adj.size(); ++k)
+            EXPECT_EQ(csr.neighbors[csr.offsets[v] + k], adj[k])
+                << "vertex " << v << " slot " << k;
+    }
+}
+
+TEST(GraphTest, CsrRebuildsAfterAddEdge)
+{
+    Graph g(4);
+    g.addEdge(0, 1);
+    EXPECT_EQ(g.csr().neighbors.size(), 2u);
+    g.addEdge(2, 3);
+    g.addEdge(1, 2);
+    const GraphCsr &csr = g.csr();
+    EXPECT_EQ(csr.neighbors.size(), 6u);
+    EXPECT_EQ(csr.degree(1), 2u);
+    EXPECT_EQ(csr.degree(3), 1u);
+}
+
+TEST(GraphTest, CsrOfEdgelessGraph)
+{
+    Graph g(3);
+    const GraphCsr &csr = g.csr();
+    EXPECT_TRUE(csr.neighbors.empty());
+    for (std::size_t v = 0; v < 3; ++v)
+        EXPECT_EQ(csr.degree(v), 0u);
+}
+
+TEST(GraphTest, DiameterOfRing)
+{
+    Graph ring(8);
+    for (std::size_t v = 0; v < 8; ++v)
+        ring.addEdge(v, (v + 1) % 8);
+    EXPECT_EQ(ring.diameter(), 4u);
+}
+
 } // namespace
 } // namespace dpc

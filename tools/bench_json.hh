@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Minimal JSON emitter for benchmark results, so perf runs land in
+ * machine-readable trajectory files (e.g. BENCH_diba_rounds.json)
+ * next to the human-readable tables.  One writer collects flat
+ * records ({"string or number" fields}) and serializes them as a
+ * JSON array; no external dependency, no escaping needs beyond
+ * the plain ASCII identifiers the benches emit.
+ */
+
+#ifndef DPC_TOOLS_BENCH_JSON_HH
+#define DPC_TOOLS_BENCH_JSON_HH
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpc {
+namespace tools {
+
+/** One flat JSON object under construction. */
+class JsonRecord
+{
+  public:
+    JsonRecord &
+    field(const std::string &key, const std::string &value)
+    {
+        kv_.emplace_back(key, "\"" + value + "\"");
+        return *this;
+    }
+
+    JsonRecord &
+    field(const std::string &key, const char *value)
+    {
+        return field(key, std::string(value));
+    }
+
+    JsonRecord &
+    field(const std::string &key, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", value);
+        kv_.emplace_back(key, buf);
+        return *this;
+    }
+
+    JsonRecord &
+    field(const std::string &key, long long value)
+    {
+        kv_.emplace_back(key, std::to_string(value));
+        return *this;
+    }
+
+    JsonRecord &
+    field(const std::string &key, std::size_t value)
+    {
+        return field(key, static_cast<long long>(value));
+    }
+
+    std::string
+    str() const
+    {
+        std::string out = "{";
+        for (std::size_t i = 0; i < kv_.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += "\"" + kv_[i].first + "\": " + kv_[i].second;
+        }
+        return out + "}";
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/** Collects records and writes them as a JSON array on save(). */
+class BenchJsonWriter
+{
+  public:
+    /** Start a new record; returns a reference to fill in. */
+    JsonRecord &
+    record()
+    {
+        records_.emplace_back();
+        return records_.back();
+    }
+
+    std::size_t numRecords() const { return records_.size(); }
+
+    /**
+     * Write all records to `path` (overwriting).  Returns false
+     * and prints a warning if the file cannot be opened; a perf
+     * run should never die over its own bookkeeping.
+     */
+    bool
+    save(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "warn: cannot write bench JSON to "
+                      << path << "\n";
+            return false;
+        }
+        out << "[\n";
+        for (std::size_t i = 0; i < records_.size(); ++i) {
+            out << "  " << records_[i].str();
+            if (i + 1 < records_.size())
+                out << ",";
+            out << "\n";
+        }
+        out << "]\n";
+        return true;
+    }
+
+  private:
+    std::vector<JsonRecord> records_;
+};
+
+} // namespace tools
+} // namespace dpc
+
+#endif // DPC_TOOLS_BENCH_JSON_HH
