@@ -37,11 +37,10 @@ banner(const std::string &title, const std::string &what)
 inline AllocationProblem
 npbProblem(std::size_t n, double wpn, std::uint64_t seed)
 {
-    Rng rng(seed);
-    AllocationProblem prob;
-    prob.utilities = utilitiesOf(drawNpbAssignment(n, rng));
-    prob.budget = wpn * static_cast<double>(n);
-    return prob;
+    return AllocationProblem::Builder()
+        .npbCluster(n, seed)
+        .budgetPerNode(wpn)
+        .build();
 }
 
 /**

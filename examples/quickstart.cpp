@@ -31,9 +31,10 @@ main()
     const auto assignment = drawNpbAssignment(16, rng);
 
     // 2. Cap the cluster at 170 W per server on average.
-    AllocationProblem prob;
-    prob.utilities = utilitiesOf(assignment);
-    prob.budget = 170.0 * 16.0;
+    const auto prob = AllocationProblem::Builder()
+                          .utilities(utilitiesOf(assignment))
+                          .budgetPerNode(170.0)
+                          .build();
 
     // 3. Decentralized allocation over a ring overlay: each server
     //    only ever talks to its two ring neighbours.

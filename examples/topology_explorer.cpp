@@ -44,9 +44,11 @@ main()
     const std::size_t n = 200;
     Rng rng(11);
 
-    AllocationProblem prob;
-    prob.utilities = utilitiesOf(drawNpbAssignment(n, rng));
-    prob.budget = 172.0 * static_cast<double>(n);
+    const auto prob = AllocationProblem::Builder()
+                          .utilities(utilitiesOf(
+                              drawNpbAssignment(n, rng)))
+                          .budgetPerNode(172.0)
+                          .build();
     const auto oracle = solveKkt(prob);
 
     struct Candidate

@@ -47,11 +47,10 @@ projectToFeasible(const AllocationProblem &prob, std::vector<double> p)
     return p;
 }
 
-AllocationResult
-CentralizedAllocator::allocate(const AllocationProblem &prob)
+void
+CentralizedAllocator::doReset()
 {
-    prob.validate();
-    const std::size_t n = prob.size();
+    const AllocationProblem &prob = problem();
 
     // Step size from the largest gradient Lipschitz constant over
     // the boxes (finite-differenced so utilities stay black boxes).
@@ -62,33 +61,50 @@ CentralizedAllocator::allocate(const AllocationProblem &prob)
                                     u->derivative(u->maxPower()));
         lipschitz = std::max(lipschitz, dg / span);
     }
-    const double step = 1.0 / std::max(lipschitz, 1e-6);
+    step_size_ = 1.0 / std::max(lipschitz, 1e-6);
 
-    AllocationResult res;
-    res.power = projectToFeasible(prob, uniformStart(prob));
-    double prev_utility = totalUtility(prob.utilities, res.power);
+    power_ = projectToFeasible(prob, uniformStart(prob));
+    utility_ = totalUtility(prob.utilities, power_);
+    trial_.assign(prob.size(), 0.0);
+    iterations_ = 0;
+    converged_ = false;
+}
 
-    std::vector<double> trial(n);
-    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
-        for (std::size_t i = 0; i < n; ++i) {
-            trial[i] = res.power[i] +
-                       step * prob.utilities[i]->derivative(
-                                  res.power[i]);
-        }
-        res.power = projectToFeasible(prob, std::move(trial));
-        trial.assign(n, 0.0);
-        const double utility =
-            totalUtility(prob.utilities, res.power);
-        res.iterations = it + 1;
-        if (utility - prev_utility <=
-            cfg_.tolerance * std::max(std::fabs(utility), 1.0)) {
-            res.converged = true;
-            prev_utility = utility;
-            break;
-        }
-        prev_utility = utility;
+double
+CentralizedAllocator::step(Rng &rng)
+{
+    (void)rng; // projected gradient ascent is deterministic
+    DPC_ASSERT(!power_.empty(), "step() before reset()");
+    if (converged_)
+        return 0.0;
+    const AllocationProblem &prob = problem();
+    const std::size_t n = prob.size();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        trial_[i] = power_[i] +
+                    step_size_ * prob.utilities[i]->derivative(
+                                     power_[i]);
     }
-    res.utility = prev_utility;
+    power_ = projectToFeasible(prob, std::move(trial_));
+    trial_.assign(n, 0.0);
+    const double utility = totalUtility(prob.utilities, power_);
+    ++iterations_;
+    const double gain = utility - utility_;
+    if (gain <=
+        cfg_.tolerance * std::max(std::fabs(utility), 1.0))
+        converged_ = true;
+    utility_ = utility;
+    return gain;
+}
+
+AllocationResult
+CentralizedAllocator::result() const
+{
+    AllocationResult res;
+    res.power = power_;
+    res.iterations = iterations_;
+    res.utility = utility_;
+    res.converged = converged_;
     return res;
 }
 

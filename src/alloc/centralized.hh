@@ -11,6 +11,9 @@
  * treats the utilities as black boxes (value/gradient only) and its
  * computation time grows with cluster size the way a generic convex
  * solver does — which is what Table 4.2 measures.
+ *
+ * Exposed through the stepwise IterativeAllocator protocol: one
+ * step() is one gradient ascent + exact projection sweep.
  */
 
 #ifndef DPC_ALLOC_CENTRALIZED_HH
@@ -21,7 +24,7 @@
 namespace dpc {
 
 /** Projected-gradient centralized solver (CVX substitute). */
-class CentralizedAllocator : public Allocator
+class CentralizedAllocator : public IterativeAllocator
 {
   public:
     struct Config
@@ -35,12 +38,38 @@ class CentralizedAllocator : public Allocator
     CentralizedAllocator() = default;
     explicit CentralizedAllocator(Config cfg) : cfg_(cfg) {}
 
-    AllocationResult allocate(const AllocationProblem &prob) override;
-
     std::string name() const override { return "centralized"; }
+
+    /** One projected-gradient sweep; returns the relative utility
+     * improvement it achieved.  No-op once converged. */
+    double step(Rng &rng) override;
+
+    bool converged() const override { return converged_; }
+
+    AllocationResult result() const override;
+
+    std::size_t iterations() const override { return iterations_; }
+
+    std::size_t maxIterations() const override
+    {
+        return cfg_.max_iterations;
+    }
+
+  protected:
+    /** Lipschitz step-size calibration + projected uniform start. */
+    void doReset() override;
 
   private:
     Config cfg_;
+    /** Current (feasible) iterate. */
+    std::vector<double> power_;
+    /** Gradient-step scratch. */
+    std::vector<double> trial_;
+    /** Utility of power_ (the reported objective value). */
+    double utility_ = 0.0;
+    double step_size_ = 0.0;
+    std::size_t iterations_ = 0;
+    bool converged_ = false;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "metrics/performance.hh"
@@ -64,6 +65,14 @@ quadStepDp(double p, double e, double eta, double b, double c,
     return std::clamp(dp, lo - p, hi - p);
 }
 
+/** Pack an undirected edge (u < v) into one 64-bit map key. */
+inline std::uint64_t
+edgeKey(std::size_t u, std::size_t v)
+{
+    return (static_cast<std::uint64_t>(u) << 32) |
+           static_cast<std::uint64_t>(v);
+}
+
 } // namespace
 
 DibaAllocator::DibaAllocator(Graph topology)
@@ -77,7 +86,9 @@ DibaAllocator::DibaAllocator(Graph topology, Config cfg)
     for (std::size_t v = 0; v < topo_.numVertices(); ++v)
         for (std::size_t w : topo_.neighbors(v))
             if (v < w)
-                edges_.emplace_back(v, w);
+                all_edges_.emplace_back(v, w);
+    edges_ = all_edges_;
+    edge_enabled_.assign(all_edges_.size(), 1);
     // Force the CSR build now (lazy building is not thread-safe)
     // and bake the Metropolis weights, one per directed edge slot:
     // degrees never change, so the divisions leave the hot path.
@@ -107,9 +118,9 @@ DibaAllocator::DibaAllocator(Graph topology, Config cfg)
 }
 
 void
-DibaAllocator::reset(const AllocationProblem &prob)
+DibaAllocator::doReset()
 {
-    prob.validate();
+    const AllocationProblem &prob = problem();
     DPC_ASSERT(prob.size() == topo_.numVertices(),
                "problem size ", prob.size(),
                " != topology size ", topo_.numVertices());
@@ -126,9 +137,55 @@ DibaAllocator::reset(const AllocationProblem &prob)
     eta_now_.assign(prob.size(), cfg_.eta_initial);
     active_.assign(prob.size(), 1);
     num_active_ = prob.size();
+    // Fault state does not survive a reset: every node rejoins,
+    // every link heals, the staleness history restarts empty.
+    edge_enabled_.assign(all_edges_.size(), 1);
+    disabled_edges_ = 0;
+    edges_ = all_edges_;
+    hist_.clear();
+    iterations_ = 0;
+    quiet_ = 0;
     rebuildQuadFastPath();
     if (e0 >= 0.0)
         emergencyShed();
+}
+
+double
+DibaAllocator::step(Rng &rng)
+{
+    // Synchronized rounds are deterministic; the rng only feeds
+    // stochastic stepping modes (async gossip, channel sampling).
+    (void)rng;
+    const double moved = iterate();
+    noteRound(moved);
+    return moved;
+}
+
+void
+DibaAllocator::noteRound(double moved)
+{
+    ++iterations_;
+    if (moved < cfg_.tolerance)
+        ++quiet_;
+    else
+        quiet_ = 0;
+}
+
+bool
+DibaAllocator::converged() const
+{
+    return quiet_ > 0 && quiet_ >= cfg_.quiet_rounds;
+}
+
+AllocationResult
+DibaAllocator::result() const
+{
+    AllocationResult res;
+    res.power = p_;
+    res.iterations = iterations_;
+    res.utility = totalUtility(u_, p_);
+    res.converged = converged();
+    return res;
 }
 
 void
@@ -191,7 +248,8 @@ DibaAllocator::iterate()
 double
 DibaAllocator::roundRange(std::size_t begin, std::size_t end)
 {
-    if (quad_fast_ && num_active_ == p_.size())
+    if (quad_fast_ && num_active_ == p_.size() &&
+        disabled_edges_ == 0)
         return roundRangeQuadDense(begin, end);
     diffuseRange(begin, end);
     return stepRange(begin, end);
@@ -266,15 +324,15 @@ DibaAllocator::failNode(std::size_t i)
     DPC_ASSERT(num_active_ > 1, "cannot fail the last node");
     active_[i] = 0;
     --num_active_;
-    // Prune the dead node's edges from the gossip overlay so
-    // activation draws stay O(1) and the "no live edge" condition
-    // is exact (edges_ empty <=> no live edge exists).
-    edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
-                                [i](const auto &e) {
-                                    return e.first == i ||
-                                           e.second == i;
-                                }),
-                 edges_.end());
+    // Rebuild the live-edge list so activation draws stay O(1) and
+    // the "no live edge" condition is exact (edges_ empty <=> no
+    // live edge exists).
+    rebuildLiveEdges();
+    // Staleness never spans a membership change: lagged snapshots
+    // taken before the event are inconsistent with the post-event
+    // bookkeeping, so the history restarts.
+    hist_.clear();
+    quiet_ = 0;
     if (!activeSubgraphConnected()) {
         // Survivors split into components.  Every component keeps
         // its share of the invariant (sum e = sum p - P holds
@@ -287,15 +345,17 @@ DibaAllocator::failNode(std::size_t i)
     }
 
     // The dead server draws no more power: hand its slack estimate
-    // plus its entire released cap to the surviving neighbours,
-    // preserving sum_active(e) == sum_active(p) - P.
+    // plus its entire released cap to the surviving neighbours it
+    // could still talk to, preserving
+    // sum_active(e) == sum_active(p) - P.
     std::vector<std::size_t> live;
     for (std::size_t j : topo_.neighbors(i))
-        if (active_[j])
+        if (active_[j] && edgeEnabledPair(std::min(i, j),
+                                          std::max(i, j)))
             live.push_back(j);
     if (live.empty()) {
-        // Connectivity check above guarantees this only for the
-        // two-node corner case; give it to any survivor.
+        // All reachable neighbours are dead or cut (e.g. the
+        // two-node corner case); give it to any survivor.
         for (std::size_t j = 0; j < p_.size(); ++j)
             if (active_[j])
                 live.push_back(j);
@@ -335,6 +395,8 @@ DibaAllocator::activeSubgraphConnected() const
         const std::size_t v = stack.back();
         stack.pop_back();
         for (std::size_t w : topo_.neighbors(v)) {
+            if (!edgeEnabledPair(std::min(v, w), std::max(v, w)))
+                continue;
             if (active_[w] && !seen[w]) {
                 seen[w] = true;
                 ++count;
@@ -507,6 +569,11 @@ DibaAllocator::diffuseRange(std::size_t begin, std::size_t end)
 {
     const GraphCsr &g = topo_.csr();
     const bool gated = cfg_.deadband > 0.0;
+    // Link cuts are rare fault events; the per-slot mask check is
+    // gated on the counter so the healthy overlay pays nothing
+    // (and slot_edge_ is guaranteed built whenever the counter is
+    // non-zero -- setEdgeEnabled builds it first).
+    const bool masked = disabled_edges_ > 0;
     for (std::size_t i = begin; i < end; ++i) {
         const double ei = e_snapshot_[i];
         if (!active_[i]) {
@@ -519,6 +586,8 @@ DibaAllocator::diffuseRange(std::size_t begin, std::size_t end)
         for (std::uint32_t k = lo; k < hi; ++k) {
             const std::uint32_t j = g.neighbors[k];
             if (!active_[j])
+                continue;
+            if (masked && !edge_enabled_[slot_edge_[k]])
                 continue;
             const double gap = e_snapshot_[j] - ei;
             if (gated) {
@@ -602,6 +671,8 @@ DibaAllocator::setBudget(double new_budget)
         if (active_[i])
             e_[i] -= delta / n;
     budget_ = new_budget;
+    problem_.budget = new_budget;
+    quiet_ = 0;
     if (delta < 0.0)
         emergencyShed();
 }
@@ -615,6 +686,8 @@ DibaAllocator::setUtility(std::size_t i, UtilityPtr u)
     e_[i] += clamped - p_[i];
     p_[i] = clamped;
     u_[i] = std::move(u);
+    problem_.utilities[i] = u_[i];
+    quiet_ = 0;
     // Utility swaps are rare control events (Fig. 4.8); an O(n)
     // re-extraction keeps the SoA mirror trivially consistent.
     rebuildQuadFastPath();
@@ -636,27 +709,242 @@ DibaAllocator::messagesPerRound() const
     return 2 * topo_.numEdges();
 }
 
-AllocationResult
-DibaAllocator::allocate(const AllocationProblem &prob)
+double
+DibaAllocator::iterateWithChannel(GossipChannel &chan)
 {
-    reset(prob);
-    AllocationResult res;
-    std::size_t quiet = 0;
-    for (std::size_t it = 0; it < cfg_.max_iterations; ++it) {
-        const double moved = iterate();
-        res.iterations = it + 1;
-        if (moved < cfg_.tolerance) {
-            if (++quiet >= cfg_.quiet_rounds) {
-                res.converged = true;
-                break;
-            }
-        } else {
-            quiet = 0;
+    const std::size_t n = p_.size();
+    DPC_ASSERT(n > 0, "iterateWithChannel() before reset()");
+    ensureEdgeIndex();
+    pushHistory(chan.maxLag() + 1);
+
+    // Draw every live edge's fate up front, in canonical edge_id
+    // order, so one seeded channel yields one reproducible fault
+    // pattern per round; dead or cut edges consume no draw.
+    chan.beginRound(all_edges_.size());
+    fates_.resize(all_edges_.size());
+    for (std::size_t id = 0; id < all_edges_.size(); ++id) {
+        const auto &[u, v] = all_edges_[id];
+        if (!edge_enabled_[id] || !active_[u] || !active_[v]) {
+            fates_[id].delivered = false;
+            fates_[id].lag = 0;
+            continue;
+        }
+        EdgeFate f = chan.fate(id, u, v);
+        DPC_ASSERT(f.lag <= chan.maxLag(),
+                   "channel returned lag ", f.lag,
+                   " above its maxLag()");
+        // The first rounds after a reset or a churn event have
+        // less history than maxLag; clamp to the oldest snapshot
+        // actually taken.
+        if (f.lag >= hist_.size())
+            f.lag = static_cast<std::uint32_t>(hist_.size() - 1);
+        fates_[id] = f;
+    }
+
+    // Diffusion from the fate table: node i folds in, per CSR
+    // slot, the paired transfer w * (e_j - e_i) computed on the
+    // snapshot the channel assigned to that edge.  Both endpoints
+    // of an edge use the same snapshot and the same symmetric
+    // Metropolis weight, so the two halves are exact IEEE
+    // negations of each other and sum(e) is conserved bit-exactly
+    // no matter which pairs drop or go stale.  With a perfect
+    // channel every lag is 0 and this reduces, slot for slot, to
+    // the arithmetic of iterate().
+    const GraphCsr &g = topo_.csr();
+    const std::vector<double> &now = hist_.front();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!active_[i])
+            continue;
+        double acc = 0.0;
+        const std::uint32_t hi = g.offsets[i + 1];
+        for (std::uint32_t k = g.offsets[i]; k < hi; ++k) {
+            const EdgeFate &f = fates_[slot_edge_[k]];
+            if (!f.delivered)
+                continue;
+            const std::vector<double> &snap = hist_[f.lag];
+            acc += w_[k] * (snap[g.neighbors[k]] - snap[i]);
+        }
+        e_[i] = now[i] + acc;
+    }
+    return stepRange(0, n);
+}
+
+double
+DibaAllocator::stepWithChannel(GossipChannel &chan)
+{
+    const double moved = iterateWithChannel(chan);
+    noteRound(moved);
+    return moved;
+}
+
+double
+DibaAllocator::gossipTick(Rng &rng, GossipChannel &chan)
+{
+    DPC_ASSERT(!p_.empty(), "gossipTick() before reset()");
+    DPC_ASSERT(!edges_.empty(), "no live edge left in the overlay");
+    ensureEdgeIndex();
+    const auto &[u, v] = edges_[rng.index(edges_.size())];
+    const std::uint32_t id = edge_id_.at(edgeKey(u, v));
+    // Async ticks have no round clock to be stale against: the
+    // exchange either happens now or not at all, so only the
+    // delivered bit of the fate applies.  A dropped exchange
+    // leaves both estimates untouched (their sum is trivially
+    // conserved) while both endpoints still take their local
+    // gradient steps.
+    if (chan.fate(id, u, v).delivered) {
+        const double mean_e = 0.5 * (e_[u] + e_[v]);
+        e_[u] = mean_e;
+        e_[v] = mean_e;
+    }
+    double max_dp = 0.0;
+    for (std::size_t i : {u, v}) {
+        const double dp = std::fabs(stepNode(i));
+        max_dp = std::max(max_dp, dp);
+        annealNode(i, dp);
+    }
+    return max_dp;
+}
+
+void
+DibaAllocator::joinNode(std::size_t i)
+{
+    DPC_ASSERT(i < p_.size(), "joinNode index out of range");
+    DPC_ASSERT(!active_[i], "node is already active");
+    active_[i] = 1;
+    ++num_active_;
+    rebuildLiveEdges();
+    // Staleness never spans a membership change (see failNode).
+    hist_.clear();
+    quiet_ = 0;
+
+    // Re-admission at the power floor with one token of negative
+    // slack; the enabled live neighbours are charged the matching
+    // debt, so sum_active(e) == sum_active(p) - P holds across the
+    // event (the exact inverse of failNode's hand-off).
+    std::vector<std::size_t> live;
+    for (std::size_t j : topo_.neighbors(i))
+        if (active_[j] && edgeEnabledPair(std::min(i, j),
+                                          std::max(i, j)))
+            live.push_back(j);
+    if (live.empty()) {
+        warn("node ", i, " rejoined with no live link; charging ",
+             "its re-admission debt to all survivors");
+        for (std::size_t j = 0; j < p_.size(); ++j)
+            if (active_[j] && j != i)
+                live.push_back(j);
+    }
+    DPC_ASSERT(!live.empty(), "joinNode with no other active node");
+    p_[i] = u_[i]->minPower();
+    e_[i] = -kShedFloor;
+    // Ramp in through the barrier: annealing restarts wide open so
+    // the rejoined node can acquire power over the next rounds.
+    eta_now_[i] = cfg_.eta_initial;
+    const double debt =
+        (p_[i] - e_[i]) / static_cast<double>(live.size());
+    for (std::size_t j : live)
+        e_[j] += debt;
+    // The floor power just re-admitted may exhaust a neighbour's
+    // slack; shed inside the same call so sum p < P never lapses.
+    emergencyShed();
+}
+
+void
+DibaAllocator::setEdgeEnabled(std::size_t u, std::size_t v,
+                              bool enabled)
+{
+    DPC_ASSERT(u < active_.size() && v < active_.size() && u != v,
+               "setEdgeEnabled endpoints out of range");
+    if (u > v)
+        std::swap(u, v);
+    ensureEdgeIndex();
+    const auto it = edge_id_.find(edgeKey(u, v));
+    DPC_ASSERT(it != edge_id_.end(), "{", u, ", ", v,
+               "} is not an overlay edge");
+    const std::uint32_t id = it->second;
+    if (static_cast<bool>(edge_enabled_[id]) == enabled)
+        return;
+    edge_enabled_[id] = enabled ? 1 : 0;
+    if (enabled)
+        --disabled_edges_;
+    else
+        ++disabled_edges_;
+    rebuildLiveEdges();
+    quiet_ = 0;
+    if (!enabled && !activeSubgraphConnected()) {
+        warn("DiBA overlay disconnected after link {", u, ", ", v,
+             "} was cut; partitions optimize independently");
+    }
+}
+
+bool
+DibaAllocator::edgeEnabled(std::size_t u, std::size_t v) const
+{
+    if (u > v)
+        std::swap(u, v);
+    return edgeEnabledPair(u, v);
+}
+
+bool
+DibaAllocator::edgeEnabledPair(std::size_t u, std::size_t v) const
+{
+    if (disabled_edges_ == 0)
+        return true;
+    // setEdgeEnabled builds the index before the first cut, so the
+    // lookup table is guaranteed populated here.
+    const auto it = edge_id_.find(edgeKey(u, v));
+    DPC_ASSERT(it != edge_id_.end(), "{", u, ", ", v,
+               "} is not an overlay edge");
+    return edge_enabled_[it->second] != 0;
+}
+
+void
+DibaAllocator::ensureEdgeIndex()
+{
+    if (!slot_edge_.empty())
+        return;
+    edge_id_.reserve(all_edges_.size());
+    for (std::size_t id = 0; id < all_edges_.size(); ++id)
+        edge_id_.emplace(edgeKey(all_edges_[id].first,
+                                 all_edges_[id].second),
+                         static_cast<std::uint32_t>(id));
+    const GraphCsr &g = topo_.csr();
+    slot_edge_.resize(g.neighbors.size());
+    for (std::size_t v = 0; v < topo_.numVertices(); ++v) {
+        for (std::uint32_t k = g.offsets[v]; k < g.offsets[v + 1];
+             ++k) {
+            const std::size_t j = g.neighbors[k];
+            slot_edge_[k] = edge_id_.at(
+                edgeKey(std::min(v, j), std::max(v, j)));
         }
     }
-    res.power = p_;
-    res.utility = totalUtility(u_, p_);
-    return res;
+}
+
+void
+DibaAllocator::rebuildLiveEdges()
+{
+    edges_.clear();
+    for (std::size_t id = 0; id < all_edges_.size(); ++id) {
+        const auto &[u, v] = all_edges_[id];
+        if (edge_enabled_[id] && active_[u] && active_[v])
+            edges_.push_back(all_edges_[id]);
+    }
+}
+
+void
+DibaAllocator::pushHistory(std::size_t depth)
+{
+    DPC_ASSERT(depth >= 1, "history depth must be positive");
+    if (hist_.size() >= depth) {
+        // Recycle the oldest buffer instead of reallocating.
+        std::vector<double> buf = std::move(hist_.back());
+        hist_.pop_back();
+        while (hist_.size() >= depth)
+            hist_.pop_back();
+        buf = e_;
+        hist_.push_front(std::move(buf));
+    } else {
+        hist_.push_front(e_);
+    }
 }
 
 } // namespace dpc

@@ -29,18 +29,29 @@
  * would reward constraint violation under maximization; we use the
  * standard log-barrier sign (see DESIGN.md, "DiBA faithfulness").
  *
- * The class exposes both the one-shot Allocator interface and an
- * incremental interface (reset / iterate / setBudget / setUtility)
- * used by the dynamic-reallocation experiments (Figs. 4.4-4.9).
+ * The class exposes the stepwise IterativeAllocator protocol
+ * (reset / step / converged / result, with allocate() as the
+ * one-shot wrapper), the raw incremental primitives (iterate /
+ * setBudget / setUtility) used by the dynamic-reallocation
+ * experiments (Figs. 4.4-4.9), and a fault-injection surface:
+ * synchronized rounds routed through a GossipChannel (paired
+ * transfers that drop or go stale together, preserving the sum
+ * invariant bit-exactly), failNode/joinNode churn, and per-edge
+ * enable/disable for link partitions -- all mask-based, with no
+ * topology rebuild.
  */
 
 #ifndef DPC_ALLOC_DIBA_HH
 #define DPC_ALLOC_DIBA_HH
 
 #include <cstddef>
+#include <deque>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "alloc/gossip_channel.hh"
 #include "alloc/problem.hh"
 #include "graph/graph.hh"
 #include "util/rng.hh"
@@ -49,7 +60,7 @@
 namespace dpc {
 
 /** Decentralized consensus/barrier budget allocator. */
-class DibaAllocator : public Allocator
+class DibaAllocator : public IterativeAllocator
 {
   public:
     struct Config
@@ -141,23 +152,54 @@ class DibaAllocator : public Allocator
     explicit DibaAllocator(Graph topology);
     DibaAllocator(Graph topology, Config cfg);
 
-    /** One-shot solve: reset() then iterate to the fixed point. */
-    AllocationResult allocate(const AllocationProblem &prob) override;
-
     std::string name() const override { return "diba"; }
 
-    /**
-     * (Re)initialize state for a problem: uniform power start with
-     * cfg.slack_frac budget slack and equalized estimates.  The
-     * topology must have exactly prob.size() vertices.
-     */
-    void reset(const AllocationProblem &prob);
+    // ---- Stepwise IterativeAllocator protocol -------------------
+    // reset(prob) comes from the base (validates, stores the
+    // problem, dispatches to doReset(): uniform power start with
+    // cfg.slack_frac budget slack and equalized estimates; the
+    // topology must have exactly prob.size() vertices).
+
+    /** One synchronized round + convergence accounting. */
+    double step(Rng &rng) override;
+
+    /** cfg.quiet_rounds consecutive rounds under cfg.tolerance. */
+    bool converged() const override;
+
+    AllocationResult result() const override;
+
+    std::size_t iterations() const override { return iterations_; }
+
+    std::size_t maxIterations() const override
+    {
+        return cfg_.max_iterations;
+    }
 
     /**
      * One synchronized round (consensus exchange + local gradient
-     * steps).  @return the largest |dp_i| moved this round (W).
+     * steps), without touching the convergence accounting (the
+     * raw primitive step() wraps).  @return the largest |dp_i|
+     * moved this round (W).
      */
     double iterate();
+
+    /**
+     * One synchronized round whose estimate exchanges are routed
+     * through `chan`: the channel decides, per undirected edge,
+     * whether this round's paired transfer is delivered and with
+     * what staleness.  A dropped pair cancels both halves (neither
+     * endpoint moves estimate mass), a stale pair is computed by
+     * both endpoints from the same lagged snapshot, so
+     * sum(e) == sum(p) - P is conserved bit-exactly under any
+     * loss/delay pattern.  With a perfect channel this is
+     * bitwise identical to iterate().  Serial (the fault path does
+     * not use the thread pool); ignores cfg.deadband.
+     */
+    double iterateWithChannel(GossipChannel &chan);
+
+    /** iterateWithChannel + convergence accounting (the fault
+     * harness's step()). */
+    double stepWithChannel(GossipChannel &chan);
 
     /**
      * Announce a new total budget P (the demand-response signal
@@ -166,14 +208,14 @@ class DibaAllocator : public Allocator
      * its local slack, sheds power immediately so that sum p < P
      * is restored within the same control step (Fig. 4.5).
      */
-    void setBudget(double new_budget);
+    void setBudget(double new_budget) override;
 
     /**
      * Replace one server's utility (a workload change, Fig. 4.8);
      * its power cap is clamped into the new box and its estimate
      * adjusted to preserve the global invariant.
      */
-    void setUtility(std::size_t i, UtilityPtr u);
+    void setUtility(std::size_t i, UtilityPtr u) override;
 
     /**
      * One *asynchronous* gossip tick: a single random edge {u, v}
@@ -188,6 +230,18 @@ class DibaAllocator : public Allocator
     double gossipTick(Rng &rng);
 
     /**
+     * Asynchronous gossip tick over a faulty transport: the
+     * activated edge's exchange is delivered or dropped by `chan`.
+     * On a drop the pairwise averaging simply does not happen (the
+     * endpoints never learn the message was lost) but both still
+     * take their local gradient steps; the sum invariant is
+     * conserved either way.  Staleness does not apply to async
+     * ticks (there is no round clock to be stale against), so any
+     * returned lag is ignored.
+     */
+    double gossipTick(Rng &rng, GossipChannel &chan);
+
+    /**
      * Permanently remove a failed server from the optimization:
      * its cap is withdrawn (the electrical power it no longer
      * draws is handed to its neighbours as slack) and it stops
@@ -199,6 +253,54 @@ class DibaAllocator : public Allocator
      * property motivating the decentralized design (Sec. 4.2).
      */
     void failNode(std::size_t i);
+
+    /**
+     * Re-admit a previously failed server: the exact inverse of
+     * failNode().  The node rejoins at its power floor with one
+     * token of negative slack and its enabled live neighbours are
+     * charged the matching debt, so sum_active(e) == sum_active(p)
+     * - P holds across the event; an emergency shed inside the
+     * same call restores sum p < P if the re-admitted floor power
+     * exhausted someone's slack.  The node then ramps in through
+     * the barrier (its annealing restarts wide open), acquiring
+     * power from its neighbours over the following rounds.  No
+     * topology or CSR rebuild happens -- participation is purely
+     * mask-based.
+     */
+    void joinNode(std::size_t i);
+
+    /**
+     * Administratively disable or re-enable one overlay edge (a
+     * link partition / heal event).  Disabled edges carry no
+     * synchronized-round transfer, are never activated by async
+     * gossip, and carry no failNode/joinNode slack hand-off; the
+     * graph itself is untouched (mask-based, no CSR rebuild).  If
+     * cutting an edge splits the active overlay, each partition
+     * keeps optimizing within the slack it holds and the global
+     * budget guarantee is unaffected (same argument as failNode).
+     */
+    void setEdgeEnabled(std::size_t u, std::size_t v, bool enabled);
+
+    /** Whether overlay edge {u, v} is currently enabled. */
+    bool edgeEnabled(std::size_t u, std::size_t v) const;
+
+    /**
+     * Canonical overlay edge list (u < v, fixed order for the
+     * lifetime of the allocator); the index of an edge in this
+     * list is its edge_id in GossipChannel queries.
+     */
+    const std::vector<std::pair<std::size_t, std::size_t>> &
+    overlayEdges() const
+    {
+        return all_edges_;
+    }
+
+    /** Currently live edges (enabled, both endpoints active). */
+    const std::vector<std::pair<std::size_t, std::size_t>> &
+    liveEdges() const
+    {
+        return edges_;
+    }
 
     /** Whether node i is still participating. */
     bool isActive(std::size_t i) const;
@@ -227,13 +329,40 @@ class DibaAllocator : public Allocator
     /** The communication topology. */
     const Graph &topology() const { return topo_; }
 
+    /** The algorithm parameters in force. */
+    const Config &config() const { return cfg_; }
+
     /** True when the devirtualized quadratic SoA path is active
      * for the current problem. */
     bool quadFastPathActive() const { return quad_fast_; }
 
+  protected:
+    /** IterativeAllocator reset hook (reads problem()). */
+    void doReset() override;
+
   private:
     /** One Metropolis consensus exchange of the estimates. */
     void diffuse();
+
+    /** Update iterations_/quiet_ after one counted round. */
+    void noteRound(double moved);
+
+    /** Build slot_edge_ and the (u,v) -> edge_id lookup (lazy;
+     * only fault-injection entry points pay for it). */
+    void ensureEdgeIndex();
+
+    /** Recompute the live-edge list from the activity and link
+     * masks (canonical order). */
+    void rebuildLiveEdges();
+
+    /** True unless the link mask disables {u, v} (mask checked
+     * only when some edge is disabled, so the common path stays
+     * free of the lazy edge index). */
+    bool edgeEnabledPair(std::size_t u, std::size_t v) const;
+
+    /** Record the pre-round estimates for staleness lookups,
+     * keeping `depth` rounds of history. */
+    void pushHistory(std::size_t depth);
 
     /** Rotate e_ into e_snapshot_ before a diffusion pass. */
     void snapshotSwap();
@@ -298,11 +427,35 @@ class DibaAllocator : public Allocator
     std::vector<std::uint8_t> active_;
     std::size_t num_active_ = 0;
     /**
-     * Live-edge list of the overlay for async gossip activation;
-     * failNode() prunes edges incident to the dead node, so a
+     * Canonical overlay edge list (u < v, constructor order);
+     * index == edge_id.  Immutable after construction.
+     */
+    std::vector<std::pair<std::size_t, std::size_t>> all_edges_;
+    /**
+     * Live-edge list of the overlay for async gossip activation:
+     * the subset of all_edges_ that is enabled with both endpoints
+     * active.  failNode/joinNode/setEdgeEnabled rebuild it, so a
      * uniform draw always lands on a live edge.
      */
     std::vector<std::pair<std::size_t, std::size_t>> edges_;
+    /** Link mask per edge_id (0 = administratively cut). */
+    std::vector<std::uint8_t> edge_enabled_;
+    /** Number of currently disabled edges (fast all-enabled test). */
+    std::size_t disabled_edges_ = 0;
+    /** Per directed CSR slot, the undirected edge_id it belongs
+     * to (built lazily by ensureEdgeIndex()). */
+    std::vector<std::uint32_t> slot_edge_;
+    /** (min << 32 | max) -> edge_id lookup (lazy). */
+    std::unordered_map<std::uint64_t, std::uint32_t> edge_id_;
+    /** Pre-round estimate snapshots, most recent first (depth
+     * maxLag + 1), for stale paired transfers. */
+    std::deque<std::vector<double>> hist_;
+    /** Per-round edge fate scratch for iterateWithChannel. */
+    std::vector<EdgeFate> fates_;
+    /** Rounds stepped since reset() (step/stepWithChannel only). */
+    std::size_t iterations_ = 0;
+    /** Consecutive counted rounds under cfg_.tolerance. */
+    std::size_t quiet_ = 0;
     /**
      * Metropolis weight per directed CSR slot, aligned with
      * topology().csr().neighbors: w_[k] = 1 / (1 + max(deg_i,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "alloc/centralized.hh"
 #include "metrics/performance.hh"
@@ -10,93 +11,100 @@
 
 namespace dpc {
 
-AllocationResult
-PrimalDualAllocator::allocate(const AllocationProblem &prob)
+double
+PrimalDualAllocator::respondRange(double lambda,
+                                  std::vector<double> &p,
+                                  std::size_t begin,
+                                  std::size_t end) const
 {
-    prob.validate();
+    // Devirtualized fast path: when every utility is quadratic the
+    // best response has the closed form clamp((lambda - b) / 2c),
+    // so the sweep reads flat coefficient arrays instead of making
+    // a virtual call per node (same arithmetic as
+    // QuadraticUtility::bestResponse, hence identical results).
+    double partial = 0.0;
+    if (quad_) {
+        for (std::size_t i = begin; i < end; ++i) {
+            p[i] = qc_[i] == 0.0
+                       ? (qb_[i] >= lambda ? qmax_[i] : qmin_[i])
+                       : std::clamp((lambda - qb_[i]) /
+                                        (2.0 * qc_[i]),
+                                    qmin_[i], qmax_[i]);
+            partial += p[i];
+        }
+    } else {
+        for (std::size_t i = begin; i < end; ++i) {
+            p[i] = problem().utilities[i]->bestResponse(lambda);
+            partial += p[i];
+        }
+    }
+    return partial;
+}
+
+double
+PrimalDualAllocator::respond(double lambda, std::vector<double> &p)
+{
+    const std::size_t n = p.size();
+    if (!pool_)
+        return respondRange(lambda, p, 0, n);
+    chunk_sums_.assign(pool_->numChunks(), 0.0);
+    pool_->parallelFor(
+        n, [&](std::size_t c, std::size_t b, std::size_t e) {
+            chunk_sums_[c] = respondRange(lambda, p, b, e);
+        });
+    double total = 0.0;
+    for (double s : chunk_sums_) // chunk order: deterministic
+        total += s;
+    return total;
+}
+
+void
+PrimalDualAllocator::doReset()
+{
+    const AllocationProblem &prob = problem();
     const std::size_t n = prob.size();
     trace_.clear();
     if (cfg_.num_threads >= 1 &&
         (!pool_ || pool_->numChunks() != cfg_.num_threads))
         pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
 
-    // Devirtualized fast path: when every utility is quadratic the
-    // best response has the closed form clamp((lambda - b) / 2c),
-    // so the sweep reads flat coefficient arrays instead of making
-    // a virtual call per node (same arithmetic as
-    // QuadraticUtility::bestResponse, hence identical results).
-    std::vector<double> qb, qc, qmin, qmax;
-    bool quad = true;
-    qb.reserve(n);
-    qc.reserve(n);
-    qmin.reserve(n);
-    qmax.reserve(n);
+    quad_ = true;
+    qb_.clear();
+    qc_.clear();
+    qmin_.clear();
+    qmax_.clear();
+    qb_.reserve(n);
+    qc_.reserve(n);
+    qmin_.reserve(n);
+    qmax_.reserve(n);
     for (const auto &u : prob.utilities) {
         const auto *q =
             dynamic_cast<const QuadraticUtility *>(u.get());
         if (q == nullptr) {
-            quad = false;
+            quad_ = false;
             break;
         }
-        qb.push_back(q->coeffB());
-        qc.push_back(q->coeffC());
-        qmin.push_back(q->minPower());
-        qmax.push_back(q->maxPower());
+        qb_.push_back(q->coeffB());
+        qc_.push_back(q->coeffC());
+        qmin_.push_back(q->minPower());
+        qmax_.push_back(q->maxPower());
     }
 
-    // Per-node best responses over [begin, end); returns the range
-    // power sum.
-    auto respondRange = [&](double lambda, std::vector<double> &p,
-                            std::size_t begin, std::size_t end) {
-        double partial = 0.0;
-        if (quad) {
-            for (std::size_t i = begin; i < end; ++i) {
-                p[i] = qc[i] == 0.0
-                           ? (qb[i] >= lambda ? qmax[i] : qmin[i])
-                           : std::clamp((lambda - qb[i]) /
-                                            (2.0 * qc[i]),
-                                        qmin[i], qmax[i]);
-                partial += p[i];
-            }
-        } else {
-            for (std::size_t i = begin; i < end; ++i) {
-                p[i] = prob.utilities[i]->bestResponse(lambda);
-                partial += p[i];
-            }
-        }
-        return partial;
-    };
-
-    std::vector<double> chunk_sums;
-    auto respond = [&](double lambda, std::vector<double> &p) {
-        if (!pool_)
-            return respondRange(lambda, p, 0, n);
-        chunk_sums.assign(pool_->numChunks(), 0.0);
-        pool_->parallelFor(
-            n, [&](std::size_t c, std::size_t b, std::size_t e) {
-                chunk_sums[c] = respondRange(lambda, p, b, e);
-            });
-        double total = 0.0;
-        for (double s : chunk_sums) // chunk order: deterministic
-            total += s;
-        return total;
-    };
-
-    AllocationResult res;
-    res.power.assign(n, 0.0);
-
-    double lambda = 0.0;
-    double total = respond(lambda, res.power);
+    power_.assign(n, 0.0);
+    lambda_ = 0.0;
+    const double total = respond(lambda_, power_);
     trace_.push_back(totalUtility(
-        prob.utilities, projectToFeasible(prob, res.power)));
-    res.iterations = 1;
+        prob.utilities, projectToFeasible(prob, power_)));
+    iterations_ = 1;
+    converged_ = false;
+    slack_ = false;
 
     if (total <= prob.budget) {
         // Budget slack: the price stays at zero and everyone keeps
         // the unconstrained peak.
-        res.utility = totalUtility(prob.utilities, res.power);
-        res.converged = true;
-        return res;
+        converged_ = true;
+        slack_ = true;
+        return;
     }
 
     // Initial step from the aggregate price-response slope over
@@ -113,66 +121,86 @@ PrimalDualAllocator::allocate(const AllocationProblem &prob)
     std::vector<double> scratch(n);
     const double slope0 =
         (respond(lambda_probe, scratch) - total) / lambda_probe;
-    double step = cfg_.step / std::max(-slope0, 1e-9);
+    step_size_ = cfg_.step / std::max(-slope0, 1e-9);
 
-    double prev_lambda = lambda;
-    double prev_violation = total - prob.budget;
-    // Price bracket: violation > 0 means lambda is too low.
-    double lambda_lo = 0.0;
-    double lambda_hi = -1.0; // unknown until first overshoot
-    // |violation| two updates ago, for stall detection.
-    double stall_ref = std::fabs(prev_violation);
+    prev_lambda_ = lambda_;
+    prev_violation_ = total - prob.budget;
+    violation_ = prev_violation_;
+    lambda_lo_ = 0.0;
+    lambda_hi_ = -1.0; // unknown until first overshoot
+    stall_ref_ = std::fabs(prev_violation_);
+}
 
-    for (std::size_t it = 1; it < cfg_.max_iterations; ++it) {
-        // Eq. 4.5 with the violation written as sum(p) - P.  The
-        // fixed-step subgradient rule stalls on the flat, box-
-        // clipped regions of the aggregate response, so the price
-        // falls back to bisection of the known bracket whenever
-        // the candidate leaves it or the violation stops
-        // shrinking.
-        double candidate =
-            std::max(0.0, lambda + step * prev_violation);
-        const bool bracketed = lambda_hi > 0.0;
-        if (bracketed &&
-            (candidate <= lambda_lo || candidate >= lambda_hi ||
-             std::fabs(prev_violation) >= 0.7 * stall_ref))
-            candidate = 0.5 * (lambda_lo + lambda_hi);
-        lambda = candidate;
-        total = respond(lambda, res.power);
-        const double violation = total - prob.budget;
-        stall_ref = std::fabs(prev_violation);
-        if (violation > 0.0)
-            lambda_lo = std::max(lambda_lo, lambda);
-        else
-            lambda_hi = lambda_hi < 0.0
-                            ? lambda
-                            : std::min(lambda_hi, lambda);
-        res.iterations = it + 1;
-        trace_.push_back(totalUtility(
-            prob.utilities, projectToFeasible(prob, res.power)));
+double
+PrimalDualAllocator::step(Rng &rng)
+{
+    (void)rng; // the price iteration is deterministic
+    DPC_ASSERT(iterations_ > 0, "step() before reset()");
+    if (converged_)
+        return 0.0;
+    const AllocationProblem &prob = problem();
 
-        const double rel = std::fabs(violation) / prob.budget;
-        if (rel < cfg_.tolerance ||
-            (lambda == 0.0 && violation <= 0.0) ||
-            (lambda_hi > 0.0 &&
-             lambda_hi - lambda_lo <
-                 cfg_.tolerance * std::max(lambda_hi, 1e-12))) {
-            res.converged = true;
-            break;
-        }
+    // Eq. 4.5 with the violation written as sum(p) - P.  The
+    // fixed-step subgradient rule stalls on the flat, box-clipped
+    // regions of the aggregate response, so the price falls back
+    // to bisection of the known bracket whenever the candidate
+    // leaves it or the violation stops shrinking.
+    double candidate =
+        std::max(0.0, lambda_ + step_size_ * prev_violation_);
+    const bool bracketed = lambda_hi_ > 0.0;
+    if (bracketed &&
+        (candidate <= lambda_lo_ || candidate >= lambda_hi_ ||
+         std::fabs(prev_violation_) >= 0.7 * stall_ref_))
+        candidate = 0.5 * (lambda_lo_ + lambda_hi_);
+    lambda_ = candidate;
+    const double total = respond(lambda_, power_);
+    violation_ = total - prob.budget;
+    stall_ref_ = std::fabs(prev_violation_);
+    if (violation_ > 0.0)
+        lambda_lo_ = std::max(lambda_lo_, lambda_);
+    else
+        lambda_hi_ = lambda_hi_ < 0.0
+                         ? lambda_
+                         : std::min(lambda_hi_, lambda_);
+    ++iterations_;
+    trace_.push_back(totalUtility(
+        prob.utilities, projectToFeasible(prob, power_)));
 
-        // Secant slope update.
-        const double dl = lambda - prev_lambda;
-        const double dv = violation - prev_violation;
-        if (dl != 0.0 && dv / dl < -1e-12)
-            step = cfg_.step / (-dv / dl);
-        prev_lambda = lambda;
-        prev_violation = violation;
+    const double rel = std::fabs(violation_) / prob.budget;
+    if (rel < cfg_.tolerance ||
+        (lambda_ == 0.0 && violation_ <= 0.0) ||
+        (lambda_hi_ > 0.0 &&
+         lambda_hi_ - lambda_lo_ <
+             cfg_.tolerance * std::max(lambda_hi_, 1e-12))) {
+        converged_ = true;
+        return rel;
     }
 
-    // Report the feasible (projected) primal point.
-    res.power = projectToFeasible(prob, std::move(res.power));
-    res.utility = totalUtility(prob.utilities, res.power);
+    // Secant slope update.
+    const double dl = lambda_ - prev_lambda_;
+    const double dv = violation_ - prev_violation_;
+    if (dl != 0.0 && dv / dl < -1e-12)
+        step_size_ = cfg_.step / (-dv / dl);
+    prev_lambda_ = lambda_;
+    prev_violation_ = violation_;
+    return rel;
+}
+
+AllocationResult
+PrimalDualAllocator::result() const
+{
+    AllocationResult res;
+    res.iterations = iterations_;
+    res.converged = converged_;
+    // The slack case reports the raw unconstrained peak (already
+    // under budget); every other snapshot is the primal iterate
+    // projected back into the budget, exactly what the classic
+    // one-shot solver reported at its exit.
+    if (slack_)
+        res.power = power_;
+    else
+        res.power = projectToFeasible(problem(), power_);
+    res.utility = totalUtility(problem().utilities, res.power);
     return res;
 }
 

@@ -10,6 +10,12 @@
  * The scheme is computationally decentralized but requires a full
  * gather/scatter through the coordinator every iteration, which is
  * the communication bottleneck Table 4.2 quantifies.
+ *
+ * Exposed through the stepwise IterativeAllocator protocol: one
+ * step() is one coordinator price update plus the full
+ * best-response sweep; reset() performs the lambda = 0 sweep that
+ * detects slack budgets and calibrates the initial step size from
+ * the aggregate price-response slope.
  */
 
 #ifndef DPC_ALLOC_PRIMAL_DUAL_HH
@@ -23,7 +29,7 @@
 namespace dpc {
 
 /** Dual-price coordinator allocator. */
-class PrimalDualAllocator : public Allocator
+class PrimalDualAllocator : public IterativeAllocator
 {
   public:
     struct Config
@@ -54,9 +60,26 @@ class PrimalDualAllocator : public Allocator
     PrimalDualAllocator() = default;
     explicit PrimalDualAllocator(Config cfg) : cfg_(cfg) {}
 
-    AllocationResult allocate(const AllocationProblem &prob) override;
-
     std::string name() const override { return "primal-dual"; }
+
+    /** One price update + best-response sweep; returns the
+     * relative budget violation |sum p - P| / P.  No-op once
+     * converged. */
+    double step(Rng &rng) override;
+
+    bool converged() const override { return converged_; }
+
+    /** Budget-feasible snapshot: the current primal iterate,
+     * scaled back into the budget (slack runs keep the raw
+     * unconstrained peak, as the price is exactly zero there). */
+    AllocationResult result() const override;
+
+    std::size_t iterations() const override { return iterations_; }
+
+    std::size_t maxIterations() const override
+    {
+        return cfg_.max_iterations;
+    }
 
     /**
      * Utility trajectory of the last run (one entry per iteration,
@@ -65,10 +88,46 @@ class PrimalDualAllocator : public Allocator
      */
     const std::vector<double> &utilityTrace() const { return trace_; }
 
+  protected:
+    /** Lambda = 0 sweep, slack detection, slope-probe step-size
+     * calibration (counts as iteration 1, like the loop setup of
+     * the classic one-shot solver). */
+    void doReset() override;
+
   private:
+    /** Best responses over [begin, end); returns the range power
+     * sum. */
+    double respondRange(double lambda, std::vector<double> &p,
+                        std::size_t begin, std::size_t end) const;
+
+    /** Full best-response sweep (serial or chunked on the pool). */
+    double respond(double lambda, std::vector<double> &p);
+
     Config cfg_;
     std::vector<double> trace_;
-    /** Best-response pool, created on first parallel allocate(). */
+    /** Quadratic SoA mirror of the utilities (valid iff quad_). */
+    std::vector<double> qb_, qc_, qmin_, qmax_;
+    bool quad_ = false;
+    /** Raw (unprojected) primal iterate of the last sweep. */
+    std::vector<double> power_;
+    std::vector<double> chunk_sums_;
+    double lambda_ = 0.0;
+    double prev_lambda_ = 0.0;
+    /** sum(p) - P after the last sweep / the one before it. */
+    double violation_ = 0.0;
+    double prev_violation_ = 0.0;
+    /** Price bracket: violation > 0 means lambda is too low. */
+    double lambda_lo_ = 0.0;
+    double lambda_hi_ = -1.0;
+    /** |violation| two updates ago, for stall detection. */
+    double stall_ref_ = 0.0;
+    double step_size_ = 0.0;
+    std::size_t iterations_ = 0;
+    bool converged_ = false;
+    /** Slack budget detected at reset (lambda stays zero and the
+     * raw unconstrained peak is already feasible). */
+    bool slack_ = false;
+    /** Best-response pool, created on first parallel reset(). */
     std::unique_ptr<ThreadPool> pool_;
 };
 

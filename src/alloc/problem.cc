@@ -1,9 +1,12 @@
 #include "alloc/problem.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.hh"
+#include "util/rng.hh"
 #include "util/stats.hh"
+#include "workload/generator.hh"
 
 namespace dpc {
 
@@ -40,6 +43,112 @@ AllocationProblem::validate() const
     DPC_ASSERT(budget > 0.0, "non-positive budget");
     DPC_ASSERT(isFeasible(), "infeasible: sum p_min = ",
                minTotalPower(), " > budget = ", budget);
+}
+
+AllocationProblem::Builder &
+AllocationProblem::Builder::budget(double watts)
+{
+    DPC_ASSERT(budget_per_node_ == 0.0,
+               "budget() and budgetPerNode() are alternatives");
+    budget_ = watts;
+    return *this;
+}
+
+AllocationProblem::Builder &
+AllocationProblem::Builder::budgetPerNode(double watts)
+{
+    DPC_ASSERT(budget_ == 0.0,
+               "budget() and budgetPerNode() are alternatives");
+    budget_per_node_ = watts;
+    return *this;
+}
+
+AllocationProblem::Builder &
+AllocationProblem::Builder::add(UtilityPtr u)
+{
+    DPC_ASSERT(u != nullptr, "null utility added to builder");
+    utilities_.push_back(std::move(u));
+    return *this;
+}
+
+AllocationProblem::Builder &
+AllocationProblem::Builder::utilities(std::vector<UtilityPtr> us)
+{
+    for (auto &u : us)
+        add(std::move(u));
+    return *this;
+}
+
+AllocationProblem::Builder &
+AllocationProblem::Builder::quadratic(double r0, double kappa,
+                                      double p_min, double p_max,
+                                      double scale)
+{
+    return add(std::make_shared<QuadraticUtility>(
+        QuadraticUtility::fromShape(r0, kappa, p_min, p_max,
+                                    scale)));
+}
+
+AllocationProblem::Builder &
+AllocationProblem::Builder::npbCluster(std::size_t n,
+                                       std::uint64_t seed)
+{
+    Rng rng(seed);
+    return utilities(utilitiesOf(drawNpbAssignment(n, rng)));
+}
+
+AllocationProblem
+AllocationProblem::Builder::build() const
+{
+    AllocationProblem prob;
+    prob.utilities = utilities_;
+    prob.budget =
+        budget_per_node_ > 0.0
+            ? budget_per_node_ *
+                  static_cast<double>(utilities_.size())
+            : budget_;
+    return prob;
+}
+
+void
+IterativeAllocator::reset(const AllocationProblem &prob)
+{
+    prob.validate();
+    problem_ = prob;
+    doReset();
+}
+
+void
+IterativeAllocator::setBudget(double new_budget)
+{
+    DPC_ASSERT(new_budget > 0.0, "non-positive budget");
+    problem_.budget = new_budget;
+    // Coordinator-style schemes simply re-solve the epoch from a
+    // cold start; DiBA overrides with its warm incremental update.
+    reset(problem_);
+}
+
+void
+IterativeAllocator::setUtility(std::size_t i, UtilityPtr u)
+{
+    DPC_ASSERT(i < problem_.size(),
+               "setUtility index out of range");
+    DPC_ASSERT(u != nullptr, "null utility");
+    problem_.utilities[i] = std::move(u);
+    reset(problem_);
+}
+
+AllocationResult
+IterativeAllocator::allocate(const AllocationProblem &prob)
+{
+    reset(prob);
+    // Deterministic schemes ignore the rng entirely; the fixed
+    // seed keeps the one-shot entry reproducible for any scheme
+    // that does draw from it.
+    Rng rng(0x5eed0fd1baULL);
+    while (!converged() && iterations() < maxIterations())
+        step(rng);
+    return result();
 }
 
 double

@@ -44,6 +44,62 @@ struct AllocationProblem
 
     /** Panics unless the problem is well formed and feasible. */
     void validate() const;
+
+    class Builder;
+};
+
+/**
+ * Fluent construction of AllocationProblem instances — the one
+ * place the tests, benches and examples assemble (utilities,
+ * budget) pairs instead of hand-rolling the same three-line blocks:
+ *
+ *   auto prob = AllocationProblem::Builder()
+ *                   .npbCluster(1000, seed)
+ *                   .budgetPerNode(172.0)
+ *                   .build();
+ *
+ * budget() and budgetPerNode() are alternatives; the per-node form
+ * is resolved against the final server count at build() time, so
+ * it composes with any utility source in any order.  build() does
+ * not validate feasibility (allocators do, and some tests want
+ * infeasible instances on purpose).
+ */
+class AllocationProblem::Builder
+{
+  public:
+    /** Set the absolute total budget P (W). */
+    Builder &budget(double watts);
+
+    /** Set the budget as watts-per-server * final server count. */
+    Builder &budgetPerNode(double watts);
+
+    /** Append one server with the given utility. */
+    Builder &add(UtilityPtr u);
+
+    /** Append a batch of servers (e.g. utilitiesOf(assignment)). */
+    Builder &utilities(std::vector<UtilityPtr> us);
+
+    /**
+     * Append one server with a shape-parameterized concave
+     * quadratic (see QuadraticUtility::fromShape).
+     */
+    Builder &quadratic(double r0, double kappa, double p_min,
+                       double p_max, double scale = 1.0);
+
+    /**
+     * Append n servers drawing one Table 4.1 NPB/HPCC benchmark
+     * each, uniformly at random from the given seed (the Ch.4
+     * evaluation protocol).
+     */
+    Builder &npbCluster(std::size_t n, std::uint64_t seed);
+
+    /** Assemble the problem (no feasibility validation). */
+    AllocationProblem build() const;
+
+  private:
+    std::vector<UtilityPtr> utilities_;
+    double budget_ = 0.0;
+    double budget_per_node_ = 0.0;
 };
 
 /** Outcome of one allocator run. */
@@ -77,6 +133,79 @@ class Allocator
 
     /** Human-readable scheme name for reports. */
     virtual std::string name() const = 0;
+};
+
+class Rng;
+
+/**
+ * Stepwise allocator interface: every iterative scheme (DiBA,
+ * primal-dual, centralized projected gradient) exposes the same
+ * four-phase driving protocol
+ *
+ *   reset(problem)  -- (re)initialize state for an instance;
+ *   step(rng)       -- one algorithm round, returns a progress
+ *                      metric (max |dp| moved, or the scheme's
+ *                      natural residual);
+ *   converged()     -- the scheme's own stopping rule;
+ *   result()        -- snapshot of the current solution.
+ *
+ * so the cluster simulator, the fault-injection harness and the
+ * benches drive any scheme through one API instead of
+ * scheme-specific calls.  The rng parameter feeds schemes with
+ * stochastic rounds (async gossip, fault sampling); deterministic
+ * schemes ignore it, so their trajectories do not depend on it.
+ *
+ * The classic one-shot Allocator::allocate() is provided as a
+ * final wrapper: reset, then step until converged() or the
+ * scheme's iteration cap.  Derived classes implement doReset()
+ * (the base stores and validates the problem first, so incremental
+ * default reactions below can re-derive state from it).
+ *
+ * setBudget()/setUtility() announce in-flight problem changes (the
+ * demand-response and workload-churn control events).  The default
+ * implementations rewrite the stored problem and restart via
+ * reset() — correct for coordinator schemes that re-solve per
+ * epoch; DiBA overrides both with its warm incremental updates.
+ */
+class IterativeAllocator : public Allocator
+{
+  public:
+    /** (Re)initialize for a problem instance (validates it). */
+    void reset(const AllocationProblem &prob);
+
+    /** One algorithm round; returns the progress metric. */
+    virtual double step(Rng &rng) = 0;
+
+    /** Whether the scheme's own stopping rule is met. */
+    virtual bool converged() const = 0;
+
+    /** Snapshot the current solution as an AllocationResult. */
+    virtual AllocationResult result() const = 0;
+
+    /** Rounds stepped since the last reset(). */
+    virtual std::size_t iterations() const = 0;
+
+    /** The scheme's hard iteration cap for allocate(). */
+    virtual std::size_t maxIterations() const = 0;
+
+    /** Announce a new total budget (default: restart). */
+    virtual void setBudget(double new_budget);
+
+    /** Replace one server's utility (default: restart). */
+    virtual void setUtility(std::size_t i, UtilityPtr u);
+
+    /** One-shot solve via the stepwise protocol. */
+    AllocationResult allocate(const AllocationProblem &prob) final;
+
+    /** The problem instance of the last reset() (updated by the
+     * setBudget/setUtility announcements). */
+    const AllocationProblem &problem() const { return problem_; }
+
+  protected:
+    /** Scheme-specific reset from the stored problem(). */
+    virtual void doReset() = 0;
+
+    AllocationProblem problem_;
 };
 
 /**

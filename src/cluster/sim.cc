@@ -33,21 +33,35 @@ ClusterSim::ClusterSim(ClusterAssignment assignment, Graph topology,
                        double initial_budget,
                        DibaAllocator::Config diba_cfg,
                        ClusterSimConfig cfg)
+    : ClusterSim(std::move(assignment),
+                 std::make_unique<DibaAllocator>(
+                     std::move(topology), diba_cfg),
+                 initial_budget, cfg)
+{
+}
+
+ClusterSim::ClusterSim(
+    ClusterAssignment assignment,
+    std::unique_ptr<IterativeAllocator> allocator,
+    double initial_budget, ClusterSimConfig cfg)
     : assignment_(std::move(assignment)), cfg_(cfg),
       budget_(initial_budget),
       schedule_([initial_budget](double) { return initial_budget; }),
-      diba_(std::move(topology), diba_cfg),
+      alloc_(std::move(allocator)),
+      alloc_rng_(cfg.seed ^ 0x517eb0ULL),
       power_model_(makeReferencePowerModel()),
       meter_(cfg.meter_noise_frac, cfg.seed ^ 0xabcdef),
       rng_(cfg.seed)
 {
     DPC_ASSERT(!assignment_.empty(), "empty cluster");
+    DPC_ASSERT(alloc_ != nullptr, "null allocator");
+    diba_raw_ = dynamic_cast<DibaAllocator *>(alloc_.get());
     names_.reserve(assignment_.size());
     for (const auto &w : assignment_)
         names_.push_back(w.name);
 
     AllocationProblem prob{utilitiesOf(assignment_), budget_};
-    diba_.reset(prob);
+    alloc_->reset(prob);
 
     controllers_.reserve(assignment_.size());
     for (std::size_t i = 0; i < assignment_.size(); ++i) {
@@ -61,6 +75,14 @@ ClusterSim::ClusterSim(ClusterAssignment assignment, Graph topology,
         for (double &end : job_ends_)
             end = drawJobDuration(cfg_.mean_job_s, rng_);
     }
+}
+
+const DibaAllocator &
+ClusterSim::diba() const
+{
+    DPC_ASSERT(diba_raw_ != nullptr,
+               "diba() on a non-DiBA-backed simulation");
+    return *diba_raw_;
 }
 
 void
@@ -79,6 +101,73 @@ ClusterSim::setCapObserver(
 }
 
 void
+ClusterSim::setFaultPlan(const FaultPlan &plan)
+{
+    fault_timeline_ = plan.sortedEvents();
+    next_fault_ = 0;
+    channel_ = std::make_unique<LossyChannel>(plan.lossConfig(),
+                                              plan.channelSeed());
+    glitch_bias_.assign(assignment_.size(), 0.0);
+    glitch_until_.assign(assignment_.size(), 0.0);
+    if (diba_raw_ == nullptr) {
+        warn("fault plan on a coordinator-backed simulation: "
+             "gossip loss and churn events will be skipped");
+    }
+}
+
+void
+ClusterSim::applyFaults(double t)
+{
+    while (next_fault_ < fault_timeline_.size() &&
+           fault_timeline_[next_fault_].at <= t) {
+        const FaultEvent &ev = fault_timeline_[next_fault_++];
+        if (ev.kind == FaultKind::MeterGlitch) {
+            DPC_ASSERT(ev.node < glitch_bias_.size(),
+                       "meter glitch node out of range");
+            glitch_bias_[ev.node] = ev.value;
+            glitch_until_[ev.node] = t + ev.duration;
+            continue;
+        }
+        if (diba_raw_ == nullptr) {
+            warn("skipping DiBA fault event at t = ", ev.at,
+                 " (allocator is not DiBA)");
+            continue;
+        }
+        switch (ev.kind) {
+        case FaultKind::NodeCrash:
+            if (diba_raw_->isActive(ev.node) &&
+                diba_raw_->numActive() > 1)
+                diba_raw_->failNode(ev.node);
+            else
+                warn("skipping crash of node ", ev.node);
+            break;
+        case FaultKind::NodeRejoin:
+            if (!diba_raw_->isActive(ev.node))
+                diba_raw_->joinNode(ev.node);
+            else
+                warn("skipping rejoin of node ", ev.node);
+            break;
+        case FaultKind::LinkCut:
+            if (diba_raw_->edgeEnabled(ev.node, ev.peer))
+                diba_raw_->setEdgeEnabled(ev.node, ev.peer, false);
+            else
+                warn("skipping cut of link {", ev.node, ", ",
+                     ev.peer, "}");
+            break;
+        case FaultKind::LinkHeal:
+            if (!diba_raw_->edgeEnabled(ev.node, ev.peer))
+                diba_raw_->setEdgeEnabled(ev.node, ev.peer, true);
+            else
+                warn("skipping heal of link {", ev.node, ", ",
+                     ev.peer, "}");
+            break;
+        case FaultKind::MeterGlitch:
+            break; // handled above
+        }
+    }
+}
+
+void
 ClusterSim::maybeChurn(double t)
 {
     if (cfg_.mean_job_s <= 0.0)
@@ -90,7 +179,7 @@ ClusterSim::maybeChurn(double t)
         const auto &b = rng_.choice(suite);
         assignment_[i] = {b.name, b.llc, b.utilityPtr()};
         names_[i] = b.name;
-        diba_.setUtility(i, assignment_[i].utility);
+        alloc_->setUtility(i, assignment_[i].utility);
         job_ends_[i] = t + drawJobDuration(cfg_.mean_job_s, rng_);
     }
 }
@@ -99,9 +188,20 @@ std::vector<double>
 ClusterSim::computeCaps()
 {
     if (cfg_.policy == SimPolicy::Diba) {
-        for (std::size_t r = 0; r < cfg_.diba_rounds_per_step; ++r)
-            diba_.iterate();
-        return diba_.power();
+        // Fault runs route every DiBA round through the lossy
+        // channel and audit the invariants once per control step;
+        // clean runs drive the scheme-agnostic stepwise protocol.
+        if (channel_ && diba_raw_ != nullptr) {
+            for (std::size_t r = 0; r < cfg_.diba_rounds_per_step;
+                 ++r)
+                diba_raw_->stepWithChannel(*channel_);
+            checker_.check(*diba_raw_);
+        } else {
+            for (std::size_t r = 0; r < cfg_.diba_rounds_per_step;
+                 ++r)
+                alloc_->step(alloc_rng_);
+        }
+        return alloc_->result().power;
     }
     // Uniform baseline: equal share clamped into every box.
     const double share =
@@ -126,10 +226,11 @@ ClusterSim::run(double duration_s)
     for (std::size_t s = 0; s < steps; ++s) {
         const double t = static_cast<double>(s) * cfg_.dt_s;
 
+        applyFaults(t);
         const double b = schedule_(t);
         if (b != budget_) {
             budget_ = b;
-            diba_.setBudget(b);
+            alloc_->setBudget(b);
         }
         maybeChurn(t);
 
@@ -141,11 +242,21 @@ ClusterSim::run(double duration_s)
         std::vector<double> anps;
         anps.reserve(assignment_.size());
         for (std::size_t i = 0; i < assignment_.size(); ++i) {
+            // A crashed server's cap is withdrawn entirely: it is
+            // powered off, draws nothing, and drops out of the
+            // SNP average until it rejoins.
+            if (diba_raw_ != nullptr && !diba_raw_->isActive(i))
+                continue;
             auto &ctl = controllers_[i];
             ctl.setCap(caps[i]);
             const double drawn =
                 power_model_.power(ctl.pstate(), 1.0);
-            const double measured = meter_.read(drawn);
+            double measured = meter_.read(drawn);
+            // Active glitch windows bias this node's reading; the
+            // cap controller reacts to the corrupted value, which
+            // is exactly the failure mode being studied.
+            if (!glitch_bias_.empty() && glitch_until_[i] > t)
+                measured *= 1.0 + glitch_bias_[i];
             ctl.engage(measured, 1.0);
             const double now =
                 power_model_.power(ctl.pstate(), 1.0);

@@ -4,26 +4,41 @@
  * 4.4-4.7 and 3.14-3.15).
  *
  * Time advances in fixed control steps.  Each step:
- *   1. the total budget is read from the schedule (demand-response
+ *   1. fault events that have come due are applied (node churn,
+ *      link cuts, meter glitches -- see setFaultPlan);
+ *   2. the total budget is read from the schedule (demand-response
  *      signal); budget changes are announced to the allocator;
- *   2. finished jobs are replaced by fresh draws from the benchmark
+ *   3. finished jobs are replaced by fresh draws from the benchmark
  *      pool (workload churn, Fig. 4.7);
- *   3. the budgeting algorithm runs for the number of rounds that
+ *   4. the budgeting algorithm runs for the number of rounds that
  *      fit in the step (DiBA converges in milliseconds, so a
  *      one-second step is ample);
- *   4. the per-server RAPL-style cap controllers engage against the
+ *   5. the per-server RAPL-style cap controllers engage against the
  *      new caps, and the electrical power actually drawn at the
- *      selected p-states is metered (with noise);
- *   5. SNP / power samples are recorded.
+ *      selected p-states is metered (with noise, plus any active
+ *      glitch bias);
+ *   6. SNP / power samples are recorded.
+ *
+ * Any IterativeAllocator can drive the caps: the simulator calls
+ * only the stepwise protocol (reset / step / setBudget /
+ * setUtility / result), so DiBA, the primal-dual coordinator and
+ * the centralized solver all run in the loop unmodified.  The
+ * fault-injection surface (channel-routed gossip, failNode /
+ * joinNode, link masks) is DiBA-specific; scheduling those events
+ * against a coordinator-backed simulation warns and skips them.
  */
 
 #ifndef DPC_CLUSTER_SIM_HH
 #define DPC_CLUSTER_SIM_HH
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "alloc/diba.hh"
+#include "fault/invariant_checker.hh"
+#include "fault/lossy_channel.hh"
+#include "fault/plan.hh"
 #include "power/controller.hh"
 #include "power/server_model.hh"
 #include "workload/generator.hh"
@@ -33,7 +48,7 @@ namespace dpc {
 /** Budgeting policy driving the caps. */
 enum class SimPolicy
 {
-    Diba,   ///< decentralized allocation (the paper's scheme)
+    Diba,   ///< the configured iterative allocator (DiBA default)
     Uniform ///< equal share baseline
 };
 
@@ -42,7 +57,7 @@ struct ClusterSimConfig
 {
     /** Control step (s); also the cap-controller engagement. */
     double dt_s = 1.0;
-    /** DiBA rounds executed per control step. */
+    /** Allocator rounds executed per control step. */
     std::size_t diba_rounds_per_step = 60;
     /** Power meter noise fraction. */
     double meter_noise_frac = 0.01;
@@ -68,6 +83,8 @@ class ClusterSim
 {
   public:
     /**
+     * DiBA-backed simulation (the common configuration).
+     *
      * @param assignment  initial per-server workloads
      * @param topology    DiBA communication overlay (one vertex per
      *                    server)
@@ -80,6 +97,16 @@ class ClusterSim
                DibaAllocator::Config diba_cfg = {},
                ClusterSimConfig cfg = {});
 
+    /**
+     * Simulation driven by an arbitrary stepwise allocator (the
+     * scheme-comparison experiments run the coordinator baselines
+     * through the identical control loop).  The allocator is
+     * reset() on the cluster's problem inside.
+     */
+    ClusterSim(ClusterAssignment assignment,
+               std::unique_ptr<IterativeAllocator> allocator,
+               double initial_budget, ClusterSimConfig cfg = {});
+
     /** Total budget as a function of time (defaults to constant). */
     void setBudgetSchedule(std::function<double(double)> schedule);
 
@@ -88,11 +115,29 @@ class ClusterSim
         std::function<void(double, const std::vector<double> &)>
             observer);
 
+    /**
+     * Inject a fault schedule: due events are applied at the top
+     * of every control step, the allocator's gossip is routed
+     * through the plan's lossy channel (DiBA-backed sims only),
+     * and the invariants are audited after every faulty round.
+     * Meter glitches bias the affected node's readings for their
+     * window.  Call before run().
+     */
+    void setFaultPlan(const FaultPlan &plan);
+
     /** Run for the given duration; returns one sample per step. */
     std::vector<ClusterSample> run(double duration_s);
 
-    /** The decentralized allocator state (for tests). */
-    const DibaAllocator &diba() const { return diba_; }
+    /** The stepwise allocator in the loop. */
+    const IterativeAllocator &allocator() const { return *alloc_; }
+
+    /** The decentralized allocator state (DiBA-backed sims only;
+     * panics otherwise). */
+    const DibaAllocator &diba() const;
+
+    /** Invariant auditor of the fault run (valid after
+     * setFaultPlan). */
+    const InvariantChecker &faultChecker() const { return checker_; }
 
     /** Current workload names per server. */
     const std::vector<std::string> &workloadNames() const
@@ -102,6 +147,7 @@ class ClusterSim
 
   private:
     void maybeChurn(double t);
+    void applyFaults(double t);
     std::vector<double> computeCaps();
 
     ClusterAssignment assignment_;
@@ -112,12 +158,26 @@ class ClusterSim
     std::function<void(double, const std::vector<double> &)>
         observer_;
 
-    DibaAllocator diba_;
+    std::unique_ptr<IterativeAllocator> alloc_;
+    /** Non-null when alloc_ is a DibaAllocator (fault surface). */
+    DibaAllocator *diba_raw_ = nullptr;
+    /** Feeds stochastic allocator rounds; deterministic schemes
+     * never draw from it. */
+    Rng alloc_rng_;
     ServerPowerModel power_model_;
     std::vector<PowerCapController> controllers_;
     PowerMeter meter_;
     Rng rng_;
     std::vector<double> job_ends_;
+
+    // ---- fault-plan state (inert until setFaultPlan) ------------
+    std::vector<FaultEvent> fault_timeline_;
+    std::size_t next_fault_ = 0;
+    std::unique_ptr<LossyChannel> channel_;
+    InvariantChecker checker_;
+    /** Active meter-glitch windows: relative bias / expiry time. */
+    std::vector<double> glitch_bias_;
+    std::vector<double> glitch_until_;
 };
 
 } // namespace dpc

@@ -1,0 +1,68 @@
+#include "fault/invariant_checker.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+void
+InvariantChecker::check(const DibaAllocator &diba)
+{
+    const std::vector<double> &p = diba.power();
+    const std::vector<double> &e = diba.estimates();
+    const std::size_t n = p.size();
+    DPC_ASSERT(n > 0, "invariant check before reset()");
+
+    // (3) Participation-mask consistency.
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (diba.isActive(i)) {
+            ++active;
+            continue;
+        }
+        DPC_ASSERT(p[i] == 0.0 && e[i] == 0.0,
+                   "failed node ", i, " still holds p = ", p[i],
+                   ", e = ", e[i]);
+    }
+    DPC_ASSERT(active == diba.numActive(), "active mask count ",
+               active, " != numActive() ", diba.numActive());
+    for (const auto &[u, v] : diba.liveEdges()) {
+        DPC_ASSERT(diba.isActive(u) && diba.isActive(v),
+                   "live edge {", u, ", ", v,
+                   "} touches a failed node");
+        DPC_ASSERT(diba.edgeEnabled(u, v), "live edge {", u, ", ",
+                   v, "} is administratively cut");
+    }
+
+    // (1) Estimate-sum conservation over the active set.
+    double sum_e = 0.0, sum_p = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!diba.isActive(i))
+            continue;
+        sum_e += e[i];
+        sum_p += p[i];
+    }
+    const double residual =
+        std::fabs(sum_e - (sum_p - diba.budget()));
+    worst_residual_ = std::max(worst_residual_, residual);
+    DPC_ASSERT(residual <=
+                   cfg_.sum_tol * std::max(diba.budget(), 1.0),
+               "estimate-sum conservation broken: |sum e - (sum p",
+               " - P)| = ", residual, " W");
+
+    // (2) Budget safety via strict slack.
+    if (cfg_.require_strict_slack) {
+        for (std::size_t i = 0; i < n; ++i) {
+            DPC_ASSERT(!diba.isActive(i) || e[i] < 0.0,
+                       "node ", i, " lost its slack: e = ", e[i]);
+        }
+        DPC_ASSERT(sum_p < diba.budget(),
+                   "budget guarantee broken: sum p = ", sum_p,
+                   " >= P = ", diba.budget());
+    }
+    ++rounds_;
+}
+
+} // namespace dpc

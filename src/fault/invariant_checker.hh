@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-round assertion of DiBA's safety invariants under faults.
+ *
+ * DiBA's correctness story rests on three properties that must
+ * survive every fault the subsystem can inject:
+ *
+ *  1. Estimate-sum conservation: sum_active(e) == sum_active(p) - P
+ *     at all times.  Paired transfers cancel exactly (delivered,
+ *     dropped, or stale), gradient steps move p and e together, and
+ *     the churn hand-offs are balanced, so this holds to rounding;
+ *     the checker enforces it to a tight relative tolerance.
+ *  2. Budget safety: every active estimate is strictly negative,
+ *     which together with (1) implies sum_active(p) < P -- the
+ *     budget is a hard guarantee, not an average.
+ *  3. Participation-mask consistency: the active count matches the
+ *     mask, failed nodes hold exactly zero power and estimate, and
+ *     the live-edge list contains precisely the enabled edges whose
+ *     endpoints are both active.
+ *
+ * check() panics (DPC_ASSERT) on any violation, so a fault test or
+ * bench that completes has machine-checked the invariants on every
+ * round it ran.
+ */
+
+#ifndef DPC_FAULT_INVARIANT_CHECKER_HH
+#define DPC_FAULT_INVARIANT_CHECKER_HH
+
+#include <cstddef>
+
+#include "alloc/diba.hh"
+
+namespace dpc {
+
+/** Round-by-round DiBA invariant auditor (see file header). */
+class InvariantChecker
+{
+  public:
+    struct Config
+    {
+        /**
+         * Relative tolerance on the conservation residual
+         * |sum e - (sum p - P)|, scaled by max(P, 1): covers the
+         * rounding accumulated by long runs without admitting any
+         * real leak (a single lost half-transfer is orders of
+         * magnitude larger).
+         */
+        double sum_tol = 1e-9;
+        /**
+         * Require every active estimate strictly negative (the
+         * budget-safety certificate).  Disable only for tests that
+         * deliberately park debt on floor-clamped partitions.
+         */
+        bool require_strict_slack = true;
+    };
+
+    InvariantChecker() = default;
+    explicit InvariantChecker(Config cfg) : cfg_(cfg) {}
+
+    /** Audit one allocator state; panics on any violation. */
+    void check(const DibaAllocator &diba);
+
+    /** Rounds audited since construction. */
+    std::size_t roundsChecked() const { return rounds_; }
+
+    /** Largest conservation residual seen (absolute watts). */
+    double worstResidual() const { return worst_residual_; }
+
+  private:
+    Config cfg_;
+    std::size_t rounds_ = 0;
+    double worst_residual_ = 0.0;
+};
+
+} // namespace dpc
+
+#endif // DPC_FAULT_INVARIANT_CHECKER_HH

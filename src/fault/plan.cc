@@ -1,0 +1,101 @@
+#include "fault/plan.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+
+FaultPlan &
+FaultPlan::crashAt(double t, std::size_t node)
+{
+    events_.push_back({t, FaultKind::NodeCrash, node, 0, 0.0, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::rejoinAt(double t, std::size_t node)
+{
+    events_.push_back(
+        {t, FaultKind::NodeRejoin, node, 0, 0.0, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::cutLinkAt(double t, std::size_t u, std::size_t v)
+{
+    events_.push_back({t, FaultKind::LinkCut, u, v, 0.0, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::healLinkAt(double t, std::size_t u, std::size_t v)
+{
+    events_.push_back({t, FaultKind::LinkHeal, u, v, 0.0, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::meterGlitchAt(double t, std::size_t node,
+                         double bias_frac, double duration_s)
+{
+    DPC_ASSERT(duration_s > 0.0,
+               "meter glitch needs a positive duration");
+    events_.push_back({t, FaultKind::MeterGlitch, node, 0,
+                       bias_frac, duration_s});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::loss(LossyChannel::Config cfg)
+{
+    loss_ = cfg;
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::seed(std::uint64_t s)
+{
+    seed_ = s;
+    return *this;
+}
+
+FaultPlan
+FaultPlan::randomChurn(std::size_t n, std::size_t crashes,
+                       std::size_t rejoins, double horizon_s,
+                       std::uint64_t s)
+{
+    DPC_ASSERT(crashes < n,
+               "cannot crash every node (one must survive)");
+    DPC_ASSERT(rejoins <= crashes,
+               "cannot rejoin more nodes than crashed");
+    DPC_ASSERT(horizon_s > 0.0, "non-positive churn horizon");
+    FaultPlan plan;
+    plan.seed(s);
+    Rng rng(s);
+    // Distinct victims via a partial Fisher-Yates over the node ids.
+    std::vector<std::size_t> ids(n);
+    for (std::size_t i = 0; i < n; ++i)
+        ids[i] = i;
+    rng.shuffle(ids);
+    for (std::size_t k = 0; k < crashes; ++k)
+        plan.crashAt(rng.uniform(0.0, 0.6 * horizon_s), ids[k]);
+    for (std::size_t k = 0; k < rejoins; ++k)
+        plan.rejoinAt(rng.uniform(0.7 * horizon_s, horizon_s),
+                      ids[k]);
+    return plan;
+}
+
+std::vector<FaultEvent>
+FaultPlan::sortedEvents() const
+{
+    std::vector<FaultEvent> sorted = events_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.at < b.at;
+                     });
+    return sorted;
+}
+
+} // namespace dpc

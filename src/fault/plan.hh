@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic, seedable fault schedules.
+ *
+ * A FaultPlan is a declarative timeline of discrete fault events
+ * (node crashes and rejoins, link cuts and heals, power-meter
+ * glitches) plus one LossyChannel configuration for the continuous
+ * message-loss process.  The plan itself performs no side effects:
+ * drivers (fault::FaultSession at the allocator level, ClusterSim
+ * at the control-loop level) read the sorted timeline and apply the
+ * events that have come due each round or control step.  Replaying
+ * the same plan with the same seed reproduces the identical
+ * trajectory, bit for bit, which is what makes fault experiments
+ * diffable across commits.
+ */
+
+#ifndef DPC_FAULT_PLAN_HH
+#define DPC_FAULT_PLAN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/lossy_channel.hh"
+
+namespace dpc {
+
+/** Discrete fault classes a plan can schedule. */
+enum class FaultKind
+{
+    NodeCrash,   ///< server fails, leaves the optimization
+    NodeRejoin,  ///< failed server re-admitted at its power floor
+    LinkCut,     ///< overlay edge administratively disabled
+    LinkHeal,    ///< previously cut edge re-enabled
+    MeterGlitch, ///< one node's power readings biased for a window
+};
+
+/** One scheduled fault. */
+struct FaultEvent
+{
+    /** Event time in plan seconds (drivers map their round or
+     * control-step clock onto this axis). */
+    double at = 0.0;
+    FaultKind kind = FaultKind::NodeCrash;
+    /** Affected node (crash/rejoin/glitch) or first endpoint. */
+    std::size_t node = 0;
+    /** Second endpoint for LinkCut/LinkHeal. */
+    std::size_t peer = 0;
+    /** MeterGlitch: relative reading bias (+0.2 = reads 20% high). */
+    double value = 0.0;
+    /** MeterGlitch: seconds the bias persists. */
+    double duration = 0.0;
+};
+
+/** Fluent fault-schedule builder + container (see file header). */
+class FaultPlan
+{
+  public:
+    FaultPlan &crashAt(double t, std::size_t node);
+    FaultPlan &rejoinAt(double t, std::size_t node);
+    FaultPlan &cutLinkAt(double t, std::size_t u, std::size_t v);
+    FaultPlan &healLinkAt(double t, std::size_t u, std::size_t v);
+    FaultPlan &meterGlitchAt(double t, std::size_t node,
+                             double bias_frac, double duration_s);
+
+    /** Configure the continuous message-loss process. */
+    FaultPlan &loss(LossyChannel::Config cfg);
+
+    /** Seed for the channel (and any random plan generation). */
+    FaultPlan &seed(std::uint64_t s);
+
+    /**
+     * Random churn generator: `crashes` distinct nodes of an
+     * n-node cluster crash at uniform times in the first 60% of
+     * [0, horizon_s], and the first `rejoins` of them come back in
+     * the last 30% (so every rejoin follows its crash).  Fully
+     * determined by `s`.
+     */
+    static FaultPlan randomChurn(std::size_t n, std::size_t crashes,
+                                 std::size_t rejoins,
+                                 double horizon_s, std::uint64_t s);
+
+    /** Events sorted by time (stable: insertion order breaks
+     * ties). */
+    std::vector<FaultEvent> sortedEvents() const;
+
+    const std::vector<FaultEvent> &events() const { return events_; }
+    const LossyChannel::Config &lossConfig() const { return loss_; }
+    std::uint64_t channelSeed() const { return seed_; }
+    bool empty() const { return events_.empty(); }
+
+    /** Build the plan's lossy channel (seeded from the plan). */
+    LossyChannel makeChannel() const
+    {
+        return LossyChannel(loss_, seed_);
+    }
+
+  private:
+    std::vector<FaultEvent> events_;
+    LossyChannel::Config loss_;
+    std::uint64_t seed_ = 0xfa0175eedULL;
+};
+
+} // namespace dpc
+
+#endif // DPC_FAULT_PLAN_HH

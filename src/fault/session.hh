@@ -1,0 +1,94 @@
+/**
+ * @file
+ * FaultSession: drive one DibaAllocator through a FaultPlan.
+ *
+ * The session owns the plan's lossy channel and an invariant
+ * checker, advances a plan-time clock by `round_dt` seconds per
+ * synchronized round, applies every discrete event that has come
+ * due (crashes, rejoins, link cuts/heals) before the round runs,
+ * routes the round's gossip through the channel, and audits the
+ * allocator state after it.  MeterGlitch events are a control-loop
+ * concern (they bias a meter the allocator never reads) and are
+ * skipped here; ClusterSim applies them.
+ *
+ * Events that are invalid when they come due -- crashing an
+ * already-dead node, rejoining a live one, cutting a cut link --
+ * are skipped with a warning rather than panicking, so randomly
+ * generated plans (FaultPlan::randomChurn) compose without
+ * hand-pruning.
+ */
+
+#ifndef DPC_FAULT_SESSION_HH
+#define DPC_FAULT_SESSION_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "alloc/diba.hh"
+#include "fault/invariant_checker.hh"
+#include "fault/lossy_channel.hh"
+#include "fault/plan.hh"
+
+namespace dpc {
+
+/** Fault-plan executor for allocator-level experiments. */
+class FaultSession
+{
+  public:
+    struct Config
+    {
+        /** Plan-seconds that elapse per synchronized round. */
+        double round_dt = 1.0;
+        /** Audit the invariants after every round. */
+        bool check_invariants = true;
+        InvariantChecker::Config checker;
+    };
+
+    /** The allocator must outlive the session and already be
+     * reset() on its problem. */
+    FaultSession(DibaAllocator &diba, const FaultPlan &plan);
+    FaultSession(DibaAllocator &diba, const FaultPlan &plan,
+                 Config cfg);
+
+    /**
+     * One epoch: apply due events, run one channel-routed
+     * synchronized round, audit.  @return max |dp| moved (W).
+     */
+    double stepRound();
+
+    /** Run `rounds` epochs; returns the number of rounds whose
+     * max move stayed under the allocator's own fixed-point
+     * tolerance (a convergence proxy the benches report). */
+    std::size_t run(std::size_t rounds);
+
+    /** Plan-time now (s). */
+    double now() const { return now_; }
+
+    /** Discrete events applied (valid ones only). */
+    std::size_t eventsApplied() const { return applied_; }
+
+    /** Discrete events skipped as invalid-at-apply-time. */
+    std::size_t eventsSkipped() const { return skipped_; }
+
+    const LossyChannel &channel() const { return channel_; }
+    const InvariantChecker &checker() const { return checker_; }
+    DibaAllocator &allocator() { return diba_; }
+
+  private:
+    /** Apply one due event; returns false if skipped. */
+    bool apply(const FaultEvent &ev);
+
+    DibaAllocator &diba_;
+    Config cfg_;
+    std::vector<FaultEvent> timeline_;
+    std::size_t next_event_ = 0;
+    LossyChannel channel_;
+    InvariantChecker checker_;
+    double now_ = 0.0;
+    std::size_t applied_ = 0;
+    std::size_t skipped_ = 0;
+};
+
+} // namespace dpc
+
+#endif // DPC_FAULT_SESSION_HH

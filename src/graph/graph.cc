@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/logging.hh"
 
@@ -10,6 +11,50 @@ namespace dpc {
 Graph::Graph(std::size_t n)
     : adj_(n)
 {
+}
+
+Graph::Graph(const Graph &other)
+{
+    *this = other;
+}
+
+Graph::Graph(Graph &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+Graph &
+Graph::operator=(const Graph &other)
+{
+    if (this == &other)
+        return *this;
+    adj_ = other.adj_;
+    num_edges_ = other.num_edges_;
+    // Snapshot the source's CSR cache under its build lock so a
+    // copy taken while another thread performs the lazy build
+    // still sees either nothing or the complete view.
+    std::lock_guard<std::mutex> lock(other.csr_mutex_);
+    csr_ = other.csr_;
+    csr_valid_.store(
+        other.csr_valid_.load(std::memory_order_acquire),
+        std::memory_order_release);
+    return *this;
+}
+
+Graph &
+Graph::operator=(Graph &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    adj_ = std::move(other.adj_);
+    num_edges_ = other.num_edges_;
+    csr_ = std::move(other.csr_);
+    csr_valid_.store(
+        other.csr_valid_.load(std::memory_order_acquire),
+        std::memory_order_release);
+    other.num_edges_ = 0;
+    other.csr_valid_.store(false, std::memory_order_release);
+    return *this;
 }
 
 bool
@@ -22,7 +67,7 @@ Graph::addEdge(std::size_t u, std::size_t v)
     adj_[u].push_back(v);
     adj_[v].push_back(u);
     ++num_edges_;
-    csr_valid_ = false;
+    csr_valid_.store(false, std::memory_order_release);
     return true;
 }
 
@@ -54,7 +99,14 @@ Graph::degree(std::size_t v) const
 const GraphCsr &
 Graph::csr() const
 {
-    if (csr_valid_)
+    // Double-checked lazy build: the acquire-load fast path costs
+    // one atomic read once the view exists; a miss takes the build
+    // mutex, re-checks, and exactly one caller materializes the
+    // arrays before publishing with release order.
+    if (csr_valid_.load(std::memory_order_acquire))
+        return csr_;
+    std::lock_guard<std::mutex> lock(csr_mutex_);
+    if (csr_valid_.load(std::memory_order_relaxed))
         return csr_;
     DPC_ASSERT(adj_.size() <
                    std::numeric_limits<std::uint32_t>::max(),
@@ -69,8 +121,14 @@ Graph::csr() const
         csr_.offsets[v + 1] =
             static_cast<std::uint32_t>(csr_.neighbors.size());
     }
-    csr_valid_ = true;
+    csr_valid_.store(true, std::memory_order_release);
     return csr_;
+}
+
+void
+Graph::buildCsr() const
+{
+    (void)csr();
 }
 
 double

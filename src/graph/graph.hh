@@ -12,8 +12,10 @@
 #ifndef DPC_GRAPH_GRAPH_HH
 #define DPC_GRAPH_GRAPH_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace dpc {
@@ -47,6 +49,16 @@ class Graph
     /** Empty graph with n isolated vertices. */
     explicit Graph(std::size_t n = 0);
 
+    // The CSR cache carries a mutex (non-copyable), so the
+    // value-semantic copies/moves the topology factories rely on
+    // are spelled out: they transfer the adjacency lists and any
+    // already-built CSR view, and give the destination its own
+    // fresh synchronization state.
+    Graph(const Graph &other);
+    Graph(Graph &&other) noexcept;
+    Graph &operator=(const Graph &other);
+    Graph &operator=(Graph &&other) noexcept;
+
     /** Number of vertices. */
     std::size_t numVertices() const { return adj_.size(); }
 
@@ -70,12 +82,27 @@ class Graph
 
     /**
      * Flat CSR adjacency view, built lazily on first access and
-     * cached until the next addEdge().  Building is not
-     * thread-safe; callers that iterate the view from worker
-     * threads must touch csr() once beforehand (the allocators do
-     * this in their constructors).
+     * cached until the next addEdge().
+     *
+     * Thread-safety contract: concurrent csr() calls on a fully
+     * constructed graph are safe — the lazy build is guarded by a
+     * double-checked atomic flag plus a build mutex, so exactly
+     * one caller builds and the rest wait.  What is NOT safe is
+     * mutating the graph (addEdge) concurrently with any reader;
+     * finish construction first.  Hot paths that want the build
+     * cost out of their timed region (or out of a parallel phase
+     * entirely) call buildCsr() once up front — every allocator
+     * constructor does.
      */
     const GraphCsr &csr() const;
+
+    /**
+     * Force the CSR build now (idempotent).  Call once after
+     * construction when the view will be consumed from worker
+     * threads or inside timed regions; csr() afterwards is a pure
+     * acquire-load + return.
+     */
+    void buildCsr() const;
 
     /** Mean degree over all vertices (0 for the empty graph). */
     double averageDegree() const;
@@ -116,9 +143,13 @@ class Graph
     std::vector<std::vector<std::size_t>> adj_;
     std::size_t num_edges_ = 0;
 
-    /** Lazily built CSR mirror of adj_. */
+    /** Lazily built CSR mirror of adj_ (guarded; see csr()). */
     mutable GraphCsr csr_;
-    mutable bool csr_valid_ = false;
+    /** Publication flag for csr_: set with release order after the
+     * build completes, read with acquire order on every access. */
+    mutable std::atomic<bool> csr_valid_{false};
+    /** Serializes the one-time lazy build. */
+    mutable std::mutex csr_mutex_;
 };
 
 } // namespace dpc

@@ -71,7 +71,7 @@ PacketLevelSim::simulate(std::vector<Packet> packets,
         free_at[r] = done;
         if (ev.stage + 1 < pkt.route.size()) {
             events.push({done, ev.packet, ev.stage + 1});
-        } else {
+        } else if (pkt.counted) {
             makespan = std::max(makespan, done);
         }
     }
@@ -144,6 +144,65 @@ PacketLevelSim::dibaRoundUs(const Graph &overlay, Rng &rng) const
                              params_.read_us};
             }
             packets.push_back(std::move(p));
+        }
+    }
+    return simulate(std::move(packets), f.numResources());
+}
+
+double
+PacketLevelSim::dibaRoundLossyUs(const Graph &overlay,
+                                 double drop_rate, Rng &rng,
+                                 std::size_t max_retx) const
+{
+    const std::size_t n = overlay.numVertices();
+    DPC_ASSERT(n >= 2, "overlay too small");
+    DPC_ASSERT(drop_rate >= 0.0 && drop_rate < 1.0,
+               "drop_rate must be in [0, 1)");
+    const FabricLayout f{
+        n, (n + params_.rack_size - 1) / params_.rack_size,
+        params_.rack_size};
+
+    std::vector<Packet> packets;
+    packets.reserve(2 * overlay.numEdges());
+    for (std::size_t s = 0; s < n; ++s) {
+        for (std::size_t d : overlay.neighbors(s)) {
+            const double jitter =
+                rng.exponential(1.0 / params_.launch_jitter_us);
+            // Geometric number of attempts, capped: the last copy
+            // always counts as the delivery.  At zero loss no
+            // draw is consumed, keeping the entry bitwise
+            // equivalent to the lossless round.
+            std::size_t attempts = 1;
+            while (drop_rate > 0.0 && attempts <= max_retx &&
+                   rng.bernoulli(drop_rate))
+                ++attempts;
+            for (std::size_t a = 0; a < attempts; ++a) {
+                Packet p;
+                p.launch = jitter + static_cast<double>(a) *
+                                        params_.retx_timeout_us;
+                p.counted = a + 1 == attempts;
+                if (f.tor(s) == f.tor(d)) {
+                    p.route = {f.tx(s), f.tor(s), f.rx(d)};
+                    p.service = {params_.write_us,
+                                 params_.switch_us,
+                                 params_.read_us};
+                } else {
+                    p.route = {f.tx(s), f.tor(s), f.core(),
+                               f.tor(d), f.rx(d)};
+                    p.service = {params_.write_us,
+                                 params_.switch_us,
+                                 params_.switch_us,
+                                 params_.switch_us,
+                                 params_.read_us};
+                }
+                if (!p.counted) {
+                    // The dropped copy vanishes before the
+                    // receiver's protocol read.
+                    p.route.pop_back();
+                    p.service.pop_back();
+                }
+                packets.push_back(std::move(p));
+            }
         }
     }
     return simulate(std::move(packets), f.numResources());

@@ -52,6 +52,8 @@ class PacketLevelSim
         double launch_jitter_us = 5.0;
         /** Servers per rack (one ToR each). */
         std::size_t rack_size = 40;
+        /** Retransmission timeout for lossy rounds (us). */
+        double retx_timeout_us = 1000.0;
     };
 
     PacketLevelSim() = default;
@@ -73,6 +75,21 @@ class PacketLevelSim
      */
     double dibaRoundUs(const Graph &overlay, Rng &rng) const;
 
+    /**
+     * Lossy variant: every estimate packet is independently
+     * dropped with probability `drop_rate` somewhere before the
+     * receiver's protocol read, and the sender retransmits after
+     * `retx_timeout_us` until delivery (at most `max_retx`
+     * retries; after that the copy is counted as delivered so the
+     * makespan stays finite -- DiBA itself tolerates the residual
+     * loss, see dpc::LossyChannel).  Failed attempts still burn
+     * NIC and switch time, so loss both delays the round (timeout
+     * gaps) and congests the fabric (wasted transmissions).
+     */
+    double dibaRoundLossyUs(const Graph &overlay, double drop_rate,
+                            Rng &rng,
+                            std::size_t max_retx = 5) const;
+
     const FabricParams &params() const { return params_; }
 
   private:
@@ -82,6 +99,9 @@ class PacketLevelSim
         double launch = 0.0;
         std::vector<std::size_t> route;
         std::vector<double> service;
+        /** Dropped copies occupy resources but never complete a
+         * delivery, so they are excluded from the makespan. */
+        bool counted = true;
     };
 
     /** Run the FIFO-resource simulation; returns the makespan. */

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The stepwise IterativeAllocator protocol: a manual
+ * reset/step/converged loop must reproduce allocate() exactly for
+ * every scheme, and the Builder must assemble problems
+ * equivalently to the hand-rolled construction it replaced.
+ */
+
+#include <gtest/gtest.h>
+
+#include "alloc/centralized.hh"
+#include "alloc/diba.hh"
+#include "alloc/primal_dual.hh"
+#include "graph/topologies.hh"
+#include "tests/alloc/test_problems.hh"
+#include "workload/generator.hh"
+
+namespace dpc {
+namespace {
+
+/** Drive `alloc` by hand exactly as allocate() does. */
+AllocationResult
+manualSolve(IterativeAllocator &alloc, const AllocationProblem &prob)
+{
+    alloc.reset(prob);
+    Rng rng(0x5eed0fd1baULL);
+    while (!alloc.converged() &&
+           alloc.iterations() < alloc.maxIterations())
+        alloc.step(rng);
+    return alloc.result();
+}
+
+void
+expectIdenticalResults(const AllocationResult &a,
+                       const AllocationResult &b)
+{
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.utility, b.utility);
+    ASSERT_EQ(a.power.size(), b.power.size());
+    for (std::size_t i = 0; i < a.power.size(); ++i)
+        EXPECT_EQ(a.power[i], b.power[i]) << "at node " << i;
+}
+
+TEST(IterativeAllocatorTest, DibaStepLoopMatchesAllocate)
+{
+    const auto prob = test::npbProblem(40, 170.0, 71);
+    DibaAllocator manual(makeRing(40));
+    DibaAllocator oneshot(makeRing(40));
+    expectIdenticalResults(manualSolve(manual, prob),
+                           oneshot.allocate(prob));
+}
+
+TEST(IterativeAllocatorTest, PrimalDualStepLoopMatchesAllocate)
+{
+    const auto prob = test::npbProblem(40, 170.0, 72);
+    PrimalDualAllocator manual;
+    PrimalDualAllocator oneshot;
+    expectIdenticalResults(manualSolve(manual, prob),
+                           oneshot.allocate(prob));
+}
+
+TEST(IterativeAllocatorTest, CentralizedStepLoopMatchesAllocate)
+{
+    const auto prob = test::npbProblem(40, 170.0, 73);
+    CentralizedAllocator manual;
+    CentralizedAllocator oneshot;
+    expectIdenticalResults(manualSolve(manual, prob),
+                           oneshot.allocate(prob));
+}
+
+TEST(IterativeAllocatorTest, StepAfterConvergenceIsANoOp)
+{
+    const auto prob = test::npbProblem(24, 170.0, 74);
+    CentralizedAllocator alloc;
+    alloc.allocate(prob);
+    ASSERT_TRUE(alloc.converged());
+    const auto before = alloc.result();
+    Rng rng(1);
+    EXPECT_EQ(alloc.step(rng), 0.0);
+    expectIdenticalResults(before, alloc.result());
+}
+
+TEST(IterativeAllocatorTest, ResultSnapshotsMidRun)
+{
+    const auto prob = test::npbProblem(24, 170.0, 75);
+    PrimalDualAllocator pd;
+    pd.reset(prob);
+    Rng rng(2);
+    for (int it = 0; it < 5 && !pd.converged(); ++it)
+        pd.step(rng);
+    const auto res = pd.result();
+    EXPECT_EQ(res.iterations, pd.iterations());
+    EXPECT_EQ(res.power.size(), prob.size());
+    // The mid-run snapshot is already feasible (projected).
+    EXPECT_LE(res.totalPower(), prob.budget + 1e-6);
+}
+
+TEST(IterativeAllocatorTest, DefaultSetBudgetRestartsScheme)
+{
+    const auto prob = test::npbProblem(16, 170.0, 76);
+    CentralizedAllocator alloc;
+    alloc.allocate(prob);
+    ASSERT_GT(alloc.iterations(), 0u);
+    alloc.setBudget(prob.budget * 0.9);
+    EXPECT_DOUBLE_EQ(alloc.problem().budget, prob.budget * 0.9);
+    EXPECT_EQ(alloc.iterations(), 0u); // cold restart
+    EXPECT_FALSE(alloc.converged());
+}
+
+TEST(IterativeAllocatorTest, ProblemAccessorTracksReset)
+{
+    const auto prob = test::tinyProblem();
+    CentralizedAllocator alloc;
+    alloc.reset(prob);
+    EXPECT_EQ(alloc.problem().size(), 2u);
+    EXPECT_DOUBLE_EQ(alloc.problem().budget, 310.0);
+}
+
+TEST(BuilderTest, BudgetPerNodeResolvesAgainstFinalCount)
+{
+    const auto prob = AllocationProblem::Builder()
+                          .npbCluster(8, 5)
+                          .budgetPerNode(170.0)
+                          .build();
+    EXPECT_EQ(prob.size(), 8u);
+    EXPECT_DOUBLE_EQ(prob.budget, 8 * 170.0);
+}
+
+TEST(BuilderTest, NpbClusterMatchesHandRolledGeneration)
+{
+    const auto built = AllocationProblem::Builder()
+                           .npbCluster(16, 99)
+                           .budget(2700.0)
+                           .build();
+    Rng rng(99);
+    const auto hand = utilitiesOf(drawNpbAssignment(16, rng));
+    ASSERT_EQ(built.utilities.size(), hand.size());
+    for (std::size_t i = 0; i < hand.size(); ++i) {
+        EXPECT_EQ(built.utilities[i]->minPower(),
+                  hand[i]->minPower());
+        EXPECT_EQ(built.utilities[i]->maxPower(),
+                  hand[i]->maxPower());
+        const double mid = 0.5 * (hand[i]->minPower() +
+                                  hand[i]->maxPower());
+        EXPECT_EQ(built.utilities[i]->value(mid),
+                  hand[i]->value(mid));
+    }
+}
+
+TEST(BuilderTest, MixedSourcesCompose)
+{
+    const auto prob = AllocationProblem::Builder()
+                          .quadratic(0.4, 0.2, 100.0, 200.0)
+                          .npbCluster(4, 1)
+                          .budgetPerNode(180.0)
+                          .build();
+    EXPECT_EQ(prob.size(), 5u);
+    EXPECT_DOUBLE_EQ(prob.budget, 5 * 180.0);
+}
+
+TEST(BuilderTest, BudgetFormsAreMutuallyExclusive)
+{
+    EXPECT_DEATH(AllocationProblem::Builder()
+                     .budget(100.0)
+                     .budgetPerNode(10.0),
+                 "alternatives");
+    EXPECT_DEATH(AllocationProblem::Builder()
+                     .budgetPerNode(10.0)
+                     .budget(100.0),
+                 "alternatives");
+}
+
+TEST(BuilderTest, BuildSkipsFeasibilityValidation)
+{
+    // Deliberately infeasible: allocators reject it at reset(),
+    // but the builder itself must not.
+    const auto prob = AllocationProblem::Builder()
+                          .quadratic(0.4, 0.2, 100.0, 200.0)
+                          .budget(50.0)
+                          .build();
+    EXPECT_FALSE(prob.isFeasible());
+    CentralizedAllocator alloc;
+    EXPECT_DEATH(alloc.reset(prob), "infeasible");
+}
+
+} // namespace
+} // namespace dpc

@@ -16,25 +16,22 @@ namespace test {
 inline AllocationProblem
 npbProblem(std::size_t n, double watts_per_node, std::uint64_t seed)
 {
-    Rng rng(seed);
-    AllocationProblem prob;
-    prob.utilities = utilitiesOf(drawNpbAssignment(n, rng));
-    prob.budget = watts_per_node * static_cast<double>(n);
-    return prob;
+    return AllocationProblem::Builder()
+        .npbCluster(n, seed)
+        .budgetPerNode(watts_per_node)
+        .build();
 }
 
 /** Tiny fixed problem with hand-checkable structure. */
 inline AllocationProblem
 tinyProblem()
 {
-    AllocationProblem prob;
     // A compute-bound and a memory-bound server.
-    prob.utilities.push_back(std::make_shared<QuadraticUtility>(
-        QuadraticUtility::fromShape(0.4, 0.2, 100.0, 200.0)));
-    prob.utilities.push_back(std::make_shared<QuadraticUtility>(
-        QuadraticUtility::fromShape(0.9, 0.9, 100.0, 200.0)));
-    prob.budget = 310.0;
-    return prob;
+    return AllocationProblem::Builder()
+        .quadratic(0.4, 0.2, 100.0, 200.0)
+        .quadratic(0.9, 0.9, 100.0, 200.0)
+        .budget(310.0)
+        .build();
 }
 
 } // namespace test

@@ -76,6 +76,45 @@ TEST(PacketSimTest, CoordinatorVsDibaAtScale)
     EXPECT_GT(coord, 100.0 * diba);
 }
 
+TEST(PacketSimTest, ZeroLossRoundMatchesLosslessPath)
+{
+    PacketLevelSim sim(quietParams());
+    Rng rng1(10), rng2(10);
+    const double plain = sim.dibaRoundUs(makeRing(200), rng1);
+    const double lossy =
+        sim.dibaRoundLossyUs(makeRing(200), 0.0, rng2);
+    // At zero drop rate neither attempts-loop draws, so the two
+    // entry points consume identical randomness.
+    EXPECT_DOUBLE_EQ(plain, lossy);
+}
+
+TEST(PacketSimTest, LossStretchesTheRoundByRetransmissions)
+{
+    PacketLevelSim sim(quietParams());
+    Rng rng1(11), rng2(12);
+    const double clean =
+        sim.dibaRoundLossyUs(makeRing(400), 0.0, rng1);
+    const double lossy =
+        sim.dibaRoundLossyUs(makeRing(400), 0.3, rng2);
+    // With 800 packets at 30% loss, some retransmission (default
+    // timeout 1000 us) is all but certain, and each one pushes the
+    // makespan past a full timeout window.
+    EXPECT_GT(lossy, clean + 900.0);
+    // Bounded retries keep it finite and within a few windows.
+    EXPECT_LT(lossy, clean + 6 * 1000.0 + 1000.0);
+}
+
+TEST(PacketSimTest, LossyRoundIsSeedDeterministic)
+{
+    PacketLevelSim sim(quietParams());
+    Rng rng1(13), rng2(13);
+    const double a =
+        sim.dibaRoundLossyUs(makeRing(200), 0.2, rng1);
+    const double b =
+        sim.dibaRoundLossyUs(makeRing(200), 0.2, rng2);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
 TEST(PacketSimTest, JitterChangesButDoesNotExplodeMakespan)
 {
     PacketLevelSim::FabricParams p;

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Build the full test suite under AddressSanitizer and run it.
+# The fault-injection subsystem moves slack and history buffers
+# around on churn events (failNode/joinNode recycle estimate
+# snapshots, the lossy channel grows per-edge burst state lazily),
+# so an ASan pass over the whole suite is the memory-safety
+# counterpart to tools/run_ctest_tsan.sh's determinism evidence.
+#
+# Usage: tools/run_ctest_asan.sh [build-dir]   (default: build-asan)
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build-asan"}
+
+cmake -S "$repo" -B "$build" -DDPC_SANITIZE=address \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      ${DPC_CMAKE_ARGS:-}
+cmake --build "$build" -j"$(nproc)"
+
+ASAN_OPTIONS=${ASAN_OPTIONS:-"halt_on_error=1:detect_leaks=1"} \
+    ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
