@@ -7,11 +7,18 @@
 #ifndef DPC_BENCH_COMMON_HH
 #define DPC_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <chrono>
+#include <limits>
 #include <cstdio>
 #include <iostream>
 #include <map>
 #include <string>
 #include <tuple>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "alloc/diba.hh"
 #include "alloc/kkt.hh"
@@ -20,6 +27,7 @@
 #include "alloc/uniform.hh"
 #include "graph/topologies.hh"
 #include "metrics/performance.hh"
+#include "tools/bench_json.hh"
 #include "util/table.hh"
 #include "workload/generator.hh"
 
@@ -108,6 +116,79 @@ pdIterationsToFraction(const AllocationProblem &prob,
             return i + 1;
     }
     return trace.size();
+}
+
+/**
+ * Wall-clock timing of a batch of synchronized rounds, in the two
+ * normalizations every perf record uses: ms per round and ns per
+ * node-round (the flat-with-N quantity Table 4.2 tracks).
+ */
+struct RoundTiming
+{
+    double ms_per_round = 0.0;
+    double ns_per_node = 0.0;
+    std::size_t rounds = 0;
+};
+
+/**
+ * Time `rounds` calls of `step` over an n-node engine, best of
+ * `trials` batches.  The minimum is the right estimator for a
+ * deterministic hot loop: every source of error (scheduler
+ * preemption, frequency dips, cache pollution from neighbors) only
+ * ever adds time, so the fastest batch is the closest observation
+ * of the true cost — and it is what keeps run-to-run jitter inside
+ * the regression gate's threshold (tools/bench_compare.py).
+ */
+template <typename Step>
+inline RoundTiming
+timeRounds(std::size_t n, std::size_t rounds, Step &&step,
+           std::size_t trials = 9)
+{
+    double best_ms = std::numeric_limits<double>::infinity();
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < rounds; ++r)
+            step();
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count() /
+            static_cast<double>(rounds);
+        best_ms = std::min(best_ms, ms);
+    }
+    RoundTiming t;
+    t.ms_per_round = best_ms;
+    t.ns_per_node = 1e6 * best_ms / static_cast<double>(n);
+    t.rounds = rounds * trials;
+    return t;
+}
+
+/** Peak resident set of this process in MiB (0 if unavailable). */
+inline double
+peakRssMb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage ru;
+    if (getrusage(RUSAGE_SELF, &ru) == 0) {
+#if defined(__APPLE__)
+        return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+        return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+    }
+#endif
+    return 0.0;
+}
+
+/** Standard perf fields every timing record carries, so the JSON
+ * trajectories stay comparable across benches and sessions. */
+inline tools::JsonRecord &
+addTimingFields(tools::JsonRecord &rec, const RoundTiming &t)
+{
+    return rec.field("rounds", t.rounds)
+        .field("ms_per_round", t.ms_per_round)
+        .field("ns_per_node", t.ns_per_node)
+        .field("peak_rss_mb", peakRssMb());
 }
 
 /** SNP of an allocation under the problem's utilities. */

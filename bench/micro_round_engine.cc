@@ -12,7 +12,9 @@
  *   parallel:  soa + the static-chunked ThreadPool with one chunk
  *              per hardware thread.
  *
- * plus the primal-dual best-response sweep reusing the same pool.
+ * plus steady-state rounds (dense vs. active-set frontier), the
+ * batched replica engine, and the primal-dual best-response sweep
+ * reusing the same pool.
  * The serial/parallel DiBA rounds are bitwise-identical by
  * construction (see DESIGN.md "Round engine"), so these measure
  * the same computation.  Problems come from the shared cache so
@@ -23,6 +25,7 @@
 
 #include "alloc/diba.hh"
 #include "alloc/primal_dual.hh"
+#include "alloc/replica_batch.hh"
 #include "bench/common.hh"
 #include "util/thread_pool.hh"
 
@@ -78,6 +81,88 @@ BM_RoundSoaParallel(benchmark::State &state)
     roundBench(state, /*soa=*/true, ThreadPool::hardwareChunks());
 }
 
+/**
+ * Steady-state round cost: the engine first converges, then the
+ * timed region measures the per-round cost of holding the
+ * converged allocation.  This is where the active-set engine earns
+ * its keep -- the control loop spends most of its life converged,
+ * re-running rounds only to track small drifts, and the dense
+ * engine pays the full O(N + E) sweep for every one of them while
+ * the sparse engine touches only the (empty or tiny) frontier.
+ */
+void
+steadyBench(benchmark::State &state, double active_threshold)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto &prob = bench::cachedNpbProblem(n, kWattsPerNode,
+                                               kSeed);
+    DibaAllocator::Config cfg;
+    cfg.active_threshold = active_threshold;
+    DibaAllocator diba(makeRing(n), cfg);
+    Rng rng(1);
+    diba.reset(prob);
+    for (std::size_t r = 0; r < 200000 && !diba.converged(); ++r)
+        diba.step(rng);
+    // Residuals keep a long sub-tolerance tail after the stopping
+    // rule fires; drain it so the timed region measures the truly
+    // quiesced regime (empty frontier for the active engine).
+    if (active_threshold >= 0.0) {
+        for (std::size_t r = 0;
+             r < 200000 && diba.frontierHotCount() > 0; ++r)
+            diba.iterate();
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(diba.iterate());
+    state.SetLabel(bench::problemLabel(n, kWattsPerNode, kSeed));
+    state.counters["node_ns"] = benchmark::Counter(
+        static_cast<double>(n),
+        benchmark::Counter::kIsIterationInvariantRate |
+            benchmark::Counter::kInvert);
+    state.SetComplexityN(state.range(0));
+}
+
+void
+BM_RoundDenseSteady(benchmark::State &state)
+{
+    steadyBench(state, /*active_threshold=*/-1.0);
+}
+
+void
+BM_RoundActiveSteady(benchmark::State &state)
+{
+    // Quiesced nodes leave the frontier once their residual falls
+    // under a quarter of the convergence tolerance; at steady state
+    // the frontier is empty and a round costs O(1).
+    DibaAllocator::Config probe;
+    steadyBench(state, 0.25 * probe.tolerance);
+}
+
+/**
+ * Batched replicas vs. one-at-a-time: R lockstep lanes through
+ * ReplicaBatch, timed per round; node_ns is normalized per LANE
+ * per node, so it is directly comparable to BM_RoundSoa (one lane
+ * through the standalone engine).
+ */
+void
+BM_ReplicaBatchRound(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto R = static_cast<std::size_t>(state.range(1));
+    const auto &prob = bench::cachedNpbProblem(n, kWattsPerNode,
+                                               kSeed);
+    std::vector<ReplicaSpec> specs(R);
+    for (std::size_t r = 0; r < R; ++r)
+        specs[r].seed = r + 1;
+    ReplicaBatch batch(makeRing(n), prob, specs);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(batch.stepAll());
+    state.SetLabel(bench::problemLabel(n, kWattsPerNode, kSeed));
+    state.counters["lane_node_ns"] = benchmark::Counter(
+        static_cast<double>(n * R),
+        benchmark::Counter::kIsIterationInvariantRate |
+            benchmark::Counter::kInvert);
+}
+
 void
 BM_PdSolve(benchmark::State &state)
 {
@@ -114,6 +199,12 @@ BENCHMARK(BM_RoundSoaParallel)
     ->Arg(6400)
     ->Arg(25600)
     ->Complexity();
+BENCHMARK(BM_RoundDenseSteady)->Arg(1600)->Arg(6400)->Arg(25600);
+BENCHMARK(BM_RoundActiveSteady)->Arg(1600)->Arg(6400)->Arg(25600);
+BENCHMARK(BM_ReplicaBatchRound)
+    ->Args({1600, 1})
+    ->Args({1600, 8})
+    ->Args({6400, 8});
 BENCHMARK(BM_PdSolve)
     ->Args({6400, 0})
     ->Args({6400, static_cast<long>(ThreadPool::hardwareChunks())});

@@ -11,59 +11,24 @@
 
 namespace dpc {
 
+/** Flatten the hot-loop Config subset for the shared kernels. */
+RoundKernelParams
+kernelParamsOf(const DibaAllocator::Config &cfg)
+{
+    RoundKernelParams k;
+    k.damping = cfg.damping;
+    k.max_move = cfg.max_move;
+    k.barrier_keep = cfg.barrier_keep;
+    k.anneal_gate = cfg.anneal_gate;
+    k.reheat_gate = cfg.reheat_gate;
+    k.eta_floor = cfg.eta;
+    k.eta_initial = cfg.eta_initial;
+    k.eta_decay = cfg.eta_decay;
+    k.eta_reheat = cfg.eta_reheat;
+    return k;
+}
+
 namespace {
-
-/** Numerical floor keeping the barrier defined in transients. */
-constexpr double kBarrierFloor = 1e-9;
-
-/**
- * Target slack restored by an emergency shed: a node holding
- * non-negative debt drops its cap until e_i <= -kShedFloor (box
- * permitting).  Shared by emergencyShed() and the in-round safety
- * action of the local steps.
- */
-constexpr double kShedFloor = 1e-2;
-
-/**
- * Power-capping safety action inside the local controller: with
- * e >= 0 the barrier is undefined and the quasi-Newton step
- * degenerates to an O(kBarrierFloor) move, so shed directly down
- * to -kShedFloor instead.  Debt parked on floor-clamped nodes can
- * reach a node with headroom only via diffusion (one hop per
- * round); this absorbs it the moment it arrives.
- */
-inline double
-emergencyShedStep(double &p, double &e, double p_min)
-{
-    const double want = e + kShedFloor;
-    const double can = p - p_min;
-    const double shed = std::max(0.0, std::min(want, can));
-    p -= shed;
-    e -= shed;
-    return -shed;
-}
-
-/**
- * Barrier gradient step arithmetic for one quadratic node (the
- * devirtualized core shared by localStepQuad and the dense fused
- * kernel): gradient b + 2cp + eta/e, exact curvature 2|c| plus the
- * barrier term, then the usual backtracking into the action
- * space.  One reciprocal serves both barrier terms.
- */
-inline double
-quadStepDp(double p, double e, double eta, double b, double c,
-           double lo, double hi, const DibaAllocator::Config &cfg)
-{
-    const double e_eff = std::min(e, -kBarrierFloor);
-    const double inv = 1.0 / e_eff;
-    const double grad = b + 2.0 * c * p + eta * inv;
-    const double curv = eta * inv * inv + 2.0 * std::fabs(c);
-    double dp = cfg.damping * grad / std::max(curv, 1e-12);
-    dp = std::clamp(dp, -cfg.max_move, cfg.max_move);
-    if (dp > 0.0)
-        dp = std::min(dp, (cfg.barrier_keep - 1.0) * e);
-    return std::clamp(dp, lo - p, hi - p);
-}
 
 /** Pack an undirected edge (u < v) into one 64-bit map key. */
 inline std::uint64_t
@@ -81,7 +46,8 @@ DibaAllocator::DibaAllocator(Graph topology)
 }
 
 DibaAllocator::DibaAllocator(Graph topology, Config cfg)
-    : topo_(std::move(topology)), cfg_(cfg)
+    : topo_(std::move(topology)), cfg_(cfg),
+      kp_(kernelParamsOf(cfg))
 {
     for (std::size_t v = 0; v < topo_.numVertices(); ++v)
         for (std::size_t w : topo_.neighbors(v))
@@ -103,7 +69,7 @@ DibaAllocator::DibaAllocator(Graph topology, Config cfg)
         }
     }
     if (cfg_.num_threads >= 1)
-        pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
+        pool_ = ThreadPool::acquire(cfg_.num_threads);
     DPC_ASSERT(topo_.numVertices() >= 2,
                "DiBA needs at least two nodes");
     DPC_ASSERT(topo_.isConnected(),
@@ -137,6 +103,9 @@ DibaAllocator::doReset()
     eta_now_.assign(prob.size(), cfg_.eta_initial);
     active_.assign(prob.size(), 1);
     num_active_ = prob.size();
+    frontier_.reset(prob.size());
+    e_pre_.assign(prob.size(), 0.0);
+    next_hot_.assign(prob.size(), 1);
     // Fault state does not survive a reset: every node rejoins,
     // every link heals, the staleness history restarts empty.
     edge_enabled_.assign(all_edges_.size(), 1);
@@ -218,6 +187,9 @@ DibaAllocator::iterate()
     const std::size_t n = p_.size();
     DPC_ASSERT(n > 0, "iterate() before reset()");
 
+    if (sparseEngineActive())
+        return iterateSparse();
+
     // Phase 1 (neighbour exchange) and phase 2 (local barrier-
     // gradient steps + the local annealing decision: a quiescent
     // node tightens its barrier toward the floor, a node still
@@ -282,13 +254,7 @@ DibaAllocator::stepRange(std::size_t begin, std::size_t end)
 void
 DibaAllocator::annealNode(std::size_t i, double moved)
 {
-    if (moved < cfg_.anneal_gate) {
-        eta_now_[i] =
-            std::max(cfg_.eta, eta_now_[i] * cfg_.eta_decay);
-    } else if (moved > cfg_.reheat_gate) {
-        eta_now_[i] = std::min(cfg_.eta_initial,
-                               eta_now_[i] * cfg_.eta_reheat);
-    }
+    eta_now_[i] = annealEta(eta_now_[i], moved, kp_);
 }
 
 double
@@ -307,6 +273,8 @@ DibaAllocator::gossipTick(Rng &rng)
     const double mean_e = 0.5 * (e_[u] + e_[v]);
     e_[u] = mean_e;
     e_[v] = mean_e;
+    frontier_.reheat(u);
+    frontier_.reheat(v);
     double max_dp = 0.0;
     for (std::size_t i : {u, v}) {
         const double dp = std::fabs(stepNode(i));
@@ -330,8 +298,10 @@ DibaAllocator::failNode(std::size_t i)
     rebuildLiveEdges();
     // Staleness never spans a membership change: lagged snapshots
     // taken before the event are inconsistent with the post-event
-    // bookkeeping, so the history restarts.
+    // bookkeeping, so the history restarts.  Churn moves slack to
+    // an unknown reach, so the whole frontier reheats.
     hist_.clear();
+    frontier_.reheatAll();
     quiet_ = 0;
     if (!activeSubgraphConnected()) {
         // Survivors split into components.  Every component keeps
@@ -455,12 +425,12 @@ DibaAllocator::localStepQuad(std::size_t i)
     // the gradient b + 2cp is computed inline and the exact
     // curvature |r''| = 2|c| replaces the two-point finite
     // difference (for a quadratic they agree to rounding error).
+    // quadNodeDp folds the e >= 0 emergency shed into the same
+    // branchless select the block kernels blend on.
     const double p = p_[i];
-    if (e_[i] >= 0.0)
-        return emergencyShedStep(p_[i], e_[i], qmin_[i]);
     const double dp =
-        quadStepDp(p, e_[i], eta_now_[i], qb_[i], qc_[i], qmin_[i],
-                   qmax_[i], cfg_);
+        quadNodeDp(p, e_[i], eta_now_[i], qb_[i], qc_[i], qmin_[i],
+                   qmax_[i], kp_);
     p_[i] = p + dp;
     e_[i] += dp;
     return dp;
@@ -507,59 +477,158 @@ DibaAllocator::roundRangeQuadDense(std::size_t begin,
 {
     // Fused diffuse + step + anneal with no participation checks:
     // the all-active, all-quadratic configuration every large-scale
-    // experiment runs in.  Raw pointers keep the indexed loads out
-    // of the vector wrappers on the hot path.
+    // experiment runs in.  Runs block-wise in two passes: pass 1
+    // gathers the CSR diffusion into e_ (irregular, stays scalar),
+    // pass 2 hands the block's seven contiguous streams to
+    // stepBlockQuad, whose branchless body the compiler (or the
+    // DPC_AVX2 intrinsics path) vectorizes.  Per-node arithmetic is
+    // unchanged -- e_now round-trips through e_[i] instead of a
+    // register, which is exact -- so the restructuring is bitwise
+    // invisible.  Blocks are L1-resident so pass 2 rereads warm
+    // lines; raw restrict pointers keep the indexed loads out of
+    // the vector wrappers and promise the compiler the streams
+    // never alias.
     const GraphCsr &g = topo_.csr();
-    const std::uint32_t *offs = g.offsets.data();
-    const std::uint32_t *nbr = g.neighbors.data();
-    const double *w = w_.data();
-    const double *snap = e_snapshot_.data();
-    double *p = p_.data();
-    double *e = e_.data();
-    double *eta = eta_now_.data();
+    const std::uint32_t *DPC_RESTRICT offs = g.offsets.data();
+    const std::uint32_t *DPC_RESTRICT nbr = g.neighbors.data();
+    const double *DPC_RESTRICT w = w_.data();
+    const double *DPC_RESTRICT snap = e_snapshot_.data();
+    double *DPC_RESTRICT p = p_.data();
+    double *DPC_RESTRICT e = e_.data();
+    double *DPC_RESTRICT eta = eta_now_.data();
+    const double *DPC_RESTRICT qb = qb_.data();
+    const double *DPC_RESTRICT qc = qc_.data();
+    const double *DPC_RESTRICT qlo = qmin_.data();
+    const double *DPC_RESTRICT qhi = qmax_.data();
     const bool gated = cfg_.deadband > 0.0;
+    constexpr std::size_t kBlock = 512;
     double max_dp = 0.0;
-    for (std::size_t i = begin; i < end; ++i) {
-        const double ei = snap[i];
-        double acc = 0.0;
-        const std::uint32_t hi = offs[i + 1];
+    for (std::size_t b0 = begin; b0 < end; b0 += kBlock) {
+        const std::size_t b1 = std::min(end, b0 + kBlock);
         if (gated) {
-            for (std::uint32_t k = offs[i]; k < hi; ++k) {
-                const double ej = snap[nbr[k]];
-                const double gap = ej - ei;
-                const double gate =
-                    cfg_.deadband *
-                    std::max(std::fabs(ei), std::fabs(ej));
-                if (std::fabs(gap) <= gate)
-                    continue;
-                acc += w[k] * gap;
+            for (std::size_t i = b0; i < b1; ++i) {
+                const double ei = snap[i];
+                double acc = 0.0;
+                const std::uint32_t khi = offs[i + 1];
+                for (std::uint32_t k = offs[i]; k < khi; ++k) {
+                    const double ej = snap[nbr[k]];
+                    const double gap = ej - ei;
+                    const double gate =
+                        cfg_.deadband *
+                        std::max(std::fabs(ei), std::fabs(ej));
+                    if (std::fabs(gap) <= gate)
+                        continue;
+                    acc += w[k] * gap;
+                }
+                e[i] = ei + acc;
             }
         } else {
-            for (std::uint32_t k = offs[i]; k < hi; ++k)
-                acc += w[k] * (snap[nbr[k]] - ei);
+            for (std::size_t i = b0; i < b1; ++i) {
+                const double ei = snap[i];
+                double acc = 0.0;
+                const std::uint32_t khi = offs[i + 1];
+                for (std::uint32_t k = offs[i]; k < khi; ++k)
+                    acc += w[k] * (snap[nbr[k]] - ei);
+                e[i] = ei + acc;
+            }
+        }
+        max_dp = std::max(
+            max_dp,
+            stepBlockQuad(b1 - b0, p + b0, e + b0, eta + b0,
+                          qb + b0, qc + b0, qlo + b0, qhi + b0,
+                          kp_));
+    }
+    return max_dp;
+}
+
+double
+DibaAllocator::iterateSparse()
+{
+    // Active-set round: only frontier ∪ N(frontier) does any
+    // gossip or gradient work.  The hot mask stays frozen while
+    // the sweep runs (verdicts go to next_hot_ and are committed
+    // after), so every participant sees the same pair-activity
+    // decisions; the participant list is ascending, so the sweep
+    // order -- and with it the bitwise trajectory -- does not
+    // depend on how the frontier grew.  e_ stays authoritative:
+    // non-participants are untouched, participants' pre-round
+    // estimates are staged into e_pre_ (the sparse analogue of the
+    // dense engine's snapshot swap, O(participants) instead of
+    // O(n)).
+    const GraphCsr &g = topo_.csr();
+    const auto &parts = frontier_.buildParticipants(g);
+    if (parts.empty())
+        return 0.0;
+    const std::uint32_t *pv = parts.data();
+    const std::size_t m = parts.size();
+    for (std::size_t idx = 0; idx < m; ++idx)
+        e_pre_[pv[idx]] = e_[pv[idx]];
+    double max_dp = 0.0;
+    if (!pool_) {
+        max_dp = roundSparseRange(pv, 0, m);
+    } else {
+        const std::size_t chunks = pool_->numChunks();
+        chunk_max_.assign(chunks, 0.0);
+        pool_->parallelFor(
+            m, [this, pv](std::size_t c, std::size_t b,
+                          std::size_t e) {
+                chunk_max_[c] = roundSparseRange(pv, b, e);
+            });
+        for (double v : chunk_max_)
+            max_dp = std::max(max_dp, v);
+    }
+    for (std::size_t idx = 0; idx < m; ++idx)
+        frontier_.setHot(pv[idx], next_hot_[pv[idx]] != 0);
+    return max_dp;
+}
+
+double
+DibaAllocator::roundSparseRange(const std::uint32_t *parts,
+                                std::size_t begin, std::size_t end)
+{
+    // Per participant: gossip restricted to pairs with a hot
+    // endpoint (symmetric rule -> the two halves of a skipped pair
+    // are skipped together and conservation is exact), then the
+    // same fused quadNodeDp step + anneal as the dense kernel.
+    // With active_threshold == 0 every node is hot, every pair is
+    // active, and the arithmetic reduces slot for slot to the
+    // dense sweep -- the bitwise identity the tests pin.  The
+    // residual driving next round's membership is non-strict
+    // (>= threshold) for exactly that reason.
+    const GraphCsr &g = topo_.csr();
+    const std::uint32_t *DPC_RESTRICT offs = g.offsets.data();
+    const std::uint32_t *DPC_RESTRICT nbr = g.neighbors.data();
+    const double *DPC_RESTRICT w = w_.data();
+    const double *DPC_RESTRICT pre = e_pre_.data();
+    const std::uint8_t *DPC_RESTRICT hot = frontier_.mask().data();
+    double *DPC_RESTRICT p = p_.data();
+    double *DPC_RESTRICT e = e_.data();
+    double *DPC_RESTRICT eta = eta_now_.data();
+    const double thr = cfg_.active_threshold;
+    double max_dp = 0.0;
+    for (std::size_t idx = begin; idx < end; ++idx) {
+        const std::uint32_t i = parts[idx];
+        const double ei = pre[i];
+        const bool ih = hot[i] != 0;
+        double acc = 0.0;
+        const std::uint32_t khi = offs[i + 1];
+        for (std::uint32_t k = offs[i]; k < khi; ++k) {
+            const std::uint32_t j = nbr[k];
+            if (ih || hot[j])
+                acc += w[k] * (pre[j] - ei);
         }
         const double e_now = ei + acc;
         const double p_now = p[i];
-        double dp;
-        if (e_now >= 0.0) {
-            double pp = p_now, ee = e_now;
-            dp = emergencyShedStep(pp, ee, qmin_[i]);
-            p[i] = pp;
-            e[i] = ee;
-        } else {
-            dp = quadStepDp(p_now, e_now, eta[i], qb_[i], qc_[i],
-                            qmin_[i], qmax_[i], cfg_);
-            p[i] = p_now + dp;
-            e[i] = e_now + dp;
-        }
+        const double dp =
+            quadNodeDp(p_now, e_now, eta[i], qb_[i], qc_[i],
+                       qmin_[i], qmax_[i], kp_);
+        p[i] = p_now + dp;
+        e[i] = e_now + dp;
         const double moved = std::fabs(dp);
         max_dp = std::max(max_dp, moved);
-        // annealNode(), inlined on the local annealing state.
-        if (moved < cfg_.anneal_gate)
-            eta[i] = std::max(cfg_.eta, eta[i] * cfg_.eta_decay);
-        else if (moved > cfg_.reheat_gate)
-            eta[i] = std::min(cfg_.eta_initial,
-                              eta[i] * cfg_.eta_reheat);
+        eta[i] = annealEta(eta[i], moved, kp_);
+        const double resid = std::max(moved, std::fabs(acc));
+        next_hot_[i] = resid >= thr ? 1 : 0;
     }
     return max_dp;
 }
@@ -660,6 +729,123 @@ DibaAllocator::emergencyShed()
     shedPass();
 }
 
+double
+DibaAllocator::placeBudgetDelta(double delta)
+{
+    const std::size_t n = p_.size();
+    // KKT water-level direction: a budget shift moves every
+    // interior node's optimum by -d(lambda)/c_i, so the delta
+    // splits proportionally to 1/c_i.  Nodes without a quadratic
+    // utility take a uniform share.
+    std::vector<double> w(n, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto *q = dynamic_cast<const QuadraticUtility *>(
+            u_[i].get());
+        if (q != nullptr && q->coeffC() > 0.0)
+            w[i] = 1.0 / q->coeffC();
+    }
+    // Waterfill: distribute the remainder over the nodes that have
+    // not yet hit a box, re-spreading whatever the clamps ate.
+    // Placement magnitude only ever shrinks under clamping, so the
+    // remainder keeps its sign and the loop is monotone.
+    std::vector<std::uint8_t> open(n, 1);
+    double remaining = delta;
+    const double eps = 1e-12 * (1.0 + std::fabs(delta));
+    for (int pass = 0; pass < 32 && std::fabs(remaining) > eps;
+         ++pass) {
+        double wsum = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            if (open[i] && active_[i])
+                wsum += w[i];
+        if (wsum <= 0.0)
+            break;
+        double placed = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!open[i] || !active_[i])
+                continue;
+            const double want = remaining * w[i] / wsum;
+            const double np = u_[i]->clampPower(p_[i] + want);
+            const double got = np - p_[i];
+            p_[i] = np;
+            placed += got;
+            if (std::fabs(got - want) > 0.0)
+                open[i] = 0; // box-saturated for this direction
+        }
+        remaining -= placed;
+        if (placed == 0.0)
+            break;
+    }
+    return remaining;
+}
+
+bool
+DibaAllocator::seedBarrierEquilibrium(double new_budget)
+{
+    const std::size_t n = p_.size();
+    std::vector<double> b(n), c(n), lo(n), hi(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto *q = dynamic_cast<const QuadraticUtility *>(
+            u_[i].get());
+        if (q == nullptr)
+            return false;
+        b[i] = q->coeffB();
+        c[i] = q->coeffC();
+        lo[i] = q->minPower();
+        hi[i] = q->maxPower();
+    }
+    const double eta = cfg_.eta;
+    // Power demanded at water level lambda: marginals b + 2cp pin
+    // at lambda, clamped into the boxes (c == 0 degenerates to an
+    // all-or-nothing step at lambda == b).
+    const auto demand = [&](double lambda) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double p = c[i] < 0.0
+                           ? (lambda - b[i]) / (2.0 * c[i])
+                           : (lambda < b[i] ? hi[i] : lo[i]);
+            total += std::clamp(p, lo[i], hi[i]);
+        }
+        return total;
+    };
+    // f(lambda) = demand - P + n eta/lambda is strictly decreasing
+    // with f(0+) = +inf and f(inf) = sum(lo) - P < 0 (the budget
+    // exceeds the total power floor), so the root is unique.
+    const auto f = [&](double lambda) {
+        return demand(lambda) - new_budget +
+               static_cast<double>(n) * eta / lambda;
+    };
+    double lam_lo = 1e-12;
+    double lam_hi = 1.0;
+    int guard = 0;
+    while (f(lam_hi) > 0.0 && guard++ < 128)
+        lam_hi *= 2.0;
+    if (guard >= 128)
+        return false;
+    for (int it = 0; it < 200; ++it) {
+        const double mid = 0.5 * (lam_lo + lam_hi);
+        if (mid == lam_lo || mid == lam_hi)
+            break;
+        (f(mid) > 0.0 ? lam_lo : lam_hi) = mid;
+    }
+    const double lambda = 0.5 * (lam_lo + lam_hi);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double p = c[i] < 0.0 ? (lambda - b[i]) / (2.0 * c[i])
+                              : (lambda < b[i] ? hi[i] : lo[i]);
+        p_[i] = std::clamp(p, lo[i], hi[i]);
+        total += p_[i];
+    }
+    // The uniform estimate that makes the invariant exact; by
+    // construction it sits at ~-eta/lambda < 0, so the barrier is
+    // strictly feasible from round one.
+    const double e0 = (total - new_budget) / static_cast<double>(n);
+    if (e0 >= 0.0)
+        return false;
+    e_.assign(n, e0);
+    eta_now_.assign(n, eta);
+    return true;
+}
+
 void
 DibaAllocator::setBudget(double new_budget)
 {
@@ -672,8 +858,84 @@ DibaAllocator::setBudget(double new_budget)
             e_[i] -= delta / n;
     budget_ = new_budget;
     problem_.budget = new_budget;
+    // A budget step shifts every node's estimate at once; the
+    // whole frontier reheats so the reconvergence sweep starts
+    // cluster-wide and narrows as regions quiesce.
+    frontier_.reheatAll();
     quiet_ = 0;
     if (delta < 0.0)
+        emergencyShed();
+}
+
+void
+DibaAllocator::warmStart(const AllocationResult &prev,
+                         double budget_delta)
+{
+    DPC_ASSERT(!p_.empty(), "warmStart() before reset()");
+    DPC_ASSERT(prev.power.size() == p_.size(),
+               "warm-start snapshot size ", prev.power.size(),
+               " != cluster size ", p_.size());
+    DPC_ASSERT(num_active_ == p_.size(),
+               "warmStart() on a cluster with failed nodes");
+    const double new_budget = budget_ + budget_delta;
+    DPC_ASSERT(new_budget > 0.0, "non-positive budget after delta");
+
+    // Reconvergence is measured like a fresh solve.
+    iterations_ = 0;
+    quiet_ = 0;
+    hist_.clear();
+
+    if (prev.power == p_) {
+        // State-continuous re-entry (the simulator's steady loop).
+        // The stationary point of the round dynamics pins every
+        // marginal at eta/(-e), so shifting power while keeping the
+        // converged estimates leaves each node off-equilibrium and
+        // the re-balancing transports estimate mass at ring speed.
+        // Instead the quadratic path re-seeds straight AT the new
+        // barrier equilibrium -- one scalar water level found by
+        // bisection, then per-node local arithmetic -- and gossip
+        // only has to confirm quiescence.  Non-quadratic clusters
+        // fall back to pre-placing the delta curvature-weighted
+        // onto the caps (waterfilled across box clamps), announcing
+        // only the clamping residue as a uniform estimate shift.
+        if (budget_delta != 0.0) {
+            if (seedBarrierEquilibrium(new_budget)) {
+                budget_ = new_budget;
+                problem_.budget = new_budget;
+                frontier_.reheatAll();
+                return;
+            }
+            const double residue = placeBudgetDelta(budget_delta);
+            budget_ = new_budget;
+            problem_.budget = new_budget;
+            if (residue != 0.0) {
+                const double na = static_cast<double>(num_active_);
+                for (std::size_t i = 0; i < e_.size(); ++i)
+                    if (active_[i])
+                        e_[i] -= residue / na;
+            }
+            frontier_.reheatAll();
+            if (residue < 0.0)
+                emergencyShed();
+        } else {
+            problem_.budget = new_budget;
+            frontier_.reheatAll();
+        }
+        return;
+    }
+
+    // External snapshot: adopt the caps, re-equalize the slack.
+    const std::size_t n = p_.size();
+    for (std::size_t i = 0; i < n; ++i)
+        p_[i] = u_[i]->clampPower(prev.power[i]);
+    budget_ = new_budget;
+    problem_.budget = new_budget;
+    const double e0 =
+        (sum(p_) - budget_) / static_cast<double>(n);
+    e_.assign(n, e0);
+    eta_now_.assign(n, cfg_.eta);
+    frontier_.reheatAll();
+    if (e0 >= 0.0)
         emergencyShed();
 }
 
@@ -687,6 +949,11 @@ DibaAllocator::setUtility(std::size_t i, UtilityPtr u)
     p_[i] = clamped;
     u_[i] = std::move(u);
     problem_.utilities[i] = u_[i];
+    // The perturbation's locus is known exactly: reheat just this
+    // node; its neighbours join the work set via the N(frontier)
+    // rule and the residual rule grows the frontier outward as the
+    // response actually propagates (Fig. 4.8 locality).
+    frontier_.reheat(i);
     quiet_ = 0;
     // Utility swaps are rare control events (Fig. 4.8); an O(n)
     // re-extraction keeps the SoA mirror trivially consistent.
@@ -716,6 +983,10 @@ DibaAllocator::iterateWithChannel(GossipChannel &chan)
     DPC_ASSERT(n > 0, "iterateWithChannel() before reset()");
     ensureEdgeIndex();
     pushHistory(chan.maxLag() + 1);
+    // Channel-routed rounds touch every node outside the active-set
+    // engine's bookkeeping; keep the frontier conservatively hot so
+    // a later iterate() resumes from a valid state.
+    frontier_.reheatAll();
 
     // Draw every live edge's fate up front, in canonical edge_id
     // order, so one seeded channel yields one reproducible fault
@@ -796,6 +1067,8 @@ DibaAllocator::gossipTick(Rng &rng, GossipChannel &chan)
         e_[u] = mean_e;
         e_[v] = mean_e;
     }
+    frontier_.reheat(u);
+    frontier_.reheat(v);
     double max_dp = 0.0;
     for (std::size_t i : {u, v}) {
         const double dp = std::fabs(stepNode(i));
@@ -815,6 +1088,7 @@ DibaAllocator::joinNode(std::size_t i)
     rebuildLiveEdges();
     // Staleness never spans a membership change (see failNode).
     hist_.clear();
+    frontier_.reheatAll();
     quiet_ = 0;
 
     // Re-admission at the power floor with one token of negative
@@ -869,6 +1143,7 @@ DibaAllocator::setEdgeEnabled(std::size_t u, std::size_t v,
     else
         ++disabled_edges_;
     rebuildLiveEdges();
+    frontier_.reheatAll();
     quiet_ = 0;
     if (!enabled && !activeSubgraphConnected()) {
         warn("DiBA overlay disconnected after link {", u, ", ", v,

@@ -53,6 +53,8 @@
 
 #include "alloc/gossip_channel.hh"
 #include "alloc/problem.hh"
+#include "alloc/round_kernel.hh"
+#include "graph/frontier.hh"
 #include "graph/graph.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
@@ -115,6 +117,30 @@ class DibaAllocator : public IterativeAllocator
          * across the graph diameter.
          */
         double deadband = 0.0;
+        /**
+         * Active-set round engine (negative = off, the default).
+         * When >= 0, synchronized rounds track a hot frontier of
+         * nodes whose last-round residual max(|dp|, |diffusion
+         * de|) reached this threshold (W), and only
+         * frontier ∪ N(frontier) does any gossip or gradient work;
+         * an edge exchanges slack iff either endpoint is hot, a
+         * rule symmetric in the endpoints, so skipped pairs
+         * exchange nothing and sum(e) conservation is exact at any
+         * threshold.  The membership test is non-strict, so 0.0
+         * keeps every node hot forever and the engine is
+         * bitwise-identical to the dense sweep; positive values
+         * make steady-state rounds O(changed region) instead of
+         * O(V + E), at the cost of freezing sub-threshold
+         * residuals until the next perturbation reheats them.
+         * Control events reheat conservatively: budget steps,
+         * churn, link cuts and channel-routed rounds reheat every
+         * node, setUtility only the node it touched.  The engine
+         * applies to iterate()/step() in the all-active
+         * all-quadratic zero-deadband configuration; fault-path
+         * entry points (iterateWithChannel, gossipTick) keep their
+         * dedicated code paths.
+         */
+        double active_threshold = -1.0;
         /** Initial budget slack fraction at reset(). */
         double slack_frac = 0.01;
         /** Fixed-point tolerance on the max per-round move (W). */
@@ -216,6 +242,30 @@ class DibaAllocator : public IterativeAllocator
      * adjusted to preserve the global invariant.
      */
     void setUtility(std::size_t i, UtilityPtr u) override;
+
+    /**
+     * Warm re-entry from a previous allocation (control-step
+     * reconvergence instead of a cold solve).  When `prev.power`
+     * is exactly the live state (the ClusterSim steady loop), the
+     * converged estimate spread and annealed barriers are kept and
+     * the budget delta is pre-placed straight onto the caps along
+     * the KKT water-level direction (curvature-weighted waterfill
+     * across the boxes), leaving gossip only the clamping residue
+     * to clean up.  Otherwise the snapshot is adopted: caps
+     * clamped into the current boxes, slack re-equalized to
+     * (sum p - P)/n (the one estimate vector derivable from an
+     * external power vector that satisfies the invariant), and the
+     * barriers restart at the floor -- tight tracking from a
+     * near-optimal point, with reheat_gate re-widening them
+     * automatically if the step turns out to be large.  Either way
+     * the frontier reheats everywhere, iteration/convergence
+     * accounting restarts at zero, and a budget drop that exhausts
+     * the adopted slack triggers the usual emergency shed, so
+     * sum p < P holds from the first round.  Requires a cluster
+     * with no failed nodes.
+     */
+    void warmStart(const AllocationResult &prev,
+                   double budget_delta = 0.0) override;
 
     /**
      * One *asynchronous* gossip tick: a single random edge {u, v}
@@ -336,6 +386,23 @@ class DibaAllocator : public IterativeAllocator
      * for the current problem. */
     bool quadFastPathActive() const { return quad_fast_; }
 
+    /** True when synchronized rounds run the active-set engine
+     * (cfg.active_threshold >= 0 in the all-active all-quadratic
+     * zero-deadband configuration). */
+    bool sparseEngineActive() const
+    {
+        return cfg_.active_threshold >= 0.0 && quad_fast_ &&
+               num_active_ == p_.size() && disabled_edges_ == 0 &&
+               cfg_.deadband == 0.0;
+    }
+
+    /** Current hot-frontier size (diagnostics; n until the first
+     * active-set round retires nodes). */
+    std::size_t frontierHotCount() const
+    {
+        return frontier_.hotCount();
+    }
+
   protected:
     /** IterativeAllocator reset hook (reads problem()). */
     void doReset() override;
@@ -387,6 +454,17 @@ class DibaAllocator : public IterativeAllocator
      * SoA, no participation checks. */
     double roundRangeQuadDense(std::size_t begin, std::size_t end);
 
+    /** One active-set round: compact frontier ∪ N(frontier),
+     * snapshot the participants, sweep them, commit the next
+     * frontier.  Returns the max |dp| moved. */
+    double iterateSparse();
+
+    /** iterateSparse body over participant-list indices
+     * [begin, end); reads e_pre_ and the pre-round hot mask,
+     * writes node-local state and next_hot_. */
+    double roundSparseRange(const std::uint32_t *parts,
+                            std::size_t begin, std::size_t end);
+
     /** Curvature-scaled barrier gradient step for one node. */
     double localStep(std::size_t i);
 
@@ -409,11 +487,39 @@ class DibaAllocator : public IterativeAllocator
     /** Immediately shed power at nodes whose slack is exhausted. */
     void emergencyShed();
 
+    /**
+     * Move `delta` watts of cap directly onto the nodes,
+     * curvature-weighted (the KKT water-level direction for
+     * quadratic utilities: dp_i proportional to 1/c_i; uniform for
+     * anything else), waterfilling across box clamps.  Returns the
+     * residue that could not be placed because every remaining node
+     * saturated its box.  Estimates are NOT touched: a fully placed
+     * delta changes sum(p) by exactly `delta`, so the caller can
+     * move the budget by the same amount and keep the converged
+     * estimate spread bit-for-bit.
+     */
+    double placeBudgetDelta(double delta);
+
+    /**
+     * Seed (p, e, eta) at the barrier equilibrium of the round
+     * dynamics for budget P: the unique water level lambda > 0
+     * with sum_i clamp((lambda - b_i)/(2 c_i)) - P = -n eta/lambda
+     * (marginals pinned at lambda, estimates uniform at -eta/lambda,
+     * barriers at the floor) found by bisection.  One scalar
+     * broadcast plus per-node local arithmetic -- the control-plane
+     * fast path for warm re-entry.  Requires every utility to be
+     * quadratic; returns false (state untouched) otherwise.
+     */
+    bool seedBarrierEquilibrium(double new_budget);
+
     /** True if the active subgraph is connected. */
     bool activeSubgraphConnected() const;
 
     Graph topo_;
     Config cfg_;
+    /** cfg_'s hot-loop subset, flattened once for the shared
+     * round kernels (round_kernel.hh). */
+    RoundKernelParams kp_;
     std::vector<UtilityPtr> u_;
     std::vector<double> p_;
     std::vector<double> e_;
@@ -468,9 +574,25 @@ class DibaAllocator : public IterativeAllocator
     bool quad_fast_ = false;
     /** Per-chunk max |dp| partials for the parallel reduction. */
     std::vector<double> chunk_max_;
-    /** Round-engine pool (null when cfg_.num_threads < 1). */
-    std::unique_ptr<ThreadPool> pool_;
+    /** Active-set engine state: the hot frontier and its
+     * participant compaction (graph/frontier.hh). */
+    FrontierWorkset frontier_;
+    /** Participants' pre-round estimates (full-size scratch; only
+     * participant slots are valid in any given round). */
+    std::vector<double> e_pre_;
+    /** Post-round frontier verdicts, committed after the sweep so
+     * in-round pair-activity tests see the pre-round mask. */
+    std::vector<std::uint8_t> next_hot_;
+    /** Round-engine pool, shared process-wide per width via
+     * ThreadPool::acquire (null when cfg_.num_threads < 1). */
+    std::shared_ptr<ThreadPool> pool_;
 };
+
+/** Flatten a DiBA Config's hot-loop subset into the shared
+ * round-kernel parameter block (round_kernel.hh); used by the
+ * allocator itself and by the lockstep ReplicaBatch engine, so
+ * both step with byte-identical constants. */
+RoundKernelParams kernelParamsOf(const DibaAllocator::Config &cfg);
 
 } // namespace dpc
 

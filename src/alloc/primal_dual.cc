@@ -66,7 +66,7 @@ PrimalDualAllocator::doReset()
     trace_.clear();
     if (cfg_.num_threads >= 1 &&
         (!pool_ || pool_->numChunks() != cfg_.num_threads))
-        pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
+        pool_ = ThreadPool::acquire(cfg_.num_threads);
 
     quad_ = true;
     qb_.clear();
@@ -129,6 +129,48 @@ PrimalDualAllocator::doReset()
     lambda_lo_ = 0.0;
     lambda_hi_ = -1.0; // unknown until first overshoot
     stall_ref_ = std::fabs(prev_violation_);
+}
+
+void
+PrimalDualAllocator::warmStart(const AllocationResult &prev,
+                               double budget_delta)
+{
+    (void)prev; // the dual price carries the warm state
+    DPC_ASSERT(iterations_ > 0, "warmStart() before reset()");
+    const double new_budget = problem_.budget + budget_delta;
+    DPC_ASSERT(new_budget > 0.0, "non-positive budget after delta");
+    problem_.budget = new_budget;
+
+    const double total = respond(lambda_, power_);
+    violation_ = total - new_budget;
+    if (violation_ > 0.0 && step_size_ <= 0.0) {
+        // The previous solve ended slack at lambda = 0 with no
+        // step-size calibration to reuse; the cold path does it.
+        reset(problem_);
+        return;
+    }
+    trace_.clear();
+    trace_.push_back(totalUtility(
+        problem().utilities, projectToFeasible(problem(), power_)));
+    iterations_ = 1;
+    converged_ = false;
+    slack_ = false;
+    if (lambda_ == 0.0 && violation_ <= 0.0) {
+        converged_ = true;
+        slack_ = true;
+        return;
+    }
+    // Restart the bracket around the carried-over price.
+    if (violation_ > 0.0) {
+        lambda_lo_ = lambda_;
+        lambda_hi_ = -1.0;
+    } else {
+        lambda_lo_ = 0.0;
+        lambda_hi_ = lambda_;
+    }
+    prev_lambda_ = lambda_;
+    prev_violation_ = violation_;
+    stall_ref_ = std::fabs(violation_);
 }
 
 double

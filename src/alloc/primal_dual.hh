@@ -88,6 +88,20 @@ class PrimalDualAllocator : public IterativeAllocator
      */
     const std::vector<double> &utilityTrace() const { return trace_; }
 
+    /**
+     * Warm re-entry from the previous dual optimum: the old price
+     * lambda (and the secant-calibrated step size) carry over, one
+     * best-response sweep at that price measures the violation
+     * against the shifted budget, and the price bracket restarts
+     * around it.  Small budget deltas barely move the optimal
+     * price, so the re-entry typically converges in a handful of
+     * coordinator iterations instead of a full cold solve.  The
+     * `prev` primal snapshot is unused — the dual price is the
+     * scheme's warm state.
+     */
+    void warmStart(const AllocationResult &prev,
+                   double budget_delta = 0.0) override;
+
   protected:
     /** Lambda = 0 sweep, slack detection, slope-probe step-size
      * calibration (counts as iteration 1, like the loop setup of
@@ -127,8 +141,9 @@ class PrimalDualAllocator : public IterativeAllocator
     /** Slack budget detected at reset (lambda stays zero and the
      * raw unconstrained peak is already feasible). */
     bool slack_ = false;
-    /** Best-response pool, created on first parallel reset(). */
-    std::unique_ptr<ThreadPool> pool_;
+    /** Best-response pool, shared process-wide per width via
+     * ThreadPool::acquire (null until a parallel reset()). */
+    std::shared_ptr<ThreadPool> pool_;
 };
 
 } // namespace dpc

@@ -138,6 +138,17 @@ IterativeAllocator::setUtility(std::size_t i, UtilityPtr u)
     reset(problem_);
 }
 
+void
+IterativeAllocator::warmStart(const AllocationResult &prev,
+                              double budget_delta)
+{
+    (void)prev; // the fallback has no warm state to seed
+    const double new_budget = problem_.budget + budget_delta;
+    DPC_ASSERT(new_budget > 0.0, "non-positive budget after delta");
+    problem_.budget = new_budget;
+    reset(problem_);
+}
+
 AllocationResult
 IterativeAllocator::allocate(const AllocationProblem &prob)
 {

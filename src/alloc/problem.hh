@@ -194,6 +194,26 @@ class IterativeAllocator : public Allocator
     /** Replace one server's utility (default: restart). */
     virtual void setUtility(std::size_t i, UtilityPtr u);
 
+    /**
+     * Re-enter the stepwise protocol from a previous solution
+     * instead of a cold start: the budget moves by `budget_delta`
+     * and `prev` (typically the result() of the last solve, or of
+     * another allocator instance on the same cluster) seeds the
+     * new trajectory.  Afterwards iterations() counts from zero
+     * and converged() is false, so reconvergence cost is measured
+     * exactly like a fresh solve.
+     *
+     * The default rewrites the stored budget and cold-restarts via
+     * reset() — always correct, never faster.  Schemes with real
+     * warm-start structure override it: DiBA adopts the previous
+     * power vector and re-equalizes its slack estimates (keeping
+     * its converged estimate spread when `prev` matches its own
+     * live state), the primal-dual coordinator re-enters the price
+     * iteration from its previous dual optimum.
+     */
+    virtual void warmStart(const AllocationResult &prev,
+                           double budget_delta = 0.0);
+
     /** One-shot solve via the stepwise protocol. */
     AllocationResult allocate(const AllocationProblem &prob) final;
 

@@ -198,8 +198,11 @@ ClusterSim::computeCaps()
             checker_.check(*diba_raw_);
         } else {
             for (std::size_t r = 0; r < cfg_.diba_rounds_per_step;
-                 ++r)
+                 ++r) {
+                if (cfg_.converge_early && alloc_->converged())
+                    break;
                 alloc_->step(alloc_rng_);
+            }
         }
         return alloc_->result().power;
     }
@@ -229,8 +232,16 @@ ClusterSim::run(double duration_s)
         applyFaults(t);
         const double b = schedule_(t);
         if (b != budget_) {
+            const double delta = b - budget_;
             budget_ = b;
-            alloc_->setBudget(b);
+            // Warm-start mode re-enters from the standing
+            // allocation (for DiBA, result().power is the live
+            // state, so its converged estimate spread survives the
+            // step); the legacy path announces the budget alone.
+            if (cfg_.warm_start)
+                alloc_->warmStart(alloc_->result(), delta);
+            else
+                alloc_->setBudget(b);
         }
         maybeChurn(t);
 

@@ -66,6 +66,25 @@ struct ClusterSimConfig
     /** RNG seed for churn and metering. */
     std::uint64_t seed = 42;
     SimPolicy policy = SimPolicy::Diba;
+    /**
+     * Announce budget steps via warmStart(result(), delta) instead
+     * of setBudget(): the allocator re-enters from the previous
+     * allocation (DiBA keeps its converged state, the primal-dual
+     * coordinator its dual price) rather than re-solving the epoch
+     * cold.  Off by default — the legacy setBudget path is what
+     * the golden fig4_4 trace pins.
+     */
+    bool warm_start = false;
+    /**
+     * Stop the per-step allocator round loop as soon as the scheme
+     * reports converged() instead of always burning
+     * diba_rounds_per_step rounds.  Budget steps, workload churn
+     * and fault events reset the schemes' convergence accounting,
+     * so reconvergence runs still get their full round allowance.
+     * Off by default (the fixed round count is what the golden
+     * traces pin).
+     */
+    bool converge_early = false;
 };
 
 /** One recorded time step. */

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Active-frontier bookkeeping over a CSR overlay, for round
+ * engines whose per-round work should be proportional to change
+ * rather than to graph size.
+ *
+ * A FrontierWorkset tracks one byte per vertex: *hot* vertices are
+ * the ones whose state moved at least the engine's residual
+ * threshold last round (plus any the control plane reheated).  One
+ * round's work set is then frontier ∪ N(frontier) — every vertex
+ * that is hot or adjacent to a hot vertex — compacted into an
+ * ascending participant list so the sweep order (and with it any
+ * floating-point reduction) is deterministic and independent of
+ * how the frontier happened to grow.
+ *
+ * The membership rule engines are expected to apply is non-strict
+ * (residual >= threshold keeps a vertex hot), so a threshold of 0
+ * keeps every vertex hot forever and the "sparse" engine
+ * degenerates to an exact full sweep — the property the
+ * dense-equivalence tests pin bitwise.
+ *
+ * The workset stores no floating-point state and never decides
+ * residuals itself; it only answers "who participates this round"
+ * and records the engine's verdicts for the next one.
+ */
+
+#ifndef DPC_GRAPH_FRONTIER_HH
+#define DPC_GRAPH_FRONTIER_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace dpc {
+
+/** Hot-vertex set + deterministic participant compaction. */
+class FrontierWorkset
+{
+  public:
+    /** (Re)initialize for n vertices, everyone hot. */
+    void reset(std::size_t n)
+    {
+        hot_.assign(n, 1);
+        hot_count_ = n;
+        mark_.assign(n, 0);
+        participants_.clear();
+        participants_.reserve(n);
+    }
+
+    /** Mark every vertex hot (conservative reheat after an event
+     * whose reach is unknown: budget step, channel round, churn). */
+    void reheatAll()
+    {
+        std::fill(hot_.begin(), hot_.end(), 1);
+        hot_count_ = hot_.size();
+    }
+
+    /** Mark one vertex hot (a perturbation with known locus, e.g.
+     * a single utility swap); its neighbours join the work set via
+     * the N(frontier) rule without being marked. */
+    void reheat(std::size_t i)
+    {
+        hot_count_ += hot_[i] == 0 ? 1 : 0;
+        hot_[i] = 1;
+    }
+
+    /** Whether vertex i is currently hot. */
+    bool hot(std::size_t i) const { return hot_[i] != 0; }
+
+    /** Record the engine's post-round verdict for vertex i. */
+    void setHot(std::size_t i, bool h)
+    {
+        const std::uint8_t v = h ? 1 : 0;
+        hot_count_ += static_cast<std::size_t>(v) -
+                      static_cast<std::size_t>(hot_[i]);
+        hot_[i] = v;
+    }
+
+    /** Byte mask of the hot set (size n, 0/1). */
+    const std::vector<std::uint8_t> &mask() const { return hot_; }
+
+    /** Number of hot vertices (maintained incrementally, O(1)). */
+    std::size_t hotCount() const { return hot_count_; }
+
+    /**
+     * Compact frontier ∪ N(frontier) into an ascending vertex
+     * list.  O(n + deg(frontier)): one mark sweep over the hot
+     * vertices' adjacency slices, one linear compaction scan; the
+     * fully-quiesced case short-circuits to O(1), which is what a
+     * converged steady-state round costs.  The returned reference
+     * stays valid until the next call.
+     */
+    const std::vector<std::uint32_t> &
+    buildParticipants(const GraphCsr &g)
+    {
+        const std::size_t n = hot_.size();
+        if (hot_count_ == 0) {
+            participants_.clear();
+            return participants_;
+        }
+        std::fill(mark_.begin(), mark_.end(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!hot_[i])
+                continue;
+            mark_[i] = 1;
+            const std::uint32_t hi = g.offsets[i + 1];
+            for (std::uint32_t k = g.offsets[i]; k < hi; ++k)
+                mark_[g.neighbors[k]] = 1;
+        }
+        participants_.clear();
+        for (std::size_t i = 0; i < n; ++i)
+            if (mark_[i])
+                participants_.push_back(
+                    static_cast<std::uint32_t>(i));
+        return participants_;
+    }
+
+  private:
+    /** 1 = vertex moved >= threshold last round (or was reheated). */
+    std::vector<std::uint8_t> hot_;
+    /** Running count of 1-bytes in hot_. */
+    std::size_t hot_count_ = 0;
+    /** Participant-marking scratch for buildParticipants. */
+    std::vector<std::uint8_t> mark_;
+    /** Last compaction result (ascending vertex ids). */
+    std::vector<std::uint32_t> participants_;
+};
+
+} // namespace dpc
+
+#endif // DPC_GRAPH_FRONTIER_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cache-geometry helpers for the hot SoA round kernels:
+ *
+ *  - AlignedAllocator / AlignedVector: std::vector storage on
+ *    64-byte (cache-line / AVX-512-register) boundaries, so the
+ *    vectorized sweeps never straddle a line on their first lane
+ *    and the compiler may assume aligned loads;
+ *  - CacheLinePadded<T>: one value per cache line, for per-thread
+ *    accumulators (chunk partials) that would otherwise false-share
+ *    one line between workers;
+ *  - paddedSize(): rounds an element count up to a whole number of
+ *    cache lines, so a kernel may run full-width vector batches
+ *    over the tail without scalar cleanup reading out of bounds.
+ */
+
+#ifndef DPC_UTIL_ALIGNED_HH
+#define DPC_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dpc {
+
+/** Cache line / widest-vector-register size we align for (bytes). */
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/** Minimal C++17 aligned allocator for std::vector storage. */
+template <typename T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator
+{
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two >= alignof(T)");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    T *allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+
+    void deallocate(T *ptr, std::size_t) noexcept
+    {
+        ::operator delete(ptr, std::align_val_t(Align));
+    }
+
+    template <typename U>
+    bool operator==(const AlignedAllocator<U, Align> &) const noexcept
+    {
+        return true;
+    }
+    template <typename U>
+    bool operator!=(const AlignedAllocator<U, Align> &) const noexcept
+    {
+        return false;
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+};
+
+/** std::vector whose buffer starts on a cache-line boundary. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+/**
+ * One value per cache line.  A vector<CacheLinePadded<double>> of
+ * per-chunk partials gives every worker thread its own line, so the
+ * reduction writes never ping-pong a shared line between cores.
+ */
+template <typename T>
+struct CacheLinePadded
+{
+    alignas(kCacheLineBytes) T value{};
+};
+
+/** Element count rounded up to whole cache lines. */
+template <typename T>
+constexpr std::size_t
+paddedSize(std::size_t n)
+{
+    constexpr std::size_t per_line = kCacheLineBytes / sizeof(T);
+    return (n + per_line - 1) / per_line * per_line;
+}
+
+} // namespace dpc
+
+#endif // DPC_UTIL_ALIGNED_HH

@@ -1,8 +1,26 @@
 #include "util/thread_pool.hh"
 
+#include <unordered_map>
+
 #include "util/logging.hh"
 
 namespace dpc {
+
+std::shared_ptr<ThreadPool>
+ThreadPool::acquire(std::size_t num_chunks)
+{
+    static std::mutex registry_mutex;
+    static std::unordered_map<std::size_t,
+                              std::weak_ptr<ThreadPool>>
+        registry;
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    auto &slot = registry[num_chunks];
+    if (auto live = slot.lock())
+        return live;
+    auto fresh = std::make_shared<ThreadPool>(num_chunks);
+    slot = fresh;
+    return fresh;
+}
 
 ThreadPool::ThreadPool(std::size_t num_chunks)
 {
@@ -81,6 +99,19 @@ ThreadPool::parallelFor(std::size_t n, const ChunkFn &fn)
     if (workers_.empty()) {
         if (n > 0)
             fn(0, 0, n);
+        return;
+    }
+    if (n <= kSerialCutoff) {
+        // Same chunk geometry, caller-inline: cheaper than the
+        // worker wake/park round-trip at this size, bitwise the
+        // same result.
+        const std::size_t chunks = numChunks();
+        for (std::size_t c = 0; c < chunks; ++c) {
+            const std::size_t begin = chunkBegin(n, chunks, c);
+            const std::size_t end = chunkBegin(n, chunks, c + 1);
+            if (begin < end)
+                fn(c, begin, end);
+        }
         return;
     }
     {

@@ -27,6 +27,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -57,6 +58,25 @@ class ThreadPool
 
     ~ThreadPool();
 
+    /**
+     * Process-wide pool registry: returns the live pool with this
+     * chunk count, or creates one.  Engine objects (allocators,
+     * replica batches, bench fixtures) come and go far more often
+     * than a worker set is worth spawning -- a bench sweep builds
+     * hundreds of allocator instances -- so they share one set of
+     * parked OS threads per width instead of respawning per
+     * instance; the pool dies with its last owner.  Chunk
+     * geometry, and with it every bitwise-determinism guarantee,
+     * depends only on the chunk count, never on which instances
+     * share the workers.  Sharing assumes what was already true of
+     * per-instance pools: parallelFor is not re-entrant, so
+     * engines sharing a width must be driven from one thread at a
+     * time (the pool's workers provide the parallelism, the
+     * drivers never overlap).
+     */
+    static std::shared_ptr<ThreadPool> acquire(
+        std::size_t num_chunks);
+
     /** Number of chunks every parallelFor is split into. */
     std::size_t numChunks() const { return workers_.size() + 1; }
 
@@ -64,8 +84,18 @@ class ThreadPool
      * Run fn over [0, n) split into numChunks() contiguous chunks
      * (chunk c owns [c*n/C, (c+1)*n/C)); blocks until every chunk
      * has finished.  Empty chunks (n < numChunks()) are skipped.
+     *
+     * Ranges at or under kSerialCutoff run every chunk inline on
+     * the caller instead of waking the workers: at small n the
+     * wake/park round-trip costs more than the loop body, and the
+     * chunk geometry is identical either way, so the results are
+     * bitwise the same and only the wall clock changes.
      */
     void parallelFor(std::size_t n, const ChunkFn &fn);
+
+    /** parallelFor range size at or below which the chunks run
+     * inline on the calling thread. */
+    static constexpr std::size_t kSerialCutoff = 2048;
 
     /** Chunk boundary helper: start of chunk c when [0,n) is cut
      * into `chunks` pieces.  Exposed for tests. */

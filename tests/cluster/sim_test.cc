@@ -57,6 +57,36 @@ TEST(ClusterSimTest, BudgetScheduleIsFollowed)
         EXPECT_LT(samples[i].allocated_power, lo);
 }
 
+TEST(ClusterSimTest, WarmStartModeFollowsTheSameSchedule)
+{
+    const double hi = 32 * 180.0;
+    const double lo = 32 * 160.0;
+    const auto schedule = [=](double t) {
+        return t < 10.0 ? hi : lo;
+    };
+
+    ClusterSimConfig warm_cfg;
+    warm_cfg.warm_start = true;
+    auto warm = makeSim(32, 170.0, warm_cfg);
+    warm.setBudgetSchedule(schedule);
+    const auto ws = warm.run(20.0);
+
+    // The warm-started control loop honors the same guarantees as
+    // the cold announce path: the schedule is followed and the cap
+    // never violated, before or after the step.
+    EXPECT_DOUBLE_EQ(ws[5].budget, hi);
+    EXPECT_DOUBLE_EQ(ws[15].budget, lo);
+    for (const auto &s : ws)
+        EXPECT_LT(s.allocated_power, s.budget);
+    // And the post-step plateau performs as well as a cold solve
+    // of the same schedule.
+    ClusterSimConfig cold_cfg;
+    auto cold = makeSim(32, 170.0, cold_cfg);
+    cold.setBudgetSchedule(schedule);
+    const auto cs = cold.run(20.0);
+    EXPECT_GT(ws[19].snp, cs[19].snp - 0.02);
+}
+
 TEST(ClusterSimTest, SnpRecoversAfterBudgetDrop)
 {
     ClusterSimConfig cfg;

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON run against a committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.15]
+
+Both files are arrays of flat records (tools/bench_json.hh).  A
+record's identity is the tuple of its non-metric fields; records are
+matched by identity and their metrics compared:
+
+  ns_per_node, ms_per_round   lower is better; FAIL when current
+                              exceeds baseline by more than the
+                              threshold (default 15%; calibrated to
+                              the run-to-run drift of a shared
+                              single-core host -- identical binaries
+                              measured minutes apart differ by up to
+                              ~13% even under a best-of-N minimum
+                              estimator, see bench/common.hh)
+  util_frac_of_opt            higher is better; FAIL when current
+                              drops more than 1% below baseline
+  warm_frac                   FAIL only above the 0.25 acceptance
+                              bar (the metric is a ratio of two
+                              round counts and jitters at the
+                              bottom; the bar is what matters)
+
+A baseline record with no current match is a FAIL (a benchmark
+disappeared); new current records pass (coverage grew).  Exit code
+is 1 on any failure, 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that carry measurements; everything else is identity.
+PERF_METRICS = ("ns_per_node", "ms_per_round")
+OTHER_METRICS = (
+    "util_frac_of_opt",
+    "warm_frac",
+    "peak_rss_mb",
+    "rounds",
+    "cold_rounds",
+    "warm_rounds",
+    "total_power_w",
+    "observed_loss",
+    "worst_residual_w",
+    "quiet_rounds",
+    "comp_ms",
+    "comm_ms",
+    "iters",
+)
+METRICS = set(PERF_METRICS) | set(OTHER_METRICS)
+
+WARM_FRAC_BAR = 0.25
+UTIL_FRAC_SLACK = 0.01
+
+
+def identity(record):
+    return tuple(
+        sorted((k, v) for k, v in record.items() if k not in METRICS)
+    )
+
+
+def load(path):
+    with open(path) as fh:
+        records = json.load(fh)
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: expected a JSON array of records")
+    table = {}
+    for rec in records:
+        table[identity(rec)] = rec
+    return table
+
+
+def describe(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="allowed fractional perf regression (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    curr = load(args.current)
+
+    failures = []
+    compared = 0
+    for key, brec in sorted(base.items()):
+        crec = curr.get(key)
+        if crec is None:
+            failures.append(f"MISSING  {describe(key)}")
+            continue
+        for metric in PERF_METRICS:
+            if metric not in brec or metric not in crec:
+                continue
+            b, c = float(brec[metric]), float(crec[metric])
+            compared += 1
+            if b > 0.0 and c > b * (1.0 + args.threshold):
+                failures.append(
+                    f"PERF     {describe(key)}: {metric} "
+                    f"{b:.4g} -> {c:.4g} "
+                    f"(+{100.0 * (c / b - 1.0):.1f}%)"
+                )
+        if "util_frac_of_opt" in brec and "util_frac_of_opt" in crec:
+            b = float(brec["util_frac_of_opt"])
+            c = float(crec["util_frac_of_opt"])
+            compared += 1
+            if c < b - UTIL_FRAC_SLACK:
+                failures.append(
+                    f"QUALITY  {describe(key)}: util_frac_of_opt "
+                    f"{b:.4f} -> {c:.4f}"
+                )
+        if "warm_frac" in crec:
+            c = float(crec["warm_frac"])
+            compared += 1
+            if c > WARM_FRAC_BAR:
+                failures.append(
+                    f"WARMSTART {describe(key)}: warm_frac "
+                    f"{c:.3f} > {WARM_FRAC_BAR}"
+                )
+
+    grown = len(curr.keys() - base.keys())
+    print(
+        f"bench_compare: {len(base)} baseline records, "
+        f"{compared} comparisons, {grown} new records, "
+        f"{len(failures)} failure(s)"
+    )
+    for line in failures:
+        print(f"  {line}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
