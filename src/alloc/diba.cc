@@ -111,6 +111,8 @@ DibaAllocator::doReset()
     edge_enabled_.assign(all_edges_.size(), 1);
     disabled_edges_ = 0;
     edges_ = all_edges_;
+    fed_shares_.clear();
+    fed_comp_of_.clear();
     hist_.clear();
     iterations_ = 0;
     quiet_ = 0;
@@ -858,6 +860,12 @@ DibaAllocator::setBudget(double new_budget)
             e_[i] -= delta / n;
     budget_ = new_budget;
     problem_.budget = new_budget;
+    // The uniform shift crosses any announced federation's
+    // component boundaries, so the federation dissolves; the
+    // recovery layer re-announces shares for the new P on its next
+    // round.  Global conservation holds across the event either way.
+    fed_shares_.clear();
+    fed_comp_of_.clear();
     // A budget step shifts every node's estimate at once; the
     // whole frontier reheats so the reconvergence sweep starts
     // cluster-wide and narrows as regions quiesce.
@@ -1203,6 +1211,265 @@ DibaAllocator::rebuildLiveEdges()
         if (edge_enabled_[id] && active_[u] && active_[v])
             edges_.push_back(all_edges_[id]);
     }
+}
+
+// ---- recovery support (self-healing layer) ----------------------
+
+void
+DibaAllocator::reheat()
+{
+    DPC_ASSERT(!p_.empty(), "reheat() before reset()");
+    for (std::size_t i = 0; i < eta_now_.size(); ++i)
+        if (active_[i])
+            eta_now_[i] = cfg_.eta_initial;
+    frontier_.reheatAll();
+    quiet_ = 0;
+}
+
+std::size_t
+DibaAllocator::liveComponents(std::vector<std::uint32_t> &label_of) const
+{
+    const std::size_t n = active_.size();
+    label_of.assign(n, kNoComponent);
+    std::uint32_t next = 0;
+    std::vector<std::size_t> stack;
+    for (std::size_t s = 0; s < n; ++s) {
+        if (!active_[s] || label_of[s] != kNoComponent)
+            continue;
+        label_of[s] = next;
+        stack.push_back(s);
+        while (!stack.empty()) {
+            const std::size_t v = stack.back();
+            stack.pop_back();
+            for (std::size_t w : topo_.neighbors(v)) {
+                if (!active_[w] || label_of[w] != kNoComponent)
+                    continue;
+                if (!edgeEnabledPair(std::min(v, w), std::max(v, w)))
+                    continue;
+                label_of[w] = next;
+                stack.push_back(w);
+            }
+        }
+        ++next;
+    }
+    return next;
+}
+
+std::vector<double>
+DibaAllocator::heldBudgets(const std::vector<std::uint32_t> &label_of,
+                           std::size_t num_comps) const
+{
+    DPC_ASSERT(label_of.size() == p_.size(),
+               "heldBudgets label vector size mismatch");
+    std::vector<double> sum_p(num_comps, 0.0), sum_e(num_comps, 0.0);
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        if (!active_[i])
+            continue;
+        DPC_ASSERT(label_of[i] < num_comps,
+                   "heldBudgets: active node ", i, " has no label");
+        sum_p[label_of[i]] += p_[i];
+        sum_e[label_of[i]] += e_[i];
+    }
+    std::vector<double> held(num_comps);
+    for (std::size_t j = 0; j < num_comps; ++j)
+        held[j] = sum_p[j] - sum_e[j];
+    return held;
+}
+
+void
+DibaAllocator::equalizeEstimates()
+{
+    DPC_ASSERT(!p_.empty(), "equalizeEstimates() before reset()");
+    std::vector<std::uint32_t> label;
+    const std::size_t k = liveComponents(label);
+    std::vector<double> sum_e(k, 0.0);
+    std::vector<std::size_t> cnt(k, 0), first(k, p_.size());
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        if (!active_[i])
+            continue;
+        sum_e[label[i]] += e_[i];
+        ++cnt[label[i]];
+        if (first[label[i]] == p_.size())
+            first[label[i]] = i;
+    }
+    for (std::uint32_t j = 0; j < k; ++j) {
+        const double mean = sum_e[j] / static_cast<double>(cnt[j]);
+        // A component with pinned debt (non-negative mean) cannot be
+        // equalized without violating strict slack; leave it to the
+        // shed/diffusion machinery.
+        if (!(mean < -kBarrierFloor))
+            continue;
+        for (std::size_t i = 0; i < p_.size(); ++i)
+            if (active_[i] && label[i] == j)
+                e_[i] = mean;
+        // One-node compensation so the component's estimate sum --
+        // and with it the held budget -- is preserved to rounding.
+        e_[first[j]] +=
+            sum_e[j] - mean * static_cast<double>(cnt[j]);
+    }
+    quiet_ = 0;
+}
+
+bool
+DibaAllocator::reseedEquilibrium()
+{
+    DPC_ASSERT(!p_.empty(), "reseedEquilibrium() before reset()");
+    iterations_ = 0;
+    quiet_ = 0;
+    hist_.clear();
+    if (num_active_ == p_.size() && disabled_edges_ == 0 &&
+        !federationActive() && seedBarrierEquilibrium(budget_)) {
+        frontier_.reheatAll();
+        return true;
+    }
+    equalizeEstimates();
+    reheat();
+    return false;
+}
+
+void
+DibaAllocator::adoptCaps(const std::vector<double> &caps)
+{
+    DPC_ASSERT(!p_.empty(), "adoptCaps() before reset()");
+    DPC_ASSERT(caps.size() == p_.size(),
+               "adoptCaps size ", caps.size(), " != cluster size ",
+               p_.size());
+    std::vector<std::uint32_t> label;
+    const std::size_t k = liveComponents(label);
+    // The budget each component honors is read off the books before
+    // the caps move, so the adoption cannot manufacture budget.
+    const std::vector<double> held = heldBudgets(label, k);
+    std::vector<double> sum_p(k, 0.0);
+    std::vector<std::size_t> cnt(k, 0), first(k, p_.size());
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        if (!active_[i])
+            continue;
+        p_[i] = u_[i]->clampPower(caps[i]);
+        sum_p[label[i]] += p_[i];
+        ++cnt[label[i]];
+        if (first[label[i]] == p_.size())
+            first[label[i]] = i;
+    }
+    bool shed = false;
+    for (std::uint32_t j = 0; j < k; ++j) {
+        const double e0 =
+            (sum_p[j] - held[j]) / static_cast<double>(cnt[j]);
+        for (std::size_t i = 0; i < p_.size(); ++i)
+            if (active_[i] && label[i] == j)
+                e_[i] = e0;
+        e_[first[j]] += (sum_p[j] - held[j]) -
+                        e0 * static_cast<double>(cnt[j]);
+        if (e0 >= 0.0)
+            shed = true;
+    }
+    // Tight tracking from the adopted (near-optimal) point; the
+    // reheat gate re-widens automatically if it turns out wrong.
+    for (std::size_t i = 0; i < p_.size(); ++i)
+        if (active_[i])
+            eta_now_[i] = cfg_.eta;
+    iterations_ = 0;
+    quiet_ = 0;
+    hist_.clear();
+    frontier_.reheatAll();
+    if (shed)
+        emergencyShed();
+}
+
+void
+DibaAllocator::refederateBudget(
+    const std::vector<std::uint32_t> &comp_of, std::size_t num_comps)
+{
+    DPC_ASSERT(!p_.empty(), "refederateBudget() before reset()");
+    DPC_ASSERT(comp_of.size() == p_.size(),
+               "refederateBudget label vector size mismatch");
+    DPC_ASSERT(num_comps >= 1, "refederateBudget needs a component");
+
+    std::vector<double> min_p(num_comps, 0.0), head(num_comps, 0.0);
+    std::vector<std::size_t> cnt(num_comps, 0);
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        if (!active_[i])
+            continue;
+        DPC_ASSERT(comp_of[i] < num_comps,
+                   "refederateBudget: active node ", i,
+                   " has no component label");
+        min_p[comp_of[i]] += u_[i]->minPower();
+        head[comp_of[i]] += u_[i]->maxPower() - u_[i]->minPower();
+        ++cnt[comp_of[i]];
+    }
+    for (std::size_t j = 0; j < num_comps; ++j)
+        DPC_ASSERT(cnt[j] > 0, "refederateBudget: empty component ", j);
+
+    const std::vector<double> held = heldBudgets(comp_of, num_comps);
+
+    std::vector<double> shares(num_comps);
+    if (num_comps == 1) {
+        shares[0] = budget_;
+    } else {
+        double total_min = 0.0, total_w = 0.0;
+        std::vector<double> w(num_comps);
+        for (std::size_t j = 0; j < num_comps; ++j) {
+            total_min += min_p[j];
+            // Box headroom sets the proportional weight; the count
+            // term keeps fully pinned components strictly above
+            // their floor so e < 0 stays feasible everywhere.
+            w[j] = head[j] + 1e-6 * static_cast<double>(cnt[j]);
+            total_w += w[j];
+        }
+        const double headroom = budget_ - total_min;
+        if (!(headroom > 0.0)) {
+            warn("refederateBudget: no headroom above the total ",
+                 "power floor; keeping held shares");
+            shares = held;
+        } else {
+            double partial = 0.0;
+            for (std::size_t j = 0; j + 1 < num_comps; ++j) {
+                shares[j] = min_p[j] + headroom * w[j] / total_w;
+                partial += shares[j];
+            }
+            shares[num_comps - 1] = budget_ - partial;
+        }
+        // Safe-side rounding: the label-order sum of the announced
+        // shares must not exceed P in plain double arithmetic (the
+        // bitwise audit InvariantChecker runs).  Shave the last
+        // share one ulp at a time until it holds.
+        auto ordered_sum = [&shares] {
+            double s = 0.0;
+            for (double x : shares)
+                s += x;
+            return s;
+        };
+        while (ordered_sum() > budget_)
+            shares[num_comps - 1] = std::nextafter(
+                shares[num_comps - 1],
+                -std::numeric_limits<double>::infinity());
+    }
+
+    // Announce: shift each component's estimates uniformly so
+    // sum_Cj e == sum_Cj p - share_j afterwards (the change in the
+    // component's estimate sum is held_j - share_j).
+    bool shed = false;
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        if (!active_[i])
+            continue;
+        const std::size_t j = comp_of[i];
+        e_[i] += (held[j] - shares[j]) / static_cast<double>(cnt[j]);
+        if (e_[i] >= 0.0)
+            shed = true;
+    }
+    if (num_comps == 1) {
+        fed_shares_.clear();
+        fed_comp_of_.clear();
+    } else {
+        fed_shares_ = shares;
+        fed_comp_of_ = comp_of;
+    }
+    // Re-federation is a control event: staleness must not span it
+    // and the reconvergence sweep starts cluster-wide.
+    hist_.clear();
+    frontier_.reheatAll();
+    quiet_ = 0;
+    if (shed)
+        emergencyShed();
 }
 
 void

@@ -334,6 +334,120 @@ class DibaAllocator : public IterativeAllocator
     /** Whether overlay edge {u, v} is currently enabled. */
     bool edgeEnabled(std::size_t u, std::size_t v) const;
 
+    /** Link mask per edge_id (index-aligned with overlayEdges();
+     * 0 = administratively cut).  Lets the recovery layer decide in
+     * O(1) per edge which fates the round consumed and which edges
+     * it must probe itself. */
+    const std::vector<std::uint8_t> &edgeEnabledMask() const
+    {
+        return edge_enabled_;
+    }
+
+    // ---- recovery support (self-healing layer, see DESIGN.md) ---
+
+    /**
+     * Re-open the transport pipe cluster-wide: every active node's
+     * barrier weight returns to eta_initial and the whole frontier
+     * reheats.  Stage 1 of the convergence watchdog's escalation
+     * ladder; also useful after external state surgery.
+     */
+    void reheat();
+
+    /**
+     * Label the live overlay's connected components among active
+     * nodes: label_of[i] in [0, k) for active i (dense, assigned in
+     * ascending order of each component's lowest id -- the same
+     * order ComponentTracker uses), kNoComponent for failed nodes.
+     * @return k, the number of components.
+     */
+    std::size_t liveComponents(std::vector<std::uint32_t> &label_of) const;
+
+    /** Label liveComponents() reports for failed nodes. */
+    static constexpr std::uint32_t kNoComponent = 0xffffffffu;
+
+    /**
+     * Budget each labeled component currently holds according to
+     * the books: Q_j = sum_{i in C_j} p_i - sum_{i in C_j} e_i.
+     * Because every fault hand-off (failNode gift, joinNode debt,
+     * paired transfers) moves estimate mass only along live edges,
+     * Q_j is exactly the budget component j is honoring, whether or
+     * not re-federation has been announced.
+     */
+    std::vector<double> heldBudgets(
+        const std::vector<std::uint32_t> &label_of,
+        std::size_t num_comps) const;
+
+    /**
+     * Consensus jump: set every active node's estimate to its live
+     * component's mean (with a one-node compensation so each
+     * component's estimate sum is preserved to rounding).  Skips
+     * any component whose mean would not be strictly negative.
+     * Used by the watchdog's re-seed stage when the cluster is not
+     * healthy enough for the barrier-equilibrium seed.
+     */
+    void equalizeEstimates();
+
+    /**
+     * Stage-2 watchdog action: re-seed the round dynamics.  On a
+     * healthy all-quadratic cluster (every node active, no cut
+     * edges) this seeds straight at the barrier equilibrium of the
+     * current budget (the warmStart waterfill machinery) and
+     * returns true; otherwise it falls back to equalizeEstimates()
+     * + reheat() and returns false.  Either way the convergence
+     * accounting restarts.
+     */
+    bool reseedEquilibrium();
+
+    /**
+     * Adopt externally computed caps (the watchdog's fallback
+     * allocator): active nodes' caps are clamped into their boxes,
+     * then each live component's slack is re-equalized against the
+     * budget it held before the adoption, so per-component
+     * conservation -- and hence the global budget guarantee --
+     * survives the surgery.  Convergence accounting restarts; an
+     * emergency shed runs if any component's slack went
+     * non-negative.
+     */
+    void adoptCaps(const std::vector<double> &caps);
+
+    /**
+     * Partition-aware budget re-federation.  Given dense component
+     * labels for the active nodes (comp_of[i] < num_comps), each
+     * component j is assigned the proportional share
+     *
+     *   share_j = minP_j + H * w_j / sum_k w_k,   H = P - sum_k minP_k
+     *
+     * (w_j the component's box headroom), with the last share taken
+     * as the exact remainder and then shaved one ulp at a time
+     * until the shares' label-order sum is <= P in plain double
+     * arithmetic -- the safe-side rounding InvariantChecker audits
+     * bitwise.  Estimates shift uniformly within each component so
+     * sum_Cj e == sum_Cj p - share_j afterwards, and an emergency
+     * shed restores strict slack if a component's share shrank
+     * below what it held.  num_comps == 1 dissolves the federation
+     * (the single share is P itself and the global invariant is
+     * restored exactly).
+     */
+    void refederateBudget(const std::vector<std::uint32_t> &comp_of,
+                          std::size_t num_comps);
+
+    /** True while a multi-component federation is announced. */
+    bool federationActive() const { return fed_shares_.size() > 1; }
+
+    /** Announced per-component shares (empty or size 1 when no
+     * federation is active). */
+    const std::vector<double> &federationShares() const
+    {
+        return fed_shares_;
+    }
+
+    /** Labels the active federation was announced with (empty when
+     * no federation is active). */
+    const std::vector<std::uint32_t> &federationComponentOf() const
+    {
+        return fed_comp_of_;
+    }
+
     /**
      * Canonical overlay edge list (u < v, fixed order for the
      * lifetime of the allocator); the index of an edge in this
@@ -586,6 +700,11 @@ class DibaAllocator : public IterativeAllocator
     /** Round-engine pool, shared process-wide per width via
      * ThreadPool::acquire (null when cfg_.num_threads < 1). */
     std::shared_ptr<ThreadPool> pool_;
+    /** Announced federation shares (empty/size-1 = inactive); see
+     * refederateBudget(). */
+    std::vector<double> fed_shares_;
+    /** Component labels the federation was announced with. */
+    std::vector<std::uint32_t> fed_comp_of_;
 };
 
 /** Flatten a DiBA Config's hot-loop subset into the shared

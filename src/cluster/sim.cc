@@ -103,6 +103,8 @@ ClusterSim::setCapObserver(
 void
 ClusterSim::setFaultPlan(const FaultPlan &plan)
 {
+    DPC_ASSERT(recovery_ == nullptr,
+               "setFaultPlan after setRecoveryPlan");
     fault_timeline_ = plan.sortedEvents();
     next_fault_ = 0;
     channel_ = std::make_unique<LossyChannel>(plan.lossConfig(),
@@ -113,6 +115,60 @@ ClusterSim::setFaultPlan(const FaultPlan &plan)
         warn("fault plan on a coordinator-backed simulation: "
              "gossip loss and churn events will be skipped");
     }
+}
+
+void
+ClusterSim::setRecoveryPlan(const FaultPlan &plan,
+                            RecoverySession::Config rcfg)
+{
+    DPC_ASSERT(diba_raw_ != nullptr,
+               "recovery plan requires a DiBA-backed simulation");
+    DPC_ASSERT(channel_ == nullptr,
+               "setRecoveryPlan after setFaultPlan");
+    DPC_ASSERT(cfg_.diba_rounds_per_step > 0,
+               "recovery plan needs diba_rounds_per_step > 0");
+    // The session's round clock must cover the plan's time axis:
+    // diba_rounds_per_step rounds per dt_s control step.
+    rcfg.round_dt =
+        cfg_.dt_s / static_cast<double>(cfg_.diba_rounds_per_step);
+    // Transport and churn belong to the session's world; the
+    // simulator keeps the metering-level glitch events for itself
+    // (so the session never sees -- and never "skips" -- them).
+    FaultPlan world_plan;
+    world_plan.loss(plan.lossConfig()).seed(plan.channelSeed());
+    fault_timeline_.clear();
+    for (const FaultEvent &ev : plan.sortedEvents()) {
+        switch (ev.kind) {
+        case FaultKind::MeterGlitch:
+            fault_timeline_.push_back(ev);
+            break;
+        case FaultKind::NodeCrash:
+            world_plan.crashAt(ev.at, ev.node);
+            break;
+        case FaultKind::NodeRejoin:
+            world_plan.rejoinAt(ev.at, ev.node);
+            break;
+        case FaultKind::LinkCut:
+            world_plan.cutLinkAt(ev.at, ev.node, ev.peer);
+            break;
+        case FaultKind::LinkHeal:
+            world_plan.healLinkAt(ev.at, ev.node, ev.peer);
+            break;
+        }
+    }
+    recovery_ = std::make_unique<RecoverySession>(*diba_raw_,
+                                                  world_plan, rcfg);
+    next_fault_ = 0;
+    glitch_bias_.assign(assignment_.size(), 0.0);
+    glitch_until_.assign(assignment_.size(), 0.0);
+}
+
+const RecoverySession &
+ClusterSim::recovery() const
+{
+    DPC_ASSERT(recovery_ != nullptr,
+               "recovery() without setRecoveryPlan");
+    return *recovery_;
 }
 
 void
@@ -131,35 +187,44 @@ ClusterSim::applyFaults(double t)
         if (diba_raw_ == nullptr) {
             warn("skipping DiBA fault event at t = ", ev.at,
                  " (allocator is not DiBA)");
+            ++fault_events_skipped_;
             continue;
         }
         switch (ev.kind) {
         case FaultKind::NodeCrash:
             if (diba_raw_->isActive(ev.node) &&
-                diba_raw_->numActive() > 1)
+                diba_raw_->numActive() > 1) {
                 diba_raw_->failNode(ev.node);
-            else
+            } else {
                 warn("skipping crash of node ", ev.node);
+                ++fault_events_skipped_;
+            }
             break;
         case FaultKind::NodeRejoin:
-            if (!diba_raw_->isActive(ev.node))
+            if (!diba_raw_->isActive(ev.node)) {
                 diba_raw_->joinNode(ev.node);
-            else
+            } else {
                 warn("skipping rejoin of node ", ev.node);
+                ++fault_events_skipped_;
+            }
             break;
         case FaultKind::LinkCut:
-            if (diba_raw_->edgeEnabled(ev.node, ev.peer))
+            if (diba_raw_->edgeEnabled(ev.node, ev.peer)) {
                 diba_raw_->setEdgeEnabled(ev.node, ev.peer, false);
-            else
+            } else {
                 warn("skipping cut of link {", ev.node, ", ",
                      ev.peer, "}");
+                ++fault_events_skipped_;
+            }
             break;
         case FaultKind::LinkHeal:
-            if (!diba_raw_->edgeEnabled(ev.node, ev.peer))
+            if (!diba_raw_->edgeEnabled(ev.node, ev.peer)) {
                 diba_raw_->setEdgeEnabled(ev.node, ev.peer, true);
-            else
+            } else {
                 warn("skipping heal of link {", ev.node, ", ",
                      ev.peer, "}");
+                ++fault_events_skipped_;
+            }
             break;
         case FaultKind::MeterGlitch:
             break; // handled above
@@ -188,6 +253,15 @@ std::vector<double>
 ClusterSim::computeCaps()
 {
     if (cfg_.policy == SimPolicy::Diba) {
+        // Self-healing runs hand every allocator round to the
+        // RecoverySession (world events, detection, repair,
+        // re-federation, watchdog, audit all happen in there).
+        if (recovery_) {
+            for (std::size_t r = 0; r < cfg_.diba_rounds_per_step;
+                 ++r)
+                recovery_->stepRound();
+            return alloc_->result().power;
+        }
         // Fault runs route every DiBA round through the lossy
         // channel and audit the invariants once per control step;
         // clean runs drive the scheme-agnostic stepwise protocol.

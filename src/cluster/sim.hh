@@ -39,6 +39,7 @@
 #include "fault/invariant_checker.hh"
 #include "fault/lossy_channel.hh"
 #include "fault/plan.hh"
+#include "fault/recovery.hh"
 #include "power/controller.hh"
 #include "power/server_model.hh"
 #include "workload/generator.hh"
@@ -144,6 +145,19 @@ class ClusterSim
      */
     void setFaultPlan(const FaultPlan &plan);
 
+    /**
+     * Inject a fault schedule in *self-healing* mode (DiBA-backed
+     * sims only): instead of applying churn omnisciently to the
+     * allocator (setFaultPlan), the plan's events mutate a
+     * ground-truth world and a RecoverySession runs the full
+     * detection -> repair -> re-federation -> watchdog pipeline
+     * every allocator round.  Meter glitches are still handled at
+     * the metering level by the simulator itself.  Call before
+     * run(); mutually exclusive with setFaultPlan.
+     */
+    void setRecoveryPlan(const FaultPlan &plan,
+                         RecoverySession::Config rcfg = {});
+
     /** Run for the given duration; returns one sample per step. */
     std::vector<ClusterSample> run(double duration_s);
 
@@ -157,6 +171,26 @@ class ClusterSim
     /** Invariant auditor of the fault run (valid after
      * setFaultPlan). */
     const InvariantChecker &faultChecker() const { return checker_; }
+
+    /** The self-healing session (panics unless setRecoveryPlan was
+     * called). */
+    const RecoverySession &recovery() const;
+
+    /** Recovery telemetry (panics unless setRecoveryPlan was
+     * called). */
+    const RecoveryReport &recoveryReport() const
+    {
+        return recovery().report();
+    }
+
+    /** Fault events the drivers declined to apply (invalid or
+     * out-of-order events at either the simulator or the recovery
+     * level); lets tests assert a plan landed as intended. */
+    std::size_t faultEventsSkipped() const
+    {
+        return fault_events_skipped_ +
+               (recovery_ ? recovery_->report().events_skipped : 0);
+    }
 
     /** Current workload names per server. */
     const std::vector<std::string> &workloadNames() const
@@ -192,7 +226,9 @@ class ClusterSim
     // ---- fault-plan state (inert until setFaultPlan) ------------
     std::vector<FaultEvent> fault_timeline_;
     std::size_t next_fault_ = 0;
+    std::size_t fault_events_skipped_ = 0;
     std::unique_ptr<LossyChannel> channel_;
+    std::unique_ptr<RecoverySession> recovery_;
     InvariantChecker checker_;
     /** Active meter-glitch windows: relative bias / expiry time. */
     std::vector<double> glitch_bias_;

@@ -36,7 +36,57 @@ InvariantChecker::check(const DibaAllocator &diba)
                    v, "} is administratively cut");
     }
 
-    // (1) Estimate-sum conservation over the active set.
+    // (4) Federation audit: when a partition-aware re-federation
+    // has been announced, every component must honor its own share
+    // and the shares' label-order sum must not exceed P in plain
+    // double arithmetic (the safe-side rounding is bitwise, not
+    // approximate -- refederateBudget shaved ulps until it held).
+    const bool federated = diba.federationActive();
+    if (federated) {
+        const std::vector<double> &shares = diba.federationShares();
+        const std::vector<std::uint32_t> &comp =
+            diba.federationComponentOf();
+        DPC_ASSERT(comp.size() == n,
+                   "federation label vector size mismatch");
+        double share_sum = 0.0;
+        for (double s : shares)
+            share_sum += s;
+        DPC_ASSERT(share_sum <= diba.budget(),
+                   "federation shares sum to ", share_sum,
+                   " W > P = ", diba.budget(), " W");
+        std::vector<double> comp_e(shares.size(), 0.0);
+        std::vector<double> comp_p(shares.size(), 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!diba.isActive(i))
+                continue;
+            DPC_ASSERT(comp[i] < shares.size(),
+                       "active node ", i,
+                       " carries no federation label (stale ",
+                       "federation: refederate after churn)");
+            comp_e[comp[i]] += e[i];
+            comp_p[comp[i]] += p[i];
+        }
+        const double tol =
+            cfg_.sum_tol * std::max(diba.budget(), 1.0);
+        for (std::size_t j = 0; j < shares.size(); ++j) {
+            const double residual = std::fabs(
+                comp_e[j] - (comp_p[j] - shares[j]));
+            worst_residual_ = std::max(worst_residual_, residual);
+            DPC_ASSERT(residual <= tol,
+                       "component ", j, " conservation broken: ",
+                       "|sum e - (sum p - share)| = ", residual,
+                       " W");
+            if (cfg_.require_strict_slack)
+                DPC_ASSERT(comp_p[j] < shares[j], "component ", j,
+                           " over its share: sum p = ", comp_p[j],
+                           " >= ", shares[j], " W");
+        }
+    }
+
+    // (1) Estimate-sum conservation over the active set.  Under a
+    // federation the effective global budget is the sum of the
+    // announced shares (a few ulps below P by safe-side rounding),
+    // so the global residual stays within the same tolerance.
     double sum_e = 0.0, sum_p = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
         if (!diba.isActive(i))

@@ -18,6 +18,14 @@
  *     the live-edge list contains precisely the enabled edges whose
  *     endpoints are both active.
  *
+ * When the allocator has announced a partition-aware budget
+ * federation (refederateBudget), the checker additionally audits
+ * each component against its own share -- per-component
+ * conservation, per-component sum p < share -- and verifies that
+ * the shares' label-order sum does not exceed P in plain double
+ * arithmetic (safe-side rounding is a bitwise property, not a
+ * tolerance).
+ *
  * check() panics (DPC_ASSERT) on any violation, so a fault test or
  * bench that completes has machine-checked the invariants on every
  * round it ran.

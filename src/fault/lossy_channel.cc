@@ -1,5 +1,7 @@
 #include "fault/lossy_channel.hh"
 
+#include <cmath>
+
 #include "util/logging.hh"
 
 namespace dpc {
@@ -7,6 +9,15 @@ namespace dpc {
 LossyChannel::LossyChannel(Config cfg, std::uint64_t seed)
     : cfg_(cfg), rng_(seed)
 {
+    // NaN fails every range test below *the wrong way* (all
+    // comparisons are false, so a `a <= x && x <= b` guard written
+    // as two rejections would pass); reject it explicitly first so
+    // a corrupted config fails fast with its field named.
+    DPC_ASSERT(!std::isnan(cfg_.drop_rate), "drop_rate is NaN");
+    DPC_ASSERT(!std::isnan(cfg_.burst_enter), "burst_enter is NaN");
+    DPC_ASSERT(!std::isnan(cfg_.burst_exit), "burst_exit is NaN");
+    DPC_ASSERT(!std::isnan(cfg_.burst_drop), "burst_drop is NaN");
+    DPC_ASSERT(!std::isnan(cfg_.delay_rate), "delay_rate is NaN");
     DPC_ASSERT(cfg_.drop_rate >= 0.0 && cfg_.drop_rate < 1.0,
                "drop_rate must be in [0, 1)");
     DPC_ASSERT(cfg_.burst_enter >= 0.0 && cfg_.burst_enter <= 1.0,
@@ -19,6 +30,11 @@ LossyChannel::LossyChannel(Config cfg, std::uint64_t seed)
                "delay_rate must be in [0, 1]");
     DPC_ASSERT(cfg_.delay_rate == 0.0 || cfg_.max_lag >= 1,
                "delay_rate > 0 requires max_lag >= 1");
+    // The allocator keeps max_lag + 1 full estimate snapshots; an
+    // absurd lag is a config bug, not a fault model.
+    DPC_ASSERT(cfg_.max_lag <= kMaxLagLimit,
+               "max_lag must be <= ", kMaxLagLimit,
+               " (each lag round pins a full estimate snapshot)");
 }
 
 void

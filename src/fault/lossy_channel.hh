@@ -60,6 +60,10 @@ class LossyChannel : public GossipChannel
         std::size_t max_lag = 0;
     };
 
+    /** Hard cap on Config::max_lag (each lag round pins one full
+     * estimate snapshot in the allocator's history deque). */
+    static constexpr std::size_t kMaxLagLimit = 4096;
+
     LossyChannel(Config cfg, std::uint64_t seed);
 
     void beginRound(std::size_t num_edges) override;

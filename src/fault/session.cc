@@ -67,10 +67,13 @@ FaultSession::stepRound()
 {
     while (next_event_ < timeline_.size() &&
            timeline_[next_event_].at <= now_) {
-        if (apply(timeline_[next_event_]))
+        if (apply(timeline_[next_event_])) {
             ++applied_;
-        else
+        } else {
             ++skipped_;
+            ++skipped_by_kind_[static_cast<std::size_t>(
+                timeline_[next_event_].kind)];
+        }
         ++next_event_;
     }
     const double moved = diba_.stepWithChannel(channel_);

@@ -21,6 +21,7 @@
 #ifndef DPC_FAULT_SESSION_HH
 #define DPC_FAULT_SESSION_HH
 
+#include <array>
 #include <cstddef>
 #include <vector>
 
@@ -70,6 +71,13 @@ class FaultSession
     /** Discrete events skipped as invalid-at-apply-time. */
     std::size_t eventsSkipped() const { return skipped_; }
 
+    /** Skipped events of one kind (the per-kind breakdown lets a
+     * test assert *which* events of a generated plan fell out). */
+    std::size_t eventsSkipped(FaultKind kind) const
+    {
+        return skipped_by_kind_[static_cast<std::size_t>(kind)];
+    }
+
     const LossyChannel &channel() const { return channel_; }
     const InvariantChecker &checker() const { return checker_; }
     DibaAllocator &allocator() { return diba_; }
@@ -87,6 +95,8 @@ class FaultSession
     double now_ = 0.0;
     std::size_t applied_ = 0;
     std::size_t skipped_ = 0;
+    /** Indexed by FaultKind. */
+    std::array<std::size_t, 5> skipped_by_kind_{};
 };
 
 } // namespace dpc

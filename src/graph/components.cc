@@ -1,0 +1,192 @@
+#include "graph/components.hh"
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+std::uint64_t ComponentTracker::key(std::size_t u, std::size_t v)
+{
+    const std::uint64_t lo = u < v ? u : v;
+    const std::uint64_t hi = u < v ? v : u;
+    return (lo << 32) | hi;
+}
+
+void ComponentTracker::reset(std::size_t n)
+{
+    DPC_ASSERT(n <= 0xffffffffu, "ComponentTracker supports < 2^32 vertices");
+    up_.assign(n, 1);
+    edges_.clear();
+    parent_.assign(n, 0);
+    rank_.assign(n, 0);
+    labels_.assign(n, kNoComponent);
+    comp_size_.clear();
+    num_comps_ = 0;
+    dirty_ = true;
+    version_ = 0;
+}
+
+void ComponentTracker::nodeUp(std::size_t v)
+{
+    DPC_ASSERT(v < up_.size(), "ComponentTracker::nodeUp out of range");
+    if (up_[v])
+        return;
+    up_[v] = 1;
+    // Growing direction: rebuild is still needed because previously
+    // stored edges incident to v must be re-unioned; mark dirty.
+    dirty_ = true;
+}
+
+void ComponentTracker::nodeDown(std::size_t v)
+{
+    DPC_ASSERT(v < up_.size(), "ComponentTracker::nodeDown out of range");
+    if (!up_[v])
+        return;
+    up_[v] = 0;
+    dirty_ = true;
+}
+
+void ComponentTracker::edgeUp(std::size_t u, std::size_t v)
+{
+    DPC_ASSERT(u < up_.size() && v < up_.size() && u != v,
+               "ComponentTracker::edgeUp bad edge");
+    if (!edges_.insert(key(u, v)).second)
+        return;
+    if (dirty_ || !up_[u] || !up_[v])
+        return; // rebuild will pick it up
+    // Incremental union: O(alpha) when the structure is clean.
+    const std::uint32_t ru = find(static_cast<std::uint32_t>(u));
+    const std::uint32_t rv = find(static_cast<std::uint32_t>(v));
+    if (ru == rv)
+        return;
+    if (rank_[ru] < rank_[rv]) {
+        parent_[ru] = rv;
+    } else if (rank_[rv] < rank_[ru]) {
+        parent_[rv] = ru;
+    } else {
+        parent_[rv] = ru;
+        ++rank_[ru];
+    }
+    // The labeling changed (two components merged); recompute dense
+    // labels lazily but advance the version eagerly so drivers see it.
+    const std::uint32_t keep = labels_[ru] < labels_[rv] ? labels_[ru] : labels_[rv];
+    const std::uint32_t gone = labels_[ru] < labels_[rv] ? labels_[rv] : labels_[ru];
+    comp_size_[keep] += comp_size_[gone];
+    // keep < gone always (keep is the min), so the relabel below never
+    // touches the freshly assigned keep labels.
+    for (std::size_t i = 0; i < labels_.size(); ++i) {
+        if (labels_[i] == gone)
+            labels_[i] = keep;
+        else if (labels_[i] != kNoComponent && labels_[i] > gone)
+            --labels_[i];
+    }
+    comp_size_.erase(comp_size_.begin() + gone);
+    --num_comps_;
+    ++version_;
+}
+
+void ComponentTracker::edgeDown(std::size_t u, std::size_t v)
+{
+    DPC_ASSERT(u < up_.size() && v < up_.size(), "ComponentTracker::edgeDown bad edge");
+    if (edges_.erase(key(u, v)) == 0)
+        return;
+    if (up_[u] && up_[v])
+        dirty_ = true; // may split a component; union-find cannot unwind
+}
+
+bool ComponentTracker::edgeIsUp(std::size_t u, std::size_t v) const
+{
+    return edges_.count(key(u, v)) != 0;
+}
+
+std::uint32_t ComponentTracker::find(std::uint32_t v) const
+{
+    while (parent_[v] != v) {
+        parent_[v] = parent_[parent_[v]]; // path halving
+        v = parent_[v];
+    }
+    return v;
+}
+
+void ComponentTracker::ensureFresh() const
+{
+    if (!dirty_)
+        return;
+    const std::size_t n = up_.size();
+    for (std::size_t i = 0; i < n; ++i)
+        parent_[i] = static_cast<std::uint32_t>(i);
+    rank_.assign(n, 0);
+    for (std::uint64_t k : edges_) {
+        const std::uint32_t u = static_cast<std::uint32_t>(k >> 32);
+        const std::uint32_t v = static_cast<std::uint32_t>(k & 0xffffffffu);
+        if (!up_[u] || !up_[v])
+            continue;
+        const std::uint32_t ru = find(u);
+        const std::uint32_t rv = find(v);
+        if (ru == rv)
+            continue;
+        if (rank_[ru] < rank_[rv])
+            parent_[ru] = rv;
+        else if (rank_[rv] < rank_[ru])
+            parent_[rv] = ru;
+        else {
+            parent_[rv] = ru;
+            ++rank_[ru];
+        }
+    }
+    // Dense labels in ascending order of each component's lowest id.
+    std::vector<std::uint32_t> fresh(n, kNoComponent);
+    std::vector<std::uint32_t> root_label(n, kNoComponent);
+    std::vector<std::size_t> sizes;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!up_[i])
+            continue;
+        const std::uint32_t r = find(static_cast<std::uint32_t>(i));
+        if (root_label[r] == kNoComponent) {
+            root_label[r] = static_cast<std::uint32_t>(next++);
+            sizes.push_back(0);
+        }
+        fresh[i] = root_label[r];
+        ++sizes[fresh[i]];
+    }
+    if (fresh != labels_)
+        ++version_;
+    labels_ = std::move(fresh);
+    comp_size_ = std::move(sizes);
+    num_comps_ = next;
+    dirty_ = false;
+}
+
+std::size_t ComponentTracker::numComponents() const
+{
+    ensureFresh();
+    return num_comps_;
+}
+
+std::uint32_t ComponentTracker::componentOf(std::size_t v) const
+{
+    DPC_ASSERT(v < up_.size(), "ComponentTracker::componentOf out of range");
+    ensureFresh();
+    return labels_[v];
+}
+
+std::size_t ComponentTracker::componentSize(std::uint32_t label) const
+{
+    ensureFresh();
+    DPC_ASSERT(label < comp_size_.size(), "ComponentTracker::componentSize bad label");
+    return comp_size_[label];
+}
+
+const std::vector<std::uint32_t> &ComponentTracker::labels() const
+{
+    ensureFresh();
+    return labels_;
+}
+
+std::uint64_t ComponentTracker::version() const
+{
+    ensureFresh();
+    return version_;
+}
+
+} // namespace dpc

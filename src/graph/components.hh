@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Incremental connectivity monitor over a (masked) overlay.
+ *
+ * The recovery layer needs to know, every round, how the *believed*
+ * overlay decomposes into connected components: which nodes can
+ * still reach each other through enabled links between active
+ * nodes.  That view drives partition-aware budget re-federation
+ * (each component gets its own safe-side budget share) and overlay
+ * healing (spare edges are proposed exactly when components
+ * fragment or degrees sag).
+ *
+ * ComponentTracker mirrors the allocator's masks one-to-one:
+ * nodeUp/nodeDown track the participation mask
+ * (joinNode/failNode), edgeUp/edgeDown track the per-edge enable
+ * mask (setEdgeEnabled).  Connectivity is maintained with a
+ * union-find that is *incremental in the growing direction* --
+ * edgeUp and nodeUp are near-O(alpha) union/insert operations --
+ * while the shrinking direction (edgeDown, nodeDown), which
+ * union-find cannot unwind, marks the structure dirty and the next
+ * query rebuilds from the stored masks in O(V + E alpha).  Fault
+ * storms are dominated by rounds where nothing changes, so queries
+ * between events stay O(1).
+ *
+ * Component labels are dense (0..k-1, assigned in ascending order
+ * of each component's lowest vertex id), so they can index
+ * per-component share arrays directly.  version() bumps whenever
+ * the labeling actually changes, giving drivers an O(1) "did the
+ * partition structure move?" test.
+ */
+
+#ifndef DPC_GRAPH_COMPONENTS_HH
+#define DPC_GRAPH_COMPONENTS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace dpc {
+
+/** Union-find connectivity monitor over masked overlays. */
+class ComponentTracker
+{
+  public:
+    /** Label reported for nodes that are currently down. */
+    static constexpr std::uint32_t kNoComponent = 0xffffffffu;
+
+    explicit ComponentTracker(std::size_t n = 0) { reset(n); }
+
+    /** (Re)initialize for n vertices, all up, no edges. */
+    void reset(std::size_t n);
+
+    /** Number of tracked vertices. */
+    std::size_t size() const { return up_.size(); }
+
+    /** Mark a vertex up (idempotent).  Incremental: the vertex
+     * joins as a singleton; its connectivity grows via edgeUp. */
+    void nodeUp(std::size_t v);
+
+    /** Mark a vertex down (idempotent).  Lazy: the next query
+     * rebuilds the union-find without it. */
+    void nodeDown(std::size_t v);
+
+    /** Mark the undirected edge {u, v} enabled (idempotent).
+     * Incremental union when both endpoints are up. */
+    void edgeUp(std::size_t u, std::size_t v);
+
+    /** Mark the edge disabled (idempotent; lazy rebuild). */
+    void edgeDown(std::size_t u, std::size_t v);
+
+    bool nodeIsUp(std::size_t v) const { return up_[v] != 0; }
+
+    /** Whether the edge is currently in the enabled set. */
+    bool edgeIsUp(std::size_t u, std::size_t v) const;
+
+    /** Number of connected components among up vertices (0 when
+     * every vertex is down). */
+    std::size_t numComponents() const;
+
+    /** True when at most one component exists. */
+    bool connected() const { return numComponents() <= 1; }
+
+    /** Dense component label of v (kNoComponent when v is down). */
+    std::uint32_t componentOf(std::size_t v) const;
+
+    /** Vertices in the labeled component. */
+    std::size_t componentSize(std::uint32_t label) const;
+
+    /** Dense label per vertex (kNoComponent for down vertices). */
+    const std::vector<std::uint32_t> &labels() const;
+
+    /**
+     * Monotone counter that advances whenever the labeling
+     * changes; equal versions guarantee identical labels, so
+     * drivers can gate O(n) re-federation work on it.
+     */
+    std::uint64_t version() const;
+
+  private:
+    /** Pack an undirected edge into one 64-bit set key. */
+    static std::uint64_t key(std::size_t u, std::size_t v);
+
+    /** Rebuild the union-find and relabel if dirty. */
+    void ensureFresh() const;
+
+    /** Union-find find with path halving. */
+    std::uint32_t find(std::uint32_t v) const;
+
+    std::vector<std::uint8_t> up_;
+    /** Enabled-edge set, keyed (min << 32 | max). */
+    std::unordered_set<std::uint64_t> edges_;
+
+    // ---- lazily maintained connectivity state -------------------
+    mutable std::vector<std::uint32_t> parent_;
+    mutable std::vector<std::uint32_t> rank_;
+    mutable std::vector<std::uint32_t> labels_;
+    mutable std::vector<std::size_t> comp_size_;
+    mutable std::size_t num_comps_ = 0;
+    mutable bool dirty_ = true;
+    mutable std::uint64_t version_ = 0;
+};
+
+} // namespace dpc
+
+#endif // DPC_GRAPH_COMPONENTS_HH

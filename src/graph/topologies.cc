@@ -98,6 +98,95 @@ makeTwoTierFabric(std::size_t n, std::size_t rack_size)
 }
 
 Graph
+makeHealableRing(std::size_t n, std::size_t chords, std::size_t spares,
+                 Rng &rng,
+                 std::vector<std::pair<std::size_t, std::size_t>> *spare_edges)
+{
+    DPC_ASSERT(spare_edges != nullptr, "makeHealableRing needs a spare sink");
+    const std::size_t max_extra = n * (n - 1) / 2 - n;
+    DPC_ASSERT(chords + spares <= max_extra,
+               "too many chords + spares requested");
+    Graph g = makeChordalRing(n, chords, rng);
+    spare_edges->clear();
+    spare_edges->reserve(spares);
+    std::size_t added = 0;
+    while (added < spares) {
+        const std::size_t u = rng.index(n);
+        const std::size_t v = rng.index(n);
+        if (g.addEdge(u, v)) {
+            spare_edges->emplace_back(u < v ? u : v, u < v ? v : u);
+            ++added;
+        }
+    }
+    return g;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+proposeOverlayRepairs(
+    const std::vector<std::pair<std::size_t, std::size_t>> &overlay,
+    const std::vector<std::uint8_t> &candidate,
+    const std::vector<std::uint8_t> &alive,
+    const std::vector<std::uint32_t> &comp_of, std::size_t num_comps,
+    const std::vector<std::size_t> &live_degree, std::size_t degree_floor)
+{
+    DPC_ASSERT(candidate.size() == overlay.size(),
+               "candidate mask must cover every overlay edge");
+    DPC_ASSERT(comp_of.size() == alive.size() &&
+                   live_degree.size() == alive.size(),
+               "per-node views must agree on the vertex count");
+    std::vector<std::pair<std::size_t, std::size_t>> picked;
+
+    // Pass 1: bridge components.  A tiny union-find over component
+    // labels tracks which components the proposals already merge so
+    // we never spend two spares bridging the same pair.
+    std::vector<std::uint32_t> root(num_comps);
+    for (std::uint32_t c = 0; c < num_comps; ++c)
+        root[c] = c;
+    auto find = [&root](std::uint32_t c) {
+        while (root[c] != c) {
+            root[c] = root[root[c]];
+            c = root[c];
+        }
+        return c;
+    };
+    std::vector<std::size_t> degree = live_degree;
+    std::vector<std::uint8_t> used(overlay.size(), 0);
+    if (num_comps > 1) {
+        for (std::size_t id = 0; id < overlay.size(); ++id) {
+            if (!candidate[id])
+                continue;
+            const auto [u, v] = overlay[id];
+            if (!alive[u] || !alive[v])
+                continue;
+            const std::uint32_t cu = find(comp_of[u]);
+            const std::uint32_t cv = find(comp_of[v]);
+            if (cu == cv)
+                continue;
+            root[cu < cv ? cv : cu] = cu < cv ? cu : cv;
+            picked.emplace_back(u, v);
+            used[id] = 1;
+            ++degree[u];
+            ++degree[v];
+        }
+    }
+
+    // Pass 2: degree-floor top-up with the projected degrees.
+    for (std::size_t id = 0; id < overlay.size(); ++id) {
+        if (!candidate[id] || used[id])
+            continue;
+        const auto [u, v] = overlay[id];
+        if (!alive[u] || !alive[v])
+            continue;
+        if (degree[u] >= degree_floor && degree[v] >= degree_floor)
+            continue;
+        picked.emplace_back(u, v);
+        ++degree[u];
+        ++degree[v];
+    }
+    return picked;
+}
+
+Graph
 makeComplete(std::size_t n)
 {
     Graph g(n);

@@ -12,6 +12,9 @@
 #define DPC_GRAPH_TOPOLOGIES_HH
 
 #include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "graph/graph.hh"
 #include "util/rng.hh"
@@ -59,6 +62,57 @@ Graph makeTwoTierFabric(std::size_t n, std::size_t rack_size);
 
 /** Complete graph over n vertices (used in tests as a limit case). */
 Graph makeComplete(std::size_t n);
+
+/**
+ * Healable overlay: a chordal ring with `spares` additional
+ * pre-provisioned random chords intended to start administratively
+ * disabled.  The spare chords are reported through `spare_edges`
+ * (canonical u < v pairs); the recovery layer disables them on the
+ * allocator at session start and re-enables individual spares when
+ * the live overlay fragments or a node's live degree sags.  The
+ * CSR overlay itself is immutable, so healing can only ever enable
+ * capacity that was wired here up front.
+ */
+Graph makeHealableRing(std::size_t n, std::size_t chords,
+                       std::size_t spares, Rng &rng,
+                       std::vector<std::pair<std::size_t, std::size_t>>
+                           *spare_edges);
+
+/**
+ * Overlay healer: propose disabled edges to re-enable so the live
+ * overlay becomes connected again and every live node regains at
+ * least `degree_floor` live links (capacity permitting).
+ *
+ * Inputs are per-edge/per-node views of the *believed* cluster
+ * state (the caller is the recovery layer; it must not consult
+ * ground truth):
+ *  - `overlay`     all CSR overlay edges, canonical u < v order,
+ *                  index == edge id;
+ *  - `candidate`   per edge: 1 when the edge is currently disabled
+ *                  but believed healthy and eligible to enable
+ *                  (typically: a spare whose endpoints are alive
+ *                  and whose fates are not suspected);
+ *  - `alive`       per node: believed-active mask;
+ *  - `comp_of`     per node: dense component label of the live
+ *                  overlay (ComponentTracker::labels()), valid
+ *                  where alive;
+ *  - `num_comps`   number of live components;
+ *  - `live_degree` per node: current live degree;
+ *  - `degree_floor` target minimum live degree.
+ *
+ * Two deterministic greedy passes in ascending edge-id order:
+ * first bridge distinct components (each proposal merges two, so k
+ * components cost at most k-1 enables), then top up nodes whose
+ * projected degree is still below the floor.  Returns the edges to
+ * enable as canonical pairs.
+ */
+std::vector<std::pair<std::size_t, std::size_t>> proposeOverlayRepairs(
+    const std::vector<std::pair<std::size_t, std::size_t>> &overlay,
+    const std::vector<std::uint8_t> &candidate,
+    const std::vector<std::uint8_t> &alive,
+    const std::vector<std::uint32_t> &comp_of, std::size_t num_comps,
+    const std::vector<std::size_t> &live_degree,
+    std::size_t degree_floor);
 
 } // namespace dpc
 

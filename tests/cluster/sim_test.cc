@@ -212,6 +212,52 @@ TEST(ClusterSimFaultTest, ChurnUnderLossyGossipKeepsGuarantees)
     EXPECT_GT(sim.diba().totalPower(), 0.0);
 }
 
+TEST(ClusterSimRecoveryTest, SelfHealingModeClosesTheLoop)
+{
+    // Same churn as the omniscient fault test, but the events only
+    // mutate the ground-truth world: the control loop must discover
+    // them from missed pairs, evict and re-admit the nodes itself,
+    // and keep every sample under budget throughout.
+    const std::size_t n = 32;
+    Rng rng(7);
+    auto assignment = drawNpbAssignment(n, rng);
+    Rng topo_rng(8);
+    ClusterSimConfig cfg;
+    ClusterSim sim(std::move(assignment),
+                   makeChordalRing(n, 10, topo_rng), n * 170.0,
+                   DibaAllocator::Config(), cfg);
+
+    FaultPlan plan;
+    LossyChannel::Config loss;
+    loss.drop_rate = 0.10;
+    plan.loss(loss)
+        .crashAt(3.0, 5)
+        .crashAt(6.0, 11)
+        .rejoinAt(12.0, 5)
+        .meterGlitchAt(8.0, 2, 0.3, 2.0);
+    sim.setRecoveryPlan(plan);
+
+    const auto samples = sim.run(20.0);
+    ASSERT_EQ(samples.size(), 20u);
+    for (const auto &s : samples)
+        EXPECT_LT(s.allocated_power, s.budget);
+    EXPECT_TRUE(sim.diba().isActive(5));   // rejoined via verdicts
+    EXPECT_FALSE(sim.diba().isActive(11)); // evicted via verdicts
+    EXPECT_EQ(sim.diba().numActive(), n - 1);
+
+    const RecoveryReport &rep = sim.recoveryReport();
+    EXPECT_EQ(rep.nodes_failed, 2u);
+    EXPECT_EQ(rep.nodes_rejoined, 1u);
+    EXPECT_EQ(rep.events_applied, 3u);
+    // The MeterGlitch stays a control-loop concern: the recovery
+    // session skips it and the sim's own timeline applies it.
+    EXPECT_EQ(sim.faultEventsSkipped(), 0u);
+    // Every DiBA round inside every control step was audited.
+    EXPECT_EQ(sim.recovery().checker().roundsChecked(),
+              rep.rounds);
+    EXPECT_EQ(rep.rounds, 20u * 60u);
+}
+
 TEST(ClusterSimFaultTest, MeterGlitchBiasesOnlyItsWindow)
 {
     // Twin simulations differing only in one MeterGlitch event:

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "fault/lossy_channel.hh"
 
 namespace dpc {
@@ -102,6 +104,52 @@ TEST(LossyChannelTest, ConfigValidationPanics)
     LossyChannel::Config bad_delay;
     bad_delay.delay_rate = 0.5; // max_lag left at 0
     EXPECT_DEATH(LossyChannel(bad_delay, 1), "max_lag");
+}
+
+TEST(LossyChannelTest, ConfigValidationRejectsNegativesAndNaN)
+{
+    LossyChannel::Config neg_drop;
+    neg_drop.drop_rate = -0.1;
+    EXPECT_DEATH(LossyChannel(neg_drop, 1), "drop_rate");
+
+    LossyChannel::Config neg_delay;
+    neg_delay.delay_rate = -0.2;
+    neg_delay.max_lag = 2;
+    EXPECT_DEATH(LossyChannel(neg_delay, 1), "delay_rate");
+
+    LossyChannel::Config dead_burst;
+    dead_burst.burst_enter = 0.1;
+    dead_burst.burst_exit = 0.0; // bursts would never end
+    EXPECT_DEATH(LossyChannel(dead_burst, 1), "burst_exit");
+
+    // NaN compares false against every bound; it must still be
+    // rejected, with the offending field named.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    LossyChannel::Config nan_drop;
+    nan_drop.drop_rate = nan;
+    EXPECT_DEATH(LossyChannel(nan_drop, 1), "drop_rate");
+    LossyChannel::Config nan_enter;
+    nan_enter.burst_enter = nan;
+    EXPECT_DEATH(LossyChannel(nan_enter, 1), "burst_enter");
+    LossyChannel::Config nan_delay;
+    nan_delay.delay_rate = nan;
+    nan_delay.max_lag = 1;
+    EXPECT_DEATH(LossyChannel(nan_delay, 1), "delay_rate");
+}
+
+TEST(LossyChannelTest, ConfigValidationBoundsMaxLag)
+{
+    LossyChannel::Config huge_lag;
+    huge_lag.delay_rate = 0.1;
+    huge_lag.max_lag = LossyChannel::kMaxLagLimit + 1;
+    EXPECT_DEATH(LossyChannel(huge_lag, 1), "max_lag");
+
+    // The limit itself is accepted.
+    LossyChannel::Config at_limit;
+    at_limit.delay_rate = 0.1;
+    at_limit.max_lag = LossyChannel::kMaxLagLimit;
+    LossyChannel ok(at_limit, 1);
+    EXPECT_EQ(ok.maxLag(), LossyChannel::kMaxLagLimit);
 }
 
 } // namespace

@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "alloc/centralized.hh"
+#include "fault/recovery.hh"
+#include "graph/topologies.hh"
+#include "metrics/performance.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+TEST(GroundTruthChannelTest, WorldStateGatesTheInnerLossProcess)
+{
+    LossyChannel::Config cfg; // lossless inner channel
+    GroundTruthChannel world(cfg, 1, 4);
+    world.beginRound(4);
+    EXPECT_TRUE(world.fate(0, 0, 1).delivered);
+
+    ASSERT_TRUE(world.crashNode(1));
+    EXPECT_FALSE(world.crashNode(1)); // no-op: already down
+    EXPECT_FALSE(world.fate(0, 0, 1).delivered);
+    EXPECT_TRUE(world.fate(1, 2, 3).delivered);
+    EXPECT_EQ(world.numNodesUp(), 3u);
+
+    ASSERT_TRUE(world.reviveNode(1));
+    EXPECT_TRUE(world.fate(0, 0, 1).delivered);
+
+    ASSERT_TRUE(world.cutLink(2, 3));
+    EXPECT_FALSE(world.cutLink(3, 2)); // orientation-free no-op
+    EXPECT_FALSE(world.fate(1, 2, 3).delivered);
+    EXPECT_FALSE(world.linkUp(2, 3));
+    ASSERT_TRUE(world.healLink(3, 2));
+    EXPECT_TRUE(world.fate(1, 2, 3).delivered);
+
+    EXPECT_EQ(world.worldDrops(), 2u);
+    // World drops consumed no inner draw.
+    EXPECT_EQ(world.inner().stats().dropped, 0u);
+}
+
+TEST(RecoverySessionTest, DetectorDrivenCrashAndRejoin)
+{
+    const std::size_t n = 16;
+    const auto prob = test::npbProblem(n, 170.0, 71);
+    Rng topo_rng(71);
+    DibaAllocator diba(makeChordalRing(n, 6, topo_rng));
+    diba.reset(prob);
+
+    FaultPlan plan;
+    plan.crashAt(10.0, 4).rejoinAt(80.0, 4);
+    RecoverySession session(diba, plan);
+
+    // Nothing is applied to the allocator at event time: the crash
+    // mutates the world, and only the detector's verdict (a streak
+    // of all-miss rounds) fails the node in the books.
+    for (int r = 0; r < 11; ++r)
+        session.stepRound();
+    EXPECT_TRUE(diba.isActive(4)); // world-dead, not yet detected
+
+    const std::size_t wait =
+        session.detector().config().node_suspect_after + 2;
+    for (std::size_t r = 0; r < wait; ++r)
+        session.stepRound();
+    EXPECT_FALSE(diba.isActive(4)); // verdict landed
+    EXPECT_EQ(session.report().nodes_failed, 1u);
+    EXPECT_EQ(session.report().false_positive_nodes, 0u);
+
+    // After the world revival, the probes of the believed-dead
+    // edges resume delivering and hysteresis re-admits the node.
+    while (session.now() < 90.0)
+        session.stepRound();
+    EXPECT_TRUE(diba.isActive(4));
+    EXPECT_EQ(session.report().nodes_rejoined, 1u);
+    EXPECT_EQ(session.report().events_applied, 2u);
+    EXPECT_EQ(session.report().events_skipped, 0u);
+    // Every round was audited.
+    EXPECT_EQ(session.checker().roundsChecked(),
+              session.report().rounds);
+}
+
+TEST(RecoverySessionTest, PersistentPartitionRefederatesTheBudget)
+{
+    const std::size_t n = 12;
+    const auto prob = test::npbProblem(n, 170.0, 72);
+    DibaAllocator diba(makeRing(n));
+    diba.reset(prob);
+
+    FaultPlan plan;
+    plan.cutLinkAt(5.0, 0, 1).cutLinkAt(5.0, 6, 7);
+    plan.healLinkAt(150.0, 0, 1).healLinkAt(150.0, 6, 7);
+    RecoverySession::Config cfg;
+    cfg.enable_healing = false; // keep the partition open
+    RecoverySession session(diba, plan, cfg);
+
+    while (session.now() < 100.0)
+        session.stepRound();
+    // Both edges were administratively cut by the detector and the
+    // budget was re-federated across the two arcs.
+    EXPECT_EQ(session.report().links_cut, 2u);
+    EXPECT_TRUE(diba.federationActive());
+    ASSERT_EQ(diba.federationShares().size(), 2u);
+    double share_sum = 0.0;
+    for (double s : diba.federationShares())
+        share_sum += s;
+    EXPECT_LE(share_sum, diba.budget()); // safe-side, bitwise
+    EXPECT_EQ(session.components().numComponents(), 2u);
+    EXPECT_GE(session.report().refederations, 1u);
+
+    // Healing the world links lets trust recover, the overlay
+    // reconnects, and the federation dissolves.
+    while (session.now() < 200.0)
+        session.stepRound();
+    EXPECT_EQ(session.report().links_healed, 2u);
+    EXPECT_TRUE(session.components().connected());
+    EXPECT_FALSE(diba.federationActive());
+    EXPECT_EQ(session.checker().roundsChecked(),
+              session.report().rounds);
+}
+
+TEST(RecoverySessionTest, HealerBridgesAPartitionWithSpares)
+{
+    const std::size_t n = 24;
+    const auto prob = test::npbProblem(n, 170.0, 73);
+    Rng topo_rng(73);
+    std::vector<std::pair<std::size_t, std::size_t>> spares;
+    Graph g = makeHealableRing(n, 0, 10, topo_rng, &spares);
+    DibaAllocator diba(std::move(g));
+    diba.reset(prob);
+
+    // Sever the bare ring in two places: without spares the
+    // believed overlay must fragment.
+    FaultPlan plan;
+    plan.cutLinkAt(5.0, 0, 1).cutLinkAt(5.0, 11, 12);
+    RecoverySession::Config cfg;
+    cfg.spare_edges = spares;
+    RecoverySession session(diba, plan, cfg);
+
+    while (session.now() < 120.0)
+        session.stepRound();
+    EXPECT_EQ(session.report().links_cut, 2u);
+    EXPECT_GE(session.report().repairs, 1u);
+    EXPECT_TRUE(session.components().connected());
+    // The healed overlay keeps optimizing the whole budget: no
+    // lingering federation once the spares bridged the split.
+    EXPECT_FALSE(diba.federationActive());
+    EXPECT_EQ(session.checker().roundsChecked(),
+              session.report().rounds);
+}
+
+// S3: crash -> rejoin -> crash of the same node while the overlay
+// is partitioned by administratively cut links.
+TEST(RecoverySessionTest, ChurnSequenceUnderPartitionMasks)
+{
+    const std::size_t n = 8;
+    const auto prob = test::npbProblem(n, 170.0, 74);
+    DibaAllocator diba(makeRing(n));
+    diba.reset(prob);
+
+    // Arcs {4,5,6} and {7,0,1,2,3}: when node 1 churns, both of
+    // its neighbors keep a second live edge, so the evidence for
+    // "node 1 died" never bleeds into a neighbor verdict.
+    FaultPlan plan;
+    plan.cutLinkAt(0.0, 3, 4).cutLinkAt(0.0, 6, 7);
+    plan.crashAt(40.0, 1).rejoinAt(90.0, 1).crashAt(140.0, 1);
+    RecoverySession::Config cfg;
+    cfg.enable_healing = false;
+    RecoverySession session(diba, plan, cfg);
+
+    while (session.now() < 70.0)
+        session.stepRound();
+    EXPECT_FALSE(diba.isActive(1));
+    while (session.now() < 120.0)
+        session.stepRound();
+    EXPECT_TRUE(diba.isActive(1));
+    while (session.now() < 200.0)
+        session.stepRound();
+    EXPECT_FALSE(diba.isActive(1));
+    EXPECT_EQ(session.report().nodes_failed, 2u);
+    EXPECT_EQ(session.report().nodes_rejoined, 1u);
+    EXPECT_EQ(session.report().links_cut, 2u);
+    // The partition was live the whole time, so every churn event
+    // was absorbed under an active federation.
+    EXPECT_TRUE(diba.federationActive());
+    EXPECT_EQ(session.checker().roundsChecked(),
+              session.report().rounds);
+}
+
+// S3: a revived node whose every overlay edge is world-cut gathers
+// no delivery evidence, so it must stay out of the books until a
+// link comes back.
+TEST(RecoverySessionTest, RejoinRequiresALiveLink)
+{
+    const std::size_t n = 8;
+    const auto prob = test::npbProblem(n, 170.0, 75);
+    DibaAllocator diba(makeRing(n));
+    diba.reset(prob);
+
+    FaultPlan plan;
+    plan.crashAt(10.0, 3)
+        .cutLinkAt(12.0, 2, 3)
+        .cutLinkAt(12.0, 3, 4)
+        .rejoinAt(60.0, 3)
+        .healLinkAt(120.0, 2, 3);
+    RecoverySession session(diba, plan);
+
+    while (session.now() < 120.0)
+        session.stepRound();
+    // World-revived at t=60, but both incident links are cut: the
+    // probes keep dropping, so the node stays believed-dead.
+    EXPECT_TRUE(session.world().nodeUp(3));
+    EXPECT_FALSE(diba.isActive(3));
+
+    while (session.now() < 160.0)
+        session.stepRound();
+    // One healed link is enough evidence to re-admit it.
+    EXPECT_TRUE(diba.isActive(3));
+    EXPECT_GE(session.report().nodes_rejoined, 1u);
+    EXPECT_EQ(session.checker().roundsChecked(),
+              session.report().rounds);
+}
+
+// The acceptance storm: a big healable overlay under i.i.d. loss,
+// Gilbert-Elliott bursts, random delays, random churn and link
+// cuts -- driven end to end with zero omniscient calls.  The
+// invariants are audited every round (the watchdog never leaves the
+// cluster over budget), the healer keeps the believed overlay
+// connected, and the final allocation lands within 5% of the
+// centralized oracle over the surviving nodes.
+TEST(RecoverySessionTest, AcceptanceStormHealsAndReconverges)
+{
+    const std::size_t n = 1024;
+    const double horizon = 600.0;
+    const auto prob = test::npbProblem(n, 170.0, 76);
+
+    auto run_once = [&](RecoveryReport *rep_out,
+                        std::size_t *comps_out) {
+        Rng topo_rng(76);
+        std::vector<std::pair<std::size_t, std::size_t>> spares;
+        Graph g = makeHealableRing(n, 256, 64, topo_rng, &spares);
+        DibaAllocator diba(std::move(g));
+        diba.reset(prob);
+
+        FaultPlan plan =
+            FaultPlan::randomChurn(n, 6, 3, horizon, 77);
+        // Two permanent link failures on top of the churn: the
+        // detector must cut them administratively (or, if they
+        // strand a chordless node, evict it as a node verdict).
+        plan.cutLinkAt(50.0, 10, 11).cutLinkAt(50.0, 11, 12);
+        LossyChannel::Config loss;
+        loss.drop_rate = 0.12;
+        loss.burst_enter = 0.01;
+        loss.burst_exit = 0.25;
+        loss.burst_drop = 0.85;
+        loss.delay_rate = 0.08;
+        loss.max_lag = 2;
+        plan.loss(loss);
+        plan.seed(78);
+
+        RecoverySession::Config cfg;
+        cfg.detector.node_suspect_after = 8;
+        cfg.detector.edge_suspect_after = 20;
+        cfg.spare_edges = spares;
+        RecoverySession session(diba, plan, cfg);
+
+        // Run through the full fault horizon plus a recovery tail
+        // long enough for strict fixed-point convergence under the
+        // never-ending 12% message loss.
+        while (session.now() < horizon + 1400.0)
+            session.stepRound();
+
+        // Hard guarantees first: every round audited, never over
+        // budget (the checker enforces sum p < P and per-component
+        // shares on every round; reaching here means it held).
+        EXPECT_EQ(session.checker().roundsChecked(),
+                  session.report().rounds);
+        EXPECT_LT(diba.totalPower(), diba.budget());
+
+        // The believed overlay is connected again among live nodes.
+        EXPECT_TRUE(session.components().connected());
+
+        // Crashed-and-never-revived nodes (plus the isolated one)
+        // were evicted by the detector, not by any oracle call.
+        std::set<std::size_t> dead;
+        for (const auto &ev : plan.events())
+            if (ev.kind == FaultKind::NodeCrash)
+                dead.insert(ev.node);
+        for (const auto &ev : plan.events())
+            if (ev.kind == FaultKind::NodeRejoin)
+                dead.erase(ev.node);
+        for (std::size_t v : dead)
+            EXPECT_FALSE(diba.isActive(v)) << "node " << v;
+        EXPECT_GE(session.report().nodes_failed, dead.size());
+        EXPECT_GE(session.report().nodes_rejoined, 3u);
+
+        // Allocation quality: within 5% of the centralized oracle
+        // over the surviving nodes.
+        AllocationProblem sub;
+        sub.budget = prob.budget;
+        std::vector<double> live_power;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!diba.isActive(i))
+                continue;
+            sub.utilities.push_back(prob.utilities[i]);
+            live_power.push_back(diba.power()[i]);
+        }
+        const auto oracle = CentralizedAllocator().allocate(sub);
+        const double got = totalUtility(sub.utilities, live_power);
+        const double best =
+            totalUtility(sub.utilities, oracle.power);
+        EXPECT_GE(got, 0.95 * best);
+
+        if (rep_out != nullptr)
+            *rep_out = session.report();
+        if (comps_out != nullptr)
+            *comps_out = session.components().numComponents();
+        return diba.power();
+    };
+
+    RecoveryReport rep{};
+    std::size_t comps = 0;
+    const auto power_a = run_once(&rep, &comps);
+    EXPECT_GT(rep.rounds_to_recover, 0u);
+    EXPECT_EQ(rep.events_skipped, 0u);
+    EXPECT_EQ(comps, 1u);
+
+    // Bitwise determinism: the identical storm replays the
+    // identical trajectory.
+    const auto power_b = run_once(nullptr, nullptr);
+    ASSERT_EQ(power_a.size(), power_b.size());
+    for (std::size_t i = 0; i < power_a.size(); ++i)
+        EXPECT_EQ(power_a[i], power_b[i]) << "node " << i;
+}
+
+// The false-positive escape hatch: under brutal loss an aggressive
+// detector will fail a perfectly healthy node; the probes keep
+// watching its edges, hysteresis clears the verdict, and the node
+// is re-admitted -- ending within tolerance of a fault-free run.
+TEST(RecoverySessionTest, FalsePositiveVerdictsHealViaHysteresis)
+{
+    const std::size_t n = 8;
+    const auto prob = test::npbProblem(n, 170.0, 79);
+
+    auto run = [&](bool bursts, RecoveryReport *rep) {
+        DibaAllocator diba(makeRing(n));
+        diba.reset(prob);
+        FaultPlan plan; // no discrete faults at all
+        LossyChannel::Config loss;
+        if (bursts) {
+            // Rare, short, total blackouts: when both edges of a
+            // node black out together, the hair-trigger detector
+            // misfires on a perfectly healthy node.
+            loss.drop_rate = 0.05;
+            loss.burst_enter = 0.02;
+            loss.burst_exit = 0.3;
+            loss.burst_drop = 1.0;
+        }
+        plan.loss(loss);
+        plan.seed(80);
+        RecoverySession::Config cfg;
+        cfg.detector.node_suspect_after = 2; // hair trigger
+        cfg.detector.edge_suspect_after = 10;
+        cfg.detector.trust_after = 2;
+        RecoverySession session(diba, plan, cfg);
+        std::size_t rounds = 400;
+        while (rounds-- > 0)
+            session.stepRound();
+        // Measure only once every misfire has healed and the
+        // allocation had a full-membership window to settle.
+        std::size_t settle = 0, guard = 4000;
+        while (settle < 60 && guard-- > 0) {
+            session.stepRound();
+            settle = diba.numActive() == n ? settle + 1 : 0;
+        }
+        EXPECT_EQ(diba.numActive(), n);
+        if (rep != nullptr)
+            *rep = session.report();
+        return totalUtility(prob.utilities, diba.power());
+    };
+
+    RecoveryReport rep{};
+    const double lossy_util = run(true, &rep);
+    // The hair-trigger detector misfired at least once, and every
+    // misfire was healed by the hysteresis path.
+    EXPECT_GE(rep.false_positive_nodes, 1u);
+    EXPECT_EQ(rep.nodes_rejoined, rep.nodes_failed);
+
+    const double clean_util = run(false, nullptr);
+    EXPECT_GE(lossy_util, 0.95 * clean_util);
+}
+
+} // namespace
+} // namespace dpc

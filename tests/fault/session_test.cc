@@ -104,6 +104,12 @@ TEST(FaultSessionTest, SkipsInvalidEventsInsteadOfPanicking)
     session.stepRound();
     EXPECT_EQ(session.eventsApplied(), 2u);
     EXPECT_EQ(session.eventsSkipped(), 4u);
+    // Per-kind breakdown: one of each invalid flavor.
+    EXPECT_EQ(session.eventsSkipped(FaultKind::NodeCrash), 1u);
+    EXPECT_EQ(session.eventsSkipped(FaultKind::NodeRejoin), 1u);
+    EXPECT_EQ(session.eventsSkipped(FaultKind::LinkCut), 1u);
+    EXPECT_EQ(session.eventsSkipped(FaultKind::LinkHeal), 1u);
+    EXPECT_EQ(session.eventsSkipped(FaultKind::MeterGlitch), 0u);
     EXPECT_FALSE(diba.isActive(5));
     EXPECT_FALSE(diba.edgeEnabled(0, 1));
 }
@@ -121,6 +127,7 @@ TEST(FaultSessionTest, MeterGlitchIsAControlLoopConcern)
     // as skipped and the run continues.
     EXPECT_EQ(session.eventsApplied(), 0u);
     EXPECT_EQ(session.eventsSkipped(), 1u);
+    EXPECT_EQ(session.eventsSkipped(FaultKind::MeterGlitch), 1u);
 }
 
 TEST(FaultSessionTest, RunReportsQuietRoundsOnceSettled)

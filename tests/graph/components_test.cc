@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "graph/components.hh"
+
+namespace dpc {
+namespace {
+
+/** Wire vertices [0, n) into a path 0-1-2-...-(n-1). */
+void
+wirePath(ComponentTracker &t, std::size_t n)
+{
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        t.edgeUp(i, i + 1);
+}
+
+TEST(ComponentTrackerTest, FreshTrackerIsAllSingletons)
+{
+    ComponentTracker t(5);
+    EXPECT_EQ(t.size(), 5u);
+    EXPECT_EQ(t.numComponents(), 5u);
+    EXPECT_FALSE(t.connected());
+    for (std::size_t v = 0; v < 5; ++v)
+        EXPECT_TRUE(t.nodeIsUp(v));
+    // Dense labels ascend with the lowest vertex id of each
+    // component; singletons are their own component.
+    for (std::size_t v = 0; v < 5; ++v)
+        EXPECT_EQ(t.componentOf(v), static_cast<std::uint32_t>(v));
+}
+
+TEST(ComponentTrackerTest, EdgesMergeIncrementally)
+{
+    ComponentTracker t(6);
+    wirePath(t, 6);
+    EXPECT_EQ(t.numComponents(), 1u);
+    EXPECT_TRUE(t.connected());
+    for (std::size_t v = 0; v < 6; ++v)
+        EXPECT_EQ(t.componentOf(v), 0u);
+    EXPECT_EQ(t.componentSize(0), 6u);
+}
+
+TEST(ComponentTrackerTest, EdgeDownSplitsLazily)
+{
+    ComponentTracker t(6);
+    wirePath(t, 6);
+    t.edgeDown(2, 3);
+    EXPECT_EQ(t.numComponents(), 2u);
+    EXPECT_EQ(t.componentOf(0), 0u);
+    EXPECT_EQ(t.componentOf(2), 0u);
+    EXPECT_EQ(t.componentOf(3), 1u);
+    EXPECT_EQ(t.componentOf(5), 1u);
+    EXPECT_EQ(t.componentSize(0), 3u);
+    EXPECT_EQ(t.componentSize(1), 3u);
+    EXPECT_FALSE(t.edgeIsUp(2, 3));
+    EXPECT_TRUE(t.edgeIsUp(3, 2) == false); // orientation-free
+    // Re-enabling heals the split.
+    t.edgeUp(2, 3);
+    EXPECT_EQ(t.numComponents(), 1u);
+}
+
+TEST(ComponentTrackerTest, NodeDownRemovesItsEdges)
+{
+    ComponentTracker t(5);
+    wirePath(t, 5); // 0-1-2-3-4
+    t.nodeDown(2);
+    EXPECT_EQ(t.numComponents(), 2u);
+    EXPECT_EQ(t.componentOf(2), ComponentTracker::kNoComponent);
+    EXPECT_EQ(t.componentOf(1), 0u);
+    EXPECT_EQ(t.componentOf(3), 1u);
+    // The node's edges were only masked, not forgotten: when it
+    // comes back the path is whole again.
+    t.nodeUp(2);
+    EXPECT_EQ(t.numComponents(), 1u);
+}
+
+TEST(ComponentTrackerTest, VersionBumpsOnlyOnLabelChanges)
+{
+    ComponentTracker t(4);
+    wirePath(t, 4);
+    const std::uint64_t v0 = t.version();
+    // Queries without mutations keep the version.
+    EXPECT_EQ(t.numComponents(), 1u);
+    EXPECT_EQ(t.version(), v0);
+    // An edge inside one component changes nothing.
+    t.edgeUp(0, 2);
+    EXPECT_EQ(t.numComponents(), 1u);
+    EXPECT_EQ(t.version(), v0);
+    // A real split advances it.
+    t.edgeUp(0, 3); // ring now
+    t.edgeDown(1, 2);
+    EXPECT_EQ(t.numComponents(), 1u); // still a path via 3
+    t.edgeDown(0, 3);
+    t.edgeDown(0, 2);
+    EXPECT_EQ(t.numComponents(), 2u);
+    EXPECT_GT(t.version(), v0);
+}
+
+TEST(ComponentTrackerTest, LabelsAreDenseAndOrderedByLowestId)
+{
+    ComponentTracker t(7);
+    // {0, 4}, {1, 5}, {2}, {3, 6}
+    t.edgeUp(0, 4);
+    t.edgeUp(1, 5);
+    t.edgeUp(3, 6);
+    EXPECT_EQ(t.numComponents(), 4u);
+    EXPECT_EQ(t.componentOf(0), 0u);
+    EXPECT_EQ(t.componentOf(4), 0u);
+    EXPECT_EQ(t.componentOf(1), 1u);
+    EXPECT_EQ(t.componentOf(5), 1u);
+    EXPECT_EQ(t.componentOf(2), 2u);
+    EXPECT_EQ(t.componentOf(3), 3u);
+    EXPECT_EQ(t.componentOf(6), 3u);
+    const auto &labels = t.labels();
+    ASSERT_EQ(labels.size(), 7u);
+    for (std::size_t v = 0; v < 7; ++v)
+        EXPECT_EQ(labels[v], t.componentOf(v));
+}
+
+TEST(ComponentTrackerTest, AllNodesDownIsZeroComponents)
+{
+    ComponentTracker t(3);
+    wirePath(t, 3);
+    for (std::size_t v = 0; v < 3; ++v)
+        t.nodeDown(v);
+    EXPECT_EQ(t.numComponents(), 0u);
+    EXPECT_TRUE(t.connected()); // vacuously (<= 1)
+}
+
+TEST(ComponentTrackerTest, OperationsAreIdempotent)
+{
+    ComponentTracker t(4);
+    t.edgeUp(0, 1);
+    t.edgeUp(1, 0); // same edge, flipped
+    t.edgeUp(0, 1);
+    EXPECT_EQ(t.numComponents(), 3u);
+    t.nodeDown(3);
+    t.nodeDown(3);
+    EXPECT_EQ(t.numComponents(), 2u);
+    t.nodeUp(3);
+    t.nodeUp(3);
+    EXPECT_EQ(t.numComponents(), 3u);
+}
+
+} // namespace
+} // namespace dpc

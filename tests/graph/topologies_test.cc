@@ -113,5 +113,87 @@ TEST(TopologiesTest, AverageDegreeGrowsWithEdges)
     EXPECT_LT(sparse.averageDegree(), dense.averageDegree());
 }
 
+TEST(TopologiesTest, HealableRingWiresSparesOnTop)
+{
+    Rng rng(7);
+    std::vector<std::pair<std::size_t, std::size_t>> spares;
+    const auto g = makeHealableRing(16, 4, 6, rng, &spares);
+    EXPECT_EQ(g.numEdges(), 16u + 4u + 6u);
+    ASSERT_EQ(spares.size(), 6u);
+    for (const auto &[u, v] : spares) {
+        EXPECT_LT(u, v); // canonical orientation
+        EXPECT_TRUE(g.hasEdge(u, v));
+    }
+    EXPECT_TRUE(g.isConnected());
+    // Determinism: the same seed wires the same spares.
+    Rng rng2(7);
+    std::vector<std::pair<std::size_t, std::size_t>> spares2;
+    makeHealableRing(16, 4, 6, rng2, &spares2);
+    EXPECT_EQ(spares, spares2);
+}
+
+TEST(TopologiesTest, HealableRingValidation)
+{
+    Rng rng(8);
+    EXPECT_DEATH(makeHealableRing(8, 2, 2, rng, nullptr), "spare");
+    std::vector<std::pair<std::size_t, std::size_t>> spares;
+    // 8 nodes: ring 8 + chords + spares can't exceed C(8,2) - 8.
+    EXPECT_DEATH(makeHealableRing(8, 10, 11, rng, &spares), "");
+}
+
+TEST(TopologiesTest, RepairProposalsBridgeComponents)
+{
+    // Path 0-1-2-3 with edge {1,2} down, plus disabled candidates
+    // {0,3} (bridges) and {0,1} (redundant, already live).
+    using Edge = std::pair<std::size_t, std::size_t>;
+    const std::vector<Edge> overlay = {
+        {0, 1}, {1, 2}, {2, 3}, {0, 3}};
+    const std::vector<std::uint8_t> candidate = {0, 0, 0, 1};
+    const std::vector<std::uint8_t> alive = {1, 1, 1, 1};
+    const std::vector<std::uint32_t> comp = {0, 0, 1, 1};
+    const std::vector<std::size_t> deg = {1, 1, 1, 1};
+    const auto picks =
+        proposeOverlayRepairs(overlay, candidate, alive, comp,
+                              /*num_comps=*/2, deg,
+                              /*degree_floor=*/1);
+    ASSERT_EQ(picks.size(), 1u);
+    EXPECT_EQ(picks[0], (Edge{0, 3}));
+}
+
+TEST(TopologiesTest, RepairProposalsTopUpDegreeFloor)
+{
+    // Connected triangle 0-1-2 where node 3 hangs off node 0 by a
+    // single live edge; a spare {1, 3} brings it to the floor.
+    using Edge = std::pair<std::size_t, std::size_t>;
+    const std::vector<Edge> overlay = {
+        {0, 1}, {1, 2}, {0, 2}, {0, 3}, {1, 3}};
+    const std::vector<std::uint8_t> candidate = {0, 0, 0, 0, 1};
+    const std::vector<std::uint8_t> alive = {1, 1, 1, 1};
+    const std::vector<std::uint32_t> comp = {0, 0, 0, 0};
+    const std::vector<std::size_t> deg = {3, 2, 2, 1};
+    const auto picks =
+        proposeOverlayRepairs(overlay, candidate, alive, comp,
+                              /*num_comps=*/1, deg,
+                              /*degree_floor=*/2);
+    ASSERT_EQ(picks.size(), 1u);
+    EXPECT_EQ(picks[0], (Edge{1, 3}));
+}
+
+TEST(TopologiesTest, RepairProposalsRespectCapacity)
+{
+    // Two components but no candidate that bridges them: the
+    // healer proposes nothing rather than something wrong.
+    using Edge = std::pair<std::size_t, std::size_t>;
+    const std::vector<Edge> overlay = {{0, 1}, {2, 3}, {0, 2}};
+    const std::vector<std::uint8_t> candidate = {0, 0, 0};
+    const std::vector<std::uint8_t> alive = {1, 1, 1, 1};
+    const std::vector<std::uint32_t> comp = {0, 0, 1, 1};
+    const std::vector<std::size_t> deg = {1, 1, 1, 1};
+    const auto picks =
+        proposeOverlayRepairs(overlay, candidate, alive, comp, 2,
+                              deg, 1);
+    EXPECT_TRUE(picks.empty());
+}
+
 } // namespace
 } // namespace dpc

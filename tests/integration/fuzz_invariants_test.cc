@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <set>
 
 #include "alloc/diba.hh"
 #include "alloc/kkt.hh"
+#include "fault/recovery.hh"
 #include "graph/topologies.hh"
 #include "metrics/performance.hh"
 #include "tests/alloc/test_problems.hh"
@@ -126,6 +128,73 @@ TEST_P(DibaFuzz, InvariantsSurviveRandomOperationSequences)
 INSTANTIATE_TEST_SUITE_P(Seeds, DibaFuzz,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u,
                                            66u, 77u, 88u));
+
+/**
+ * Recovery fuzzing: random churn plans executed with zero
+ * omniscient calls -- every failNode/joinNode is a detector
+ * verdict inferred from missed pairs, the healer keeps the overlay
+ * stitched, and the invariant checker audits every round (it
+ * asserts conservation, strict slack and the federation's
+ * safe-side budget split internally, so surviving the run IS the
+ * assertion).
+ */
+class RecoveryFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RecoveryFuzz, ChurnPlansSurviveDetectorDrivenRecovery)
+{
+    const std::size_t n = 64;
+    const double horizon = 200.0;
+    Rng fuzz_rng(GetParam());
+    Rng topo_rng(GetParam() ^ 0xa5a5);
+    std::vector<std::pair<std::size_t, std::size_t>> spares;
+    DibaAllocator diba(
+        makeHealableRing(n, 16, 12, topo_rng, &spares));
+    diba.reset(test::npbProblem(n, 175.0, GetParam()));
+
+    const std::size_t crashes = 2 + fuzz_rng.index(5);
+    const std::size_t rejoins = fuzz_rng.index(crashes + 1);
+    FaultPlan plan = FaultPlan::randomChurn(
+        n, crashes, rejoins, horizon, GetParam() * 31 + 7);
+    LossyChannel::Config loss;
+    loss.drop_rate = 0.05 + 0.1 * fuzz_rng.uniform(0.0, 1.0);
+    loss.delay_rate = 0.05;
+    loss.max_lag = 2;
+    plan.loss(loss);
+    plan.seed(GetParam() * 131 + 5);
+
+    RecoverySession::Config cfg;
+    cfg.detector.node_suspect_after = 8;
+    cfg.detector.edge_suspect_after = 20;
+    cfg.spare_edges = spares;
+    RecoverySession session(diba, plan, cfg);
+    while (session.now() < horizon + 150.0)
+        session.stepRound();
+
+    // Audited every round, budget never exceeded.
+    EXPECT_EQ(session.checker().roundsChecked(),
+              session.report().rounds);
+    EXPECT_LT(diba.totalPower(), diba.budget());
+    // Every never-revived crash was detected in-protocol.
+    std::set<std::size_t> gone;
+    for (const auto &ev : plan.events())
+        if (ev.kind == FaultKind::NodeCrash)
+            gone.insert(ev.node);
+    for (const auto &ev : plan.events())
+        if (ev.kind == FaultKind::NodeRejoin)
+            gone.erase(ev.node);
+    for (std::size_t v : gone)
+        EXPECT_FALSE(diba.isActive(v))
+            << "seed " << GetParam() << " node " << v;
+    EXPECT_GE(session.report().nodes_failed, gone.size());
+    // The believed overlay ends connected among the survivors.
+    EXPECT_TRUE(session.components().connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryFuzz,
+                         ::testing::Values(3u, 14u, 159u, 2653u,
+                                           58979u, 323846u));
 
 } // namespace
 } // namespace dpc

@@ -47,6 +47,15 @@ OTHER_METRICS = (
     "comp_ms",
     "comm_ms",
     "iters",
+    "availability",
+    "util_frac_during",
+    "rounds_to_recover",
+    "repairs",
+    "refederations",
+    "escalations",
+    "nodes_failed",
+    "nodes_rejoined",
+    "false_positives",
 )
 METRICS = set(PERF_METRICS) | set(OTHER_METRICS)
 

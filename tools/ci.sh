@@ -1,0 +1,50 @@
+#!/bin/sh
+# Full local CI: everything a reviewer would want green before
+# merging, in the order that fails fastest.
+#
+#   1. scalar Release build + full ctest        (correctness)
+#   2. AVX2 build + full ctest                  (bitwise SIMD parity)
+#   3. ASan suite                               (memory safety)
+#   4. UBSan suite                              (UB: shifts, casts,
+#                                                signed overflow)
+#   5. TSan round-engine suite                  (determinism under
+#                                                real threads)
+#   6. bench suite + bench_compare gate         (perf + quality
+#                                                baselines)
+#
+# Usage: tools/ci.sh             # run everything
+#        DPC_CI_SKIP_BENCH=1 ... # skip the bench gate (slow)
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+
+step() {
+    printf '\n== ci: %s ==\n' "$1"
+}
+
+step "scalar build + full test suite"
+cmake -S "$repo" -B "$repo/build" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$repo/build" -j"$(nproc)"
+ctest --test-dir "$repo/build" --output-on-failure -j"$(nproc)"
+
+step "AVX2 build + full test suite"
+cmake -S "$repo" -B "$repo/build-avx2" -DCMAKE_BUILD_TYPE=Release \
+      -DDPC_AVX2=ON
+cmake --build "$repo/build-avx2" -j"$(nproc)"
+ctest --test-dir "$repo/build-avx2" --output-on-failure -j"$(nproc)"
+
+step "AddressSanitizer suite"
+"$repo/tools/run_ctest_asan.sh"
+
+step "UndefinedBehaviorSanitizer suite"
+"$repo/tools/run_ctest_ubsan.sh"
+
+step "ThreadSanitizer round-engine suite"
+"$repo/tools/run_ctest_tsan.sh"
+
+if [ "${DPC_CI_SKIP_BENCH:-0}" != "1" ]; then
+    step "bench suite + baseline gate"
+    BUILD_DIR="$repo/build" "$repo/tools/run_bench_suite.sh"
+fi
+
+step "all green"

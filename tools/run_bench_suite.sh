@@ -16,6 +16,9 @@
 #                             timings, warm-start reconvergence)
 #   BENCH_fault_storm.json   (fault_storm: allocation quality under
 #                             loss and churn)
+#   BENCH_recovery.json      (recovery_storm: detector-driven
+#                             self-healing -- availability,
+#                             time-to-recover, quality vs oracle)
 # micro_round_engine (google-benchmark) also runs for the human log
 # but is not part of the gate -- its numbers duplicate the
 # table4_2 records in a harness with its own timing loop.
@@ -30,7 +33,8 @@ if [ ! -d "$BUILD_DIR" ]; then
     cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
 fi
 cmake --build "$BUILD_DIR" -j \
-    --target table4_2_scalability fault_storm micro_round_engine
+    --target table4_2_scalability fault_storm recovery_storm \
+    micro_round_engine
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -41,12 +45,16 @@ echo
 echo "== fault_storm =="
 (cd "$workdir" && "$BUILD_DIR/bench/fault_storm")
 echo
+echo "== recovery_storm =="
+(cd "$workdir" && "$BUILD_DIR/bench/recovery_storm")
+echo
 echo "== micro_round_engine (informational) =="
 "$BUILD_DIR/bench/micro_round_engine" --benchmark_min_time=0.2 ||
     echo "micro_round_engine failed (non-gating)"
 
 status=0
-for name in BENCH_diba_rounds.json BENCH_fault_storm.json; do
+for name in BENCH_diba_rounds.json BENCH_fault_storm.json \
+            BENCH_recovery.json; do
     if [ -f "$ROOT/$name" ]; then
         echo
         echo "== compare $name =="

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Build the full test suite under UndefinedBehaviorSanitizer and
+# run it.  The recovery stack shifts indices and packs edge keys
+# ((min << 32) | max in the ground-truth cut set), the detector
+# counts missed pairs with unsigned arithmetic, and the watchdog
+# compares floating-point residuals -- a UBSan pass (signed
+# overflow, shift width, bad casts, misaligned access) over the
+# whole suite complements the ASan memory-safety run and the TSan
+# determinism run.  -fno-sanitize-recover=all turns any finding
+# into a hard test failure instead of a log line.
+#
+# Usage: tools/run_ctest_ubsan.sh [build-dir]  (default: build-ubsan)
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build-ubsan"}
+
+cmake -S "$repo" -B "$build" -DDPC_SANITIZE=undefined \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      ${DPC_CMAKE_ARGS:-}
+cmake --build "$build" -j"$(nproc)"
+
+UBSAN_OPTIONS=${UBSAN_OPTIONS:-"halt_on_error=1:print_stacktrace=1"} \
+    ctest --test-dir "$build" --output-on-failure -j"$(nproc)"
