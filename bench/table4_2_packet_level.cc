@@ -7,16 +7,74 @@
  * coordinator round grows linearly with N while the DiBA round is
  * flat, so at scale the coordinator-based schemes pay orders of
  * magnitude more per iteration.
+ *
+ * Second half: the multi-lane batch engine
+ * (net/packet_sim_batch.hh).  An R=8 grid of round configurations
+ * (drop rate x overlay degree) runs once lane-by-lane through the
+ * standalone simulator and once as a single batched calendar-queue
+ * sweep; every lane's makespan must match the standalone value
+ * BITWISE (the engines share packet generation, launch-jitter
+ * hashing and the (time, packet, stage) event order), and the
+ * sweep is timed against the lane-by-lane loop.  Emits
+ * BENCH_packet_lanes.json; exits non-zero on any bitwise mismatch
+ * or if the aggregate speedup falls under 2x (smoke mode skips the
+ * speedup bar, not the bitwise bar).
  */
+
+#include <cstdlib>
 
 #include "bench/common.hh"
 #include "net/packet_sim.hh"
+#include "net/packet_sim_batch.hh"
+#include "tools/bench_json.hh"
 
 using namespace dpc;
+
+namespace {
+
+/** The R=8 lane grid: 4 drop rates x 2 overlay degrees. */
+std::vector<PacketLane>
+laneGrid(std::size_t n)
+{
+    const double drops[] = {0.0, 0.05, 0.1, 0.2};
+    std::vector<PacketLane> lanes;
+    for (const bool chordal : {false, true}) {
+        Rng topo(17);
+        const Graph g = chordal ? makeChordalRing(n, n / 8, topo)
+                                : makeRing(n);
+        for (const double drop : drops) {
+            PacketLane l;
+            l.overlay = g;
+            l.drop_rate = drop;
+            l.loss_seed =
+                0xfab1 + lanes.size(); // distinct per lane
+            lanes.push_back(std::move(l));
+        }
+    }
+    return lanes;
+}
+
+/** All lanes through the standalone simulator, one at a time. */
+std::vector<double>
+standaloneLanes(const std::vector<PacketLane> &lanes)
+{
+    std::vector<double> out;
+    out.reserve(lanes.size());
+    for (const PacketLane &l : lanes) {
+        PacketLevelSim sim(l.params);
+        Rng rng(l.loss_seed);
+        out.push_back(sim.dibaRoundLossyUs(l.overlay, l.drop_rate,
+                                           rng, l.max_retx));
+    }
+    return out;
+}
+
+} // namespace
 
 int
 main()
 {
+    const bool smoke = std::getenv("DPC_BENCH_SMOKE") != nullptr;
     bench::banner("Table 4.2 (packet-level cross-check)",
                   "Per-iteration communication time (ms) from the "
                   "DES fabric vs. the analytic queueing model");
@@ -27,7 +85,11 @@ main()
 
     Table table({"nodes", "coord_des_ms", "coord_model_ms",
                  "diba_des_ms", "diba_model_ms", "ratio_at_scale"});
-    for (std::size_t n : {400u, 800u, 1600u, 3200u, 6400u}) {
+    const std::vector<std::size_t> sizes =
+        smoke ? std::vector<std::size_t>{400}
+              : std::vector<std::size_t>{400, 800, 1600, 3200,
+                                         6400};
+    for (std::size_t n : sizes) {
         const double c_des =
             des.coordinatorRoundUs(n, rng) / 1000.0;
         const double c_model =
@@ -46,5 +108,65 @@ main()
         << "\nShape: both models agree that the coordinator round "
            "is ~N x (read+write) while a ring DiBA round costs a "
            "couple of reads regardless of N.\n";
-    return 0;
+
+    // ---- multi-lane batch engine -------------------------------
+    const std::size_t lane_n = smoke ? 400 : 3200;
+    const std::size_t trials = smoke ? 2 : 15;
+    const auto lanes = laneGrid(lane_n);
+    PacketLevelBatch batch(lanes);
+
+    const auto solo = standaloneLanes(lanes);
+    const auto batched = batch.dibaRoundUs();
+    bool bitwise_ok = solo.size() == batched.size();
+    for (std::size_t r = 0; bitwise_ok && r < solo.size(); ++r)
+        bitwise_ok = solo[r] == batched[r];
+
+    const auto t_solo = bench::timeRounds(
+        lane_n, 1, [&] { (void)standaloneLanes(lanes); }, trials);
+    const auto t_batch = bench::timeRounds(
+        lane_n, 1, [&] { (void)batch.dibaRoundUs(); }, trials);
+    const double speedup =
+        t_solo.ms_per_round / t_batch.ms_per_round;
+
+    bench::banner(
+        "Multi-lane packet engine",
+        "R=8 lanes (4 drop rates x 2 overlays), n=" +
+            std::to_string(lane_n) +
+            "; one calendar-queue sweep vs lane-by-lane DES");
+    Table lt({"lane", "overlay", "drop_pct", "standalone_ms",
+              "batched_ms", "bitwise"});
+    for (std::size_t r = 0; r < lanes.size(); ++r)
+        lt.addRow({Table::num((long long)r),
+                   std::string(r < 4 ? "ring" : "chordal"),
+                   Table::num(100.0 * lanes[r].drop_rate, 0),
+                   Table::num(solo[r] / 1000.0, 4),
+                   Table::num(batched[r] / 1000.0, 4),
+                   std::string(solo[r] == batched[r] ? "yes"
+                                                     : "NO")});
+    lt.print(std::cout);
+    std::cout << "\naggregate: standalone "
+              << Table::num(t_solo.ms_per_round, 2)
+              << " ms, batched "
+              << Table::num(t_batch.ms_per_round, 2) << " ms ("
+              << Table::num(speedup, 2) << "x)\n";
+
+    tools::BenchJsonWriter json;
+    json.record()
+        .field("bench", "packet_lanes")
+        .field("n", lane_n)
+        .field("lanes", lanes.size())
+        .field("ms_per_round", t_batch.ms_per_round)
+        .field("speedup_x", speedup)
+        .field("rounds", t_batch.rounds)
+        .field("peak_rss_mb", bench::peakRssMb());
+    json.save("BENCH_packet_lanes.json");
+
+    if (!bitwise_ok)
+        std::cout << "FAIL: batched lane makespans are not "
+                     "bitwise equal to the standalone DES\n";
+    const bool speed_ok = smoke || speedup >= 2.0;
+    if (!speed_ok)
+        std::cout << "FAIL: aggregate lane speedup "
+                  << Table::num(speedup, 2) << "x < 2x\n";
+    return bitwise_ok && speed_ok ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "metrics/performance.hh"
 #include "util/logging.hh"
+#include "util/numa.hh"
 #include "util/stats.hh"
 
 namespace dpc {
@@ -53,7 +54,7 @@ DibaAllocator::DibaAllocator(Graph topology, Config cfg)
         for (std::size_t w : topo_.neighbors(v))
             if (v < w)
                 all_edges_.emplace_back(v, w);
-    edges_ = all_edges_;
+    resetLiveEdges();
     edge_enabled_.assign(all_edges_.size(), 1);
     // Force the CSR build now (lazy building is not thread-safe)
     // and bake the Metropolis weights, one per directed edge slot:
@@ -110,13 +111,28 @@ DibaAllocator::doReset()
     // every link heals, the staleness history restarts empty.
     edge_enabled_.assign(all_edges_.size(), 1);
     disabled_edges_ = 0;
-    edges_ = all_edges_;
+    resetLiveEdges();
+    // The live set is the full overlay again; the next gossipSweep
+    // rebuilds the coloring (and its constant cache) from scratch.
+    coloring_ready_ = false;
+    sweep_cache_ready_ = false;
     fed_shares_.clear();
     fed_comp_of_.clear();
     hist_.clear();
     iterations_ = 0;
     quiet_ = 0;
     rebuildQuadFastPath();
+    if (cfg_.numa_interleave && pool_) {
+        // First-touch placement: re-write every hot SoA stream
+        // along the chunk partition so each worker's slice lives on
+        // its own NUMA node (util/numa.hh; bitwise invisible).
+        std::vector<double> scratch;
+        const std::size_t n = p_.size();
+        for (std::vector<double> *v :
+             {&p_, &e_, &e_snapshot_, &eta_now_, &e_pre_, &qb_,
+              &qc_, &qmin_, &qmax_})
+            firstTouchPartition(*v, n, *pool_, scratch);
+    }
     if (e0 >= 0.0)
         emergencyShed();
 }
@@ -294,10 +310,12 @@ DibaAllocator::failNode(std::size_t i)
     DPC_ASSERT(num_active_ > 1, "cannot fail the last node");
     active_[i] = 0;
     --num_active_;
-    // Rebuild the live-edge list so activation draws stay O(1) and
-    // the "no live edge" condition is exact (edges_ empty <=> no
-    // live edge exists).
-    rebuildLiveEdges();
+    // Prune the node's incident edges from the live list (O(deg)
+    // swap-removal, not an O(E) rebuild) so activation draws stay
+    // O(1) and the "no live edge" condition is exact (edges_ empty
+    // <=> no live edge exists).
+    pruneEdgesOf(i);
+    assertLiveEdgesExact();
     // Staleness never spans a membership change: lagged snapshots
     // taken before the event are inconsistent with the post-event
     // bookkeeping, so the history restarts.  Churn moves slack to
@@ -966,6 +984,7 @@ DibaAllocator::setUtility(std::size_t i, UtilityPtr u)
     // Utility swaps are rare control events (Fig. 4.8); an O(n)
     // re-extraction keeps the SoA mirror trivially consistent.
     rebuildQuadFastPath();
+    sweep_cache_ready_ = false;
 }
 
 double
@@ -1086,6 +1105,288 @@ DibaAllocator::gossipTick(Rng &rng, GossipChannel &chan)
     return max_dp;
 }
 
+double
+DibaAllocator::tickPairImpl(std::size_t u, std::size_t v,
+                            GossipChannel *chan)
+{
+    // The gossipTick body on a named pair: averaging (channel
+    // permitting), then the local gradient step + annealing at
+    // both endpoints.  Must stay arithmetic-identical to one lane
+    // pair of the batched kernel -- the sweep equivalence tests
+    // pin the two against each other bitwise.
+    bool deliver = true;
+    if (chan) {
+        const std::uint32_t id = edge_id_.at(
+            edgeKey(std::min(u, v), std::max(u, v)));
+        deliver = chan->fate(id, u, v).delivered;
+    }
+    if (deliver) {
+        const double mean_e = 0.5 * (e_[u] + e_[v]);
+        e_[u] = mean_e;
+        e_[v] = mean_e;
+    }
+    frontier_.reheat(u);
+    frontier_.reheat(v);
+    double max_dp = 0.0;
+    for (std::size_t i : {u, v}) {
+        const double dp = std::fabs(stepNode(i));
+        max_dp = std::max(max_dp, dp);
+        annealNode(i, dp);
+    }
+    return max_dp;
+}
+
+double
+DibaAllocator::gossipTickPair(std::size_t u, std::size_t v)
+{
+    DPC_ASSERT(!p_.empty(), "gossipTickPair() before reset()");
+    DPC_ASSERT(u < p_.size() && v < p_.size() && u != v,
+               "gossipTickPair endpoints out of range");
+    DPC_ASSERT(active_[u] && active_[v],
+               "gossipTickPair on a dead endpoint");
+    return tickPairImpl(u, v, nullptr);
+}
+
+double
+DibaAllocator::gossipTickPair(std::size_t u, std::size_t v,
+                              GossipChannel &chan)
+{
+    DPC_ASSERT(!p_.empty(), "gossipTickPair() before reset()");
+    DPC_ASSERT(u < p_.size() && v < p_.size() && u != v,
+               "gossipTickPair endpoints out of range");
+    DPC_ASSERT(active_[u] && active_[v],
+               "gossipTickPair on a dead endpoint");
+    ensureEdgeIndex();
+    return tickPairImpl(u, v, &chan);
+}
+
+void
+DibaAllocator::ensureColoring()
+{
+    if (coloring_ready_)
+        return;
+    std::vector<std::uint8_t> live(all_edges_.size(), 0);
+    for (std::uint32_t id = 0; id < all_edges_.size(); ++id)
+        if (live_pos_[id] != kNoLivePos)
+            live[id] = 1;
+    coloring_.build(p_.empty() ? topo_.numVertices() : p_.size(),
+                    all_edges_, &live);
+    coloring_ready_ = true;
+    sweep_cache_ready_ = false;
+}
+
+void
+DibaAllocator::ensureSweepCache()
+{
+    if (sweep_cache_ready_)
+        return;
+    const std::size_t ncolors = coloring_.numColors();
+    sweep_base_.assign(ncolors + 1, 0);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < ncolors; ++c) {
+        sweep_base_[c] = total;
+        total += coloring_.matching(c).size();
+    }
+    sweep_base_[ncolors] = total;
+    sweep_uv_.resize(2 * total);
+    if (quad_fast_) {
+        sweep_cb_.resize(2 * total);
+        sweep_cc_.resize(2 * total);
+        sweep_clo_.resize(2 * total);
+        sweep_chi_.resize(2 * total);
+    }
+    for (std::size_t c = 0; c < ncolors; ++c) {
+        const auto &ids = coloring_.matching(c);
+        for (std::size_t idx = 0; idx < ids.size(); ++idx) {
+            const auto &[u, v] = all_edges_[ids[idx]];
+            const std::size_t slot = 2 * (sweep_base_[c] + idx);
+            sweep_uv_[slot] = static_cast<std::uint32_t>(u);
+            sweep_uv_[slot + 1] = static_cast<std::uint32_t>(v);
+            if (!quad_fast_)
+                continue;
+            sweep_cb_[slot] = qb_[u];
+            sweep_cb_[slot + 1] = qb_[v];
+            sweep_cc_[slot] = qc_[u];
+            sweep_cc_[slot + 1] = qc_[v];
+            sweep_clo_[slot] = qmin_[u];
+            sweep_clo_[slot + 1] = qmin_[v];
+            sweep_chi_[slot] = qmax_[u];
+            sweep_chi_[slot + 1] = qmax_[v];
+        }
+    }
+    sweep_cache_ready_ = true;
+}
+
+const EdgeColoring &
+DibaAllocator::edgeColoring()
+{
+    ensureColoring();
+    return coloring_;
+}
+
+double
+DibaAllocator::gossipSweep(Rng &rng)
+{
+    return sweepImpl(rng, nullptr);
+}
+
+double
+DibaAllocator::gossipSweep(Rng &rng, GossipChannel &chan)
+{
+    ensureEdgeIndex();
+    return sweepImpl(rng, &chan);
+}
+
+double
+DibaAllocator::sweepImpl(Rng &rng, GossipChannel *chan)
+{
+    DPC_ASSERT(!p_.empty(), "gossipSweep() before reset()");
+    DPC_ASSERT(!edges_.empty(), "no live edge left in the overlay");
+    ensureColoring();
+    // Exactly one rng draw sequence per sweep: the shuffle of the
+    // non-empty color indices (ascending before the shuffle).
+    // Matching order is what carries the stochasticity of async
+    // gossip; within a matching the edges commute (vertex-
+    // disjoint), so no further randomness is needed and a fixed
+    // schedule can be replayed through gossipTickPair.
+    sweep_colors_.clear();
+    for (std::uint32_t c = 0;
+         c < static_cast<std::uint32_t>(coloring_.numColors()); ++c)
+        if (!coloring_.matching(c).empty())
+            sweep_colors_.push_back(c);
+    rng.shuffle(sweep_colors_);
+    ensureSweepCache();
+    double max_dp = 0.0;
+    for (const std::uint32_t c : sweep_colors_)
+        max_dp = std::max(max_dp, sweepMatching(c, chan));
+    // Every node with a live edge took a step this sweep; reheat
+    // the whole frontier (conservative, like other control events).
+    frontier_.reheatAll();
+    return max_dp;
+}
+
+double
+DibaAllocator::sweepMatching(std::uint32_t c, GossipChannel *chan)
+{
+    const std::vector<std::uint32_t> &ids = coloring_.matching(c);
+    const std::size_t m = ids.size();
+    if (m == 0)
+        return 0.0;
+
+    // Channel fates are drawn serially in schedule order (the
+    // class's internal order), matching the scalar replay's draw
+    // sequence exactly.
+    if (chan) {
+        sweep_deliver_.resize(m);
+        for (std::size_t idx = 0; idx < m; ++idx) {
+            const std::uint32_t id = ids[idx];
+            const auto &[u, v] = all_edges_[id];
+            sweep_deliver_[idx] =
+                chan->fate(id, u, v).delivered ? 1 : 0;
+        }
+    }
+
+    if (!quad_fast_) {
+        // Generic-utility fallback: scalar ticks over the same
+        // schedule (fates already drawn above).
+        double max_dp = 0.0;
+        for (std::size_t idx = 0; idx < m; ++idx) {
+            const auto &[u, v] = all_edges_[ids[idx]];
+            const bool deliver = !chan || sweep_deliver_[idx];
+            if (deliver) {
+                const double mean_e = 0.5 * (e_[u] + e_[v]);
+                e_[u] = mean_e;
+                e_[v] = mean_e;
+            }
+            for (const std::size_t i : {u, v}) {
+                const double dp = std::fabs(stepNode(i));
+                max_dp = std::max(max_dp, dp);
+                annealNode(i, dp);
+            }
+        }
+        return max_dp;
+    }
+
+    sweep_p_.resize(2 * m);
+    sweep_e_.resize(2 * m);
+    sweep_eta_.resize(2 * m);
+
+    const std::size_t base = sweep_base_[c];
+    const bool use_fates = chan != nullptr;
+    if (!pool_)
+        return sweepMatchingRange(base, 0, m, use_fates);
+    const std::size_t chunks = pool_->numChunks();
+    chunk_max_.assign(chunks, 0.0);
+    pool_->parallelFor(
+        m, [this, base, use_fates](std::size_t c, std::size_t b,
+                                   std::size_t e) {
+            chunk_max_[c] =
+                sweepMatchingRange(base, b, e, use_fates);
+        });
+    double max_dp = 0.0;
+    for (const double v : chunk_max_)
+        max_dp = std::max(max_dp, v);
+    return max_dp;
+}
+
+double
+DibaAllocator::sweepMatchingRange(std::size_t base,
+                                  std::size_t begin,
+                                  std::size_t end, bool use_fates)
+{
+    // Gather the two endpoints of edge idx into SoA lanes 2*idx and
+    // 2*idx + 1, with the pairwise mean already applied for
+    // delivered exchanges.  The matching is vertex-disjoint, so no
+    // node appears in two lanes and the gather/kernel/scatter is
+    // race-free across chunks; the block kernel is lane-for-lane
+    // the scalar tick's arithmetic, so any chunking (and the AVX2
+    // path) produces bitwise-identical state.  The constant
+    // utility lanes come straight from the per-coloring cache
+    // (ensureSweepCache): only p/e/eta are gathered and scattered.
+    const std::uint32_t *DPC_RESTRICT uv =
+        sweep_uv_.data() + 2 * base;
+    double *DPC_RESTRICT sp = sweep_p_.data();
+    double *DPC_RESTRICT se = sweep_e_.data();
+    double *DPC_RESTRICT seta = sweep_eta_.data();
+    for (std::size_t idx = begin; idx < end; ++idx) {
+        const std::size_t lane = 2 * idx;
+        const std::size_t u = uv[lane];
+        const std::size_t v = uv[lane + 1];
+        double eu = e_[u];
+        double ev = e_[v];
+        if (!use_fates || sweep_deliver_[idx]) {
+            const double mean_e = 0.5 * (eu + ev);
+            eu = mean_e;
+            ev = mean_e;
+        }
+        sp[lane] = p_[u];
+        sp[lane + 1] = p_[v];
+        se[lane] = eu;
+        se[lane + 1] = ev;
+        seta[lane] = eta_now_[u];
+        seta[lane + 1] = eta_now_[v];
+    }
+    const std::size_t lo = 2 * begin;
+    const std::size_t clo = 2 * (base + begin);
+    const std::size_t cnt = 2 * (end - begin);
+    const double max_dp = stepBlockQuad(
+        cnt, sp + lo, se + lo, seta + lo, sweep_cb_.data() + clo,
+        sweep_cc_.data() + clo, sweep_clo_.data() + clo,
+        sweep_chi_.data() + clo, kp_);
+    for (std::size_t idx = begin; idx < end; ++idx) {
+        const std::size_t lane = 2 * idx;
+        const std::size_t u = uv[lane];
+        const std::size_t v = uv[lane + 1];
+        p_[u] = sp[lane];
+        p_[v] = sp[lane + 1];
+        e_[u] = se[lane];
+        e_[v] = se[lane + 1];
+        eta_now_[u] = seta[lane];
+        eta_now_[v] = seta[lane + 1];
+    }
+    return max_dp;
+}
+
 void
 DibaAllocator::joinNode(std::size_t i)
 {
@@ -1093,7 +1394,8 @@ DibaAllocator::joinNode(std::size_t i)
     DPC_ASSERT(!active_[i], "node is already active");
     active_[i] = 1;
     ++num_active_;
-    rebuildLiveEdges();
+    restoreEdgesOf(i);
+    assertLiveEdgesExact();
     // Staleness never spans a membership change (see failNode).
     hist_.clear();
     frontier_.reheatAll();
@@ -1150,7 +1452,11 @@ DibaAllocator::setEdgeEnabled(std::size_t u, std::size_t v,
         --disabled_edges_;
     else
         ++disabled_edges_;
-    rebuildLiveEdges();
+    if (enabled && active_[u] && active_[v])
+        addLiveEdge(id);
+    else
+        removeLiveEdge(id);
+    assertLiveEdgesExact();
     frontier_.reheatAll();
     quiet_ = 0;
     if (!enabled && !activeSubgraphConnected()) {
@@ -1203,14 +1509,105 @@ DibaAllocator::ensureEdgeIndex()
 }
 
 void
-DibaAllocator::rebuildLiveEdges()
+DibaAllocator::resetLiveEdges()
 {
-    edges_.clear();
-    for (std::size_t id = 0; id < all_edges_.size(); ++id) {
+    edges_ = all_edges_;
+    live_ids_.resize(all_edges_.size());
+    live_pos_.resize(all_edges_.size());
+    for (std::uint32_t id = 0; id < all_edges_.size(); ++id) {
+        live_ids_[id] = id;
+        live_pos_[id] = id;
+    }
+}
+
+void
+DibaAllocator::addLiveEdge(std::uint32_t id)
+{
+    if (live_pos_[id] != kNoLivePos)
+        return;
+    live_pos_[id] = static_cast<std::uint32_t>(edges_.size());
+    edges_.push_back(all_edges_[id]);
+    live_ids_.push_back(id);
+    if (coloring_ready_)
+        coloring_.setEdgeLive(id, true);
+    sweep_cache_ready_ = false;
+}
+
+void
+DibaAllocator::removeLiveEdge(std::uint32_t id)
+{
+    const std::uint32_t pos = live_pos_[id];
+    if (pos == kNoLivePos)
+        return;
+    DPC_ASSERT(live_ids_[pos] == id,
+               "live-edge position index corrupt");
+    const std::uint32_t last = live_ids_.back();
+    edges_[pos] = edges_.back();
+    live_ids_[pos] = last;
+    live_pos_[last] = pos;
+    edges_.pop_back();
+    live_ids_.pop_back();
+    live_pos_[id] = kNoLivePos;
+    if (coloring_ready_)
+        coloring_.setEdgeLive(id, false);
+    sweep_cache_ready_ = false;
+}
+
+void
+DibaAllocator::pruneEdgesOf(std::size_t i)
+{
+    ensureEdgeIndex();
+    const GraphCsr &g = topo_.csr();
+    for (std::uint32_t k = g.offsets[i]; k < g.offsets[i + 1]; ++k)
+        removeLiveEdge(slot_edge_[k]);
+}
+
+void
+DibaAllocator::restoreEdgesOf(std::size_t i)
+{
+    ensureEdgeIndex();
+    const GraphCsr &g = topo_.csr();
+    for (std::uint32_t k = g.offsets[i]; k < g.offsets[i + 1]; ++k) {
+        const std::uint32_t id = slot_edge_[k];
         const auto &[u, v] = all_edges_[id];
         if (edge_enabled_[id] && active_[u] && active_[v])
-            edges_.push_back(all_edges_[id]);
+            addLiveEdge(id);
     }
+}
+
+bool
+DibaAllocator::liveEdgeListExact() const
+{
+    std::size_t expected = 0;
+    for (std::uint32_t id = 0; id < all_edges_.size(); ++id) {
+        const auto &[u, v] = all_edges_[id];
+        const bool should =
+            (edge_enabled_.empty() || edge_enabled_[id]) &&
+            (active_.empty() || (active_[u] && active_[v]));
+        const std::uint32_t pos = live_pos_[id];
+        if (!should) {
+            if (pos != kNoLivePos)
+                return false;
+            continue;
+        }
+        ++expected;
+        if (pos == kNoLivePos || pos >= edges_.size())
+            return false;
+        if (live_ids_[pos] != id || edges_[pos] != all_edges_[id])
+            return false;
+    }
+    return edges_.size() == expected &&
+           live_ids_.size() == expected;
+}
+
+void
+DibaAllocator::assertLiveEdgesExact() const
+{
+#if !defined(NDEBUG)
+    DPC_ASSERT(liveEdgeListExact(),
+               "incremental live-edge maintenance diverged from "
+               "the mask-derived live set");
+#endif
 }
 
 // ---- recovery support (self-healing layer) ----------------------

@@ -54,6 +54,7 @@
 #include "alloc/gossip_channel.hh"
 #include "alloc/problem.hh"
 #include "alloc/round_kernel.hh"
+#include "graph/edge_coloring.hh"
 #include "graph/frontier.hh"
 #include "graph/graph.hh"
 #include "util/rng.hh"
@@ -159,6 +160,23 @@ class DibaAllocator : public IterativeAllocator
          * trajectories (see DESIGN.md, "Round engine").
          */
         std::size_t num_threads = 0;
+        /**
+         * NUMA-aware first-touch placement of the round-engine SoA
+         * streams: when true (and a thread pool is active), reset()
+         * re-places each stream's pages along the static chunk
+         * partition by dropping the serially initialized pages and
+         * letting every chunk re-write -- and hence first-touch --
+         * its own slice (util/numa.hh).  The values are rewritten
+         * bitwise unchanged, so trajectories are identical with the
+         * flag on or off; on a single-socket host (or off Linux)
+         * the pass degrades to a harmless parallel copy.  Pays off
+         * when chunk-local accesses dominate, which they do for the
+         * contiguous-id overlays DiBA uses: the SoA streams are
+         * indexed by node id, matchings are processed in ascending
+         * edge id, and csrChunkLocality() reports the neighbour
+         * locality of the chunk partition.
+         */
+        bool numa_interleave = false;
         /**
          * When every utility in the problem is a QuadraticUtility,
          * reset() extracts the coefficients into flat arrays and
@@ -290,6 +308,76 @@ class DibaAllocator : public IterativeAllocator
      * returned lag is ignored.
      */
     double gossipTick(Rng &rng, GossipChannel &chan);
+
+    /**
+     * One batched asynchronous gossip *sweep*: the live overlay is
+     * greedily edge-colored into matchings (edgeColoring(), built
+     * lazily and repaired incrementally across churn), the matching
+     * order is shuffled with `rng` (exactly one rng.shuffle over
+     * the non-empty color indices in ascending order -- the entire
+     * rng consumption of a sweep, so a fixed schedule can be
+     * replayed through gossipTickPair), and every matching is
+     * executed as one conflict-free batch: pairwise estimate
+     * averaging into compact SoA lanes, the block kernel
+     * (round_kernel.hh) for the local gradient steps + annealing,
+     * scatter back.  Edges within a matching are vertex-disjoint,
+     * so the batch is race-free and bitwise identical to running
+     * the scalar two-node tick sequentially over the same schedule
+     * -- for any thread count (Config::num_threads chunks the
+     * matchings' edge lists statically).  One sweep processes every
+     * live edge exactly once (~E ticks of work); the sweep reheats
+     * the whole frontier.  Requires the quadratic fast path for the
+     * batched kernel; other utilities fall back to scalar ticks
+     * over the identical schedule.
+     *
+     * @return the largest |dp| moved by any endpoint (W)
+     */
+    double gossipSweep(Rng &rng);
+
+    /**
+     * Batched asynchronous sweep over a faulty transport: per edge,
+     * `chan` decides whether the pairwise averaging happens (fates
+     * are drawn serially in schedule order, so the draw sequence
+     * matches the scalar replay); both endpoints take their local
+     * gradient steps either way, exactly like the channel-routed
+     * gossipTick.  sum(e) conservation is exact under any loss
+     * pattern.
+     */
+    double gossipSweep(Rng &rng, GossipChannel &chan);
+
+    /**
+     * Scalar reference tick on a *named* live edge {u, v}: the
+     * gossipTick body without the random edge draw.  The pinned
+     * reference path for gossipSweep's equivalence tests: replaying
+     * a sweep's schedule through this function reproduces the
+     * batched state bitwise.
+     */
+    double gossipTickPair(std::size_t u, std::size_t v);
+
+    /** Channel-routed variant of gossipTickPair (the scalar
+     * reference for gossipSweep(rng, chan)). */
+    double gossipTickPair(std::size_t u, std::size_t v,
+                          GossipChannel &chan);
+
+    /**
+     * The greedy edge coloring of the current live overlay driving
+     * gossipSweep (built lazily on first use, repaired
+     * incrementally on failNode/joinNode/setEdgeEnabled).  Exposed
+     * so tests and benches can audit the schedule: every live edge
+     * in exactly one matching, matchings vertex-disjoint, repair
+     * equal to a fresh coloring.
+     */
+    const EdgeColoring &edgeColoring();
+
+    /**
+     * O(E) audit that the incrementally maintained live-edge list
+     * (liveEdges(), pruned by swap-removal on churn instead of a
+     * full rebuild) is exact: it contains precisely the enabled
+     * edges with both endpoints active, with a consistent
+     * position index.  Debug builds assert this after every
+     * mutation; tests call it explicitly.
+     */
+    bool liveEdgeListExact() const;
 
     /**
      * Permanently remove a failed server from the optimization:
@@ -532,9 +620,50 @@ class DibaAllocator : public IterativeAllocator
      * only fault-injection entry points pay for it). */
     void ensureEdgeIndex();
 
-    /** Recompute the live-edge list from the activity and link
-     * masks (canonical order). */
-    void rebuildLiveEdges();
+    /** Reset the live-edge list to the full overlay (canonical
+     * order) and rebuild the position index. */
+    void resetLiveEdges();
+
+    /** Append edge id to the live list (no-op if present). */
+    void addLiveEdge(std::uint32_t id);
+
+    /** Swap-remove edge id from the live list (no-op if absent). */
+    void removeLiveEdge(std::uint32_t id);
+
+    /** Incremental churn maintenance: drop node i's live incident
+     * edges / re-add the ones that became eligible.  O(deg(i))
+     * via the lazy slot_edge_ index instead of the old O(E)
+     * full-list rebuild. */
+    void pruneEdgesOf(std::size_t i);
+    void restoreEdgesOf(std::size_t i);
+
+    /** Debug-build micro-assert wrapping liveEdgeListExact(). */
+    void assertLiveEdgesExact() const;
+
+    /** Shared body of the gossipSweep overloads. */
+    double sweepImpl(Rng &rng, GossipChannel *chan);
+
+    /** Rebuild the per-coloring sweep cache (flattened endpoints
+     * and, on the quad fast path, the constant utility lanes). */
+    void ensureSweepCache();
+
+    /** Execute color class c as a conflict-free batch (or scalar
+     * ticks when the quad fast path is off); returns max |dp|. */
+    double sweepMatching(std::uint32_t c, GossipChannel *chan);
+
+    /** Batched matching body over edge slots [begin, end) of the
+     * class at cache offset `base`: gather endpoint state into the
+     * 2x-wide SoA lanes, average delivered pairs, run the block
+     * kernel against the cached constant lanes, scatter back. */
+    double sweepMatchingRange(std::size_t base, std::size_t begin,
+                              std::size_t end, bool use_fates);
+
+    /** gossipTick body on a named pair (no edge draw). */
+    double tickPairImpl(std::size_t u, std::size_t v,
+                        GossipChannel *chan);
+
+    /** Build the live-edge coloring if it is not current. */
+    void ensureColoring();
 
     /** True unless the link mask disables {u, v} (mask checked
      * only when some edge is disabled, so the common path stays
@@ -654,10 +783,20 @@ class DibaAllocator : public IterativeAllocator
     /**
      * Live-edge list of the overlay for async gossip activation:
      * the subset of all_edges_ that is enabled with both endpoints
-     * active.  failNode/joinNode/setEdgeEnabled rebuild it, so a
-     * uniform draw always lands on a live edge.
+     * active.  failNode/joinNode/setEdgeEnabled maintain it
+     * incrementally (swap-removal via live_pos_, O(deg) per churn
+     * event), so a uniform draw always lands on a live edge; the
+     * list order is therefore maintenance-history dependent, which
+     * every consumer tolerates (membership queries, degree counts,
+     * uniform draws).
      */
     std::vector<std::pair<std::size_t, std::size_t>> edges_;
+    /** Edge id of each live-list slot (aligned with edges_). */
+    std::vector<std::uint32_t> live_ids_;
+    /** Position of each edge id in the live list (kNoLivePos when
+     * the edge is not live). */
+    std::vector<std::uint32_t> live_pos_;
+    static constexpr std::uint32_t kNoLivePos = 0xffffffffu;
     /** Link mask per edge_id (0 = administratively cut). */
     std::vector<std::uint8_t> edge_enabled_;
     /** Number of currently disabled edges (fast all-enabled test). */
@@ -700,6 +839,27 @@ class DibaAllocator : public IterativeAllocator
     /** Round-engine pool, shared process-wide per width via
      * ThreadPool::acquire (null when cfg_.num_threads < 1). */
     std::shared_ptr<ThreadPool> pool_;
+    /** Live-edge greedy coloring for gossipSweep (lazy; repaired
+     * incrementally while ready, rebuilt after reset). */
+    EdgeColoring coloring_;
+    bool coloring_ready_ = false;
+    /** gossipSweep scratch: compact SoA lanes ([u0, v0, u1, v1,
+     * ...]) for the mutable streams of one matching, per-edge
+     * delivery fates, and the shuffled color order. */
+    std::vector<double> sweep_p_, sweep_e_, sweep_eta_;
+    std::vector<std::uint8_t> sweep_deliver_;
+    std::vector<std::uint32_t> sweep_colors_;
+    /** Per-coloring sweep cache, concatenated in color order with
+     * class c at edge slots [sweep_base_[c], sweep_base_[c + 1]):
+     * flattened endpoint pairs plus -- on the quad fast path -- the
+     * constant utility lanes (qb_/qc_/qmin_/qmax_ pre-gathered),
+     * so a sweep only touches the three mutable streams per edge.
+     * Invalidated by any coloring repair or utility change. */
+    std::vector<std::uint32_t> sweep_uv_;
+    std::vector<double> sweep_cb_, sweep_cc_, sweep_clo_,
+        sweep_chi_;
+    std::vector<std::size_t> sweep_base_;
+    bool sweep_cache_ready_ = false;
     /** Announced federation shares (empty/size-1 = inactive); see
      * refederateBudget(). */
     std::vector<double> fed_shares_;

@@ -1,0 +1,177 @@
+#include "graph/edge_coloring.hh"
+
+#include "util/logging.hh"
+
+namespace dpc {
+
+void
+EdgeColoring::build(
+    std::size_t num_vertices,
+    const std::vector<std::pair<std::size_t, std::size_t>> &edges,
+    const std::vector<std::uint8_t> *live)
+{
+    DPC_ASSERT(!live || live->size() == edges.size(),
+               "liveness mask size mismatch");
+    const std::size_t m = edges.size();
+    ends_.resize(m);
+    for (std::size_t id = 0; id < m; ++id) {
+        const auto &[u, v] = edges[id];
+        DPC_ASSERT(u < v && v < num_vertices,
+                   "edge list must be canonical (u < v)");
+        ends_[id] = {static_cast<std::uint32_t>(u),
+                     static_cast<std::uint32_t>(v)};
+    }
+
+    // Incident-edge CSR: counting sort by endpoint, so each
+    // vertex's list is ascending in edge id (the canonical list is
+    // id-sorted and we append in id order).
+    inc_offsets_.assign(num_vertices + 1, 0);
+    for (const auto &[u, v] : ends_) {
+        ++inc_offsets_[u + 1];
+        ++inc_offsets_[v + 1];
+    }
+    for (std::size_t v = 0; v < num_vertices; ++v)
+        inc_offsets_[v + 1] += inc_offsets_[v];
+    inc_edges_.resize(2 * m);
+    std::vector<std::uint32_t> cursor(inc_offsets_.begin(),
+                                      inc_offsets_.end() - 1);
+    for (std::uint32_t id = 0; id < m; ++id) {
+        inc_edges_[cursor[ends_[id].first]++] = id;
+        inc_edges_[cursor[ends_[id].second]++] = id;
+    }
+
+    live_.assign(m, 1);
+    if (live)
+        live_.assign(live->begin(), live->end());
+    color_.assign(m, kNoColor);
+    classes_.clear();
+    pos_in_class_.assign(m, 0);
+    queued_.assign(m, 0);
+    num_live_ = 0;
+
+    // Greedy pass in ascending id: each edge's mex only reads
+    // already-final lower ids, so one pass reaches the fixed point.
+    for (std::uint32_t id = 0; id < m; ++id)
+        if (live_[id])
+            assignColor(id, mexColor(id));
+}
+
+std::uint32_t
+EdgeColoring::mexColor(std::uint32_t e)
+{
+    ++stamp_;
+    // Degrees bound the mex at 2*maxdeg - 1; size the stamp table
+    // on demand (colors in use never exceed live incident count).
+    const auto mark = [&](std::uint32_t vtx) {
+        for (std::uint32_t k = inc_offsets_[vtx];
+             k < inc_offsets_[vtx + 1]; ++k) {
+            const std::uint32_t f = inc_edges_[k];
+            if (f >= e)
+                break; // ascending within a vertex
+            if (!live_[f])
+                continue;
+            const std::uint32_t c = color_[f];
+            if (c >= used_stamp_.size())
+                used_stamp_.resize(c + 1, 0);
+            used_stamp_[c] = stamp_;
+        }
+    };
+    mark(ends_[e].first);
+    mark(ends_[e].second);
+    std::uint32_t c = 0;
+    while (c < used_stamp_.size() && used_stamp_[c] == stamp_)
+        ++c;
+    return c;
+}
+
+void
+EdgeColoring::assignColor(std::uint32_t e, std::uint32_t c)
+{
+    if (c >= classes_.size())
+        classes_.resize(c + 1);
+    color_[e] = c;
+    pos_in_class_[e] = static_cast<std::uint32_t>(classes_[c].size());
+    classes_[c].push_back(e);
+    ++num_live_;
+}
+
+void
+EdgeColoring::removeColor(std::uint32_t e)
+{
+    const std::uint32_t c = color_[e];
+    if (c == kNoColor)
+        return;
+    std::vector<std::uint32_t> &cls = classes_[c];
+    const std::uint32_t pos = pos_in_class_[e];
+    DPC_ASSERT(pos < cls.size() && cls[pos] == e,
+               "edge-coloring class bookkeeping corrupt");
+    cls[pos] = cls.back();
+    pos_in_class_[cls[pos]] = pos;
+    cls.pop_back();
+    color_[e] = kNoColor;
+    --num_live_;
+}
+
+void
+EdgeColoring::pushHigherIncident(std::uint32_t e)
+{
+    for (const std::uint32_t vtx : {ends_[e].first, ends_[e].second}) {
+        for (std::uint32_t k = inc_offsets_[vtx];
+             k < inc_offsets_[vtx + 1]; ++k) {
+            const std::uint32_t f = inc_edges_[k];
+            if (f <= e)
+                continue;
+            if (live_[f] && !queued_[f]) {
+                queued_[f] = 1;
+                work_.push(f);
+            }
+        }
+    }
+}
+
+void
+EdgeColoring::drain()
+{
+    // Ascending-id processing: when an edge is popped, no pending
+    // edge has a smaller id (pushes always target larger ids), so
+    // its mex inputs are final and its recomputed color is final.
+    // An unchanged color propagates nothing, which bounds the work
+    // by the set of edges whose color actually changes.
+    while (!work_.empty()) {
+        const std::uint32_t e = work_.top();
+        work_.pop();
+        queued_[e] = 0;
+        if (!live_[e])
+            continue;
+        const std::uint32_t c = mexColor(e);
+        if (c == color_[e])
+            continue;
+        removeColor(e);
+        assignColor(e, c);
+        pushHigherIncident(e);
+    }
+}
+
+void
+EdgeColoring::setEdgeLive(std::uint32_t edge_id, bool live)
+{
+    DPC_ASSERT(edge_id < live_.size(),
+               "setEdgeLive id out of range");
+    if (static_cast<bool>(live_[edge_id]) == live)
+        return;
+    if (!live) {
+        removeColor(edge_id);
+        live_[edge_id] = 0;
+        // Higher incident edges may now take a smaller color.
+        pushHigherIncident(edge_id);
+    } else {
+        live_[edge_id] = 1;
+        if (!queued_[edge_id]) {
+            queued_[edge_id] = 1;
+            work_.push(edge_id);
+        }
+    }
+    drain();
+}
+
+} // namespace dpc

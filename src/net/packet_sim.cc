@@ -7,29 +7,6 @@
 
 namespace dpc {
 
-namespace {
-
-/** Route-building helper: resource-id layout for one fabric. */
-struct FabricLayout
-{
-    std::size_t n;
-    std::size_t racks;
-    std::size_t rack_size;
-
-    std::size_t tx(std::size_t s) const { return s; }
-    std::size_t rx(std::size_t s) const { return n + s; }
-    std::size_t tor(std::size_t s) const
-    {
-        return 2 * n + s / rack_size;
-    }
-    std::size_t core() const { return 2 * n + racks; }
-    std::size_t coordTx() const { return core() + 1; }
-    std::size_t coordRx() const { return core() + 2; }
-    std::size_t numResources() const { return core() + 3; }
-};
-
-} // namespace
-
 double
 PacketLevelSim::simulate(std::vector<Packet> packets,
                          std::size_t num_resources) const
@@ -37,7 +14,10 @@ PacketLevelSim::simulate(std::vector<Packet> packets,
     // Chronological event processing: because every resource is
     // FIFO and serves in arrival order, handling "arrive at
     // resource" events in global time order yields the exact
-    // store-and-forward schedule.
+    // store-and-forward schedule.  Ties break on (packet, stage) --
+    // an explicit total order, shared with the multi-lane batch
+    // engine's calendar queue, so the two produce bitwise-identical
+    // schedules rather than agreeing only up to tie permutations.
     struct Event
     {
         double time;
@@ -45,7 +25,11 @@ PacketLevelSim::simulate(std::vector<Packet> packets,
         std::size_t stage;
         bool operator>(const Event &o) const
         {
-            return time > o.time;
+            if (time != o.time)
+                return time > o.time;
+            if (packet != o.packet)
+                return packet > o.packet;
+            return stage > o.stage;
         }
     };
     std::priority_queue<Event, std::vector<Event>, std::greater<>>
@@ -82,6 +66,7 @@ double
 PacketLevelSim::coordinatorRoundUs(std::size_t n, Rng &rng) const
 {
     DPC_ASSERT(n >= 1, "empty cluster");
+    (void)rng; // jitter is counter-based (launchJitterUs)
     const FabricLayout f{
         n, (n + params_.rack_size - 1) / params_.rack_size,
         params_.rack_size};
@@ -91,7 +76,10 @@ PacketLevelSim::coordinatorRoundUs(std::size_t n, Rng &rng) const
     uplink.reserve(n);
     for (std::size_t s = 0; s < n; ++s) {
         Packet p;
-        p.launch = rng.exponential(1.0 / params_.launch_jitter_us);
+        // The coordinator plays "destination n" in the jitter hash
+        // (no server has that id).
+        p.launch = launchJitterUs(s, n, params_.jitter_round,
+                                  params_.launch_jitter_us);
         p.route = {f.tx(s), f.tor(s), f.core(), f.coordRx()};
         p.service = {params_.write_us, params_.switch_us,
                      params_.switch_us, params_.read_us};
@@ -121,6 +109,7 @@ PacketLevelSim::dibaRoundUs(const Graph &overlay, Rng &rng) const
 {
     const std::size_t n = overlay.numVertices();
     DPC_ASSERT(n >= 2, "overlay too small");
+    (void)rng; // jitter is counter-based (launchJitterUs)
     const FabricLayout f{
         n, (n + params_.rack_size - 1) / params_.rack_size,
         params_.rack_size};
@@ -130,8 +119,8 @@ PacketLevelSim::dibaRoundUs(const Graph &overlay, Rng &rng) const
     for (std::size_t s = 0; s < n; ++s) {
         for (std::size_t d : overlay.neighbors(s)) {
             Packet p;
-            p.launch =
-                rng.exponential(1.0 / params_.launch_jitter_us);
+            p.launch = launchJitterUs(s, d, params_.jitter_round,
+                                      params_.launch_jitter_us);
             if (f.tor(s) == f.tor(d)) {
                 p.route = {f.tx(s), f.tor(s), f.rx(d)};
                 p.service = {params_.write_us, params_.switch_us,
@@ -167,7 +156,8 @@ PacketLevelSim::dibaRoundLossyUs(const Graph &overlay,
     for (std::size_t s = 0; s < n; ++s) {
         for (std::size_t d : overlay.neighbors(s)) {
             const double jitter =
-                rng.exponential(1.0 / params_.launch_jitter_us);
+                launchJitterUs(s, d, params_.jitter_round,
+                               params_.launch_jitter_us);
             // Geometric number of attempts, capped: the last copy
             // always counts as the delivery.  At zero loss no
             // draw is consumed, keeping the entry bitwise

@@ -1,0 +1,529 @@
+#include "net/packet_sim_batch.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+
+namespace psb {
+
+/** Longest route in the fabric (tx, tor, core, tor, rx). */
+constexpr std::size_t kMaxStages = 5;
+
+/** Per-packet stride of the stage SoA: padding the 5 stages to 8
+ * makes `stages[key]` a direct index (key packs (packet << 3) |
+ * stage) and 64-byte-aligns every packet's block, so one event
+ * touches exactly one cache line. */
+constexpr std::size_t kStageStride = 8;
+
+/**
+ * One event, 16 bytes.  `key` packs (packet << 3) | stage, so
+ * ordering entries by (time, key) is exactly the standalone
+ * simulator's (time, packet, stage) processing order with a
+ * single integer tie-break; `idx` is the absolute (non-wrapped)
+ * calendar bucket of `time`, stored so a ring bucket holding
+ * several epochs can be filtered to the current one.
+ */
+struct CalEntry
+{
+    double time;
+    std::uint32_t idx;
+    std::uint32_t key;
+};
+
+struct EntryLess
+{
+    bool operator()(const CalEntry &a, const CalEntry &b) const
+    {
+        if (a.time != b.time)
+            return a.time < b.time;
+        return a.key < b.key;
+    }
+};
+
+/**
+ * One 8-byte stage record: the FIFO resource, the service time as
+ * an index into the engine's (R x 3)-entry service table, and the
+ * per-packet constants (route length, counted flag, lane)
+ * duplicated into every stage, so serving an event touches
+ * exactly one SoA cache line plus the always-L1 service table.
+ */
+struct StageRec
+{
+    std::uint32_t res;
+    std::uint16_t svc;  // index into svc_table_
+    std::uint8_t flags; // (route_len << 1) | counted
+    std::uint8_t lane;
+};
+
+/** Launch record for the radix sort: the IEEE bit pattern of a
+ * non-negative double is order-monotone, so a stable byte-wise
+ * LSD radix pass over `tbits` sorts by time without the
+ * branch-miss-bound comparisons of std::sort on random doubles;
+ * starting from ascending-key input, stability yields exactly the
+ * (time, key) order. */
+struct LaunchRec
+{
+    std::uint64_t tbits;
+    std::uint32_t key;
+};
+
+void
+radixSortByTime(std::vector<LaunchRec> &a,
+                std::vector<LaunchRec> &scratch)
+{
+    const std::size_t n = a.size();
+    scratch.resize(n);
+    std::uint32_t hist[8][256] = {};
+    for (const LaunchRec &r : a)
+        for (std::size_t d = 0; d < 8; ++d)
+            ++hist[d][(r.tbits >> (8 * d)) & 0xff];
+    LaunchRec *src = a.data();
+    LaunchRec *dst = scratch.data();
+    for (std::size_t d = 0; d < 8; ++d) {
+        // Skip passes where every entry shares the digit (common
+        // in the high exponent bytes of a narrow time range).
+        std::uint32_t *h = hist[d];
+        bool trivial = false;
+        for (std::size_t v = 0; v < 256; ++v) {
+            if (h[v] == n) {
+                trivial = true;
+                break;
+            }
+            if (h[v] != 0)
+                break;
+        }
+        if (trivial)
+            continue;
+        std::uint32_t pos[256];
+        std::uint32_t acc = 0;
+        for (std::size_t v = 0; v < 256; ++v) {
+            pos[v] = acc;
+            acc += h[v];
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            dst[pos[(src[i].tbits >> (8 * d)) & 0xff]++] = src[i];
+        std::swap(src, dst);
+    }
+    if (src != a.data())
+        std::memcpy(a.data(), src, n * sizeof(LaunchRec));
+}
+
+/**
+ * Calendar queue for the *in-flight* events (stage >= 1; launches
+ * are pre-sorted and merged by the caller, see dibaRoundUs): a
+ * power-of-two ring of unsorted buckets, bucket width at most
+ * half the smallest service time, so push() is O(1).  The queue
+ * is consumed through peek(bound)/popHead(): when the cursor
+ * reaches absolute bucket index `cur_idx_`, all entries of that
+ * epoch are extracted from the ring, sorted once by (time, key),
+ * and served sequentially.  The single sort is sound because an
+ * epoch's content is final by the time the cursor reaches it:
+ * every push adds at least one service time (>= 2 bucket widths)
+ * to the time of the event being processed, and the caller keeps
+ * the cursor bounded by the next pending launch, so pushes always
+ * land strictly beyond the cursor.  Bucketing by floor(time /
+ * width) is monotone in time, so smaller-time entries drain in an
+ * earlier or equal epoch -- the global order falls out of
+ * per-epoch sorting.  If a push does hit the epoch being drained
+ * (only possible when the width clamp raised the width above half
+ * the minimum service), it is merge-inserted into the
+ * not-yet-served tail of the drain buffer, so correctness never
+ * depends on the width heuristic.
+ *
+ * The ring and drain buffers persist across rounds (init() sizes
+ * them once, reset() only rewinds the cursor), so a warm round
+ * performs no allocation.
+ */
+class CalendarQueue
+{
+  public:
+    void init(double width, std::size_t expected_events)
+    {
+        inv_width_ = 1.0 / width;
+        if (!buckets_.empty())
+            return;
+        // ~8 entries per used bucket keeps both the per-epoch
+        // sorts and the ring's memory footprint small.
+        std::size_t n = 64;
+        while (n < expected_events / 8 &&
+               n < (std::size_t{1} << 18))
+            n <<= 1;
+        mask_ = n - 1;
+        buckets_.resize(n);
+        for (std::vector<CalEntry> &b : buckets_)
+            b.reserve(16);
+    }
+
+    void reset()
+    {
+        DPC_ASSERT(size_ == 0,
+                   "calendar reset with events in flight");
+        cur_idx_ = 0;
+        draining_ = false;
+        drain_.clear();
+        drain_pos_ = 0;
+    }
+
+    void push(double time, std::uint32_t key)
+    {
+        DPC_ASSERT(time >= 0.0, "negative event time");
+        const double scaled = time * inv_width_;
+        DPC_ASSERT(scaled < 4.0e9, "event beyond calendar range");
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(scaled);
+        const CalEntry e{time, idx, key};
+        if (draining_ && idx <= cur_idx_) {
+            DPC_ASSERT(idx == cur_idx_,
+                       "event pushed into a drained epoch");
+            drain_.insert(std::lower_bound(
+                              drain_.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      drain_pos_),
+                              drain_.end(), e, EntryLess{}),
+                          e);
+        } else {
+            buckets_[idx & mask_].push_back(e);
+        }
+        ++size_;
+    }
+
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Head entry if one exists in an epoch <= `bound_idx`, else
+     * nullptr.  The cursor never advances past bound_idx, so a
+     * later event (e.g. a pending launch merged in by the caller)
+     * can still generate pushes into epochs the queue has not
+     * passed.
+     */
+    const CalEntry *peek(std::uint32_t bound_idx)
+    {
+        while (drain_pos_ == drain_.size()) {
+            if (size_ == 0)
+                return nullptr;
+            if (draining_) {
+                if (cur_idx_ >= bound_idx)
+                    return nullptr;
+                ++cur_idx_;
+            } else {
+                draining_ = true;
+            }
+            drain_.clear();
+            drain_pos_ = 0;
+            std::vector<CalEntry> &b = buckets_[cur_idx_ & mask_];
+            // Extract this epoch's entries into the (hot,
+            // L1-resident) drain buffer; later epochs sharing the
+            // ring slot stay behind.
+            std::size_t kept = 0;
+            for (std::size_t i = 0; i < b.size(); ++i) {
+                if (b[i].idx == cur_idx_)
+                    drain_.push_back(b[i]);
+                else
+                    b[kept++] = b[i];
+            }
+            b.resize(kept);
+            // Epochs are a handful of entries (width is 1/8 of
+            // the smallest service time); a branchy std::sort
+            // call costs more than the whole epoch, so insertion
+            // sort the common case.
+            const std::size_t m = drain_.size();
+            if (m > 32) {
+                std::sort(drain_.begin(), drain_.end(),
+                          EntryLess{});
+            } else {
+                for (std::size_t i = 1; i < m; ++i) {
+                    const CalEntry e = drain_[i];
+                    std::size_t j = i;
+                    while (j > 0 &&
+                           EntryLess{}(e, drain_[j - 1])) {
+                        drain_[j] = drain_[j - 1];
+                        --j;
+                    }
+                    drain_[j] = e;
+                }
+            }
+        }
+        return &drain_[drain_pos_];
+    }
+
+    /** The entry peek() would return after one popHead(), if it
+     * is already sorted -- a prefetch hint, not a guarantee. */
+    const CalEntry *headSuccessor() const
+    {
+        return drain_pos_ + 1 < drain_.size()
+                   ? &drain_[drain_pos_ + 1]
+                   : nullptr;
+    }
+
+    /** Consume the entry peek() returned. */
+    void popHead()
+    {
+        DPC_ASSERT(drain_pos_ < drain_.size(),
+                   "popHead without a peeked entry");
+        ++drain_pos_;
+        --size_;
+    }
+
+  private:
+    double inv_width_ = 1.0;
+    std::size_t mask_ = 0;
+    std::vector<std::vector<CalEntry>> buckets_;
+    /** Absolute bucket index currently being drained; invariant:
+     * once an epoch's drain started, no queued entry precedes
+     * it. */
+    std::uint32_t cur_idx_ = 0;
+    bool draining_ = false;
+    std::vector<CalEntry> drain_;
+    std::size_t drain_pos_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace psb
+
+/** Persistent arenas: sized by the first round, reused by every
+ * later one, so warm rounds allocate nothing. */
+struct BatchScratch
+{
+    std::vector<psb::StageRec> stages;
+    std::vector<psb::LaunchRec> recs;
+    std::vector<psb::LaunchRec> radix_scratch;
+    std::vector<double> free_at;
+    psb::CalendarQueue queue;
+};
+
+PacketLevelBatch::PacketLevelBatch(std::vector<PacketLane> lanes)
+    : lanes_(std::move(lanes)),
+      scratch_(std::make_unique<BatchScratch>())
+{
+    DPC_ASSERT(!lanes_.empty(), "batch needs at least one lane");
+    const std::size_t R = lanes_.size();
+    DPC_ASSERT(R <= 256, "lane id must fit a byte");
+
+    // Per-lane fabric layouts and resource-id offsets: lane r's
+    // FIFO resources occupy [res_base_[r], res_base_[r + 1]), so
+    // lanes share the free_at array without ever interacting.
+    layouts_.reserve(R);
+    res_base_.assign(R + 1, 0);
+    svc_table_.reserve(3 * R);
+    double min_service = 1.0e30;
+    for (std::size_t r = 0; r < R; ++r) {
+        const PacketLane &l = lanes_[r];
+        DPC_ASSERT(l.overlay.numVertices() >= 2,
+                   "lane overlay too small");
+        DPC_ASSERT(l.drop_rate >= 0.0 && l.drop_rate < 1.0,
+                   "lane drop_rate must be in [0, 1)");
+        const PacketLevelSim::FabricParams &fp = l.params;
+        const std::size_t n = l.overlay.numVertices();
+        const std::size_t rs = fp.rack_size;
+        layouts_.push_back({n, (n + rs - 1) / rs, rs});
+        res_base_[r + 1] = res_base_[r] + layouts_[r].numResources();
+        svc_table_.push_back(fp.write_us);
+        svc_table_.push_back(fp.switch_us);
+        svc_table_.push_back(fp.read_us);
+        min_service = std::min(
+            {min_service, fp.read_us, fp.write_us, fp.switch_us});
+        // Expected retransmission copies are a 1/(1 - drop)
+        // factor; pad so the SoA reserves almost never
+        // reallocate mid-generation.
+        est_packets_ += static_cast<std::size_t>(
+            2.0 * static_cast<double>(l.overlay.numEdges()) *
+            (1.0 + 2.5 * l.drop_rate));
+    }
+    // Width well under half the smallest service time: the halved
+    // bound is what makes epoch content final (see CalendarQueue);
+    // going finer still keeps epochs at a couple of entries, so
+    // the per-epoch sorts are near-free insertion sorts.
+    width_ = std::max(0.0625, 0.125 * min_service);
+}
+
+PacketLevelBatch::~PacketLevelBatch() = default;
+PacketLevelBatch::PacketLevelBatch(PacketLevelBatch &&) noexcept =
+    default;
+PacketLevelBatch &
+PacketLevelBatch::operator=(PacketLevelBatch &&) noexcept = default;
+
+std::vector<double>
+PacketLevelBatch::dibaRoundUs()
+{
+    using psb::CalEntry;
+    using psb::kMaxStages;
+    using psb::StageRec;
+
+    const std::size_t R = lanes_.size();
+    BatchScratch &sc = *scratch_;
+
+    std::vector<StageRec> &stages = sc.stages;
+    std::vector<psb::LaunchRec> &recs = sc.recs;
+    stages.clear();
+    stages.reserve(est_packets_ * psb::kStageStride);
+    recs.clear();
+    recs.reserve(est_packets_);
+
+    for (std::size_t r = 0; r < R; ++r) {
+        const PacketLane &l = lanes_[r];
+        const PacketLevelSim::FabricParams &fp = l.params;
+        const FabricLayout &f = layouts_[r];
+        const std::size_t base = res_base_[r];
+        const std::size_t n = f.n;
+        const std::uint16_t sv_w =
+            static_cast<std::uint16_t>(3 * r);
+        const std::uint16_t sv_s =
+            static_cast<std::uint16_t>(3 * r + 1);
+        const std::uint16_t sv_r =
+            static_cast<std::uint16_t>(3 * r + 2);
+        const std::uint8_t lane8 = static_cast<std::uint8_t>(r);
+        // Exactly the standalone generation order (s ascending,
+        // then neighbors(s) order, then attempts): per-lane local
+        // packet indices match the standalone packet indices, and
+        // the lane Rng consumes drop draws in the same sequence.
+        Rng rng(l.loss_seed);
+        for (std::size_t s = 0; s < n; ++s) {
+            for (std::size_t d : l.overlay.neighbors(s)) {
+                const double jitter = launchJitterUs(
+                    s, d, fp.jitter_round, fp.launch_jitter_us);
+                std::size_t attempts = 1;
+                while (l.drop_rate > 0.0 &&
+                       attempts <= l.max_retx &&
+                       rng.bernoulli(l.drop_rate))
+                    ++attempts;
+                StageRec st[psb::kStageStride] = {};
+                std::size_t full_len;
+                if (f.tor(s) == f.tor(d)) {
+                    full_len = 3;
+                    st[0] = {static_cast<std::uint32_t>(base +
+                                                        f.tx(s)),
+                             sv_w, 0, lane8};
+                    st[1] = {static_cast<std::uint32_t>(
+                                 base + f.tor(s)),
+                             sv_s, 0, lane8};
+                    st[2] = {static_cast<std::uint32_t>(base +
+                                                        f.rx(d)),
+                             sv_r, 0, lane8};
+                    st[3] = st[4] = {0, 0, 0, 0};
+                } else {
+                    full_len = 5;
+                    st[0] = {static_cast<std::uint32_t>(base +
+                                                        f.tx(s)),
+                             sv_w, 0, lane8};
+                    st[1] = {static_cast<std::uint32_t>(
+                                 base + f.tor(s)),
+                             sv_s, 0, lane8};
+                    st[2] = {static_cast<std::uint32_t>(
+                                 base + f.core()),
+                             sv_s, 0, lane8};
+                    st[3] = {static_cast<std::uint32_t>(
+                                 base + f.tor(d)),
+                             sv_s, 0, lane8};
+                    st[4] = {static_cast<std::uint32_t>(base +
+                                                        f.rx(d)),
+                             sv_r, 0, lane8};
+                }
+                for (std::size_t a = 0; a < attempts; ++a) {
+                    const bool cnt = a + 1 == attempts;
+                    // A dropped copy vanishes before the
+                    // receiver's protocol read.
+                    const std::size_t len =
+                        cnt ? full_len : full_len - 1;
+                    const std::uint8_t flags =
+                        static_cast<std::uint8_t>((len << 1) |
+                                                  (cnt ? 1 : 0));
+                    // +0.0 canonicalizes a (theoretically
+                    // possible) -0.0 jitter so its bit pattern
+                    // radixes as zero.
+                    const double t =
+                        jitter + static_cast<double>(a) *
+                                     fp.retx_timeout_us +
+                        0.0;
+                    psb::LaunchRec rec;
+                    std::memcpy(&rec.tbits, &t, sizeof t);
+                    rec.key = static_cast<std::uint32_t>(
+                        recs.size() << 3);
+                    recs.push_back(rec);
+                    for (std::size_t i = 0; i < kMaxStages; ++i)
+                        st[i].flags = flags;
+                    stages.insert(stages.end(), st,
+                                  st + psb::kStageStride);
+                }
+            }
+        }
+    }
+
+    const std::size_t num_packets = recs.size();
+    DPC_ASSERT(num_packets < (std::size_t{1} << 29),
+               "packet id overflows the event key");
+    const double inv_width = 1.0 / width_;
+
+    // Stage-0 events all exist up front: one radix sort replaces
+    // ~P calendar insertions AND keeps the jitter clusters (most
+    // launches land within a few microseconds of zero) out of the
+    // per-epoch sorts, where their random arrival order would
+    // cost a branch-missing comparison sort per early epoch.
+    psb::radixSortByTime(recs, sc.radix_scratch);
+
+    std::vector<double> &free_at = sc.free_at;
+    free_at.assign(res_base_[R], 0.0);
+    std::vector<double> makespan(R, 0.0);
+    psb::CalendarQueue &q = sc.queue;
+    q.init(width_, est_packets_ * 3);
+    q.reset();
+    const StageRec *const sd = stages.data();
+    // The sorted launch list is consumed one record at a time,
+    // decoded into `cur_launch` on demand -- no second CalEntry
+    // array pass over the packets.
+    std::size_t li = 0;
+    CalEntry cur_launch{0.0, 0, 0};
+    const auto decode = [&](std::size_t i) {
+        double t;
+        std::memcpy(&t, &recs[i].tbits, sizeof t);
+        cur_launch = {t,
+                      static_cast<std::uint32_t>(t * inv_width),
+                      recs[i].key};
+    };
+    if (num_packets > 0)
+        decode(0);
+    for (;;) {
+        // Next event: merge the pre-sorted launch list with the
+        // calendar queue under the shared (time, key) order.
+        const CalEntry *head =
+            li < num_packets
+                ? q.peek(cur_launch.idx)
+                : (q.empty() ? nullptr
+                             : q.peek(0xffffffffu));
+        CalEntry e;
+        if (head != nullptr &&
+            (li >= num_packets ||
+             psb::EntryLess{}(*head, cur_launch))) {
+            e = *head;
+            q.popHead();
+        } else if (li < num_packets) {
+            e = cur_launch;
+            if (++li < num_packets)
+                decode(li);
+        } else {
+            break;
+        }
+        // The next drain entry (if already sorted) names the next
+        // event's packet: warm its stage line while this event's
+        // free_at dependency resolves.
+        if (const CalEntry *nx = q.headSuccessor())
+            __builtin_prefetch(&sd[nx->key]);
+        const std::uint32_t stage = e.key & 7;
+        const StageRec sg = sd[e.key];
+        const double start = std::max(e.time, free_at[sg.res]);
+        const double done = start + svc_table_[sg.svc];
+        free_at[sg.res] = done;
+        if (stage + 1 < (sg.flags >> 1)) {
+            q.push(done, e.key + 1);
+        } else if (sg.flags & 1) {
+            double &m = makespan[sg.lane];
+            m = std::max(m, done);
+        }
+    }
+    return makespan;
+}
+
+} // namespace dpc

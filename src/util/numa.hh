@@ -1,0 +1,104 @@
+/**
+ * @file
+ * First-touch NUMA placement helpers for the round-engine SoA
+ * streams.
+ *
+ * Linux places an anonymous page on the NUMA node of the thread
+ * that *first writes* it.  std::vector's resize/assign performs
+ * that first write serially on the control thread, so a freshly
+ * reset allocator has every stream on one node and remote workers
+ * pay cross-socket latency for their whole chunk.  The fix is pure
+ * and value-preserving: after the serial initialization, drop the
+ * array's committed pages (madvise(MADV_DONTNEED) — anonymous pages
+ * read back as zero and the physical frames are freed) and re-write
+ * each chunk's slice from the worker that will own it, so the
+ * re-faulted frames land on that worker's node.  Values are copied
+ * out first and written back bitwise unchanged, so the optimization
+ * is invisible to every determinism guarantee.
+ *
+ * Off Linux, or for ranges smaller than one page, the drop is a
+ * no-op and the parallel rewrite is plain (harmless) stores — the
+ * graceful single-socket degradation Config::numa_interleave
+ * promises.
+ */
+
+#ifndef DPC_UTIL_NUMA_HH
+#define DPC_UTIL_NUMA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#include "util/thread_pool.hh"
+
+namespace dpc {
+
+/**
+ * Drop the physical pages fully contained in [data, data+bytes)
+ * (anonymous memory; partial head/tail pages are left alone).  The
+ * virtual range stays valid and reads back as zero; the next write
+ * to a dropped page faults a fresh frame on the writing thread's
+ * NUMA node.  No-op off Linux or when no whole page fits.
+ */
+inline void
+dropPagesForFirstTouch(void *data, std::size_t bytes)
+{
+#if defined(__linux__)
+    const long page = ::sysconf(_SC_PAGESIZE);
+    if (page <= 0)
+        return;
+    const std::uintptr_t mask = static_cast<std::uintptr_t>(page) - 1;
+    const std::uintptr_t lo =
+        (reinterpret_cast<std::uintptr_t>(data) + mask) & ~mask;
+    const std::uintptr_t hi =
+        (reinterpret_cast<std::uintptr_t>(data) + bytes) & ~mask;
+    if (hi > lo)
+        ::madvise(reinterpret_cast<void *>(lo), hi - lo,
+                  MADV_DONTNEED);
+#else
+    (void)data;
+    (void)bytes;
+#endif
+}
+
+/**
+ * Re-place one double stream along the pool's static chunk
+ * partition of [0, n): copy the values aside, drop the committed
+ * pages, and let each chunk re-write its own slice (the first
+ * touch).  Bitwise value-preserving; no-op without a pool.
+ *
+ * @param v       the stream; v.size() must be >= n
+ * @param n       the partitioned index range (chunk geometry must
+ *                match the one the round engine will use)
+ * @param pool    the pool whose workers will own the chunks
+ * @param scratch reusable copy buffer
+ */
+inline void
+firstTouchPartition(std::vector<double> &v, std::size_t n,
+                    ThreadPool &pool, std::vector<double> &scratch)
+{
+    if (v.empty() || n == 0 || n > v.size())
+        return;
+    scratch.assign(v.begin(), v.end());
+    dropPagesForFirstTouch(v.data(), v.size() * sizeof(double));
+    const double *src = scratch.data();
+    double *dst = v.data();
+    pool.parallelFor(n, [&](std::size_t, std::size_t begin,
+                            std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i)
+            dst[i] = src[i];
+    });
+    // Tail beyond the partitioned range (none today; streams are
+    // sized exactly n) would be rewritten serially here.
+    for (std::size_t i = n; i < v.size(); ++i)
+        dst[i] = src[i];
+}
+
+} // namespace dpc
+
+#endif // DPC_UTIL_NUMA_HH

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "graph/edge_coloring.hh"
+#include "graph/graph.hh"
+#include "graph/topologies.hh"
+#include "util/rng.hh"
+
+namespace dpc {
+namespace {
+
+using EdgeList = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/** Canonical (u < v, ascending) edge list of a graph; index in the
+ * returned vector is the edge id. */
+EdgeList
+canonicalEdges(const Graph &g)
+{
+    EdgeList edges;
+    for (std::size_t u = 0; u < g.numVertices(); ++u)
+        for (const std::size_t v : g.neighbors(u))
+            if (u < v)
+                edges.emplace_back(u, v);
+    return edges;
+}
+
+/** Per-vertex degree of the live subgraph. */
+std::size_t
+maxLiveDegree(const EdgeList &edges,
+              const std::vector<std::uint8_t> &live,
+              std::size_t n)
+{
+    std::vector<std::size_t> deg(n, 0);
+    for (std::size_t id = 0; id < edges.size(); ++id)
+        if (live[id]) {
+            ++deg[edges[id].first];
+            ++deg[edges[id].second];
+        }
+    return *std::max_element(deg.begin(), deg.end());
+}
+
+/** Audit the three schedule properties the sweep engine relies on:
+ * every live edge in exactly one matching, matchings vertex-
+ * disjoint, dead edges colorless. */
+void
+expectValidSchedule(const EdgeColoring &col, const EdgeList &edges,
+                    const std::vector<std::uint8_t> &live,
+                    std::size_t n)
+{
+    std::vector<std::size_t> seen(edges.size(), 0);
+    for (std::size_t c = 0; c < col.numColors(); ++c) {
+        std::vector<std::uint8_t> used(n, 0);
+        for (const std::uint32_t id : col.matching(c)) {
+            ++seen[id];
+            EXPECT_EQ(col.colorOf(id), c);
+            const auto &[u, v] = edges[id];
+            EXPECT_FALSE(used[u])
+                << "vertex " << u << " twice in matching " << c;
+            EXPECT_FALSE(used[v])
+                << "vertex " << v << " twice in matching " << c;
+            used[u] = used[v] = 1;
+        }
+    }
+    for (std::size_t id = 0; id < edges.size(); ++id) {
+        EXPECT_EQ(seen[id], live[id] ? 1u : 0u)
+            << "edge " << id << " covered " << seen[id]
+            << " times";
+        if (!live[id]) {
+            EXPECT_EQ(col.colorOf(id), EdgeColoring::kNoColor);
+        }
+    }
+}
+
+/** Check the greedy fixed point directly: every live edge's color
+ * is the smallest color unused by any live lower-id incident
+ * edge. */
+void
+expectGreedyFixedPoint(const EdgeColoring &col,
+                       const EdgeList &edges,
+                       const std::vector<std::uint8_t> &live)
+{
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (!live[e])
+            continue;
+        std::vector<std::uint8_t> taken;
+        for (std::size_t f = 0; f < e; ++f) {
+            if (!live[f])
+                continue;
+            const bool incident =
+                edges[f].first == edges[e].first ||
+                edges[f].first == edges[e].second ||
+                edges[f].second == edges[e].first ||
+                edges[f].second == edges[e].second;
+            if (!incident)
+                continue;
+            const std::uint32_t c = col.colorOf(f);
+            if (c >= taken.size())
+                taken.resize(c + 1, 0);
+            taken[c] = 1;
+        }
+        std::uint32_t mex = 0;
+        while (mex < taken.size() && taken[mex])
+            ++mex;
+        EXPECT_EQ(col.colorOf(e), mex)
+            << "edge " << e << " is not at the greedy fixed point";
+    }
+}
+
+TEST(EdgeColoringTest, EveryLiveEdgeExactlyOnceAndDisjoint)
+{
+    Rng topo(7);
+    const std::size_t n = 96;
+    const Graph g = makeChordalRing(n, n / 4, topo);
+    const EdgeList edges = canonicalEdges(g);
+    const std::vector<std::uint8_t> live(edges.size(), 1);
+
+    EdgeColoring col;
+    col.build(n, edges);
+    EXPECT_EQ(col.numLiveEdges(), edges.size());
+    expectValidSchedule(col, edges, live, n);
+    expectGreedyFixedPoint(col, edges, live);
+}
+
+TEST(EdgeColoringTest, GreedyBoundOnColorCount)
+{
+    Rng topo(11);
+    const std::size_t n = 128;
+    const Graph g = makeChordalRing(n, n / 2, topo);
+    const EdgeList edges = canonicalEdges(g);
+    const std::vector<std::uint8_t> live(edges.size(), 1);
+
+    EdgeColoring col;
+    col.build(n, edges);
+    EXPECT_LE(col.numColors(),
+              2 * maxLiveDegree(edges, live, n) - 1);
+}
+
+TEST(EdgeColoringTest, DeterministicPureFunctionOfLiveSet)
+{
+    Rng topo(3);
+    const std::size_t n = 64;
+    const Graph g = makeChordalRing(n, n / 4, topo);
+    const EdgeList edges = canonicalEdges(g);
+    std::vector<std::uint8_t> live(edges.size(), 1);
+    for (std::size_t id = 0; id < edges.size(); id += 5)
+        live[id] = 0;
+
+    EdgeColoring a;
+    a.build(n, edges, &live);
+    // Same live set reached through a completely different
+    // history: build fully live, then kill the same edges one by
+    // one (descending, for contrast).
+    EdgeColoring b;
+    b.build(n, edges);
+    for (std::size_t id = edges.size(); id-- > 0;)
+        if (!live[id])
+            b.setEdgeLive(static_cast<std::uint32_t>(id), false);
+
+    for (std::size_t id = 0; id < edges.size(); ++id)
+        EXPECT_EQ(a.colorOf(id), b.colorOf(id))
+            << "coloring depends on construction history at edge "
+            << id;
+}
+
+TEST(EdgeColoringTest, IncrementalRepairEqualsFreshRebuild)
+{
+    Rng topo(19);
+    const std::size_t n = 80;
+    const Graph g = makeChordalRing(n, n / 4, topo);
+    const EdgeList edges = canonicalEdges(g);
+    std::vector<std::uint8_t> live(edges.size(), 1);
+
+    EdgeColoring incremental;
+    incremental.build(n, edges);
+
+    // 200 random liveness flips; after each, the repaired coloring
+    // must equal a from-scratch build of the current live set and
+    // stay a valid schedule.
+    Rng churn(23);
+    for (int step = 0; step < 200; ++step) {
+        const std::uint32_t id =
+            static_cast<std::uint32_t>(churn.index(edges.size()));
+        live[id] ^= 1;
+        incremental.setEdgeLive(id, live[id] != 0);
+
+        EdgeColoring fresh;
+        fresh.build(n, edges, &live);
+        for (std::size_t e = 0; e < edges.size(); ++e)
+            ASSERT_EQ(incremental.colorOf(e), fresh.colorOf(e))
+                << "repair diverged from fresh build at step "
+                << step << ", edge " << e;
+    }
+    expectValidSchedule(incremental, edges, live, n);
+    expectGreedyFixedPoint(incremental, edges, live);
+}
+
+TEST(EdgeColoringTest, SetEdgeLiveIsIdempotent)
+{
+    const Graph g = makeRing(16);
+    const EdgeList edges = canonicalEdges(g);
+    EdgeColoring col;
+    col.build(16, edges);
+    const std::size_t colors = col.numColors();
+    col.setEdgeLive(3, true); // already live: no-op
+    EXPECT_EQ(col.numColors(), colors);
+    EXPECT_EQ(col.numLiveEdges(), edges.size());
+    col.setEdgeLive(3, false);
+    col.setEdgeLive(3, false); // already dead: no-op
+    EXPECT_EQ(col.numLiveEdges(), edges.size() - 1);
+    EXPECT_EQ(col.colorOf(3), EdgeColoring::kNoColor);
+}
+
+} // namespace
+} // namespace dpc

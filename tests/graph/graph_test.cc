@@ -139,5 +139,29 @@ TEST(GraphTest, DiameterOfRing)
     EXPECT_EQ(ring.diameter(), 4u);
 }
 
+TEST(GraphTest, CsrChunkLocality)
+{
+    // A contiguous-id ring keeps every neighbour reference inside
+    // its chunk except the two directed references crossing each
+    // of the `chunks` cut points.
+    Graph ring(64);
+    for (std::size_t v = 0; v < 64; ++v)
+        ring.addEdge(v, (v + 1) % 64);
+    const GraphCsr &csr = ring.csr();
+    EXPECT_DOUBLE_EQ(csrChunkLocality(csr, 1), 1.0);
+    const double expected = 1.0 - (4.0 * 2.0) / 128.0;
+    EXPECT_DOUBLE_EQ(csrChunkLocality(csr, 4), expected);
+
+    // A star from vertex 0 is maximally non-local: only the
+    // references inside chunk 0 stay local.
+    Graph star(64);
+    for (std::size_t v = 1; v < 64; ++v)
+        star.addEdge(0, v);
+    EXPECT_LT(csrChunkLocality(star.csr(), 4), 0.3);
+
+    Graph empty(5);
+    EXPECT_DOUBLE_EQ(csrChunkLocality(empty.csr(), 4), 1.0);
+}
+
 } // namespace
 } // namespace dpc

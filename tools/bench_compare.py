@@ -32,9 +32,10 @@ import json
 import sys
 
 # Fields that carry measurements; everything else is identity.
-PERF_METRICS = ("ns_per_node", "ms_per_round")
+PERF_METRICS = ("ns_per_node", "ns_per_edge", "ms_per_round")
 OTHER_METRICS = (
     "util_frac_of_opt",
+    "speedup_x",
     "warm_frac",
     "peak_rss_mb",
     "rounds",

@@ -4,6 +4,8 @@
 #
 #   1. scalar Release build + full ctest        (correctness)
 #   2. AVX2 build + full ctest                  (bitwise SIMD parity)
+#      + bench smoke runs of gossip_async and the multi-lane
+#        packet engine (bitwise bars only; DPC_BENCH_SMOKE=1)
 #   3. ASan suite                               (memory safety)
 #   4. UBSan suite                              (UB: shifts, casts,
 #                                                signed overflow)
@@ -33,6 +35,14 @@ cmake -S "$repo" -B "$repo/build-avx2" -DCMAKE_BUILD_TYPE=Release \
 cmake --build "$repo/build-avx2" -j"$(nproc)"
 ctest --test-dir "$repo/build-avx2" --output-on-failure -j"$(nproc)"
 
+step "AVX2 bench smoke (bitwise bars, no perf gate)"
+bench_smoke_dir=$(mktemp -d)
+(cd "$bench_smoke_dir" &&
+     DPC_BENCH_SMOKE=1 "$repo/build-avx2/bench/gossip_async" &&
+     DPC_BENCH_SMOKE=1 \
+         "$repo/build-avx2/bench/table4_2_packet_level")
+rm -rf "$bench_smoke_dir"
+
 step "AddressSanitizer suite"
 "$repo/tools/run_ctest_asan.sh"
 
@@ -44,7 +54,11 @@ step "ThreadSanitizer round-engine suite"
 
 if [ "${DPC_CI_SKIP_BENCH:-0}" != "1" ]; then
     step "bench suite + baseline gate"
-    BUILD_DIR="$repo/build" "$repo/tools/run_bench_suite.sh"
+    # The AVX2 build is the perf-tracking configuration (its
+    # kernels are pinned bitwise-identical to the portable build,
+    # so only speed differs); the committed baselines are recorded
+    # from it.
+    BUILD_DIR="$repo/build-avx2" "$repo/tools/run_bench_suite.sh"
 fi
 
 step "all green"

@@ -19,6 +19,13 @@
 #   BENCH_recovery.json      (recovery_storm: detector-driven
 #                             self-healing -- availability,
 #                             time-to-recover, quality vs oracle)
+#   BENCH_gossip_async.json  (gossip_async: scalar ticks vs batched
+#                             matching sweeps -- ns_per_edge gated
+#                             at the perf threshold, quality at the
+#                             1% util_frac slack)
+#   BENCH_packet_lanes.json  (table4_2_packet_level: multi-lane
+#                             calendar-queue engine vs lane-by-lane
+#                             standalone DES)
 # micro_round_engine (google-benchmark) also runs for the human log
 # but is not part of the gate -- its numbers duplicate the
 # table4_2 records in a harness with its own timing loop.
@@ -34,7 +41,7 @@ if [ ! -d "$BUILD_DIR" ]; then
 fi
 cmake --build "$BUILD_DIR" -j \
     --target table4_2_scalability fault_storm recovery_storm \
-    micro_round_engine
+    gossip_async table4_2_packet_level micro_round_engine
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -48,13 +55,20 @@ echo
 echo "== recovery_storm =="
 (cd "$workdir" && "$BUILD_DIR/bench/recovery_storm")
 echo
+echo "== gossip_async =="
+(cd "$workdir" && "$BUILD_DIR/bench/gossip_async")
+echo
+echo "== table4_2_packet_level =="
+(cd "$workdir" && "$BUILD_DIR/bench/table4_2_packet_level")
+echo
 echo "== micro_round_engine (informational) =="
 "$BUILD_DIR/bench/micro_round_engine" --benchmark_min_time=0.2 ||
     echo "micro_round_engine failed (non-gating)"
 
 status=0
 for name in BENCH_diba_rounds.json BENCH_fault_storm.json \
-            BENCH_recovery.json; do
+            BENCH_recovery.json BENCH_gossip_async.json \
+            BENCH_packet_lanes.json; do
     if [ -f "$ROOT/$name" ]; then
         echo
         echo "== compare $name =="

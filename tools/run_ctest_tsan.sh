@@ -1,10 +1,11 @@
 #!/bin/sh
 # Build the concurrency-sensitive tests under ThreadSanitizer and
 # run the ones that exercise the round engine: the ThreadPool
-# handoff protocol and the bitwise-determinism tests that spin the
-# chunked DiBA engine with several thread counts.  A clean pass
-# here is the evidence behind DESIGN.md's "every phase is snapshot-
-# read / local-write" argument.
+# handoff protocol, the bitwise-determinism tests that spin the
+# chunked DiBA engine with several thread counts, and the batched
+# gossip sweeps (vertex-disjoint matchings chunked across the
+# pool).  A clean pass here is the evidence behind DESIGN.md's
+# "every phase is snapshot-read / local-write" argument.
 #
 # Usage: tools/run_ctest_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -19,4 +20,4 @@ cmake --build "$build" --target test_util test_alloc -j"$(nproc)"
 
 TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1"} \
     ctest --test-dir "$build" --output-on-failure -j2 \
-          -R 'ThreadPoolTest|RoundEngineTest'
+          -R 'ThreadPoolTest|RoundEngineTest|GossipSweepTest'
