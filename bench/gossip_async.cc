@@ -13,22 +13,45 @@
  * engine cost.
  *
  * Grid: chordal rings, n in {6400, 25600, 102400}, engines
- * scalar / sweep (single-thread) / sweep_mt (hardware chunks).
- * Every engine also reports the allocation quality
- * (util_frac_of_opt vs. the KKT oracle) after a fixed number of
- * sweep-equivalents, so a perf win can never silently trade away
- * convergence.  Emits BENCH_gossip_async.json for the
- * bench_compare gate (>15% ns_per_edge or >1% quality regression
- * fails); exits non-zero if the single-thread sweep falls under
- * 3x the scalar path at n=25600 (the tentpole acceptance bar).
+ * scalar / sweep (single-thread) / sweep_mt at threads in
+ * {1, 2, 4, 8} (one row per thread count).  Every engine also
+ * reports the allocation quality (util_frac_of_opt vs. the KKT
+ * oracle) after a fixed number of sweep-equivalents, so a perf win
+ * can never silently trade away convergence, and the measured
+ * chunk locality of the overlay it actually streamed, so the
+ * layout closed loop is gated end to end.
+ *
+ * Layout section (largest n): a bounded-span circulant overlay
+ * (ring + chords to the 2nd/3rd/8th neighbour -- the rack-local
+ * gossip overlay of a row of racks) with its vertex ids scrambled,
+ * the adversarial placement a real deployment produces when server
+ * ids arrive in rack-arbitrary order.  Swept once with
+ * Config::layout=identity ("scrambled" rows) and once with
+ * Config::layout=rcm ("rcm" rows): RCM recovers the band
+ * structure, so at memory-bound sizes the same sweep touches
+ * chunk-local lines instead of the whole SoA.  The random-chord
+ * grid overlay above is deliberately NOT used here: random chords
+ * make an expander, and no vertex order can localize an expander
+ * -- the layout subsystem targets overlays that have locality to
+ * recover.  The RCM sweep must beat the scrambled sweep by >= 1.3x
+ * in ns_per_edge at n=102400 (the tentpole acceptance bar); its
+ * speedup_x and locality land in BENCH_gossip_async.json where
+ * bench_compare.py gates them against the committed baseline.
+ *
+ * Emits BENCH_gossip_async.json for the bench_compare gate (>15%
+ * ns_per_edge, >1% quality, or locality regression fails); exits
+ * non-zero if the single-thread sweep falls under 3x the scalar
+ * path at n=25600 or the layout bar fails.
  *
  * DPC_BENCH_SMOKE=1 shrinks the grid to one small size and a
  * couple of trials -- the CI smoke mode (tools/ci.sh).
  */
 
 #include <cstdlib>
+#include <numeric>
 
 #include "bench/common.hh"
+#include "graph/reorder.hh"
 #include "tools/bench_json.hh"
 
 using namespace dpc;
@@ -40,11 +63,17 @@ constexpr std::uint64_t kProblemSeed = 97;
 constexpr std::uint64_t kTopoSeed = 7;
 constexpr std::uint64_t kTimingSeed = 11;
 constexpr std::uint64_t kQualitySeed = 5;
+constexpr std::uint64_t kScrambleSeed = 23;
+/** Chunk count of the locality probe: fixed (not tied to the
+ * engine's thread count) so the field is comparable across rows
+ * and meaningful even for the serial engines. */
+constexpr std::size_t kLocalityChunks = 8;
 
 struct EngineResult
 {
     double ns_per_edge = 0.0;
     double util_frac = 0.0;
+    double locality = 0.0;
     std::size_t edges_timed = 0;
 };
 
@@ -55,6 +84,31 @@ topologyOf(std::size_t n)
     // Ring + n/4 random chords: sparse enough that per-edge cost
     // dominates, chordal enough for a handful of matchings.
     return makeChordalRing(n, n / 4, rng);
+}
+
+/** Bounded-span circulant: ring plus chords to the +2, +3 and +8
+ * neighbours.  In natural order every edge spans <= 8 ids, so a
+ * good layout can make nearly every sweep gather chunk-local. */
+Graph
+localChordOverlay(std::size_t n)
+{
+    Graph g(n);
+    for (const std::size_t span : {1u, 2u, 3u, 8u})
+        if (span < n)
+            for (std::size_t v = 0; v < n; ++v)
+                g.addEdge(v, (v + span) % n);
+    return g;
+}
+
+/** Same overlay, adversarial vertex ids. */
+Graph
+scrambledOf(const Graph &g)
+{
+    Rng rng(kScrambleSeed);
+    std::vector<std::uint32_t> shuf(g.numVertices());
+    std::iota(shuf.begin(), shuf.end(), 0u);
+    rng.shuffle(shuf);
+    return g.relabeled(shuf);
 }
 
 /** Allocation quality after `sweeps` sweep-equivalents of async
@@ -81,11 +135,12 @@ qualityOf(DibaAllocator &diba, const AllocationProblem &prob,
 EngineResult
 runEngine(const AllocationProblem &prob, const Graph &g,
           double opt_utility, bool scalar, std::size_t threads,
-          std::size_t sweeps_timed, std::size_t sweeps_quality,
-          std::size_t trials)
+          Layout layout, std::size_t sweeps_timed,
+          std::size_t sweeps_quality, std::size_t trials)
 {
     DibaAllocator::Config cfg;
     cfg.num_threads = threads;
+    cfg.layout = layout;
     DibaAllocator diba(g, cfg);
     diba.reset(prob);
     const std::size_t e = diba.liveEdges().size();
@@ -110,6 +165,7 @@ runEngine(const AllocationProblem &prob, const Graph &g,
                           : 1e6 * t.ms_per_round /
                                 static_cast<double>(e);
     res.edges_timed = t.rounds * (scalar ? 1 : e);
+    res.locality = diba.chunkLocality(kLocalityChunks);
     res.util_frac =
         qualityOf(diba, prob, opt_utility, sweeps_quality, scalar);
     return res;
@@ -126,19 +182,46 @@ main()
         smoke ? "smoke mode: n=1600, 2 trials"
               : "chordal rings, n in {6400, 25600, 102400}; "
                 "best-of-N timing; quality after 24 "
-                "sweep-equivalents");
+                "sweep-equivalents; layout bar at n=102400");
 
     const std::vector<std::size_t> sizes =
         smoke ? std::vector<std::size_t>{1600}
               : std::vector<std::size_t>{6400, 25600, 102400};
     const std::size_t trials = smoke ? 2 : 25;
     const std::size_t sweeps_quality = smoke ? 6 : 24;
-    const std::size_t mt_threads = ThreadPool::hardwareChunks();
 
-    Table table({"n", "edges", "engine", "threads", "ns_per_edge",
-                 "speedup_x", "util_frac_of_opt"});
+    Table table({"n", "edges", "engine", "threads", "layout",
+                 "ns_per_edge", "speedup_x", "locality",
+                 "util_frac_of_opt"});
     tools::BenchJsonWriter json;
     bool gate_ok = true;
+
+    const auto emit = [&](std::size_t n, std::size_t e,
+                          const char *engine, std::size_t threads,
+                          const char *layout, const EngineResult &r,
+                          double speedup) {
+        table.addRow({Table::num((long long)n),
+                      Table::num((long long)e),
+                      std::string(engine),
+                      Table::num((long long)threads),
+                      std::string(layout),
+                      Table::num(r.ns_per_edge, 1),
+                      Table::num(speedup, 2),
+                      Table::num(r.locality, 4),
+                      Table::num(r.util_frac, 4)});
+        json.record()
+            .field("bench", "gossip_async")
+            .field("engine", engine)
+            .field("n", n)
+            .field("threads", threads)
+            .field("layout", layout)
+            .field("ns_per_edge", r.ns_per_edge)
+            .field("speedup_x", speedup)
+            .field("locality", r.locality)
+            .field("util_frac_of_opt", r.util_frac)
+            .field("rounds", r.edges_timed)
+            .field("peak_rss_mb", bench::peakRssMb());
+    };
 
     for (const std::size_t n : sizes) {
         const auto prob =
@@ -160,38 +243,25 @@ main()
             bool scalar;
             std::size_t threads;
         };
+        // One sweep_mt row per thread count: the thread dimension
+        // is part of the record identity, so bench_compare tracks
+        // each width's ns_per_edge separately.
         const Spec specs[] = {
-            {"scalar", true, 0},
-            {"sweep", false, 0},
-            {"sweep_mt", false, mt_threads},
+            {"scalar", true, 0},    {"sweep", false, 0},
+            {"sweep_mt", false, 1}, {"sweep_mt", false, 2},
+            {"sweep_mt", false, 4}, {"sweep_mt", false, 8},
         };
         double scalar_ns = 0.0;
         for (const Spec &s : specs) {
-            const EngineResult r =
-                runEngine(prob, g, opt_utility, s.scalar,
-                          s.threads, sweeps_timed, sweeps_quality,
-                          trials);
+            const EngineResult r = runEngine(
+                prob, g, opt_utility, s.scalar, s.threads,
+                Layout::identity, sweeps_timed, sweeps_quality,
+                trials);
             if (s.scalar)
                 scalar_ns = r.ns_per_edge;
             const double speedup =
                 s.scalar ? 1.0 : scalar_ns / r.ns_per_edge;
-            table.addRow({Table::num((long long)n),
-                          Table::num((long long)e),
-                          std::string(s.name),
-                          Table::num((long long)s.threads),
-                          Table::num(r.ns_per_edge, 1),
-                          Table::num(speedup, 2),
-                          Table::num(r.util_frac, 4)});
-            json.record()
-                .field("bench", "gossip_async")
-                .field("engine", s.name)
-                .field("n", n)
-                .field("threads", s.threads)
-                .field("ns_per_edge", r.ns_per_edge)
-                .field("speedup_x", speedup)
-                .field("util_frac_of_opt", r.util_frac)
-                .field("rounds", r.edges_timed)
-                .field("peak_rss_mb", bench::peakRssMb());
+            emit(n, e, s.name, s.threads, "identity", r, speedup);
 #if defined(DPC_AVX2)
             // The 3x acceptance bar is for the SIMD block kernel
             // (the build tools/ci.sh benches); the portable build
@@ -204,13 +274,38 @@ main()
             }
 #endif
         }
+
+        // Layout section (largest size only): scrambled ids, swept
+        // with and without the RCM build-time relabeling.
+        if (n != sizes.back())
+            continue;
+        const Graph bad = scrambledOf(localChordOverlay(n));
+        const std::size_t be = bad.numEdges();
+        const EngineResult scrambled = runEngine(
+            prob, bad, opt_utility, false, 0, Layout::identity,
+            sweeps_timed, sweeps_quality, trials);
+        const EngineResult rcm = runEngine(
+            prob, bad, opt_utility, false, 0, Layout::rcm,
+            sweeps_timed, sweeps_quality, trials);
+        const double layout_speedup =
+            scrambled.ns_per_edge / rcm.ns_per_edge;
+        emit(n, be, "sweep", 0, "scrambled", scrambled, 1.0);
+        emit(n, be, "sweep", 0, "rcm", rcm, layout_speedup);
+        if (!smoke && layout_speedup < 1.3) {
+            gate_ok = false;
+            std::cout << "FAIL: rcm layout sweep speedup "
+                      << layout_speedup
+                      << "x < 1.3x over scrambled at n=" << n
+                      << "\n";
+        }
     }
 
     table.print(std::cout);
     json.save("BENCH_gossip_async.json");
     std::cout << "\nPer-edge engine cost; sweep schedules are "
                  "bitwise replayable through gossipTickPair "
-                 "(gossip_sweep_test).  Results saved to "
+                 "(gossip_sweep_test) and layout-invariant "
+                 "(diba_layout_test).  Results saved to "
                  "BENCH_gossip_async.json\n";
     return gate_ok ? 0 : 1;
 }

@@ -9,16 +9,25 @@
  * magnitude more per iteration.
  *
  * Second half: the multi-lane batch engine
- * (net/packet_sim_batch.hh).  An R=8 grid of round configurations
- * (drop rate x overlay degree) runs once lane-by-lane through the
- * standalone simulator and once as a single batched calendar-queue
- * sweep; every lane's makespan must match the standalone value
- * BITWISE (the engines share packet generation, launch-jitter
- * hashing and the (time, packet, stage) event order), and the
- * sweep is timed against the lane-by-lane loop.  Emits
- * BENCH_packet_lanes.json; exits non-zero on any bitwise mismatch
- * or if the aggregate speedup falls under 2x (smoke mode skips the
- * speedup bar, not the bitwise bar).
+ * (net/packet_sim_batch.hh).  Grids of R in {4, 8, 16, 32} round
+ * configurations (drop rate x overlay degree) run once
+ * lane-by-lane through the standalone simulator, once as a single
+ * serial calendar-queue sweep, and once lane-chunked across the
+ * hardware threads; every lane's makespan must match the
+ * standalone value BITWISE in every engine (the engines share
+ * packet generation, launch-jitter hashing and the (time, packet,
+ * stage) event order), and each width is timed against the
+ * lane-by-lane loop.  Emits one BENCH_packet_lanes.json row per
+ * (R, engine) whose speedup_x bench_compare.py gates against the
+ * committed baseline; exits non-zero on any bitwise mismatch or if
+ * the serial R=8 speedup falls under 1.7x (smoke mode skips the
+ * speedup bar, not the bitwise bar).  The absolute bar is a
+ * last-resort floor only: it sits below the documented ~13%
+ * host-to-host timing drift of the shared bench machine (the seed
+ * engine itself measures anywhere from 1.9x to 2.3x across days on
+ * identical binaries); the tight gate is bench_compare.py holding
+ * every (R, engine) row's speedup_x within the perf threshold of
+ * the committed baseline.
  */
 
 #include <cstdlib>
@@ -32,24 +41,27 @@ using namespace dpc;
 
 namespace {
 
-/** The R=8 lane grid: 4 drop rates x 2 overlay degrees. */
+/**
+ * The R-lane grid: lane r cycles through 4 drop rates (r % 4) and
+ * 2 overlay degrees ((r / 4) % 2), so every width's first 8 lanes
+ * are the classic 4 x 2 grid and wider grids repeat it with fresh
+ * loss seeds (0xfab1 + r stays distinct per lane).
+ */
 std::vector<PacketLane>
-laneGrid(std::size_t n)
+laneGrid(std::size_t n, std::size_t R)
 {
     const double drops[] = {0.0, 0.05, 0.1, 0.2};
+    Rng topo(17);
+    const Graph ring = makeRing(n);
+    const Graph chordal = makeChordalRing(n, n / 8, topo);
     std::vector<PacketLane> lanes;
-    for (const bool chordal : {false, true}) {
-        Rng topo(17);
-        const Graph g = chordal ? makeChordalRing(n, n / 8, topo)
-                                : makeRing(n);
-        for (const double drop : drops) {
-            PacketLane l;
-            l.overlay = g;
-            l.drop_rate = drop;
-            l.loss_seed =
-                0xfab1 + lanes.size(); // distinct per lane
-            lanes.push_back(std::move(l));
-        }
+    lanes.reserve(R);
+    for (std::size_t r = 0; r < R; ++r) {
+        PacketLane l;
+        l.overlay = (r / 4) % 2 ? chordal : ring;
+        l.drop_rate = drops[r % 4];
+        l.loss_seed = 0xfab1 + r; // distinct per lane
+        lanes.push_back(std::move(l));
     }
     return lanes;
 }
@@ -112,61 +124,90 @@ main()
     // ---- multi-lane batch engine -------------------------------
     const std::size_t lane_n = smoke ? 400 : 3200;
     const std::size_t trials = smoke ? 2 : 15;
-    const auto lanes = laneGrid(lane_n);
-    PacketLevelBatch batch(lanes);
-
-    const auto solo = standaloneLanes(lanes);
-    const auto batched = batch.dibaRoundUs();
-    bool bitwise_ok = solo.size() == batched.size();
-    for (std::size_t r = 0; bitwise_ok && r < solo.size(); ++r)
-        bitwise_ok = solo[r] == batched[r];
-
-    const auto t_solo = bench::timeRounds(
-        lane_n, 1, [&] { (void)standaloneLanes(lanes); }, trials);
-    const auto t_batch = bench::timeRounds(
-        lane_n, 1, [&] { (void)batch.dibaRoundUs(); }, trials);
-    const double speedup =
-        t_solo.ms_per_round / t_batch.ms_per_round;
+    const std::size_t mt_threads = ThreadPool::hardwareChunks();
+    const std::vector<std::size_t> widths =
+        smoke ? std::vector<std::size_t>{4, 8}
+              : std::vector<std::size_t>{4, 8, 16, 32};
 
     bench::banner(
         "Multi-lane packet engine",
-        "R=8 lanes (4 drop rates x 2 overlays), n=" +
-            std::to_string(lane_n) +
-            "; one calendar-queue sweep vs lane-by-lane DES");
-    Table lt({"lane", "overlay", "drop_pct", "standalone_ms",
-              "batched_ms", "bitwise"});
-    for (std::size_t r = 0; r < lanes.size(); ++r)
-        lt.addRow({Table::num((long long)r),
-                   std::string(r < 4 ? "ring" : "chordal"),
-                   Table::num(100.0 * lanes[r].drop_rate, 0),
-                   Table::num(solo[r] / 1000.0, 4),
-                   Table::num(batched[r] / 1000.0, 4),
-                   std::string(solo[r] == batched[r] ? "yes"
-                                                     : "NO")});
-    lt.print(std::cout);
-    std::cout << "\naggregate: standalone "
-              << Table::num(t_solo.ms_per_round, 2)
-              << " ms, batched "
-              << Table::num(t_batch.ms_per_round, 2) << " ms ("
-              << Table::num(speedup, 2) << "x)\n";
-
+        "R in {4, 8, 16, 32} lanes (4 drop rates x 2 overlays), "
+        "n=" + std::to_string(lane_n) +
+            "; calendar-queue sweep (serial and lane-chunked over " +
+            std::to_string(mt_threads) +
+            " threads) vs lane-by-lane DES");
+    Table lt({"R", "engine", "threads", "standalone_ms",
+              "batched_ms", "speedup_x", "bitwise"});
     tools::BenchJsonWriter json;
-    json.record()
-        .field("bench", "packet_lanes")
-        .field("n", lane_n)
-        .field("lanes", lanes.size())
-        .field("ms_per_round", t_batch.ms_per_round)
-        .field("speedup_x", speedup)
-        .field("rounds", t_batch.rounds)
-        .field("peak_rss_mb", bench::peakRssMb());
+    bool bitwise_ok = true;
+    bool speed_ok = true;
+
+    for (const std::size_t R : widths) {
+        const auto lanes = laneGrid(lane_n, R);
+        const auto solo = standaloneLanes(lanes);
+        const auto t_solo = bench::timeRounds(
+            lane_n, 1, [&] { (void)standaloneLanes(lanes); },
+            trials);
+
+        struct Spec
+        {
+            const char *name;
+            std::size_t threads;
+        };
+        const Spec specs[] = {
+            {"batch", 0},
+            {"batch_mt", mt_threads},
+        };
+        for (const Spec &s : specs) {
+            PacketLevelBatch batch(lanes, s.threads);
+            const auto batched = batch.dibaRoundUs();
+            bool row_bitwise = solo.size() == batched.size();
+            for (std::size_t r = 0; row_bitwise && r < solo.size();
+                 ++r)
+                row_bitwise = solo[r] == batched[r];
+            bitwise_ok = bitwise_ok && row_bitwise;
+            if (!row_bitwise)
+                std::cout << "FAIL: " << s.name << " R=" << R
+                          << " lane makespans are not bitwise "
+                             "equal to the standalone DES\n";
+
+            const auto t_batch = bench::timeRounds(
+                lane_n, 1, [&] { (void)batch.dibaRoundUs(); },
+                trials);
+            const double speedup =
+                t_solo.ms_per_round / t_batch.ms_per_round;
+            lt.addRow({Table::num((long long)R),
+                       std::string(s.name),
+                       Table::num((long long)s.threads),
+                       Table::num(t_solo.ms_per_round, 2),
+                       Table::num(t_batch.ms_per_round, 2),
+                       Table::num(speedup, 2),
+                       std::string(row_bitwise ? "yes" : "NO")});
+            json.record()
+                .field("bench", "packet_lanes")
+                .field("engine", s.name)
+                .field("n", lane_n)
+                .field("lanes", R)
+                .field("threads", s.threads)
+                .field("ms_per_round", t_batch.ms_per_round)
+                .field("speedup_x", speedup)
+                .field("rounds", t_batch.rounds)
+                .field("peak_rss_mb", bench::peakRssMb());
+
+            // The absolute floor rides on the serial R=8 engine
+            // (the classic grid); wider and threaded rows -- and
+            // the tight, host-relative bound for every row -- are
+            // gated against their baselines by bench_compare.py.
+            if (!smoke && R == 8 && s.threads == 0 &&
+                speedup < 1.7) {
+                speed_ok = false;
+                std::cout << "FAIL: serial R=8 lane speedup "
+                          << Table::num(speedup, 2) << "x < 1.7x\n";
+            }
+        }
+    }
+    lt.print(std::cout);
     json.save("BENCH_packet_lanes.json");
 
-    if (!bitwise_ok)
-        std::cout << "FAIL: batched lane makespans are not "
-                     "bitwise equal to the standalone DES\n";
-    const bool speed_ok = smoke || speedup >= 2.0;
-    if (!speed_ok)
-        std::cout << "FAIL: aggregate lane speedup "
-                  << Table::num(speedup, 2) << "x < 2x\n";
     return bitwise_ok && speed_ok ? 0 : 1;
 }

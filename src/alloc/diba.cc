@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <numeric>
 
 #include "metrics/performance.hh"
 #include "util/logging.hh"
@@ -50,10 +51,39 @@ DibaAllocator::DibaAllocator(Graph topology, Config cfg)
     : topo_(std::move(topology)), cfg_(cfg),
       kp_(kernelParamsOf(cfg))
 {
-    for (std::size_t v = 0; v < topo_.numVertices(); ++v)
-        for (std::size_t w : topo_.neighbors(v))
-            if (v < w)
-                all_edges_.emplace_back(v, w);
+    // Layout pass: relabel the overlay into a locality-ordered
+    // working id space before any derived structure (CSR, weights,
+    // edge ids, coloring) is built.  Edge ids stay the canonical
+    // enumeration of the ORIGINAL graph -- for v ascending, for w
+    // in neighbors(v), v < w -- so channels, fault plans and the
+    // recovery layer address the same physical link under every
+    // layout; all_edges_ holds each id's WORKING canonical pair and
+    // all_edges_view_ its original pair.
+    perm_ = computeLayout(topo_, cfg_.layout,
+                          std::max<std::size_t>(cfg_.num_threads, 1));
+    layout_active_ = !isIdentityPermutation(perm_);
+    if (layout_active_) {
+        iperm_ = inversePermutation(perm_);
+        topo_view_ = topo_;
+        topo_ = topo_view_.relabeled(perm_);
+    }
+    {
+        const Graph &orig = layout_active_ ? topo_view_ : topo_;
+        for (std::size_t v = 0; v < orig.numVertices(); ++v) {
+            for (std::size_t w : orig.neighbors(v)) {
+                if (v >= w)
+                    continue;
+                if (layout_active_) {
+                    all_edges_view_.emplace_back(v, w);
+                    const std::size_t a = perm_[v], b = perm_[w];
+                    all_edges_.emplace_back(std::min(a, b),
+                                            std::max(a, b));
+                } else {
+                    all_edges_.emplace_back(v, w);
+                }
+            }
+        }
+    }
     resetLiveEdges();
     edge_enabled_.assign(all_edges_.size(), 1);
     // Force the CSR build now (lazy building is not thread-safe)
@@ -94,11 +124,25 @@ DibaAllocator::doReset()
     DPC_ASSERT(prob.budget > prob.minTotalPower(),
                "DiBA needs strict interior feasibility");
 
-    u_ = prob.utilities;
     budget_ = prob.budget;
-    p_ = uniformStart(prob, cfg_.slack_frac);
+    std::vector<double> start = uniformStart(prob, cfg_.slack_frac);
     const double n = static_cast<double>(prob.size());
-    const double e0 = (sum(p_) - budget_) / n;
+    // e0 is summed in ORIGINAL id order (the order uniformStart
+    // produced) so the seed estimate -- and with it the whole
+    // scalar trajectory -- is bitwise identical across layouts.
+    const double e0 = (sum(start) - budget_) / n;
+    if (layout_active_) {
+        u_.resize(prob.size());
+        p_.resize(prob.size());
+        for (std::size_t i = 0; i < prob.size(); ++i) {
+            u_[perm_[i]] = prob.utilities[i];
+            p_[perm_[i]] = start[i];
+        }
+        u_view_ = prob.utilities;
+    } else {
+        u_ = prob.utilities;
+        p_ = std::move(start);
+    }
     e_.assign(prob.size(), e0);
     e_snapshot_.assign(prob.size(), 0.0);
     eta_now_.assign(prob.size(), cfg_.eta_initial);
@@ -168,11 +212,79 @@ AllocationResult
 DibaAllocator::result() const
 {
     AllocationResult res;
-    res.power = p_;
+    if (layout_active_) {
+        // Callers receive original ids: gather the working caps
+        // back through the permutation and score them against the
+        // original-order utilities (same per-node pairs, so the
+        // utility sum matches the identity layout bitwise).
+        res.power.resize(p_.size());
+        for (std::size_t i = 0; i < p_.size(); ++i)
+            res.power[i] = p_[perm_[i]];
+        res.utility = totalUtility(u_view_, res.power);
+    } else {
+        res.power = p_;
+        res.utility = totalUtility(u_, p_);
+    }
     res.iterations = iterations_;
-    res.utility = totalUtility(u_, p_);
     res.converged = converged();
     return res;
+}
+
+const std::vector<double> &
+DibaAllocator::power() const
+{
+    if (!layout_active_)
+        return p_;
+    p_view_.resize(p_.size());
+    for (std::size_t i = 0; i < p_.size(); ++i)
+        p_view_[i] = p_[perm_[i]];
+    return p_view_;
+}
+
+const std::vector<double> &
+DibaAllocator::estimates() const
+{
+    if (!layout_active_)
+        return e_;
+    e_view_.resize(e_.size());
+    for (std::size_t i = 0; i < e_.size(); ++i)
+        e_view_[i] = e_[perm_[i]];
+    return e_view_;
+}
+
+const std::vector<UtilityPtr> &
+DibaAllocator::utilities() const
+{
+    return layout_active_ ? u_view_ : u_;
+}
+
+const std::vector<std::pair<std::size_t, std::size_t>> &
+DibaAllocator::overlayEdges() const
+{
+    return layout_active_ ? all_edges_view_ : all_edges_;
+}
+
+const std::vector<std::pair<std::size_t, std::size_t>> &
+DibaAllocator::liveEdges() const
+{
+    return layout_active_ ? edges_view_ : edges_;
+}
+
+double
+DibaAllocator::chunkLocality(std::size_t chunks)
+{
+    // Closed-loop locality probe: the fraction of live directed
+    // CSR slots of the WORKING graph whose endpoints fall in the
+    // same contiguous chunk -- i.e. the locality the sweep engine
+    // actually sees under the chosen Config::layout.  Masked to
+    // the live slots so dead nodes and cut links do not count.
+    ensureEdgeIndex();
+    const GraphCsr &g = topo_.csr();
+    std::vector<std::uint8_t> slot_live(g.neighbors.size(), 0);
+    for (std::size_t k = 0; k < slot_live.size(); ++k)
+        slot_live[k] =
+            live_pos_[slot_edge_[k]] != kNoLivePos ? 1 : 0;
+    return csrChunkLocality(g, chunks, slot_live.data());
 }
 
 void
@@ -306,15 +418,16 @@ void
 DibaAllocator::failNode(std::size_t i)
 {
     DPC_ASSERT(i < p_.size(), "failNode index out of range");
-    DPC_ASSERT(active_[i], "node already failed");
+    const std::size_t iw = wi(i);
+    DPC_ASSERT(active_[iw], "node already failed");
     DPC_ASSERT(num_active_ > 1, "cannot fail the last node");
-    active_[i] = 0;
+    active_[iw] = 0;
     --num_active_;
     // Prune the node's incident edges from the live list (O(deg)
     // swap-removal, not an O(E) rebuild) so activation draws stay
     // O(1) and the "no live edge" condition is exact (edges_ empty
     // <=> no live edge exists).
-    pruneEdgesOf(i);
+    pruneEdgesOf(iw);
     assertLiveEdgesExact();
     // Staleness never spans a membership change: lagged snapshots
     // taken before the event are inconsistent with the post-event
@@ -337,32 +450,38 @@ DibaAllocator::failNode(std::size_t i)
     // The dead server draws no more power: hand its slack estimate
     // plus its entire released cap to the surviving neighbours it
     // could still talk to, preserving
-    // sum_active(e) == sum_active(p) - P.
+    // sum_active(e) == sum_active(p) - P.  The recipient list is
+    // gathered over the ORIGINAL graph's neighbour order so the
+    // gift arithmetic is layout-invariant.
     std::vector<std::size_t> live;
-    for (std::size_t j : topo_.neighbors(i))
-        if (active_[j] && edgeEnabledPair(std::min(i, j),
-                                          std::max(i, j)))
-            live.push_back(j);
+    const Graph &orig = layout_active_ ? topo_view_ : topo_;
+    for (std::size_t j : orig.neighbors(i)) {
+        const std::size_t jw = wi(j);
+        if (active_[jw] && edgeEnabledPair(std::min(iw, jw),
+                                           std::max(iw, jw)))
+            live.push_back(jw);
+    }
     if (live.empty()) {
         // All reachable neighbours are dead or cut (e.g. the
-        // two-node corner case); give it to any survivor.
+        // two-node corner case); give it to any survivor, in
+        // original id order.
         for (std::size_t j = 0; j < p_.size(); ++j)
-            if (active_[j])
-                live.push_back(j);
+            if (active_[wi(j)])
+                live.push_back(wi(j));
     }
     const double gift =
-        (e_[i] - p_[i]) / static_cast<double>(live.size());
+        (e_[iw] - p_[iw]) / static_cast<double>(live.size());
     for (std::size_t j : live)
         e_[j] += gift;
-    p_[i] = 0.0;
-    e_[i] = 0.0;
+    p_[iw] = 0.0;
+    e_[iw] = 0.0;
 }
 
 bool
 DibaAllocator::isActive(std::size_t i) const
 {
     DPC_ASSERT(i < active_.size(), "index out of range");
-    return active_[i];
+    return active_[wi(i)];
 }
 
 bool
@@ -707,15 +826,19 @@ DibaAllocator::emergencyShed()
     // node still over the line is pinned at its power floor (it
     // shed all it could), so leftover debt sits only on nodes that
     // cannot act on it and must travel by diffusion.
+    // The shed sweep and its `over` sum run in ORIGINAL id order:
+    // each step is node-local, so only the accumulation order
+    // matters, and pinning it keeps the pass layout-invariant.
     auto shedPass = [&] {
         double over = 0.0;
         for (std::size_t i = 0; i < p_.size(); ++i) {
-            if (!active_[i])
+            const std::size_t iw = wi(i);
+            if (!active_[iw])
                 continue;
-            if (e_[i] > -kShedFloor) {
-                emergencyShedStep(p_[i], e_[i],
-                                  u_[i]->minPower());
-                over += std::max(0.0, e_[i] + kShedFloor);
+            if (e_[iw] > -kShedFloor) {
+                emergencyShedStep(p_[iw], e_[iw],
+                                  u_[iw]->minPower());
+                over += std::max(0.0, e_[iw] + kShedFloor);
             }
         }
         return over;
@@ -757,10 +880,13 @@ DibaAllocator::placeBudgetDelta(double delta)
     // interior node's optimum by -d(lambda)/c_i, so the delta
     // splits proportionally to 1/c_i.  Nodes without a quadratic
     // utility take a uniform share.
+    // Indexed by ORIGINAL id (like `open` below) so every FP
+    // accumulation in the waterfill runs in original order and the
+    // residue is layout-invariant.
     std::vector<double> w(n, 1.0);
     for (std::size_t i = 0; i < n; ++i) {
         const auto *q = dynamic_cast<const QuadraticUtility *>(
-            u_[i].get());
+            u_[wi(i)].get());
         if (q != nullptr && q->coeffC() > 0.0)
             w[i] = 1.0 / q->coeffC();
     }
@@ -775,18 +901,19 @@ DibaAllocator::placeBudgetDelta(double delta)
          ++pass) {
         double wsum = 0.0;
         for (std::size_t i = 0; i < n; ++i)
-            if (open[i] && active_[i])
+            if (open[i] && active_[wi(i)])
                 wsum += w[i];
         if (wsum <= 0.0)
             break;
         double placed = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            if (!open[i] || !active_[i])
+            const std::size_t iw = wi(i);
+            if (!open[i] || !active_[iw])
                 continue;
             const double want = remaining * w[i] / wsum;
-            const double np = u_[i]->clampPower(p_[i] + want);
-            const double got = np - p_[i];
-            p_[i] = np;
+            const double np = u_[iw]->clampPower(p_[iw] + want);
+            const double got = np - p_[iw];
+            p_[iw] = np;
             placed += got;
             if (std::fabs(got - want) > 0.0)
                 open[i] = 0; // box-saturated for this direction
@@ -801,11 +928,14 @@ DibaAllocator::placeBudgetDelta(double delta)
 bool
 DibaAllocator::seedBarrierEquilibrium(double new_budget)
 {
+    // Coefficients are extracted -- and every demand/total sum
+    // below runs -- in ORIGINAL id order, so the bisection
+    // trajectory and the seeded state are layout-invariant.
     const std::size_t n = p_.size();
     std::vector<double> b(n), c(n), lo(n), hi(n);
     for (std::size_t i = 0; i < n; ++i) {
         const auto *q = dynamic_cast<const QuadraticUtility *>(
-            u_[i].get());
+            u_[wi(i)].get());
         if (q == nullptr)
             return false;
         b[i] = q->coeffB();
@@ -852,8 +982,8 @@ DibaAllocator::seedBarrierEquilibrium(double new_budget)
     for (std::size_t i = 0; i < n; ++i) {
         double p = c[i] < 0.0 ? (lambda - b[i]) / (2.0 * c[i])
                               : (lambda < b[i] ? hi[i] : lo[i]);
-        p_[i] = std::clamp(p, lo[i], hi[i]);
-        total += p_[i];
+        p_[wi(i)] = std::clamp(p, lo[i], hi[i]);
+        total += p_[wi(i)];
     }
     // The uniform estimate that makes the invariant exact; by
     // construction it sits at ~-eta/lambda < 0, so the barrier is
@@ -911,7 +1041,7 @@ DibaAllocator::warmStart(const AllocationResult &prev,
     quiet_ = 0;
     hist_.clear();
 
-    if (prev.power == p_) {
+    if (prev.power == power()) {
         // State-continuous re-entry (the simulator's steady loop).
         // The stationary point of the round dynamics pins every
         // marginal at eta/(-e), so shifting power while keeping the
@@ -951,13 +1081,19 @@ DibaAllocator::warmStart(const AllocationResult &prev,
     }
 
     // External snapshot: adopt the caps, re-equalize the slack.
+    // Clamp and sum in ORIGINAL id order (prev.power's order), then
+    // scatter into the working layout -- e0 matches the identity
+    // layout bitwise.
     const std::size_t n = p_.size();
+    std::vector<double> clamped(n);
     for (std::size_t i = 0; i < n; ++i)
-        p_[i] = u_[i]->clampPower(prev.power[i]);
+        clamped[i] = u_[wi(i)]->clampPower(prev.power[i]);
     budget_ = new_budget;
     problem_.budget = new_budget;
     const double e0 =
-        (sum(p_) - budget_) / static_cast<double>(n);
+        (sum(clamped) - budget_) / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i)
+        p_[wi(i)] = clamped[i];
     e_.assign(n, e0);
     eta_now_.assign(n, cfg_.eta);
     frontier_.reheatAll();
@@ -970,16 +1106,19 @@ DibaAllocator::setUtility(std::size_t i, UtilityPtr u)
 {
     DPC_ASSERT(i < u_.size(), "setUtility index out of range");
     DPC_ASSERT(u != nullptr, "null utility");
-    const double clamped = u->clampPower(p_[i]);
-    e_[i] += clamped - p_[i];
-    p_[i] = clamped;
-    u_[i] = std::move(u);
-    problem_.utilities[i] = u_[i];
+    const std::size_t iw = wi(i);
+    const double clamped = u->clampPower(p_[iw]);
+    e_[iw] += clamped - p_[iw];
+    p_[iw] = clamped;
+    u_[iw] = std::move(u);
+    problem_.utilities[i] = u_[iw];
+    if (layout_active_)
+        u_view_[i] = u_[iw];
     // The perturbation's locus is known exactly: reheat just this
     // node; its neighbours join the work set via the N(frontier)
     // rule and the residual rule grows the frontier outward as the
     // response actually propagates (Fig. 4.8 locality).
-    frontier_.reheat(i);
+    frontier_.reheat(iw);
     quiet_ = 0;
     // Utility swaps are rare control events (Fig. 4.8); an O(n)
     // re-extraction keeps the SoA mirror trivially consistent.
@@ -990,10 +1129,14 @@ DibaAllocator::setUtility(std::size_t i, UtilityPtr u)
 double
 DibaAllocator::totalPower() const
 {
+    // Accumulated in ORIGINAL id order so the reported total is
+    // bitwise identical across layouts.
     double acc = 0.0;
-    for (std::size_t i = 0; i < p_.size(); ++i)
-        if (active_[i])
-            acc += p_[i];
+    for (std::size_t i = 0; i < p_.size(); ++i) {
+        const std::size_t iw = wi(i);
+        if (active_[iw])
+            acc += p_[iw];
+    }
     return acc;
 }
 
@@ -1027,7 +1170,11 @@ DibaAllocator::iterateWithChannel(GossipChannel &chan)
             fates_[id].lag = 0;
             continue;
         }
-        EdgeFate f = chan.fate(id, u, v);
+        // The channel sees the edge's ORIGINAL canonical endpoints
+        // so endpoint-addressed fault plans hit the same physical
+        // link under every layout.
+        const auto &ov = edgeView(static_cast<std::uint32_t>(id));
+        EdgeFate f = chan.fate(id, ov.first, ov.second);
         DPC_ASSERT(f.lag <= chan.maxLag(),
                    "channel returned lag ", f.lag,
                    " above its maxLag()");
@@ -1080,16 +1227,18 @@ DibaAllocator::gossipTick(Rng &rng, GossipChannel &chan)
 {
     DPC_ASSERT(!p_.empty(), "gossipTick() before reset()");
     DPC_ASSERT(!edges_.empty(), "no live edge left in the overlay");
-    ensureEdgeIndex();
-    const auto &[u, v] = edges_[rng.index(edges_.size())];
-    const std::uint32_t id = edge_id_.at(edgeKey(u, v));
+    const std::size_t pos = rng.index(edges_.size());
+    const auto &[u, v] = edges_[pos];
+    const std::uint32_t id = live_ids_[pos];
     // Async ticks have no round clock to be stale against: the
     // exchange either happens now or not at all, so only the
     // delivered bit of the fate applies.  A dropped exchange
     // leaves both estimates untouched (their sum is trivially
     // conserved) while both endpoints still take their local
-    // gradient steps.
-    if (chan.fate(id, u, v).delivered) {
+    // gradient steps.  The fate is drawn on the edge's ORIGINAL
+    // endpoints (see iterateWithChannel).
+    const auto &ov = edgeView(id);
+    if (chan.fate(id, ov.first, ov.second).delivered) {
         const double mean_e = 0.5 * (e_[u] + e_[v]);
         e_[u] = mean_e;
         e_[v] = mean_e;
@@ -1113,22 +1262,26 @@ DibaAllocator::tickPairImpl(std::size_t u, std::size_t v,
     // permitting), then the local gradient step + annealing at
     // both endpoints.  Must stay arithmetic-identical to one lane
     // pair of the batched kernel -- the sweep equivalence tests
-    // pin the two against each other bitwise.
+    // pin the two against each other bitwise.  `u` and `v` are
+    // ORIGINAL ids: the channel is fed the caller's endpoints, and
+    // only the state accesses go through the layout map.
+    const std::size_t uw = wi(u);
+    const std::size_t vw = wi(v);
     bool deliver = true;
     if (chan) {
         const std::uint32_t id = edge_id_.at(
-            edgeKey(std::min(u, v), std::max(u, v)));
+            edgeKey(std::min(uw, vw), std::max(uw, vw)));
         deliver = chan->fate(id, u, v).delivered;
     }
     if (deliver) {
-        const double mean_e = 0.5 * (e_[u] + e_[v]);
-        e_[u] = mean_e;
-        e_[v] = mean_e;
+        const double mean_e = 0.5 * (e_[uw] + e_[vw]);
+        e_[uw] = mean_e;
+        e_[vw] = mean_e;
     }
-    frontier_.reheat(u);
-    frontier_.reheat(v);
+    frontier_.reheat(uw);
+    frontier_.reheat(vw);
     double max_dp = 0.0;
-    for (std::size_t i : {u, v}) {
+    for (std::size_t i : {uw, vw}) {
         const double dp = std::fabs(stepNode(i));
         max_dp = std::max(max_dp, dp);
         annealNode(i, dp);
@@ -1142,7 +1295,7 @@ DibaAllocator::gossipTickPair(std::size_t u, std::size_t v)
     DPC_ASSERT(!p_.empty(), "gossipTickPair() before reset()");
     DPC_ASSERT(u < p_.size() && v < p_.size() && u != v,
                "gossipTickPair endpoints out of range");
-    DPC_ASSERT(active_[u] && active_[v],
+    DPC_ASSERT(active_[wi(u)] && active_[wi(v)],
                "gossipTickPair on a dead endpoint");
     return tickPairImpl(u, v, nullptr);
 }
@@ -1154,7 +1307,7 @@ DibaAllocator::gossipTickPair(std::size_t u, std::size_t v,
     DPC_ASSERT(!p_.empty(), "gossipTickPair() before reset()");
     DPC_ASSERT(u < p_.size() && v < p_.size() && u != v,
                "gossipTickPair endpoints out of range");
-    DPC_ASSERT(active_[u] && active_[v],
+    DPC_ASSERT(active_[wi(u)] && active_[wi(v)],
                "gossipTickPair on a dead endpoint");
     ensureEdgeIndex();
     return tickPairImpl(u, v, &chan);
@@ -1189,17 +1342,36 @@ DibaAllocator::ensureSweepCache()
     }
     sweep_base_[ncolors] = total;
     sweep_uv_.resize(2 * total);
+    sweep_ord_.resize(total);
     if (quad_fast_) {
         sweep_cb_.resize(2 * total);
         sweep_cc_.resize(2 * total);
         sweep_clo_.resize(2 * total);
         sweep_chi_.resize(2 * total);
     }
+    // Layout co-design: within a color the edges are vertex-
+    // disjoint, so the gather/kernel/scatter order is bitwise-free
+    // and we can stream them in ascending order of the smaller
+    // WORKING endpoint -- under a locality layout the p_/e_/eta_
+    // gathers then walk the node arrays near-monotonically instead
+    // of hopping across the id space.  Channel fates keep being
+    // drawn in the matching's own order (sweepMatching); sweep_ord_
+    // maps each sorted cache position back to that fate slot.
+    std::vector<std::uint32_t> order;
     for (std::size_t c = 0; c < ncolors; ++c) {
         const auto &ids = coloring_.matching(c);
-        for (std::size_t idx = 0; idx < ids.size(); ++idx) {
+        order.resize(ids.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                             return all_edges_[ids[a]].first <
+                                    all_edges_[ids[b]].first;
+                         });
+        for (std::size_t pos = 0; pos < order.size(); ++pos) {
+            const std::uint32_t idx = order[pos];
             const auto &[u, v] = all_edges_[ids[idx]];
-            const std::size_t slot = 2 * (sweep_base_[c] + idx);
+            sweep_ord_[sweep_base_[c] + pos] = idx;
+            const std::size_t slot = 2 * (sweep_base_[c] + pos);
             sweep_uv_[slot] = static_cast<std::uint32_t>(u);
             sweep_uv_[slot + 1] = static_cast<std::uint32_t>(v);
             if (!quad_fast_)
@@ -1280,9 +1452,10 @@ DibaAllocator::sweepMatching(std::uint32_t c, GossipChannel *chan)
         sweep_deliver_.resize(m);
         for (std::size_t idx = 0; idx < m; ++idx) {
             const std::uint32_t id = ids[idx];
-            const auto &[u, v] = all_edges_[id];
+            const auto &ov = edgeView(id);
             sweep_deliver_[idx] =
-                chan->fate(id, u, v).delivered ? 1 : 0;
+                chan->fate(id, ov.first, ov.second).delivered ? 1
+                                                              : 0;
         }
     }
 
@@ -1354,7 +1527,9 @@ DibaAllocator::sweepMatchingRange(std::size_t base,
         const std::size_t v = uv[lane + 1];
         double eu = e_[u];
         double ev = e_[v];
-        if (!use_fates || sweep_deliver_[idx]) {
+        // sweep_deliver_ is indexed by the matching's own order;
+        // sweep_ord_ translates this (sorted) cache position back.
+        if (!use_fates || sweep_deliver_[sweep_ord_[base + idx]]) {
             const double mean_e = 0.5 * (eu + ev);
             eu = mean_e;
             ev = mean_e;
@@ -1391,10 +1566,11 @@ void
 DibaAllocator::joinNode(std::size_t i)
 {
     DPC_ASSERT(i < p_.size(), "joinNode index out of range");
-    DPC_ASSERT(!active_[i], "node is already active");
-    active_[i] = 1;
+    const std::size_t iw = wi(i);
+    DPC_ASSERT(!active_[iw], "node is already active");
+    active_[iw] = 1;
     ++num_active_;
-    restoreEdgesOf(i);
+    restoreEdgesOf(iw);
     assertLiveEdgesExact();
     // Staleness never spans a membership change (see failNode).
     hist_.clear();
@@ -1404,27 +1580,31 @@ DibaAllocator::joinNode(std::size_t i)
     // Re-admission at the power floor with one token of negative
     // slack; the enabled live neighbours are charged the matching
     // debt, so sum_active(e) == sum_active(p) - P holds across the
-    // event (the exact inverse of failNode's hand-off).
+    // event (the exact inverse of failNode's hand-off).  Recipients
+    // are gathered in ORIGINAL neighbour order (see failNode).
     std::vector<std::size_t> live;
-    for (std::size_t j : topo_.neighbors(i))
-        if (active_[j] && edgeEnabledPair(std::min(i, j),
-                                          std::max(i, j)))
-            live.push_back(j);
+    const Graph &orig = layout_active_ ? topo_view_ : topo_;
+    for (std::size_t j : orig.neighbors(i)) {
+        const std::size_t jw = wi(j);
+        if (active_[jw] && edgeEnabledPair(std::min(iw, jw),
+                                           std::max(iw, jw)))
+            live.push_back(jw);
+    }
     if (live.empty()) {
         warn("node ", i, " rejoined with no live link; charging ",
              "its re-admission debt to all survivors");
         for (std::size_t j = 0; j < p_.size(); ++j)
-            if (active_[j] && j != i)
-                live.push_back(j);
+            if (active_[wi(j)] && j != i)
+                live.push_back(wi(j));
     }
     DPC_ASSERT(!live.empty(), "joinNode with no other active node");
-    p_[i] = u_[i]->minPower();
-    e_[i] = -kShedFloor;
+    p_[iw] = u_[iw]->minPower();
+    e_[iw] = -kShedFloor;
     // Ramp in through the barrier: annealing restarts wide open so
     // the rejoined node can acquire power over the next rounds.
-    eta_now_[i] = cfg_.eta_initial;
+    eta_now_[iw] = cfg_.eta_initial;
     const double debt =
-        (p_[i] - e_[i]) / static_cast<double>(live.size());
+        (p_[iw] - e_[iw]) / static_cast<double>(live.size());
     for (std::size_t j : live)
         e_[j] += debt;
     // The floor power just re-admitted may exhaust a neighbour's
@@ -1438,10 +1618,13 @@ DibaAllocator::setEdgeEnabled(std::size_t u, std::size_t v,
 {
     DPC_ASSERT(u < active_.size() && v < active_.size() && u != v,
                "setEdgeEnabled endpoints out of range");
-    if (u > v)
-        std::swap(u, v);
+    // Public endpoints are ORIGINAL ids; the edge index is keyed by
+    // working canonical pairs.
+    std::size_t uw = wi(u), vw = wi(v);
+    if (uw > vw)
+        std::swap(uw, vw);
     ensureEdgeIndex();
-    const auto it = edge_id_.find(edgeKey(u, v));
+    const auto it = edge_id_.find(edgeKey(uw, vw));
     DPC_ASSERT(it != edge_id_.end(), "{", u, ", ", v,
                "} is not an overlay edge");
     const std::uint32_t id = it->second;
@@ -1452,7 +1635,7 @@ DibaAllocator::setEdgeEnabled(std::size_t u, std::size_t v,
         --disabled_edges_;
     else
         ++disabled_edges_;
-    if (enabled && active_[u] && active_[v])
+    if (enabled && active_[uw] && active_[vw])
         addLiveEdge(id);
     else
         removeLiveEdge(id);
@@ -1468,9 +1651,10 @@ DibaAllocator::setEdgeEnabled(std::size_t u, std::size_t v,
 bool
 DibaAllocator::edgeEnabled(std::size_t u, std::size_t v) const
 {
-    if (u > v)
-        std::swap(u, v);
-    return edgeEnabledPair(u, v);
+    std::size_t uw = wi(u), vw = wi(v);
+    if (uw > vw)
+        std::swap(uw, vw);
+    return edgeEnabledPair(uw, vw);
 }
 
 bool
@@ -1512,6 +1696,8 @@ void
 DibaAllocator::resetLiveEdges()
 {
     edges_ = all_edges_;
+    if (layout_active_)
+        edges_view_ = all_edges_view_;
     live_ids_.resize(all_edges_.size());
     live_pos_.resize(all_edges_.size());
     for (std::uint32_t id = 0; id < all_edges_.size(); ++id) {
@@ -1527,6 +1713,8 @@ DibaAllocator::addLiveEdge(std::uint32_t id)
         return;
     live_pos_[id] = static_cast<std::uint32_t>(edges_.size());
     edges_.push_back(all_edges_[id]);
+    if (layout_active_)
+        edges_view_.push_back(all_edges_view_[id]);
     live_ids_.push_back(id);
     if (coloring_ready_)
         coloring_.setEdgeLive(id, true);
@@ -1543,6 +1731,10 @@ DibaAllocator::removeLiveEdge(std::uint32_t id)
                "live-edge position index corrupt");
     const std::uint32_t last = live_ids_.back();
     edges_[pos] = edges_.back();
+    if (layout_active_) {
+        edges_view_[pos] = edges_view_.back();
+        edges_view_.pop_back();
+    }
     live_ids_[pos] = last;
     live_pos_[last] = pos;
     edges_.pop_back();
@@ -1595,7 +1787,12 @@ DibaAllocator::liveEdgeListExact() const
             return false;
         if (live_ids_[pos] != id || edges_[pos] != all_edges_[id])
             return false;
+        if (layout_active_ &&
+            edges_view_[pos] != all_edges_view_[id])
+            return false;
     }
+    if (layout_active_ && edges_view_.size() != expected)
+        return false;
     return edges_.size() == expected &&
            live_ids_.size() == expected;
 }
@@ -1626,24 +1823,30 @@ DibaAllocator::reheat()
 std::size_t
 DibaAllocator::liveComponents(std::vector<std::uint32_t> &label_of) const
 {
+    // label_of is indexed by ORIGINAL id and components are
+    // numbered by ascending lowest original id, so the recovery
+    // layer's component bookkeeping is layout-invariant.  The BFS
+    // itself walks the working graph (the stack holds working ids).
     const std::size_t n = active_.size();
     label_of.assign(n, kNoComponent);
     std::uint32_t next = 0;
     std::vector<std::size_t> stack;
     for (std::size_t s = 0; s < n; ++s) {
-        if (!active_[s] || label_of[s] != kNoComponent)
+        const std::size_t sw = wi(s);
+        if (!active_[sw] || label_of[s] != kNoComponent)
             continue;
         label_of[s] = next;
-        stack.push_back(s);
+        stack.push_back(sw);
         while (!stack.empty()) {
             const std::size_t v = stack.back();
             stack.pop_back();
             for (std::size_t w : topo_.neighbors(v)) {
-                if (!active_[w] || label_of[w] != kNoComponent)
+                if (!active_[w] ||
+                    label_of[oi(w)] != kNoComponent)
                     continue;
                 if (!edgeEnabledPair(std::min(v, w), std::max(v, w)))
                     continue;
-                label_of[w] = next;
+                label_of[oi(w)] = next;
                 stack.push_back(w);
             }
         }
@@ -1660,12 +1863,13 @@ DibaAllocator::heldBudgets(const std::vector<std::uint32_t> &label_of,
                "heldBudgets label vector size mismatch");
     std::vector<double> sum_p(num_comps, 0.0), sum_e(num_comps, 0.0);
     for (std::size_t i = 0; i < p_.size(); ++i) {
-        if (!active_[i])
+        const std::size_t iw = wi(i);
+        if (!active_[iw])
             continue;
         DPC_ASSERT(label_of[i] < num_comps,
                    "heldBudgets: active node ", i, " has no label");
-        sum_p[label_of[i]] += p_[i];
-        sum_e[label_of[i]] += e_[i];
+        sum_p[label_of[i]] += p_[iw];
+        sum_e[label_of[i]] += e_[iw];
     }
     std::vector<double> held(num_comps);
     for (std::size_t j = 0; j < num_comps; ++j)
@@ -1682,12 +1886,12 @@ DibaAllocator::equalizeEstimates()
     std::vector<double> sum_e(k, 0.0);
     std::vector<std::size_t> cnt(k, 0), first(k, p_.size());
     for (std::size_t i = 0; i < p_.size(); ++i) {
-        if (!active_[i])
+        if (!active_[wi(i)])
             continue;
-        sum_e[label[i]] += e_[i];
+        sum_e[label[i]] += e_[wi(i)];
         ++cnt[label[i]];
         if (first[label[i]] == p_.size())
-            first[label[i]] = i;
+            first[label[i]] = i; // lowest ORIGINAL id in component
     }
     for (std::uint32_t j = 0; j < k; ++j) {
         const double mean = sum_e[j] / static_cast<double>(cnt[j]);
@@ -1697,11 +1901,11 @@ DibaAllocator::equalizeEstimates()
         if (!(mean < -kBarrierFloor))
             continue;
         for (std::size_t i = 0; i < p_.size(); ++i)
-            if (active_[i] && label[i] == j)
-                e_[i] = mean;
+            if (active_[wi(i)] && label[i] == j)
+                e_[wi(i)] = mean;
         // One-node compensation so the component's estimate sum --
         // and with it the held budget -- is preserved to rounding.
-        e_[first[j]] +=
+        e_[wi(first[j])] +=
             sum_e[j] - mean * static_cast<double>(cnt[j]);
     }
     quiet_ = 0;
@@ -1739,10 +1943,11 @@ DibaAllocator::adoptCaps(const std::vector<double> &caps)
     std::vector<double> sum_p(k, 0.0);
     std::vector<std::size_t> cnt(k, 0), first(k, p_.size());
     for (std::size_t i = 0; i < p_.size(); ++i) {
-        if (!active_[i])
+        const std::size_t iw = wi(i);
+        if (!active_[iw])
             continue;
-        p_[i] = u_[i]->clampPower(caps[i]);
-        sum_p[label[i]] += p_[i];
+        p_[iw] = u_[iw]->clampPower(caps[i]);
+        sum_p[label[i]] += p_[iw];
         ++cnt[label[i]];
         if (first[label[i]] == p_.size())
             first[label[i]] = i;
@@ -1752,18 +1957,18 @@ DibaAllocator::adoptCaps(const std::vector<double> &caps)
         const double e0 =
             (sum_p[j] - held[j]) / static_cast<double>(cnt[j]);
         for (std::size_t i = 0; i < p_.size(); ++i)
-            if (active_[i] && label[i] == j)
-                e_[i] = e0;
-        e_[first[j]] += (sum_p[j] - held[j]) -
-                        e0 * static_cast<double>(cnt[j]);
+            if (active_[wi(i)] && label[i] == j)
+                e_[wi(i)] = e0;
+        e_[wi(first[j])] += (sum_p[j] - held[j]) -
+                            e0 * static_cast<double>(cnt[j]);
         if (e0 >= 0.0)
             shed = true;
     }
     // Tight tracking from the adopted (near-optimal) point; the
     // reheat gate re-widens automatically if it turns out wrong.
     for (std::size_t i = 0; i < p_.size(); ++i)
-        if (active_[i])
-            eta_now_[i] = cfg_.eta;
+        if (active_[wi(i)])
+            eta_now_[wi(i)] = cfg_.eta;
     iterations_ = 0;
     quiet_ = 0;
     hist_.clear();
@@ -1784,13 +1989,14 @@ DibaAllocator::refederateBudget(
     std::vector<double> min_p(num_comps, 0.0), head(num_comps, 0.0);
     std::vector<std::size_t> cnt(num_comps, 0);
     for (std::size_t i = 0; i < p_.size(); ++i) {
-        if (!active_[i])
+        const std::size_t iw = wi(i);
+        if (!active_[iw])
             continue;
         DPC_ASSERT(comp_of[i] < num_comps,
                    "refederateBudget: active node ", i,
                    " has no component label");
-        min_p[comp_of[i]] += u_[i]->minPower();
-        head[comp_of[i]] += u_[i]->maxPower() - u_[i]->minPower();
+        min_p[comp_of[i]] += u_[iw]->minPower();
+        head[comp_of[i]] += u_[iw]->maxPower() - u_[iw]->minPower();
         ++cnt[comp_of[i]];
     }
     for (std::size_t j = 0; j < num_comps; ++j)
@@ -1846,11 +2052,13 @@ DibaAllocator::refederateBudget(
     // component's estimate sum is held_j - share_j).
     bool shed = false;
     for (std::size_t i = 0; i < p_.size(); ++i) {
-        if (!active_[i])
+        const std::size_t iw = wi(i);
+        if (!active_[iw])
             continue;
         const std::size_t j = comp_of[i];
-        e_[i] += (held[j] - shares[j]) / static_cast<double>(cnt[j]);
-        if (e_[i] >= 0.0)
+        e_[iw] +=
+            (held[j] - shares[j]) / static_cast<double>(cnt[j]);
+        if (e_[iw] >= 0.0)
             shed = true;
     }
     if (num_comps == 1) {

@@ -57,6 +57,7 @@
 #include "graph/edge_coloring.hh"
 #include "graph/frontier.hh"
 #include "graph/graph.hh"
+#include "graph/reorder.hh"
 #include "util/rng.hh"
 #include "util/thread_pool.hh"
 
@@ -186,6 +187,24 @@ class DibaAllocator : public IterativeAllocator
          * the generic finite-difference path to rounding error.
          */
         bool enable_quad_fastpath = true;
+        /**
+         * Vertex-layout policy (graph/reorder.hh): the constructor
+         * computes a permutation of the overlay's vertex ids and
+         * runs the entire round engine -- SoA streams, CSR, NUMA
+         * chunking, sweep coloring -- in the relabeled "working"
+         * id space, where topological neighbours are numerical
+         * neighbours and the per-edge gathers stay cache-local.
+         * The relabeling is invisible at the public boundary:
+         * every id-taking entry point (failNode, setUtility,
+         * gossipTickPair, ...) and every id-returning accessor
+         * (power(), result(), overlayEdges(), topology(), ...)
+         * speaks original ids, and edge ids, channel fates and
+         * component numbering are layout-invariant.  Scalar
+         * trajectories are bitwise identical across layouts;
+         * Layout::automatic measures csrChunkLocality per
+         * candidate and keeps the best (closed loop).
+         */
+        Layout layout = Layout::identity;
     };
 
     /**
@@ -537,22 +556,21 @@ class DibaAllocator : public IterativeAllocator
     }
 
     /**
-     * Canonical overlay edge list (u < v, fixed order for the
-     * lifetime of the allocator); the index of an edge in this
-     * list is its edge_id in GossipChannel queries.
+     * Canonical overlay edge list (u < v in original ids, fixed
+     * order for the lifetime of the allocator); the index of an
+     * edge in this list is its edge_id in GossipChannel queries.
+     * Edge ids are enumerated on the *original* labeling, so they
+     * are identical across Config::layout choices -- fault plans
+     * and channel seeds address the same physical link under any
+     * layout.
      */
     const std::vector<std::pair<std::size_t, std::size_t>> &
-    overlayEdges() const
-    {
-        return all_edges_;
-    }
+    overlayEdges() const;
 
-    /** Currently live edges (enabled, both endpoints active). */
+    /** Currently live edges (enabled, both endpoints active), in
+     * original ids. */
     const std::vector<std::pair<std::size_t, std::size_t>> &
-    liveEdges() const
-    {
-        return edges_;
-    }
+    liveEdges() const;
 
     /** Whether node i is still participating. */
     bool isActive(std::size_t i) const;
@@ -560,14 +578,19 @@ class DibaAllocator : public IterativeAllocator
     /** Number of surviving nodes. */
     std::size_t numActive() const { return num_active_; }
 
-    /** Current power caps. */
-    const std::vector<double> &power() const { return p_; }
+    /** Current power caps, indexed by original id.  Under a
+     * non-identity layout the returned view is refreshed on every
+     * call (and invalidated by the next one); take a copy to keep
+     * a snapshot. */
+    const std::vector<double> &power() const;
 
-    /** Current constraint estimates e_i (all < 0). */
-    const std::vector<double> &estimates() const { return e_; }
+    /** Current constraint estimates e_i (all < 0), indexed by
+     * original id (same view contract as power()). */
+    const std::vector<double> &estimates() const;
 
-    /** Current utilities (after any setUtility calls). */
-    const std::vector<UtilityPtr> &utilities() const { return u_; }
+    /** Current utilities (after any setUtility calls), indexed by
+     * original id. */
+    const std::vector<UtilityPtr> &utilities() const;
 
     /** Sum of the current power caps over active nodes. */
     double totalPower() const;
@@ -578,8 +601,32 @@ class DibaAllocator : public IterativeAllocator
     /** Messages exchanged per round (one per directed edge). */
     std::size_t messagesPerRound() const;
 
-    /** The communication topology. */
-    const Graph &topology() const { return topo_; }
+    /** The communication topology, in original ids. */
+    const Graph &topology() const
+    {
+        return layout_active_ ? topo_view_ : topo_;
+    }
+
+    /** True when Config::layout produced a non-identity
+     * relabeling (the engine runs in permuted working ids). */
+    bool layoutActive() const { return layout_active_; }
+
+    /** The layout permutation in force (perm[original] = working;
+     * identity when no relabeling is active). */
+    const std::vector<std::uint32_t> &layoutPermutation() const
+    {
+        return perm_;
+    }
+
+    /**
+     * Measured chunk locality of what the sweeps actually stream:
+     * csrChunkLocality of the *working* CSR cut into `chunks`
+     * pieces, masked to the live directed slots (both directions
+     * of each live edge counted, failed/cut edges excluded).  The
+     * measurement side of the layout closed loop, and the
+     * `locality` field the benches gate.
+     */
+    double chunkLocality(std::size_t chunks);
 
     /** The algorithm parameters in force. */
     const Config &config() const { return cfg_; }
@@ -758,7 +805,41 @@ class DibaAllocator : public IterativeAllocator
     /** True if the active subgraph is connected. */
     bool activeSubgraphConnected() const;
 
+    /** Original id -> working (permuted) id. */
+    std::size_t wi(std::size_t i) const
+    {
+        return layout_active_ ? perm_[i] : i;
+    }
+
+    /** Working (permuted) id -> original id. */
+    std::size_t oi(std::size_t i) const
+    {
+        return layout_active_ ? iperm_[i] : i;
+    }
+
+    /** Original canonical endpoints of edge id (what channels and
+     * public edge lists see). */
+    const std::pair<std::size_t, std::size_t> &
+    edgeView(std::uint32_t id) const
+    {
+        return layout_active_ ? all_edges_view_[id]
+                              : all_edges_[id];
+    }
+
+    /** The working topology, relabeled by the layout permutation;
+     * every hot loop (CSR diffusion, SoA kernels, sweeps, NUMA
+     * chunking) runs in this id space. */
     Graph topo_;
+    /** Original-id topology (populated only under a non-identity
+     * layout; topology() returns it so callers never see working
+     * ids). */
+    Graph topo_view_;
+    /** Layout permutation (perm_[original] = working) and its
+     * inverse (iperm_ populated only when layout_active_). */
+    std::vector<std::uint32_t> perm_;
+    std::vector<std::uint32_t> iperm_;
+    /** True iff perm_ is not the identity. */
+    bool layout_active_ = false;
     Config cfg_;
     /** cfg_'s hot-loop subset, flattened once for the shared
      * round kernels (round_kernel.hh). */
@@ -776,10 +857,15 @@ class DibaAllocator : public IterativeAllocator
     std::vector<std::uint8_t> active_;
     std::size_t num_active_ = 0;
     /**
-     * Canonical overlay edge list (u < v, constructor order);
-     * index == edge_id.  Immutable after construction.
+     * Canonical overlay edge list in *working* ids (min < max,
+     * enumerated in the original labeling's canonical order so
+     * index == edge_id is layout-invariant).  Immutable after
+     * construction.
      */
     std::vector<std::pair<std::size_t, std::size_t>> all_edges_;
+    /** Original-id twin of all_edges_ (u < v in original ids;
+     * populated only when layout_active_). */
+    std::vector<std::pair<std::size_t, std::size_t>> all_edges_view_;
     /**
      * Live-edge list of the overlay for async gossip activation:
      * the subset of all_edges_ that is enabled with both endpoints
@@ -791,6 +877,9 @@ class DibaAllocator : public IterativeAllocator
      * uniform draws).
      */
     std::vector<std::pair<std::size_t, std::size_t>> edges_;
+    /** Original-id twin of edges_ (slot-aligned; populated only
+     * when layout_active_). */
+    std::vector<std::pair<std::size_t, std::size_t>> edges_view_;
     /** Edge id of each live-list slot (aligned with edges_). */
     std::vector<std::uint32_t> live_ids_;
     /** Position of each edge id in the live list (kNoLivePos when
@@ -859,7 +948,20 @@ class DibaAllocator : public IterativeAllocator
     std::vector<double> sweep_cb_, sweep_cc_, sweep_clo_,
         sweep_chi_;
     std::vector<std::size_t> sweep_base_;
+    /** Matching-internal index at each cache position: the sweep
+     * cache streams every color's lanes in ascending order of the
+     * smaller working endpoint (layout co-design -- block-local
+     * gathers), while channel fates are drawn in the matching's
+     * own order; sweep_ord_[base + pos] maps a cache position back
+     * to its fate slot.  Edges within a color are vertex-disjoint,
+     * so the execution reorder is bitwise-invisible. */
+    std::vector<std::uint32_t> sweep_ord_;
     bool sweep_cache_ready_ = false;
+    /** Original-id mutable views behind power()/estimates()
+     * (rebuilt per call when layout_active_). */
+    mutable std::vector<double> p_view_, e_view_;
+    /** Original-id utility view (maintained, not rebuilt). */
+    std::vector<UtilityPtr> u_view_;
     /** Announced federation shares (empty/size-1 = inactive); see
      * refederateBudget(). */
     std::vector<double> fed_shares_;

@@ -40,7 +40,7 @@
 #include <cmath>
 #include <cstddef>
 
-#if defined(__AVX2__)
+#if defined(__AVX2__) || defined(__AVX512F__)
 #include <immintrin.h>
 #endif
 
@@ -297,8 +297,133 @@ stepBlockQuadAvx2(std::size_t m, double *DPC_RESTRICT p,
 
 #endif // __AVX2__
 
-/** Block step dispatch: AVX2 intrinsics when the build opts in,
- * the (auto-vectorizable) scalar body otherwise. */
+#if defined(__AVX512F__)
+
+/**
+ * 8-wide AVX-512F block step, bitwise identical to the scalar body
+ * by the same argument as the AVX2 twin: every 512-bit op is the
+ * correctly rounded IEEE operation of its scalar counterpart
+ * (vaddpd/vmulpd/vdivpd/vminpd/vmaxpd), selections become mask
+ * blends on full-lane compare masks, and no FMA is emitted (the
+ * build passes -mavx512f only; see the DPC_AVX512 option in
+ * CMakeLists.txt).  |x| uses _mm512_abs_pd, which is pure AVX512F
+ * (the bitwise-and-with-mask form needs the DQ extension).
+ */
+inline double
+stepBlockQuadAvx512(std::size_t m, double *DPC_RESTRICT p,
+                    double *DPC_RESTRICT e,
+                    double *DPC_RESTRICT eta,
+                    const double *DPC_RESTRICT b,
+                    const double *DPC_RESTRICT c,
+                    const double *DPC_RESTRICT lo,
+                    const double *DPC_RESTRICT hi,
+                    const RoundKernelParams &k)
+{
+    const __m512d vzero = _mm512_setzero_pd();
+    const __m512d vbar = _mm512_set1_pd(-kBarrierFloor);
+    const __m512d vcurvf = _mm512_set1_pd(kCurvFloor);
+    const __m512d vdamp = _mm512_set1_pd(k.damping);
+    const __m512d vmove = _mm512_set1_pd(k.max_move);
+    const __m512d vnmove = _mm512_set1_pd(-k.max_move);
+    const __m512d vkeep = _mm512_set1_pd(k.barrier_keep - 1.0);
+    const __m512d vshed = _mm512_set1_pd(kShedFloor);
+    const __m512d vgate = _mm512_set1_pd(k.anneal_gate);
+    const __m512d vreheat = _mm512_set1_pd(k.reheat_gate);
+    const __m512d vefloor = _mm512_set1_pd(k.eta_floor);
+    const __m512d veinit = _mm512_set1_pd(k.eta_initial);
+    const __m512d vdecay = _mm512_set1_pd(k.eta_decay);
+    const __m512d vwiden = _mm512_set1_pd(k.eta_reheat);
+    const __m512d vtwo = _mm512_set1_pd(2.0);
+
+    __m512d vmax_dp = vzero;
+    std::size_t i = 0;
+    for (; i + 8 <= m; i += 8) {
+        const __m512d vp = _mm512_loadu_pd(p + i);
+        const __m512d ve = _mm512_loadu_pd(e + i);
+        const __m512d veta = _mm512_loadu_pd(eta + i);
+        const __m512d vb = _mm512_loadu_pd(b + i);
+        const __m512d vc = _mm512_loadu_pd(c + i);
+        const __m512d vlo = _mm512_loadu_pd(lo + i);
+        const __m512d vhi = _mm512_loadu_pd(hi + i);
+
+        // Barrier-gradient candidate.
+        const __m512d e_eff = _mm512_min_pd(ve, vbar);
+        const __m512d inv =
+            _mm512_div_pd(_mm512_set1_pd(1.0), e_eff);
+        const __m512d grad = _mm512_add_pd(
+            _mm512_add_pd(vb, _mm512_mul_pd(
+                                  _mm512_mul_pd(vtwo, vc), vp)),
+            _mm512_mul_pd(veta, inv));
+        // (eta * inv) * inv, matching the scalar association
+        // exactly (FP multiplication is not associative).
+        const __m512d curv = _mm512_add_pd(
+            _mm512_mul_pd(_mm512_mul_pd(veta, inv), inv),
+            _mm512_mul_pd(vtwo, _mm512_abs_pd(vc)));
+        __m512d dp = _mm512_div_pd(_mm512_mul_pd(vdamp, grad),
+                                   _mm512_max_pd(curv, vcurvf));
+        // std::clamp(dp, -max_move, max_move) == min(max(dp, lo'),
+        // hi') for finite dp.
+        dp = _mm512_min_pd(_mm512_max_pd(dp, vnmove), vmove);
+        const __mmask8 pos =
+            _mm512_cmp_pd_mask(dp, vzero, _CMP_GT_OQ);
+        dp = _mm512_mask_blend_pd(
+            pos, dp, _mm512_min_pd(dp, _mm512_mul_pd(vkeep, ve)));
+        dp = _mm512_min_pd(_mm512_max_pd(dp, _mm512_sub_pd(vlo, vp)),
+                           _mm512_sub_pd(vhi, vp));
+
+        // Emergency-shed candidate and selection.
+        const __m512d want = _mm512_add_pd(ve, vshed);
+        const __m512d can = _mm512_sub_pd(vp, vlo);
+        const __m512d shed =
+            _mm512_max_pd(vzero, _mm512_min_pd(want, can));
+        const __mmask8 over =
+            _mm512_cmp_pd_mask(ve, vzero, _CMP_GE_OQ);
+        dp = _mm512_mask_blend_pd(over, dp,
+                                  _mm512_sub_pd(vzero, shed));
+
+        _mm512_storeu_pd(p + i, _mm512_add_pd(vp, dp));
+        _mm512_storeu_pd(e + i, _mm512_add_pd(ve, dp));
+
+        const __m512d moved = _mm512_abs_pd(dp);
+        vmax_dp = _mm512_max_pd(vmax_dp, moved);
+
+        // annealEta, blended: quiescent lanes decay toward the
+        // floor, hot lanes re-widen toward the initial weight.
+        const __m512d decayed = _mm512_max_pd(
+            vefloor, _mm512_mul_pd(veta, vdecay));
+        const __m512d widened = _mm512_min_pd(
+            veinit, _mm512_mul_pd(veta, vwiden));
+        const __mmask8 quiet =
+            _mm512_cmp_pd_mask(moved, vgate, _CMP_LT_OQ);
+        const __mmask8 hot =
+            _mm512_cmp_pd_mask(moved, vreheat, _CMP_GT_OQ);
+        __m512d eta_out = _mm512_mask_blend_pd(hot, veta, widened);
+        eta_out = _mm512_mask_blend_pd(quiet, eta_out, decayed);
+        _mm512_storeu_pd(eta + i, eta_out);
+    }
+
+    alignas(64) double lanes[8];
+    _mm512_store_pd(lanes, vmax_dp);
+    double max_dp = std::max(
+        std::max(std::max(lanes[0], lanes[1]),
+                 std::max(lanes[2], lanes[3])),
+        std::max(std::max(lanes[4], lanes[5]),
+                 std::max(lanes[6], lanes[7])));
+    if (i < m) {
+        max_dp = std::max(
+            max_dp, stepBlockQuadScalar(m - i, p + i, e + i,
+                                        eta + i, b + i, c + i,
+                                        lo + i, hi + i, k));
+    }
+    return max_dp;
+}
+
+#endif // __AVX512F__
+
+/** Block step dispatch: AVX-512 when the build opts in, then AVX2,
+ * then the (auto-vectorizable) scalar body.  All three are pinned
+ * bitwise-identical by the kernel equivalence tests, so the choice
+ * is pure speed. */
 inline double
 stepBlockQuad(std::size_t m, double *DPC_RESTRICT p,
               double *DPC_RESTRICT e, double *DPC_RESTRICT eta,
@@ -308,7 +433,9 @@ stepBlockQuad(std::size_t m, double *DPC_RESTRICT p,
               const double *DPC_RESTRICT hi,
               const RoundKernelParams &k)
 {
-#if defined(DPC_AVX2) && defined(__AVX2__)
+#if defined(DPC_AVX512) && defined(__AVX512F__)
+    return stepBlockQuadAvx512(m, p, e, eta, b, c, lo, hi, k);
+#elif defined(DPC_AVX2) && defined(__AVX2__)
     return stepBlockQuadAvx2(m, p, e, eta, b, c, lo, hi, k);
 #else
     return stepBlockQuadScalar(m, p, e, eta, b, c, lo, hi, k);

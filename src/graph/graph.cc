@@ -132,6 +132,22 @@ Graph::buildCsr() const
     (void)csr();
 }
 
+Graph
+Graph::relabeled(const std::vector<std::uint32_t> &perm) const
+{
+    DPC_ASSERT(perm.size() == adj_.size(),
+               "relabeling permutation size mismatch");
+    Graph out(adj_.size());
+    for (std::size_t v = 0; v < adj_.size(); ++v) {
+        auto &row = out.adj_[perm[v]];
+        row.reserve(adj_[v].size());
+        for (const std::size_t w : adj_[v])
+            row.push_back(perm[w]);
+    }
+    out.num_edges_ = num_edges_;
+    return out;
+}
+
 double
 Graph::averageDegree() const
 {
@@ -226,10 +242,18 @@ Graph::diameter() const
 double
 csrChunkLocality(const GraphCsr &g, std::size_t chunks)
 {
+    return csrChunkLocality(g, chunks, nullptr);
+}
+
+double
+csrChunkLocality(const GraphCsr &g, std::size_t chunks,
+                 const std::uint8_t *slot_live)
+{
     const std::size_t n = g.offsets.size() - 1;
     if (chunks <= 1 || g.neighbors.empty() || n == 0)
         return 1.0;
     std::size_t local = 0;
+    std::size_t live = 0;
     for (std::size_t c = 0; c < chunks; ++c) {
         const std::size_t begin = ThreadPool::chunkBegin(n, chunks, c);
         const std::size_t end =
@@ -237,13 +261,18 @@ csrChunkLocality(const GraphCsr &g, std::size_t chunks)
         for (std::size_t v = begin; v < end; ++v)
             for (std::uint32_t k = g.offsets[v];
                  k < g.offsets[v + 1]; ++k) {
+                if (slot_live && !slot_live[k])
+                    continue;
+                ++live;
                 const std::uint32_t w = g.neighbors[k];
                 if (w >= begin && w < end)
                     ++local;
             }
     }
+    if (live == 0)
+        return 1.0;
     return static_cast<double>(local) /
-           static_cast<double>(g.neighbors.size());
+           static_cast<double>(live);
 }
 
 } // namespace dpc

@@ -104,6 +104,19 @@ class Graph
      */
     void buildCsr() const;
 
+    /**
+     * Copy of this graph with vertex ids relabeled through a
+     * permutation (perm[old_id] = new_id): vertex v of the result
+     * is vertex inv[v] of *this, and its neighbour list is the
+     * original list with every entry mapped through perm, *in the
+     * original insertion order*.  Preserving per-vertex neighbour
+     * order is load-bearing: the allocators' diffusion sums and
+     * edge enumerations iterate neighbour lists, so an order-
+     * preserving relabeling keeps those FP reductions and edge ids
+     * reproducible across layouts (see graph/reorder.hh).
+     */
+    Graph relabeled(const std::vector<std::uint32_t> &perm) const;
+
     /** Mean degree over all vertices (0 for the empty graph). */
     double averageDegree() const;
 
@@ -162,8 +175,19 @@ class Graph
  * the fraction of neighbour reads that stay node-local.  Rings and
  * chordal rings with contiguous vertex ids score near 1; 1.0 for
  * chunks <= 1 or an edgeless graph.
+ *
+ * The masked overload measures only the slots the round engines
+ * actually stream after failure pruning: `slot_live` (size
+ * g.neighbors.size(), may be null meaning all-live) marks each
+ * directed CSR slot, and both the numerator and the denominator
+ * count only live slots.  Both directions of a live undirected
+ * edge contribute (each is a distinct gather in a sweep), and
+ * masked/dead edges contribute nothing, so the metric agrees with
+ * the traffic that survives failNode pruning.
  */
 double csrChunkLocality(const GraphCsr &g, std::size_t chunks);
+double csrChunkLocality(const GraphCsr &g, std::size_t chunks,
+                        const std::uint8_t *slot_live);
 
 } // namespace dpc
 

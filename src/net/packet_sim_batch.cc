@@ -296,10 +296,21 @@ struct BatchScratch
 };
 
 PacketLevelBatch::PacketLevelBatch(std::vector<PacketLane> lanes)
-    : lanes_(std::move(lanes)),
-      scratch_(std::make_unique<BatchScratch>())
+    : PacketLevelBatch(std::move(lanes), 0)
+{
+}
+
+PacketLevelBatch::PacketLevelBatch(std::vector<PacketLane> lanes,
+                                   std::size_t num_threads)
+    : lanes_(std::move(lanes))
 {
     DPC_ASSERT(!lanes_.empty(), "batch needs at least one lane");
+    if (num_threads >= 1)
+        pool_ = ThreadPool::acquire(num_threads);
+    const std::size_t chunks = pool_ ? pool_->numChunks() : 1;
+    scratch_.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c)
+        scratch_.push_back(std::make_unique<BatchScratch>());
     const std::size_t R = lanes_.size();
     DPC_ASSERT(R <= 256, "lane id must fit a byte");
 
@@ -349,12 +360,37 @@ PacketLevelBatch::operator=(PacketLevelBatch &&) noexcept = default;
 std::vector<double>
 PacketLevelBatch::dibaRoundUs()
 {
+    const std::size_t R = lanes_.size();
+    std::vector<double> makespan(R, 0.0);
+    if (!pool_) {
+        roundLanesRange(0, R, *scratch_[0], makespan.data());
+        return makespan;
+    }
+    // Static lane chunks, each swept through its own arenas; a
+    // zero cutoff because one "index" here is an entire lane's
+    // event sweep -- the default inline cutoff would never wake
+    // the workers for realistic lane counts.  Chunk c writes only
+    // makespan[r] for its own lanes, so the fan-out is race-free
+    // and (lanes being fully independent) bitwise identical to the
+    // serial sweep.
+    double *const out = makespan.data();
+    pool_->parallelFor(
+        R,
+        [this, out](std::size_t c, std::size_t b, std::size_t e) {
+            roundLanesRange(b, e, *scratch_[c], out);
+        },
+        0);
+    return makespan;
+}
+
+void
+PacketLevelBatch::roundLanesRange(std::size_t r0, std::size_t r1,
+                                  BatchScratch &sc,
+                                  double *makespan)
+{
     using psb::CalEntry;
     using psb::kMaxStages;
     using psb::StageRec;
-
-    const std::size_t R = lanes_.size();
-    BatchScratch &sc = *scratch_;
 
     std::vector<StageRec> &stages = sc.stages;
     std::vector<psb::LaunchRec> &recs = sc.recs;
@@ -363,11 +399,13 @@ PacketLevelBatch::dibaRoundUs()
     recs.clear();
     recs.reserve(est_packets_);
 
-    for (std::size_t r = 0; r < R; ++r) {
+    for (std::size_t r = r0; r < r1; ++r) {
         const PacketLane &l = lanes_[r];
         const PacketLevelSim::FabricParams &fp = l.params;
         const FabricLayout &f = layouts_[r];
-        const std::size_t base = res_base_[r];
+        // Resource ids are rebased to the range so each chunk's
+        // free_at array covers exactly its own lanes.
+        const std::size_t base = res_base_[r] - res_base_[r0];
         const std::size_t n = f.n;
         const std::uint16_t sv_w =
             static_cast<std::uint16_t>(3 * r);
@@ -465,8 +503,7 @@ PacketLevelBatch::dibaRoundUs()
     psb::radixSortByTime(recs, sc.radix_scratch);
 
     std::vector<double> &free_at = sc.free_at;
-    free_at.assign(res_base_[R], 0.0);
-    std::vector<double> makespan(R, 0.0);
+    free_at.assign(res_base_[r1] - res_base_[r0], 0.0);
     psb::CalendarQueue &q = sc.queue;
     q.init(width_, est_packets_ * 3);
     q.reset();
@@ -523,7 +560,6 @@ PacketLevelBatch::dibaRoundUs()
             m = std::max(m, done);
         }
     }
-    return makespan;
 }
 
 } // namespace dpc

@@ -93,6 +93,19 @@ class ThreadPool
      */
     void parallelFor(std::size_t n, const ChunkFn &fn);
 
+    /**
+     * parallelFor with an explicit inline cutoff.  The default
+     * cutoff assumes cheap per-index bodies (a few dozen ns of
+     * node-local arithmetic); callers whose indices are heavy --
+     * e.g. the packet-level batch engine, where one "index" is an
+     * entire simulation lane -- pass a small cutoff (0 forces the
+     * workers awake for any n >= 2) so coarse-grained work still
+     * fans out.  Chunk geometry is identical for every cutoff, so
+     * the choice only moves wall-clock, never results.
+     */
+    void parallelFor(std::size_t n, const ChunkFn &fn,
+                     std::size_t serial_cutoff);
+
     /** parallelFor range size at or below which the chunks run
      * inline on the calling thread. */
     static constexpr std::size_t kSerialCutoff = 2048;

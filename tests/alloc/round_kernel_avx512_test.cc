@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Pins the AVX-512F block-step kernel bitwise against its scalar
+ * twin, exactly as round_kernel_avx2_test.cc pins the 4-wide path.
+ *
+ * The library only dispatches to stepBlockQuadAvx512 under the
+ * DPC_AVX512 build option, but the claim is testable in any build:
+ * this translation unit is compiled with -mavx512f explicitly (see
+ * tests/CMakeLists.txt) so both bodies of round_kernel.hh exist
+ * here, and each test drives them over the same streams and
+ * requires exact equality of every output bit.  A runtime
+ * __builtin_cpu_supports guard skips the suite on machines that
+ * compile AVX-512 but cannot execute it -- this is also what makes
+ * the suite safe as a CI compile smoke on non-AVX-512 hosts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "alloc/round_kernel.hh"
+#include "util/rng.hh"
+
+using namespace dpc;
+
+#if !defined(__AVX512F__)
+#error "this test must be compiled with -mavx512f"
+#endif
+
+namespace {
+
+bool
+avx512Available()
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_cpu_supports("avx512f") != 0;
+#else
+    return false;
+#endif
+}
+
+struct Streams
+{
+    std::vector<double> p, e, eta, b, c, lo, hi;
+
+    explicit Streams(std::size_t m) :
+        p(m), e(m), eta(m), b(m), c(m), lo(m), hi(m)
+    {
+    }
+};
+
+/**
+ * Streams spanning every kernel regime: interior barrier steps,
+ * box-clamped nodes, max_move-clamped gradients, lanes pinned at
+ * the barrier floor, eta at both anneal bounds, and (when
+ * `with_shed`) positive estimates that trigger the emergency-shed
+ * branch.
+ */
+Streams
+randomStreams(std::size_t m, std::uint64_t seed, bool with_shed)
+{
+    Rng rng(seed);
+    Streams s(m);
+    const RoundKernelParams k{};
+    for (std::size_t i = 0; i < m; ++i) {
+        s.lo[i] = 80.0 + 40.0 * rng.uniform();
+        s.hi[i] = s.lo[i] + 60.0 + 100.0 * rng.uniform();
+        s.p[i] = s.lo[i] + (s.hi[i] - s.lo[i]) * rng.uniform();
+        // Mostly healthy negative slack; a few lanes hug the
+        // barrier floor, and optionally some violate it outright.
+        const double u = rng.uniform();
+        if (with_shed && u < 0.15)
+            s.e[i] = 0.5 * rng.uniform();
+        else if (u < 0.3)
+            s.e[i] = -1e-7 * (1.0 + rng.uniform());
+        else
+            s.e[i] = -(0.01 + 30.0 * rng.uniform());
+        s.eta[i] = k.eta_floor +
+                   (k.eta_initial - k.eta_floor) * rng.uniform();
+        // Concave quadratics with a wide curvature spread, plus
+        // the degenerate linear case.
+        s.c[i] = rng.uniform() < 0.05
+                     ? 0.0
+                     : -(1e-4 + 0.05 * rng.uniform());
+        s.b[i] = 0.5 + 2.0 * rng.uniform();
+    }
+    return s;
+}
+
+void
+expectBitwiseEqual(const Streams &a, const Streams &c,
+                   const char *what)
+{
+    ASSERT_EQ(a.p.size(), c.p.size());
+    for (std::size_t i = 0; i < a.p.size(); ++i) {
+        EXPECT_EQ(a.p[i], c.p[i]) << what << " p[" << i << "]";
+        EXPECT_EQ(a.e[i], c.e[i]) << what << " e[" << i << "]";
+        EXPECT_EQ(a.eta[i], c.eta[i])
+            << what << " eta[" << i << "]";
+    }
+}
+
+} // namespace
+
+TEST(RoundKernelAvx512Test, SingleStepIsBitwiseIdentical)
+{
+    if (!avx512Available())
+        GTEST_SKIP() << "host cannot execute AVX-512F";
+    const RoundKernelParams k{};
+    for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        for (const bool with_shed : {false, true}) {
+            const Streams base =
+                randomStreams(1024, seed, with_shed);
+            Streams sc = base, vx = base;
+            const double m_sc = stepBlockQuadScalar(
+                1024, sc.p.data(), sc.e.data(), sc.eta.data(),
+                sc.b.data(), sc.c.data(), sc.lo.data(),
+                sc.hi.data(), k);
+            const double m_vx = stepBlockQuadAvx512(
+                1024, vx.p.data(), vx.e.data(), vx.eta.data(),
+                vx.b.data(), vx.c.data(), vx.lo.data(),
+                vx.hi.data(), k);
+            EXPECT_EQ(m_sc, m_vx) << "max_dp, seed " << seed;
+            expectBitwiseEqual(sc, vx, "single step");
+        }
+    }
+}
+
+TEST(RoundKernelAvx512Test, OddLengthsExerciseTheScalarTail)
+{
+    if (!avx512Available())
+        GTEST_SKIP() << "host cannot execute AVX-512F";
+    const RoundKernelParams k{};
+    // Lengths below, at, and just past the 8-lane width, plus odd
+    // block sizes that leave a 1..7 element scalar tail.
+    for (const std::size_t m :
+         {1u, 2u, 3u, 5u, 7u, 8u, 9u, 15u, 63u, 127u}) {
+        const Streams base = randomStreams(m, 99 + m, true);
+        Streams sc = base, vx = base;
+        const double m_sc = stepBlockQuadScalar(
+            m, sc.p.data(), sc.e.data(), sc.eta.data(),
+            sc.b.data(), sc.c.data(), sc.lo.data(), sc.hi.data(),
+            k);
+        const double m_vx = stepBlockQuadAvx512(
+            m, vx.p.data(), vx.e.data(), vx.eta.data(),
+            vx.b.data(), vx.c.data(), vx.lo.data(), vx.hi.data(),
+            k);
+        EXPECT_EQ(m_sc, m_vx) << "max_dp, m=" << m;
+        expectBitwiseEqual(sc, vx, "odd length");
+    }
+}
+
+TEST(RoundKernelAvx512Test, StaysIdenticalOverManyChainedRounds)
+{
+    if (!avx512Available())
+        GTEST_SKIP() << "host cannot execute AVX-512F";
+    const RoundKernelParams k{};
+    const std::size_t m = 261; // 32 full lanes + a 5-element tail
+    const Streams base = randomStreams(m, 7, true);
+    Streams sc = base, vx = base;
+    for (int round = 0; round < 400; ++round) {
+        const double m_sc = stepBlockQuadScalar(
+            m, sc.p.data(), sc.e.data(), sc.eta.data(),
+            sc.b.data(), sc.c.data(), sc.lo.data(), sc.hi.data(),
+            k);
+        const double m_vx = stepBlockQuadAvx512(
+            m, vx.p.data(), vx.e.data(), vx.eta.data(),
+            vx.b.data(), vx.c.data(), vx.lo.data(), vx.hi.data(),
+            k);
+        ASSERT_EQ(m_sc, m_vx) << "max_dp diverged at round "
+                              << round;
+        ASSERT_EQ(0, std::memcmp(sc.p.data(), vx.p.data(),
+                                 m * sizeof(double)))
+            << "p diverged at round " << round;
+        ASSERT_EQ(0, std::memcmp(sc.e.data(), vx.e.data(),
+                                 m * sizeof(double)))
+            << "e diverged at round " << round;
+        ASSERT_EQ(0, std::memcmp(sc.eta.data(), vx.eta.data(),
+                                 m * sizeof(double)))
+            << "eta diverged at round " << round;
+    }
+}

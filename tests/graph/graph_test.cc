@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "graph/graph.hh"
 
 namespace dpc {
@@ -161,6 +165,43 @@ TEST(GraphTest, CsrChunkLocality)
 
     Graph empty(5);
     EXPECT_DOUBLE_EQ(csrChunkLocality(empty.csr(), 4), 1.0);
+}
+
+TEST(GraphTest, CsrChunkLocalityMasked)
+{
+    // Ring plus one long chord: in the unmasked metric the chord
+    // contributes two non-local directed slots; masking exactly
+    // those slots must restore the pure-ring score, and masking
+    // everything scores 1.0 (no live traffic).
+    Graph g(64);
+    for (std::size_t v = 0; v < 64; ++v)
+        g.addEdge(v, (v + 1) % 64);
+    g.addEdge(3, 40);
+    const GraphCsr &csr = g.csr();
+
+    std::vector<std::uint8_t> live(csr.neighbors.size(), 1);
+    const double all_live = csrChunkLocality(csr, 4, live.data());
+    EXPECT_DOUBLE_EQ(all_live, csrChunkLocality(csr, 4));
+
+    // Both directions of the chord are distinct directed slots;
+    // kill both, plus nothing else.
+    std::size_t masked = 0;
+    for (std::size_t v : {std::size_t{3}, std::size_t{40}})
+        for (std::uint32_t k = csr.offsets[v];
+             k < csr.offsets[v + 1]; ++k)
+            if (csr.neighbors[k] == (v == 3 ? 40u : 3u)) {
+                live[k] = 0;
+                ++masked;
+            }
+    ASSERT_EQ(masked, 2u);
+    const double ring_expected = 1.0 - (4.0 * 2.0) / 128.0;
+    EXPECT_DOUBLE_EQ(csrChunkLocality(csr, 4, live.data()),
+                     ring_expected);
+    // The chord really did depress the unmasked score.
+    EXPECT_LT(all_live, ring_expected);
+    // Fully masked graph: defined as perfectly local.
+    std::fill(live.begin(), live.end(), 0);
+    EXPECT_DOUBLE_EQ(csrChunkLocality(csr, 4, live.data()), 1.0);
 }
 
 } // namespace

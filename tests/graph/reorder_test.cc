@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Layout subsystem (graph/reorder.hh): permutation validity,
+ * determinism, the locality closed loop, and the documented
+ * guarantees of each ordering (RCM bandwidth behaviour, bisection
+ * contiguity, automatic never losing to identity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/graph.hh"
+#include "graph/reorder.hh"
+#include "graph/topologies.hh"
+#include "util/rng.hh"
+
+using namespace dpc;
+
+namespace {
+
+bool
+isPermutation(const std::vector<std::uint32_t> &perm)
+{
+    std::vector<std::uint8_t> seen(perm.size(), 0);
+    for (const std::uint32_t p : perm) {
+        if (p >= perm.size() || seen[p])
+            return false;
+        seen[p] = 1;
+    }
+    return true;
+}
+
+/** Graph isomorphic to g with ids scrambled by `rng` -- the
+ * adversarial input a locality layout must undo. */
+Graph
+scrambled(const Graph &g, Rng &rng)
+{
+    std::vector<std::uint32_t> shuf(g.numVertices());
+    std::iota(shuf.begin(), shuf.end(), 0u);
+    rng.shuffle(shuf);
+    return g.relabeled(shuf);
+}
+
+std::size_t
+bandwidth(const Graph &g, const std::vector<std::uint32_t> &perm)
+{
+    std::size_t bw = 0;
+    for (std::size_t v = 0; v < g.numVertices(); ++v)
+        for (const std::size_t w : g.neighbors(v)) {
+            const std::size_t a = perm[v], b = perm[w];
+            bw = std::max(bw, a > b ? a - b : b - a);
+        }
+    return bw;
+}
+
+} // namespace
+
+TEST(ReorderTest, EveryLayoutYieldsAValidPermutation)
+{
+    Rng rng(7);
+    const Graph g = makeChordalRing(257, 40, rng);
+    for (const Layout l : {Layout::identity, Layout::rcm,
+                           Layout::bisection, Layout::hilbert,
+                           Layout::automatic}) {
+        const auto perm = computeLayout(g, l, 4);
+        ASSERT_EQ(perm.size(), g.numVertices()) << layoutName(l);
+        EXPECT_TRUE(isPermutation(perm)) << layoutName(l);
+    }
+}
+
+TEST(ReorderTest, LayoutsAreDeterministic)
+{
+    Rng rng(11);
+    const Graph g = makeConnectedErdosRenyi(180, 700, rng);
+    for (const Layout l :
+         {Layout::rcm, Layout::bisection, Layout::hilbert,
+          Layout::automatic}) {
+        EXPECT_EQ(computeLayout(g, l, 8), computeLayout(g, l, 8))
+            << layoutName(l);
+    }
+}
+
+TEST(ReorderTest, InverseRoundTrips)
+{
+    Rng rng(3);
+    const Graph g = makeChordalRing(100, 15, rng);
+    const auto perm = reverseCuthillMcKee(g);
+    const auto inv = inversePermutation(perm);
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        EXPECT_EQ(inv[perm[i]], i);
+    EXPECT_TRUE(isIdentityPermutation(identityOrder(64)));
+    EXPECT_FALSE(isIdentityPermutation(perm) &&
+                 bandwidth(g, perm) != bandwidth(g, identityOrder(
+                                           g.numVertices())));
+}
+
+TEST(ReorderTest, RcmRecoversRingBandwidthFromAScramble)
+{
+    // A ring in natural order has bandwidth n-1 (the wrap edge);
+    // scrambled it is near n.  RCM must bring it back to O(1).
+    const Graph ring = makeRing(512);
+    Rng rng(99);
+    const Graph bad = scrambled(ring, rng);
+    const std::size_t bw_scrambled =
+        bandwidth(bad, identityOrder(bad.numVertices()));
+    const std::size_t bw_rcm =
+        bandwidth(bad, reverseCuthillMcKee(bad));
+    EXPECT_GT(bw_scrambled, 100u);
+    EXPECT_LE(bw_rcm, 4u);
+}
+
+TEST(ReorderTest, LayoutLocalityMatchesRelabeledMeasurement)
+{
+    Rng rng(21);
+    const Graph g = scrambled(makeChordalRing(300, 30, rng), rng);
+    const auto perm = reverseCuthillMcKee(g);
+    const double reported = layoutLocality(g, perm, 4);
+    const Graph relabeled = g.relabeled(perm);
+    EXPECT_EQ(reported, csrChunkLocality(relabeled.csr(), 4));
+    // And the layout must actually help on a scrambled ring.
+    EXPECT_GT(reported,
+              layoutLocality(g, identityOrder(g.numVertices()), 4));
+}
+
+TEST(ReorderTest, AutomaticNeverLosesToIdentity)
+{
+    Rng rng(5);
+    const std::vector<Graph> graphs = {
+        makeRing(128),
+        scrambled(makeRing(128), rng),
+        makeChordalRing(200, 25, rng),
+        scrambled(makeChordalRing(200, 25, rng), rng),
+        makeTwoTierFabric(96, 12),
+    };
+    for (const Graph &g : graphs) {
+        const std::size_t chunks = 4;
+        const auto best = computeLayout(g, Layout::automatic, chunks);
+        const double loc_auto = layoutLocality(g, best, chunks);
+        const double loc_id = layoutLocality(
+            g, identityOrder(g.numVertices()), chunks);
+        EXPECT_GE(loc_auto, loc_id);
+    }
+}
+
+TEST(ReorderTest, BisectionKeepsComponentsContiguous)
+{
+    // Two disjoint cliques wired into one graph via a Graph with
+    // two components: each component's new ids must be contiguous.
+    Graph g(12);
+    for (std::size_t a = 0; a < 6; ++a)
+        for (std::size_t b = a + 1; b < 6; ++b)
+            g.addEdge(a, b);
+    for (std::size_t a = 6; a < 12; ++a)
+        for (std::size_t b = a + 1; b < 12; ++b)
+            g.addEdge(a, b);
+    const auto perm = recursiveBisectionOrder(g);
+    ASSERT_TRUE(isPermutation(perm));
+    std::vector<std::uint32_t> lo(perm.begin(), perm.begin() + 6);
+    std::vector<std::uint32_t> hi(perm.begin() + 6, perm.end());
+    std::sort(lo.begin(), lo.end());
+    std::sort(hi.begin(), hi.end());
+    for (std::size_t i = 1; i < lo.size(); ++i)
+        EXPECT_EQ(lo[i], lo[i - 1] + 1);
+    for (std::size_t i = 1; i < hi.size(); ++i)
+        EXPECT_EQ(hi[i], hi[i - 1] + 1);
+}
+
+TEST(ReorderTest, HilbertHandlesNonSquareSizes)
+{
+    for (const std::size_t n : {1u, 2u, 3u, 5u, 16u, 17u, 63u}) {
+        Graph g(n);
+        for (std::size_t v = 0; v + 1 < n; ++v)
+            g.addEdge(v, v + 1);
+        const auto perm = hilbertOrder(g);
+        ASSERT_EQ(perm.size(), n);
+        EXPECT_TRUE(isPermutation(perm)) << "n=" << n;
+    }
+}
+
+TEST(ReorderTest, RelabeledPreservesStructureAndNeighborOrder)
+{
+    Rng rng(13);
+    const Graph g = makeChordalRing(64, 10, rng);
+    std::vector<std::uint32_t> shuf(g.numVertices());
+    std::iota(shuf.begin(), shuf.end(), 0u);
+    rng.shuffle(shuf);
+    const Graph h = g.relabeled(shuf);
+    ASSERT_EQ(h.numVertices(), g.numVertices());
+    ASSERT_EQ(h.numEdges(), g.numEdges());
+    // Load-bearing invariant (FP reduction order, edge-id
+    // enumeration): neighbour lists map element for element.
+    for (std::size_t v = 0; v < g.numVertices(); ++v) {
+        const auto &gv = g.neighbors(v);
+        const auto &hv = h.neighbors(shuf[v]);
+        ASSERT_EQ(gv.size(), hv.size());
+        for (std::size_t k = 0; k < gv.size(); ++k)
+            EXPECT_EQ(hv[k], shuf[gv[k]]);
+    }
+}

@@ -107,5 +107,43 @@ TEST(PacketLevelBatchTest, DistinctSeedsGiveDistinctLossyLanes)
     EXPECT_EQ(out[0], out[2]);
 }
 
+TEST(PacketLevelBatchTest, LaneParallelBitwiseEqualsSerial)
+{
+    // The lane-chunked engine must be invisible in the results:
+    // every thread count partitions the same independent lanes, so
+    // the makespans equal both the serial batch and the standalone
+    // simulator bitwise, across repeated rounds (arena reuse per
+    // chunk included).
+    const auto lanes = mixedGrid(48);
+    PacketLevelBatch serial(lanes);
+    const auto ref = serial.dibaRoundUs();
+    for (const std::size_t threads : {1u, 2u, 3u, 5u, 16u}) {
+        PacketLevelBatch mt(lanes, threads);
+        EXPECT_EQ(mt.dibaRoundUs(), ref)
+            << "threads=" << threads;
+        EXPECT_EQ(mt.dibaRoundUs(), ref)
+            << "threads=" << threads << " round 2";
+    }
+    for (std::size_t r = 0; r < lanes.size(); ++r)
+        EXPECT_EQ(ref[r], standaloneOf(lanes[r])) << "lane " << r;
+}
+
+TEST(PacketLevelBatchTest, LaneParallelZeroThreadsIsSerial)
+{
+    const auto lanes = mixedGrid(32);
+    PacketLevelBatch a(lanes);
+    PacketLevelBatch b(lanes, 0);
+    EXPECT_EQ(a.dibaRoundUs(), b.dibaRoundUs());
+}
+
+TEST(PacketLevelBatchTest, LaneParallelMovable)
+{
+    auto lanes = mixedGrid(32);
+    PacketLevelBatch batch(std::move(lanes), 3);
+    const auto before = batch.dibaRoundUs();
+    PacketLevelBatch moved(std::move(batch));
+    EXPECT_EQ(moved.dibaRoundUs(), before);
+}
+
 } // namespace
 } // namespace dpc

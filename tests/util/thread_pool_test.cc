@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <tuple>
 #include <vector>
 
 #include "util/thread_pool.hh"
@@ -103,6 +106,46 @@ TEST(ThreadPoolTest, ReusableAcrossManyRounds)
 TEST(ThreadPoolTest, HardwareChunksIsPositive)
 {
     EXPECT_GE(ThreadPool::hardwareChunks(), 1u);
+}
+
+TEST(ThreadPoolTest, ExplicitCutoffKeepsChunkGeometry)
+{
+    // The cutoff only decides who executes the chunks (caller vs
+    // workers); the (chunk, begin, end) triples handed to the body
+    // must be identical for every cutoff, including 0, which
+    // forces the workers awake for ranges the default cutoff would
+    // run inline (coarse-grained lane work).
+    ThreadPool pool(4);
+    const std::size_t n = 10; // far below kSerialCutoff
+    using Triple = std::tuple<std::size_t, std::size_t, std::size_t>;
+    const auto collect = [&](std::size_t cutoff) {
+        std::mutex m;
+        std::vector<Triple> triples;
+        pool.parallelFor(
+            n,
+            [&](std::size_t c, std::size_t b, std::size_t e) {
+                std::lock_guard<std::mutex> lock(m);
+                triples.emplace_back(c, b, e);
+            },
+            cutoff);
+        std::sort(triples.begin(), triples.end());
+        return triples;
+    };
+    const auto inline_run = collect(ThreadPool::kSerialCutoff);
+    const auto fanned_out = collect(0);
+    EXPECT_EQ(inline_run, fanned_out);
+
+    // And the work itself lands identically.
+    std::vector<int> hits(n, 0);
+    pool.parallelFor(
+        n,
+        [&](std::size_t, std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i)
+                ++hits[i];
+        },
+        0);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
 }
 
 } // namespace

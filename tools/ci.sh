@@ -6,6 +6,10 @@
 #   2. AVX2 build + full ctest                  (bitwise SIMD parity)
 #      + bench smoke runs of gossip_async and the multi-lane
 #        packet engine (bitwise bars only; DPC_BENCH_SMOKE=1)
+#      + AVX-512 compile smoke: the -DDPC_AVX512 configuration
+#        builds and its parity suite runs (the suite self-skips on
+#        hosts without AVX-512F, so this is always safe; on capable
+#        hosts it is the full 8-wide bitwise pin)
 #   3. ASan suite                               (memory safety)
 #   4. UBSan suite                              (UB: shifts, casts,
 #                                                signed overflow)
@@ -42,6 +46,14 @@ bench_smoke_dir=$(mktemp -d)
      DPC_BENCH_SMOKE=1 \
          "$repo/build-avx2/bench/table4_2_packet_level")
 rm -rf "$bench_smoke_dir"
+
+step "AVX-512 compile smoke + parity suite"
+cmake -S "$repo" -B "$repo/build-avx512" \
+      -DCMAKE_BUILD_TYPE=Release -DDPC_AVX512=ON
+cmake --build "$repo/build-avx512" -j"$(nproc)" \
+      --target dpc_alloc test_round_kernel_avx512
+ctest --test-dir "$repo/build-avx512" --output-on-failure \
+      -R 'RoundKernelAvx512'
 
 step "AddressSanitizer suite"
 "$repo/tools/run_ctest_asan.sh"
