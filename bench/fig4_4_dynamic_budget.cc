@@ -23,17 +23,21 @@ main()
     auto assignment = drawNpbAssignment(n, rng);
     ClusterSimConfig cfg;
     cfg.diba_rounds_per_step = 80;
-    ClusterSim sim(std::move(assignment), makeRing(n),
-                   static_cast<double>(n) * 180.0,
-                   DibaAllocator::Config(), cfg);
-
     const std::vector<double> levels{180.0, 170.0, 186.0, 166.0,
                                      176.0};
-    sim.setBudgetSchedule([&](double t) {
-        const auto k = std::min<std::size_t>(
-            static_cast<std::size_t>(t / 60.0), levels.size() - 1);
-        return static_cast<double>(n) * levels[k];
-    });
+    ClusterSim sim(
+        std::move(assignment), makeRing(n),
+        static_cast<double>(n) * 180.0, DibaAllocator::Config(),
+        ClusterSim::Options{
+            .sim = cfg,
+            .budget_schedule =
+                [&](double t) {
+                    const auto k = std::min<std::size_t>(
+                        static_cast<std::size_t>(t / 60.0),
+                        levels.size() - 1);
+                    return static_cast<double>(n) * levels[k];
+                },
+        });
 
     const auto samples = sim.run(300.0);
     Table table({"t_s", "budget_kW", "alloc_kW", "consumed_kW",

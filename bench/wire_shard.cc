@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Sharded multi-process DiBA over the wire protocol: cut-edge
+ * traffic and round rate of real forked shard processes exchanging
+ * WireCodec frames over 127.0.0.1 sockets, against the
+ * single-process transport round as the reference.
+ *
+ * Grid: chordal rings at n in {6400, 25600}; one single-process
+ * row per size, then sharded rows at 2 shards (UDP and TCP) and 4
+ * shards (UDP).  Every zero-loss sharded run doubles as a parity
+ * bar: the reassembled owned caps/estimates must be BITWISE equal
+ * to the single-process run, or the bench exits non-zero -- the
+ * gate that makes the perf numbers trustworthy (a wire protocol
+ * that drifts from the reference is wrong before it is slow).
+ *
+ * Emitted to BENCH_wire.json per row: bytes_per_round and
+ * frames_per_round of cut-edge traffic (deterministic in topology
+ * + plan: any growth means the frames got fatter or the cut got
+ * worse), rounds_per_sec (the timing; gated at the perf
+ * threshold), cut_edges / cut_frac (plan quality under the layout
+ * permutation) and retransmits (loopback UDP under zero loss
+ * should never need one; non-zero is noise worth seeing).
+ *
+ * On a single-core host the sharded rows are expected to run
+ * SLOWER than single-process (the processes time-share one core
+ * and add syscalls); the interesting trend is the cut traffic
+ * scaling and the protocol overhead per round, which is why
+ * rounds_per_sec is compared per-row against its own baseline and
+ * never across modes.
+ *
+ * DPC_BENCH_SMOKE=1 shrinks to one small size, few rounds, 2
+ * shards x {UDP, TCP} -- the ci.sh loopback-vs-socket parity
+ * smoke.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/common.hh"
+#include "cluster/shard.hh"
+#include "net/transport.hh"
+#include "tools/bench_json.hh"
+
+using namespace dpc;
+
+namespace {
+
+constexpr double kWattsPerNode = 172.0;
+constexpr std::uint64_t kProblemSeed = 97;
+constexpr std::uint64_t kTopoSeed = 7;
+
+Graph
+topologyOf(std::size_t n)
+{
+    Rng rng(kTopoSeed);
+    return makeChordalRing(n, n / 4, rng);
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Bitwise vector comparison; returns the mismatch count. */
+std::size_t
+mismatches(const std::vector<double> &a,
+           const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return a.size() + b.size();
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        bad += std::memcmp(&a[i], &b[i], sizeof(double)) != 0;
+    return bad;
+}
+
+const char *
+protoName(net::SocketTransport::Proto proto)
+{
+    return proto == net::SocketTransport::Proto::Udp ? "udp"
+                                                     : "tcp";
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool smoke = std::getenv("DPC_BENCH_SMOKE") != nullptr;
+    const std::vector<std::size_t> sizes =
+        smoke ? std::vector<std::size_t>{512}
+              : std::vector<std::size_t>{6400, 25600};
+    const std::size_t rounds = smoke ? 40 : 120;
+
+    bench::banner("wire_shard",
+                  "multi-process sharded DiBA over 127.0.0.1: "
+                  "cut-edge wire traffic + round rate vs the "
+                  "single-process transport round (bitwise parity "
+                  "enforced)");
+
+    struct ShardConfig
+    {
+        std::uint32_t shards;
+        net::SocketTransport::Proto proto;
+    };
+    std::vector<ShardConfig> grid{
+        {2, net::SocketTransport::Proto::Udp},
+        {2, net::SocketTransport::Proto::Tcp},
+    };
+    if (!smoke)
+        grid.push_back({4, net::SocketTransport::Proto::Udp});
+
+    tools::BenchJsonWriter writer;
+    Table table({"n", "mode", "proto", "shards", "cut_edges",
+                 "cut_frac", "B_per_round", "rounds_per_s",
+                 "retrans", "parity"});
+    std::size_t parity_failures = 0;
+
+    for (const std::size_t n : sizes) {
+        const auto prob =
+            bench::npbProblem(n, kWattsPerNode, kProblemSeed);
+        const auto topo = topologyOf(n);
+        const DibaAllocator::Config cfg{};
+
+        // Single-process reference (identity loopback, pinned
+        // bitwise to the historical round path).
+        DibaAllocator ref(topo, cfg);
+        ref.reset(prob);
+        net::LoopbackTransport loopback;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < rounds; ++r)
+            ref.stepWithTransport(loopback);
+        const double single_s = secondsSince(t0);
+        const double single_rps =
+            static_cast<double>(rounds) / single_s;
+
+        table.addRow({Table::num(n, 0), "single", "-", "1", "0",
+                      "0", "0", Table::num(single_rps, 1), "0",
+                      "-"});
+        writer.record()
+            .field("bench", "wire_shard")
+            .field("mode", "single")
+            .field("proto", "none")
+            .field("n", static_cast<long long>(n))
+            .field("shards", static_cast<long long>(1))
+            .field("rounds", static_cast<long long>(rounds))
+            .field("rounds_per_sec", single_rps)
+            .field("bytes_per_round", 0.0)
+            .field("frames_per_round", 0.0)
+            .field("cut_edges", static_cast<long long>(0))
+            .field("cut_frac", 0.0)
+            .field("retransmits", static_cast<long long>(0));
+
+        for (const auto &sc : grid) {
+            cluster::ShardRunOptions opt;
+            opt.num_shards = sc.shards;
+            opt.rounds = rounds;
+            opt.proto = sc.proto;
+
+            const auto s0 = std::chrono::steady_clock::now();
+            const auto run =
+                cluster::runShardedDiba(prob, topo, cfg, opt);
+            const double shard_s = secondsSince(s0);
+            const double shard_rps =
+                static_cast<double>(rounds) / shard_s;
+
+            // Zero loss: the sharded trajectory must be BITWISE
+            // the single-process one on every node.
+            const std::size_t bad =
+                mismatches(ref.power(), run.power) +
+                mismatches(ref.estimates(), run.estimates);
+            parity_failures += bad;
+
+            const double bytes_per_round =
+                static_cast<double>(run.wire_bytes) /
+                static_cast<double>(rounds);
+            const double frames_per_round =
+                static_cast<double>(run.wire_frames) /
+                static_cast<double>(rounds);
+
+            table.addRow(
+                {Table::num(n, 0), "sharded", protoName(sc.proto),
+                 Table::num(sc.shards, 0),
+                 Table::num(run.plan.cut_edges, 0),
+                 Table::num(run.plan.cutFraction(), 3),
+                 Table::num(bytes_per_round, 0),
+                 Table::num(shard_rps, 1),
+                 Table::num(run.retransmits, 0),
+                 bad == 0 ? "OK" : "FAIL"});
+            writer.record()
+                .field("bench", "wire_shard")
+                .field("mode", "sharded")
+                .field("proto", protoName(sc.proto))
+                .field("n", static_cast<long long>(n))
+                .field("shards",
+                       static_cast<long long>(sc.shards))
+                .field("rounds", static_cast<long long>(rounds))
+                .field("rounds_per_sec", shard_rps)
+                .field("bytes_per_round", bytes_per_round)
+                .field("frames_per_round", frames_per_round)
+                .field("cut_edges",
+                       static_cast<long long>(run.plan.cut_edges))
+                .field("cut_frac", run.plan.cutFraction())
+                .field("retransmits",
+                       static_cast<long long>(run.retransmits));
+        }
+    }
+
+    table.print(std::cout);
+    writer.save("BENCH_wire.json");
+
+    if (parity_failures != 0) {
+        std::cerr << "wire_shard: " << parity_failures
+                  << " bitwise parity mismatch(es) between "
+                     "sharded and single-process runs\n";
+        return 1;
+    }
+    std::cout << "\nwire_shard: every sharded run bitwise-matched "
+                 "the single-process reference\n";
+    return 0;
+}

@@ -30,13 +30,18 @@ main()
     ClusterSimConfig cfg;
     cfg.diba_rounds_per_step = 80;
     cfg.mean_job_s = 90.0; // light churn during the event
-    ClusterSim sim(std::move(assignment), makeRing(n), nominal,
-                   DibaAllocator::Config(), cfg);
-
     // Curtailment window: t in [60, 180).
-    sim.setBudgetSchedule([&](double t) {
-        return (t >= 60.0 && t < 180.0) ? curtailed : nominal;
-    });
+    ClusterSim sim(
+        std::move(assignment), makeRing(n), nominal,
+        DibaAllocator::Config(),
+        ClusterSim::Options{
+            .sim = cfg,
+            .budget_schedule =
+                [=](double t) {
+                    return (t >= 60.0 && t < 180.0) ? curtailed
+                                                    : nominal;
+                },
+        });
 
     const auto samples = sim.run(240.0);
 

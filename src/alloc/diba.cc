@@ -165,6 +165,7 @@ DibaAllocator::doReset()
     hist_.clear();
     iterations_ = 0;
     quiet_ = 0;
+    transport_round_ = 0;
     rebuildQuadFastPath();
     if (cfg_.numa_interleave && pool_) {
         // First-touch placement: re-write every hot SoA stream
@@ -1149,34 +1150,103 @@ DibaAllocator::messagesPerRound() const
 double
 DibaAllocator::iterateWithChannel(GossipChannel &chan)
 {
+    // The channel path IS the transport path: the loopback adapter
+    // queries chan.fate() inside send(), edge for edge in the same
+    // canonical order with the same arguments as the historical
+    // fate loop, so a seeded channel consumes its generator
+    // identically and the round is bitwise-pinned by construction.
+    net::LoopbackTransport loopback(chan);
+    return roundViaTransport(loopback, 0, p_.size());
+}
+
+double
+DibaAllocator::stepWithChannel(GossipChannel &chan)
+{
+    const double moved = iterateWithChannel(chan);
+    noteRound(moved);
+    return moved;
+}
+
+double
+DibaAllocator::iterateWithTransport(net::Transport &t)
+{
+    return roundViaTransport(t, 0, p_.size());
+}
+
+double
+DibaAllocator::stepWithTransport(net::Transport &t)
+{
+    const double moved = iterateWithTransport(t);
+    noteRound(moved);
+    return moved;
+}
+
+double
+DibaAllocator::iterateShard(net::Transport &t,
+                            std::size_t owned_begin,
+                            std::size_t owned_end)
+{
+    DPC_ASSERT(owned_begin <= owned_end && owned_end <= p_.size(),
+               "iterateShard range [", owned_begin, ", ", owned_end,
+               ") out of bounds");
+    return roundViaTransport(t, owned_begin, owned_end);
+}
+
+double
+DibaAllocator::roundViaTransport(net::Transport &t,
+                                 std::size_t begin, std::size_t end)
+{
     const std::size_t n = p_.size();
-    DPC_ASSERT(n > 0, "iterateWithChannel() before reset()");
+    DPC_ASSERT(n > 0, "transport round before reset()");
     ensureEdgeIndex();
-    pushHistory(chan.maxLag() + 1);
-    // Channel-routed rounds touch every node outside the active-set
-    // engine's bookkeeping; keep the frontier conservatively hot so
-    // a later iterate() resumes from a valid state.
+    pushHistory(t.maxLag() + 1);
+    // Transport-routed rounds touch every node outside the
+    // active-set engine's bookkeeping; keep the frontier
+    // conservatively hot so a later iterate() resumes from a valid
+    // state.
     frontier_.reheatAll();
 
-    // Draw every live edge's fate up front, in canonical edge_id
-    // order, so one seeded channel yields one reproducible fault
-    // pattern per round; dead or cut edges consume no draw.
-    chan.beginRound(all_edges_.size());
-    fates_.resize(all_edges_.size());
+    // Offer every live pair in canonical edge_id order, so a
+    // seeded fate oracle behind the transport yields one
+    // reproducible fault pattern per round; dead or cut edges are
+    // never offered and consume no draw.  Pairs that receive no
+    // delivery stay dropped.
+    const std::uint64_t round = transport_round_++;
+    t.beginRound(round, all_edges_.size());
+    fates_.assign(all_edges_.size(), EdgeFate{false, 0});
+    const std::vector<double> &pre = hist_.front();
     for (std::size_t id = 0; id < all_edges_.size(); ++id) {
         const auto &[u, v] = all_edges_[id];
-        if (!edge_enabled_[id] || !active_[u] || !active_[v]) {
-            fates_[id].delivered = false;
-            fates_[id].lag = 0;
+        if (!edge_enabled_[id] || !active_[u] || !active_[v])
             continue;
-        }
-        // The channel sees the edge's ORIGINAL canonical endpoints
-        // so endpoint-addressed fault plans hit the same physical
-        // link under every layout.
+        // The transport sees the edge's ORIGINAL canonical
+        // endpoints so endpoint-addressed fault plans and wire
+        // frames hit the same physical link under every layout.
         const auto &ov = edgeView(static_cast<std::uint32_t>(id));
-        EdgeFate f = chan.fate(id, ov.first, ov.second);
-        DPC_ASSERT(f.lag <= chan.maxLag(),
-                   "channel returned lag ", f.lag,
+        net::EdgePair pair;
+        pair.edge_id = static_cast<std::uint32_t>(id);
+        pair.u = static_cast<std::uint32_t>(ov.first);
+        pair.v = static_cast<std::uint32_t>(ov.second);
+        pair.round = round;
+        pair.e_u = pre[u];
+        pair.e_v = pre[v];
+        t.send(pair);
+    }
+
+    // Drain the decided outcomes.  A sharded transport flags the
+    // halves whose authoritative snapshot value lives in another
+    // process; folding them into the current snapshot BEFORE the
+    // diffusion reads it is what makes a shard's owned arithmetic
+    // bitwise equal to the single-process round.
+    std::vector<double> &now_mut = hist_.front();
+    net::Delivery d;
+    while (t.poll(d)) {
+        const std::size_t id = d.pair.edge_id;
+        DPC_ASSERT(id < fates_.size(),
+                   "transport delivered unknown edge ", id);
+        EdgeFate f = d.fate;
+        DPC_ASSERT(f.lag <= t.maxLag(),
+                   "transport returned lag ", f.lag,
                    " above its maxLag()");
         // The first rounds after a reset or a churn event have
         // less history than maxLag; clamp to the oldest snapshot
@@ -1184,20 +1254,26 @@ DibaAllocator::iterateWithChannel(GossipChannel &chan)
         if (f.lag >= hist_.size())
             f.lag = static_cast<std::uint32_t>(hist_.size() - 1);
         fates_[id] = f;
+        if (d.update_u)
+            now_mut[wi(d.pair.u)] = d.pair.e_u;
+        if (d.update_v)
+            now_mut[wi(d.pair.v)] = d.pair.e_v;
     }
 
     // Diffusion from the fate table: node i folds in, per CSR
     // slot, the paired transfer w * (e_j - e_i) computed on the
-    // snapshot the channel assigned to that edge.  Both endpoints
-    // of an edge use the same snapshot and the same symmetric
-    // Metropolis weight, so the two halves are exact IEEE
-    // negations of each other and sum(e) is conserved bit-exactly
-    // no matter which pairs drop or go stale.  With a perfect
-    // channel every lag is 0 and this reduces, slot for slot, to
-    // the arithmetic of iterate().
+    // snapshot the transport assigned to that edge.  Both
+    // endpoints of an edge use the same snapshot and the same
+    // symmetric Metropolis weight, so the two halves are exact
+    // IEEE negations of each other and sum(e) is conserved
+    // bit-exactly no matter which pairs drop or go stale.  With a
+    // perfect transport every lag is 0 and this reduces, slot for
+    // slot, to the arithmetic of iterate().  Restricted to
+    // [begin, end) in a shard, whose nodes only ever read owned or
+    // halo-patched snapshot entries.
     const GraphCsr &g = topo_.csr();
     const std::vector<double> &now = hist_.front();
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
         if (!active_[i])
             continue;
         double acc = 0.0;
@@ -1211,15 +1287,7 @@ DibaAllocator::iterateWithChannel(GossipChannel &chan)
         }
         e_[i] = now[i] + acc;
     }
-    return stepRange(0, n);
-}
-
-double
-DibaAllocator::stepWithChannel(GossipChannel &chan)
-{
-    const double moved = iterateWithChannel(chan);
-    noteRound(moved);
-    return moved;
+    return stepRange(begin, end);
 }
 
 double

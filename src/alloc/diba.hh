@@ -51,7 +51,7 @@
 #include <utility>
 #include <vector>
 
-#include "alloc/gossip_channel.hh"
+#include "net/transport.hh"
 #include "alloc/problem.hh"
 #include "alloc/round_kernel.hh"
 #include "graph/edge_coloring.hh"
@@ -263,6 +263,51 @@ class DibaAllocator : public IterativeAllocator
     /** iterateWithChannel + convergence accounting (the fault
      * harness's step()). */
     double stepWithChannel(GossipChannel &chan);
+
+    /**
+     * One synchronized round whose paired exchanges are routed
+     * through a net::Transport: every live pair is offered with
+     * send() in canonical edge_id order (carrying the pre-round
+     * snapshot estimates and the ORIGINAL endpoint ids), then
+     * poll() is drained and each Delivery's fate gates the paired
+     * transfer exactly as in iterateWithChannel.  Deliveries
+     * flagged update_u/update_v (remote halves of cut edges, in a
+     * sharded run) are folded into the current snapshot before the
+     * diffusion reads it.  iterateWithChannel(chan) is exactly
+     * this routed through net::LoopbackTransport, so the transport
+     * path is pinned bitwise-identical to the historical channel
+     * path by construction.
+     */
+    double iterateWithTransport(net::Transport &t);
+
+    /** iterateWithTransport + convergence accounting. */
+    double stepWithTransport(net::Transport &t);
+
+    /**
+     * Shard-local round: iterateWithTransport restricted to the
+     * gradient phase over the working-id range
+     * [owned_begin, owned_end).  The fate/send loop still offers
+     * EVERY live pair of the full overlay (so a seeded fate oracle
+     * consumes the same draws on every shard and in the
+     * single-process reference) and the diffusion still uses the
+     * full snapshot (patched with the remote halves the transport
+     * delivered), but only owned nodes move -- per-node arithmetic
+     * is range-independent, so owned caps/estimates are bitwise
+     * equal to the single-process run.  @return max |dp| over the
+     * owned range only; all-reduce it across shards (the broker's
+     * RoundGo) and feed the global value to noteExternalRound()
+     * for convergence accounting that matches single-process.
+     */
+    double iterateShard(net::Transport &t, std::size_t owned_begin,
+                        std::size_t owned_end);
+
+    /**
+     * Fold an externally reduced round max |dp| (the broker
+     * all-reduce over every shard's iterateShard return) into the
+     * iteration/convergence accounting, exactly as
+     * stepWithTransport would with the locally computed value.
+     */
+    void noteExternalRound(double moved) { noteRound(moved); }
 
     /**
      * Announce a new total budget P (the demand-response signal
@@ -731,6 +776,13 @@ class DibaAllocator : public IterativeAllocator
      * max |dp| moved in the range. */
     double stepRange(std::size_t begin, std::size_t end);
 
+    /** Shared body of the transport-routed rounds: offer live
+     * pairs, drain deliveries (patching remote snapshot halves),
+     * diffuse from the fate table, then gradient-step only
+     * [begin, end). */
+    double roundViaTransport(net::Transport &t, std::size_t begin,
+                             std::size_t end);
+
     /**
      * One fused round (diffuse + step + anneal) over [begin, end),
      * reading estimates only from e_snapshot_ and writing only
@@ -900,6 +952,9 @@ class DibaAllocator : public IterativeAllocator
     std::deque<std::vector<double>> hist_;
     /** Per-round edge fate scratch for iterateWithChannel. */
     std::vector<EdgeFate> fates_;
+    /** Monotonic round counter stamped onto transport pairs (so a
+     * wire peer can sequence/dedup); restarts on reset(). */
+    std::uint64_t transport_round_ = 0;
     /** Rounds stepped since reset() (step/stepWithChannel only). */
     std::size_t iterations_ = 0;
     /** Consecutive counted rounds under cfg_.tolerance. */

@@ -1,78 +1,22 @@
 /**
  * @file
- * Transport-fate interface between DiBA's synchronized gossip
- * rounds and a (possibly faulty) message channel.
+ * DEPRECATED compatibility header.
  *
- * A DiBA round exchanges one estimate message per direction of
- * every live overlay edge, and the two directions of an edge form
- * one *paired transfer*: node u applies w * (e_v - e_u) while node
- * v applies w * (e_u - e_v) (exact IEEE negations of each other).
- * A channel therefore decides the fate of the *pair*, not of the
- * individual directed messages: dropping the pair cancels both
- * halves, which is exactly what preserves the global bookkeeping
- * sum(e) == sum(p) - P under arbitrary loss; delaying the pair
- * makes both endpoints compute the transfer from the same stale
- * snapshot (lag rounds old), which keeps the halves antisymmetric
- * and hence the sum conserved under arbitrary staleness.
- *
- * Implementations live in dpc::fault (LossyChannel: i.i.d. and
- * burst loss, random bounded delays); the allocator only consumes
- * this interface so src/alloc stays free of fault-model policy.
+ * GossipChannel and EdgeFate moved to net/transport.hh (namespace
+ * dpc::net, re-exported into dpc::) when the unified Transport API
+ * landed; this shim keeps out-of-tree includes compiling for one
+ * deprecation cycle.  Include "net/transport.hh" instead.
  */
 
 #ifndef DPC_ALLOC_GOSSIP_CHANNEL_HH
 #define DPC_ALLOC_GOSSIP_CHANNEL_HH
 
-#include <cstddef>
-#include <cstdint>
+#if defined(__GNUC__) || defined(__clang__)
+#pragma message(                                                       \
+    "alloc/gossip_channel.hh is deprecated: GossipChannel/EdgeFate "   \
+    "moved to net/transport.hh (dpc::net)")
+#endif
 
-namespace dpc {
-
-/** Fate of one paired estimate exchange on an overlay edge. */
-struct EdgeFate
-{
-    /** False: the pair is dropped, neither half is applied. */
-    bool delivered = true;
-
-    /**
-     * Staleness in rounds: 0 applies this round's snapshot, d > 0
-     * applies the snapshot from d rounds ago (both endpoints use
-     * the same lagged snapshot).  Must be <= maxLag().
-     */
-    std::uint32_t lag = 0;
-};
-
-/** Per-round, per-edge transport decision source. */
-class GossipChannel
-{
-  public:
-    virtual ~GossipChannel() = default;
-
-    /**
-     * Called once at the start of every synchronized round, before
-     * any fate() query, with the total undirected edge count of
-     * the overlay.  Asynchronous (gossipTick) drivers instead call
-     * fate() directly, one edge per tick.
-     */
-    virtual void beginRound(std::size_t num_edges) = 0;
-
-    /**
-     * Fate of the paired exchange on undirected edge `edge_id`
-     * with endpoints {u, v}, u < v.  Queried at most once per
-     * round per edge, in increasing edge_id order (the canonical
-     * overlay enumeration), so sequential draws from one seeded
-     * generator are reproducible.
-     */
-    virtual EdgeFate fate(std::size_t edge_id, std::size_t u,
-                          std::size_t v) = 0;
-
-    /**
-     * Upper bound on any lag fate() will ever return; the
-     * allocator keeps maxLag() + 1 rounds of estimate history.
-     */
-    virtual std::size_t maxLag() const = 0;
-};
-
-} // namespace dpc
+#include "net/transport.hh"
 
 #endif // DPC_ALLOC_GOSSIP_CHANNEL_HH

@@ -1,0 +1,462 @@
+#include "cluster/shard.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "net/wire.hh"
+#include "util/logging.hh"
+
+namespace dpc {
+namespace cluster {
+
+namespace {
+
+using net::DecodeStatus;
+using net::Frame;
+using net::FrameType;
+
+sockaddr_in
+loopbackAddr(std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+void
+sendAll(int fd, const std::uint8_t *data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t k = ::send(fd, data + off, len - off,
+#ifdef MSG_NOSIGNAL
+                                 MSG_NOSIGNAL
+#else
+                                 0
+#endif
+        );
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("broker link send failed: ",
+                  std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(k);
+    }
+}
+
+void
+sendFrame(int fd, const Frame &f)
+{
+    std::vector<std::uint8_t> bytes;
+    net::encodeFrame(f, bytes);
+    sendAll(fd, bytes.data(), bytes.size());
+}
+
+/** Blocking framed read over a per-connection reassembly buffer. */
+Frame
+recvFrame(int fd, std::vector<std::uint8_t> &buf)
+{
+    for (;;) {
+        Frame f;
+        std::size_t used = 0;
+        const DecodeStatus st =
+            net::decodeFrame(buf.data(), buf.size(), f, used);
+        if (st == DecodeStatus::Ok) {
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<long>(used));
+            return f;
+        }
+        if (st == DecodeStatus::Bad)
+            fatal("corrupt frame on broker link");
+        std::uint8_t chunk[16384];
+        const ssize_t k = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("broker link recv failed: ",
+                  std::strerror(errno));
+        }
+        if (k == 0)
+            fatal("broker link closed mid-frame");
+        buf.insert(buf.end(), chunk, chunk + k);
+    }
+}
+
+/**
+ * Like recvFrame, but keeps the shard's UDP data plane alive while
+ * waiting on the broker.  At the round barrier a shard owes its
+ * peers nothing new -- but a peer that lost datagrams keeps
+ * retransmitting until a replay unsticks it, and those nudges land
+ * on the DATA socket, not the broker link.  Blocking blind on the
+ * broker here deadlocks the pair: we never see the nudge, the peer
+ * never finishes, the broker never releases the barrier.  So poll
+ * the broker link without blocking and let sock.service() (which
+ * waits one retransmit tick on the data socket) fill the gaps.
+ */
+Frame
+recvFrameServicing(int fd, std::vector<std::uint8_t> &buf,
+                   net::SocketTransport &sock)
+{
+    for (;;) {
+        Frame f;
+        std::size_t used = 0;
+        const DecodeStatus st =
+            net::decodeFrame(buf.data(), buf.size(), f, used);
+        if (st == DecodeStatus::Ok) {
+            buf.erase(buf.begin(),
+                      buf.begin() + static_cast<long>(used));
+            return f;
+        }
+        if (st == DecodeStatus::Bad)
+            fatal("corrupt frame on broker link");
+        pollfd p{fd, POLLIN, 0};
+        const int rc = ::poll(&p, 1, 0);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("broker link poll failed: ",
+                  std::strerror(errno));
+        }
+        if (rc == 0) {
+            sock.service();
+            continue;
+        }
+        std::uint8_t chunk[16384];
+        const ssize_t k = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("broker link recv failed: ",
+                  std::strerror(errno));
+        }
+        if (k == 0)
+            fatal("broker link closed mid-frame");
+        buf.insert(buf.end(), chunk, chunk + k);
+    }
+}
+
+int
+dialBroker(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    DPC_ASSERT(fd >= 0, "socket(): ", std::strerror(errno));
+    sockaddr_in addr = loopbackAddr(port);
+    using clock = std::chrono::steady_clock;
+    const auto give_up = clock::now() + std::chrono::seconds(10);
+    while (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)) != 0) {
+        if (clock::now() > give_up)
+            fatal("shard cannot reach broker on port ", port, ": ",
+                  std::strerror(errno));
+        ::usleep(2000);
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+/** Shard child body; never returns to the caller's control flow
+ * (the child _exit()s right after). */
+void
+shardMain(std::uint32_t shard_id, const ShardPlan &plan,
+          const AllocationProblem &prob, const Graph &topo,
+          const DibaAllocator::Config &cfg,
+          const ShardRunOptions &opt, std::uint16_t broker_port)
+{
+    DibaAllocator alloc(topo, cfg);
+    alloc.reset(prob);
+
+    net::SocketTransport::Config tc;
+    tc.shard_id = shard_id;
+    tc.num_shards = plan.num_shards;
+    tc.owner_of = plan.owner_of;
+    tc.proto = opt.proto;
+    net::SocketTransport sock(tc);
+
+    const int bfd = dialBroker(broker_port);
+    std::vector<std::uint8_t> bbuf;
+    {
+        Frame hello;
+        hello.type = FrameType::Hello;
+        hello.hello.shard_id = shard_id;
+        hello.hello.version = net::kWireVersion;
+        hello.hello.udp_port = sock.localPort();
+        hello.hello.tcp_port = sock.localPort();
+        sendFrame(bfd, hello);
+    }
+    const Frame welcome = recvFrame(bfd, bbuf);
+    DPC_ASSERT(welcome.type == FrameType::Welcome,
+               "expected Welcome from broker");
+    DPC_ASSERT(welcome.welcome.num_shards == plan.num_shards,
+               "broker shard count mismatch");
+    sock.connectPeers(
+        opt.proto == net::SocketTransport::Proto::Udp
+            ? welcome.welcome.udp_ports
+            : welcome.welcome.tcp_ports);
+
+    // Optional fault decoration: every shard holds a SAME-SEED
+    // replica, so the fates agree everywhere with zero
+    // coordination (see fault::LossyTransport).
+    std::unique_ptr<fault::LossyTransport> lossy;
+    net::Transport *transport = &sock;
+    if (opt.lossy) {
+        lossy = std::make_unique<fault::LossyTransport>(
+            sock, opt.loss, opt.loss_seed);
+        transport = lossy.get();
+    }
+
+    const std::size_t begin = plan.block_begin[shard_id];
+    const std::size_t end = plan.block_end[shard_id];
+    std::size_t rounds_run = 0;
+    for (std::size_t r = 0; r < opt.rounds; ++r) {
+        const double moved =
+            alloc.iterateShard(*transport, begin, end);
+        Frame done;
+        done.type = FrameType::RoundDone;
+        done.round_done.shard_id = shard_id;
+        done.round_done.round = r;
+        done.round_done.local_max_dp = moved;
+        sendFrame(bfd, done);
+        // TCP needs no barrier servicing (the kernel retransmits)
+        // and recvFrameServicing would busy-spin there since
+        // service() is a UDP-only operation.
+        const Frame go =
+            opt.proto == net::SocketTransport::Proto::Udp
+                ? recvFrameServicing(bfd, bbuf, sock)
+                : recvFrame(bfd, bbuf);
+        DPC_ASSERT(go.type == FrameType::RoundGo,
+                   "expected RoundGo from broker");
+        DPC_ASSERT(go.round_go.round == r,
+                   "broker barrier out of sync");
+        // The all-reduced global max drives the same convergence
+        // accounting single-process noteRound sees.
+        alloc.noteExternalRound(go.round_go.global_max_dp);
+        ++rounds_run;
+        if (go.round_go.stop != 0)
+            break;
+    }
+
+    Frame result;
+    result.type = FrameType::Result;
+    net::ResultMsg &m = result.result;
+    m.shard_id = shard_id;
+    m.bytes_sent = sock.stats().bytes_sent;
+    m.frames_sent = sock.stats().frames_sent;
+    m.retransmits = sock.stats().retransmits;
+    const std::vector<double> &p = alloc.power();
+    const std::vector<double> &e = alloc.estimates();
+    for (std::size_t i = 0; i < plan.owner_of.size(); ++i) {
+        if (plan.owner_of[i] != shard_id)
+            continue;
+        m.node_ids.push_back(static_cast<std::uint32_t>(i));
+        m.power.push_back(p[i]);
+        m.estimate.push_back(e[i]);
+    }
+    sendFrame(bfd, result);
+    ::close(bfd);
+    (void)rounds_run;
+}
+
+} // namespace
+
+ShardPlan
+makeShardPlan(const DibaAllocator &alloc, std::uint32_t num_shards)
+{
+    DPC_ASSERT(num_shards >= 1, "need at least one shard");
+    const std::vector<std::uint32_t> &perm =
+        alloc.layoutPermutation();
+    const std::size_t n = perm.size();
+    DPC_ASSERT(num_shards <= n, "more shards than nodes");
+
+    ShardPlan plan;
+    plan.num_shards = num_shards;
+    plan.block_begin.resize(num_shards);
+    plan.block_end.resize(num_shards);
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+        plan.block_begin[s] = n * s / num_shards;
+        plan.block_end[s] = n * (s + 1) / num_shards;
+    }
+    // Owner of original id i = the block holding its WORKING id:
+    // contiguous working-id blocks inherit the layout
+    // permutation's locality, so the cut is exactly what the
+    // layout loop minimizes.
+    plan.owner_of.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t w = perm[i];
+        const std::uint32_t s = static_cast<std::uint32_t>(
+            std::min<std::size_t>(num_shards - 1,
+                                  w * num_shards / n));
+        // Integer division drift: fix up against the exact bounds.
+        std::uint32_t owner = s;
+        while (w < plan.block_begin[owner])
+            --owner;
+        while (w >= plan.block_end[owner])
+            ++owner;
+        plan.owner_of[i] = owner;
+    }
+    const auto &edges = alloc.overlayEdges();
+    plan.total_edges = edges.size();
+    for (const auto &[u, v] : edges)
+        if (plan.owner_of[u] != plan.owner_of[v])
+            ++plan.cut_edges;
+    return plan;
+}
+
+ShardRunResult
+runShardedDiba(const AllocationProblem &prob, const Graph &topo,
+               const DibaAllocator::Config &cfg,
+               const ShardRunOptions &opt)
+{
+    DPC_ASSERT(cfg.num_threads == 0,
+               "sharded runs fork: Config::num_threads must be 0");
+    DPC_ASSERT(opt.num_shards >= 1, "need at least one shard");
+
+    // The plan is deterministic in (topology, Config); children
+    // recompute it identically from their own allocator.
+    DibaAllocator planner(topo, cfg);
+    ShardPlan plan = makeShardPlan(planner, opt.num_shards);
+
+    // Broker listener, bound before the fork so no shard can race
+    // it.
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    DPC_ASSERT(lfd >= 0, "socket(): ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr = loopbackAddr(0);
+    DPC_ASSERT(::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0,
+               "bind(): ", std::strerror(errno));
+    socklen_t alen = sizeof(addr);
+    DPC_ASSERT(::getsockname(lfd,
+                             reinterpret_cast<sockaddr *>(&addr),
+                             &alen) == 0,
+               "getsockname(): ", std::strerror(errno));
+    const std::uint16_t broker_port = ntohs(addr.sin_port);
+    DPC_ASSERT(::listen(lfd, static_cast<int>(opt.num_shards)) == 0,
+               "listen(): ", std::strerror(errno));
+
+    std::vector<pid_t> pids;
+    for (std::uint32_t s = 0; s < opt.num_shards; ++s) {
+        const pid_t pid = ::fork();
+        DPC_ASSERT(pid >= 0, "fork(): ", std::strerror(errno));
+        if (pid == 0) {
+            ::close(lfd);
+            shardMain(s, plan, prob, topo, cfg, opt, broker_port);
+            // Skip atexit/static destructors: the child shares the
+            // parent's heap image and must not tear it down.
+            ::_exit(0);
+        }
+        pids.push_back(pid);
+    }
+
+    // ---- Broker ----
+    std::vector<int> fds(opt.num_shards, -1);
+    std::vector<std::vector<std::uint8_t>> bufs(opt.num_shards);
+    Frame welcome;
+    welcome.type = FrameType::Welcome;
+    welcome.welcome.num_shards = opt.num_shards;
+    welcome.welcome.rounds = opt.rounds;
+    welcome.welcome.udp_ports.resize(opt.num_shards, 0);
+    welcome.welcome.tcp_ports.resize(opt.num_shards, 0);
+    std::uint16_t agreed = net::kWireVersion;
+    for (std::uint32_t c = 0; c < opt.num_shards; ++c) {
+        const int fd = ::accept(lfd, nullptr, nullptr);
+        DPC_ASSERT(fd >= 0, "accept(): ", std::strerror(errno));
+        std::vector<std::uint8_t> buf;
+        const Frame hello = recvFrame(fd, buf);
+        DPC_ASSERT(hello.type == FrameType::Hello,
+                   "expected Hello from shard");
+        const std::uint32_t s = hello.hello.shard_id;
+        DPC_ASSERT(s < opt.num_shards && fds[s] < 0,
+                   "bad or duplicate shard id ", s);
+        std::uint16_t v = 0;
+        if (!net::negotiateVersion(agreed, hello.hello.version, v))
+            fatal("shard ", s, " speaks wire version ",
+                  hello.hello.version,
+                  ", below this broker's floor ",
+                  net::kWireMinVersion);
+        agreed = v;
+        fds[s] = fd;
+        bufs[s] = std::move(buf);
+        welcome.welcome.udp_ports[s] = hello.hello.udp_port;
+        welcome.welcome.tcp_ports[s] = hello.hello.tcp_port;
+    }
+    ::close(lfd);
+    welcome.welcome.agreed_version = agreed;
+    for (std::uint32_t s = 0; s < opt.num_shards; ++s)
+        sendFrame(fds[s], welcome);
+
+    ShardRunResult out;
+    out.plan = plan;
+    for (std::size_t r = 0; r < opt.rounds; ++r) {
+        double global = 0.0;
+        for (std::uint32_t s = 0; s < opt.num_shards; ++s) {
+            const Frame done = recvFrame(fds[s], bufs[s]);
+            DPC_ASSERT(done.type == FrameType::RoundDone,
+                       "expected RoundDone from shard ", s);
+            DPC_ASSERT(done.round_done.round == r,
+                       "shard ", s, " is in round ",
+                       done.round_done.round, ", broker in ", r);
+            global = std::max(global,
+                              done.round_done.local_max_dp);
+        }
+        Frame go;
+        go.type = FrameType::RoundGo;
+        go.round_go.round = r;
+        go.round_go.global_max_dp = global;
+        go.round_go.stop = r + 1 == opt.rounds ? 1 : 0;
+        for (std::uint32_t s = 0; s < opt.num_shards; ++s)
+            sendFrame(fds[s], go);
+        out.final_max_dp = global;
+        ++out.rounds_run;
+    }
+
+    const std::size_t n = plan.owner_of.size();
+    out.power.assign(n, 0.0);
+    out.estimates.assign(n, 0.0);
+    for (std::uint32_t s = 0; s < opt.num_shards; ++s) {
+        const Frame res = recvFrame(fds[s], bufs[s]);
+        DPC_ASSERT(res.type == FrameType::Result,
+                   "expected Result from shard ", s);
+        const net::ResultMsg &m = res.result;
+        DPC_ASSERT(m.shard_id == s, "result from wrong shard");
+        for (std::size_t i = 0; i < m.node_ids.size(); ++i) {
+            const std::uint32_t node = m.node_ids[i];
+            DPC_ASSERT(node < n && plan.owner_of[node] == s,
+                       "shard ", s, " reported unowned node ",
+                       node);
+            out.power[node] = m.power[i];
+            out.estimates[node] = m.estimate[i];
+        }
+        out.wire_frames += m.frames_sent;
+        out.wire_bytes += m.bytes_sent;
+        out.retransmits += m.retransmits;
+        ::close(fds[s]);
+    }
+
+    for (const pid_t pid : pids) {
+        int status = 0;
+        DPC_ASSERT(::waitpid(pid, &status, 0) == pid,
+                   "waitpid(): ", std::strerror(errno));
+        DPC_ASSERT(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                   "shard process exited abnormally (status ",
+                   status, ")");
+    }
+    return out;
+}
+
+} // namespace cluster
+} // namespace dpc

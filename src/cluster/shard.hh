@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Multi-process sharded DiBA: partition the overlay by the layout
+ * permutation, fork one real OS process per shard, exchange cut
+ * pairs over SocketTransport, coordinate rounds through a tiny
+ * TCP broker -- and reproduce the single-process trajectory
+ * bitwise on every owned node.
+ *
+ * Partition.  Each shard owns one contiguous block of WORKING ids
+ * (the PR 6 layout permutation packs topological neighbourhoods
+ * into numerically adjacent ids, so contiguous working-id blocks
+ * are exactly the low-cut partition the layout loop already
+ * optimizes for).  Overlay edges inside a block stay on the
+ * in-process fast path; edges crossing blocks become *wire* edges
+ * whose halves travel as WireCodec frames.
+ *
+ * Exactness.  Every shard holds a full-size DibaAllocator reset
+ * from the identical problem, so snapshots, Metropolis weights and
+ * edge ids agree everywhere; each round a shard (1) offers every
+ * live pair in canonical order (so a same-seed LossyTransport
+ * replica agrees on every fate with zero coordination), (2)
+ * receives the authoritative remote halves of its cut edges and
+ * patches its halo snapshot, (3) diffuses and gradient-steps only
+ * its owned block.  Per-node round arithmetic is range-independent
+ * -- a node reads only the pre-round snapshot and writes only
+ * node-local state -- so owned caps and estimates are bitwise
+ * equal to the single-process run, round for round.
+ *
+ * Coordination.  The broker (run inline by the parent process)
+ * accepts one TCP connection per shard: Hello/Welcome negotiates
+ * the wire version and distributes the data-port table, then each
+ * round is closed by a RoundDone/RoundGo barrier that doubles as
+ * the all-reduce of the round's max |dp| (fed to every shard's
+ * convergence accounting, mirroring single-process noteRound), and
+ * a final Result frame returns each shard's owned state.
+ *
+ * Restrictions (v1): no churn/budget events mid-run, and
+ * Config::num_threads must be 0 (the shards are forked processes;
+ * a live thread pool does not survive fork()).
+ */
+
+#ifndef DPC_CLUSTER_SHARD_HH
+#define DPC_CLUSTER_SHARD_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/diba.hh"
+#include "fault/lossy_channel.hh"
+#include "net/socket_transport.hh"
+
+namespace dpc {
+namespace cluster {
+
+/** The overlay partition a sharded run executes. */
+struct ShardPlan
+{
+    std::uint32_t num_shards = 1;
+    /** Owned working-id block of shard s:
+     * [block_begin[s], block_end[s]). */
+    std::vector<std::size_t> block_begin;
+    std::vector<std::size_t> block_end;
+    /** owner_of[original node id] = owning shard. */
+    std::vector<std::uint32_t> owner_of;
+    /** Overlay edges crossing shard blocks (wire edges). */
+    std::size_t cut_edges = 0;
+    std::size_t total_edges = 0;
+
+    /** Fraction of overlay edges that must cross the wire. */
+    double cutFraction() const
+    {
+        return total_edges == 0
+                   ? 0.0
+                   : static_cast<double>(cut_edges) /
+                         static_cast<double>(total_edges);
+    }
+};
+
+/**
+ * Partition `alloc`'s overlay into `num_shards` balanced
+ * contiguous working-id blocks.  Deterministic in (topology,
+ * Config): parent and children compute identical plans
+ * independently.
+ */
+ShardPlan makeShardPlan(const DibaAllocator &alloc,
+                        std::uint32_t num_shards);
+
+struct ShardRunOptions
+{
+    std::uint32_t num_shards = 2;
+    /** Synchronized rounds to run (fixed; every shard runs the
+     * same count, like a ClusterSim control step). */
+    std::size_t rounds = 60;
+    net::SocketTransport::Proto proto =
+        net::SocketTransport::Proto::Udp;
+    /** Decorate every shard's transport with a same-seed
+     * LossyTransport (fault-model parity runs). */
+    bool lossy = false;
+    LossyChannel::Config loss{};
+    std::uint64_t loss_seed = 1;
+};
+
+struct ShardRunResult
+{
+    /** Full-size original-id vectors assembled from the shards'
+     * owned blocks. */
+    std::vector<double> power;
+    std::vector<double> estimates;
+    std::size_t rounds_run = 0;
+    /** Last round's global max |dp| (the broker all-reduce). */
+    double final_max_dp = 0.0;
+    ShardPlan plan;
+    /** Wire totals summed over shards (cut traffic only). */
+    std::uint64_t wire_frames = 0;
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t retransmits = 0;
+};
+
+/**
+ * Fork `opt.num_shards` shard processes, run `opt.rounds`
+ * synchronized sharded DiBA rounds over real sockets on
+ * 127.0.0.1, and reassemble the owned results.  The calling
+ * process runs the broker inline and blocks until every shard
+ * exits.  Requires cfg.num_threads == 0.
+ */
+ShardRunResult runShardedDiba(const AllocationProblem &prob,
+                              const Graph &topo,
+                              const DibaAllocator::Config &cfg,
+                              const ShardRunOptions &opt);
+
+} // namespace cluster
+} // namespace dpc
+
+#endif // DPC_CLUSTER_SHARD_HH

@@ -77,6 +77,41 @@ ClusterSim::ClusterSim(
     }
 }
 
+ClusterSim::ClusterSim(ClusterAssignment assignment, Graph topology,
+                       double initial_budget,
+                       DibaAllocator::Config diba_cfg, Options opts)
+    : ClusterSim(std::move(assignment), std::move(topology),
+                 initial_budget, diba_cfg, opts.sim)
+{
+    applyOptions(std::move(opts));
+}
+
+ClusterSim::ClusterSim(
+    ClusterAssignment assignment,
+    std::unique_ptr<IterativeAllocator> allocator,
+    double initial_budget, Options opts)
+    : ClusterSim(std::move(assignment), std::move(allocator),
+                 initial_budget, opts.sim)
+{
+    applyOptions(std::move(opts));
+}
+
+void
+ClusterSim::applyOptions(Options &&opts)
+{
+    DPC_ASSERT(!(opts.fault_plan && opts.recovery_plan),
+               "fault_plan and recovery_plan are mutually "
+               "exclusive");
+    if (opts.budget_schedule)
+        doSetBudgetSchedule(std::move(opts.budget_schedule));
+    if (opts.cap_observer)
+        doSetCapObserver(std::move(opts.cap_observer));
+    if (opts.fault_plan)
+        doSetFaultPlan(*opts.fault_plan);
+    if (opts.recovery_plan)
+        doSetRecoveryPlan(*opts.recovery_plan, opts.recovery);
+}
+
 const DibaAllocator &
 ClusterSim::diba() const
 {
@@ -86,14 +121,14 @@ ClusterSim::diba() const
 }
 
 void
-ClusterSim::setBudgetSchedule(std::function<double(double)> schedule)
+ClusterSim::doSetBudgetSchedule(std::function<double(double)> schedule)
 {
     DPC_ASSERT(schedule != nullptr, "null budget schedule");
     schedule_ = std::move(schedule);
 }
 
 void
-ClusterSim::setCapObserver(
+ClusterSim::doSetCapObserver(
     std::function<void(double, const std::vector<double> &)>
         observer)
 {
@@ -101,10 +136,10 @@ ClusterSim::setCapObserver(
 }
 
 void
-ClusterSim::setFaultPlan(const FaultPlan &plan)
+ClusterSim::doSetFaultPlan(const FaultPlan &plan)
 {
     DPC_ASSERT(recovery_ == nullptr,
-               "setFaultPlan after setRecoveryPlan");
+               "fault plan after recovery plan");
     fault_timeline_ = plan.sortedEvents();
     next_fault_ = 0;
     channel_ = std::make_unique<LossyChannel>(plan.lossConfig(),
@@ -118,13 +153,13 @@ ClusterSim::setFaultPlan(const FaultPlan &plan)
 }
 
 void
-ClusterSim::setRecoveryPlan(const FaultPlan &plan,
-                            RecoverySession::Config rcfg)
+ClusterSim::doSetRecoveryPlan(const FaultPlan &plan,
+                              RecoverySession::Config rcfg)
 {
     DPC_ASSERT(diba_raw_ != nullptr,
                "recovery plan requires a DiBA-backed simulation");
     DPC_ASSERT(channel_ == nullptr,
-               "setRecoveryPlan after setFaultPlan");
+               "recovery plan after fault plan");
     DPC_ASSERT(cfg_.diba_rounds_per_step > 0,
                "recovery plan needs diba_rounds_per_step > 0");
     // The session's round clock must cover the plan's time axis:

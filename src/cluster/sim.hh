@@ -33,6 +33,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "alloc/diba.hh"
@@ -103,6 +104,57 @@ class ClusterSim
 {
   public:
     /**
+     * Everything a simulation can be configured with, in one
+     * aggregate built with designated initializers:
+     *
+     *     ClusterSim sim(assignment, topo, budget, diba_cfg,
+     *                    ClusterSim::Options{
+     *                        .sim = {.dt_s = 1.0, .seed = 7},
+     *                        .budget_schedule = stepDown,
+     *                        .recovery_plan = plan,
+     *                    });
+     *
+     * This replaces the accreted post-construction setter plumbing
+     * (setBudgetSchedule / setCapObserver / setFaultPlan /
+     * setRecoveryPlan), which survives for one deprecation cycle
+     * as thin forwards.  fault_plan and recovery_plan are mutually
+     * exclusive, exactly like the setters they subsume.
+     */
+    struct Options
+    {
+        /** Control-loop parameters. */
+        ClusterSimConfig sim{};
+        /** Total budget as a function of time (null: constant at
+         * initial_budget). */
+        std::function<double(double)> budget_schedule;
+        /** Observe (t, caps) after every control step. */
+        std::function<void(double, const std::vector<double> &)>
+            cap_observer;
+        /**
+         * Omniscient fault schedule: due events are applied at the
+         * top of every control step, the allocator's gossip is
+         * routed through the plan's lossy channel (DiBA-backed
+         * sims only), and the invariants are audited after every
+         * faulty round.  Meter glitches bias the affected node's
+         * readings for their window.
+         */
+        std::optional<FaultPlan> fault_plan;
+        /**
+         * Self-healing fault schedule (DiBA-backed sims only):
+         * the plan's events mutate a ground-truth world and a
+         * RecoverySession runs detection -> repair ->
+         * re-federation -> watchdog every allocator round; meter
+         * glitches stay at the metering level.  Mutually exclusive
+         * with fault_plan.
+         */
+        std::optional<FaultPlan> recovery_plan;
+        /** RecoverySession tuning (used with recovery_plan; its
+         * round_dt is derived from sim.dt_s /
+         * sim.diba_rounds_per_step). */
+        RecoverySession::Config recovery{};
+    };
+
+    /**
      * DiBA-backed simulation (the common configuration).
      *
      * @param assignment  initial per-server workloads
@@ -117,6 +169,13 @@ class ClusterSim
                DibaAllocator::Config diba_cfg = {},
                ClusterSimConfig cfg = {});
 
+    /** DiBA-backed simulation, fully configured via Options (no
+     * defaulted argument, so overload resolution against the
+     * ClusterSimConfig ctor stays unambiguous). */
+    ClusterSim(ClusterAssignment assignment, Graph topology,
+               double initial_budget,
+               DibaAllocator::Config diba_cfg, Options opts);
+
     /**
      * Simulation driven by an arbitrary stepwise allocator (the
      * scheme-comparison experiments run the coordinator baselines
@@ -127,36 +186,48 @@ class ClusterSim
                std::unique_ptr<IterativeAllocator> allocator,
                double initial_budget, ClusterSimConfig cfg = {});
 
-    /** Total budget as a function of time (defaults to constant). */
-    void setBudgetSchedule(std::function<double(double)> schedule);
+    /** Allocator-backed simulation via Options. */
+    ClusterSim(ClusterAssignment assignment,
+               std::unique_ptr<IterativeAllocator> allocator,
+               double initial_budget, Options opts);
 
-    /** Observe the cap vector after every control step. */
+    /** Total budget as a function of time (defaults to constant).
+     * @deprecated pass Options::budget_schedule instead. */
+    [[deprecated("pass ClusterSim::Options::budget_schedule")]]
+    void setBudgetSchedule(std::function<double(double)> schedule)
+    {
+        doSetBudgetSchedule(std::move(schedule));
+    }
+
+    /** Observe the cap vector after every control step.
+     * @deprecated pass Options::cap_observer instead. */
+    [[deprecated("pass ClusterSim::Options::cap_observer")]]
     void setCapObserver(
         std::function<void(double, const std::vector<double> &)>
-            observer);
+            observer)
+    {
+        doSetCapObserver(std::move(observer));
+    }
 
-    /**
-     * Inject a fault schedule: due events are applied at the top
-     * of every control step, the allocator's gossip is routed
-     * through the plan's lossy channel (DiBA-backed sims only),
-     * and the invariants are audited after every faulty round.
-     * Meter glitches bias the affected node's readings for their
-     * window.  Call before run().
-     */
-    void setFaultPlan(const FaultPlan &plan);
+    /** Inject an omniscient fault schedule (see
+     * Options::fault_plan).  Call before run().
+     * @deprecated pass Options::fault_plan instead. */
+    [[deprecated("pass ClusterSim::Options::fault_plan")]]
+    void setFaultPlan(const FaultPlan &plan)
+    {
+        doSetFaultPlan(plan);
+    }
 
-    /**
-     * Inject a fault schedule in *self-healing* mode (DiBA-backed
-     * sims only): instead of applying churn omnisciently to the
-     * allocator (setFaultPlan), the plan's events mutate a
-     * ground-truth world and a RecoverySession runs the full
-     * detection -> repair -> re-federation -> watchdog pipeline
-     * every allocator round.  Meter glitches are still handled at
-     * the metering level by the simulator itself.  Call before
-     * run(); mutually exclusive with setFaultPlan.
-     */
+    /** Inject a self-healing fault schedule (see
+     * Options::recovery_plan).  Call before run(); mutually
+     * exclusive with setFaultPlan.
+     * @deprecated pass Options::recovery_plan instead. */
+    [[deprecated("pass ClusterSim::Options::recovery_plan")]]
     void setRecoveryPlan(const FaultPlan &plan,
-                         RecoverySession::Config rcfg = {});
+                         RecoverySession::Config rcfg = {})
+    {
+        doSetRecoveryPlan(plan, rcfg);
+    }
 
     /** Run for the given duration; returns one sample per step. */
     std::vector<ClusterSample> run(double duration_s);
@@ -199,6 +270,14 @@ class ClusterSim
     }
 
   private:
+    void doSetBudgetSchedule(std::function<double(double)> schedule);
+    void doSetCapObserver(
+        std::function<void(double, const std::vector<double> &)>
+            observer);
+    void doSetFaultPlan(const FaultPlan &plan);
+    void doSetRecoveryPlan(const FaultPlan &plan,
+                           RecoverySession::Config rcfg);
+    void applyOptions(Options &&opts);
     void maybeChurn(double t);
     void applyFaults(double t);
     std::vector<double> computeCaps();

@@ -1,0 +1,537 @@
+#include "net/socket_transport.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace dpc {
+namespace net {
+
+namespace {
+
+/** Keep a packed datagram under the conservative loopback-safe
+ * MTU; one PairTransfer frame is 60 bytes, so ~23 frames ride per
+ * datagram. */
+constexpr std::size_t kDatagramBudget = 1400;
+
+sockaddr_in
+loopbackAddr(std::uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return addr;
+}
+
+int
+boundSocket(int type, std::uint16_t &port_out)
+{
+    const int fd = ::socket(AF_INET, type, 0);
+    DPC_ASSERT(fd >= 0, "socket(): ", std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (type == SOCK_DGRAM) {
+        // A round's cut-edge burst at large n overruns the stock
+        // ~212 KB datagram buffers, and every overrun costs a
+        // retransmit tick to recover.  The *FORCE variants ignore
+        // rmem_max/wmem_max under CAP_NET_ADMIN; fall back to the
+        // clamped plain options otherwise (best effort).
+        const int big = 8 << 20;
+#ifdef SO_RCVBUFFORCE
+        if (::setsockopt(fd, SOL_SOCKET, SO_RCVBUFFORCE, &big,
+                         sizeof(big)) != 0)
+#endif
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &big,
+                         sizeof(big));
+#ifdef SO_SNDBUFFORCE
+        if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUFFORCE, &big,
+                         sizeof(big)) != 0)
+#endif
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &big,
+                         sizeof(big));
+    }
+    sockaddr_in addr = loopbackAddr(0);
+    DPC_ASSERT(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0,
+               "bind(): ", std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    DPC_ASSERT(::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                             &len) == 0,
+               "getsockname(): ", std::strerror(errno));
+    port_out = ntohs(addr.sin_port);
+    return fd;
+}
+
+std::int64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+sendAll(int fd, const std::uint8_t *data, std::size_t len)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t k = ::send(fd, data + off, len - off,
+#ifdef MSG_NOSIGNAL
+                                 MSG_NOSIGNAL
+#else
+                                 0
+#endif
+        );
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("shard stream send failed: ",
+                  std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(k);
+    }
+}
+
+} // namespace
+
+SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
+{
+    DPC_ASSERT(cfg_.num_shards >= 1, "need at least one shard");
+    DPC_ASSERT(cfg_.shard_id < cfg_.num_shards,
+               "shard id out of range");
+    const int type =
+        cfg_.proto == Proto::Udp ? SOCK_DGRAM : SOCK_STREAM;
+    sock_ = boundSocket(type, local_port_);
+    if (cfg_.proto == Proto::Tcp)
+        DPC_ASSERT(::listen(sock_,
+                            static_cast<int>(cfg_.num_shards)) == 0,
+                   "listen(): ", std::strerror(errno));
+    peer_fd_.assign(cfg_.num_shards, -1);
+    peer_port_.assign(cfg_.num_shards, 0);
+    reasm_.resize(cfg_.num_shards);
+    out_ring_.resize(std::size_t{cfg_.num_shards} * 2);
+}
+
+SocketTransport::~SocketTransport()
+{
+    for (int fd : peer_fd_)
+        if (fd >= 0)
+            ::close(fd);
+    if (sock_ >= 0)
+        ::close(sock_);
+}
+
+void
+SocketTransport::connectPeers(const std::vector<std::uint16_t> &ports)
+{
+    DPC_ASSERT(ports.size() == cfg_.num_shards,
+               "peer port table size mismatch");
+    peer_port_ = ports;
+    if (cfg_.proto == Proto::Udp)
+        return;
+    // Deterministic handshake order avoids accept/connect races:
+    // shard i dials every lower id, then accepts every higher id.
+    // The dialed side identifies itself with a one-byte shard id.
+    for (std::uint32_t s = 0; s < cfg_.shard_id; ++s) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        DPC_ASSERT(fd >= 0, "socket(): ", std::strerror(errno));
+        sockaddr_in addr = loopbackAddr(ports[s]);
+        // The peer may not have reached accept() yet; retry
+        // briefly instead of failing the whole shard.
+        const std::int64_t give_up = nowMs() + 10000;
+        while (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)) != 0) {
+            if (nowMs() > give_up)
+                fatal("shard ", cfg_.shard_id,
+                      " cannot reach shard ", s, " on port ",
+                      ports[s], ": ", std::strerror(errno));
+            ::usleep(2000);
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        const std::uint8_t myid =
+            static_cast<std::uint8_t>(cfg_.shard_id);
+        sendAll(fd, &myid, 1);
+        peer_fd_[s] = fd;
+    }
+    for (std::uint32_t s = cfg_.shard_id + 1; s < cfg_.num_shards;
+         ++s) {
+        const int fd = ::accept(sock_, nullptr, nullptr);
+        DPC_ASSERT(fd >= 0, "accept(): ", std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        std::uint8_t who = 0;
+        ssize_t k;
+        while ((k = ::recv(fd, &who, 1, 0)) < 0 && errno == EINTR) {
+        }
+        DPC_ASSERT(k == 1, "peer handshake read failed");
+        DPC_ASSERT(who > cfg_.shard_id && who < cfg_.num_shards,
+                   "unexpected peer id ", int{who});
+        peer_fd_[who] = fd;
+    }
+}
+
+std::uint32_t
+SocketTransport::ownerOf(std::uint32_t node) const
+{
+    DPC_ASSERT(node < cfg_.owner_of.size(),
+               "node ", node, " outside the ownership map");
+    return cfg_.owner_of[node];
+}
+
+void
+SocketTransport::beginRound(std::uint64_t round, std::size_t)
+{
+    round_ = round;
+    started_ = true;
+    ready_.clear();
+    head_ = 0;
+    DPC_ASSERT(pending_.empty(),
+               "beginRound with undrained deliveries from round ",
+               round_ > 0 ? round_ - 1 : 0);
+    done_edges_.clear();
+    // Reset this round's slot in the outgoing ring (the other slot
+    // keeps the previous round for replays).
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+        RoundBuf &rb = out_ring_[std::size_t{s} * 2 + (round & 1)];
+        rb.round = round;
+        rb.datagrams.clear();
+        rb.open.clear();
+        rb.sent = 0;
+    }
+}
+
+void
+SocketTransport::queueFrame(std::uint32_t s,
+                            const PairTransferMsg &msg)
+{
+    RoundBuf &rb = out_ring_[std::size_t{s} * 2 + (round_ & 1)];
+    encodePairTransfer(msg, rb.open);
+    ++stats_.frames_sent;
+    if (cfg_.proto == Proto::Udp &&
+        rb.open.size() >= kDatagramBudget) {
+        rb.datagrams.push_back(std::move(rb.open));
+        rb.open.clear();
+    }
+}
+
+void
+SocketTransport::flushSend()
+{
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+        RoundBuf &rb = out_ring_[std::size_t{s} * 2 + (round_ & 1)];
+        if (!rb.open.empty()) {
+            rb.datagrams.push_back(std::move(rb.open));
+            rb.open.clear();
+        }
+        for (std::size_t i = rb.sent; i < rb.datagrams.size();
+             ++i) {
+            const auto &dg = rb.datagrams[i];
+            stats_.bytes_sent += dg.size();
+            if (cfg_.proto == Proto::Udp) {
+                sockaddr_in addr = loopbackAddr(peer_port_[s]);
+                const ssize_t k = ::sendto(
+                    sock_, dg.data(), dg.size(), 0,
+                    reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr));
+                if (k < 0)
+                    warn("shard sendto: ", std::strerror(errno));
+            } else {
+                sendAll(peer_fd_[s], dg.data(), dg.size());
+            }
+        }
+        rb.sent = rb.datagrams.size();
+        if (cfg_.proto == Proto::Tcp) {
+            // Streams are reliable; no replay buffer needed.
+            rb.datagrams.clear();
+            rb.sent = 0;
+        }
+    }
+}
+
+void
+SocketTransport::resendRound(std::uint32_t s, std::uint64_t round)
+{
+    if (cfg_.proto != Proto::Udp)
+        return;
+    const RoundBuf &rb = out_ring_[std::size_t{s} * 2 + (round & 1)];
+    if (rb.round != round)
+        return; // aged out of the ring
+    for (const auto &dg : rb.datagrams) {
+        sockaddr_in addr = loopbackAddr(peer_port_[s]);
+        (void)::sendto(sock_, dg.data(), dg.size(), 0,
+                       reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+        stats_.bytes_sent += dg.size();
+        ++stats_.retransmits;
+    }
+}
+
+void
+SocketTransport::send(const EdgePair &pair)
+{
+    DPC_ASSERT(started_, "send() before beginRound()");
+    const std::uint32_t su = ownerOf(pair.u);
+    const std::uint32_t sv = ownerOf(pair.v);
+    const std::uint32_t me = cfg_.shard_id;
+
+    Delivery d;
+    d.pair = pair;
+    d.fate = EdgeFate{true, 0};
+
+    if ((su == me) == (sv == me)) {
+        // Both local (intra-shard fast path) or neither local (a
+        // foreign pair whose fate no owned node reads): decided
+        // immediately, no wire traffic, no snapshot updates.
+        ready_.push_back(d);
+        return;
+    }
+
+    // A cut pair: ship the half we own, await the peer's half.
+    PairTransferMsg msg;
+    msg.pair = pair;
+    msg.pair.round = round_;
+    msg.fate = d.fate;
+    msg.update_u = su == me;
+    msg.update_v = sv == me;
+    queueFrame(su == me ? sv : su, msg);
+    pending_.emplace(pair.edge_id, d);
+}
+
+void
+SocketTransport::completePending(const PairTransferMsg &msg)
+{
+    auto it = pending_.find(msg.pair.edge_id);
+    if (it == pending_.end())
+        return;
+    Delivery d = it->second;
+    // The peer's flags mark the halves IT owns; those become our
+    // authoritative halo updates.
+    if (msg.update_u) {
+        d.pair.e_u = msg.pair.e_u;
+        d.update_u = true;
+    }
+    if (msg.update_v) {
+        d.pair.e_v = msg.pair.e_v;
+        d.update_v = true;
+    }
+    pending_.erase(it);
+    done_edges_.emplace(msg.pair.edge_id, true);
+    ready_.push_back(d);
+}
+
+void
+SocketTransport::fileFrame(std::uint32_t s,
+                           const PairTransferMsg &msg)
+{
+    ++stats_.frames_received;
+    if (msg.pair.round == round_) {
+        if (done_edges_.count(msg.pair.edge_id) != 0) {
+            // Duplicate: the peer retransmitted, which means it is
+            // still waiting on *our* frames -- replay them.
+            ++stats_.duplicates;
+            if (!replayed_this_poll_) {
+                replayed_this_poll_ = true;
+                resendRound(s, round_);
+            }
+            return;
+        }
+        completePending(msg);
+    } else if (msg.pair.round + 1 == round_) {
+        // A straggler from the previous round: the peer has not
+        // advanced yet and is missing our old frames.
+        ++stats_.duplicates;
+        if (!replayed_this_poll_) {
+            replayed_this_poll_ = true;
+            resendRound(s, msg.pair.round);
+        }
+    } else if (msg.pair.round == round_ + 1) {
+        // The peer finished this round and raced ahead; stash for
+        // our next beginRound.
+        if (early_round_ != msg.pair.round) {
+            early_.clear();
+            early_round_ = msg.pair.round;
+        }
+        early_.emplace(msg.pair.edge_id, msg);
+    } else {
+        warn("shard ", cfg_.shard_id, " got frame for round ",
+             msg.pair.round, " while in round ", round_);
+    }
+}
+
+bool
+SocketTransport::receiveSome()
+{
+    // Wait up to the retransmit tick for bytes on any socket.
+    std::vector<pollfd> fds;
+    if (cfg_.proto == Proto::Udp) {
+        fds.push_back({sock_, POLLIN, 0});
+    } else {
+        for (int fd : peer_fd_)
+            if (fd >= 0)
+                fds.push_back({fd, POLLIN, 0});
+    }
+    const int rc =
+        ::poll(fds.data(), fds.size(), cfg_.retrans_ms);
+    if (rc < 0) {
+        if (errno == EINTR)
+            return false;
+        fatal("shard poll(): ", std::strerror(errno));
+    }
+    if (rc == 0)
+        return false;
+
+    bool any = false;
+    if (cfg_.proto == Proto::Udp) {
+        std::uint8_t buf[65536];
+        for (;;) {
+            const ssize_t k =
+                ::recv(sock_, buf, sizeof(buf), MSG_DONTWAIT);
+            if (k < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)
+                    break;
+                fatal("shard recv(): ", std::strerror(errno));
+            }
+            stats_.bytes_received += static_cast<std::size_t>(k);
+            std::size_t off = 0;
+            while (off < static_cast<std::size_t>(k)) {
+                Frame f;
+                std::size_t used = 0;
+                const DecodeStatus st = decodeFrame(
+                    buf + off, static_cast<std::size_t>(k) - off, f,
+                    used);
+                if (st != DecodeStatus::Ok ||
+                    f.type != FrameType::PairTransfer) {
+                    warn("shard ", cfg_.shard_id,
+                         " dropping undecodable datagram tail");
+                    break;
+                }
+                // Datagrams carry no sender id; the ownership map
+                // identifies the peer from the frame itself.
+                const std::uint32_t s =
+                    f.pair_transfer.update_u
+                        ? ownerOf(f.pair_transfer.pair.u)
+                        : ownerOf(f.pair_transfer.pair.v);
+                fileFrame(s, f.pair_transfer);
+                any = true;
+                off += used;
+            }
+        }
+    } else {
+        for (const pollfd &p : fds) {
+            if ((p.revents & POLLIN) == 0)
+                continue;
+            std::uint32_t s = 0;
+            while (s < cfg_.num_shards &&
+                   peer_fd_[s] != p.fd)
+                ++s;
+            std::uint8_t buf[65536];
+            const ssize_t k =
+                ::recv(p.fd, buf, sizeof(buf), MSG_DONTWAIT);
+            if (k < 0) {
+                if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == EINTR)
+                    continue;
+                fatal("shard recv(): ", std::strerror(errno));
+            }
+            if (k == 0)
+                fatal("shard ", cfg_.shard_id, ": peer ", s,
+                      " closed its stream mid-run");
+            stats_.bytes_received += static_cast<std::size_t>(k);
+            auto &rb = reasm_[s];
+            rb.insert(rb.end(), buf, buf + k);
+            std::size_t off = 0;
+            for (;;) {
+                Frame f;
+                std::size_t used = 0;
+                const DecodeStatus st = decodeFrame(
+                    rb.data() + off, rb.size() - off, f, used);
+                if (st == DecodeStatus::NeedMore)
+                    break;
+                if (st == DecodeStatus::Bad)
+                    fatal("shard ", cfg_.shard_id,
+                          ": corrupt stream from peer ", s);
+                if (f.type != FrameType::PairTransfer)
+                    fatal("shard ", cfg_.shard_id,
+                          ": unexpected frame type on data plane");
+                fileFrame(s, f.pair_transfer);
+                any = true;
+                off += used;
+            }
+            if (off > 0)
+                rb.erase(rb.begin(),
+                         rb.begin() + static_cast<long>(off));
+        }
+    }
+    return any;
+}
+
+void
+SocketTransport::service()
+{
+    // UDP only: the whole point is answering retransmit nudges,
+    // which TCP never sends -- and a TCP peer that finished its
+    // final round has legitimately closed its stream, which
+    // receiveSome() would misread as a mid-run death.
+    if (!started_ || cfg_.proto != Proto::Udp)
+        return;
+    flushSend();
+    replayed_this_poll_ = false;
+    receiveSome();
+}
+
+void
+SocketTransport::fatalTimeout()
+{
+    fatal("shard ", cfg_.shard_id, " timed out in round ", round_,
+          " with ", pending_.size(),
+          " cut pairs still in flight (peer dead?)");
+}
+
+bool
+SocketTransport::poll(Delivery &out)
+{
+    flushSend();
+    // Fold in any halves that arrived before this round opened.
+    if (!early_.empty() && early_round_ == round_) {
+        for (const auto &[id, msg] : early_)
+            completePending(msg);
+        early_.clear();
+    }
+    const std::int64_t give_up = nowMs() + cfg_.round_timeout_ms;
+    for (;;) {
+        if (head_ < ready_.size()) {
+            out = ready_[head_++];
+            return true;
+        }
+        if (pending_.empty())
+            return false;
+        replayed_this_poll_ = false;
+        if (!receiveSome()) {
+            // Timer tick with nothing received: nudge every peer
+            // we still owe/expect traffic with a retransmit.
+            for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
+                if (s != cfg_.shard_id)
+                    resendRound(s, round_);
+            if (nowMs() > give_up)
+                fatalTimeout();
+        }
+    }
+}
+
+} // namespace net
+} // namespace dpc

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Socket-backed Transport between shard processes.
+ *
+ * Each shard owns a contiguous working-id block of the overlay
+ * (ShardPlan, src/cluster/shard.hh).  Intra-shard pairs
+ * self-deliver exactly like LoopbackTransport; *cut* pairs -- one
+ * endpoint owned here, the other owned by a peer shard -- are
+ * exchanged as WireCodec PairTransfer frames: each side sends the
+ * half it owns and polls until the peer's half arrives, then the
+ * merged Delivery flags the remote half (update_u/update_v) so the
+ * allocator patches its halo snapshot before diffusing.  Pairs
+ * owned entirely by other shards still self-deliver locally (their
+ * fate is never read by an owned node's diffusion) so a seeded
+ * LossyTransport decorator consumes identical draws on every
+ * shard and in the single-process reference.
+ *
+ * SocketTransport itself is RELIABLE and fate-neutral: it always
+ * reports {delivered, lag 0} and keeps retransmitting until every
+ * expected half arrives.  Loss, bursts and staleness are modeled
+ * by decorating it with fault::LossyTransport, which draws each
+ * pair's fate from a same-seed channel replica on every shard --
+ * the shards agree on every fate with zero coordination, and
+ * because frames flow even for dropped pairs the halo snapshots
+ * stay exact, which is what keeps the sharded run bitwise equal to
+ * the single-process one.
+ *
+ * Wire modes:
+ *   Udp  one datagram socket per shard; frames are packed into
+ *        ~1.4 KB datagrams, deduped by (round, edge), and
+ *        retransmitted on a timer while the round is incomplete
+ *        (a duplicate old-round frame from a peer also triggers a
+ *        replay of our frames of that round to it, which unsticks
+ *        the peer without waiting for its timer);
+ *   Tcp  pairwise streams (shard i connects to j < i, accepts
+ *        j > i) with incremental frame reassembly; the kernel
+ *        handles reliability.
+ *
+ * Peers may run at most one round apart (a shard only advances
+ * once its own round completes), so frames for round r+1 arriving
+ * during r are stashed and replayed at the next beginRound.
+ */
+
+#ifndef DPC_NET_SOCKET_TRANSPORT_HH
+#define DPC_NET_SOCKET_TRANSPORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.hh"
+#include "net/wire.hh"
+
+namespace dpc {
+namespace net {
+
+class SocketTransport final : public Transport
+{
+  public:
+    enum class Proto
+    {
+        Udp,
+        Tcp,
+    };
+
+    struct Config
+    {
+        /** This shard's id in [0, num_shards). */
+        std::uint32_t shard_id = 0;
+        std::uint32_t num_shards = 1;
+        /** owner_of[original node id] = owning shard. */
+        std::vector<std::uint32_t> owner_of;
+        Proto proto = Proto::Udp;
+        /** Retransmit/poll tick while a round is incomplete. */
+        int retrans_ms = 20;
+        /** Give-up bound for one round (dead peer). */
+        int round_timeout_ms = 30000;
+    };
+
+    /** Per-run wire accounting (the BENCH_wire numbers). */
+    struct Stats
+    {
+        std::uint64_t frames_sent = 0;
+        std::uint64_t bytes_sent = 0;
+        std::uint64_t frames_received = 0;
+        std::uint64_t bytes_received = 0;
+        std::uint64_t retransmits = 0;
+        std::uint64_t duplicates = 0;
+    };
+
+    /** Binds the local data port (ephemeral; localPort() reports
+     * it -- hand it to the broker in your Hello). */
+    explicit SocketTransport(Config cfg);
+    ~SocketTransport() override;
+
+    SocketTransport(const SocketTransport &) = delete;
+    SocketTransport &operator=(const SocketTransport &) = delete;
+
+    /** The bound data port (UDP port or TCP listen port). */
+    std::uint16_t localPort() const { return local_port_; }
+
+    /**
+     * Wire up the full peer mesh from the broker's port table
+     * (ports[s] = shard s's data port on 127.0.0.1).  Must be
+     * called once, after every shard has bound, before the first
+     * beginRound.  In TCP mode this performs the connect/accept
+     * handshake (lower id connects, higher id accepts).
+     */
+    void connectPeers(const std::vector<std::uint16_t> &ports);
+
+    // Transport
+    void beginRound(std::uint64_t round,
+                    std::size_t num_edges) override;
+    void send(const EdgePair &pair) override;
+    bool poll(Delivery &out) override;
+    std::size_t maxLag() const override { return 0; }
+
+    /**
+     * Keep the data plane alive while the shard is parked outside
+     * poll() -- e.g. blocked at the broker's round barrier.  Waits
+     * up to one retransmit tick for incoming frames; a duplicate
+     * from a peer still stuck in this round triggers a replay of
+     * our frames to it.  Without this, a shard that finishes its
+     * round and blocks on the broker goes deaf: a peer that lost
+     * datagrams retransmits into the void until it times out.
+     * No-op before the first beginRound.
+     */
+    void service();
+
+    const Stats &stats() const { return stats_; }
+    const Config &config() const { return cfg_; }
+
+  private:
+    /** Owning shard of original node id. */
+    std::uint32_t ownerOf(std::uint32_t node) const;
+
+    /** Append an encoded frame to peer s's outgoing round buffer,
+     * flushing full UDP datagrams as they fill. */
+    void queueFrame(std::uint32_t s, const PairTransferMsg &msg);
+
+    /** Push out everything still buffered for the round. */
+    void flushSend();
+
+    /** Resend this round's frames to peer s (UDP only). */
+    void resendRound(std::uint32_t s, std::uint64_t round);
+
+    /** Block up to retrans_ms for incoming bytes; decode frames
+     * and file them (complete pendings, stash futures).  Returns
+     * true if any frame was consumed. */
+    bool receiveSome();
+
+    /** File one decoded PairTransfer from peer s. */
+    void fileFrame(std::uint32_t s, const PairTransferMsg &msg);
+
+    /** Merge a peer frame into its pending entry and make the
+     * Delivery ready. */
+    void completePending(const PairTransferMsg &msg);
+
+    void fatalTimeout();
+
+    Config cfg_;
+    std::uint16_t local_port_ = 0;
+    int sock_ = -1;               ///< UDP data / TCP listen socket
+    std::vector<int> peer_fd_;    ///< TCP: per-shard stream fd
+    std::vector<std::uint16_t> peer_port_; ///< UDP: per-shard port
+    std::vector<std::vector<std::uint8_t>> reasm_; ///< TCP buffers
+
+    std::uint64_t round_ = 0;
+    bool started_ = false;
+
+    /** Deliveries decided and ready to hand out. */
+    std::vector<Delivery> ready_;
+    std::size_t head_ = 0;
+
+    /** Cut pairs awaiting the peer half, by edge id. */
+    std::unordered_map<std::uint32_t, Delivery> pending_;
+
+    /** Peer frames that arrived one round early, by edge id. */
+    std::unordered_map<std::uint32_t, PairTransferMsg> early_;
+    std::uint64_t early_round_ = 0;
+
+    /** Edges already completed this round (duplicate filter). */
+    std::unordered_map<std::uint32_t, bool> done_edges_;
+
+    /** Outgoing datagrams per peer for the current and previous
+     * round (ring indexed by round & 1), kept for retransmits and
+     * old-round replays. */
+    struct RoundBuf
+    {
+        std::uint64_t round = ~0ull;
+        /** Fully packed datagrams, ready to (re)send. */
+        std::vector<std::vector<std::uint8_t>> datagrams;
+        /** The datagram still being filled. */
+        std::vector<std::uint8_t> open;
+        /** First-transmission watermark into `datagrams` (UDP
+         * keeps sent datagrams for retransmits; only the tail
+         * beyond this index is new). */
+        std::size_t sent = 0;
+    };
+    std::vector<RoundBuf> out_ring_; ///< [shard * 2 + (round & 1)]
+
+    /** Rate limit for dup-triggered replays (one per poll). */
+    bool replayed_this_poll_ = false;
+
+    Stats stats_;
+};
+
+} // namespace net
+} // namespace dpc
+
+#endif // DPC_NET_SOCKET_TRANSPORT_HH

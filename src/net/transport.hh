@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The unified transport surface between DiBA's gossip rounds and
+ * whatever actually carries the messages: an in-process loopback, a
+ * fault-model decorator, or real sockets between shard processes.
+ *
+ * A DiBA round exchanges one estimate message per direction of
+ * every live overlay edge, and the two directions of an edge form
+ * one *paired transfer*: node u applies w * (e_v - e_u) while node
+ * v applies w * (e_u - e_v) (exact IEEE negations of each other).
+ * The transport therefore decides the fate of the *pair*, not of
+ * the individual directed messages: dropping the pair cancels both
+ * halves, which is exactly what preserves the global bookkeeping
+ * sum(e) == sum(p) - P under arbitrary loss; delaying the pair
+ * makes both endpoints compute the transfer from the same stale
+ * snapshot (lag rounds old), which keeps the halves antisymmetric
+ * and hence the sum conserved under arbitrary staleness.
+ *
+ * Two layers live here:
+ *
+ *  - GossipChannel: the per-round, per-edge *fate oracle* (decides
+ *    delivered/dropped/stale; carries no bytes).  LossyChannel and
+ *    GroundTruthChannel in dpc::fault implement it; the async
+ *    gossip entry points (gossipTick / gossipSweep) consume it
+ *    directly because a tick has no payload to move.
+ *
+ *  - Transport: the byte-carrying pair pipeline for synchronized
+ *    rounds.  The allocator offers every live pair with send(), the
+ *    transport decides (or discovers, over a real network) each
+ *    pair's fate, and poll() drains the observable outcomes --
+ *    EdgeFate plus, for pairs whose peer endpoint lives in another
+ *    process, the authoritative remote estimate payload.
+ *    LoopbackTransport adapts any GossipChannel and is pinned
+ *    bitwise-identical to the historical channel-routed round;
+ *    SocketTransport (net/socket_transport.hh) moves cut-edge
+ *    pairs between shard processes as WireCodec frames;
+ *    LossyTransport (fault/lossy_channel.hh) decorates any of them
+ *    with the seeded loss/burst/delay processes.
+ */
+
+#ifndef DPC_NET_TRANSPORT_HH
+#define DPC_NET_TRANSPORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpc {
+namespace net {
+
+/** Fate of one paired estimate exchange on an overlay edge. */
+struct EdgeFate
+{
+    /** False: the pair is dropped, neither half is applied. */
+    bool delivered = true;
+
+    /**
+     * Staleness in rounds: 0 applies this round's snapshot, d > 0
+     * applies the snapshot from d rounds ago (both endpoints use
+     * the same lagged snapshot).  Must be <= maxLag().
+     */
+    std::uint32_t lag = 0;
+};
+
+/** Per-round, per-edge transport decision source (fate oracle). */
+class GossipChannel
+{
+  public:
+    virtual ~GossipChannel() = default;
+
+    /**
+     * Called once at the start of every synchronized round, before
+     * any fate() query, with the total undirected edge count of
+     * the overlay.  Asynchronous (gossipTick) drivers instead call
+     * fate() directly, one edge per tick.
+     */
+    virtual void beginRound(std::size_t num_edges) = 0;
+
+    /**
+     * Fate of the paired exchange on undirected edge `edge_id`
+     * with endpoints {u, v}, u < v.  Queried at most once per
+     * round per edge, in increasing edge_id order (the canonical
+     * overlay enumeration), so sequential draws from one seeded
+     * generator are reproducible.
+     */
+    virtual EdgeFate fate(std::size_t edge_id, std::size_t u,
+                          std::size_t v) = 0;
+
+    /**
+     * Upper bound on any lag fate() will ever return; the
+     * allocator keeps maxLag() + 1 rounds of estimate history.
+     */
+    virtual std::size_t maxLag() const = 0;
+};
+
+/**
+ * One paired estimate transfer offered to a Transport: the
+ * undirected edge, the synchronized round it belongs to, and the
+ * endpoints' pre-round snapshot estimates.  Endpoint ids are the
+ * canonical ORIGINAL ids (u < v), so fault plans, channel seeds
+ * and wire frames address the same physical link under every
+ * Config::layout.  A sharded sender fills only the halves it owns;
+ * the transport is responsible for routing each half to the peer
+ * that needs it.
+ */
+struct EdgePair
+{
+    std::uint32_t edge_id = 0;
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    std::uint64_t round = 0;
+    double e_u = 0.0;
+    double e_v = 0.0;
+};
+
+/**
+ * Observable outcome of one offered pair: the fate both endpoints
+ * must apply, plus the payload as delivered.  update_u / update_v
+ * flag the halves whose authoritative value arrived from another
+ * process (the receiver must fold them into its snapshot before
+ * diffusing); an in-process transport leaves both false.  Payload
+ * updates are independent of the fate: a dropped pair still
+ * refreshes the peer estimate (the frame flowed; only the transfer
+ * was cancelled), which is what keeps lagged snapshots exact on
+ * every shard.
+ */
+struct Delivery
+{
+    EdgePair pair;
+    EdgeFate fate;
+    bool update_u = false;
+    bool update_v = false;
+};
+
+/**
+ * The byte-carrying pair pipeline for synchronized rounds.
+ *
+ * Round protocol (one synchronized round):
+ *   1. beginRound(round, num_edges) -- num_edges is the total
+ *      undirected edge count of the overlay (fate oracles size
+ *      their per-edge state from it);
+ *   2. send() once per live pair, in increasing edge_id order (the
+ *      canonical overlay enumeration -- the order seeded fate
+ *      draws are reproducible in);
+ *   3. poll() until it returns false: exactly one Delivery per
+ *      offered pair, in any order.  poll() may block while remote
+ *      halves are in flight.
+ *
+ * A pair the caller never offered (masked edge, dead endpoint)
+ * gets no delivery and consumes no fate draw.
+ */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Open synchronized round `round` (monotonic per caller). */
+    virtual void beginRound(std::uint64_t round,
+                            std::size_t num_edges) = 0;
+
+    /** Offer one live pair for this round. */
+    virtual void send(const EdgePair &pair) = 0;
+
+    /** Drain the next decided delivery for the open round; false
+     * when every offered pair has been delivered. */
+    virtual bool poll(Delivery &out) = 0;
+
+    /** Upper bound on any fate lag poll() will ever report. */
+    virtual std::size_t maxLag() const = 0;
+};
+
+/**
+ * In-process adapter wrapping a GossipChannel fate oracle: send()
+ * queries the channel immediately (so the channel sees exactly the
+ * historical query order and arguments -- one seeded channel yields
+ * one reproducible fault pattern whether it is consumed through
+ * this adapter or through the legacy chan.fate() loop), and poll()
+ * replays the decisions FIFO.  Pinned bitwise-identical to the
+ * pre-Transport GossipChannel round path by construction; the
+ * whole fault/recovery/layout suite runs through it.
+ */
+class LoopbackTransport final : public Transport
+{
+  public:
+    /** Adapt an external fate oracle (not owned). */
+    explicit LoopbackTransport(GossipChannel &chan) : chan_(&chan) {}
+
+    /** The identity transport: every pair delivered fresh. */
+    LoopbackTransport() = default;
+
+    void beginRound(std::uint64_t, std::size_t num_edges) override
+    {
+        if (chan_ != nullptr)
+            chan_->beginRound(num_edges);
+        queue_.clear();
+        head_ = 0;
+    }
+
+    void send(const EdgePair &pair) override
+    {
+        Delivery d;
+        d.pair = pair;
+        if (chan_ != nullptr)
+            d.fate = chan_->fate(pair.edge_id, pair.u, pair.v);
+        queue_.push_back(d);
+    }
+
+    bool poll(Delivery &out) override
+    {
+        if (head_ >= queue_.size())
+            return false;
+        out = queue_[head_++];
+        return true;
+    }
+
+    std::size_t maxLag() const override
+    {
+        return chan_ != nullptr ? chan_->maxLag() : 0;
+    }
+
+  private:
+    GossipChannel *chan_ = nullptr;
+    std::vector<Delivery> queue_;
+    std::size_t head_ = 0;
+};
+
+} // namespace net
+
+// Compatibility aliases: EdgeFate/GossipChannel predate dpc::net
+// and the whole fault layer names them unqualified.
+using net::EdgeFate;
+using net::GossipChannel;
+
+} // namespace dpc
+
+#endif // DPC_NET_TRANSPORT_HH

@@ -1,0 +1,357 @@
+#include "net/wire.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace dpc {
+namespace net {
+
+namespace {
+
+// Little-endian scalar writers/readers.  Byte-at-a-time keeps the
+// codec endian-portable and alignment-safe; the hot PairTransfer
+// frame is 60 bytes, far below any memcpy win worth chasing.
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t x)
+{
+    out.push_back(static_cast<std::uint8_t>(x));
+    out.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t x)
+{
+    for (int s = 0; s < 32; s += 8)
+        out.push_back(static_cast<std::uint8_t>(x >> s));
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t x)
+{
+    for (int s = 0; s < 64; s += 8)
+        out.push_back(static_cast<std::uint8_t>(x >> s));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double x)
+{
+    putU64(out, std::bit_cast<std::uint64_t>(x));
+}
+
+/** Bounds-checked little-endian reader over one payload. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t len)
+        : data_(data), len_(len)
+    {
+    }
+
+    bool u8(std::uint8_t &x)
+    {
+        if (pos_ + 1 > len_)
+            return false;
+        x = data_[pos_++];
+        return true;
+    }
+
+    bool u16(std::uint16_t &x)
+    {
+        if (pos_ + 2 > len_)
+            return false;
+        x = static_cast<std::uint16_t>(
+            data_[pos_] | (std::uint16_t{data_[pos_ + 1]} << 8));
+        pos_ += 2;
+        return true;
+    }
+
+    bool u32(std::uint32_t &x)
+    {
+        if (pos_ + 4 > len_)
+            return false;
+        x = 0;
+        for (int i = 0; i < 4; ++i)
+            x |= std::uint32_t{data_[pos_ + i]} << (8 * i);
+        pos_ += 4;
+        return true;
+    }
+
+    bool u64(std::uint64_t &x)
+    {
+        if (pos_ + 8 > len_)
+            return false;
+        x = 0;
+        for (int i = 0; i < 8; ++i)
+            x |= std::uint64_t{data_[pos_ + i]} << (8 * i);
+        pos_ += 8;
+        return true;
+    }
+
+    bool f64(double &x)
+    {
+        std::uint64_t bits = 0;
+        if (!u64(bits))
+            return false;
+        x = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    bool skip(std::size_t k)
+    {
+        if (pos_ + k > len_)
+            return false;
+        pos_ += k;
+        return true;
+    }
+
+    /** A payload must be consumed exactly: trailing garbage means
+     * the sender and receiver disagree on the layout. */
+    bool done() const { return pos_ == len_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+};
+
+void
+encodeBody(const Frame &frame, std::vector<std::uint8_t> &out)
+{
+    switch (frame.type) {
+    case FrameType::Hello: {
+        const HelloMsg &m = frame.hello;
+        putU32(out, m.shard_id);
+        putU16(out, m.version);
+        putU16(out, m.udp_port);
+        putU16(out, m.tcp_port);
+        break;
+    }
+    case FrameType::Welcome: {
+        const WelcomeMsg &m = frame.welcome;
+        putU16(out, m.agreed_version);
+        putU32(out, m.num_shards);
+        putU64(out, m.rounds);
+        for (std::uint16_t p : m.udp_ports)
+            putU16(out, p);
+        for (std::uint16_t p : m.tcp_ports)
+            putU16(out, p);
+        break;
+    }
+    case FrameType::PairTransfer: {
+        const PairTransferMsg &m = frame.pair_transfer;
+        putU32(out, m.pair.edge_id);
+        putU32(out, m.pair.u);
+        putU32(out, m.pair.v);
+        putU64(out, m.pair.round);
+        putF64(out, m.pair.e_u);
+        putF64(out, m.pair.e_v);
+        putU32(out, m.fate.lag);
+        const std::uint8_t flags =
+            static_cast<std::uint8_t>((m.fate.delivered ? 1u : 0u) |
+                                      (m.update_u ? 2u : 0u) |
+                                      (m.update_v ? 4u : 0u));
+        out.push_back(flags);
+        out.push_back(0);
+        out.push_back(0);
+        out.push_back(0);
+        break;
+    }
+    case FrameType::RoundDone: {
+        const RoundDoneMsg &m = frame.round_done;
+        putU32(out, m.shard_id);
+        putU64(out, m.round);
+        putF64(out, m.local_max_dp);
+        break;
+    }
+    case FrameType::RoundGo: {
+        const RoundGoMsg &m = frame.round_go;
+        putU64(out, m.round);
+        putF64(out, m.global_max_dp);
+        out.push_back(m.stop);
+        break;
+    }
+    case FrameType::Result: {
+        const ResultMsg &m = frame.result;
+        putU32(out, m.shard_id);
+        putU64(out, m.bytes_sent);
+        putU64(out, m.frames_sent);
+        putU64(out, m.retransmits);
+        putU32(out, static_cast<std::uint32_t>(m.node_ids.size()));
+        for (std::size_t i = 0; i < m.node_ids.size(); ++i) {
+            putU32(out, m.node_ids[i]);
+            putF64(out, m.power[i]);
+            putF64(out, m.estimate[i]);
+        }
+        break;
+    }
+    }
+}
+
+bool
+decodeBody(FrameType type, const std::uint8_t *data, std::size_t len,
+           Frame &out)
+{
+    Reader r(data, len);
+    switch (type) {
+    case FrameType::Hello: {
+        HelloMsg &m = out.hello;
+        return r.u32(m.shard_id) && r.u16(m.version) &&
+               r.u16(m.udp_port) && r.u16(m.tcp_port) && r.done();
+    }
+    case FrameType::Welcome: {
+        WelcomeMsg &m = out.welcome;
+        if (!(r.u16(m.agreed_version) && r.u32(m.num_shards) &&
+              r.u64(m.rounds)))
+            return false;
+        // Port tables are sized by num_shards; reject absurd
+        // counts before allocating.
+        if (m.num_shards > (1u << 20))
+            return false;
+        m.udp_ports.resize(m.num_shards);
+        m.tcp_ports.resize(m.num_shards);
+        for (auto &p : m.udp_ports)
+            if (!r.u16(p))
+                return false;
+        for (auto &p : m.tcp_ports)
+            if (!r.u16(p))
+                return false;
+        return r.done();
+    }
+    case FrameType::PairTransfer: {
+        PairTransferMsg &m = out.pair_transfer;
+        std::uint8_t flags = 0;
+        if (!(r.u32(m.pair.edge_id) && r.u32(m.pair.u) &&
+              r.u32(m.pair.v) && r.u64(m.pair.round) &&
+              r.f64(m.pair.e_u) && r.f64(m.pair.e_v) &&
+              r.u32(m.fate.lag) && r.u8(flags) && r.skip(3) &&
+              r.done()))
+            return false;
+        m.fate.delivered = (flags & 1u) != 0;
+        m.update_u = (flags & 2u) != 0;
+        m.update_v = (flags & 4u) != 0;
+        return true;
+    }
+    case FrameType::RoundDone: {
+        RoundDoneMsg &m = out.round_done;
+        return r.u32(m.shard_id) && r.u64(m.round) &&
+               r.f64(m.local_max_dp) && r.done();
+    }
+    case FrameType::RoundGo: {
+        RoundGoMsg &m = out.round_go;
+        return r.u64(m.round) && r.f64(m.global_max_dp) &&
+               r.u8(m.stop) && r.done();
+    }
+    case FrameType::Result: {
+        ResultMsg &m = out.result;
+        std::uint32_t count = 0;
+        if (!(r.u32(m.shard_id) && r.u64(m.bytes_sent) &&
+              r.u64(m.frames_sent) && r.u64(m.retransmits) &&
+              r.u32(count)))
+            return false;
+        // 20 bytes per entry; the length prefix already bounds the
+        // payload, this just rejects inconsistent counts early.
+        if (std::size_t{count} * 20 > len)
+            return false;
+        m.node_ids.resize(count);
+        m.power.resize(count);
+        m.estimate.resize(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+            if (!(r.u32(m.node_ids[i]) && r.f64(m.power[i]) &&
+                  r.f64(m.estimate[i])))
+                return false;
+        return r.done();
+    }
+    }
+    return false;
+}
+
+bool
+knownType(std::uint16_t t)
+{
+    return t >= static_cast<std::uint16_t>(FrameType::Hello) &&
+           t <= static_cast<std::uint16_t>(FrameType::Result);
+}
+
+} // namespace
+
+void
+encodeFrame(const Frame &frame, std::vector<std::uint8_t> &out)
+{
+    const std::size_t header_at = out.size();
+    putU32(out, kWireMagic);
+    putU16(out, frame.version);
+    putU16(out, static_cast<std::uint16_t>(frame.type));
+    putU32(out, 0); // payload_len backpatched below
+    const std::size_t body_at = out.size();
+    encodeBody(frame, out);
+    const std::uint32_t payload_len =
+        static_cast<std::uint32_t>(out.size() - body_at);
+    for (int i = 0; i < 4; ++i)
+        out[header_at + 8 + i] =
+            static_cast<std::uint8_t>(payload_len >> (8 * i));
+}
+
+void
+encodePairTransfer(const PairTransferMsg &msg,
+                   std::vector<std::uint8_t> &out)
+{
+    Frame f;
+    f.type = FrameType::PairTransfer;
+    f.pair_transfer = msg;
+    encodeFrame(f, out);
+}
+
+DecodeStatus
+decodeFrame(const std::uint8_t *data, std::size_t len, Frame &out,
+            std::size_t &consumed)
+{
+    consumed = 0;
+    if (len < kWireHeaderSize) {
+        // A short buffer is only "valid prefix" if what we do have
+        // matches the header; otherwise fail fast.
+        for (std::size_t i = 0; i < len && i < 4; ++i)
+            if (data[i] !=
+                static_cast<std::uint8_t>(kWireMagic >> (8 * i)))
+                return DecodeStatus::Bad;
+        return DecodeStatus::NeedMore;
+    }
+    Reader h(data, kWireHeaderSize);
+    std::uint32_t magic = 0, payload_len = 0;
+    std::uint16_t version = 0, type = 0;
+    h.u32(magic);
+    h.u16(version);
+    h.u16(type);
+    h.u32(payload_len);
+    if (magic != kWireMagic)
+        return DecodeStatus::Bad;
+    if (version < kWireMinVersion)
+        return DecodeStatus::Bad;
+    if (!knownType(type))
+        return DecodeStatus::Bad;
+    if (payload_len > kWireMaxPayload)
+        return DecodeStatus::Bad;
+    if (len < kWireHeaderSize + payload_len)
+        return DecodeStatus::NeedMore;
+    out.version = version;
+    out.type = static_cast<FrameType>(type);
+    if (!decodeBody(out.type, data + kWireHeaderSize, payload_len,
+                    out))
+        return DecodeStatus::Bad;
+    consumed = kWireHeaderSize + payload_len;
+    return DecodeStatus::Ok;
+}
+
+bool
+negotiateVersion(std::uint16_t mine, std::uint16_t theirs,
+                 std::uint16_t &agreed)
+{
+    const std::uint16_t lo = mine < theirs ? mine : theirs;
+    if (lo < kWireMinVersion)
+        return false;
+    agreed = lo;
+    return true;
+}
+
+} // namespace net
+} // namespace dpc

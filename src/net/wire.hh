@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Versioned, little-endian, length-prefixed wire framing for the
+ * sharded DiBA deployment.
+ *
+ * Every message is one frame:
+ *
+ *       0       4       6       8       12
+ *       +-------+-------+-------+------------------+
+ *       | magic | ver   | type  | payload_len      |  12-byte header
+ *       | u32   | u16   | u16   | u32              |
+ *       +-------+-------+-------+------------------+
+ *       | payload (payload_len bytes)              |
+ *       +------------------------------------------+
+ *
+ * All integers are little-endian; f64 payload fields travel as
+ * their raw IEEE-754 bit patterns (bit_cast through u64), so an
+ * encode/decode round trip is *exact* for every double including
+ * signed zeros, subnormals and NaN payloads -- the property the
+ * bitwise shard-parity gate rests on.  The header carries the
+ * protocol version on every frame; peers negotiate min(mine,
+ * theirs) at Hello/Welcome time and refuse to talk below
+ * kWireMinVersion.
+ *
+ * Frame types (PairTransfer is the hot one -- one per cut-edge
+ * half per round; the rest are broker control traffic):
+ *
+ *   Hello        shard -> broker   shard id + listening ports
+ *   Welcome      broker -> shard   agreed version + peer table
+ *   PairTransfer shard <-> shard   one paired estimate transfer
+ *   RoundDone    shard -> broker   local max |dp| of a round
+ *   RoundGo      broker -> shard   barrier release + global max
+ *   Result       shard -> broker   final owned caps/estimates
+ *
+ * decodeFrame() is incremental (NeedMore on a short buffer) so the
+ * same codec serves UDP datagrams (one frame per datagram) and TCP
+ * byte streams (reassembly loop).
+ */
+
+#ifndef DPC_NET_WIRE_HH
+#define DPC_NET_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/transport.hh"
+
+namespace dpc {
+namespace net {
+
+/** Frame magic: "DPCW" read as a little-endian u32. */
+inline constexpr std::uint32_t kWireMagic = 0x57435044u;
+
+/** Protocol version this build speaks. */
+inline constexpr std::uint16_t kWireVersion = 1;
+
+/** Oldest version this build still accepts. */
+inline constexpr std::uint16_t kWireMinVersion = 1;
+
+/** Fixed header size in bytes. */
+inline constexpr std::size_t kWireHeaderSize = 12;
+
+/** Wire frame types. */
+enum class FrameType : std::uint16_t
+{
+    Hello = 1,
+    Welcome = 2,
+    PairTransfer = 3,
+    RoundDone = 4,
+    RoundGo = 5,
+    Result = 6,
+};
+
+/**
+ * One paired estimate transfer on the wire: the EdgePair plus its
+ * decided fate and the update flags telling the receiver which
+ * halves are authoritative.  seq sequences retransmissions per
+ * edge (the sender stamps its round counter), letting a UDP
+ * receiver dedup replays.
+ *
+ * Payload layout (48 bytes, little-endian):
+ *   u32 edge_id | u32 u | u32 v | u64 round | u64 e_u_bits |
+ *   u64 e_v_bits | u32 lag | u8 flags | 3 pad bytes
+ * flags: bit0 delivered, bit1 update_u, bit2 update_v.
+ */
+struct PairTransferMsg
+{
+    EdgePair pair;
+    EdgeFate fate;
+    bool update_u = false;
+    bool update_v = false;
+};
+
+/** Hello payload: shard announces itself to the broker. */
+struct HelloMsg
+{
+    std::uint32_t shard_id = 0;
+    std::uint16_t version = kWireVersion;
+    std::uint16_t udp_port = 0;
+    std::uint16_t tcp_port = 0;
+};
+
+/** Welcome payload: agreed version + per-shard peer ports. */
+struct WelcomeMsg
+{
+    std::uint16_t agreed_version = kWireVersion;
+    std::uint32_t num_shards = 0;
+    std::uint64_t rounds = 0;
+    /** udp_ports[s], tcp_ports[s] for every shard s. */
+    std::vector<std::uint16_t> udp_ports;
+    std::vector<std::uint16_t> tcp_ports;
+};
+
+/** RoundDone payload: one shard finished round `round`. */
+struct RoundDoneMsg
+{
+    std::uint32_t shard_id = 0;
+    std::uint64_t round = 0;
+    double local_max_dp = 0.0;
+};
+
+/** RoundGo payload: all shards finished `round`; proceed. */
+struct RoundGoMsg
+{
+    std::uint64_t round = 0;
+    double global_max_dp = 0.0;
+    /** Nonzero: stop after this round (converged / budget). */
+    std::uint8_t stop = 0;
+};
+
+/** Result payload: a shard's final owned state. */
+struct ResultMsg
+{
+    std::uint32_t shard_id = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t retransmits = 0;
+    /** Parallel arrays over the shard's owned ORIGINAL ids. */
+    std::vector<std::uint32_t> node_ids;
+    std::vector<double> power;
+    std::vector<double> estimate;
+};
+
+/** A decoded frame: type tag + the one active message. */
+struct Frame
+{
+    FrameType type = FrameType::PairTransfer;
+    std::uint16_t version = kWireVersion;
+    PairTransferMsg pair_transfer;
+    HelloMsg hello;
+    WelcomeMsg welcome;
+    RoundDoneMsg round_done;
+    RoundGoMsg round_go;
+    ResultMsg result;
+};
+
+/** Incremental decode outcome. */
+enum class DecodeStatus
+{
+    Ok,       ///< one frame decoded; `consumed` bytes eaten
+    NeedMore, ///< buffer holds a valid prefix; feed more bytes
+    Bad,      ///< bad magic / version / length / payload; resync
+};
+
+/** Append one encoded frame to `out` (never fails). */
+void encodeFrame(const Frame &frame, std::vector<std::uint8_t> &out);
+
+/** Convenience encoders for the common frame bodies. */
+void encodePairTransfer(const PairTransferMsg &msg,
+                        std::vector<std::uint8_t> &out);
+
+/**
+ * Try to decode one frame from data[0..len).  Ok: `out` is filled
+ * and `consumed` is the total frame size.  NeedMore: len is a
+ * proper prefix of a valid frame (consumed = 0).  Bad: the bytes
+ * cannot begin a frame this build accepts -- wrong magic, version
+ * below kWireMinVersion, oversized or short payload, unknown type
+ * (consumed = 0; a stream transport should drop the connection, a
+ * datagram transport drops the datagram).
+ */
+DecodeStatus decodeFrame(const std::uint8_t *data, std::size_t len,
+                         Frame &out, std::size_t &consumed);
+
+/**
+ * Version negotiation: agree on min(mine, theirs); false when the
+ * older side is below the newer side's kWireMinVersion floor.
+ */
+bool negotiateVersion(std::uint16_t mine, std::uint16_t theirs,
+                      std::uint16_t &agreed);
+
+/** Hard cap on payload_len (a decode guard against garbage
+ * headers; generous for Result frames of large shards). */
+inline constexpr std::uint32_t kWireMaxPayload = 1u << 28;
+
+} // namespace net
+} // namespace dpc
+
+#endif // DPC_NET_WIRE_HH

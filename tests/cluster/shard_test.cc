@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cluster/shard.hh"
+#include "graph/topologies.hh"
+#include "net/transport.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+using cluster::ShardRunOptions;
+using cluster::makeShardPlan;
+using cluster::runShardedDiba;
+
+void
+expectBitwiseEqual(const std::vector<double> &a,
+                   const std::vector<double> &b, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i], b[i]) << what << " index " << i;
+        EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+            << what << " bit pattern differs at index " << i;
+    }
+}
+
+/** Single-process reference trajectory: the identical rounds over
+ * the identity loopback (pinned bitwise to plain iterate()). */
+DibaAllocator
+referenceRun(const AllocationProblem &prob, const Graph &topo,
+             const DibaAllocator::Config &cfg, std::size_t rounds)
+{
+    DibaAllocator alloc(topo, cfg);
+    alloc.reset(prob);
+    net::LoopbackTransport loopback;
+    for (std::size_t r = 0; r < rounds; ++r)
+        alloc.stepWithTransport(loopback);
+    return alloc;
+}
+
+TEST(ShardPlanTest, BlocksPartitionAndCutsAreCounted)
+{
+    Rng topo_rng(5);
+    const auto topo = makeChordalRing(64, 8, topo_rng);
+    DibaAllocator alloc(topo, DibaAllocator::Config{});
+
+    const auto plan = makeShardPlan(alloc, 4);
+    ASSERT_EQ(plan.num_shards, 4u);
+    ASSERT_EQ(plan.block_begin.size(), 4u);
+    ASSERT_EQ(plan.block_end.size(), 4u);
+    EXPECT_EQ(plan.block_begin[0], 0u);
+    EXPECT_EQ(plan.block_end[3], 64u);
+    for (std::size_t s = 1; s < 4; ++s)
+        EXPECT_EQ(plan.block_begin[s], plan.block_end[s - 1]);
+    ASSERT_EQ(plan.owner_of.size(), 64u);
+    // Every node owned by exactly one shard; block sizes add up.
+    std::vector<std::size_t> owned(4, 0);
+    for (const auto s : plan.owner_of) {
+        ASSERT_LT(s, 4u);
+        ++owned[s];
+    }
+    for (std::size_t s = 0; s < 4; ++s)
+        EXPECT_EQ(owned[s], plan.block_end[s] - plan.block_begin[s]);
+    // A connected overlay split 4 ways must cut something, but the
+    // locality layout keeps it well below all of it.
+    EXPECT_GT(plan.cut_edges, 0u);
+    EXPECT_LT(plan.cut_edges, plan.total_edges);
+    EXPECT_GT(plan.cutFraction(), 0.0);
+
+    // Deterministic: a second allocator from the same inputs plans
+    // identically (parent and forked children rely on this).
+    DibaAllocator twin(topo, DibaAllocator::Config{});
+    const auto replay = makeShardPlan(twin, 4);
+    EXPECT_EQ(replay.owner_of, plan.owner_of);
+    EXPECT_EQ(replay.cut_edges, plan.cut_edges);
+}
+
+TEST(ShardProcessTest, TwoShardUdpMatchesSingleProcessBitwise)
+{
+    const std::size_t n = 64, rounds = 40;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    const DibaAllocator::Config cfg{};
+
+    ShardRunOptions opt;
+    opt.num_shards = 2;
+    opt.rounds = rounds;
+    opt.proto = net::SocketTransport::Proto::Udp;
+    const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+    EXPECT_EQ(sharded.rounds_run, rounds);
+    EXPECT_GT(sharded.wire_frames, 0u);
+    EXPECT_GT(sharded.wire_bytes, 0u);
+
+    const auto ref = referenceRun(prob, topo, cfg, rounds);
+    expectBitwiseEqual(ref.power(), sharded.power, "power");
+    expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                       "estimate");
+}
+
+TEST(ShardProcessTest, FourShardTcpMatchesSingleProcessBitwise)
+{
+    const std::size_t n = 48, rounds = 25;
+    const auto prob = test::npbProblem(n, 170.0, 7);
+    Rng topo_rng(3);
+    const auto topo = makeChordalRing(n, 6, topo_rng);
+    const DibaAllocator::Config cfg{};
+
+    ShardRunOptions opt;
+    opt.num_shards = 4;
+    opt.rounds = rounds;
+    opt.proto = net::SocketTransport::Proto::Tcp;
+    const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+    EXPECT_EQ(sharded.rounds_run, rounds);
+    // TCP is reliable: a clean loopback run never retransmits.
+    EXPECT_EQ(sharded.retransmits, 0u);
+
+    const auto ref = referenceRun(prob, topo, cfg, rounds);
+    expectBitwiseEqual(ref.power(), sharded.power, "power");
+    expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                       "estimate");
+}
+
+TEST(ShardProcessTest, LossyShardsMatchLossyLoopbackBitwise)
+{
+    // Fault-model parity: every shard decorates its socket
+    // transport with a SAME-SEED LossyTransport, so the replicas
+    // agree on every fate with zero coordination -- and the whole
+    // sharded run stays bitwise equal to the single-process lossy
+    // loopback with that seed.
+    const std::size_t n = 48, rounds = 30;
+    const auto prob = test::npbProblem(n, 170.0, 11);
+    Rng topo_rng(4);
+    const auto topo = makeChordalRing(n, 6, topo_rng);
+    const DibaAllocator::Config cfg{};
+
+    LossyChannel::Config loss;
+    loss.drop_rate = 0.15;
+    loss.delay_rate = 0.1;
+    loss.max_lag = 2;
+
+    ShardRunOptions opt;
+    opt.num_shards = 2;
+    opt.rounds = rounds;
+    opt.lossy = true;
+    opt.loss = loss;
+    opt.loss_seed = 99;
+    const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+
+    DibaAllocator ref(topo, cfg);
+    ref.reset(prob);
+    net::LoopbackTransport loopback;
+    fault::LossyTransport lossy(loopback, loss, 99);
+    for (std::size_t r = 0; r < rounds; ++r)
+        ref.stepWithTransport(lossy);
+
+    expectBitwiseEqual(ref.power(), sharded.power, "power");
+    expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                       "estimate");
+}
+
+} // namespace
+} // namespace dpc

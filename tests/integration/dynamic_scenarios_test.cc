@@ -20,17 +20,19 @@ TEST(DynamicScenariosTest, BudgetStaircaseTracked)
     const std::size_t n = 64;
     Rng rng(61);
     auto assignment = drawNpbAssignment(n, rng);
-    ClusterSimConfig cfg;
-    ClusterSim sim(std::move(assignment), makeRing(n),
-                   static_cast<double>(n) * 180.0,
-                   DibaAllocator::Config(), cfg);
     const std::vector<double> levels{180.0, 170.0, 185.0, 165.0};
-    sim.setBudgetSchedule([&](double t) {
-        const auto k =
-            std::min<std::size_t>(static_cast<std::size_t>(t / 20.0),
-                                  levels.size() - 1);
-        return static_cast<double>(n) * levels[k];
-    });
+    ClusterSim sim(
+        std::move(assignment), makeRing(n),
+        static_cast<double>(n) * 180.0, DibaAllocator::Config(),
+        ClusterSim::Options{
+            .budget_schedule =
+                [&](double t) {
+                    const auto k = std::min<std::size_t>(
+                        static_cast<std::size_t>(t / 20.0),
+                        levels.size() - 1);
+                    return static_cast<double>(n) * levels[k];
+                },
+        });
     const auto samples = sim.run(80.0);
     for (const auto &s : samples) {
         EXPECT_LT(s.allocated_power, s.budget);

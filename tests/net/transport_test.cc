@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "alloc/diba.hh"
+#include "fault/lossy_channel.hh"
+#include "graph/topologies.hh"
+#include "net/transport.hh"
+#include "tests/alloc/test_problems.hh"
+
+namespace dpc {
+namespace {
+
+void
+expectBitwiseEqual(const std::vector<double> &a,
+                   const std::vector<double> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i], b[i]) << "index " << i;
+        EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+            << "bit pattern differs at index " << i;
+    }
+}
+
+TEST(LoopbackTransportTest, DrainsOfferedPairsFifo)
+{
+    net::LoopbackTransport t;
+    t.beginRound(0, 8);
+    for (std::uint32_t e = 0; e < 5; ++e) {
+        net::EdgePair pair{e, e, e + 1, /*round=*/0,
+                           /*e_u=*/-1.0 * e, /*e_v=*/1.0 * e};
+        t.send(pair);
+    }
+    net::Delivery d;
+    for (std::uint32_t e = 0; e < 5; ++e) {
+        ASSERT_TRUE(t.poll(d));
+        EXPECT_EQ(d.pair.edge_id, e);
+        // Identity transport: fresh delivery, no remote halves.
+        EXPECT_TRUE(d.fate.delivered);
+        EXPECT_EQ(d.fate.lag, 0u);
+        EXPECT_FALSE(d.update_u);
+        EXPECT_FALSE(d.update_v);
+    }
+    EXPECT_FALSE(t.poll(d));
+    // beginRound resets the queue.
+    t.beginRound(1, 8);
+    EXPECT_FALSE(t.poll(d));
+}
+
+TEST(LoopbackTransportTest, ChannelFatesSurfaceUnchanged)
+{
+    LossyChannel::Config cfg;
+    cfg.drop_rate = 0.4;
+    cfg.delay_rate = 0.3;
+    cfg.max_lag = 2;
+
+    // Fates drawn through the adapter equal fates drawn from a
+    // twin channel directly: send() preserves the historical query
+    // order and arguments exactly.
+    LossyChannel via_adapter(cfg, 17), direct(cfg, 17);
+    net::LoopbackTransport t(via_adapter);
+    for (std::uint64_t r = 0; r < 20; ++r) {
+        t.beginRound(r, 30);
+        direct.beginRound(30);
+        for (std::uint32_t e = 0; e < 30; ++e)
+            t.send(net::EdgePair{e, e, e + 1, r, 0.0, 0.0});
+        net::Delivery d;
+        for (std::uint32_t e = 0; e < 30; ++e) {
+            ASSERT_TRUE(t.poll(d));
+            const EdgeFate ref = direct.fate(e, e, e + 1);
+            EXPECT_EQ(d.fate.delivered, ref.delivered);
+            EXPECT_EQ(d.fate.lag, ref.lag);
+        }
+        EXPECT_FALSE(t.poll(d));
+    }
+    EXPECT_EQ(t.maxLag(), 2u);
+}
+
+TEST(TransportRoundTest, IdentityLoopbackMatchesPlainIterate)
+{
+    // iterateWithTransport over the identity loopback is the same
+    // round as iterate(), bit for bit -- the pin the whole
+    // Transport promotion rests on.
+    const auto prob = test::npbProblem(64, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(64, 8, topo_rng);
+
+    DibaAllocator plain(topo, DibaAllocator::Config{});
+    DibaAllocator routed(topo, DibaAllocator::Config{});
+    plain.reset(prob);
+    routed.reset(prob);
+
+    net::LoopbackTransport loopback;
+    for (int r = 0; r < 40; ++r) {
+        const double a = plain.iterate();
+        const double b = routed.iterateWithTransport(loopback);
+        EXPECT_DOUBLE_EQ(a, b) << "round " << r;
+    }
+    expectBitwiseEqual(plain.power(), routed.power());
+    expectBitwiseEqual(plain.estimates(), routed.estimates());
+}
+
+TEST(TransportRoundTest, LossyDecoratorMatchesChannelPath)
+{
+    // LossyTransport over LoopbackTransport with seed s ==
+    // stepWithChannel(LossyChannel(cfg, s)): the decorator draws
+    // fates in the identical canonical order, so the trajectories
+    // coincide bitwise.
+    LossyChannel::Config loss;
+    loss.drop_rate = 0.2;
+    loss.burst_enter = 0.05;
+    loss.delay_rate = 0.15;
+    loss.max_lag = 3;
+
+    const auto prob = test::npbProblem(48, 170.0, 7);
+    Rng topo_rng(3);
+    const auto topo = makeChordalRing(48, 6, topo_rng);
+
+    DibaAllocator via_chan(topo, DibaAllocator::Config{});
+    DibaAllocator via_transport(topo, DibaAllocator::Config{});
+    via_chan.reset(prob);
+    via_transport.reset(prob);
+
+    LossyChannel chan(loss, 1234);
+    net::LoopbackTransport loopback;
+    fault::LossyTransport lossy(loopback, loss, 1234);
+
+    for (int r = 0; r < 60; ++r) {
+        const double a = via_chan.stepWithChannel(chan);
+        const double b = via_transport.stepWithTransport(lossy);
+        EXPECT_DOUBLE_EQ(a, b) << "round " << r;
+        EXPECT_EQ(via_chan.converged(), via_transport.converged())
+            << "round " << r;
+    }
+    expectBitwiseEqual(via_chan.power(), via_transport.power());
+    expectBitwiseEqual(via_chan.estimates(),
+                       via_transport.estimates());
+    // Identical draw sequences: the decorator's embedded channel
+    // saw exactly the fates the reference channel dealt.
+    EXPECT_EQ(lossy.channel().stats().offered,
+              chan.stats().offered);
+    EXPECT_EQ(lossy.channel().stats().dropped,
+              chan.stats().dropped);
+    EXPECT_EQ(lossy.channel().stats().stale, chan.stats().stale);
+}
+
+TEST(TransportRoundTest, TransportRoundSurvivesNodeChurn)
+{
+    // Dead endpoints/edges are skipped before send(), so the
+    // channel inside the decorator consumes no draws for them and
+    // the trajectory matches the channel-routed path under churn.
+    LossyChannel::Config loss;
+    loss.drop_rate = 0.1;
+
+    const auto prob = test::npbProblem(32, 170.0, 11);
+    Rng topo_rng(4);
+    const auto topo = makeChordalRing(32, 6, topo_rng);
+
+    DibaAllocator via_chan(topo, DibaAllocator::Config{});
+    DibaAllocator via_transport(topo, DibaAllocator::Config{});
+    via_chan.reset(prob);
+    via_transport.reset(prob);
+
+    LossyChannel chan(loss, 77);
+    net::LoopbackTransport loopback;
+    fault::LossyTransport lossy(loopback, loss, 77);
+
+    for (int r = 0; r < 50; ++r) {
+        if (r == 10) {
+            via_chan.failNode(5);
+            via_transport.failNode(5);
+        }
+        if (r == 30) {
+            via_chan.joinNode(5);
+            via_transport.joinNode(5);
+        }
+        const double a = via_chan.stepWithChannel(chan);
+        const double b = via_transport.stepWithTransport(lossy);
+        EXPECT_DOUBLE_EQ(a, b) << "round " << r;
+    }
+    expectBitwiseEqual(via_chan.power(), via_transport.power());
+    EXPECT_EQ(lossy.channel().stats().offered,
+              chan.stats().offered);
+}
+
+} // namespace
+} // namespace dpc

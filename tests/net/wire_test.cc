@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "net/wire.hh"
+
+namespace dpc {
+namespace net {
+namespace {
+
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ab, bb;
+    std::memcpy(&ab, &a, sizeof(ab));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ab == bb;
+}
+
+Frame
+roundTrip(const Frame &in)
+{
+    std::vector<std::uint8_t> buf;
+    encodeFrame(in, buf);
+    Frame out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Ok);
+    EXPECT_EQ(consumed, buf.size());
+    return out;
+}
+
+TEST(WireCodecTest, PairTransferRoundTripsAllFates)
+{
+    // Exhaustive over the fate space the transports produce:
+    // delivered x lag 0..maxLag x every update-flag combination.
+    constexpr std::uint32_t kMaxLag = 7;
+    for (int delivered = 0; delivered <= 1; ++delivered) {
+        for (std::uint32_t lag = 0; lag <= kMaxLag; ++lag) {
+            for (int flags = 0; flags < 4; ++flags) {
+                Frame in;
+                in.type = FrameType::PairTransfer;
+                in.pair_transfer.pair = EdgePair{
+                    /*edge_id=*/lag * 131u + 7u,
+                    /*u=*/3u,
+                    /*v=*/11u,
+                    /*round=*/0x0123456789abcdefULL,
+                    /*e_u=*/1.25 * lag - 0.5,
+                    /*e_v=*/-(1.25 * lag - 0.5),
+                };
+                in.pair_transfer.fate.delivered = delivered != 0;
+                in.pair_transfer.fate.lag = lag;
+                in.pair_transfer.update_u = (flags & 1) != 0;
+                in.pair_transfer.update_v = (flags & 2) != 0;
+
+                const Frame out = roundTrip(in);
+                ASSERT_EQ(out.type, FrameType::PairTransfer);
+                const auto &p = out.pair_transfer;
+                EXPECT_EQ(p.pair.edge_id,
+                          in.pair_transfer.pair.edge_id);
+                EXPECT_EQ(p.pair.u, 3u);
+                EXPECT_EQ(p.pair.v, 11u);
+                EXPECT_EQ(p.pair.round, 0x0123456789abcdefULL);
+                EXPECT_TRUE(sameBits(p.pair.e_u,
+                                     in.pair_transfer.pair.e_u));
+                EXPECT_TRUE(sameBits(p.pair.e_v,
+                                     in.pair_transfer.pair.e_v));
+                EXPECT_EQ(p.fate.delivered, delivered != 0);
+                EXPECT_EQ(p.fate.lag, lag);
+                EXPECT_EQ(p.update_u, (flags & 1) != 0);
+                EXPECT_EQ(p.update_v, (flags & 2) != 0);
+            }
+        }
+    }
+}
+
+TEST(WireCodecTest, DoublesTravelAsExactBitPatterns)
+{
+    const double cases[] = {
+        0.0,
+        -0.0,
+        1.0 / 3.0,
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::denorm_min(),
+        -std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        std::nextafter(170.0, 0.0),
+    };
+    for (const double x : cases) {
+        Frame in;
+        in.type = FrameType::PairTransfer;
+        in.pair_transfer.pair.e_u = x;
+        in.pair_transfer.pair.e_v = -x;
+        const Frame out = roundTrip(in);
+        EXPECT_TRUE(sameBits(out.pair_transfer.pair.e_u, x));
+        EXPECT_TRUE(sameBits(out.pair_transfer.pair.e_v, -x));
+    }
+}
+
+TEST(WireCodecTest, ControlFramesRoundTrip)
+{
+    {
+        Frame in;
+        in.type = FrameType::Hello;
+        in.hello = HelloMsg{/*shard_id=*/3, /*version=*/kWireVersion,
+                            /*udp_port=*/40123, /*tcp_port=*/40124};
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::Hello);
+        EXPECT_EQ(out.hello.shard_id, 3u);
+        EXPECT_EQ(out.hello.udp_port, 40123);
+        EXPECT_EQ(out.hello.tcp_port, 40124);
+    }
+    {
+        Frame in;
+        in.type = FrameType::Welcome;
+        in.welcome.agreed_version = kWireVersion;
+        in.welcome.num_shards = 4;
+        in.welcome.rounds = 60;
+        in.welcome.udp_ports = {1000, 1001, 1002, 1003};
+        in.welcome.tcp_ports = {2000, 2001, 2002, 2003};
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::Welcome);
+        EXPECT_EQ(out.welcome.num_shards, 4u);
+        EXPECT_EQ(out.welcome.rounds, 60u);
+        EXPECT_EQ(out.welcome.udp_ports, in.welcome.udp_ports);
+        EXPECT_EQ(out.welcome.tcp_ports, in.welcome.tcp_ports);
+    }
+    {
+        Frame in;
+        in.type = FrameType::RoundDone;
+        in.round_done =
+            RoundDoneMsg{/*shard_id=*/1, /*round=*/42,
+                         /*local_max_dp=*/0.001953125};
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::RoundDone);
+        EXPECT_EQ(out.round_done.round, 42u);
+        EXPECT_TRUE(
+            sameBits(out.round_done.local_max_dp, 0.001953125));
+    }
+    {
+        Frame in;
+        in.type = FrameType::RoundGo;
+        in.round_go = RoundGoMsg{/*round=*/42,
+                                 /*global_max_dp=*/0.5,
+                                 /*stop=*/1};
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::RoundGo);
+        EXPECT_EQ(out.round_go.stop, 1);
+        EXPECT_TRUE(sameBits(out.round_go.global_max_dp, 0.5));
+    }
+    {
+        Frame in;
+        in.type = FrameType::Result;
+        in.result.shard_id = 2;
+        in.result.bytes_sent = 1 << 20;
+        in.result.frames_sent = 999;
+        in.result.retransmits = 3;
+        in.result.node_ids = {5, 9, 13};
+        in.result.power = {160.0, 170.5, -0.0};
+        in.result.estimate = {1e-12, -1e-12, 0.0};
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::Result);
+        EXPECT_EQ(out.result.node_ids, in.result.node_ids);
+        ASSERT_EQ(out.result.power.size(), 3u);
+        for (std::size_t i = 0; i < 3; ++i) {
+            EXPECT_TRUE(
+                sameBits(out.result.power[i], in.result.power[i]));
+            EXPECT_TRUE(sameBits(out.result.estimate[i],
+                                 in.result.estimate[i]));
+        }
+    }
+}
+
+TEST(WireCodecTest, TruncatedFramesAskForMore)
+{
+    Frame in;
+    in.type = FrameType::PairTransfer;
+    in.pair_transfer.pair = EdgePair{1, 2, 3, 4, 5.0, -5.0};
+    std::vector<std::uint8_t> buf;
+    encodeFrame(in, buf);
+
+    // Every proper prefix must report NeedMore, never Ok or Bad:
+    // a TCP reassembly loop depends on it.
+    Frame out;
+    std::size_t consumed = 0;
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+        EXPECT_EQ(decodeFrame(buf.data(), len, out, consumed),
+                  DecodeStatus::NeedMore)
+            << "prefix length " << len;
+        EXPECT_EQ(consumed, 0u);
+    }
+}
+
+TEST(WireCodecTest, GarbageIsRejectedNotBuffered)
+{
+    Frame out;
+    std::size_t consumed = 0;
+
+    // Wrong magic: Bad immediately, even on a short buffer (the
+    // receiver must not wait forever for "more" of a bad frame).
+    std::uint8_t junk[16] = {0xde, 0xad, 0xbe, 0xef};
+    EXPECT_EQ(decodeFrame(junk, 4, out, consumed),
+              DecodeStatus::Bad);
+    EXPECT_EQ(decodeFrame(junk, sizeof(junk), out, consumed),
+              DecodeStatus::Bad);
+
+    // Valid header, unknown frame type.
+    Frame in;
+    in.type = FrameType::RoundGo;
+    std::vector<std::uint8_t> buf;
+    encodeFrame(in, buf);
+    buf[6] = 0x7f; // type -> 0x7f7f-ish garbage
+    buf[7] = 0x7f;
+    EXPECT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Bad);
+
+    // Valid header, payload length absurd.
+    buf.clear();
+    encodeFrame(in, buf);
+    buf[8] = 0xff;
+    buf[9] = 0xff;
+    buf[10] = 0xff;
+    buf[11] = 0xff;
+    EXPECT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Bad);
+
+    // Payload shorter than the body decoder needs.
+    buf.clear();
+    encodeFrame(in, buf);
+    buf[8] = 1; // payload_len = 1, RoundGo needs 17
+    buf.resize(kWireHeaderSize + 1);
+    EXPECT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Bad);
+
+    // Trailing payload bytes the body decoder did not consume.
+    buf.clear();
+    encodeFrame(in, buf);
+    buf.push_back(0x00);
+    buf[8] = static_cast<std::uint8_t>(buf.size() - kWireHeaderSize);
+    EXPECT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Bad);
+}
+
+TEST(WireCodecTest, VersionNegotiation)
+{
+    std::uint16_t agreed = 0;
+
+    // Same version: trivially agreed.
+    EXPECT_TRUE(
+        negotiateVersion(kWireVersion, kWireVersion, agreed));
+    EXPECT_EQ(agreed, kWireVersion);
+
+    // A newer peer: we talk at our version (min of the two).
+    EXPECT_TRUE(negotiateVersion(kWireVersion, kWireVersion + 5,
+                                 agreed));
+    EXPECT_EQ(agreed, kWireVersion);
+
+    // A peer below our floor: refused.
+    if (kWireMinVersion > 0) {
+        EXPECT_FALSE(negotiateVersion(
+            kWireVersion,
+            static_cast<std::uint16_t>(kWireMinVersion - 1),
+            agreed));
+    }
+
+    // Frames stamped with a version below the floor are Bad at
+    // decode time too.
+    Frame in;
+    in.type = FrameType::RoundGo;
+    std::vector<std::uint8_t> buf;
+    encodeFrame(in, buf);
+    buf[4] = static_cast<std::uint8_t>(kWireMinVersion - 1);
+    buf[5] = 0;
+    Frame out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Bad);
+}
+
+TEST(WireCodecTest, BackToBackFramesDecodeInSequence)
+{
+    // Two frames appended to one buffer (the TCP case): decode
+    // must consume exactly one frame at a time.
+    Frame a, b;
+    a.type = FrameType::RoundDone;
+    a.round_done.round = 7;
+    b.type = FrameType::RoundGo;
+    b.round_go.round = 7;
+    std::vector<std::uint8_t> buf;
+    encodeFrame(a, buf);
+    const std::size_t first = buf.size();
+    encodeFrame(b, buf);
+
+    Frame out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Ok);
+    EXPECT_EQ(consumed, first);
+    EXPECT_EQ(out.type, FrameType::RoundDone);
+    ASSERT_EQ(decodeFrame(buf.data() + consumed,
+                          buf.size() - consumed, out, consumed),
+              DecodeStatus::Ok);
+    EXPECT_EQ(out.type, FrameType::RoundGo);
+    EXPECT_EQ(consumed, buf.size() - first);
+}
+
+} // namespace
+} // namespace net
+} // namespace dpc

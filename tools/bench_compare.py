@@ -31,6 +31,16 @@ matched by identity and their metrics compared:
                               bar (the metric is a ratio of two
                               round counts and jitters at the
                               bottom; the bar is what matters)
+  rounds_per_sec              higher is better; FAIL when current
+                              falls below baseline by more than
+                              the perf threshold (a rate is an
+                              inverted timing and drifts like one)
+  bytes_per_round             lower is better; FAIL on any growth
+                              past 0.1% -- cut-edge wire traffic
+                              is deterministic in topology + shard
+                              plan, so real growth means the
+                              frames got fatter or the layout cut
+                              got worse, never host noise
 
 A baseline record with no current match is a FAIL (a benchmark
 disappeared); new current records pass (coverage grew).  Exit code
@@ -68,12 +78,19 @@ OTHER_METRICS = (
     "nodes_failed",
     "nodes_rejoined",
     "false_positives",
+    "rounds_per_sec",
+    "bytes_per_round",
+    "frames_per_round",
+    "cut_edges",
+    "cut_frac",
+    "retransmits",
 )
 METRICS = set(PERF_METRICS) | set(OTHER_METRICS)
 
 WARM_FRAC_BAR = 0.25
 UTIL_FRAC_SLACK = 0.01
 LOCALITY_SLACK = 0.02
+WIRE_BYTES_SLACK = 0.001
 
 
 def identity(record):
@@ -157,6 +174,26 @@ def main():
                 failures.append(
                     f"LOCALITY {describe(key)}: locality "
                     f"{b:.4f} -> {c:.4f}"
+                )
+        if "rounds_per_sec" in brec and "rounds_per_sec" in crec:
+            b = float(brec["rounds_per_sec"])
+            c = float(crec["rounds_per_sec"])
+            compared += 1
+            if b > 0.0 and c < b * (1.0 - args.threshold):
+                failures.append(
+                    f"RATE     {describe(key)}: rounds_per_sec "
+                    f"{b:.4g} -> {c:.4g} "
+                    f"(-{100.0 * (1.0 - c / b):.1f}%)"
+                )
+        if "bytes_per_round" in brec and "bytes_per_round" in crec:
+            b = float(brec["bytes_per_round"])
+            c = float(crec["bytes_per_round"])
+            compared += 1
+            if c > b * (1.0 + WIRE_BYTES_SLACK):
+                failures.append(
+                    f"WIRE     {describe(key)}: bytes_per_round "
+                    f"{b:.4g} -> {c:.4g} "
+                    f"(+{100.0 * (c / b - 1.0):.1f}%)"
                 )
         if "warm_frac" in crec:
             c = float(crec["warm_frac"])

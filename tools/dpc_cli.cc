@@ -16,6 +16,13 @@
  *
  *   dpc topology  --nodes N [--budget W/node] [--seed X]
  *       Convergence/communication sweep across overlay topologies.
+ *
+ *   dpc shard     --nodes N --shards S [--rounds R] [--proto P]
+ *                 [--budget W/node] [--seed X]
+ *       Fork S real shard processes that split the overlay and run
+ *       DiBA over 127.0.0.1 sockets (proto: udp or tcp), then
+ *       verify the reassembled caps bitwise against an in-process
+ *       run -- the multi-host deployment path in miniature.
  */
 
 #include <cstring>
@@ -29,10 +36,12 @@
 #include "alloc/kkt.hh"
 #include "alloc/primal_dual.hh"
 #include "alloc/uniform.hh"
+#include "cluster/shard.hh"
 #include "cluster/sim.hh"
 #include "graph/topologies.hh"
 #include "metrics/performance.hh"
 #include "net/comm_model.hh"
+#include "net/transport.hh"
 #include "util/table.hh"
 #include "workload/generator.hh"
 
@@ -182,15 +191,16 @@ cmdSimulate(const Args &args)
     cfg.mean_job_s = churn;
     cfg.seed = seed;
     const double nominal = wpn * static_cast<double>(n);
-    ClusterSim sim(std::move(assignment), makeRing(n), nominal,
-                   DibaAllocator::Config(), cfg);
+    ClusterSim::Options opts{.sim = cfg};
     if (drop > 0.0) {
-        sim.setBudgetSchedule([=](double t) {
+        opts.budget_schedule = [=](double t) {
             const bool mid = t >= duration / 3.0 &&
                              t < 2.0 * duration / 3.0;
             return mid ? drop * nominal : nominal;
-        });
+        };
     }
+    ClusterSim sim(std::move(assignment), makeRing(n), nominal,
+                   DibaAllocator::Config(), std::move(opts));
 
     const auto samples = sim.run(duration);
     Table table({"t_s", "budget_kW", "alloc_kW", "consumed_kW",
@@ -266,6 +276,81 @@ cmdTopology(const Args &args)
     return 0;
 }
 
+int
+cmdShard(const Args &args)
+{
+    const auto n = static_cast<std::size_t>(args.num("nodes", 64));
+    const double wpn = args.num("budget", 172.0);
+    const auto shards =
+        static_cast<std::uint32_t>(args.num("shards", 2));
+    const auto rounds =
+        static_cast<std::size_t>(args.num("rounds", 40));
+    const auto seed =
+        static_cast<std::uint64_t>(args.num("seed", 1));
+    const std::string proto = args.str("proto", "udp");
+
+    Rng rng(seed);
+    AllocationProblem prob{utilitiesOf(drawNpbAssignment(n, rng)),
+                           wpn * static_cast<double>(n)};
+    Rng topo_rng(seed ^ 0xbeef);
+    const auto topo = makeChordalRing(n, n / 5, topo_rng);
+    const DibaAllocator::Config cfg{};
+
+    cluster::ShardRunOptions opt;
+    opt.num_shards = shards;
+    opt.rounds = rounds;
+    if (proto == "udp")
+        opt.proto = net::SocketTransport::Proto::Udp;
+    else if (proto == "tcp")
+        opt.proto = net::SocketTransport::Proto::Tcp;
+    else
+        fatal("unknown proto '", proto, "' (udp|tcp)");
+
+    const auto run = cluster::runShardedDiba(prob, topo, cfg, opt);
+
+    Table table({"shard", "nodes_owned", "working_ids"});
+    for (std::uint32_t s = 0; s < shards; ++s) {
+        const auto lo = run.plan.block_begin[s];
+        const auto hi = run.plan.block_end[s];
+        std::string span = "[";
+        span += std::to_string(lo);
+        span += ", ";
+        span += std::to_string(hi);
+        span += ")";
+        table.addRow({Table::num((long long)s),
+                      Table::num((long long)(hi - lo)),
+                      std::move(span)});
+    }
+    table.print(std::cout);
+
+    // The whole point of the exercise: the sharded trajectory IS
+    // the single-process one, bit for bit.
+    DibaAllocator ref(topo, cfg);
+    ref.reset(prob);
+    net::LoopbackTransport loopback;
+    for (std::size_t r = 0; r < rounds; ++r)
+        ref.stepWithTransport(loopback);
+    std::size_t bad = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        bad += std::memcmp(&ref.power()[i], &run.power[i],
+                           sizeof(double)) != 0;
+
+    std::cout << "\n"
+              << shards << " " << proto << " shard processes, "
+              << run.rounds_run << " rounds: cut "
+              << run.plan.cut_edges << "/" << run.plan.total_edges
+              << " overlay edges ("
+              << Table::num(100.0 * run.plan.cutFraction(), 1)
+              << "%), "
+              << Table::num((double)run.wire_bytes /
+                                (double)rounds,
+                            0)
+              << " wire B/round, " << run.retransmits
+              << " retransmits\nbitwise parity vs single process: "
+              << (bad == 0 ? "OK" : "FAIL") << "\n";
+    return bad == 0 ? 0 : 1;
+}
+
 void
 usage()
 {
@@ -276,7 +361,9 @@ usage()
            "ring|chordal|er|complete --seed X\n"
         << "  simulate: --nodes N --budget W/node --duration S "
            "--churn MEAN_S --drop FRAC --seed X\n"
-        << "  topology: --nodes N --budget W/node --seed X\n";
+        << "  topology: --nodes N --budget W/node --seed X\n"
+        << "  shard:    --nodes N --shards S --rounds R "
+           "--proto udp|tcp --budget W/node --seed X\n";
 }
 
 } // namespace
@@ -296,6 +383,8 @@ main(int argc, char **argv)
         return cmdSimulate(args);
     if (cmd == "topology")
         return cmdTopology(args);
+    if (cmd == "shard")
+        return cmdShard(args);
     usage();
     return 1;
 }

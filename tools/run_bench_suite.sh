@@ -26,6 +26,12 @@
 #   BENCH_packet_lanes.json  (table4_2_packet_level: multi-lane
 #                             calendar-queue engine vs lane-by-lane
 #                             standalone DES)
+#   BENCH_wire.json          (wire_shard: forked shard processes
+#                             over 127.0.0.1 sockets -- cut-edge
+#                             bytes/round gated at 0.1% growth,
+#                             rounds_per_sec at the perf threshold,
+#                             bitwise parity enforced by the bench
+#                             itself)
 # micro_round_engine (google-benchmark) also runs for the human log
 # but is not part of the gate -- its numbers duplicate the
 # table4_2 records in a harness with its own timing loop.
@@ -41,7 +47,8 @@ if [ ! -d "$BUILD_DIR" ]; then
 fi
 cmake --build "$BUILD_DIR" -j \
     --target table4_2_scalability fault_storm recovery_storm \
-    gossip_async table4_2_packet_level micro_round_engine
+    gossip_async table4_2_packet_level wire_shard \
+    micro_round_engine
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -61,6 +68,9 @@ echo
 echo "== table4_2_packet_level =="
 (cd "$workdir" && "$BUILD_DIR/bench/table4_2_packet_level")
 echo
+echo "== wire_shard =="
+(cd "$workdir" && "$BUILD_DIR/bench/wire_shard")
+echo
 echo "== micro_round_engine (informational) =="
 "$BUILD_DIR/bench/micro_round_engine" --benchmark_min_time=0.2 ||
     echo "micro_round_engine failed (non-gating)"
@@ -68,7 +78,7 @@ echo "== micro_round_engine (informational) =="
 status=0
 for name in BENCH_diba_rounds.json BENCH_fault_storm.json \
             BENCH_recovery.json BENCH_gossip_async.json \
-            BENCH_packet_lanes.json; do
+            BENCH_packet_lanes.json BENCH_wire.json; do
     if [ -f "$ROOT/$name" ]; then
         echo
         echo "== compare $name =="
