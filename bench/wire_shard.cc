@@ -13,13 +13,26 @@
  * gate that makes the perf numbers trustworthy (a wire protocol
  * that drifts from the reference is wrong before it is slow).
  *
- * Emitted to BENCH_wire.json per row: bytes_per_round and
- * frames_per_round of cut-edge traffic (deterministic in topology
- * + plan: any growth means the frames got fatter or the cut got
- * worse), rounds_per_sec (the timing; gated at the perf
- * threshold), cut_edges / cut_frac (plan quality under the layout
- * permutation) and retransmits (loopback UDP under zero loss
- * should never need one; non-zero is noise worth seeing).
+ * Sharded rounds_per_sec is computed from the SLOWEST shard's
+ * round-loop wall time (reported in its Result frame), not from
+ * the whole runShardedDiba() call: fork + broker handshake +
+ * result collection cost ~tens of ms once per run, which a real
+ * deployment amortizes over its lifetime but which would otherwise
+ * drown the per-round signal at bench round counts.
+ *
+ * Emitted to BENCH_wire.json per row: bytes_per_round,
+ * frames_per_round and header_overhead_frac of cut-edge traffic
+ * (deterministic in topology + plan: any growth means the batch
+ * coalescing regressed or the cut got worse), rounds_per_sec (the
+ * timing; gated at the perf threshold), cut_edges / cut_frac (plan
+ * quality under the layout permutation), retransmits / duplicates
+ * (loopback UDP under zero loss should never need either),
+ * edges_suppressed (bitmap-shipped quiesced halves) and the
+ * per-phase round breakdown (send / interior compute / drain /
+ * boundary compute, ms per round summed over shards).  Sharded
+ * rows run with compute/communication overlap on; smoke adds an
+ * overlap-off twin per proto and the full grid keeps one, all
+ * gated bitwise against the same reference.
  *
  * On a single-core host the sharded rows are expected to run
  * SLOWER than single-process (the processes time-share one core
@@ -94,7 +107,7 @@ main()
     const std::vector<std::size_t> sizes =
         smoke ? std::vector<std::size_t>{512}
               : std::vector<std::size_t>{6400, 25600};
-    const std::size_t rounds = smoke ? 40 : 120;
+    const std::size_t rounds = smoke ? 40 : 300;
 
     bench::banner("wire_shard",
                   "multi-process sharded DiBA over 127.0.0.1: "
@@ -106,18 +119,27 @@ main()
     {
         std::uint32_t shards;
         net::SocketTransport::Proto proto;
+        bool overlap;
     };
+    // Every proto gets an overlap-off twin in smoke (the ci.sh
+    // overlap-parity gate: on and off must both match the
+    // single-process reference bitwise, hence each other); the
+    // full grid keeps one overlap-off row as the serialized
+    // comparison point.
     std::vector<ShardConfig> grid{
-        {2, net::SocketTransport::Proto::Udp},
-        {2, net::SocketTransport::Proto::Tcp},
+        {2, net::SocketTransport::Proto::Udp, true},
+        {2, net::SocketTransport::Proto::Udp, false},
+        {2, net::SocketTransport::Proto::Tcp, true},
     };
+    if (smoke)
+        grid.push_back({2, net::SocketTransport::Proto::Tcp, false});
     if (!smoke)
-        grid.push_back({4, net::SocketTransport::Proto::Udp});
+        grid.push_back({4, net::SocketTransport::Proto::Udp, true});
 
     tools::BenchJsonWriter writer;
-    Table table({"n", "mode", "proto", "shards", "cut_edges",
-                 "cut_frac", "B_per_round", "rounds_per_s",
-                 "retrans", "parity"});
+    Table table({"n", "mode", "proto", "shards", "ovl",
+                 "cut_edges", "fr_per_round", "B_per_round",
+                 "rounds_per_s", "retrans", "parity"});
     std::size_t parity_failures = 0;
 
     for (const std::size_t n : sizes) {
@@ -138,9 +160,9 @@ main()
         const double single_rps =
             static_cast<double>(rounds) / single_s;
 
-        table.addRow({Table::num(n, 0), "single", "-", "1", "0",
-                      "0", "0", Table::num(single_rps, 1), "0",
-                      "-"});
+        table.addRow({Table::num(n, 0), "single", "-", "1", "-",
+                      "0", "0", "0", Table::num(single_rps, 1),
+                      "0", "-"});
         writer.record()
             .field("bench", "wire_shard")
             .field("mode", "single")
@@ -160,16 +182,25 @@ main()
             opt.num_shards = sc.shards;
             opt.rounds = rounds;
             opt.proto = sc.proto;
+            opt.overlap = sc.overlap;
 
-            const auto s0 = std::chrono::steady_clock::now();
             const auto run =
                 cluster::runShardedDiba(prob, topo, cfg, opt);
-            const double shard_s = secondsSince(s0);
+            // Rate on the SLOWEST shard's round-loop wall time:
+            // the cluster's steady-state rounds/sec.  Fork, broker
+            // handshake and result collection are one-time costs a
+            // deployment amortizes, so folding them in would just
+            // scale the row with 1/rounds instead of the protocol.
             const double shard_rps =
-                static_cast<double>(rounds) / shard_s;
+                run.round_loop_s > 0.0
+                    ? static_cast<double>(rounds) /
+                          run.round_loop_s
+                    : 0.0;
 
             // Zero loss: the sharded trajectory must be BITWISE
-            // the single-process one on every node.
+            // the single-process one on every node -- which also
+            // pins the overlap-on and overlap-off rows to each
+            // other.
             const std::size_t bad =
                 mismatches(ref.power(), run.power) +
                 mismatches(ref.estimates(), run.estimates);
@@ -181,12 +212,23 @@ main()
             const double frames_per_round =
                 static_cast<double>(run.wire_frames) /
                 static_cast<double>(rounds);
+            // Frame-header bytes as a fraction of first-transmit
+            // wire bytes (batch efficiency: v1's per-half frames
+            // sat at 12/60 = 0.2).
+            const double header_frac =
+                run.wire_bytes == 0
+                    ? 0.0
+                    : static_cast<double>(run.wire_frames) * 12.0 /
+                          static_cast<double>(run.wire_bytes);
+            const double per_round_ms =
+                1000.0 / static_cast<double>(rounds);
 
             table.addRow(
                 {Table::num(n, 0), "sharded", protoName(sc.proto),
                  Table::num(sc.shards, 0),
+                 sc.overlap ? "on" : "off",
                  Table::num(run.plan.cut_edges, 0),
-                 Table::num(run.plan.cutFraction(), 3),
+                 Table::num(frames_per_round, 1),
                  Table::num(bytes_per_round, 0),
                  Table::num(shard_rps, 1),
                  Table::num(run.retransmits, 0),
@@ -195,6 +237,7 @@ main()
                 .field("bench", "wire_shard")
                 .field("mode", "sharded")
                 .field("proto", protoName(sc.proto))
+                .field("overlap", sc.overlap ? "on" : "off")
                 .field("n", static_cast<long long>(n))
                 .field("shards",
                        static_cast<long long>(sc.shards))
@@ -202,11 +245,30 @@ main()
                 .field("rounds_per_sec", shard_rps)
                 .field("bytes_per_round", bytes_per_round)
                 .field("frames_per_round", frames_per_round)
+                .field("header_overhead_frac", header_frac)
                 .field("cut_edges",
                        static_cast<long long>(run.plan.cut_edges))
                 .field("cut_frac", run.plan.cutFraction())
                 .field("retransmits",
-                       static_cast<long long>(run.retransmits));
+                       static_cast<long long>(run.retransmits))
+                .field("retrans_bytes",
+                       static_cast<long long>(run.retrans_bytes))
+                .field("duplicates",
+                       static_cast<long long>(run.duplicates))
+                .field("edges_suppressed",
+                       static_cast<long long>(
+                           run.edges_suppressed))
+                // Per-round phase breakdown, summed over shards
+                // (boundary compute rides inside interior when
+                // overlap is off).
+                .field("phase_send_ms",
+                       run.phase_send_s * per_round_ms)
+                .field("phase_interior_ms",
+                       run.phase_interior_s * per_round_ms)
+                .field("phase_drain_ms",
+                       run.phase_drain_s * per_round_ms)
+                .field("phase_boundary_ms",
+                       run.phase_boundary_s * per_round_ms);
         }
     }
 

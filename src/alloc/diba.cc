@@ -1,6 +1,7 @@
 #include "alloc/diba.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -1184,18 +1185,65 @@ DibaAllocator::stepWithTransport(net::Transport &t)
 double
 DibaAllocator::iterateShard(net::Transport &t,
                             std::size_t owned_begin,
-                            std::size_t owned_end)
+                            std::size_t owned_end, bool overlap)
 {
     DPC_ASSERT(owned_begin <= owned_end && owned_end <= p_.size(),
                "iterateShard range [", owned_begin, ", ", owned_end,
                ") out of bounds");
-    return roundViaTransport(t, owned_begin, owned_end);
+    return roundViaTransport(t, owned_begin, owned_end, overlap);
+}
+
+void
+DibaAllocator::buildOverlapSets(std::size_t begin, std::size_t end)
+{
+    if (ovl_built_ && ovl_begin_ == begin && ovl_end_ == end)
+        return;
+    ovl_begin_ = begin;
+    ovl_end_ = end;
+    ovl_built_ = true;
+    ovl_interior_runs_.clear();
+    ovl_boundary_.clear();
+    const GraphCsr &g = topo_.csr();
+    std::uint32_t run_start = 0;
+    bool in_run = false;
+    for (std::size_t i = begin; i < end; ++i) {
+        bool interior = true;
+        const std::uint32_t hi = g.offsets[i + 1];
+        for (std::uint32_t k = g.offsets[i]; k < hi; ++k) {
+            const std::uint32_t j = g.neighbors[k];
+            if (j < begin || j >= end) {
+                interior = false;
+                break;
+            }
+        }
+        if (interior) {
+            if (!in_run) {
+                run_start = static_cast<std::uint32_t>(i);
+                in_run = true;
+            }
+        } else {
+            if (in_run) {
+                ovl_interior_runs_.emplace_back(
+                    run_start, static_cast<std::uint32_t>(i));
+                in_run = false;
+            }
+            ovl_boundary_.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+    if (in_run)
+        ovl_interior_runs_.emplace_back(
+            run_start, static_cast<std::uint32_t>(end));
 }
 
 double
 DibaAllocator::roundViaTransport(net::Transport &t,
-                                 std::size_t begin, std::size_t end)
+                                 std::size_t begin, std::size_t end,
+                                 bool overlap)
 {
+    using clock = std::chrono::steady_clock;
+    const auto secs = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
     const std::size_t n = p_.size();
     DPC_ASSERT(n > 0, "transport round before reset()");
     ensureEdgeIndex();
@@ -1210,55 +1258,143 @@ DibaAllocator::roundViaTransport(net::Transport &t,
     // seeded fate oracle behind the transport yields one
     // reproducible fault pattern per round; dead or cut edges are
     // never offered and consume no draw.  Pairs that receive no
-    // delivery stay dropped.
+    // delivery stay dropped.  A transport granting offer elision
+    // (sharded sockets) delivers no pair echoes at all: unmasked
+    // live pairs file {delivered, 0} right here without ever being
+    // offered, offered (cut) pairs file {delivered, maxLag} at
+    // send, and the round's delivery traffic scales with the cut
+    // instead of the overlay.
+    const auto t0 = clock::now();
     const std::uint64_t round = transport_round_++;
     t.beginRound(round, all_edges_.size());
-    fates_.assign(all_edges_.size(), EdgeFate{false, 0});
+    const std::vector<std::uint8_t> *offer_mask =
+        t.claimOfferElision();
+    DPC_ASSERT(offer_mask == nullptr ||
+                   offer_mask->size() == all_edges_.size(),
+               "transport offer mask does not cover the overlay");
+    // Same clamp file() applies to echoed fates: the first rounds
+    // after a reset have less history than maxLag.
+    EdgeFate offered_fate{
+        true, static_cast<std::uint32_t>(
+                  std::min(t.maxLag(), hist_.size() - 1))};
+    bool direct_patch = false;
+    if (offer_mask != nullptr) {
+        // Under elision the only deliveries left are snapshot
+        // patches; offer the transport the history ring so it can
+        // file them straight from the frame decode (it re-checks
+        // every round -- row addresses rotate with pushHistory).
+        patch_rows_.clear();
+        for (std::vector<double> &h : hist_)
+            patch_rows_.push_back(h.data());
+        net::Transport::PatchSink sink;
+        sink.rows = patch_rows_.data();
+        sink.nrows = patch_rows_.size();
+        sink.slot_of = layout_active_ ? perm_.data() : nullptr;
+        direct_patch = t.filePatchesInto(sink);
+    }
     const std::vector<double> &pre = hist_.front();
-    for (std::size_t id = 0; id < all_edges_.size(); ++id) {
-        const auto &[u, v] = all_edges_[id];
-        if (!edge_enabled_[id] || !active_[u] || !active_[v])
-            continue;
+    const auto offerPair = [&](std::uint32_t id) {
         // The transport sees the edge's ORIGINAL canonical
         // endpoints so endpoint-addressed fault plans and wire
         // frames hit the same physical link under every layout.
-        const auto &ov = edgeView(static_cast<std::uint32_t>(id));
+        const auto &[u, v] = all_edges_[id];
+        const auto &ov = edgeView(id);
         net::EdgePair pair;
-        pair.edge_id = static_cast<std::uint32_t>(id);
+        pair.edge_id = id;
         pair.u = static_cast<std::uint32_t>(ov.first);
         pair.v = static_cast<std::uint32_t>(ov.second);
         pair.round = round;
         pair.e_u = pre[u];
         pair.e_v = pre[v];
         t.send(pair);
+    };
+    bool uniform_fresh = false;
+    if (offer_mask != nullptr && num_active_ == p_.size() &&
+        disabled_edges_ == 0) {
+        // Fully-live overlay under offer elision: every unmasked
+        // pair's fate is {delivered, 0} by construction, so file
+        // them wholesale and walk only the offered (cut) ids --
+        // the offer pass then costs O(cut), not O(E).
+        if (elision_mask_src_ != offer_mask) {
+            elision_mask_src_ = offer_mask;
+            elision_offer_ids_.clear();
+            for (std::size_t id = 0; id < offer_mask->size(); ++id)
+                if ((*offer_mask)[id] != 0)
+                    elision_offer_ids_.push_back(
+                        static_cast<std::uint32_t>(id));
+        }
+        // At depth 0 the offered fate is {delivered, 0} too, and
+        // with the patch sink registered no delivery ever reaches
+        // file(): every fate this round is the same fresh constant,
+        // so the fate table is neither written nor read -- the
+        // diffusion below runs its fate-free kernel instead.
+        uniform_fresh = offered_fate.lag == 0 && direct_patch;
+        if (uniform_fresh) {
+            for (const std::uint32_t id : elision_offer_ids_)
+                offerPair(id);
+        } else {
+            fates_.assign(all_edges_.size(), EdgeFate{true, 0});
+            for (const std::uint32_t id : elision_offer_ids_) {
+                fates_[id] = offered_fate;
+                offerPair(id);
+            }
+        }
+    } else {
+        fates_.assign(all_edges_.size(), EdgeFate{false, 0});
+        for (std::size_t id = 0; id < all_edges_.size(); ++id) {
+            const auto &[u, v] = all_edges_[id];
+            if (!edge_enabled_[id] || !active_[u] || !active_[v])
+                continue;
+            if (offer_mask != nullptr) {
+                if ((*offer_mask)[id] == 0) {
+                    fates_[id] = EdgeFate{true, 0};
+                    continue;
+                }
+                fates_[id] = offered_fate;
+            }
+            offerPair(static_cast<std::uint32_t>(id));
+        }
     }
+    const auto t_sent = clock::now();
 
-    // Drain the decided outcomes.  A sharded transport flags the
-    // halves whose authoritative snapshot value lives in another
-    // process; folding them into the current snapshot BEFORE the
-    // diffusion reads it is what makes a shard's owned arithmetic
-    // bitwise equal to the single-process round.
-    std::vector<double> &now_mut = hist_.front();
-    net::Delivery d;
-    while (t.poll(d)) {
+    // Delivery filing.  A sharded transport flags the halves whose
+    // authoritative snapshot value lives in another process;
+    // folding them into the snapshot of the round they belong to
+    // BEFORE the diffusion reads it is what makes a shard's owned
+    // arithmetic bitwise equal to the single-process round.
+    // Flagged deliveries are pure snapshot patches (a pipelined
+    // transport may emit them for an earlier round, whose fate a
+    // send-time delivery already filed); unflagged ones file the
+    // pair's fate.
+    const auto file = [&](const net::Delivery &d) {
         const std::size_t id = d.pair.edge_id;
         DPC_ASSERT(id < fates_.size(),
                    "transport delivered unknown edge ", id);
+        if (d.update_u || d.update_v) {
+            DPC_ASSERT(d.pair.round <= round,
+                       "snapshot patch from a future round");
+            std::uint64_t age = round - d.pair.round;
+            // The first rounds after a reset or a churn event have
+            // less history than maxLag; clamp to the oldest
+            // snapshot actually taken.
+            if (age >= hist_.size())
+                age = hist_.size() - 1;
+            std::vector<double> &snap =
+                hist_[static_cast<std::size_t>(age)];
+            if (d.update_u)
+                snap[wi(d.pair.u)] = d.pair.e_u;
+            if (d.update_v)
+                snap[wi(d.pair.v)] = d.pair.e_v;
+            return;
+        }
         EdgeFate f = d.fate;
         DPC_ASSERT(f.lag <= t.maxLag(),
                    "transport returned lag ", f.lag,
                    " above its maxLag()");
-        // The first rounds after a reset or a churn event have
-        // less history than maxLag; clamp to the oldest snapshot
-        // actually taken.
         if (f.lag >= hist_.size())
             f.lag = static_cast<std::uint32_t>(hist_.size() - 1);
         fates_[id] = f;
-        if (d.update_u)
-            now_mut[wi(d.pair.u)] = d.pair.e_u;
-        if (d.update_v)
-            now_mut[wi(d.pair.v)] = d.pair.e_v;
-    }
+    };
 
     // Diffusion from the fate table: node i folds in, per CSR
     // slot, the paired transfer w * (e_j - e_i) computed on the
@@ -1273,9 +1409,7 @@ DibaAllocator::roundViaTransport(net::Transport &t,
     // halo-patched snapshot entries.
     const GraphCsr &g = topo_.csr();
     const std::vector<double> &now = hist_.front();
-    for (std::size_t i = begin; i < end; ++i) {
-        if (!active_[i])
-            continue;
+    const auto diffuseNode = [&](std::size_t i) {
         double acc = 0.0;
         const std::uint32_t hi = g.offsets[i + 1];
         for (std::uint32_t k = g.offsets[i]; k < hi; ++k) {
@@ -1286,8 +1420,99 @@ DibaAllocator::roundViaTransport(net::Transport &t,
             acc += w_[k] * (snap[g.neighbors[k]] - snap[i]);
         }
         e_[i] = now[i] + acc;
-    }
-    return stepRange(begin, end);
+    };
+    // The uniform-fresh kernel: every fate this round is known to
+    // be {delivered, 0}, so the fate table lookup vanishes and
+    // every snapshot read hits the front row.  Slot for slot the
+    // IEEE operation sequence is exactly diffuseNode's with f =
+    // {delivered, 0}, so both kernels produce the same bits.
+    const auto diffuseFresh = [&](std::size_t i) {
+        double acc = 0.0;
+        const std::uint32_t hi = g.offsets[i + 1];
+        for (std::uint32_t k = g.offsets[i]; k < hi; ++k)
+            acc += w_[k] * (now[g.neighbors[k]] - now[i]);
+        e_[i] = now[i] + acc;
+    };
+
+    const auto runRound = [&](const auto &diffuse) {
+        net::Delivery d;
+        if (!overlap) {
+            while (t.poll(d))
+                file(d);
+            const auto t_drained = clock::now();
+            for (std::size_t i = begin; i < end; ++i) {
+                if (!active_[i])
+                    continue;
+                diffuse(i);
+            }
+            const double max_dp = stepRange(begin, end);
+            const auto t_done = clock::now();
+            phase_totals_.send_s += secs(t0, t_sent);
+            phase_totals_.drain_s += secs(t_sent, t_drained);
+            phase_totals_.interior_s += secs(t_drained, t_done);
+            ++phase_totals_.rounds;
+            return max_dp;
+        }
+
+        // Overlapped schedule: interior nodes never read a halo
+        // snapshot entry and their incident fates were all filed by
+        // the send-time deliveries, so they can be diffused + stepped
+        // while the cut batches are in flight; only the boundary
+        // residue waits for the blocking drain.  tryPoll() between
+        // chunks keeps the sockets draining at memory speed instead of
+        // parking the whole round behind the network.
+        buildOverlapSets(begin, end);
+        // Drain cadence: a boundary-riddled block decomposes into
+        // thousands of short interior runs, so draining per run would
+        // mean thousands of empty non-blocking socket polls per round
+        // (each one a syscall).  Count nodes across runs instead and
+        // drain once per ~chunk of interior work.
+        constexpr std::size_t kOverlapChunk = 4096;
+        std::size_t since_drain = 0;
+        while (t.tryPoll(d))
+            file(d);
+        const auto t_flushed = clock::now();
+        double max_dp = 0.0;
+        for (const auto &[ra, rb] : ovl_interior_runs_) {
+            for (std::size_t a = ra; a < rb; a += kOverlapChunk) {
+                const std::size_t b =
+                    std::min<std::size_t>(rb, a + kOverlapChunk);
+                for (std::size_t i = a; i < b; ++i) {
+                    if (!active_[i])
+                        continue;
+                    diffuse(i);
+                }
+                max_dp = std::max(max_dp, stepRange(a, b));
+                since_drain += b - a;
+                if (since_drain >= kOverlapChunk) {
+                    since_drain = 0;
+                    while (t.tryPoll(d))
+                        file(d);
+                }
+            }
+        }
+        const auto t_interior = clock::now();
+        while (t.poll(d))
+            file(d);
+        const auto t_drained = clock::now();
+        for (const std::uint32_t i : ovl_boundary_) {
+            if (!active_[i])
+                continue;
+            diffuse(i);
+            const double dp = std::fabs(stepNode(i));
+            max_dp = std::max(max_dp, dp);
+            annealNode(i, dp);
+        }
+        const auto t_done = clock::now();
+        phase_totals_.send_s += secs(t0, t_flushed);
+        phase_totals_.interior_s += secs(t_flushed, t_interior);
+        phase_totals_.drain_s += secs(t_interior, t_drained);
+        phase_totals_.boundary_s += secs(t_drained, t_done);
+        ++phase_totals_.rounds;
+        return max_dp;
+    };
+    return uniform_fresh ? runRound(diffuseFresh)
+                         : runRound(diffuseNode);
 }
 
 double

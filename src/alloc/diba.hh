@@ -294,12 +294,42 @@ class DibaAllocator : public IterativeAllocator
      * delivered), but only owned nodes move -- per-node arithmetic
      * is range-independent, so owned caps/estimates are bitwise
      * equal to the single-process run.  @return max |dp| over the
-     * owned range only; all-reduce it across shards (the broker's
-     * RoundGo) and feed the global value to noteExternalRound()
-     * for convergence accounting that matches single-process.
+     * owned range only; all-reduce it across shards (the
+     * piggybacked dp reports) and feed resolved global values to
+     * noteExternalRound() for convergence accounting that matches
+     * single-process.
+     *
+     * With `overlap` (the default) the round is scheduled for
+     * compute/communication overlap: owned INTERIOR nodes (every
+     * CSR neighbour inside the owned range -- their diffusion
+     * never reads a halo entry) are diffused and stepped in chunks
+     * while the transport drains via tryPoll() between chunks;
+     * only the boundary residue waits for the blocking drain.
+     * Per-node arithmetic is node-local and the range max is
+     * order-free, so the overlapped schedule is bitwise identical
+     * to overlap = false (which runs the historical
+     * send -> drain -> compute sequence).
      */
     double iterateShard(net::Transport &t, std::size_t owned_begin,
-                        std::size_t owned_end);
+                        std::size_t owned_end,
+                        bool overlap = true);
+
+    /** Wall-clock totals of the transport-routed round phases
+     * (summed over rounds; the bench's per-phase breakdown).
+     * Non-overlapped rounds attribute all compute to interior_s. */
+    struct TransportPhaseTotals
+    {
+        double send_s = 0.0;
+        double interior_s = 0.0;
+        double drain_s = 0.0;
+        double boundary_s = 0.0;
+        std::uint64_t rounds = 0;
+    };
+
+    const TransportPhaseTotals &transportPhases() const
+    {
+        return phase_totals_;
+    }
 
     /**
      * Fold an externally reduced round max |dp| (the broker
@@ -777,11 +807,17 @@ class DibaAllocator : public IterativeAllocator
     double stepRange(std::size_t begin, std::size_t end);
 
     /** Shared body of the transport-routed rounds: offer live
-     * pairs, drain deliveries (patching remote snapshot halves),
-     * diffuse from the fate table, then gradient-step only
-     * [begin, end). */
+     * pairs, drain deliveries (patching remote snapshot halves,
+     * round-indexed for pipelined transports), diffuse from the
+     * fate table, then gradient-step only [begin, end).  With
+     * `overlap`, interior compute is interleaved with tryPoll()
+     * drains (bitwise identical; see iterateShard). */
     double roundViaTransport(net::Transport &t, std::size_t begin,
-                             std::size_t end);
+                             std::size_t end, bool overlap = false);
+
+    /** Build (cached) the interior-run / boundary-node split of
+     * [begin, end) for the overlapped schedule. */
+    void buildOverlapSets(std::size_t begin, std::size_t end);
 
     /**
      * One fused round (diffuse + step + anneal) over [begin, end),
@@ -955,6 +991,27 @@ class DibaAllocator : public IterativeAllocator
     /** Monotonic round counter stamped onto transport pairs (so a
      * wire peer can sequence/dedup); restarts on reset(). */
     std::uint64_t transport_round_ = 0;
+    /** Offered edge ids derived from a claimed offer-elision mask,
+     * cached on the mask's address (the contract pins the mask
+     * immutable once claimed), so the fully-live offer pass walks
+     * the cut instead of scanning the whole overlay each round. */
+    std::vector<std::uint32_t> elision_offer_ids_;
+    const void *elision_mask_src_ = nullptr;
+    /** Per-round scratch of history-row pointers handed to a
+     * transport that accepts direct patch filing. */
+    std::vector<double *> patch_rows_;
+    /** Per-phase wall-clock totals of transport-routed rounds. */
+    TransportPhaseTotals phase_totals_;
+    /** Overlap schedule cache for roundViaTransport: maximal
+     * contiguous runs of interior nodes (no CSR neighbour outside
+     * the owned range) and the boundary residue, keyed on the
+     * owned range (the topology CSR is static). */
+    std::size_t ovl_begin_ = 0;
+    std::size_t ovl_end_ = 0;
+    bool ovl_built_ = false;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>>
+        ovl_interior_runs_;
+    std::vector<std::uint32_t> ovl_boundary_;
     /** Rounds stepped since reset() (step/stepWithChannel only). */
     std::size_t iterations_ = 0;
     /** Consecutive counted rounds under cfg_.tolerance. */

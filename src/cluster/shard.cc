@@ -1,5 +1,6 @@
 #include "cluster/shard.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -13,6 +14,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "graph/edge_coloring.hh"
 #include "net/wire.hh"
 #include "util/logging.hh"
 
@@ -184,6 +186,15 @@ shardMain(std::uint32_t shard_id, const ShardPlan &plan,
     tc.num_shards = plan.num_shards;
     tc.owner_of = plan.owner_of;
     tc.proto = opt.proto;
+    tc.retrans_ms = opt.retrans_ms;
+    tc.pipeline_depth = opt.pipeline_depth;
+    tc.datagram_budget = opt.datagram_budget;
+    // The canonical edge list both sides of every shard pair
+    // derive their cut-batch record indices from.
+    tc.edges.reserve(alloc.overlayEdges().size());
+    for (const auto &[u, v] : alloc.overlayEdges())
+        tc.edges.emplace_back(static_cast<std::uint32_t>(u),
+                              static_cast<std::uint32_t>(v));
     net::SocketTransport sock(tc);
 
     const int bfd = dialBroker(broker_port);
@@ -220,42 +231,54 @@ shardMain(std::uint32_t shard_id, const ShardPlan &plan,
 
     const std::size_t begin = plan.block_begin[shard_id];
     const std::size_t end = plan.block_end[shard_id];
-    std::size_t rounds_run = 0;
+    double last_moved = 0.0;
+    const auto loop0 = std::chrono::steady_clock::now();
     for (std::size_t r = 0; r < opt.rounds; ++r) {
         const double moved =
-            alloc.iterateShard(*transport, begin, end);
-        Frame done;
-        done.type = FrameType::RoundDone;
-        done.round_done.shard_id = shard_id;
-        done.round_done.round = r;
-        done.round_done.local_max_dp = moved;
-        sendFrame(bfd, done);
-        // TCP needs no barrier servicing (the kernel retransmits)
-        // and recvFrameServicing would busy-spin there since
-        // service() is a UDP-only operation.
-        const Frame go =
-            opt.proto == net::SocketTransport::Proto::Udp
-                ? recvFrameServicing(bfd, bbuf, sock)
-                : recvFrame(bfd, bbuf);
-        DPC_ASSERT(go.type == FrameType::RoundGo,
-                   "expected RoundGo from broker");
-        DPC_ASSERT(go.round_go.round == r,
-                   "broker barrier out of sync");
-        // The all-reduced global max drives the same convergence
-        // accounting single-process noteRound sees.
-        alloc.noteExternalRound(go.round_go.global_max_dp);
-        ++rounds_run;
-        if (go.round_go.stop != 0)
-            break;
+            alloc.iterateShard(*transport, begin, end, opt.overlap);
+        last_moved = moved;
+        // Feed the piggybacked all-reduce (the report rides on the
+        // next round's batches) and fold whatever rounds resolved
+        // so far into the convergence accounting -- the same global
+        // max single-process noteRound sees, delivered a few rounds
+        // late, which that bookkeeping tolerates by construction.
+        sock.noteRoundDone(r, moved);
+        std::uint64_t gr = 0;
+        double gm = 0.0;
+        while (sock.pollGlobalMax(gr, gm))
+            alloc.noteExternalRound(gm);
     }
+    const double loop_s =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - loop0)
+            .count();
 
     Frame result;
     result.type = FrameType::Result;
     net::ResultMsg &m = result.result;
     m.shard_id = shard_id;
-    m.bytes_sent = sock.stats().bytes_sent;
-    m.frames_sent = sock.stats().frames_sent;
-    m.retransmits = sock.stats().retransmits;
+    const net::SocketTransport::Stats &st = sock.stats();
+    m.bytes_sent = st.bytes_sent;
+    m.frames_sent = st.frames_sent;
+    m.retransmits = st.retransmits;
+    m.retrans_bytes = st.retrans_bytes;
+    m.bytes_received = st.bytes_received;
+    m.frames_received = st.frames_received;
+    m.duplicates = st.duplicates;
+    m.edges_suppressed = st.edges_suppressed;
+    m.edges_per_frame_hist = st.edges_per_frame_hist;
+    // The broker maxes the locals into the exact global final
+    // value (the tail of the piggybacked all-reduce may still be
+    // unresolved here, which is fine -- it is accounting, not a
+    // barrier).
+    m.final_local_max_dp = last_moved;
+    const DibaAllocator::TransportPhaseTotals &ph =
+        alloc.transportPhases();
+    m.phase_send_s = ph.send_s;
+    m.phase_interior_s = ph.interior_s;
+    m.phase_drain_s = ph.drain_s;
+    m.phase_boundary_s = ph.boundary_s;
+    m.round_loop_s = loop_s;
     const std::vector<double> &p = alloc.power();
     const std::vector<double> &e = alloc.estimates();
     for (std::size_t i = 0; i < plan.owner_of.size(); ++i) {
@@ -266,8 +289,20 @@ shardMain(std::uint32_t shard_id, const ShardPlan &plan,
         m.estimate.push_back(e[i]);
     }
     sendFrame(bfd, result);
+
+    // Stay on the data plane until every shard has reported: a
+    // peer still mid-round may need our retained batches replayed,
+    // and going deaf here would wedge it (see recvFrameServicing).
+    // The broker's Bye (RoundGo, stop = 1) only comes once all
+    // Results are in, i.e. once nobody needs us anymore.
+    const Frame bye =
+        opt.proto == net::SocketTransport::Proto::Udp
+            ? recvFrameServicing(bfd, bbuf, sock)
+            : recvFrame(bfd, bbuf);
+    DPC_ASSERT(bye.type == FrameType::RoundGo &&
+                   bye.round_go.stop != 0,
+               "expected the broker's final release");
     ::close(bfd);
-    (void)rounds_run;
 }
 
 } // namespace
@@ -309,9 +344,10 @@ makeShardPlan(const DibaAllocator &alloc, std::uint32_t num_shards)
     }
     const auto &edges = alloc.overlayEdges();
     plan.total_edges = edges.size();
-    for (const auto &[u, v] : edges)
-        if (plan.owner_of[u] != plan.owner_of[v])
-            ++plan.cut_edges;
+    const std::vector<std::uint8_t> cut =
+        markCutEdges(edges, plan.owner_of);
+    for (const std::uint8_t c : cut)
+        plan.cut_edges += c;
     return plan;
 }
 
@@ -323,6 +359,9 @@ runShardedDiba(const AllocationProblem &prob, const Graph &topo,
     DPC_ASSERT(cfg.num_threads == 0,
                "sharded runs fork: Config::num_threads must be 0");
     DPC_ASSERT(opt.num_shards >= 1, "need at least one shard");
+    DPC_ASSERT(!(opt.lossy && opt.pipeline_depth > 0),
+               "the fault model reasons about one round in "
+               "flight: lossy requires pipeline_depth == 0");
 
     // The plan is deterministic in (topology, Config); children
     // recompute it identically from their own allocator.
@@ -399,31 +438,13 @@ runShardedDiba(const AllocationProblem &prob, const Graph &topo,
     for (std::uint32_t s = 0; s < opt.num_shards; ++s)
         sendFrame(fds[s], welcome);
 
+    // No per-round traffic: the barrier rides on the data plane.
+    // The broker just waits for every shard's Result; a shard that
+    // has sent its Result keeps servicing the data plane until the
+    // Bye below, so collecting sequentially cannot wedge a peer.
     ShardRunResult out;
     out.plan = plan;
-    for (std::size_t r = 0; r < opt.rounds; ++r) {
-        double global = 0.0;
-        for (std::uint32_t s = 0; s < opt.num_shards; ++s) {
-            const Frame done = recvFrame(fds[s], bufs[s]);
-            DPC_ASSERT(done.type == FrameType::RoundDone,
-                       "expected RoundDone from shard ", s);
-            DPC_ASSERT(done.round_done.round == r,
-                       "shard ", s, " is in round ",
-                       done.round_done.round, ", broker in ", r);
-            global = std::max(global,
-                              done.round_done.local_max_dp);
-        }
-        Frame go;
-        go.type = FrameType::RoundGo;
-        go.round_go.round = r;
-        go.round_go.global_max_dp = global;
-        go.round_go.stop = r + 1 == opt.rounds ? 1 : 0;
-        for (std::uint32_t s = 0; s < opt.num_shards; ++s)
-            sendFrame(fds[s], go);
-        out.final_max_dp = global;
-        ++out.rounds_run;
-    }
-
+    out.rounds_run = opt.rounds;
     const std::size_t n = plan.owner_of.size();
     out.power.assign(n, 0.0);
     out.estimates.assign(n, 0.0);
@@ -441,9 +462,38 @@ runShardedDiba(const AllocationProblem &prob, const Graph &topo,
             out.power[node] = m.power[i];
             out.estimates[node] = m.estimate[i];
         }
+        // The exact global final max |dp|: max over the shards'
+        // last-round locals (no data-plane resolution tail here).
+        out.final_max_dp =
+            std::max(out.final_max_dp, m.final_local_max_dp);
         out.wire_frames += m.frames_sent;
         out.wire_bytes += m.bytes_sent;
         out.retransmits += m.retransmits;
+        out.retrans_bytes += m.retrans_bytes;
+        out.frames_received += m.frames_received;
+        out.bytes_received += m.bytes_received;
+        out.duplicates += m.duplicates;
+        out.edges_suppressed += m.edges_suppressed;
+        for (std::size_t b = 0; b < m.edges_per_frame_hist.size();
+             ++b)
+            out.edges_per_frame_hist[b] += m.edges_per_frame_hist[b];
+        out.phase_send_s += m.phase_send_s;
+        out.phase_interior_s += m.phase_interior_s;
+        out.phase_drain_s += m.phase_drain_s;
+        out.phase_boundary_s += m.phase_boundary_s;
+        out.round_loop_s = std::max(out.round_loop_s,
+                                    m.round_loop_s);
+    }
+
+    // Every shard has reported: nobody needs the data plane any
+    // more, so release them all ("Bye").
+    Frame bye;
+    bye.type = FrameType::RoundGo;
+    bye.round_go.round = opt.rounds;
+    bye.round_go.global_max_dp = out.final_max_dp;
+    bye.round_go.stop = 1;
+    for (std::uint32_t s = 0; s < opt.num_shards; ++s) {
+        sendFrame(fds[s], bye);
         ::close(fds[s]);
     }
 

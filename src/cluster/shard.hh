@@ -27,12 +27,15 @@
  * equal to the single-process run, round for round.
  *
  * Coordination.  The broker (run inline by the parent process)
- * accepts one TCP connection per shard: Hello/Welcome negotiates
- * the wire version and distributes the data-port table, then each
- * round is closed by a RoundDone/RoundGo barrier that doubles as
- * the all-reduce of the round's max |dp| (fed to every shard's
- * convergence accounting, mirroring single-process noteRound), and
- * a final Result frame returns each shard's owned state.
+ * handles membership and results ONLY: Hello/Welcome negotiates
+ * the wire version and distributes the data-port table, a final
+ * Result frame returns each shard's owned state + wire stats, and
+ * one RoundGo ("Bye", stop = 1) releases the shards once every
+ * Result is in.  The per-round barrier rides on the data plane:
+ * CutBatch frames carry piggybacked max-|dp| all-reduce reports
+ * (see net/socket_transport.hh), so a round costs zero broker
+ * handoffs and the shards' convergence accounting still sees the
+ * same global max single-process noteRound sees.
  *
  * Restrictions (v1): no churn/budget events mid-run, and
  * Config::num_threads must be 0 (the shards are forked processes;
@@ -42,6 +45,7 @@
 #ifndef DPC_CLUSTER_SHARD_HH
 #define DPC_CLUSTER_SHARD_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -94,8 +98,22 @@ struct ShardRunOptions
     std::size_t rounds = 60;
     net::SocketTransport::Proto proto =
         net::SocketTransport::Proto::Udp;
+    /** Interleave interior compute with the cut-batch flight time
+     * (bitwise identical either way; off is the debug mode). */
+    bool overlap = true;
+    /** Bounded-staleness depth d: a shard may run up to d rounds
+     * ahead of its slowest adjacent peer, every cut pair at fixed
+     * lag d.  0 = synchronous, bitwise equal to the blocking
+     * path. */
+    std::uint32_t pipeline_depth = 0;
+    /** UDP retransmit tick while a round is incomplete (ms). */
+    int retrans_ms = 20;
+    /** Target packed size of one CutBatch frame. */
+    std::size_t datagram_budget = 1400;
     /** Decorate every shard's transport with a same-seed
-     * LossyTransport (fault-model parity runs). */
+     * LossyTransport (fault-model parity runs).  Requires
+     * pipeline_depth == 0 (the fault model reasons about one
+     * round in flight). */
     bool lossy = false;
     LossyChannel::Config loss{};
     std::uint64_t loss_seed = 1;
@@ -108,13 +126,36 @@ struct ShardRunResult
     std::vector<double> power;
     std::vector<double> estimates;
     std::size_t rounds_run = 0;
-    /** Last round's global max |dp| (the broker all-reduce). */
+    /** Last round's exact global max |dp| (max over the shards'
+     * reported final locals). */
     double final_max_dp = 0.0;
     ShardPlan plan;
-    /** Wire totals summed over shards (cut traffic only). */
+    /** Wire totals summed over shards (cut traffic only; first
+     * transmissions -- retransmit traffic is counted apart). */
     std::uint64_t wire_frames = 0;
     std::uint64_t wire_bytes = 0;
     std::uint64_t retransmits = 0;
+    std::uint64_t retrans_bytes = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t bytes_received = 0;
+    /** Batches dropped by (sender, round, seq) dedup. */
+    std::uint64_t duplicates = 0;
+    /** Cut halves shipped as suppression-bitmap bits. */
+    std::uint64_t edges_suppressed = 0;
+    /** Summed histogram: bucket b counts first-transmitted frames
+     * carrying [2^b, 2^(b+1)) cut halves. */
+    std::array<std::uint64_t, net::kEdgesPerFrameBuckets>
+        edges_per_frame_hist{};
+    /** Per-phase seconds summed over shards and rounds. */
+    double phase_send_s = 0.0;
+    double phase_interior_s = 0.0;
+    double phase_drain_s = 0.0;
+    double phase_boundary_s = 0.0;
+    /** Wall seconds of the SLOWEST shard's round loop: the
+     * cluster's steady-state time for opt.rounds rounds, excluding
+     * fork/handshake/result collection (which amortize over a real
+     * deployment's lifetime but would dominate a short bench). */
+    double round_loop_s = 0.0;
 };
 
 /**

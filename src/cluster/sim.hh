@@ -191,44 +191,6 @@ class ClusterSim
                std::unique_ptr<IterativeAllocator> allocator,
                double initial_budget, Options opts);
 
-    /** Total budget as a function of time (defaults to constant).
-     * @deprecated pass Options::budget_schedule instead. */
-    [[deprecated("pass ClusterSim::Options::budget_schedule")]]
-    void setBudgetSchedule(std::function<double(double)> schedule)
-    {
-        doSetBudgetSchedule(std::move(schedule));
-    }
-
-    /** Observe the cap vector after every control step.
-     * @deprecated pass Options::cap_observer instead. */
-    [[deprecated("pass ClusterSim::Options::cap_observer")]]
-    void setCapObserver(
-        std::function<void(double, const std::vector<double> &)>
-            observer)
-    {
-        doSetCapObserver(std::move(observer));
-    }
-
-    /** Inject an omniscient fault schedule (see
-     * Options::fault_plan).  Call before run().
-     * @deprecated pass Options::fault_plan instead. */
-    [[deprecated("pass ClusterSim::Options::fault_plan")]]
-    void setFaultPlan(const FaultPlan &plan)
-    {
-        doSetFaultPlan(plan);
-    }
-
-    /** Inject a self-healing fault schedule (see
-     * Options::recovery_plan).  Call before run(); mutually
-     * exclusive with setFaultPlan.
-     * @deprecated pass Options::recovery_plan instead. */
-    [[deprecated("pass ClusterSim::Options::recovery_plan")]]
-    void setRecoveryPlan(const FaultPlan &plan,
-                         RecoverySession::Config rcfg = {})
-    {
-        doSetRecoveryPlan(plan, rcfg);
-    }
-
     /** Run for the given duration; returns one sample per step. */
     std::vector<ClusterSample> run(double duration_s);
 

@@ -193,15 +193,19 @@ class LossyTransport final : public net::Transport
     {
         if (!inner_->poll(out))
             return false;
-        const auto it = fates_.find(out.pair.edge_id);
-        DPC_ASSERT(it != fates_.end(),
-                   "inner transport delivered an unoffered pair");
-        const EdgeFate &drawn = it->second;
-        if (!drawn.delivered)
-            out.fate.delivered = false;
-        out.fate.lag += drawn.lag;
+        applyDrawnFate(out);
         return true;
     }
+
+    bool tryPoll(net::Delivery &out) override
+    {
+        if (!inner_->tryPoll(out))
+            return false;
+        applyDrawnFate(out);
+        return true;
+    }
+
+    bool incomplete() const override { return inner_->incomplete(); }
 
     std::size_t maxLag() const override
     {
@@ -212,6 +216,19 @@ class LossyTransport final : public net::Transport
     const LossyChannel &channel() const { return chan_; }
 
   private:
+    /** Merge the fate drawn at send() into an inner delivery: a
+     * drop from either layer wins, lags add. */
+    void applyDrawnFate(net::Delivery &out) const
+    {
+        const auto it = fates_.find(out.pair.edge_id);
+        DPC_ASSERT(it != fates_.end(),
+                   "inner transport delivered an unoffered pair");
+        const EdgeFate &drawn = it->second;
+        if (!drawn.delivered)
+            out.fate.delivered = false;
+        out.fate.lag += drawn.lag;
+    }
+
     net::Transport *inner_;
     LossyChannel chan_;
     /** Fates drawn this round, by edge id. */

@@ -174,4 +174,22 @@ EdgeColoring::setEdgeLive(std::uint32_t edge_id, bool live)
     drain();
 }
 
+std::vector<std::uint32_t>
+cutEdgeIds(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &edges,
+    const std::vector<std::uint32_t> &owner_of, std::uint32_t shard)
+{
+    std::vector<std::uint32_t> ids;
+    for (std::size_t id = 0; id < edges.size(); ++id) {
+        const auto &[u, v] = edges[id];
+        DPC_ASSERT(u < owner_of.size() && v < owner_of.size(),
+                   "edge endpoint outside the ownership map");
+        const std::uint32_t su = owner_of[u];
+        const std::uint32_t sv = owner_of[v];
+        if (su != sv && (su == shard || sv == shard))
+            ids.push_back(static_cast<std::uint32_t>(id));
+    }
+    return ids;
+}
+
 } // namespace dpc

@@ -152,6 +152,48 @@ class EdgeColoring
     std::uint32_t stamp_ = 0;
 };
 
+// ---- Shard scheduling support -------------------------------------
+//
+// A sharded deployment partitions the overlay's nodes across owner
+// blocks; edges crossing blocks are *cut* edges whose halves travel
+// on the wire while intra-block edges stay on the in-process fast
+// path.  The classification below is the shared vocabulary between
+// the shard planner (cut accounting), the socket transport (per-peer
+// cut-batch framing) and the compute/communication overlap schedule
+// (interior work runs while cut halves drain).
+
+/**
+ * Per-edge cut mask against a node ownership map: 1 when the edge's
+ * endpoints live in different owner blocks, 0 otherwise.  Endpoint
+ * ids index owner_of directly (canonical ORIGINAL ids).
+ */
+template <class Pair>
+std::vector<std::uint8_t>
+markCutEdges(const std::vector<Pair> &edges,
+             const std::vector<std::uint32_t> &owner_of)
+{
+    std::vector<std::uint8_t> cut(edges.size(), 0);
+    for (std::size_t id = 0; id < edges.size(); ++id) {
+        const auto &e = edges[id];
+        cut[id] = owner_of[static_cast<std::size_t>(e.first)] !=
+                          owner_of[static_cast<std::size_t>(e.second)]
+                      ? 1
+                      : 0;
+    }
+    return cut;
+}
+
+/**
+ * Edge ids incident to owner block `shard` that cross into another
+ * block, ascending (the canonical per-shard cut list; every shard
+ * touching the same edge list and ownership map derives the
+ * identical list, which is what lets two peers agree on cut-batch
+ * record indices without negotiation).
+ */
+std::vector<std::uint32_t> cutEdgeIds(
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &edges,
+    const std::vector<std::uint32_t> &owner_of, std::uint32_t shard);
+
 } // namespace dpc
 
 #endif // DPC_GRAPH_EDGE_COLORING_HH

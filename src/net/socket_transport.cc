@@ -18,11 +18,6 @@ namespace net {
 
 namespace {
 
-/** Keep a packed datagram under the conservative loopback-safe
- * MTU; one PairTransfer frame is 60 bytes, so ~23 frames ride per
- * datagram. */
-constexpr std::size_t kDatagramBudget = 1400;
-
 sockaddr_in
 loopbackAddr(std::uint16_t port)
 {
@@ -103,6 +98,44 @@ sendAll(int fd, const std::uint8_t *data, std::size_t len)
     }
 }
 
+std::uint64_t
+bitsOf(double d)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof(b));
+    return b;
+}
+
+double
+doubleOf(std::uint64_t b)
+{
+    double d;
+    std::memcpy(&d, &b, sizeof(d));
+    return d;
+}
+
+std::size_t
+histBucket(std::size_t halves)
+{
+    std::size_t b = 0;
+    while ((halves >> (b + 1)) != 0 &&
+           b + 1 < kEdgesPerFrameBuckets)
+        ++b;
+    return b;
+}
+
+bool
+testAndSet(std::vector<std::uint64_t> &bits, std::uint32_t i)
+{
+    const std::size_t w = i >> 6;
+    if (w >= bits.size())
+        bits.resize(w + 1, 0);
+    const std::uint64_t m = 1ull << (i & 63);
+    const bool was = (bits[w] & m) != 0;
+    bits[w] |= m;
+    return was;
+}
+
 } // namespace
 
 SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
@@ -110,6 +143,8 @@ SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
     DPC_ASSERT(cfg_.num_shards >= 1, "need at least one shard");
     DPC_ASSERT(cfg_.shard_id < cfg_.num_shards,
                "shard id out of range");
+    DPC_ASSERT(cfg_.num_shards <= 64,
+               "piggybacked all-reduce masks are 64-bit");
     const int type =
         cfg_.proto == Proto::Udp ? SOCK_DGRAM : SOCK_STREAM;
     sock_ = boundSocket(type, local_port_);
@@ -120,7 +155,36 @@ SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
     peer_fd_.assign(cfg_.num_shards, -1);
     peer_port_.assign(cfg_.num_shards, 0);
     reasm_.resize(cfg_.num_shards);
-    out_ring_.resize(std::size_t{cfg_.num_shards} * 2);
+
+    buildCutLists();
+
+    w_tx_ = std::size_t{cfg_.pipeline_depth} + 3;
+    tx_ring_.resize(std::size_t{cfg_.num_shards} * w_tx_);
+    w_rx_ = 2 * std::size_t{cfg_.pipeline_depth} + 4;
+    rx_ring_.resize(w_rx_);
+
+    tx_last_.assign(cut_.size(), 0);
+    tx_has_.assign(cut_.size(), 0);
+    rx_val_.assign(cut_.size(), 0);
+    rx_has_.assign(cut_.size(), 0);
+    tx_.resize(cfg_.num_shards);
+
+    dp_win_.resize(kDpWindow);
+    all_mask_ = cfg_.num_shards == 64
+                    ? ~0ull
+                    : (1ull << cfg_.num_shards) - 1;
+
+    if (cfg_.proto == Proto::Udp) {
+        // The seq-0 fixed part (reports + full suppression bitmap)
+        // is never split; it must fit one datagram.
+        std::size_t max_words = 0;
+        for (const std::size_t w : pair_words_)
+            max_words = std::max(max_words, w);
+        DPC_ASSERT(cutBatchFrameSize(kMaxDpReports, 0, max_words) <
+                       65000,
+                   "per-pair cut list too large for one seq-0 "
+                   "datagram");
+    }
 }
 
 SocketTransport::~SocketTransport()
@@ -130,6 +194,38 @@ SocketTransport::~SocketTransport()
             ::close(fd);
     if (sock_ >= 0)
         ::close(sock_);
+}
+
+void
+SocketTransport::buildCutLists()
+{
+    pair_cut_.resize(cfg_.num_shards);
+    pair_words_.assign(cfg_.num_shards, 0);
+    cut_of_edge_.assign(cfg_.edges.size(), kNoCut);
+    offer_mask_.assign(cfg_.edges.size(), 0);
+    const std::uint32_t me = cfg_.shard_id;
+    for (std::size_t id = 0; id < cfg_.edges.size(); ++id) {
+        const auto &[u, v] = cfg_.edges[id];
+        const std::uint32_t su = ownerOf(u);
+        const std::uint32_t sv = ownerOf(v);
+        if (su == sv || (su != me && sv != me))
+            continue;
+        CutEdge ce;
+        ce.edge_id = static_cast<std::uint32_t>(id);
+        ce.u = u;
+        ce.v = v;
+        ce.peer = su == me ? sv : su;
+        ce.own_u = su == me;
+        ce.pair_pos =
+            static_cast<std::uint32_t>(pair_cut_[ce.peer].size());
+        cut_of_edge_[id] = static_cast<std::uint32_t>(cut_.size());
+        offer_mask_[id] = 1;
+        pair_cut_[ce.peer].push_back(
+            static_cast<std::uint32_t>(cut_.size()));
+        cut_.push_back(ce);
+    }
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
+        pair_words_[s] = (pair_cut_[s].size() + 63) / 64;
 }
 
 void
@@ -192,92 +288,56 @@ SocketTransport::ownerOf(std::uint32_t node) const
     return cfg_.owner_of[node];
 }
 
-void
-SocketTransport::beginRound(std::uint64_t round, std::size_t)
+SocketTransport::RxSlot &
+SocketTransport::rxSlot(std::uint64_t round)
 {
+    RxSlot &s = rx_ring_[round % w_rx_];
+    if (s.round == round)
+        return s;
+    DPC_ASSERT(s.round == kNoRound || s.round < rx_emitted_,
+               "rx slot for round ", s.round,
+               " evicted while unresolved (drift bound violated)");
+    s.round = round;
+    s.val.assign(cut_.size(), 0);
+    s.st.assign(cut_.size(), 0);
+    s.filed = 0;
+    s.offered.clear();
+    s.open = false;
+    s.seq_seen.assign(cfg_.num_shards, {});
+    return s;
+}
+
+void
+SocketTransport::beginRound(std::uint64_t round, std::size_t num_edges)
+{
+    DPC_ASSERT(cfg_.edges.empty() ||
+                   num_edges == cfg_.edges.size(),
+               "overlay edge count changed under the transport");
+    DPC_ASSERT(head_ == ready_.size(),
+               "beginRound with undrained deliveries from round ",
+               round_);
     round_ = round;
     started_ = true;
+    flushed_ = false;
     ready_.clear();
     head_ = 0;
-    DPC_ASSERT(pending_.empty(),
-               "beginRound with undrained deliveries from round ",
-               round_ > 0 ? round_ - 1 : 0);
-    done_edges_.clear();
-    // Reset this round's slot in the outgoing ring (the other slot
-    // keeps the previous round for replays).
+    // A patch sink lasts one round: the caller's row addresses
+    // rotate with its history ring, so it re-registers each round.
+    sink_active_ = false;
     for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
-        RoundBuf &rb = out_ring_[std::size_t{s} * 2 + (round & 1)];
-        rb.round = round;
-        rb.datagrams.clear();
-        rb.open.clear();
-        rb.sent = 0;
+        TxAccum &a = tx_[s];
+        a.changed.clear();
+        a.bitmap.assign(pair_words_[s], 0);
+        a.offered = 0;
+        a.suppressed = 0;
+        TxRound &tr = tx_ring_[std::size_t{s} * w_tx_ +
+                               round % w_tx_];
+        tr.round = round;
+        tr.datagrams.clear();
     }
-}
-
-void
-SocketTransport::queueFrame(std::uint32_t s,
-                            const PairTransferMsg &msg)
-{
-    RoundBuf &rb = out_ring_[std::size_t{s} * 2 + (round_ & 1)];
-    encodePairTransfer(msg, rb.open);
-    ++stats_.frames_sent;
-    if (cfg_.proto == Proto::Udp &&
-        rb.open.size() >= kDatagramBudget) {
-        rb.datagrams.push_back(std::move(rb.open));
-        rb.open.clear();
-    }
-}
-
-void
-SocketTransport::flushSend()
-{
-    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
-        RoundBuf &rb = out_ring_[std::size_t{s} * 2 + (round_ & 1)];
-        if (!rb.open.empty()) {
-            rb.datagrams.push_back(std::move(rb.open));
-            rb.open.clear();
-        }
-        for (std::size_t i = rb.sent; i < rb.datagrams.size();
-             ++i) {
-            const auto &dg = rb.datagrams[i];
-            stats_.bytes_sent += dg.size();
-            if (cfg_.proto == Proto::Udp) {
-                sockaddr_in addr = loopbackAddr(peer_port_[s]);
-                const ssize_t k = ::sendto(
-                    sock_, dg.data(), dg.size(), 0,
-                    reinterpret_cast<sockaddr *>(&addr),
-                    sizeof(addr));
-                if (k < 0)
-                    warn("shard sendto: ", std::strerror(errno));
-            } else {
-                sendAll(peer_fd_[s], dg.data(), dg.size());
-            }
-        }
-        rb.sent = rb.datagrams.size();
-        if (cfg_.proto == Proto::Tcp) {
-            // Streams are reliable; no replay buffer needed.
-            rb.datagrams.clear();
-            rb.sent = 0;
-        }
-    }
-}
-
-void
-SocketTransport::resendRound(std::uint32_t s, std::uint64_t round)
-{
-    if (cfg_.proto != Proto::Udp)
-        return;
-    const RoundBuf &rb = out_ring_[std::size_t{s} * 2 + (round & 1)];
-    if (rb.round != round)
-        return; // aged out of the ring
-    for (const auto &dg : rb.datagrams) {
-        sockaddr_in addr = loopbackAddr(peer_port_[s]);
-        (void)::sendto(sock_, dg.data(), dg.size(), 0,
-                       reinterpret_cast<sockaddr *>(&addr),
-                       sizeof(addr));
-        stats_.bytes_sent += dg.size();
-        ++stats_.retransmits;
-    }
+    // Open the rx slot now so early peer batches and our sends
+    // land in the same place.
+    rxSlot(round);
 }
 
 void
@@ -288,94 +348,407 @@ SocketTransport::send(const EdgePair &pair)
     const std::uint32_t sv = ownerOf(pair.v);
     const std::uint32_t me = cfg_.shard_id;
 
-    Delivery d;
-    d.pair = pair;
-    d.fate = EdgeFate{true, 0};
-
     if ((su == me) == (sv == me)) {
         // Both local (intra-shard fast path) or neither local (a
         // foreign pair whose fate no owned node reads): decided
-        // immediately, no wire traffic, no snapshot updates.
+        // immediately, no wire traffic, no snapshot updates.  A
+        // claiming caller has already filed this fresh fate and
+        // never offers these; a non-claiming one gets the echo.
+        if (!elide_echo_) {
+            Delivery d;
+            d.pair = pair;
+            d.pair.round = round_;
+            d.fate = EdgeFate{true, 0};
+            ready_.push_back(d);
+        }
+        return;
+    }
+
+    // A cut pair: the own-fate is decided now ({delivered,
+    // pipeline_depth}) -- echoed back unless the caller claimed
+    // offer elision and files it itself; the peer half arrives
+    // later as a separate patch delivery either way.
+    DPC_ASSERT(pair.edge_id < cut_of_edge_.size() &&
+                   cut_of_edge_[pair.edge_id] != kNoCut,
+               "cut pair on edge ", pair.edge_id,
+               " missing from Config::edges");
+    const std::uint32_t ci = cut_of_edge_[pair.edge_id];
+    const CutEdge &ce = cut_[ci];
+    if (!elide_echo_) {
+        Delivery d;
+        d.pair = pair;
+        d.pair.round = round_;
+        d.fate = EdgeFate{true, cfg_.pipeline_depth};
         ready_.push_back(d);
-        return;
     }
 
-    // A cut pair: ship the half we own, await the peer's half.
-    PairTransferMsg msg;
-    msg.pair = pair;
-    msg.pair.round = round_;
-    msg.fate = d.fate;
-    msg.update_u = su == me;
-    msg.update_v = sv == me;
-    queueFrame(su == me ? sv : su, msg);
-    pending_.emplace(pair.edge_id, d);
-}
+    RxSlot &slot = rxSlot(round_);
+    slot.offered.push_back(ci);
 
-void
-SocketTransport::completePending(const PairTransferMsg &msg)
-{
-    auto it = pending_.find(msg.pair.edge_id);
-    if (it == pending_.end())
-        return;
-    Delivery d = it->second;
-    // The peer's flags mark the halves IT owns; those become our
-    // authoritative halo updates.
-    if (msg.update_u) {
-        d.pair.e_u = msg.pair.e_u;
-        d.update_u = true;
-    }
-    if (msg.update_v) {
-        d.pair.e_v = msg.pair.e_v;
-        d.update_v = true;
-    }
-    pending_.erase(it);
-    done_edges_.emplace(msg.pair.edge_id, true);
-    ready_.push_back(d);
-}
-
-void
-SocketTransport::fileFrame(std::uint32_t s,
-                           const PairTransferMsg &msg)
-{
-    ++stats_.frames_received;
-    if (msg.pair.round == round_) {
-        if (done_edges_.count(msg.pair.edge_id) != 0) {
-            // Duplicate: the peer retransmitted, which means it is
-            // still waiting on *our* frames -- replay them.
-            ++stats_.duplicates;
-            if (!replayed_this_poll_) {
-                replayed_this_poll_ = true;
-                resendRound(s, round_);
-            }
-            return;
-        }
-        completePending(msg);
-    } else if (msg.pair.round + 1 == round_) {
-        // A straggler from the previous round: the peer has not
-        // advanced yet and is missing our old frames.
-        ++stats_.duplicates;
-        if (!replayed_this_poll_) {
-            replayed_this_poll_ = true;
-            resendRound(s, msg.pair.round);
-        }
-    } else if (msg.pair.round == round_ + 1) {
-        // The peer finished this round and raced ahead; stash for
-        // our next beginRound.
-        if (early_round_ != msg.pair.round) {
-            early_.clear();
-            early_round_ = msg.pair.round;
-        }
-        early_.emplace(msg.pair.edge_id, msg);
+    const std::uint64_t bits =
+        bitsOf(ce.own_u ? pair.e_u : pair.e_v);
+    TxAccum &a = tx_[ce.peer];
+    ++a.offered;
+    if (tx_has_[ci] != 0 && tx_last_[ci] == bits) {
+        a.bitmap[ce.pair_pos >> 6] |= 1ull << (ce.pair_pos & 63);
+        ++a.suppressed;
     } else {
-        warn("shard ", cfg_.shard_id, " got frame for round ",
-             msg.pair.round, " while in round ", round_);
+        a.changed.emplace_back(ce.pair_pos, bits);
+        tx_last_[ci] = bits;
+        tx_has_[ci] = 1;
+    }
+}
+
+void
+SocketTransport::transmitBatch(std::uint32_t s,
+                               const CutBatchMsg &msg,
+                               std::size_t halves)
+{
+    std::vector<std::uint8_t> buf;
+    encodeCutBatch(msg, buf);
+    ++stats_.frames_sent;
+    stats_.bytes_sent += buf.size();
+    ++stats_.edges_per_frame_hist[histBucket(halves)];
+    if (cfg_.proto == Proto::Udp) {
+        sockaddr_in addr = loopbackAddr(peer_port_[s]);
+        const ssize_t k = ::sendto(
+            sock_, buf.data(), buf.size(), 0,
+            reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+        if (k < 0)
+            warn("shard sendto: ", std::strerror(errno));
+        tx_ring_[std::size_t{s} * w_tx_ + round_ % w_tx_]
+            .datagrams.push_back(std::move(buf));
+    } else {
+        sendAll(peer_fd_[s], buf.data(), buf.size());
+    }
+}
+
+void
+SocketTransport::ensureFlushed()
+{
+    if (flushed_ || !started_)
+        return;
+    flushed_ = true;
+    RxSlot &slot = rxSlot(round_);
+    slot.open = true;
+
+    const std::size_t nrep = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kMaxDpReports, round_ + 1));
+    const std::vector<DpReport> reports = selectDpReports(nrep);
+
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+        if (pair_cut_[s].empty())
+            continue;
+        TxAccum &a = tx_[s];
+        stats_.edges_suppressed += a.suppressed;
+        std::size_t ci = 0;
+        std::uint32_t seq = 0;
+        do {
+            CutBatchMsg m;
+            m.sender = cfg_.shard_id;
+            m.round = round_;
+            m.seq = seq;
+            if (seq == 0) {
+                m.reports = reports;
+                m.unchanged = a.bitmap;
+            }
+            const std::size_t base = cutBatchFrameSize(
+                m.reports.size(), 0, m.unchanged.size());
+            std::size_t room =
+                base < cfg_.datagram_budget
+                    ? (cfg_.datagram_budget - base) / 12
+                    : 0;
+            if (seq > 0 && room == 0)
+                room = 1; // always make progress
+            const std::size_t take =
+                std::min(room, a.changed.size() - ci);
+            m.changed.assign(a.changed.begin() +
+                                 static_cast<long>(ci),
+                             a.changed.begin() +
+                                 static_cast<long>(ci + take));
+            ci += take;
+            transmitBatch(s, m,
+                          take + (seq == 0 ? a.suppressed : 0));
+            ++seq;
+        } while (ci < a.changed.size());
+    }
+    resolveRx();
+}
+
+void
+SocketTransport::resendRound(std::uint32_t s, std::uint64_t round)
+{
+    if (cfg_.proto != Proto::Udp)
+        return;
+    const TxRound &tr =
+        tx_ring_[std::size_t{s} * w_tx_ + round % w_tx_];
+    if (tr.round != round)
+        return; // aged out of the ring
+    for (const auto &dg : tr.datagrams) {
+        sockaddr_in addr = loopbackAddr(peer_port_[s]);
+        (void)::sendto(sock_, dg.data(), dg.size(), 0,
+                       reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+        ++stats_.retransmits;
+        stats_.retrans_bytes += dg.size();
+    }
+}
+
+void
+SocketTransport::nudgePeer(std::uint32_t s, std::uint64_t from)
+{
+    if (replayed_this_poll_ || cfg_.proto != Proto::Udp)
+        return;
+    replayed_this_poll_ = true;
+    const std::uint64_t lo =
+        round_ + 1 >= w_tx_ ? round_ + 1 - w_tx_ : 0;
+    for (std::uint64_t r = std::max(from, lo); r <= round_; ++r)
+        resendRound(s, r);
+}
+
+void
+SocketTransport::foldReport(const DpReport &rep)
+{
+    if (rep.round < dp_emitted_)
+        return;
+    DpEntry &e = dp_win_[rep.round % kDpWindow];
+    if (e.round != rep.round) {
+        if (e.round != kNoRound && e.round > rep.round)
+            return; // slot already recycled for a newer round
+        e.round = rep.round;
+        e.mask = 0;
+        e.max_dp = 0.0;
+    }
+    e.mask |= rep.shard_mask;
+    e.max_dp = std::max(e.max_dp, rep.max_dp);
+    for (;;) {
+        DpEntry &h = dp_win_[dp_emitted_ % kDpWindow];
+        if (h.round != kNoRound && h.round > dp_emitted_) {
+            // The window outran this round before it resolved
+            // (deep shard chains); skip it -- the all-reduce is
+            // accounting, not a barrier.
+            ++dp_emitted_;
+            continue;
+        }
+        if (h.round != dp_emitted_ || h.mask != all_mask_)
+            break;
+        dp_ready_.emplace_back(dp_emitted_, h.max_dp);
+        ++dp_emitted_;
+    }
+}
+
+std::vector<DpReport>
+SocketTransport::selectDpReports(std::size_t n) const
+{
+    std::vector<DpReport> out;
+    out.reserve(n);
+    const std::uint64_t hi =
+        std::min<std::uint64_t>(round_, dp_emitted_ + kDpWindow - 1);
+    for (std::uint64_t r = dp_emitted_;
+         r <= hi && out.size() < n; ++r) {
+        const DpEntry &e = dp_win_[r % kDpWindow];
+        if (e.round == r)
+            out.push_back(DpReport{r, e.mask, e.max_dp});
+    }
+    // Pad to exactly n so the seq-0 frame size is deterministic
+    // (the fold is idempotent; repeats are harmless).
+    while (out.size() < n)
+        out.push_back(out.empty() ? DpReport{} : out.back());
+    return out;
+}
+
+void
+SocketTransport::noteRoundDone(std::uint64_t round,
+                               double local_max_dp)
+{
+    foldReport(DpReport{round, 1ull << cfg_.shard_id,
+                        local_max_dp});
+}
+
+bool
+SocketTransport::pollGlobalMax(std::uint64_t &round,
+                               double &global_max_dp)
+{
+    if (dp_head_ >= dp_ready_.size()) {
+        dp_ready_.clear();
+        dp_head_ = 0;
+        return false;
+    }
+    round = dp_ready_[dp_head_].first;
+    global_max_dp = dp_ready_[dp_head_].second;
+    ++dp_head_;
+    return true;
+}
+
+void
+SocketTransport::fileBatch(const CutBatchMsg &msg)
+{
+    const std::uint32_t s = msg.sender;
+    if (s >= cfg_.num_shards || s == cfg_.shard_id) {
+        warn("shard ", cfg_.shard_id,
+             " dropping batch with bad sender ", s);
+        return;
+    }
+    if (msg.round < rx_emitted_) {
+        // A replay of a fully resolved round: the peer is stuck
+        // waiting on US -- replay our retained rounds to it.
+        ++stats_.duplicates;
+        nudgePeer(s, msg.round);
+        return;
+    }
+    if (msg.round >= rx_emitted_ + w_rx_) {
+        warn("shard ", cfg_.shard_id, " got batch for round ",
+             msg.round, " while in round ", round_,
+             " (emitted ", rx_emitted_, ")");
+        return;
+    }
+    RxSlot &slot = rxSlot(msg.round);
+    if (testAndSet(slot.seq_seen[s], msg.seq)) {
+        ++stats_.duplicates;
+        nudgePeer(s, msg.round);
+        return;
+    }
+
+    for (const DpReport &rep : msg.reports)
+        foldReport(rep);
+
+    const std::vector<std::uint32_t> &pcut = pair_cut_[s];
+    for (const auto &[pos, bits] : msg.changed) {
+        DPC_ASSERT(pos < pcut.size(),
+                   "cut record index ", pos,
+                   " outside the per-pair list");
+        const std::uint32_t ci = pcut[pos];
+        DPC_ASSERT(slot.st[ci] == 0,
+                   "cut edge filed twice in one round");
+        slot.val[ci] = bits;
+        slot.st[ci] = 1;
+        ++slot.filed;
+    }
+    if (msg.seq == 0 && !msg.unchanged.empty()) {
+        DPC_ASSERT(msg.unchanged.size() ==
+                       (pcut.size() + 63) / 64,
+                   "suppression bitmap size mismatch");
+        for (std::size_t w = 0; w < msg.unchanged.size(); ++w) {
+            std::uint64_t word = msg.unchanged[w];
+            while (word != 0) {
+                const std::uint32_t bit = static_cast<std::uint32_t>(
+                    __builtin_ctzll(word));
+                word &= word - 1;
+                const std::size_t pos = w * 64 + bit;
+                DPC_ASSERT(pos < pcut.size(),
+                           "suppression bit outside the per-pair "
+                           "list");
+                const std::uint32_t ci = pcut[pos];
+                DPC_ASSERT(slot.st[ci] == 0,
+                           "cut edge filed twice in one round");
+                slot.st[ci] = 2;
+                ++slot.filed;
+            }
+        }
     }
 }
 
 bool
-SocketTransport::receiveSome()
+SocketTransport::filePatchesInto(const PatchSink &sink)
 {
-    // Wait up to the retransmit tick for bytes on any socket.
+    if (!elide_echo_)
+        return false;
+    DPC_ASSERT(started_, "filePatchesInto() before beginRound()");
+    DPC_ASSERT(sink.rows != nullptr && sink.nrows > 0,
+               "patch sink without snapshot rows");
+    sink_rows_.assign(sink.rows, sink.rows + sink.nrows);
+    if (!cut_patch_built_ || cut_patch_map_ != sink.slot_of) {
+        cut_patch_built_ = true;
+        cut_patch_map_ = sink.slot_of;
+        cut_patch_slot_.resize(cut_.size());
+        for (std::size_t ci = 0; ci < cut_.size(); ++ci) {
+            const CutEdge &ce = cut_[ci];
+            const std::uint32_t peer_node = ce.own_u ? ce.v : ce.u;
+            cut_patch_slot_[ci] =
+                sink.slot_of != nullptr ? sink.slot_of[peer_node]
+                                        : peer_node;
+        }
+    }
+    sink_active_ = true;
+    return true;
+}
+
+void
+SocketTransport::resolveRx()
+{
+    for (;;) {
+        if (rx_emitted_ > round_)
+            return;
+        RxSlot &slot = rx_ring_[rx_emitted_ % w_rx_];
+        if (slot.round != rx_emitted_ || !slot.open ||
+            slot.filed < slot.offered.size())
+            return;
+        DPC_ASSERT(slot.filed == slot.offered.size(),
+                   "rx slot overfiled: ", slot.filed, " > ",
+                   slot.offered.size());
+        // Emit in offer (canonical) order: refresh the replay
+        // cache, then hand over the peer-owned half of every
+        // offered cut pair -- written straight into the caller's
+        // snapshot row when a patch sink is registered, queued as
+        // one patch delivery otherwise.
+        double *sink_row = nullptr;
+        if (sink_active_) {
+            std::uint64_t age = round_ - slot.round;
+            if (age >= sink_rows_.size())
+                age = sink_rows_.size() - 1;
+            sink_row = sink_rows_[static_cast<std::size_t>(age)];
+        }
+        for (const std::uint32_t ci : slot.offered) {
+            if (slot.st[ci] == 1) {
+                rx_val_[ci] = slot.val[ci];
+                rx_has_[ci] = 1;
+            } else {
+                DPC_ASSERT(slot.st[ci] == 2,
+                           "offered cut edge never filed");
+                DPC_ASSERT(rx_has_[ci] != 0,
+                           "suppressed cut edge with no cached "
+                           "value");
+            }
+            const double pv = doubleOf(rx_val_[ci]);
+            if (sink_row != nullptr) {
+                sink_row[cut_patch_slot_[ci]] = pv;
+                continue;
+            }
+            const CutEdge &ce = cut_[ci];
+            Delivery d;
+            d.pair.edge_id = ce.edge_id;
+            d.pair.u = ce.u;
+            d.pair.v = ce.v;
+            d.pair.round = slot.round;
+            d.fate = EdgeFate{true, cfg_.pipeline_depth};
+            if (ce.own_u) {
+                d.pair.e_v = pv;
+                d.update_v = true;
+            } else {
+                d.pair.e_u = pv;
+                d.update_u = true;
+            }
+            ready_.push_back(d);
+        }
+        ++rx_emitted_;
+    }
+}
+
+bool
+SocketTransport::roundComplete() const
+{
+    if (!started_)
+        return true;
+    const std::uint64_t need =
+        round_ + 1 > cfg_.pipeline_depth
+            ? round_ + 1 - cfg_.pipeline_depth
+            : 0;
+    return rx_emitted_ >= need;
+}
+
+bool
+SocketTransport::receiveSome(int timeout_ms)
+{
     std::vector<pollfd> fds;
     if (cfg_.proto == Proto::Udp) {
         fds.push_back({sock_, POLLIN, 0});
@@ -384,8 +757,9 @@ SocketTransport::receiveSome()
             if (fd >= 0)
                 fds.push_back({fd, POLLIN, 0});
     }
-    const int rc =
-        ::poll(fds.data(), fds.size(), cfg_.retrans_ms);
+    if (fds.empty())
+        return false;
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
     if (rc < 0) {
         if (errno == EINTR)
             return false;
@@ -415,18 +789,13 @@ SocketTransport::receiveSome()
                     buf + off, static_cast<std::size_t>(k) - off, f,
                     used);
                 if (st != DecodeStatus::Ok ||
-                    f.type != FrameType::PairTransfer) {
+                    f.type != FrameType::CutBatch) {
                     warn("shard ", cfg_.shard_id,
                          " dropping undecodable datagram tail");
                     break;
                 }
-                // Datagrams carry no sender id; the ownership map
-                // identifies the peer from the frame itself.
-                const std::uint32_t s =
-                    f.pair_transfer.update_u
-                        ? ownerOf(f.pair_transfer.pair.u)
-                        : ownerOf(f.pair_transfer.pair.v);
-                fileFrame(s, f.pair_transfer);
+                ++stats_.frames_received;
+                fileBatch(f.cut_batch);
                 any = true;
                 off += used;
             }
@@ -436,8 +805,7 @@ SocketTransport::receiveSome()
             if ((p.revents & POLLIN) == 0)
                 continue;
             std::uint32_t s = 0;
-            while (s < cfg_.num_shards &&
-                   peer_fd_[s] != p.fd)
+            while (s < cfg_.num_shards && peer_fd_[s] != p.fd)
                 ++s;
             std::uint8_t buf[65536];
             const ssize_t k =
@@ -465,10 +833,11 @@ SocketTransport::receiveSome()
                 if (st == DecodeStatus::Bad)
                     fatal("shard ", cfg_.shard_id,
                           ": corrupt stream from peer ", s);
-                if (f.type != FrameType::PairTransfer)
+                if (f.type != FrameType::CutBatch)
                     fatal("shard ", cfg_.shard_id,
                           ": unexpected frame type on data plane");
-                fileFrame(s, f.pair_transfer);
+                ++stats_.frames_received;
+                fileBatch(f.cut_batch);
                 any = true;
                 off += used;
             }
@@ -489,47 +858,66 @@ SocketTransport::service()
     // receiveSome() would misread as a mid-run death.
     if (!started_ || cfg_.proto != Proto::Udp)
         return;
-    flushSend();
+    ensureFlushed();
     replayed_this_poll_ = false;
-    receiveSome();
+    receiveSome(cfg_.retrans_ms);
 }
 
 void
 SocketTransport::fatalTimeout()
 {
+    const RxSlot &slot = rx_ring_[rx_emitted_ % w_rx_];
     fatal("shard ", cfg_.shard_id, " timed out in round ", round_,
-          " with ", pending_.size(),
-          " cut pairs still in flight (peer dead?)");
+          ": round ", rx_emitted_, " has ",
+          slot.round == rx_emitted_ ? slot.filed : 0, " of ",
+          slot.round == rx_emitted_ ? slot.offered.size() : 0,
+          " cut halves (peer dead?)");
+}
+
+bool
+SocketTransport::tryPoll(Delivery &out)
+{
+    ensureFlushed();
+    if (head_ < ready_.size()) {
+        out = ready_[head_++];
+        return true;
+    }
+    if (roundComplete())
+        return false;
+    replayed_this_poll_ = false;
+    receiveSome(0);
+    resolveRx();
+    if (head_ < ready_.size()) {
+        out = ready_[head_++];
+        return true;
+    }
+    return false;
 }
 
 bool
 SocketTransport::poll(Delivery &out)
 {
-    flushSend();
-    // Fold in any halves that arrived before this round opened.
-    if (!early_.empty() && early_round_ == round_) {
-        for (const auto &[id, msg] : early_)
-            completePending(msg);
-        early_.clear();
-    }
+    ensureFlushed();
+    resolveRx();
     const std::int64_t give_up = nowMs() + cfg_.round_timeout_ms;
     for (;;) {
         if (head_ < ready_.size()) {
             out = ready_[head_++];
             return true;
         }
-        if (pending_.empty())
+        if (roundComplete())
             return false;
         replayed_this_poll_ = false;
-        if (!receiveSome()) {
+        if (!receiveSome(cfg_.retrans_ms)) {
             // Timer tick with nothing received: nudge every peer
             // we still owe/expect traffic with a retransmit.
             for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
-                if (s != cfg_.shard_id)
+                if (s != cfg_.shard_id && !pair_cut_[s].empty())
                     resendRound(s, round_);
             if (nowMs() > give_up)
                 fatalTimeout();
         }
+        resolveRx();
     }
 }
 

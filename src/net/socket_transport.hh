@@ -6,47 +6,71 @@
  * (ShardPlan, src/cluster/shard.hh).  Intra-shard pairs
  * self-deliver exactly like LoopbackTransport; *cut* pairs -- one
  * endpoint owned here, the other owned by a peer shard -- are
- * exchanged as WireCodec PairTransfer frames: each side sends the
- * half it owns and polls until the peer's half arrives, then the
- * merged Delivery flags the remote half (update_u/update_v) so the
- * allocator patches its halo snapshot before diffusing.  Pairs
- * owned entirely by other shards still self-deliver locally (their
- * fate is never read by an owned node's diffusion) so a seeded
- * LossyTransport decorator consumes identical draws on every
- * shard and in the single-process reference.
+ * exchanged as WireCodec CutBatch frames: every half a shard owes
+ * one peer for one round is coalesced into MTU-sized batches,
+ * addressed by position in the canonical per-shard-pair cut list
+ * both endpoints derive independently from the shared overlay +
+ * ownership map.  Halves whose value is bitwise-unchanged since
+ * the sender's last transmission ship as one bit in a suppression
+ * bitmap instead of a 12-byte record, so a quiesced overlay costs
+ * ~cut/64 words per round.  Pairs owned entirely by other shards
+ * still self-deliver locally (their fate is never read by an owned
+ * node's diffusion) so a seeded LossyTransport decorator consumes
+ * identical draws on every shard and in the single-process
+ * reference.
  *
- * SocketTransport itself is RELIABLE and fate-neutral: it always
- * reports {delivered, lag 0} and keeps retransmitting until every
- * expected half arrives.  Loss, bursts and staleness are modeled
- * by decorating it with fault::LossyTransport, which draws each
- * pair's fate from a same-seed channel replica on every shard --
- * the shards agree on every fate with zero coordination, and
- * because frames flow even for dropped pairs the halo snapshots
- * stay exact, which is what keeps the sharded run bitwise equal to
- * the single-process one.
+ * Deliveries for a cut pair are DECOUPLED: send() immediately
+ * hands back the pair with its fate ({delivered, pipeline_depth})
+ * and no update flags, and the peer's half arrives later as a
+ * separate patch delivery (update_u/update_v set) once the round's
+ * batches resolve.  The allocator's drain loop is order-independent
+ * and idempotent across the two, which is what keeps the split
+ * bitwise equal to the historical merged delivery.
+ *
+ * Compute/communication overlap: batches are packed and posted on
+ * the first poll()/tryPoll() after the sends (the payloads are
+ * pre-round snapshots, so nothing is gained by waiting), and
+ * tryPoll() drains the sockets without blocking, so the caller can
+ * interleave interior compute with the network flight time and
+ * only park in poll() for the boundary residue.
+ *
+ * The per-round barrier is piggybacked on the data plane: each
+ * seq-0 batch carries up to 8 max-|dp| all-reduce reports (round,
+ * shard mask, partial max).  The fold (mask union, max) is
+ * monotone and idempotent, so replays are harmless; a round
+ * resolves once its mask covers every shard.  noteRoundDone()
+ * contributes the local value, pollGlobalMax() drains resolved
+ * rounds in order.  This is accounting (convergence bookkeeping)
+ * -- it never blocks the data plane.
+ *
+ * Bounded staleness: with Config::pipeline_depth = d > 0 every cut
+ * pair reports fate {delivered, lag d} and a shard may run up to d
+ * rounds ahead of its slowest adjacent peer (poll() completes once
+ * rounds <= round - d have resolved).  Both endpoints of a cut
+ * edge then diffuse from the round r-d snapshots, which keeps the
+ * paired transfer antisymmetric and the global bookkeeping exact.
+ * d = 0 is the synchronous mode, bitwise equal to the historical
+ * blocking path.
  *
  * Wire modes:
- *   Udp  one datagram socket per shard; frames are packed into
- *        ~1.4 KB datagrams, deduped by (round, edge), and
- *        retransmitted on a timer while the round is incomplete
- *        (a duplicate old-round frame from a peer also triggers a
- *        replay of our frames of that round to it, which unsticks
- *        the peer without waiting for its timer);
+ *   Udp  one datagram socket per shard; batches are deduped by
+ *        (sender, round, seq) and retransmitted on a timer while
+ *        the round is incomplete (a duplicate old-round batch from
+ *        a peer also triggers a replay of our retained rounds to
+ *        it, which unsticks the peer without waiting for its
+ *        timer);
  *   Tcp  pairwise streams (shard i connects to j < i, accepts
  *        j > i) with incremental frame reassembly; the kernel
  *        handles reliability.
- *
- * Peers may run at most one round apart (a shard only advances
- * once its own round completes), so frames for round r+1 arriving
- * during r are stashed and replayed at the next beginRound.
  */
 
 #ifndef DPC_NET_SOCKET_TRANSPORT_HH
 #define DPC_NET_SOCKET_TRANSPORT_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/transport.hh"
@@ -71,14 +95,29 @@ class SocketTransport final : public Transport
         std::uint32_t num_shards = 1;
         /** owner_of[original node id] = owning shard. */
         std::vector<std::uint32_t> owner_of;
+        /** Canonical overlay edge list (u < v; index = edge id) --
+         * the shared input both sides of every shard pair derive
+         * their cut-batch record indices from. */
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
         Proto proto = Proto::Udp;
         /** Retransmit/poll tick while a round is incomplete. */
         int retrans_ms = 20;
         /** Give-up bound for one round (dead peer). */
         int round_timeout_ms = 30000;
+        /** Bounded-staleness depth: 0 = synchronous (bitwise equal
+         * to the blocking path); d > 0 lets this shard run up to d
+         * rounds ahead, with every cut pair at fixed lag d. */
+        std::uint32_t pipeline_depth = 0;
+        /** Target packed size of one batch frame.  A seq-0 frame
+         * whose fixed part (reports + suppression bitmap) alone
+         * exceeds it is sent oversized rather than split. */
+        std::size_t datagram_budget = 1400;
     };
 
-    /** Per-run wire accounting (the BENCH_wire numbers). */
+    /** Per-run wire accounting (the BENCH_wire numbers).
+     * bytes_sent/frames_sent count FIRST transmissions only;
+     * retransmits/retrans_bytes are separate so the bytes-per-round
+     * gate stays deterministic under timing noise. */
     struct Stats
     {
         std::uint64_t frames_sent = 0;
@@ -86,7 +125,15 @@ class SocketTransport final : public Transport
         std::uint64_t frames_received = 0;
         std::uint64_t bytes_received = 0;
         std::uint64_t retransmits = 0;
+        std::uint64_t retrans_bytes = 0;
+        /** Batches dropped by (sender, round, seq) dedup. */
         std::uint64_t duplicates = 0;
+        /** Cut halves shipped as suppression-bitmap bits. */
+        std::uint64_t edges_suppressed = 0;
+        /** Histogram over first-transmitted batches: bucket b
+         * counts frames carrying [2^b, 2^(b+1)) cut halves. */
+        std::array<std::uint64_t, kEdgesPerFrameBuckets>
+            edges_per_frame_hist{};
     };
 
     /** Binds the local data port (ephemeral; localPort() reports
@@ -114,48 +161,166 @@ class SocketTransport final : public Transport
                     std::size_t num_edges) override;
     void send(const EdgePair &pair) override;
     bool poll(Delivery &out) override;
-    std::size_t maxLag() const override { return 0; }
+    bool tryPoll(Delivery &out) override;
+    bool incomplete() const override { return !roundComplete(); }
+    std::size_t maxLag() const override
+    {
+        return cfg_.pipeline_depth;
+    }
+    /** Only cut pairs need offering: a local (or foreign) pair
+     * would be echoed straight back as {delivered, 0} and an
+     * offered cut pair as {delivered, pipeline_depth}, so a
+     * claiming caller files both itself, send() stops queueing
+     * echoes, and a shard's per-round delivery traffic scales with
+     * the cut instead of the whole overlay. */
+    const std::vector<std::uint8_t> *claimOfferElision() override
+    {
+        elide_echo_ = true;
+        return &offer_mask_;
+    }
+
+    /** Accepted only under claimed offer elision (the queued
+     * deliveries it replaces exist only for patches).  Patch
+     * halves then land in the caller's rows straight from the
+     * frame decode; resolveRx() queues nothing. */
+    bool filePatchesInto(const PatchSink &sink) override;
 
     /**
      * Keep the data plane alive while the shard is parked outside
-     * poll() -- e.g. blocked at the broker's round barrier.  Waits
+     * poll() -- e.g. waiting for the broker's final release.  Waits
      * up to one retransmit tick for incoming frames; a duplicate
-     * from a peer still stuck in this round triggers a replay of
-     * our frames to it.  Without this, a shard that finishes its
+     * from a peer still mid-round triggers a replay of our retained
+     * rounds to it.  Without this, a shard that finishes its last
      * round and blocks on the broker goes deaf: a peer that lost
      * datagrams retransmits into the void until it times out.
      * No-op before the first beginRound.
      */
     void service();
 
+    /** Fold this shard's round max |dp| into the piggybacked
+     * all-reduce (rides on the NEXT round's batches). */
+    void noteRoundDone(std::uint64_t round, double local_max_dp);
+
+    /** Drain the next globally resolved round max |dp|, in round
+     * order; false when none is resolved yet.  Purely accounting:
+     * an unresolved tail at exit is legitimate. */
+    bool pollGlobalMax(std::uint64_t &round, double &global_max_dp);
+
     const Stats &stats() const { return stats_; }
     const Config &config() const { return cfg_; }
 
+    /** This shard's cut edges (ascending edge id). */
+    std::size_t numCutEdges() const { return cut_.size(); }
+
   private:
-    /** Owning shard of original node id. */
+    static constexpr std::uint32_t kNoCut = 0xffffffffu;
+    static constexpr std::uint64_t kNoRound = ~0ull;
+    /** dp reports per seq-0 batch (count is deterministic --
+     * min(kMaxDpReports, round + 1) -- so bytes/round is too). */
+    static constexpr std::size_t kMaxDpReports = 8;
+    /** all-reduce window: in-flight unresolved rounds. */
+    static constexpr std::size_t kDpWindow = 64;
+
+    /** One cut edge incident to this shard. */
+    struct CutEdge
+    {
+        std::uint32_t edge_id = 0;
+        std::uint32_t u = 0;
+        std::uint32_t v = 0;
+        /** The other shard. */
+        std::uint32_t peer = 0;
+        /** Position in the (me, peer) per-pair cut list -- the
+         * wire record index. */
+        std::uint32_t pair_pos = 0;
+        /** We own u (else we own v). */
+        bool own_u = false;
+    };
+
+    /** Per-peer, per-round outgoing accumulation (built during
+     * send(), packed at flush). */
+    struct TxAccum
+    {
+        std::vector<std::pair<std::uint32_t, std::uint64_t>> changed;
+        std::vector<std::uint64_t> bitmap;
+        std::uint32_t offered = 0;
+        std::uint32_t suppressed = 0;
+    };
+
+    /** Retained first-transmission datagrams of one (peer, round)
+     * for UDP replays. */
+    struct TxRound
+    {
+        std::uint64_t round = kNoRound;
+        std::vector<std::vector<std::uint8_t>> datagrams;
+    };
+
+    /** One round's incoming cut state, aggregated across peers. */
+    struct RxSlot
+    {
+        std::uint64_t round = kNoRound;
+        /** Raw IEEE bits of the peer half, by cut_ index. */
+        std::vector<std::uint64_t> val;
+        /** 0 unfiled, 1 explicit, 2 suppressed (replay cache). */
+        std::vector<std::uint8_t> st;
+        std::size_t filed = 0;
+        /** cut_ indices this shard offered in the round, in send
+         * order; identical replicas make it equal to what every
+         * peer sent, so offered.size() is the completion target. */
+        std::vector<std::uint32_t> offered;
+        /** Sends for the round are complete (offered is final). */
+        bool open = false;
+        /** Per-peer (round, seq) dedup bitsets. */
+        std::vector<std::vector<std::uint64_t>> seq_seen;
+    };
+
+    /** One in-flight all-reduce round. */
+    struct DpEntry
+    {
+        std::uint64_t round = kNoRound;
+        std::uint64_t mask = 0;
+        double max_dp = 0.0;
+    };
+
     std::uint32_t ownerOf(std::uint32_t node) const;
+    void buildCutLists();
 
-    /** Append an encoded frame to peer s's outgoing round buffer,
-     * flushing full UDP datagrams as they fill. */
-    void queueFrame(std::uint32_t s, const PairTransferMsg &msg);
+    /** The (possibly lazily initialized) rx slot for `round`. */
+    RxSlot &rxSlot(std::uint64_t round);
 
-    /** Push out everything still buffered for the round. */
-    void flushSend();
+    /** Pack and post this round's batches (idempotent; called from
+     * the first poll()/tryPoll() after the sends). */
+    void ensureFlushed();
 
-    /** Resend this round's frames to peer s (UDP only). */
+    /** Encode + transmit one batch to peer s; retain it (UDP). */
+    void transmitBatch(std::uint32_t s, const CutBatchMsg &msg,
+                       std::size_t halves);
+
+    /** Resend retained round datagrams to peer s (UDP only). */
     void resendRound(std::uint32_t s, std::uint64_t round);
 
-    /** Block up to retrans_ms for incoming bytes; decode frames
-     * and file them (complete pendings, stash futures).  Returns
-     * true if any frame was consumed. */
-    bool receiveSome();
+    /** Dup-triggered replay of [from, round_] to peer s. */
+    void nudgePeer(std::uint32_t s, std::uint64_t from);
 
-    /** File one decoded PairTransfer from peer s. */
-    void fileFrame(std::uint32_t s, const PairTransferMsg &msg);
+    /** Wait up to timeout_ms for bytes on the data plane; decode
+     * and file frames.  Returns true if any frame was consumed. */
+    bool receiveSome(int timeout_ms);
 
-    /** Merge a peer frame into its pending entry and make the
-     * Delivery ready. */
-    void completePending(const PairTransferMsg &msg);
+    /** File one decoded CutBatch. */
+    void fileBatch(const CutBatchMsg &msg);
+
+    /** Fold one all-reduce report; resolve in round order. */
+    void foldReport(const DpReport &rep);
+
+    /** The up-to-n oldest unresolved all-reduce reports (padded to
+     * exactly n for deterministic frame sizes). */
+    std::vector<DpReport> selectDpReports(std::size_t n) const;
+
+    /** Emit resolved rx rounds in order (gated to <= round_):
+     * update the replay cache and queue the patch deliveries. */
+    void resolveRx();
+
+    /** Rounds <= round_ - pipeline_depth fully emitted. */
+    bool roundComplete() const;
 
     void fatalTimeout();
 
@@ -168,39 +333,61 @@ class SocketTransport final : public Transport
 
     std::uint64_t round_ = 0;
     bool started_ = false;
+    bool flushed_ = false;
+
+    /** Cut edges incident to this shard, ascending edge id. */
+    std::vector<CutEdge> cut_;
+    /** edge id -> cut_ index (kNoCut for non-cut edges). */
+    std::vector<std::uint32_t> cut_of_edge_;
+    /** claimOfferElision(): 1 exactly where cut_of_edge_ is a
+     * real cut index (the pairs that must still be offered). */
+    std::vector<std::uint8_t> offer_mask_;
+    /** Caller claimed offer elision: send() queues no pair
+     * echoes; only update-flagged patches are delivered. */
+    bool elide_echo_ = false;
+    /** One-round patch sink (filePatchesInto): row pointers into
+     * the caller's history ring, cleared by beginRound. */
+    std::vector<double *> sink_rows_;
+    bool sink_active_ = false;
+    /** cut_ index -> row slot of the peer-owned node under the
+     * sink's id map (rebuilt when the map changes). */
+    std::vector<std::uint32_t> cut_patch_slot_;
+    const std::uint32_t *cut_patch_map_ = nullptr;
+    bool cut_patch_built_ = false;
+    /** pair_cut_[s] = cut_ indices shared with shard s, ascending
+     * edge id (the per-pair record index space). */
+    std::vector<std::vector<std::uint32_t>> pair_cut_;
+    /** Suppression bitmap words per peer. */
+    std::vector<std::size_t> pair_words_;
+
+    /** Last-transmitted own-half bits per cut_ index (suppression
+     * reference; the receiver mirrors it as rx_val_). */
+    std::vector<std::uint64_t> tx_last_;
+    std::vector<std::uint8_t> tx_has_;
+    std::vector<TxAccum> tx_;
+    std::vector<TxRound> tx_ring_; ///< [peer * w_tx_ + round % w_tx_]
+    std::size_t w_tx_ = 0;
+
+    /** Last-emitted peer-half bits per cut_ index. */
+    std::vector<std::uint64_t> rx_val_;
+    std::vector<std::uint8_t> rx_has_;
+    std::vector<RxSlot> rx_ring_; ///< [round % w_rx_]
+    std::size_t w_rx_ = 0;
+    /** Rounds [0, rx_emitted_) fully resolved and emitted. */
+    std::uint64_t rx_emitted_ = 0;
 
     /** Deliveries decided and ready to hand out. */
     std::vector<Delivery> ready_;
     std::size_t head_ = 0;
 
-    /** Cut pairs awaiting the peer half, by edge id. */
-    std::unordered_map<std::uint32_t, Delivery> pending_;
+    /** Piggybacked all-reduce state. */
+    std::vector<DpEntry> dp_win_;
+    std::uint64_t dp_emitted_ = 0;
+    std::uint64_t all_mask_ = 1;
+    std::vector<std::pair<std::uint64_t, double>> dp_ready_;
+    std::size_t dp_head_ = 0;
 
-    /** Peer frames that arrived one round early, by edge id. */
-    std::unordered_map<std::uint32_t, PairTransferMsg> early_;
-    std::uint64_t early_round_ = 0;
-
-    /** Edges already completed this round (duplicate filter). */
-    std::unordered_map<std::uint32_t, bool> done_edges_;
-
-    /** Outgoing datagrams per peer for the current and previous
-     * round (ring indexed by round & 1), kept for retransmits and
-     * old-round replays. */
-    struct RoundBuf
-    {
-        std::uint64_t round = ~0ull;
-        /** Fully packed datagrams, ready to (re)send. */
-        std::vector<std::vector<std::uint8_t>> datagrams;
-        /** The datagram still being filled. */
-        std::vector<std::uint8_t> open;
-        /** First-transmission watermark into `datagrams` (UDP
-         * keeps sent datagrams for retransmits; only the tail
-         * beyond this index is new). */
-        std::size_t sent = 0;
-    };
-    std::vector<RoundBuf> out_ring_; ///< [shard * 2 + (round & 1)]
-
-    /** Rate limit for dup-triggered replays (one per poll). */
+    /** Rate limit for dup-triggered replays (one per drain). */
     bool replayed_this_poll_ = false;
 
     Stats stats_;

@@ -165,6 +165,91 @@ class Transport
      * when every offered pair has been delivered. */
     virtual bool poll(Delivery &out) = 0;
 
+    /**
+     * Non-blocking drain: hand out a delivery that is decidable
+     * RIGHT NOW, or return false without waiting.  Unlike poll(),
+     * false does not mean the round is complete -- check
+     * incomplete() to distinguish.  The default delegates to
+     * poll(), which is correct for any transport whose poll()
+     * never blocks (loopback); blocking transports override it.
+     * The compute/communication overlap schedule calls this
+     * between interior work chunks so the network drains while
+     * owned-interior nodes compute.
+     */
+    virtual bool tryPoll(Delivery &out) { return poll(out); }
+
+    /** True while outcomes of the open round are still in flight
+     * (poll() would have to wait).  In-process transports are
+     * never incomplete. */
+    virtual bool incomplete() const { return false; }
+
+    /**
+     * Optional offer-elision contract.  A fate-neutral transport
+     * (one that never drops or lags a pair on its own) may return
+     * a per-overlay-edge mask here; nullptr (the default) declines.
+     * A caller that claims the mask commits, for every subsequent
+     * round, to filing pair fates itself: {delivered, lag 0} for
+     * every live pair whose mask entry is ZERO (which it then need
+     * not offer at all), and {delivered, maxLag()} for every pair
+     * it does offer.  The transport in turn stops echoing offered
+     * pairs back and delivers ONLY update-flagged snapshot patches.
+     * This elides the offer/queue/poll round trip for the pairs the
+     * transport would only echo (a sharded transport masks just its
+     * cut edges -- ~10% of the overlay at n = 25600 / 2 shards --
+     * so the round's transport cost scales with the CUT, not the
+     * edge set).  Pairs with a non-zero entry MUST still be
+     * offered, and the mask must be immutable -- same address,
+     * same contents -- for the transport's remaining lifetime
+     * (callers cache derived state on its identity).  Any
+     * transport backed by a per-edge fate oracle must decline: it
+     * needs the full canonical offer sequence to keep seeded draws
+     * reproducible AND its fates reach the caller as pair echoes,
+     * which is why the lossy decorator never claims (or forwards)
+     * an inner transport's mask.
+     */
+    virtual const std::vector<std::uint8_t> *claimOfferElision()
+    {
+        return nullptr;
+    }
+
+    /**
+     * Destination for direct snapshot patching (see
+     * filePatchesInto).  rows[a] points at the caller's estimate
+     * snapshot from a rounds before the open round; a patch whose
+     * age exceeds nrows - 1 clamps to the oldest row (the same
+     * clamp the caller applies to queued patch deliveries in its
+     * first rounds after a reset).  slot_of maps an ORIGINAL node
+     * id to its index within a row (nullptr: rows are indexed by
+     * original id directly).
+     */
+    struct PatchSink
+    {
+        double *const *rows = nullptr;
+        std::size_t nrows = 0;
+        const std::uint32_t *slot_of = nullptr;
+    };
+
+    /**
+     * Under claimed offer elision the only deliveries left are
+     * update-flagged snapshot patches; a caller that would just
+     * copy each one into its history ring can instead hand the
+     * transport the ring itself.  Returns true if the transport
+     * accepts: for the rest of the OPEN round it writes every
+     * patch half directly -- rows[min(age, nrows-1)][slot] =
+     * value, exactly the bits the queued delivery would have
+     * carried -- and poll()/tryPoll() deliver nothing (they still
+     * pump the wire; poll() still blocks until the round
+     * completes).  The registration lasts one round: the caller
+     * must re-register after every beginRound() (its row addresses
+     * rotate), and the rows must stay valid and unresized for the
+     * round.  The default declines, which keeps queued patch
+     * deliveries flowing.
+     */
+    virtual bool filePatchesInto(const PatchSink &)
+    {
+        return false;
+    }
+
     /** Upper bound on any fate lag poll() will ever report. */
     virtual std::size_t maxLag() const = 0;
 };

@@ -177,12 +177,47 @@ encodeBody(const Frame &frame, std::vector<std::uint8_t> &out)
         putU64(out, m.bytes_sent);
         putU64(out, m.frames_sent);
         putU64(out, m.retransmits);
+        putU64(out, m.retrans_bytes);
+        putU64(out, m.bytes_received);
+        putU64(out, m.frames_received);
+        putU64(out, m.duplicates);
+        putU64(out, m.edges_suppressed);
+        for (std::uint64_t b : m.edges_per_frame_hist)
+            putU64(out, b);
+        putF64(out, m.final_local_max_dp);
+        putF64(out, m.phase_send_s);
+        putF64(out, m.phase_interior_s);
+        putF64(out, m.phase_drain_s);
+        putF64(out, m.phase_boundary_s);
+        putF64(out, m.round_loop_s);
         putU32(out, static_cast<std::uint32_t>(m.node_ids.size()));
         for (std::size_t i = 0; i < m.node_ids.size(); ++i) {
             putU32(out, m.node_ids[i]);
             putF64(out, m.power[i]);
             putF64(out, m.estimate[i]);
         }
+        break;
+    }
+    case FrameType::CutBatch: {
+        const CutBatchMsg &m = frame.cut_batch;
+        putU32(out, m.sender);
+        putU64(out, m.round);
+        putU32(out, m.seq);
+        out.push_back(static_cast<std::uint8_t>(m.reports.size()));
+        putU32(out, static_cast<std::uint32_t>(m.changed.size()));
+        putU32(out,
+               static_cast<std::uint32_t>(m.unchanged.size()));
+        for (const DpReport &rep : m.reports) {
+            putU64(out, rep.round);
+            putU64(out, rep.shard_mask);
+            putF64(out, rep.max_dp);
+        }
+        for (const auto &[idx, bits] : m.changed) {
+            putU32(out, idx);
+            putU64(out, bits);
+        }
+        for (std::uint64_t w : m.unchanged)
+            putU64(out, w);
         break;
     }
     }
@@ -247,7 +282,17 @@ decodeBody(FrameType type, const std::uint8_t *data, std::size_t len,
         std::uint32_t count = 0;
         if (!(r.u32(m.shard_id) && r.u64(m.bytes_sent) &&
               r.u64(m.frames_sent) && r.u64(m.retransmits) &&
-              r.u32(count)))
+              r.u64(m.retrans_bytes) && r.u64(m.bytes_received) &&
+              r.u64(m.frames_received) && r.u64(m.duplicates) &&
+              r.u64(m.edges_suppressed)))
+            return false;
+        for (auto &b : m.edges_per_frame_hist)
+            if (!r.u64(b))
+                return false;
+        if (!(r.f64(m.final_local_max_dp) &&
+              r.f64(m.phase_send_s) && r.f64(m.phase_interior_s) &&
+              r.f64(m.phase_drain_s) && r.f64(m.phase_boundary_s) &&
+              r.f64(m.round_loop_s) && r.u32(count)))
             return false;
         // 20 bytes per entry; the length prefix already bounds the
         // payload, this just rejects inconsistent counts early.
@@ -262,6 +307,36 @@ decodeBody(FrameType type, const std::uint8_t *data, std::size_t len,
                 return false;
         return r.done();
     }
+    case FrameType::CutBatch: {
+        CutBatchMsg &m = out.cut_batch;
+        std::uint8_t n_reports = 0;
+        std::uint32_t n_changed = 0, n_words = 0;
+        if (!(r.u32(m.sender) && r.u64(m.round) && r.u32(m.seq) &&
+              r.u8(n_reports) && r.u32(n_changed) &&
+              r.u32(n_words)))
+            return false;
+        // The length prefix bounds the payload; reject counts that
+        // cannot fit before allocating.
+        if (std::size_t{n_reports} * 24 +
+                std::size_t{n_changed} * 12 +
+                std::size_t{n_words} * 8 >
+            len)
+            return false;
+        m.reports.resize(n_reports);
+        for (DpReport &rep : m.reports)
+            if (!(r.u64(rep.round) && r.u64(rep.shard_mask) &&
+                  r.f64(rep.max_dp)))
+                return false;
+        m.changed.resize(n_changed);
+        for (auto &[idx, bits] : m.changed)
+            if (!(r.u32(idx) && r.u64(bits)))
+                return false;
+        m.unchanged.resize(n_words);
+        for (std::uint64_t &w : m.unchanged)
+            if (!r.u64(w))
+                return false;
+        return r.done();
+    }
     }
     return false;
 }
@@ -270,7 +345,7 @@ bool
 knownType(std::uint16_t t)
 {
     return t >= static_cast<std::uint16_t>(FrameType::Hello) &&
-           t <= static_cast<std::uint16_t>(FrameType::Result);
+           t <= static_cast<std::uint16_t>(FrameType::CutBatch);
 }
 
 } // namespace
@@ -300,6 +375,24 @@ encodePairTransfer(const PairTransferMsg &msg,
     f.type = FrameType::PairTransfer;
     f.pair_transfer = msg;
     encodeFrame(f, out);
+}
+
+void
+encodeCutBatch(const CutBatchMsg &msg,
+               std::vector<std::uint8_t> &out)
+{
+    Frame f;
+    f.type = FrameType::CutBatch;
+    f.cut_batch = msg;
+    encodeFrame(f, out);
+}
+
+std::size_t
+cutBatchFrameSize(std::size_t n_reports, std::size_t n_changed,
+                  std::size_t n_bitmap_words)
+{
+    return kWireHeaderSize + 25 + n_reports * 24 + n_changed * 12 +
+           n_bitmap_words * 8;
 }
 
 DecodeStatus

@@ -22,15 +22,27 @@
  * theirs) at Hello/Welcome time and refuse to talk below
  * kWireMinVersion.
  *
- * Frame types (PairTransfer is the hot one -- one per cut-edge
- * half per round; the rest are broker control traffic):
+ * Frame types (CutBatch is the hot one -- all cut-edge halves a
+ * shard owes one peer for one round, coalesced into MTU-sized
+ * batches; the rest are control traffic):
  *
  *   Hello        shard -> broker   shard id + listening ports
  *   Welcome      broker -> shard   agreed version + peer table
  *   PairTransfer shard <-> shard   one paired estimate transfer
+ *                                  (v1 legacy; kept for tooling)
  *   RoundDone    shard -> broker   local max |dp| of a round
- *   RoundGo      broker -> shard   barrier release + global max
- *   Result       shard -> broker   final owned caps/estimates
+ *   RoundGo      broker -> shard   final release ("Bye"); the
+ *                                  per-round barrier now rides on
+ *                                  CutBatch dp reports
+ *   Result       shard -> broker   final owned caps/estimates +
+ *                                  wire stats + phase breakdown
+ *   CutBatch     shard <-> shard   one batch of cut-edge halves:
+ *                                  changed values as (index, bits)
+ *                                  records against the canonical
+ *                                  per-shard-pair cut list, quiesced
+ *                                  values as a compact bitmap, and
+ *                                  piggybacked max-|dp| all-reduce
+ *                                  reports
  *
  * decodeFrame() is incremental (NeedMore on a short buffer) so the
  * same codec serves UDP datagrams (one frame per datagram) and TCP
@@ -40,8 +52,10 @@
 #ifndef DPC_NET_WIRE_HH
 #define DPC_NET_WIRE_HH
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "net/transport.hh"
@@ -52,14 +66,22 @@ namespace net {
 /** Frame magic: "DPCW" read as a little-endian u32. */
 inline constexpr std::uint32_t kWireMagic = 0x57435044u;
 
-/** Protocol version this build speaks. */
-inline constexpr std::uint16_t kWireVersion = 1;
+/** Protocol version this build speaks.  v2 adds CutBatch frames
+ * and the extended Result layout (stats + phase breakdown). */
+inline constexpr std::uint16_t kWireVersion = 2;
 
-/** Oldest version this build still accepts. */
-inline constexpr std::uint16_t kWireMinVersion = 1;
+/** Oldest version this build still accepts.  v1 peers framed one
+ * PairTransfer per cut half and used the v1 Result layout; a v2
+ * data plane cannot interoperate with that, so the floor moves
+ * with the version. */
+inline constexpr std::uint16_t kWireMinVersion = 2;
 
 /** Fixed header size in bytes. */
 inline constexpr std::size_t kWireHeaderSize = 12;
+
+/** Buckets of the edges-per-frame histogram: bucket b counts
+ * frames carrying [2^b, 2^(b+1)) cut halves (last bucket open). */
+inline constexpr std::size_t kEdgesPerFrameBuckets = 9;
 
 /** Wire frame types. */
 enum class FrameType : std::uint16_t
@@ -70,6 +92,7 @@ enum class FrameType : std::uint16_t
     RoundDone = 4,
     RoundGo = 5,
     Result = 6,
+    CutBatch = 7,
 };
 
 /**
@@ -129,13 +152,78 @@ struct RoundGoMsg
     std::uint8_t stop = 0;
 };
 
-/** Result payload: a shard's final owned state. */
+/**
+ * One piggybacked all-reduce report: the partial max |dp| of round
+ * `round` together with the set of shards already folded into it.
+ * The fold (mask union, max) is monotone and idempotent, so
+ * retransmitted or reordered reports are harmless; a round's global
+ * value is resolved once its mask covers every shard.
+ */
+struct DpReport
+{
+    std::uint64_t round = 0;
+    std::uint64_t shard_mask = 0;
+    double max_dp = 0.0;
+};
+
+/**
+ * One batch of cut-edge halves from `sender` for round `round`.
+ * Record indices address the canonical per-shard-pair cut list
+ * (cut edges between the two shards, ascending edge id) that both
+ * endpoints derive independently from the shared overlay + plan.
+ * Halves whose value is bitwise-unchanged since the sender's last
+ * transmission ship as set bits in `unchanged` (seq 0 only) and the
+ * receiver replays them from its value cache; quiesced cut edges
+ * therefore cost one bit per round instead of a 12-byte record.
+ *
+ * Payload layout (little-endian):
+ *   u32 sender | u64 round | u32 seq | u8 n_reports |
+ *   u32 n_changed | u32 n_bitmap_words |
+ *   n_reports  x { u64 round | u64 shard_mask | f64 max_dp } |
+ *   n_changed  x { u32 cut_index | u64 e_bits } |
+ *   n_bitmap_words x u64
+ */
+struct CutBatchMsg
+{
+    std::uint32_t sender = 0;
+    std::uint64_t round = 0;
+    /** Batch sequence within (sender, receiver, round); the dedup
+     * unit for UDP replays. */
+    std::uint32_t seq = 0;
+    std::vector<DpReport> reports;
+    /** (position in the per-pair cut list, raw IEEE bits of the
+     * sender-owned estimate). */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> changed;
+    /** Suppression bitmap over the per-pair cut list. */
+    std::vector<std::uint64_t> unchanged;
+};
+
+/** Result payload: a shard's final owned state + wire accounting +
+ * the per-phase round breakdown (seconds summed over rounds). */
 struct ResultMsg
 {
     std::uint32_t shard_id = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t frames_sent = 0;
     std::uint64_t retransmits = 0;
+    std::uint64_t retrans_bytes = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t edges_suppressed = 0;
+    std::array<std::uint64_t, kEdgesPerFrameBuckets>
+        edges_per_frame_hist{};
+    /** The shard's own last-round max |dp| (the broker maxes these
+     * into the exact global final value). */
+    double final_local_max_dp = 0.0;
+    double phase_send_s = 0.0;
+    double phase_interior_s = 0.0;
+    double phase_drain_s = 0.0;
+    double phase_boundary_s = 0.0;
+    /** Wall seconds the shard spent inside its round loop (setup,
+     * broker handshake and result shipping excluded); the slowest
+     * shard's value is the cluster's steady-state round time. */
+    double round_loop_s = 0.0;
     /** Parallel arrays over the shard's owned ORIGINAL ids. */
     std::vector<std::uint32_t> node_ids;
     std::vector<double> power;
@@ -153,6 +241,7 @@ struct Frame
     RoundDoneMsg round_done;
     RoundGoMsg round_go;
     ResultMsg result;
+    CutBatchMsg cut_batch;
 };
 
 /** Incremental decode outcome. */
@@ -169,6 +258,14 @@ void encodeFrame(const Frame &frame, std::vector<std::uint8_t> &out);
 /** Convenience encoders for the common frame bodies. */
 void encodePairTransfer(const PairTransferMsg &msg,
                         std::vector<std::uint8_t> &out);
+void encodeCutBatch(const CutBatchMsg &msg,
+                    std::vector<std::uint8_t> &out);
+
+/** Encoded size of one CutBatch frame (header included) -- the
+ * batch packer's budget arithmetic. */
+std::size_t cutBatchFrameSize(std::size_t n_reports,
+                              std::size_t n_changed,
+                              std::size_t n_bitmap_words);
 
 /**
  * Try to decode one frame from data[0..len).  Ok: `out` is filled

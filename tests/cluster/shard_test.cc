@@ -123,6 +123,142 @@ TEST(ShardProcessTest, FourShardTcpMatchesSingleProcessBitwise)
                        "estimate");
 }
 
+TEST(ShardProcessTest, OverlapOffMatchesSingleProcessBitwise)
+{
+    // The compute/communication overlap schedule must be a pure
+    // reordering: overlap off (serialized drain-then-compute) and
+    // the single-process reference pin the same bits, so together
+    // with TwoShardUdpMatchesSingleProcessBitwise this pins
+    // overlap-on == overlap-off.
+    const std::size_t n = 64, rounds = 40;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    const DibaAllocator::Config cfg{};
+
+    ShardRunOptions opt;
+    opt.num_shards = 2;
+    opt.rounds = rounds;
+    opt.proto = net::SocketTransport::Proto::Udp;
+    opt.overlap = false;
+    const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+
+    const auto ref = referenceRun(prob, topo, cfg, rounds);
+    expectBitwiseEqual(ref.power(), sharded.power, "power");
+    expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                       "estimate");
+}
+
+TEST(ShardProcessTest, TinyDatagramBudgetSplitsBatchesBitwise)
+{
+    // A 64-byte budget forces every round's cut traffic into many
+    // partial batches (the fixed seq-0 part alone exceeds it, and
+    // every follow-up batch carries a single record); parity must
+    // survive the splits and the frame count must show them.
+    const std::size_t n = 64, rounds = 30;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    const DibaAllocator::Config cfg{};
+
+    ShardRunOptions opt;
+    opt.num_shards = 2;
+    opt.rounds = rounds;
+    opt.proto = net::SocketTransport::Proto::Udp;
+    opt.datagram_budget = 64;
+    const auto split = runShardedDiba(prob, topo, cfg, opt);
+
+    opt.datagram_budget = 1400;
+    const auto whole = runShardedDiba(prob, topo, cfg, opt);
+    EXPECT_GT(split.wire_frames, whole.wire_frames);
+
+    const auto ref = referenceRun(prob, topo, cfg, rounds);
+    expectBitwiseEqual(ref.power(), split.power, "power");
+    expectBitwiseEqual(ref.estimates(), split.estimates,
+                       "estimate");
+}
+
+/** Fixed-lag reference transport for the bounded-staleness mode:
+ * every cut pair (endpoints in different plan blocks) delivers at
+ * lag `depth`, everything else fresh -- the single-process
+ * trajectory a depth-d sharded run must reproduce bitwise. */
+class FixedLagCutTransport final : public net::Transport
+{
+  public:
+    FixedLagCutTransport(std::vector<std::uint32_t> owner_of,
+                         std::uint32_t depth)
+        : owner_(std::move(owner_of)), depth_(depth)
+    {
+    }
+
+    void beginRound(std::uint64_t, std::size_t) override
+    {
+        q_.clear();
+        head_ = 0;
+    }
+
+    void send(const net::EdgePair &pair) override
+    {
+        net::Delivery d;
+        d.pair = pair;
+        d.fate.delivered = true;
+        d.fate.lag =
+            owner_[pair.u] != owner_[pair.v] ? depth_ : 0;
+        q_.push_back(d);
+    }
+
+    bool poll(net::Delivery &out) override
+    {
+        if (head_ >= q_.size())
+            return false;
+        out = q_[head_++];
+        return true;
+    }
+
+    std::size_t maxLag() const override { return depth_; }
+
+  private:
+    std::vector<std::uint32_t> owner_;
+    std::uint32_t depth_;
+    std::vector<net::Delivery> q_;
+    std::size_t head_ = 0;
+};
+
+TEST(ShardProcessTest, PipelineDepthMatchesFixedLagReference)
+{
+    // Bounded staleness: at pipeline_depth d every cut pair runs
+    // at fixed lag d on BOTH endpoints (antisymmetry preserved),
+    // so the sharded trajectory must equal a single-process run
+    // whose transport lags exactly the cut pairs by d.
+    const std::size_t n = 64, rounds = 35;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    const DibaAllocator::Config cfg{};
+
+    DibaAllocator planner(topo, cfg);
+    const auto plan = makeShardPlan(planner, 2);
+
+    for (const std::uint32_t depth : {1u, 2u}) {
+        ShardRunOptions opt;
+        opt.num_shards = 2;
+        opt.rounds = rounds;
+        opt.proto = net::SocketTransport::Proto::Udp;
+        opt.pipeline_depth = depth;
+        const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+
+        DibaAllocator ref(topo, cfg);
+        ref.reset(prob);
+        FixedLagCutTransport lagged(plan.owner_of, depth);
+        for (std::size_t r = 0; r < rounds; ++r)
+            ref.stepWithTransport(lagged);
+
+        expectBitwiseEqual(ref.power(), sharded.power, "power");
+        expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                           "estimate");
+    }
+}
+
 TEST(ShardProcessTest, LossyShardsMatchLossyLoopbackBitwise)
 {
     // Fault-model parity: every shard decorates its socket

@@ -329,31 +329,5 @@ TEST(ClusterSimTest, CapObserverSeesEveryStep)
     EXPECT_EQ(calls, 12u);
 }
 
-// The pre-Options setters survive one deprecation cycle as thin
-// forwards; this test pins that they still reach the same plumbing
-// (and is the single place in the tree still calling them).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(ClusterSimTest, DeprecatedSettersStillForward)
-{
-    ClusterSimConfig cfg;
-    auto sim = makeSim(16, 170.0, cfg);
-    const double hi = 16 * 180.0;
-    const double lo = 16 * 160.0;
-    sim.setBudgetSchedule(
-        [=](double t) { return t < 4.0 ? hi : lo; });
-    std::size_t calls = 0;
-    sim.setCapObserver(
-        [&](double, const std::vector<double> &caps) {
-            ++calls;
-            EXPECT_EQ(caps.size(), 16u);
-        });
-    const auto samples = sim.run(8.0);
-    EXPECT_EQ(calls, 8u);
-    EXPECT_DOUBLE_EQ(samples[2].budget, hi);
-    EXPECT_DOUBLE_EQ(samples[6].budget, lo);
-}
-#pragma GCC diagnostic pop
-
 } // namespace
 } // namespace dpc

@@ -175,6 +175,111 @@ TEST(WireCodecTest, ControlFramesRoundTrip)
     }
 }
 
+TEST(WireCodecTest, CutBatchRoundTripsExactly)
+{
+    Frame in;
+    in.type = FrameType::CutBatch;
+    in.cut_batch.sender = 3;
+    in.cut_batch.round = 0xfedcba9876543210ULL;
+    in.cut_batch.seq = 7;
+    in.cut_batch.reports = {
+        DpReport{/*round=*/41, /*shard_mask=*/0b1011,
+                 /*max_dp=*/0.001953125},
+        DpReport{/*round=*/42, /*shard_mask=*/0b0001,
+                 /*max_dp=*/-0.0},
+    };
+    std::uint64_t nan_bits;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    std::memcpy(&nan_bits, &nan, sizeof(nan_bits));
+    in.cut_batch.changed = {
+        {0u, 0x3ff0000000000001ULL},
+        {17u, nan_bits},
+        {0xffffffu, 0x8000000000000000ULL}, // -0.0
+    };
+    in.cut_batch.unchanged = {0xdeadbeefcafef00dULL, 0x1ULL};
+
+    const Frame out = roundTrip(in);
+    ASSERT_EQ(out.type, FrameType::CutBatch);
+    const auto &b = out.cut_batch;
+    EXPECT_EQ(b.sender, 3u);
+    EXPECT_EQ(b.round, in.cut_batch.round);
+    EXPECT_EQ(b.seq, 7u);
+    ASSERT_EQ(b.reports.size(), 2u);
+    for (std::size_t i = 0; i < b.reports.size(); ++i) {
+        EXPECT_EQ(b.reports[i].round,
+                  in.cut_batch.reports[i].round);
+        EXPECT_EQ(b.reports[i].shard_mask,
+                  in.cut_batch.reports[i].shard_mask);
+        EXPECT_TRUE(sameBits(b.reports[i].max_dp,
+                             in.cut_batch.reports[i].max_dp));
+    }
+    EXPECT_EQ(b.changed, in.cut_batch.changed);
+    EXPECT_EQ(b.unchanged, in.cut_batch.unchanged);
+
+    // Empty containers round-trip too (a pure-suppression batch).
+    Frame empty;
+    empty.type = FrameType::CutBatch;
+    empty.cut_batch.sender = 0;
+    empty.cut_batch.round = 0;
+    const Frame eout = roundTrip(empty);
+    ASSERT_EQ(eout.type, FrameType::CutBatch);
+    EXPECT_TRUE(eout.cut_batch.reports.empty());
+    EXPECT_TRUE(eout.cut_batch.changed.empty());
+    EXPECT_TRUE(eout.cut_batch.unchanged.empty());
+}
+
+TEST(WireCodecTest, CutBatchFrameSizeMatchesEncoder)
+{
+    // cutBatchFrameSize is the batch packer's budget arithmetic; a
+    // drift between it and the encoder would make the packer over-
+    // or under-fill datagrams.
+    const std::size_t shapes[][3] = {
+        {0, 0, 0}, {1, 0, 0},  {0, 1, 0},  {0, 0, 1},
+        {8, 3, 2}, {2, 40, 7}, {8, 116, 0},
+    };
+    for (const auto &s : shapes) {
+        Frame f;
+        f.type = FrameType::CutBatch;
+        f.cut_batch.reports.resize(s[0]);
+        for (std::size_t i = 0; i < s[1]; ++i)
+            f.cut_batch.changed.emplace_back(
+                static_cast<std::uint32_t>(i), i * 0x9e3779b9ULL);
+        f.cut_batch.unchanged.resize(s[2], ~0ull);
+        std::vector<std::uint8_t> buf;
+        encodeFrame(f, buf);
+        EXPECT_EQ(buf.size(), cutBatchFrameSize(s[0], s[1], s[2]))
+            << s[0] << " reports, " << s[1] << " changed, "
+            << s[2] << " bitmap words";
+    }
+}
+
+TEST(WireCodecTest, TruncatedCutBatchAsksForMore)
+{
+    Frame in;
+    in.type = FrameType::CutBatch;
+    in.cut_batch.reports.resize(3);
+    in.cut_batch.changed = {{1u, 2ull}, {3u, 4ull}};
+    in.cut_batch.unchanged = {5ull};
+    std::vector<std::uint8_t> buf;
+    encodeFrame(in, buf);
+
+    Frame out;
+    std::size_t consumed = 0;
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+        EXPECT_EQ(decodeFrame(buf.data(), len, out, consumed),
+                  DecodeStatus::NeedMore)
+            << "prefix length " << len;
+        EXPECT_EQ(consumed, 0u);
+    }
+
+    // Internally inconsistent counts must be Bad, not a crash: a
+    // payload_len too small for the declared record counts.
+    std::vector<std::uint8_t> bad = buf;
+    bad[kWireHeaderSize + 4 + 8 + 4] = 9; // n_reports: 3 -> 9
+    EXPECT_EQ(decodeFrame(bad.data(), bad.size(), out, consumed),
+              DecodeStatus::Bad);
+}
+
 TEST(WireCodecTest, TruncatedFramesAskForMore)
 {
     Frame in;

@@ -41,6 +41,15 @@ matched by identity and their metrics compared:
                               plan, so real growth means the
                               frames got fatter or the layout cut
                               got worse, never host noise
+  frames_per_round            lower is better; FAIL on any growth
+                              past 0.1% (deterministic, like
+                              bytes_per_round: more frames means
+                              the batch coalescing regressed)
+  header_overhead_frac        lower is better; FAIL on any growth
+                              past 0.1% (frame-header bytes as a
+                              fraction of wire bytes; growth means
+                              batches got smaller or the packer
+                              started splitting needlessly)
 
 A baseline record with no current match is a FAIL (a benchmark
 disappeared); new current records pass (coverage grew).  Exit code
@@ -81,9 +90,17 @@ OTHER_METRICS = (
     "rounds_per_sec",
     "bytes_per_round",
     "frames_per_round",
+    "header_overhead_frac",
     "cut_edges",
     "cut_frac",
     "retransmits",
+    "retrans_bytes",
+    "duplicates",
+    "edges_suppressed",
+    "phase_send_ms",
+    "phase_interior_ms",
+    "phase_drain_ms",
+    "phase_boundary_ms",
 )
 METRICS = set(PERF_METRICS) | set(OTHER_METRICS)
 
@@ -185,13 +202,19 @@ def main():
                     f"{b:.4g} -> {c:.4g} "
                     f"(-{100.0 * (1.0 - c / b):.1f}%)"
                 )
-        if "bytes_per_round" in brec and "bytes_per_round" in crec:
-            b = float(brec["bytes_per_round"])
-            c = float(crec["bytes_per_round"])
+        for metric in (
+            "bytes_per_round",
+            "frames_per_round",
+            "header_overhead_frac",
+        ):
+            if metric not in brec or metric not in crec:
+                continue
+            b = float(brec[metric])
+            c = float(crec[metric])
             compared += 1
             if c > b * (1.0 + WIRE_BYTES_SLACK):
                 failures.append(
-                    f"WIRE     {describe(key)}: bytes_per_round "
+                    f"WIRE     {describe(key)}: {metric} "
                     f"{b:.4g} -> {c:.4g} "
                     f"(+{100.0 * (c / b - 1.0):.1f}%)"
                 )

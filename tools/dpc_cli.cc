@@ -18,11 +18,16 @@
  *       Convergence/communication sweep across overlay topologies.
  *
  *   dpc shard     --nodes N --shards S [--rounds R] [--proto P]
- *                 [--budget W/node] [--seed X]
+ *                 [--budget W/node] [--seed X] [--stats 1]
+ *                 [--overlap 0|1] [--depth D] [--retrans-ms MS]
  *       Fork S real shard processes that split the overlay and run
  *       DiBA over 127.0.0.1 sockets (proto: udp or tcp), then
  *       verify the reassembled caps bitwise against an in-process
  *       run -- the multi-host deployment path in miniature.
+ *       --stats 1 prints the wire accounting (frames/bytes both
+ *       directions, retransmits, dedup hits, suppressed halves,
+ *       edges-per-frame histogram) and the per-phase round
+ *       breakdown; --depth D enables bounded-staleness pipelining.
  */
 
 #include <cstring>
@@ -288,6 +293,7 @@ cmdShard(const Args &args)
     const auto seed =
         static_cast<std::uint64_t>(args.num("seed", 1));
     const std::string proto = args.str("proto", "udp");
+    const bool show_stats = args.num("stats", 0) != 0;
 
     Rng rng(seed);
     AllocationProblem prob{utilitiesOf(drawNpbAssignment(n, rng)),
@@ -299,6 +305,11 @@ cmdShard(const Args &args)
     cluster::ShardRunOptions opt;
     opt.num_shards = shards;
     opt.rounds = rounds;
+    opt.overlap = args.num("overlap", 1) != 0;
+    opt.pipeline_depth =
+        static_cast<std::uint32_t>(args.num("depth", 0));
+    opt.retrans_ms =
+        static_cast<int>(args.num("retrans-ms", opt.retrans_ms));
     if (proto == "udp")
         opt.proto = net::SocketTransport::Proto::Udp;
     else if (proto == "tcp")
@@ -322,6 +333,49 @@ cmdShard(const Args &args)
                       std::move(span)});
     }
     table.print(std::cout);
+
+    if (show_stats) {
+        const double rr = static_cast<double>(run.rounds_run);
+        Table st({"metric", "total", "per_round"});
+        const auto row = [&](const char *name, std::uint64_t v) {
+            st.addRow({name, Table::num((long long)v),
+                       Table::num((double)v / rr, 2)});
+        };
+        row("frames_sent", run.wire_frames);
+        row("bytes_sent", run.wire_bytes);
+        row("frames_received", run.frames_received);
+        row("bytes_received", run.bytes_received);
+        row("retransmits", run.retransmits);
+        row("retrans_bytes", run.retrans_bytes);
+        row("duplicates", run.duplicates);
+        row("edges_suppressed", run.edges_suppressed);
+        st.print(std::cout);
+
+        Table hist({"edges_per_frame", "frames"});
+        for (std::size_t b = 0;
+             b < run.edges_per_frame_hist.size(); ++b) {
+            if (run.edges_per_frame_hist[b] == 0)
+                continue;
+            std::string span = "[";
+            span += std::to_string(1u << b);
+            span += ", ";
+            span += std::to_string(1u << (b + 1));
+            span += ")";
+            hist.addRow({std::move(span),
+                         Table::num((long long)run
+                                        .edges_per_frame_hist[b])});
+        }
+        hist.print(std::cout);
+
+        Table ph({"phase", "seconds_total"});
+        ph.addRow({"send", Table::num(run.phase_send_s, 3)});
+        ph.addRow(
+            {"interior", Table::num(run.phase_interior_s, 3)});
+        ph.addRow({"drain", Table::num(run.phase_drain_s, 3)});
+        ph.addRow(
+            {"boundary", Table::num(run.phase_boundary_s, 3)});
+        ph.print(std::cout);
+    }
 
     // The whole point of the exercise: the sharded trajectory IS
     // the single-process one, bit for bit.
@@ -363,7 +417,9 @@ usage()
            "--churn MEAN_S --drop FRAC --seed X\n"
         << "  topology: --nodes N --budget W/node --seed X\n"
         << "  shard:    --nodes N --shards S --rounds R "
-           "--proto udp|tcp --budget W/node --seed X\n";
+           "--proto udp|tcp --budget W/node --seed X\n"
+           "            [--stats 1] [--overlap 0|1] [--depth D] "
+           "[--retrans-ms MS]\n";
 }
 
 } // namespace
