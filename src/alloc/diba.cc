@@ -167,6 +167,9 @@ DibaAllocator::doReset()
     iterations_ = 0;
     quiet_ = 0;
     transport_round_ = 0;
+    recovery_epoch_ = 0;
+    for (ShardCheckpoint &c : ckpt_)
+        c.key = ~0ull;
     rebuildQuadFastPath();
     if (cfg_.numa_interleave && pool_) {
         // First-touch placement: re-write every hot SoA stream
@@ -416,8 +419,8 @@ DibaAllocator::gossipTick(Rng &rng)
     return max_dp;
 }
 
-void
-DibaAllocator::failNode(std::size_t i)
+std::size_t
+DibaAllocator::failNodeCommon(std::size_t i)
 {
     DPC_ASSERT(i < p_.size(), "failNode index out of range");
     const std::size_t iw = wi(i);
@@ -448,6 +451,13 @@ DibaAllocator::failNode(std::size_t i)
         warn("DiBA overlay disconnected after node ", i,
              " failed; partitions optimize independently");
     }
+    return iw;
+}
+
+void
+DibaAllocator::failNode(std::size_t i)
+{
+    const std::size_t iw = failNodeCommon(i);
 
     // The dead server draws no more power: hand its slack estimate
     // plus its entire released cap to the surviving neighbours it
@@ -475,6 +485,20 @@ DibaAllocator::failNode(std::size_t i)
         (e_[iw] - p_[iw]) / static_cast<double>(live.size());
     for (std::size_t j : live)
         e_[j] += gift;
+    p_[iw] = 0.0;
+    e_[iw] = 0.0;
+}
+
+void
+DibaAllocator::failNodeQuiet(std::size_t i)
+{
+    const std::size_t iw = failNodeCommon(i);
+    // No neighbour gift: the authoritative (p, e) of a remotely
+    // owned dead node never lived in this process, so there is no
+    // slack to hand off -- zero the local mirror and let the
+    // subsequent re-federation reclaim the budget the dead block
+    // held.  Identical on every survivor, so full-size mirrors
+    // stay bitwise aligned.
     p_[iw] = 0.0;
     e_[iw] = 0.0;
 }
@@ -1439,6 +1463,12 @@ DibaAllocator::roundViaTransport(net::Transport &t,
         if (!overlap) {
             while (t.poll(d))
                 file(d);
+            if (t.aborted()) {
+                // Control-plane abort (epoch change): the round's
+                // remote halves never arrived, so nothing here may
+                // step.  The caller rolls back to a checkpoint.
+                return 0.0;
+            }
             const auto t_drained = clock::now();
             for (std::size_t i = begin; i < end; ++i) {
                 if (!active_[i])
@@ -1494,6 +1524,12 @@ DibaAllocator::roundViaTransport(net::Transport &t,
         const auto t_interior = clock::now();
         while (t.poll(d))
             file(d);
+        if (t.aborted()) {
+            // Control-plane abort: the interior was speculatively
+            // stepped but the boundary's remote halves are gone.
+            // Discard the whole round via the caller's rollback.
+            return 0.0;
+        }
         const auto t_drained = clock::now();
         for (const std::uint32_t i : ovl_boundary_) {
             if (!active_[i])
@@ -2275,9 +2311,21 @@ DibaAllocator::refederateBudget(
     const std::vector<std::uint32_t> &comp_of, std::size_t num_comps)
 {
     DPC_ASSERT(!p_.empty(), "refederateBudget() before reset()");
+    refederateBudgetWithHeld(comp_of, num_comps,
+                             heldBudgets(comp_of, num_comps));
+}
+
+void
+DibaAllocator::refederateBudgetWithHeld(
+    const std::vector<std::uint32_t> &comp_of, std::size_t num_comps,
+    const std::vector<double> &held)
+{
+    DPC_ASSERT(!p_.empty(), "refederateBudget() before reset()");
     DPC_ASSERT(comp_of.size() == p_.size(),
                "refederateBudget label vector size mismatch");
     DPC_ASSERT(num_comps >= 1, "refederateBudget needs a component");
+    DPC_ASSERT(held.size() == num_comps,
+               "refederateBudget held vector size mismatch");
 
     std::vector<double> min_p(num_comps, 0.0), head(num_comps, 0.0);
     std::vector<std::size_t> cnt(num_comps, 0);
@@ -2294,8 +2342,6 @@ DibaAllocator::refederateBudget(
     }
     for (std::size_t j = 0; j < num_comps; ++j)
         DPC_ASSERT(cnt[j] > 0, "refederateBudget: empty component ", j);
-
-    const std::vector<double> held = heldBudgets(comp_of, num_comps);
 
     std::vector<double> shares(num_comps);
     if (num_comps == 1) {
@@ -2368,6 +2414,54 @@ DibaAllocator::refederateBudget(
     quiet_ = 0;
     if (shed)
         emergencyShed();
+}
+
+void
+DibaAllocator::setShardCheckpointDepth(std::size_t depth)
+{
+    ckpt_depth_ = depth;
+    ckpt_.clear();
+    ckpt_.resize(depth);
+}
+
+void
+DibaAllocator::saveShardCheckpoint()
+{
+    if (ckpt_depth_ == 0)
+        return;
+    ShardCheckpoint &c = ckpt_[transport_round_ % ckpt_depth_];
+    c.key = transport_round_;
+    c.e = e_;
+    c.p = p_;
+    c.eta = eta_now_;
+    c.hist = hist_;
+    c.iterations = iterations_;
+    c.quiet = quiet_;
+}
+
+bool
+DibaAllocator::rollbackToShardCheckpoint(
+    std::uint64_t rounds_completed)
+{
+    if (ckpt_depth_ == 0)
+        return false;
+    const ShardCheckpoint &c =
+        ckpt_[rounds_completed % ckpt_depth_];
+    if (c.key != rounds_completed)
+        return false; // aged out of the ring
+    e_ = c.e;
+    p_ = c.p;
+    eta_now_ = c.eta;
+    hist_ = c.hist;
+    iterations_ = c.iterations;
+    quiet_ = c.quiet;
+    transport_round_ = rounds_completed;
+    // An aborted round may have left a partially stepped frontier;
+    // the post-rollback surgery (failNodeQuiet + re-federation)
+    // reheats anyway, but restore a self-consistent state even if
+    // the caller rolls back without surgery.
+    frontier_.reheatAll();
+    return true;
 }
 
 void

@@ -340,6 +340,26 @@ class DibaAllocator : public IterativeAllocator
     void noteExternalRound(double moved) { noteRound(moved); }
 
     /**
+     * Epoch-fenced variant for the sharded deployment: the fold is
+     * applied only when `epoch` matches the current recovery epoch,
+     * so a globally resolved max |dp| that raced across an epoch
+     * change (it describes a round the rollback discarded) cannot
+     * leak into the post-recovery convergence accounting.
+     */
+    void noteExternalRound(std::uint32_t epoch, double moved)
+    {
+        if (epoch == recovery_epoch_)
+            noteRound(moved);
+    }
+
+    /** Enter recovery epoch `e` (cluster/shard.cc bumps this on
+     * every broker-confirmed shard death). */
+    void setRecoveryEpoch(std::uint32_t e) { recovery_epoch_ = e; }
+
+    /** Current recovery epoch (0 until a shard death). */
+    std::uint32_t recoveryEpoch() const { return recovery_epoch_; }
+
+    /**
      * Announce a new total budget P (the demand-response signal
      * every node receives): each node shifts its estimate by
      * -(delta P)/N and, if the budget dropped enough to exhaust
@@ -487,6 +507,20 @@ class DibaAllocator : public IterativeAllocator
     void failNode(std::size_t i);
 
     /**
+     * failNode() minus the neighbour slack hand-off, for the
+     * sharded recovery path: the dead node's authoritative (p, e)
+     * lived in a process that no longer exists, so a survivor
+     * cannot gift its slack to the neighbours -- the local mirror
+     * of the dead entries is simply zeroed and the budget the dead
+     * block held is reclaimed by the subsequent re-federation
+     * (refederateBudgetWithHeld).  Every survivor applies the same
+     * transform, which keeps their full-size mirrors bitwise
+     * aligned.  Topology surgery, accounting resets, and the
+     * connectivity warning are identical to failNode().
+     */
+    void failNodeQuiet(std::size_t i);
+
+    /**
      * Re-admit a previously failed server: the exact inverse of
      * failNode().  The node rejoins at its power floor with one
      * token of negative slack and its enabled live neighbours are
@@ -612,6 +646,50 @@ class DibaAllocator : public IterativeAllocator
      */
     void refederateBudget(const std::vector<std::uint32_t> &comp_of,
                           std::size_t num_comps);
+
+    /**
+     * refederateBudget() with the per-component held budgets Q_j
+     * supplied by the caller instead of computed from the local
+     * books.  The sharded recovery path needs this: the canonical
+     * held values are folded from per-shard owned partials in a
+     * fixed order (cluster/shard.hh's foldHeldPartials), which is a
+     * DIFFERENT floating-point summation order than heldBudgets(),
+     * and every survivor must announce from the same bits or their
+     * estimate shifts diverge.  Share computation, estimate shifts,
+     * and the safe-side rounding are identical to
+     * refederateBudget(), which delegates here.
+     */
+    void refederateBudgetWithHeld(
+        const std::vector<std::uint32_t> &comp_of,
+        std::size_t num_comps, const std::vector<double> &held);
+
+    // ---- shard checkpoint ring (sharded recovery) ---------------
+
+    /**
+     * Keep the last `depth` completed transport rounds' mutable
+     * state (caps, estimates, barrier weights, snapshot history,
+     * iteration accounting) in a ring so the shard runtime can roll
+     * back to the common recovery round an epoch change names --
+     * an aborted round leaves partially stepped state that must be
+     * discarded before re-federation.  0 (the default) disables
+     * checkpointing; call between rounds only.
+     */
+    void setShardCheckpointDepth(std::size_t depth);
+
+    /** Snapshot the between-rounds state, keyed by
+     * transportRound() (completed rounds).  No-op at depth 0. */
+    void saveShardCheckpoint();
+
+    /**
+     * Restore the checkpoint taken at `rounds_completed` completed
+     * rounds, discarding every later -- possibly partial -- round.
+     * @return false (allocator untouched) if that checkpoint aged
+     * out of the ring or checkpointing is disabled.
+     */
+    bool rollbackToShardCheckpoint(std::uint64_t rounds_completed);
+
+    /** Completed transport-routed rounds (the checkpoint key). */
+    std::uint64_t transportRound() const { return transport_round_; }
 
     /** True while a multi-component federation is announced. */
     bool federationActive() const { return fed_shares_.size() > 1; }
@@ -761,6 +839,11 @@ class DibaAllocator : public IterativeAllocator
 
     /** Debug-build micro-assert wrapping liveEdgeListExact(). */
     void assertLiveEdgesExact() const;
+
+    /** Shared front half of failNode()/failNodeQuiet(): topology
+     * surgery, accounting resets, connectivity warning.  Returns
+     * the working id; the caller disposes of the slack. */
+    std::size_t failNodeCommon(std::size_t i);
 
     /** Shared body of the gossipSweep overloads. */
     double sweepImpl(Rng &rng, GossipChannel *chan);
@@ -991,6 +1074,22 @@ class DibaAllocator : public IterativeAllocator
     /** Monotonic round counter stamped onto transport pairs (so a
      * wire peer can sequence/dedup); restarts on reset(). */
     std::uint64_t transport_round_ = 0;
+    /** Recovery epoch for the epoch-fenced noteExternalRound. */
+    std::uint32_t recovery_epoch_ = 0;
+    /** One shard checkpoint: the mutable between-rounds state a
+     * transport-routed round touches (topology, participation and
+     * federation bookkeeping are NOT rounds state -- rollback runs
+     * before any failNodeQuiet/refederate surgery). */
+    struct ShardCheckpoint
+    {
+        std::uint64_t key = ~0ull; ///< transport_round_ at save
+        std::vector<double> e, p, eta;
+        std::deque<std::vector<double>> hist;
+        std::size_t iterations = 0;
+        std::size_t quiet = 0;
+    };
+    std::vector<ShardCheckpoint> ckpt_;
+    std::size_t ckpt_depth_ = 0;
     /** Offered edge ids derived from a claimed offer-elision mask,
      * cached on the mask's address (the contract pins the mask
      * immutable once claimed), so the fully-live offer pass walks

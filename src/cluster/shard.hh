@@ -48,10 +48,12 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "alloc/diba.hh"
 #include "fault/lossy_channel.hh"
+#include "fault/shard_fault.hh"
 #include "net/socket_transport.hh"
 
 namespace dpc {
@@ -117,6 +119,35 @@ struct ShardRunOptions
     bool lossy = false;
     LossyChannel::Config loss{};
     std::uint64_t loss_seed = 1;
+    /** Process-level faults to inject (empty = none).  A non-empty
+     * plan arms the guarded control plane: shard heartbeats, broker
+     * liveness deadlines, and deadline-bounded process reaping. */
+    fault::ShardFaultPlan faults{};
+    /**
+     * Survive confirmed shard deaths: the broker bumps the
+     * configuration epoch, quiesces the survivors, rolls them back
+     * to the last common checkpoint, fails the dead block's nodes,
+     * re-federates the held budget partition-aware, and resumes.
+     * Off (the default): any death fails the run cleanly
+     * (ShardRunResult::ok = false) without hanging the parent.
+     * Requires pipeline_depth == 0 and !lossy.
+     */
+    bool recover = false;
+    /** Broker liveness deadline: a shard silent (no heartbeat, no
+     * Result) this long is declared hung and SIGKILLed (guarded
+     * runs only). */
+    int deadline_ms = 2000;
+    /** Broker deadline for the whole Hello/Welcome handshake; a
+     * shard that never says Hello fails the run within this
+     * bound. */
+    int handshake_deadline_ms = 20000;
+    /** Shard heartbeat cadence on the broker link; 0 = default
+     * (50 ms) when the control plane is guarded, off otherwise. */
+    int heartbeat_ms = 0;
+    /** Between-rounds checkpoint ring depth for rollback
+     * (recover = true only).  Must cover the maximum inter-shard
+     * round drift (<= the transport's 4-round rx window). */
+    std::size_t checkpoint_depth = 8;
 };
 
 struct ShardRunResult
@@ -156,7 +187,76 @@ struct ShardRunResult
      * fork/handshake/result collection (which amortize over a real
      * deployment's lifetime but would dominate a short bench). */
     double round_loop_s = 0.0;
+    // ---- robustness surface (PR 9) --------------------------
+    /** False when the run failed (handshake deadline, unrecovered
+     * shard death, ...); `error` says why.  The parent never hangs
+     * and never leaks children either way. */
+    bool ok = true;
+    std::string error;
+    /** Raw waitpid() status per shard (-1 = never reaped). */
+    std::vector<int> shard_status;
+    /** Final configuration epoch (0 = no recovery happened). */
+    std::uint32_t epoch = 0;
+    /** Shards confirmed dead (bit s = shard s). */
+    std::uint64_t dead_mask = 0;
+    /** Completed recoveries (confirmed deaths survived). */
+    std::uint32_t recoveries = 0;
+    /** Last recovery: round the survivors resumed from (the
+     * minimum last-completed round across survivors). */
+    std::uint64_t recovery_round = 0;
+    /** Last recovery: MAX last-completed round across survivors at
+     * the quiesce -- "when detection landed" in round units. */
+    std::uint64_t quiesce_round = 0;
+    /** Wall seconds spent inside recovery (death confirmed ->
+     * Resume broadcast), summed over recoveries. */
+    double recovery_s = 0.0;
+    /** Survivor nodes that reported owned results / survivor nodes
+     * total (1.0 when recovery delivers every survivor). */
+    double availability = 1.0;
+    /** Summed fault-surface wire stats (see net::ResultMsg). */
+    std::uint64_t stale_epoch_frames = 0;
+    std::uint64_t gaveup_frames = 0;
+    std::uint64_t suspect_events = 0;
+    std::uint64_t peer_suspected = 0;
 };
+
+/**
+ * Per-component (sum p, sum e) partials over shard `shard`'s OWNED
+ * active nodes, ascending original id -- one survivor's
+ * contribution to the canonical held-budget fold.  `label_of`/`k`
+ * are liveComponents() output on the post-surgery topology.
+ */
+void shardHeldPartials(const DibaAllocator &alloc,
+                       const ShardPlan &plan, std::uint32_t shard,
+                       const std::vector<std::uint32_t> &label_of,
+                       std::size_t k, std::vector<double> &sum_p,
+                       std::vector<double> &sum_e);
+
+/**
+ * Fold per-shard partials into the canonical held budgets:
+ * held[j] = (sum over shards, ascending id, of sum_p[s][j]) minus
+ * (same fold of sum_e[s][j]).  Dead shards contribute empty
+ * vectors and are skipped.  Every survivor, the broker, and any
+ * single-process reference MUST use this exact fold -- it is a
+ * different floating-point summation order than
+ * DibaAllocator::heldBudgets().
+ */
+std::vector<double> foldHeldPartials(
+    const std::vector<std::vector<double>> &sum_p,
+    const std::vector<std::vector<double>> &sum_e);
+
+/**
+ * Reference replica of one survivor's recovery transform, applied
+ * to a full-size allocator positioned at the resume round: fail
+ * every dead-owned node (ascending shard id, ascending original
+ * id), then re-federate with the held budgets folded exactly as
+ * the broker folds them.  Tests drive this on a single-process
+ * allocator to predict the survivors' post-recovery trajectory
+ * bitwise.
+ */
+void applyShardRecovery(DibaAllocator &alloc, const ShardPlan &plan,
+                        std::uint64_t dead_mask,
+                        std::uint32_t epoch);
 
 /**
  * Fork `opt.num_shards` shard processes, run `opt.rounds`

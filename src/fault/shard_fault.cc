@@ -1,0 +1,97 @@
+/**
+ * @file
+ * ShardFaultPlan builders and queries (see shard_fault.hh).
+ */
+
+#include "shard_fault.hh"
+
+namespace dpc {
+namespace fault {
+
+ShardFaultPlan &ShardFaultPlan::killAt(std::uint32_t shard,
+                                       std::uint64_t round)
+{
+    ShardFaultEvent ev;
+    ev.kind = ShardFaultKind::Kill;
+    ev.shard = shard;
+    ev.round = round;
+    events_.push_back(ev);
+    return *this;
+}
+
+ShardFaultPlan &ShardFaultPlan::stallAt(std::uint32_t shard,
+                                        std::uint64_t round,
+                                        int duration_ms)
+{
+    ShardFaultEvent ev;
+    ev.kind = ShardFaultKind::Stall;
+    ev.shard = shard;
+    ev.round = round;
+    ev.duration_ms = duration_ms;
+    events_.push_back(ev);
+    return *this;
+}
+
+ShardFaultPlan &ShardFaultPlan::handshakeDelay(std::uint32_t shard,
+                                               int delay_ms)
+{
+    ShardFaultEvent ev;
+    ev.kind = ShardFaultKind::HandshakeDelay;
+    ev.shard = shard;
+    ev.duration_ms = delay_ms;
+    events_.push_back(ev);
+    return *this;
+}
+
+ShardFaultPlan &ShardFaultPlan::exitAfterHello(std::uint32_t shard)
+{
+    ShardFaultEvent ev;
+    ev.kind = ShardFaultKind::ExitAfterHello;
+    ev.shard = shard;
+    events_.push_back(ev);
+    return *this;
+}
+
+ShardFaultPlan &ShardFaultPlan::blackholeAt(std::uint32_t shard,
+                                            std::uint32_t peer,
+                                            std::uint64_t round,
+                                            int duration_ms)
+{
+    ShardFaultEvent ev;
+    ev.kind = ShardFaultKind::Blackhole;
+    ev.shard = shard;
+    ev.peer = peer;
+    ev.round = round;
+    ev.duration_ms = duration_ms;
+    events_.push_back(ev);
+    return *this;
+}
+
+std::vector<ShardFaultEvent>
+ShardFaultPlan::eventsFor(std::uint32_t s) const
+{
+    std::vector<ShardFaultEvent> out;
+    for (const ShardFaultEvent &ev : events_)
+        if (ev.shard == s)
+            out.push_back(ev);
+    return out;
+}
+
+int ShardFaultPlan::stallDurationFor(std::uint32_t s) const
+{
+    for (const ShardFaultEvent &ev : events_)
+        if (ev.shard == s && ev.kind == ShardFaultKind::Stall)
+            return ev.duration_ms;
+    return 0;
+}
+
+bool ShardFaultPlan::killsShard(std::uint32_t s) const
+{
+    for (const ShardFaultEvent &ev : events_)
+        if (ev.shard == s && ev.kind == ShardFaultKind::Kill)
+            return true;
+    return false;
+}
+
+} // namespace fault
+} // namespace dpc

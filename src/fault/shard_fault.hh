@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Process-level fault schedules for the sharded deployment.
+ *
+ * A ShardFaultPlan is the multi-process sibling of FaultPlan
+ * (fault/plan.hh): a declarative timeline of faults injected into
+ * REAL shard processes rather than into the allocator's state --
+ * SIGKILL at the top of a round, SIGSTOP/SIGCONT stalls, delayed or
+ * aborted broker handshakes, and unidirectional datagram blackholes.
+ * The plan performs no side effects itself; the shard runtime
+ * (cluster/shard.cc) self-injects the events it owns at the
+ * scheduled round tops, and the broker reads the same plan to
+ * schedule the matching SIGCONTs.  Round-indexed triggers make a
+ * replay deterministic in everything except wall-clock timing.
+ */
+
+#ifndef DPC_FAULT_SHARD_FAULT_HH
+#define DPC_FAULT_SHARD_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dpc {
+namespace fault {
+
+/** Process-level fault classes a shard plan can schedule. */
+enum class ShardFaultKind
+{
+    /** SIGKILL self at the top of round `round` (a crashed host). */
+    Kill,
+    /** SIGSTOP self at the top of round `round`; the broker sends
+     * SIGCONT after `duration_ms` (a hung-but-alive host). */
+    Stall,
+    /** Sleep `duration_ms` before dialing the broker (a slow boot;
+     * large values model a shard that never says Hello). */
+    HandshakeDelay,
+    /** Exit silently right after sending Hello (death between
+     * Hello and Welcome). */
+    ExitAfterHello,
+    /** Drop every datagram this shard sends to `peer` for
+     * `duration_ms` of wall clock starting at the top of round
+     * `round` (a unidirectional link blackhole; UDP only). */
+    Blackhole,
+};
+
+/** One scheduled process-level fault. */
+struct ShardFaultEvent
+{
+    ShardFaultKind kind = ShardFaultKind::Kill;
+    /** Shard the event happens in / to. */
+    std::uint32_t shard = 0;
+    /** Round-top trigger (Kill / Stall / Blackhole). */
+    std::uint64_t round = 0;
+    /** Stall: SIGSTOP duration.  HandshakeDelay: the delay.
+     * Blackhole: how long the hole stays open. */
+    int duration_ms = 0;
+    /** Blackhole: the peer whose traffic is eaten. */
+    std::uint32_t peer = 0;
+};
+
+/** Fluent builder + container (see file header). */
+class ShardFaultPlan
+{
+  public:
+    ShardFaultPlan &killAt(std::uint32_t shard, std::uint64_t round);
+    ShardFaultPlan &stallAt(std::uint32_t shard, std::uint64_t round,
+                            int duration_ms);
+    ShardFaultPlan &handshakeDelay(std::uint32_t shard,
+                                   int delay_ms);
+    ShardFaultPlan &exitAfterHello(std::uint32_t shard);
+    ShardFaultPlan &blackholeAt(std::uint32_t shard,
+                                std::uint32_t peer,
+                                std::uint64_t round,
+                                int duration_ms);
+
+    const std::vector<ShardFaultEvent> &events() const
+    {
+        return events_;
+    }
+    bool empty() const { return events_.empty(); }
+
+    /** Events owned by (happening inside) shard `s`, in insertion
+     * order. */
+    std::vector<ShardFaultEvent> eventsFor(std::uint32_t s) const;
+
+    /** Broker-side query: the stall duration scheduled for shard
+     * `s` (0 when the plan never stalls it) -- the broker owns the
+     * matching SIGCONT. */
+    int stallDurationFor(std::uint32_t s) const;
+
+    /** Broker-side query: does the plan SIGKILL shard `s`?  (The
+     * broker uses this only for log flavor; detection is always
+     * observational.) */
+    bool killsShard(std::uint32_t s) const;
+
+  private:
+    std::vector<ShardFaultEvent> events_;
+};
+
+} // namespace fault
+} // namespace dpc
+
+#endif // DPC_FAULT_SHARD_FAULT_HH

@@ -1,5 +1,6 @@
 #include "net/socket_transport.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -145,6 +146,13 @@ SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
                "shard id out of range");
     DPC_ASSERT(cfg_.num_shards <= 64,
                "piggybacked all-reduce masks are 64-bit");
+    DPC_ASSERT(cfg_.retrans_ms > 0,
+               "retrans_ms must be positive (the retransmit tick "
+               "drives both recovery and peer liveness)");
+    DPC_ASSERT(cfg_.datagram_budget >= kMinFrameSize,
+               "datagram_budget ", cfg_.datagram_budget,
+               " below the minimum useful frame size ",
+               kMinFrameSize);
     const int type =
         cfg_.proto == Proto::Udp ? SOCK_DGRAM : SOCK_STREAM;
     sock_ = boundSocket(type, local_port_);
@@ -155,6 +163,9 @@ SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
     peer_fd_.assign(cfg_.num_shards, -1);
     peer_port_.assign(cfg_.num_shards, 0);
     reasm_.resize(cfg_.num_shards);
+    peer_alive_.assign(cfg_.num_shards, 1);
+    peer_ticks_.assign(cfg_.num_shards, 0);
+    blackhole_until_.assign(cfg_.num_shards, 0);
 
     buildCutLists();
 
@@ -410,17 +421,78 @@ SocketTransport::transmitBatch(std::uint32_t s,
     stats_.bytes_sent += buf.size();
     ++stats_.edges_per_frame_hist[histBucket(halves)];
     if (cfg_.proto == Proto::Udp) {
-        sockaddr_in addr = loopbackAddr(peer_port_[s]);
-        const ssize_t k = ::sendto(
-            sock_, buf.data(), buf.size(), 0,
-            reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
-        if (k < 0)
-            warn("shard sendto: ", std::strerror(errno));
+        if (blackholed(s)) {
+            // Fault injection: eat the first transmission but keep
+            // the retained copy -- once the hole heals the normal
+            // retransmit machinery re-delivers it bitwise intact.
+            ++stats_.gaveup_frames;
+        } else {
+            sockaddr_in addr = loopbackAddr(peer_port_[s]);
+            const ssize_t k = ::sendto(
+                sock_, buf.data(), buf.size(), 0,
+                reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+            if (k < 0)
+                warn("shard sendto: ", std::strerror(errno));
+        }
         tx_ring_[std::size_t{s} * w_tx_ + round_ % w_tx_]
             .datagrams.push_back(std::move(buf));
     } else {
-        sendAll(peer_fd_[s], buf.data(), buf.size());
+        trySendStream(s, buf.data(), buf.size());
     }
+}
+
+void
+SocketTransport::peerStreamDown(std::uint32_t s)
+{
+    if (peer_fd_[s] >= 0) {
+        ::close(peer_fd_[s]);
+        peer_fd_[s] = -1;
+    }
+    if (peer_alive_[s]) {
+        peer_alive_[s] = 0;
+        ++stats_.suspect_events;
+        stats_.peer_suspected |= 1ull << s;
+    }
+    reasm_[s].clear();
+}
+
+bool
+SocketTransport::trySendStream(std::uint32_t s,
+                               const std::uint8_t *data,
+                               std::size_t len)
+{
+    if (peer_fd_[s] < 0 || !peer_alive_[s]) {
+        ++stats_.gaveup_frames;
+        return false;
+    }
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t k =
+            ::send(peer_fd_[s], data + off, len - off,
+#ifdef MSG_NOSIGNAL
+                   MSG_NOSIGNAL
+#else
+                   0
+#endif
+            );
+        if (k < 0) {
+            if (errno == EINTR)
+                continue;
+            if (cfg_.tick) {
+                warn("shard ", cfg_.shard_id, ": peer ", s,
+                     " stream send failed (",
+                     std::strerror(errno),
+                     "); awaiting obituary");
+                peerStreamDown(s);
+                ++stats_.gaveup_frames;
+                return false;
+            }
+            fatal("shard stream send failed: ",
+                  std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(k);
+    }
+    return true;
 }
 
 void
@@ -437,7 +509,7 @@ SocketTransport::ensureFlushed()
     const std::vector<DpReport> reports = selectDpReports(nrep);
 
     for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
-        if (pair_cut_[s].empty())
+        if (pair_cut_[s].empty() || !peer_alive_[s])
             continue;
         TxAccum &a = tx_[s];
         stats_.edges_suppressed += a.suppressed;
@@ -446,6 +518,7 @@ SocketTransport::ensureFlushed()
         do {
             CutBatchMsg m;
             m.sender = cfg_.shard_id;
+            m.epoch = epoch_;
             m.round = round_;
             m.seq = seq;
             if (seq == 0) {
@@ -478,12 +551,16 @@ SocketTransport::ensureFlushed()
 void
 SocketTransport::resendRound(std::uint32_t s, std::uint64_t round)
 {
-    if (cfg_.proto != Proto::Udp)
+    if (cfg_.proto != Proto::Udp || !peer_alive_[s])
         return;
     const TxRound &tr =
         tx_ring_[std::size_t{s} * w_tx_ + round % w_tx_];
     if (tr.round != round)
         return; // aged out of the ring
+    if (blackholed(s)) {
+        stats_.gaveup_frames += tr.datagrams.size();
+        return;
+    }
     for (const auto &dg : tr.datagrams) {
         sockaddr_in addr = loopbackAddr(peer_port_[s]);
         (void)::sendto(sock_, dg.data(), dg.size(), 0,
@@ -589,6 +666,16 @@ SocketTransport::fileBatch(const CutBatchMsg &msg)
              " dropping batch with bad sender ", s);
         return;
     }
+    if (msg.epoch != epoch_) {
+        // Epoch fence: a datagram from before (or racing past) a
+        // reconfiguration describes a round the rollback discarded;
+        // filing it would corrupt the post-recovery replay cache.
+        ++stats_.stale_epoch_frames;
+        return;
+    }
+    // Any current-epoch traffic from s proves it alive: refund its
+    // suspicion budget.
+    peer_ticks_[s] = 0;
     if (msg.round < rx_emitted_) {
         // A replay of a fully resolved round: the peer is stuck
         // waiting on US -- replay our retained rounds to it.
@@ -814,11 +901,32 @@ SocketTransport::receiveSome(int timeout_ms)
                 if (errno == EAGAIN || errno == EWOULDBLOCK ||
                     errno == EINTR)
                     continue;
-                fatal("shard recv(): ", std::strerror(errno));
+                // A SIGKILLed peer resets the stream (RST) rather
+                // than closing it: same suspected-death handling
+                // as EOF under a control plane.
+                if (!cfg_.tick)
+                    fatal("shard recv(): ",
+                          std::strerror(errno));
+                warn("shard ", cfg_.shard_id, ": peer ", s,
+                     " stream error (", std::strerror(errno),
+                     "); awaiting obituary");
+                peerStreamDown(s);
+                continue;
             }
-            if (k == 0)
-                fatal("shard ", cfg_.shard_id, ": peer ", s,
-                      " closed its stream mid-run");
+            if (k == 0) {
+                // Stream EOF mid-run.  Under a control plane (tick
+                // hook) this is a suspected death: stop talking to
+                // the peer and let the broker obituary confirm.
+                // Without one it is unrecoverable, as before.
+                if (!cfg_.tick)
+                    fatal("shard ", cfg_.shard_id, ": peer ", s,
+                          " closed its stream mid-run");
+                warn("shard ", cfg_.shard_id, ": peer ", s,
+                     " closed its stream mid-run; awaiting "
+                     "obituary");
+                peerStreamDown(s);
+                continue;
+            }
             stats_.bytes_received += static_cast<std::size_t>(k);
             auto &rb = reasm_[s];
             rb.insert(rb.end(), buf, buf + k);
@@ -894,6 +1002,52 @@ SocketTransport::tryPoll(Delivery &out)
     return false;
 }
 
+void
+SocketTransport::tickRetransmit()
+{
+    // Which peers still owe halves of the oldest unresolved round?
+    // (Suspicion tracks silence from peers we are WAITING ON, not
+    // peers that merely have not acked -- there are no acks.)
+    const RxSlot &slot = rx_ring_[rx_emitted_ % w_rx_];
+    std::vector<std::uint8_t> owed(cfg_.num_shards, 0);
+    if (slot.round == rx_emitted_)
+        for (const std::uint32_t ci : slot.offered)
+            if (slot.st[ci] == 0)
+                owed[cut_[ci].peer] = 1;
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+        if (s == cfg_.shard_id || pair_cut_[s].empty() ||
+            !peer_alive_[s])
+            continue;
+        if (!owed[s]) {
+            peer_ticks_[s] = 0;
+        } else {
+            ++peer_ticks_[s];
+            if (peer_ticks_[s] == cfg_.suspect_after) {
+                ++stats_.suspect_events;
+                if ((stats_.peer_suspected & (1ull << s)) == 0)
+                    warn("shard ", cfg_.shard_id, " suspects peer ",
+                         s, " (silent for ", peer_ticks_[s],
+                         " retransmit ticks in round ", rx_emitted_,
+                         ")");
+                stats_.peer_suspected |= 1ull << s;
+            }
+        }
+        if (peer_ticks_[s] >= cfg_.suspect_after) {
+            // Retransmit budget exhausted: withhold blind timer
+            // resends (each withheld datagram is a gaveup) until
+            // the peer's own traffic refunds the budget.  The
+            // dup-triggered nudgePeer path stays live, so a slow
+            // peer can still unstick itself.
+            const TxRound &tr =
+                tx_ring_[std::size_t{s} * w_tx_ + round_ % w_tx_];
+            if (tr.round == round_)
+                stats_.gaveup_frames += tr.datagrams.size();
+            continue;
+        }
+        resendRound(s, round_);
+    }
+}
+
 bool
 SocketTransport::poll(Delivery &out)
 {
@@ -907,18 +1061,113 @@ SocketTransport::poll(Delivery &out)
         }
         if (roundComplete())
             return false;
+        if (abort_)
+            return false;
         replayed_this_poll_ = false;
-        if (!receiveSome(cfg_.retrans_ms)) {
-            // Timer tick with nothing received: nudge every peer
-            // we still owe/expect traffic with a retransmit.
-            for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
-                if (s != cfg_.shard_id && !pair_cut_[s].empty())
-                    resendRound(s, round_);
+        const bool got = receiveSome(cfg_.retrans_ms);
+        // The control-plane hook runs on EVERY wait iteration --
+        // steady data-plane traffic must not starve heartbeats or
+        // delay an epoch-change abort.
+        if (cfg_.tick && cfg_.tick()) {
+            abort_ = true;
+            return false;
+        }
+        if (!got) {
+            tickRetransmit();
             if (nowMs() > give_up)
                 fatalTimeout();
         }
         resolveRx();
     }
+}
+
+void
+SocketTransport::setBlackhole(std::uint32_t peer, int duration_ms)
+{
+    DPC_ASSERT(peer < cfg_.num_shards, "blackhole peer ", peer,
+               " out of range");
+    DPC_ASSERT(cfg_.proto == Proto::Udp,
+               "blackhole injection is UDP-only (a TCP stream "
+               "cannot lose bytes without dying)");
+    blackhole_until_[peer] = nowMs() + duration_ms;
+}
+
+bool
+SocketTransport::blackholed(std::uint32_t s) const
+{
+    return blackhole_until_[s] != 0 && nowMs() < blackhole_until_[s];
+}
+
+void
+SocketTransport::epochChange(std::uint32_t epoch,
+                             std::uint64_t dead_mask,
+                             std::uint64_t resume_round)
+{
+    DPC_ASSERT(epoch > epoch_, "epoch must advance (", epoch_,
+               " -> ", epoch, ")");
+    epoch_ = epoch;
+    abort_ = false;
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+        if (((dead_mask >> s) & 1u) != 0) {
+            DPC_ASSERT(s != cfg_.shard_id,
+                       "obituary names the local shard");
+            peer_alive_[s] = 0;
+            if (peer_fd_[s] >= 0) {
+                ::close(peer_fd_[s]);
+                peer_fd_[s] = -1;
+            }
+            reasm_[s].clear();
+        }
+        peer_ticks_[s] = 0;
+    }
+    // Abandon every retained datagram and half-packed batch: they
+    // encode pre-rollback speculation from the old epoch.
+    for (TxRound &tr : tx_ring_) {
+        stats_.gaveup_frames += tr.datagrams.size();
+        tr.round = kNoRound;
+        tr.datagrams.clear();
+    }
+    for (TxAccum &a : tx_) {
+        a.changed.clear();
+        a.bitmap.clear();
+        a.offered = 0;
+        a.suppressed = 0;
+    }
+    for (RxSlot &s : rx_ring_) {
+        s.round = kNoRound;
+        s.val.clear();
+        s.st.clear();
+        s.filed = 0;
+        s.offered.clear();
+        s.open = false;
+        s.seq_seen.clear();
+    }
+    ready_.clear();
+    head_ = 0;
+    // Reset the suppression caches in BOTH directions: survivors
+    // rolled back across rounds whose transmissions already
+    // refreshed the caches, so the first post-recovery round must
+    // ship every half explicitly or sender and receiver caches
+    // could disagree.
+    std::fill(tx_has_.begin(), tx_has_.end(), 0);
+    std::fill(rx_has_.begin(), rx_has_.end(), 0);
+    rx_emitted_ = resume_round;
+    // The piggybacked all-reduce restarts at the resume round over
+    // the survivor mask; unresolved pre-death rounds are abandoned
+    // (accounting only, never a barrier).
+    for (DpEntry &e : dp_win_)
+        e = DpEntry{};
+    dp_ready_.clear();
+    dp_head_ = 0;
+    dp_emitted_ = resume_round;
+    all_mask_ = 0;
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
+        if (s == cfg_.shard_id || peer_alive_[s])
+            all_mask_ |= 1ull << s;
+    round_ = resume_round;
+    started_ = false;
+    flushed_ = false;
+    sink_active_ = false;
 }
 
 } // namespace net

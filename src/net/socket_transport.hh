@@ -70,6 +70,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -112,6 +113,28 @@ class SocketTransport final : public Transport
          * whose fixed part (reports + suppression bitmap) alone
          * exceeds it is sent oversized rather than split. */
         std::size_t datagram_budget = 1400;
+        /**
+         * Retransmit budget per peer: after this many consecutive
+         * fruitless retransmit ticks while a peer still owes the
+         * oldest unresolved round, the peer is SUSPECTED (stats)
+         * and blind timer resends to it stop (each skipped resend
+         * counts as a gaveup frame).  Dup-triggered replays stay
+         * on, so a merely slow peer unsticks itself; the budget
+         * resets the moment the peer's traffic files anything.
+         * Suspicion is a local hint -- correctness-critical death
+         * handling rides on the broker obituary via `tick`.
+         */
+        int suspect_after = 50;
+        /**
+         * Control-plane hook called from inside poll()'s wait loop
+         * (never from the tryPoll hot path).  Return true to ABORT
+         * the open round: poll() returns false immediately with
+         * aborted() set, instead of spinning until the round
+         * timeout.  The shard runtime uses this to pump heartbeats
+         * and to notice a broker EpochChange while blocked on a
+         * dead peer.  Empty = pre-v3 behavior (fatal timeout).
+         */
+        std::function<bool()> tick;
     };
 
     /** Per-run wire accounting (the BENCH_wire numbers).
@@ -134,6 +157,18 @@ class SocketTransport final : public Transport
          * counts frames carrying [2^b, 2^(b+1)) cut halves. */
         std::array<std::uint64_t, kEdgesPerFrameBuckets>
             edges_per_frame_hist{};
+        /** CutBatch frames dropped by the epoch fence (stale
+         * epoch != current epoch). */
+        std::uint64_t stale_epoch_frames = 0;
+        /** Frames abandoned without delivery: retained datagrams
+         * dropped at an epoch change plus timer resends withheld
+         * from suspected peers and sends eaten by a blackhole. */
+        std::uint64_t gaveup_frames = 0;
+        /** Times a peer crossed the suspect_after budget. */
+        std::uint64_t suspect_events = 0;
+        /** Bitmask of peers ever suspected (sticky; bit s = shard
+         * s).  A queryable record, not a correctness input. */
+        std::uint64_t peer_suspected = 0;
     };
 
     /** Binds the local data port (ephemeral; localPort() reports
@@ -205,6 +240,42 @@ class SocketTransport final : public Transport
      * order; false when none is resolved yet.  Purely accounting:
      * an unresolved tail at exit is legitimate. */
     bool pollGlobalMax(std::uint64_t &round, double &global_max_dp);
+
+    /** True after Config::tick aborted the open round (the caller
+     * must roll back and call epochChange before reusing the
+     * transport). */
+    bool aborted() const override { return abort_; }
+
+    /** Current configuration epoch (stamped on every CutBatch). */
+    std::uint32_t epoch() const { return epoch_; }
+
+    /**
+     * Enter configuration epoch `epoch` after the broker confirmed
+     * the shards in `dead_mask` dead and every survivor rolled back
+     * to `resume_round` completed rounds.  Closes dead peers' TCP
+     * streams, drops every retained datagram and half-packed batch
+     * (counted as gaveup frames -- they belong to the old epoch and
+     * may encode discarded speculation), resets the suppression
+     * caches on BOTH directions (the first post-recovery round
+     * ships every value explicitly, so sender and receiver caches
+     * cannot disagree across the rollback), clears the rx/dp
+     * windows to resume at `resume_round`, shrinks the all-reduce
+     * mask to the survivors, and clears the abort flag.  Stale
+     * datagrams still in the socket buffer are fenced off by their
+     * epoch field.
+     */
+    void epochChange(std::uint32_t epoch, std::uint64_t dead_mask,
+                     std::uint64_t resume_round);
+
+    /**
+     * Fault injection: silently drop every datagram addressed to
+     * `peer` for the next `duration_ms` of wall clock (UDP only;
+     * dropped sends count as gaveup frames).  First transmissions
+     * are still retained, so once the hole heals the normal
+     * retransmit/nudge machinery re-delivers them -- the round
+     * completes late but bitwise identical.
+     */
+    void setBlackhole(std::uint32_t peer, int duration_ms);
 
     const Stats &stats() const { return stats_; }
     const Config &config() const { return cfg_; }
@@ -324,6 +395,25 @@ class SocketTransport final : public Transport
 
     void fatalTimeout();
 
+    /** One fruitless retransmit tick: expire blackholes, resend
+     * the open round to peers still owed (within their suspicion
+     * budget), and advance the per-peer suspicion counters. */
+    void tickRetransmit();
+
+    /** Outgoing traffic to `s` is currently blackholed. */
+    bool blackholed(std::uint32_t s) const;
+
+    /** TCP: the stream to `s` failed (EOF or a connection error).
+     * Under a control-plane tick this is a suspected death --
+     * close the fd, stop talking, await the broker obituary. */
+    void peerStreamDown(std::uint32_t s);
+
+    /** TCP: send the whole buffer to `s`, degrading connection
+     * errors to peerStreamDown() under a control-plane tick
+     * (fatal without one, as before).  False = stream lost. */
+    bool trySendStream(std::uint32_t s, const std::uint8_t *data,
+                       std::size_t len);
+
     Config cfg_;
     std::uint16_t local_port_ = 0;
     int sock_ = -1;               ///< UDP data / TCP listen socket
@@ -389,6 +479,21 @@ class SocketTransport final : public Transport
 
     /** Rate limit for dup-triggered replays (one per drain). */
     bool replayed_this_poll_ = false;
+
+    /** Current configuration epoch (stamped on every CutBatch;
+     * batches from other epochs are fenced off in fileBatch). */
+    std::uint32_t epoch_ = 0;
+    /** Config::tick aborted the open round. */
+    bool abort_ = false;
+    /** peer_alive_[s] = 0 once the broker declared s dead (or its
+     * TCP stream closed under a fault-tolerant run). */
+    std::vector<std::uint8_t> peer_alive_;
+    /** Consecutive fruitless retransmit ticks per peer while it
+     * owes the oldest unresolved round (suspicion counter). */
+    std::vector<int> peer_ticks_;
+    /** Wall-clock ms until which outgoing traffic to each peer is
+     * blackholed (0 = clear). */
+    std::vector<std::int64_t> blackhole_until_;
 
     Stats stats_;
 };

@@ -184,6 +184,16 @@ class Transport
     virtual bool incomplete() const { return false; }
 
     /**
+     * True after the transport aborted the open round from inside
+     * poll() (an epoch change requested by a control plane rather
+     * than a completed round).  poll() then returns false with the
+     * round still incomplete; the caller must discard the round's
+     * partial state (roll back) before touching the transport
+     * again.  In-process transports never abort.
+     */
+    virtual bool aborted() const { return false; }
+
+    /**
      * Optional offer-elision contract.  A fate-neutral transport
      * (one that never drops or lags a pair on its own) may return
      * a per-overlay-edge mask here; nullptr (the default) declines.

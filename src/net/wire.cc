@@ -174,6 +174,7 @@ encodeBody(const Frame &frame, std::vector<std::uint8_t> &out)
     case FrameType::Result: {
         const ResultMsg &m = frame.result;
         putU32(out, m.shard_id);
+        putU32(out, m.epoch);
         putU64(out, m.bytes_sent);
         putU64(out, m.frames_sent);
         putU64(out, m.retransmits);
@@ -182,6 +183,10 @@ encodeBody(const Frame &frame, std::vector<std::uint8_t> &out)
         putU64(out, m.frames_received);
         putU64(out, m.duplicates);
         putU64(out, m.edges_suppressed);
+        putU64(out, m.stale_epoch_frames);
+        putU64(out, m.gaveup_frames);
+        putU64(out, m.suspect_events);
+        putU64(out, m.peer_suspected);
         for (std::uint64_t b : m.edges_per_frame_hist)
             putU64(out, b);
         putF64(out, m.final_local_max_dp);
@@ -201,6 +206,7 @@ encodeBody(const Frame &frame, std::vector<std::uint8_t> &out)
     case FrameType::CutBatch: {
         const CutBatchMsg &m = frame.cut_batch;
         putU32(out, m.sender);
+        putU32(out, m.epoch);
         putU64(out, m.round);
         putU32(out, m.seq);
         out.push_back(static_cast<std::uint8_t>(m.reports.size()));
@@ -218,6 +224,37 @@ encodeBody(const Frame &frame, std::vector<std::uint8_t> &out)
         }
         for (std::uint64_t w : m.unchanged)
             putU64(out, w);
+        break;
+    }
+    case FrameType::EpochChange: {
+        const EpochChangeMsg &m = frame.epoch_change;
+        putU32(out, m.epoch);
+        out.push_back(static_cast<std::uint8_t>(m.phase));
+        putU64(out, m.resume_round);
+        putU64(out, m.dead_mask);
+        putU32(out, static_cast<std::uint32_t>(m.held.size()));
+        for (double h : m.held)
+            putF64(out, h);
+        break;
+    }
+    case FrameType::EpochAck: {
+        const EpochAckMsg &m = frame.epoch_ack;
+        putU32(out, m.shard_id);
+        putU32(out, m.epoch);
+        out.push_back(static_cast<std::uint8_t>(m.phase));
+        putU64(out, m.last_completed);
+        putU32(out, static_cast<std::uint32_t>(m.sum_p.size()));
+        for (std::size_t j = 0; j < m.sum_p.size(); ++j) {
+            putF64(out, m.sum_p[j]);
+            putF64(out, m.sum_e[j]);
+        }
+        break;
+    }
+    case FrameType::Heartbeat: {
+        const HeartbeatMsg &m = frame.heartbeat;
+        putU32(out, m.shard_id);
+        putU32(out, m.epoch);
+        putU64(out, m.round);
         break;
     }
     }
@@ -280,11 +317,14 @@ decodeBody(FrameType type, const std::uint8_t *data, std::size_t len,
     case FrameType::Result: {
         ResultMsg &m = out.result;
         std::uint32_t count = 0;
-        if (!(r.u32(m.shard_id) && r.u64(m.bytes_sent) &&
-              r.u64(m.frames_sent) && r.u64(m.retransmits) &&
-              r.u64(m.retrans_bytes) && r.u64(m.bytes_received) &&
-              r.u64(m.frames_received) && r.u64(m.duplicates) &&
-              r.u64(m.edges_suppressed)))
+        if (!(r.u32(m.shard_id) && r.u32(m.epoch) &&
+              r.u64(m.bytes_sent) && r.u64(m.frames_sent) &&
+              r.u64(m.retransmits) && r.u64(m.retrans_bytes) &&
+              r.u64(m.bytes_received) && r.u64(m.frames_received) &&
+              r.u64(m.duplicates) && r.u64(m.edges_suppressed) &&
+              r.u64(m.stale_epoch_frames) &&
+              r.u64(m.gaveup_frames) && r.u64(m.suspect_events) &&
+              r.u64(m.peer_suspected)))
             return false;
         for (auto &b : m.edges_per_frame_hist)
             if (!r.u64(b))
@@ -311,9 +351,9 @@ decodeBody(FrameType type, const std::uint8_t *data, std::size_t len,
         CutBatchMsg &m = out.cut_batch;
         std::uint8_t n_reports = 0;
         std::uint32_t n_changed = 0, n_words = 0;
-        if (!(r.u32(m.sender) && r.u64(m.round) && r.u32(m.seq) &&
-              r.u8(n_reports) && r.u32(n_changed) &&
-              r.u32(n_words)))
+        if (!(r.u32(m.sender) && r.u32(m.epoch) &&
+              r.u64(m.round) && r.u32(m.seq) && r.u8(n_reports) &&
+              r.u32(n_changed) && r.u32(n_words)))
             return false;
         // The length prefix bounds the payload; reject counts that
         // cannot fit before allocating.
@@ -337,6 +377,49 @@ decodeBody(FrameType type, const std::uint8_t *data, std::size_t len,
                 return false;
         return r.done();
     }
+    case FrameType::EpochChange: {
+        EpochChangeMsg &m = out.epoch_change;
+        std::uint8_t phase = 0;
+        std::uint32_t n_held = 0;
+        if (!(r.u32(m.epoch) && r.u8(phase) &&
+              r.u64(m.resume_round) && r.u64(m.dead_mask) &&
+              r.u32(n_held)))
+            return false;
+        if (phase > static_cast<std::uint8_t>(EpochPhase::Resume))
+            return false;
+        m.phase = static_cast<EpochPhase>(phase);
+        if (std::size_t{n_held} * 8 > len)
+            return false;
+        m.held.resize(n_held);
+        for (double &h : m.held)
+            if (!r.f64(h))
+                return false;
+        return r.done();
+    }
+    case FrameType::EpochAck: {
+        EpochAckMsg &m = out.epoch_ack;
+        std::uint8_t phase = 0;
+        std::uint32_t n_comps = 0;
+        if (!(r.u32(m.shard_id) && r.u32(m.epoch) && r.u8(phase) &&
+              r.u64(m.last_completed) && r.u32(n_comps)))
+            return false;
+        if (phase > static_cast<std::uint8_t>(EpochPhase::Resume))
+            return false;
+        m.phase = static_cast<EpochPhase>(phase);
+        if (std::size_t{n_comps} * 16 > len)
+            return false;
+        m.sum_p.resize(n_comps);
+        m.sum_e.resize(n_comps);
+        for (std::uint32_t j = 0; j < n_comps; ++j)
+            if (!(r.f64(m.sum_p[j]) && r.f64(m.sum_e[j])))
+                return false;
+        return r.done();
+    }
+    case FrameType::Heartbeat: {
+        HeartbeatMsg &m = out.heartbeat;
+        return r.u32(m.shard_id) && r.u32(m.epoch) &&
+               r.u64(m.round) && r.done();
+    }
     }
     return false;
 }
@@ -345,7 +428,7 @@ bool
 knownType(std::uint16_t t)
 {
     return t >= static_cast<std::uint16_t>(FrameType::Hello) &&
-           t <= static_cast<std::uint16_t>(FrameType::CutBatch);
+           t <= static_cast<std::uint16_t>(FrameType::Heartbeat);
 }
 
 } // namespace
@@ -391,7 +474,9 @@ std::size_t
 cutBatchFrameSize(std::size_t n_reports, std::size_t n_changed,
                   std::size_t n_bitmap_words)
 {
-    return kWireHeaderSize + 25 + n_reports * 24 + n_changed * 12 +
+    // Fixed part: sender(4) + epoch(4) + round(8) + seq(4) +
+    // n_reports(1) + n_changed(4) + n_bitmap_words(4) = 29.
+    return kWireHeaderSize + 29 + n_reports * 24 + n_changed * 12 +
            n_bitmap_words * 8;
 }
 

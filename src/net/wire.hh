@@ -42,7 +42,13 @@
  *                                  per-shard-pair cut list, quiesced
  *                                  values as a compact bitmap, and
  *                                  piggybacked max-|dp| all-reduce
- *                                  reports
+ *                                  reports; epoch-stamped (v3)
+ *   EpochChange  broker -> shard   recovery phase after a shard
+ *                                  death (Quiesce/Rollback/Resume)
+ *   EpochAck     shard -> broker   phase acknowledgement + the
+ *                                  shard's recovery inputs
+ *   Heartbeat    shard -> broker   liveness beacon (distinguishes
+ *                                  hung from slow)
  *
  * decodeFrame() is incremental (NeedMore on a short buffer) so the
  * same codec serves UDP datagrams (one frame per datagram) and TCP
@@ -66,15 +72,17 @@ namespace net {
 /** Frame magic: "DPCW" read as a little-endian u32. */
 inline constexpr std::uint32_t kWireMagic = 0x57435044u;
 
-/** Protocol version this build speaks.  v2 adds CutBatch frames
- * and the extended Result layout (stats + phase breakdown). */
-inline constexpr std::uint16_t kWireVersion = 2;
+/** Protocol version this build speaks.  v2 added CutBatch frames
+ * and the extended Result layout (stats + phase breakdown); v3
+ * adds the epoch fence (epoch field on CutBatch/Result, the
+ * EpochChange/EpochAck recovery handshake, and shard->broker
+ * Heartbeat frames). */
+inline constexpr std::uint16_t kWireVersion = 3;
 
-/** Oldest version this build still accepts.  v1 peers framed one
- * PairTransfer per cut half and used the v1 Result layout; a v2
- * data plane cannot interoperate with that, so the floor moves
- * with the version. */
-inline constexpr std::uint16_t kWireMinVersion = 2;
+/** Oldest version this build still accepts.  A v2 peer has no
+ * epoch field in its CutBatch layout and cannot be fenced out of
+ * a post-recovery round, so the floor moves with the version. */
+inline constexpr std::uint16_t kWireMinVersion = 3;
 
 /** Fixed header size in bytes. */
 inline constexpr std::size_t kWireHeaderSize = 12;
@@ -93,6 +101,17 @@ enum class FrameType : std::uint16_t
     RoundGo = 5,
     Result = 6,
     CutBatch = 7,
+    /** broker -> shard: epoch-fenced reconfiguration phases
+     * (Quiesce / Rollback / Resume) after a confirmed shard
+     * death. */
+    EpochChange = 8,
+    /** shard -> broker: acknowledgement of one EpochChange phase,
+     * carrying the shard's recovery inputs. */
+    EpochAck = 9,
+    /** shard -> broker: liveness beacon; a hung (SIGSTOP) shard
+     * stops sending these while its sockets stay open, which is
+     * what distinguishes it from a slow one. */
+    Heartbeat = 10,
 };
 
 /**
@@ -177,7 +196,7 @@ struct DpReport
  * therefore cost one bit per round instead of a 12-byte record.
  *
  * Payload layout (little-endian):
- *   u32 sender | u64 round | u32 seq | u8 n_reports |
+ *   u32 sender | u32 epoch | u64 round | u32 seq | u8 n_reports |
  *   u32 n_changed | u32 n_bitmap_words |
  *   n_reports  x { u64 round | u64 shard_mask | f64 max_dp } |
  *   n_changed  x { u32 cut_index | u64 e_bits } |
@@ -186,6 +205,10 @@ struct DpReport
 struct CutBatchMsg
 {
     std::uint32_t sender = 0;
+    /** Configuration epoch the batch belongs to; receivers in a
+     * newer epoch drop it (the fence that keeps a pre-death
+     * datagram out of a post-death round). */
+    std::uint32_t epoch = 0;
     std::uint64_t round = 0;
     /** Batch sequence within (sender, receiver, round); the dedup
      * unit for UDP replays. */
@@ -203,6 +226,10 @@ struct CutBatchMsg
 struct ResultMsg
 {
     std::uint32_t shard_id = 0;
+    /** Epoch the reported state belongs to; the broker discards
+     * Results from epochs older than its current one (a shard that
+     * finished before the death re-runs and reports again). */
+    std::uint32_t epoch = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t frames_sent = 0;
     std::uint64_t retransmits = 0;
@@ -211,6 +238,17 @@ struct ResultMsg
     std::uint64_t frames_received = 0;
     std::uint64_t duplicates = 0;
     std::uint64_t edges_suppressed = 0;
+    /** CutBatch frames dropped by the epoch fence. */
+    std::uint64_t stale_epoch_frames = 0;
+    /** Frames abandoned without delivery: retained datagrams
+     * dropped at an epoch change plus sends withheld from
+     * suspected or blackholed peers. */
+    std::uint64_t gaveup_frames = 0;
+    /** Times a peer crossed the suspect_after fruitless-tick
+     * budget. */
+    std::uint64_t suspect_events = 0;
+    /** Bitmask of peers ever suspected (bit s = shard s). */
+    std::uint64_t peer_suspected = 0;
     std::array<std::uint64_t, kEdgesPerFrameBuckets>
         edges_per_frame_hist{};
     /** The shard's own last-round max |dp| (the broker maxes these
@@ -230,6 +268,73 @@ struct ResultMsg
     std::vector<double> estimate;
 };
 
+/** Phases of the epoch-fenced recovery handshake. */
+enum class EpochPhase : std::uint8_t
+{
+    /** Abort the in-flight round; report last completed round. */
+    Quiesce = 0,
+    /** Roll back to resume_round; fail the dead block's nodes and
+     * report per-component held-budget partials. */
+    Rollback = 1,
+    /** Re-federate with the folded held budgets and resume the
+     * round loop at resume_round. */
+    Resume = 2,
+};
+
+/**
+ * EpochChange payload: one phase of the broker-orchestrated
+ * recovery after a confirmed shard death.
+ *
+ * Payload layout (little-endian):
+ *   u32 epoch | u8 phase | u64 resume_round | u64 dead_mask |
+ *   u32 n_held | n_held x f64
+ */
+struct EpochChangeMsg
+{
+    std::uint32_t epoch = 0;
+    EpochPhase phase = EpochPhase::Quiesce;
+    /** Rollback/Resume: first round every survivor re-runs (the
+     * minimum last-completed round across survivors). */
+    std::uint64_t resume_round = 0;
+    /** Bitmask of shards confirmed dead (bit s = shard s). */
+    std::uint64_t dead_mask = 0;
+    /** Resume only: folded per-component held budgets, in
+     * component-label order (ascending shard-id fold of the Ack2
+     * partials -- every survivor applies the identical doubles). */
+    std::vector<double> held;
+};
+
+/**
+ * EpochAck payload: a shard's answer to one EpochChange phase.
+ *
+ * Payload layout (little-endian):
+ *   u32 shard_id | u32 epoch | u8 phase | u64 last_completed |
+ *   u32 n_comps | n_comps x { f64 sum_p | f64 sum_e }
+ */
+struct EpochAckMsg
+{
+    std::uint32_t shard_id = 0;
+    std::uint32_t epoch = 0;
+    EpochPhase phase = EpochPhase::Quiesce;
+    /** Quiesce ack: rounds this shard has fully completed (its
+     * checkpointed high-water mark). */
+    std::uint64_t last_completed = 0;
+    /** Rollback ack: per-component (sum p, sum e) partials over
+     * the shard's OWNED active nodes in ascending original id --
+     * the broker folds these in ascending shard order. */
+    std::vector<double> sum_p;
+    std::vector<double> sum_e;
+};
+
+/** Heartbeat payload: shard liveness beacon on the broker link. */
+struct HeartbeatMsg
+{
+    std::uint32_t shard_id = 0;
+    std::uint32_t epoch = 0;
+    /** Rounds completed so far (progress report, not a barrier). */
+    std::uint64_t round = 0;
+};
+
 /** A decoded frame: type tag + the one active message. */
 struct Frame
 {
@@ -242,6 +347,9 @@ struct Frame
     RoundGoMsg round_go;
     ResultMsg result;
     CutBatchMsg cut_batch;
+    EpochChangeMsg epoch_change;
+    EpochAckMsg epoch_ack;
+    HeartbeatMsg heartbeat;
 };
 
 /** Incremental decode outcome. */
@@ -289,6 +397,13 @@ bool negotiateVersion(std::uint16_t mine, std::uint16_t theirs,
 /** Hard cap on payload_len (a decode guard against garbage
  * headers; generous for Result frames of large shards). */
 inline constexpr std::uint32_t kWireMaxPayload = 1u << 28;
+
+/** Smallest useful data-plane frame: a CutBatch carrying one
+ * changed record and nothing else (fixed part 29 bytes + one
+ * 12-byte record).  SocketTransport::Config::datagram_budget must
+ * be at least this, or the batch packer cannot make progress. */
+inline constexpr std::size_t kMinFrameSize =
+    kWireHeaderSize + 29 + 12;
 
 } // namespace net
 } // namespace dpc

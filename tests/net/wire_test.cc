@@ -228,6 +228,128 @@ TEST(WireCodecTest, CutBatchRoundTripsExactly)
     EXPECT_TRUE(eout.cut_batch.unchanged.empty());
 }
 
+TEST(WireCodecTest, CutBatchCarriesItsEpoch)
+{
+    // The v3 epoch field is the recovery fence: a batch from an
+    // old configuration epoch must arrive tagged so fileBatch can
+    // drop it.
+    Frame in;
+    in.type = FrameType::CutBatch;
+    in.cut_batch.sender = 1;
+    in.cut_batch.epoch = 0xdeadbeefu;
+    in.cut_batch.round = 17;
+    in.cut_batch.seq = 2;
+    const Frame out = roundTrip(in);
+    ASSERT_EQ(out.type, FrameType::CutBatch);
+    EXPECT_EQ(out.cut_batch.epoch, 0xdeadbeefu);
+}
+
+TEST(WireCodecTest, EpochChangeRoundTripsEveryPhase)
+{
+    const EpochPhase phases[] = {EpochPhase::Quiesce,
+                                 EpochPhase::Rollback,
+                                 EpochPhase::Resume};
+    for (const EpochPhase ph : phases) {
+        Frame in;
+        in.type = FrameType::EpochChange;
+        in.epoch_change.epoch = 3;
+        in.epoch_change.phase = ph;
+        in.epoch_change.resume_round = 0x123456789abcULL;
+        in.epoch_change.dead_mask = 0b1010;
+        if (ph == EpochPhase::Resume)
+            in.epoch_change.held = {-1234.5, -0.0, 1.0 / 3.0};
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::EpochChange);
+        EXPECT_EQ(out.epoch_change.epoch, 3u);
+        EXPECT_EQ(out.epoch_change.phase, ph);
+        EXPECT_EQ(out.epoch_change.resume_round,
+                  in.epoch_change.resume_round);
+        EXPECT_EQ(out.epoch_change.dead_mask, 0b1010u);
+        ASSERT_EQ(out.epoch_change.held.size(),
+                  in.epoch_change.held.size());
+        for (std::size_t i = 0; i < out.epoch_change.held.size();
+             ++i)
+            EXPECT_TRUE(sameBits(out.epoch_change.held[i],
+                                 in.epoch_change.held[i]));
+    }
+}
+
+TEST(WireCodecTest, EpochAckRoundTripsPartialsBitwise)
+{
+    // The Ack2 partials feed the canonical held-budget fold; any
+    // rounding in transit would split the survivors' re-federation
+    // bits.
+    Frame in;
+    in.type = FrameType::EpochAck;
+    in.epoch_ack.shard_id = 2;
+    in.epoch_ack.epoch = 5;
+    in.epoch_ack.phase = EpochPhase::Rollback;
+    in.epoch_ack.last_completed = 41;
+    in.epoch_ack.sum_p = {513.0, std::nextafter(170.0, 0.0)};
+    in.epoch_ack.sum_e = {-1e-12, -0.0};
+    const Frame out = roundTrip(in);
+    ASSERT_EQ(out.type, FrameType::EpochAck);
+    EXPECT_EQ(out.epoch_ack.shard_id, 2u);
+    EXPECT_EQ(out.epoch_ack.epoch, 5u);
+    EXPECT_EQ(out.epoch_ack.phase, EpochPhase::Rollback);
+    EXPECT_EQ(out.epoch_ack.last_completed, 41u);
+    ASSERT_EQ(out.epoch_ack.sum_p.size(), 2u);
+    ASSERT_EQ(out.epoch_ack.sum_e.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_TRUE(sameBits(out.epoch_ack.sum_p[i],
+                             in.epoch_ack.sum_p[i]));
+        EXPECT_TRUE(sameBits(out.epoch_ack.sum_e[i],
+                             in.epoch_ack.sum_e[i]));
+    }
+}
+
+TEST(WireCodecTest, HeartbeatAndFaultStatsRoundTrip)
+{
+    {
+        Frame in;
+        in.type = FrameType::Heartbeat;
+        in.heartbeat.shard_id = 7;
+        in.heartbeat.epoch = 2;
+        in.heartbeat.round = 0xabcdefULL;
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::Heartbeat);
+        EXPECT_EQ(out.heartbeat.shard_id, 7u);
+        EXPECT_EQ(out.heartbeat.epoch, 2u);
+        EXPECT_EQ(out.heartbeat.round, 0xabcdefULL);
+    }
+    {
+        Frame in;
+        in.type = FrameType::Result;
+        in.result.shard_id = 1;
+        in.result.epoch = 4;
+        in.result.stale_epoch_frames = 11;
+        in.result.gaveup_frames = 22;
+        in.result.suspect_events = 33;
+        in.result.peer_suspected = 0b101;
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::Result);
+        EXPECT_EQ(out.result.epoch, 4u);
+        EXPECT_EQ(out.result.stale_epoch_frames, 11u);
+        EXPECT_EQ(out.result.gaveup_frames, 22u);
+        EXPECT_EQ(out.result.suspect_events, 33u);
+        EXPECT_EQ(out.result.peer_suspected, 0b101u);
+    }
+}
+
+TEST(WireCodecTest, MinFrameSizeAdmitsTheSmallestRealBatch)
+{
+    // SocketTransport validates datagram_budget >= kMinFrameSize
+    // at construction; the bound must actually cover an empty
+    // batch plus one changed record or the packer could emit an
+    // unsendable frame.
+    Frame f;
+    f.type = FrameType::CutBatch;
+    std::vector<std::uint8_t> buf;
+    encodeFrame(f, buf);
+    EXPECT_LE(buf.size() + 12, kMinFrameSize);
+    EXPECT_EQ(cutBatchFrameSize(0, 1, 0), kMinFrameSize);
+}
+
 TEST(WireCodecTest, CutBatchFrameSizeMatchesEncoder)
 {
     // cutBatchFrameSize is the batch packer's budget arithmetic; a
@@ -274,8 +396,10 @@ TEST(WireCodecTest, TruncatedCutBatchAsksForMore)
 
     // Internally inconsistent counts must be Bad, not a crash: a
     // payload_len too small for the declared record counts.
+    // Fixed part of a v3 CutBatch: sender u32 | epoch u32 |
+    // round u64 | seq u32, then n_reports.
     std::vector<std::uint8_t> bad = buf;
-    bad[kWireHeaderSize + 4 + 8 + 4] = 9; // n_reports: 3 -> 9
+    bad[kWireHeaderSize + 4 + 4 + 8 + 4] = 9; // n_reports: 3 -> 9
     EXPECT_EQ(decodeFrame(bad.data(), bad.size(), out, consumed),
               DecodeStatus::Bad);
 }

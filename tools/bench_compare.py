@@ -101,6 +101,11 @@ OTHER_METRICS = (
     "phase_interior_ms",
     "phase_drain_ms",
     "phase_boundary_ms",
+    "detection_rounds",
+    "recovery_rounds",
+    "recovery_ms",
+    "stale_epoch_frames",
+    "gaveup_frames",
 )
 METRICS = set(PERF_METRICS) | set(OTHER_METRICS)
 
@@ -108,6 +113,15 @@ WARM_FRAC_BAR = 0.25
 UTIL_FRAC_SLACK = 0.01
 LOCALITY_SLACK = 0.02
 WIRE_BYTES_SLACK = 0.001
+# Absolute bars for bench == "wire_recovery" rows (applied to the
+# CURRENT run, baseline or not): recovery must deliver every
+# survivor, detect within the checkpoint window, and roll back no
+# deeper than the ring covers.  These mirror the bars the bench
+# binary itself enforces, so a stale baseline cannot mask a
+# regression.
+AVAILABILITY_BAR = 0.999
+DETECTION_ROUNDS_BAR = 8
+RECOVERY_ROUNDS_BAR = 8
 
 
 def identity(record):
@@ -226,6 +240,29 @@ def main():
                     f"WARMSTART {describe(key)}: warm_frac "
                     f"{c:.3f} > {WARM_FRAC_BAR}"
                 )
+
+    # Absolute recovery bars: every wire_recovery row in the
+    # CURRENT run must clear them, matched baseline or not.
+    for key, crec in sorted(curr.items()):
+        if crec.get("bench") != "wire_recovery":
+            continue
+        compared += 1
+        if float(crec.get("availability", 1.0)) < AVAILABILITY_BAR:
+            failures.append(
+                f"RECOVERY {describe(key)}: availability "
+                f"{float(crec['availability']):.4f} < "
+                f"{AVAILABILITY_BAR}"
+            )
+        if float(crec.get("detection_rounds", 0)) > DETECTION_ROUNDS_BAR:
+            failures.append(
+                f"RECOVERY {describe(key)}: detection_rounds "
+                f"{crec['detection_rounds']} > {DETECTION_ROUNDS_BAR}"
+            )
+        if float(crec.get("recovery_rounds", 0)) > RECOVERY_ROUNDS_BAR:
+            failures.append(
+                f"RECOVERY {describe(key)}: recovery_rounds "
+                f"{crec['recovery_rounds']} > {RECOVERY_ROUNDS_BAR}"
+            )
 
     grown = len(curr.keys() - base.keys())
     print(

@@ -12,6 +12,10 @@
 #        exits non-zero unless every reassembled result is bitwise
 #        equal to the single-process transport round -- which also
 #        pins the overlap schedule against the serialized one
+#      + shard-death recovery smoke: wire_recovery SIGKILLs (and
+#        SIGSTOPs) forked shards mid-run under UDP and TCP and
+#        demands detection within deadline, partition-aware
+#        re-federation, and bitwise survivor parity
 #      + AVX-512 compile smoke: the -DDPC_AVX512 configuration
 #        builds and its parity suite runs (the suite self-skips on
 #        hosts without AVX-512F, so this is always safe; on capable
@@ -58,6 +62,17 @@ wire_smoke_dir=$(mktemp -d)
 (cd "$wire_smoke_dir" &&
      DPC_BENCH_SMOKE=1 "$repo/build-avx2/bench/wire_shard")
 rm -rf "$wire_smoke_dir"
+
+step "shard-death recovery smoke (SIGKILL mid-run, UDP + TCP)"
+# wire_recovery SIGKILLs a forked shard mid-run under both protos
+# (plus a SIGSTOP-past-deadline hang) and exits non-zero unless
+# every recovery detects within the deadline, re-federates, and
+# leaves the survivors bitwise-equal to the single-process surgery
+# reference with the safety invariants audited every round.
+recovery_smoke_dir=$(mktemp -d)
+(cd "$recovery_smoke_dir" &&
+     DPC_BENCH_SMOKE=1 "$repo/build-avx2/bench/wire_recovery")
+rm -rf "$recovery_smoke_dir"
 
 step "AVX-512 compile smoke + parity suite"
 cmake -S "$repo" -B "$repo/build-avx512" \

@@ -30,6 +30,7 @@
  *       breakdown; --depth D enables bounded-staleness pipelining.
  */
 
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -310,6 +311,31 @@ cmdShard(const Args &args)
         static_cast<std::uint32_t>(args.num("depth", 0));
     opt.retrans_ms =
         static_cast<int>(args.num("retrans-ms", opt.retrans_ms));
+    opt.recover = args.num("recover", 0) != 0;
+    opt.deadline_ms =
+        static_cast<int>(args.num("deadline-ms", opt.deadline_ms));
+    // Fault injection: --kill-shard S@R (SIGKILL shard S at the
+    // top of round R), --stall-shard S@R:D (SIGSTOP there, broker
+    // SIGCONTs after D ms).
+    const std::string kill = args.str("kill-shard", "");
+    if (!kill.empty()) {
+        unsigned s = 0;
+        unsigned long long r = 0;
+        if (std::sscanf(kill.c_str(), "%u@%llu", &s, &r) != 2)
+            fatal("--kill-shard wants S@R, got '", kill, "'");
+        opt.faults.killAt(s, r);
+    }
+    const std::string stall = args.str("stall-shard", "");
+    if (!stall.empty()) {
+        unsigned s = 0;
+        unsigned long long r = 0;
+        int d = 0;
+        if (std::sscanf(stall.c_str(), "%u@%llu:%d", &s, &r,
+                        &d) != 3)
+            fatal("--stall-shard wants S@R:D_MS, got '", stall,
+                  "'");
+        opt.faults.stallAt(s, r, d);
+    }
     if (proto == "udp")
         opt.proto = net::SocketTransport::Proto::Udp;
     else if (proto == "tcp")
@@ -318,6 +344,10 @@ cmdShard(const Args &args)
         fatal("unknown proto '", proto, "' (udp|tcp)");
 
     const auto run = cluster::runShardedDiba(prob, topo, cfg, opt);
+    if (!run.ok) {
+        std::cerr << "shard run failed: " << run.error << "\n";
+        return 1;
+    }
 
     Table table({"shard", "nodes_owned", "working_ids"});
     for (std::uint32_t s = 0; s < shards; ++s) {
@@ -378,16 +408,41 @@ cmdShard(const Args &args)
     }
 
     // The whole point of the exercise: the sharded trajectory IS
-    // the single-process one, bit for bit.
+    // the single-process one, bit for bit.  After a recovery the
+    // reference suffers the identical surgery at the identical
+    // round boundary and the survivors must still match.
     DibaAllocator ref(topo, cfg);
     ref.reset(prob);
     net::LoopbackTransport loopback;
-    for (std::size_t r = 0; r < rounds; ++r)
+    const std::size_t pre =
+        run.recoveries > 0
+            ? static_cast<std::size_t>(run.recovery_round)
+            : rounds;
+    for (std::size_t r = 0; r < pre; ++r)
         ref.stepWithTransport(loopback);
+    if (run.recoveries > 0) {
+        cluster::applyShardRecovery(ref, run.plan, run.dead_mask,
+                                    run.epoch);
+        for (std::size_t r = pre; r < rounds; ++r)
+            ref.stepWithTransport(loopback);
+    }
     std::size_t bad = 0;
-    for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t i = 0; i < n; ++i) {
+        if ((run.dead_mask >> run.plan.owner_of[i]) & 1)
+            continue; // dead block: zeroed by the surgery
         bad += std::memcmp(&ref.power()[i], &run.power[i],
                            sizeof(double)) != 0;
+    }
+
+    if (run.recoveries > 0)
+        std::cout << "\nrecovered from dead_mask="
+                  << run.dead_mask << ": epoch " << run.epoch
+                  << ", resumed from round " << run.recovery_round
+                  << " (quiesced at " << run.quiesce_round
+                  << "), recovery took "
+                  << Table::num(run.recovery_s * 1000.0, 1)
+                  << " ms, availability "
+                  << Table::num(run.availability, 4) << "\n";
 
     std::cout << "\n"
               << shards << " " << proto << " shard processes, "
@@ -419,7 +474,9 @@ usage()
         << "  shard:    --nodes N --shards S --rounds R "
            "--proto udp|tcp --budget W/node --seed X\n"
            "            [--stats 1] [--overlap 0|1] [--depth D] "
-           "[--retrans-ms MS]\n";
+           "[--retrans-ms MS]\n"
+           "            [--kill-shard S@R] [--stall-shard S@R:D_MS]"
+           " [--recover 0|1] [--deadline-ms MS]\n";
 }
 
 } // namespace

@@ -32,6 +32,12 @@
 #                             rounds_per_sec at the perf threshold,
 #                             bitwise parity enforced by the bench
 #                             itself)
+#   BENCH_wire_recovery.json (wire_recovery: SIGKILL/SIGSTOP a
+#                             forked shard mid-run -- detection
+#                             latency, rollback depth, recovery
+#                             time and availability under absolute
+#                             bars; survivors bitwise-checked and
+#                             invariant-audited by the bench)
 # micro_round_engine (google-benchmark) also runs for the human log
 # but is not part of the gate -- its numbers duplicate the
 # table4_2 records in a harness with its own timing loop.
@@ -48,7 +54,7 @@ fi
 cmake --build "$BUILD_DIR" -j \
     --target table4_2_scalability fault_storm recovery_storm \
     gossip_async table4_2_packet_level wire_shard \
-    micro_round_engine
+    wire_recovery micro_round_engine
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
@@ -71,6 +77,9 @@ echo
 echo "== wire_shard =="
 (cd "$workdir" && "$BUILD_DIR/bench/wire_shard")
 echo
+echo "== wire_recovery =="
+(cd "$workdir" && "$BUILD_DIR/bench/wire_recovery")
+echo
 echo "== micro_round_engine (informational) =="
 "$BUILD_DIR/bench/micro_round_engine" --benchmark_min_time=0.2 ||
     echo "micro_round_engine failed (non-gating)"
@@ -78,7 +87,8 @@ echo "== micro_round_engine (informational) =="
 status=0
 for name in BENCH_diba_rounds.json BENCH_fault_storm.json \
             BENCH_recovery.json BENCH_gossip_async.json \
-            BENCH_packet_lanes.json BENCH_wire.json; do
+            BENCH_packet_lanes.json BENCH_wire.json \
+            BENCH_wire_recovery.json; do
     if [ -f "$ROOT/$name" ]; then
         echo
         echo "== compare $name =="
