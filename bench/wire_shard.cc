@@ -41,9 +41,22 @@
  * rounds_per_sec is compared per-row against its own baseline and
  * never across modes.
  *
+ * Steady-state section (active_threshold = 4x tolerance, 2-shard
+ * UDP): converge until the frontier drains, hold H fully-quiesced
+ * rounds, then apply a +20% budget step and reconverge.  Two
+ * sharded runs that differ only in the hold length isolate the
+ * quiesced marginals by subtraction -- steady_bytes_per_round is
+ * exact (wire traffic is deterministic), steady_rounds_per_sec
+ * rides on a hold long enough to dominate the wall-clock delta.
+ * step_rounds_to_reconverge comes from the single-process
+ * reference the sharded runs are bitwise-pinned to.  Every steady
+ * row asserts the quiesced byte ceiling: one suppressed seq-0
+ * frame per directed shard pair per round, reports included.
+ *
  * DPC_BENCH_SMOKE=1 shrinks to one small size, few rounds, 2
  * shards x {UDP, TCP} -- the ci.sh loopback-vs-socket parity
- * smoke.
+ * smoke (threshold-0 rows bitwise vs the dense reference, steady
+ * rows under the quiesced byte ceiling).
  */
 
 #include <chrono>
@@ -52,6 +65,7 @@
 
 #include "bench/common.hh"
 #include "cluster/shard.hh"
+#include "net/socket_transport.hh"
 #include "net/transport.hh"
 #include "tools/bench_json.hh"
 
@@ -96,6 +110,181 @@ protoName(net::SocketTransport::Proto proto)
 {
     return proto == net::SocketTransport::Proto::Udp ? "udp"
                                                      : "tcp";
+}
+
+/**
+ * Converge -> hold -> +20% step -> reconverge over the wire, at
+ * active_threshold = 4x tolerance (a threshold the frontier
+ * provably drains under; sub-tolerance thresholds oscillate
+ * forever and never quiesce).  Returns the number of bitwise
+ * parity mismatches (0 on success) and appends one "steady" row
+ * per size to the table and the JSON writer.
+ */
+std::size_t
+runSteadySection(const std::vector<std::size_t> &sizes, bool smoke,
+                 Table &table, tools::BenchJsonWriter &writer)
+{
+    // Hold long enough that the quiesced rounds dominate the
+    // wall-clock difference between the two runs; bytes are exact
+    // regardless.
+    const std::size_t hold = smoke ? 4000 : 20000;
+    const std::size_t step_margin = 50;
+    const std::size_t drain_cap = 8000;
+    constexpr std::uint32_t kShards = 2;
+    std::size_t failures = 0;
+
+    for (const std::size_t n : sizes) {
+        const auto prob =
+            bench::npbProblem(n, kWattsPerNode, kProblemSeed);
+        const auto topo = topologyOf(n);
+        DibaAllocator::Config cfg;
+        cfg.active_threshold = 4.0 * cfg.tolerance;
+        const double delta = 0.2 * prob.budget;
+
+        // Single-process reference: find the drain round, then
+        // step and count the reconvergence tail.  The sharded runs
+        // below are bitwise-pinned to this trajectory, so the
+        // drain round and step response transfer exactly.
+        DibaAllocator ref(topo, cfg);
+        ref.reset(prob);
+        std::size_t converge_rounds = 0;
+        for (std::size_t r = 1; r <= drain_cap; ++r) {
+            ref.iterate();
+            if (ref.frontierHotCount() == 0) {
+                converge_rounds = r;
+                break;
+            }
+        }
+        if (converge_rounds == 0) {
+            std::cerr << "wire_shard: steady section at n=" << n
+                      << ": frontier failed to drain within "
+                      << drain_cap << " rounds\n";
+            ++failures;
+            continue;
+        }
+        // A fully-quiesced allocator is bitwise frozen: held
+        // rounds move nothing, so this snapshot is the parity
+        // target for BOTH the converge run and the hold run.
+        const std::vector<double> steady_p = ref.power();
+        const std::vector<double> steady_e = ref.estimates();
+
+        ref.warmStart(ref.result(), delta);
+        std::size_t step_reconverge = 0;
+        for (std::size_t r = 1; r <= drain_cap; ++r) {
+            ref.iterate();
+            if (ref.frontierHotCount() == 0) {
+                step_reconverge = r;
+                break;
+            }
+        }
+        for (std::size_t r = step_reconverge; r < step_margin; ++r)
+            ref.iterate();
+
+        // Three sharded runs: converge only, converge + hold, and
+        // converge + step + margin (the held steady state is
+        // frozen, so stepping right at the drain round is the
+        // identical scenario with the hold factored out).
+        cluster::ShardRunOptions opt;
+        opt.num_shards = kShards;
+        opt.rounds = converge_rounds;
+        const auto runA =
+            cluster::runShardedDiba(prob, topo, cfg, opt);
+
+        opt.rounds = converge_rounds + hold;
+        const auto runB =
+            cluster::runShardedDiba(prob, topo, cfg, opt);
+
+        opt.rounds = converge_rounds + step_margin;
+        opt.budget_steps.push_back({converge_rounds, delta});
+        const auto runC =
+            cluster::runShardedDiba(prob, topo, cfg, opt);
+
+        std::size_t bad = 0;
+        if (!runA.ok || !runB.ok || !runC.ok) {
+            std::cerr << "wire_shard: steady sharded run failed: "
+                      << runA.error << runB.error << runC.error
+                      << "\n";
+            ++failures;
+            continue;
+        }
+        bad += mismatches(steady_p, runA.power) +
+               mismatches(steady_e, runA.estimates);
+        bad += mismatches(steady_p, runB.power) +
+               mismatches(steady_e, runB.estimates);
+        bad += mismatches(ref.power(), runC.power) +
+               mismatches(ref.estimates(), runC.estimates);
+        failures += bad;
+
+        const double steady_bytes =
+            static_cast<double>(runB.wire_bytes -
+                                runA.wire_bytes) /
+            static_cast<double>(hold);
+        const double steady_frames =
+            static_cast<double>(runB.wire_frames -
+                                runA.wire_frames) /
+            static_cast<double>(hold);
+        const double hold_s =
+            runB.round_loop_s - runA.round_loop_s;
+        const double steady_rps =
+            hold_s > 0.0 ? static_cast<double>(hold) / hold_s
+                         : 0.0;
+
+        // Quiesced byte ceiling: one suppressed seq-0 frame per
+        // directed shard pair per round -- fixed part, two zero
+        // varints, and a full report piggyback.  The subtraction
+        // window's edges can each catch a few stray bytes (a wake
+        // word or late report straddling the cut), hence the
+        // per-window allowance amortized over the hold.
+        const double ceiling =
+            static_cast<double>(kShards * (kShards - 1)) *
+                static_cast<double>(
+                    net::kCutBatchV4Fixed + 2 +
+                    24 * net::SocketTransport::kMaxDpReports) +
+            256.0 / static_cast<double>(hold);
+        if (steady_bytes > ceiling) {
+            std::cerr << "wire_shard: steady bytes/round "
+                      << steady_bytes
+                      << " exceeds the quiesced ceiling "
+                      << ceiling << " at n=" << n << "\n";
+            ++failures;
+        }
+
+        table.addRow({Table::num(n, 0), "steady", "udp",
+                      Table::num(kShards, 0), "on",
+                      Table::num(runB.plan.cut_edges, 0),
+                      Table::num(steady_frames, 1),
+                      Table::num(steady_bytes, 0),
+                      Table::num(steady_rps, 1),
+                      Table::num(runB.retransmits, 0),
+                      bad == 0 ? "OK" : "FAIL"});
+        writer.record()
+            .field("bench", "wire_shard")
+            .field("mode", "steady")
+            .field("proto", "udp")
+            .field("n", static_cast<long long>(n))
+            .field("shards", static_cast<long long>(kShards))
+            .field("rounds",
+                   static_cast<long long>(converge_rounds + hold))
+            .field("converge_rounds",
+                   static_cast<long long>(converge_rounds))
+            .field("hold_rounds", static_cast<long long>(hold))
+            .field("steady_bytes_per_round", steady_bytes)
+            .field("steady_frames_per_round", steady_frames)
+            .field("steady_rounds_per_sec", steady_rps)
+            .field("step_rounds_to_reconverge",
+                   static_cast<long long>(step_reconverge))
+            .field("suppressed_frames",
+                   static_cast<long long>(runB.suppressed_frames))
+            .field("delta_frames",
+                   static_cast<long long>(runB.delta_frames))
+            .field("wake_messages",
+                   static_cast<long long>(runB.wake_messages))
+            .field("cut_edges",
+                   static_cast<long long>(runB.plan.cut_edges))
+            .field("retransmits",
+                   static_cast<long long>(runB.retransmits));
+    }
+    return failures;
 }
 
 } // namespace
@@ -271,6 +460,9 @@ main()
                        run.phase_boundary_s * per_round_ms);
         }
     }
+
+    parity_failures +=
+        runSteadySection(sizes, smoke, table, writer);
 
     table.print(std::cout);
     writer.save("BENCH_wire.json");

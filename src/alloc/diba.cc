@@ -1271,6 +1271,16 @@ DibaAllocator::roundViaTransport(net::Transport &t,
     const std::size_t n = p_.size();
     DPC_ASSERT(n > 0, "transport round before reset()");
     ensureEdgeIndex();
+    // Steady-state sparsity over the wire: when the engine permits
+    // the active-set kernel, the caller asked for it (threshold
+    // above zero), and the transport is synchronous and carries
+    // the wake channel, run the sparse round.  It supersedes the
+    // overlap hint -- a quiesced round has no interior work to
+    // overlap -- and threshold 0 falls through to the dense round
+    // below, bitwise unchanged.
+    if (sparseEngineActive() && cfg_.active_threshold > 0.0 &&
+        t.maxLag() == 0 && t.wakesSupported())
+        return sparseRoundViaTransport(t, begin, end);
     pushHistory(t.maxLag() + 1);
     // Transport-routed rounds touch every node outside the
     // active-set engine's bookkeeping; keep the frontier
@@ -1549,6 +1559,151 @@ DibaAllocator::roundViaTransport(net::Transport &t,
     };
     return uniform_fresh ? runRound(diffuseFresh)
                          : runRound(diffuseNode);
+}
+
+double
+DibaAllocator::sparseRoundViaTransport(net::Transport &t,
+                                       std::size_t begin,
+                                       std::size_t end)
+{
+    using clock = std::chrono::steady_clock;
+    const auto secs = [](clock::time_point a, clock::time_point b) {
+        return std::chrono::duration<double>(b - a).count();
+    };
+    const std::size_t n = p_.size();
+    pushHistory(1);
+
+    const auto t0 = clock::now();
+    const std::uint64_t round = transport_round_++;
+    t.beginRound(round, all_edges_.size());
+    // A wake-capable transport is by contract a sharded socket
+    // transport: offer elision and the direct patch sink are what
+    // make the quiesced round's cost scale with the cut's CHANGED
+    // values instead of the overlay, so their absence is a wiring
+    // bug, not a mode to fall back from.
+    const std::vector<std::uint8_t> *offer_mask =
+        t.claimOfferElision();
+    DPC_ASSERT(offer_mask != nullptr &&
+                   offer_mask->size() == all_edges_.size(),
+               "wake-capable transport refused offer elision");
+    if (elision_mask_src_ != offer_mask) {
+        elision_mask_src_ = offer_mask;
+        elision_offer_ids_.clear();
+        for (std::size_t id = 0; id < offer_mask->size(); ++id)
+            if ((*offer_mask)[id] != 0)
+                elision_offer_ids_.push_back(
+                    static_cast<std::uint32_t>(id));
+    }
+    patch_rows_.clear();
+    for (std::vector<double> &h : hist_)
+        patch_rows_.push_back(h.data());
+    net::Transport::PatchSink sink;
+    sink.rows = patch_rows_.data();
+    sink.nrows = patch_rows_.size();
+    sink.slot_of = layout_active_ ? perm_.data() : nullptr;
+    DPC_ASSERT(t.filePatchesInto(sink),
+               "wake-capable transport refused the patch sink");
+
+    // Offer EVERY cut pair, quiesced or not: suppression makes the
+    // quiesced ones nearly free on the wire, and the unconditional
+    // offer is what keeps the sender-declared completion and the
+    // receiver's held-value contract alive on both ends.  The hot
+    // bits ride along as the wake channel -- the transport ships
+    // each pair's OWN-endpoint bit, so the peer enters next round
+    // with this shard's frontier verdicts for the halo it reads.
+    const std::vector<double> &pre = hist_.front();
+    const std::uint8_t *DPC_RESTRICT hot = frontier_.mask().data();
+    for (const std::uint32_t id : elision_offer_ids_) {
+        const auto &[u, v] = all_edges_[id];
+        const auto &ov = edgeView(id);
+        net::EdgePair pair;
+        pair.edge_id = id;
+        pair.u = static_cast<std::uint32_t>(ov.first);
+        pair.v = static_cast<std::uint32_t>(ov.second);
+        pair.round = round;
+        pair.e_u = pre[u];
+        pair.e_v = pre[v];
+        pair.hot_u = hot[u] != 0;
+        pair.hot_v = hot[v] != 0;
+        t.send(pair);
+    }
+    const auto t_sent = clock::now();
+
+    // Drain: with elision and a patch sink every remote value is
+    // filed straight into the history row from the frame decode,
+    // so the poll loop only waits out the round barrier.
+    net::Delivery d;
+    while (t.poll(d))
+        DPC_ASSERT(false, "stray delivery in a sparse transport "
+                          "round (patch sink was accepted)");
+    if (t.aborted())
+        return 0.0;
+    const auto t_drained = clock::now();
+
+    // Sync the remote frontier bits.  A non-owned bit OUTSIDE the
+    // halo can only be hot after a conservative global reheat
+    // (reset, warm start, a dense transport round), all of which
+    // leave the whole mask hot -- cool the remote block once here,
+    // O(n) per reheat instead of per round.  The halo itself is
+    // re-asserted from the wake view every round, so by the
+    // participant build below the mask's owned bits are this
+    // shard's round-(r-1) verdicts and its halo bits the owners'
+    // -- together exactly the single-process mask entering round
+    // r, which is what pins the sharded sparse trajectory to
+    // iterate()'s bit for bit.
+    if (frontier_.hotCount() == n)
+        frontier_.coolOutsideRange(begin, end);
+    const net::Transport::WakeView wv = t.remoteWakes();
+    for (std::size_t k = 0; k < wv.count; ++k)
+        frontier_.setHot(wi(wv.nodes[k]), wv.hot[k] != 0);
+
+    // frontier ∪ N(frontier), owned block only.  Participants are
+    // ascending working ids and the owned block is contiguous, so
+    // the owned sub-list is one binary-searched slice.
+    const GraphCsr &g = topo_.csr();
+    const auto &parts = frontier_.buildParticipants(g);
+    const std::uint32_t *pv = parts.data();
+    const std::size_t lo = static_cast<std::size_t>(
+        std::lower_bound(parts.begin(), parts.end(),
+                         static_cast<std::uint32_t>(begin)) -
+        parts.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::lower_bound(parts.begin(), parts.end(),
+                         static_cast<std::uint32_t>(end)) -
+        parts.begin());
+    // Stage every participant's pre-round estimate, halo included:
+    // owned rows of the history front are this round's e_, halo
+    // rows the owners' patches (held values re-filed each round).
+    for (std::size_t idx = 0; idx < parts.size(); ++idx)
+        e_pre_[pv[idx]] = pre[pv[idx]];
+    double max_dp = 0.0;
+    const std::size_t m = hi - lo;
+    if (m > 0) {
+        if (!pool_) {
+            max_dp = roundSparseRange(pv, lo, hi);
+        } else {
+            const std::size_t chunks = pool_->numChunks();
+            chunk_max_.assign(chunks, 0.0);
+            pool_->parallelFor(
+                m, [this, pv, lo](std::size_t c, std::size_t b,
+                                  std::size_t e) {
+                    chunk_max_[c] =
+                        roundSparseRange(pv, lo + b, lo + e);
+                });
+            for (double v : chunk_max_)
+                max_dp = std::max(max_dp, v);
+        }
+        // Two-phase commit, owned verdicts only: the halo stays
+        // the owners' to assert through next round's wake view.
+        for (std::size_t idx = lo; idx < hi; ++idx)
+            frontier_.setHot(pv[idx], next_hot_[pv[idx]] != 0);
+    }
+    const auto t_done = clock::now();
+    phase_totals_.send_s += secs(t0, t_sent);
+    phase_totals_.drain_s += secs(t_sent, t_drained);
+    phase_totals_.interior_s += secs(t_drained, t_done);
+    ++phase_totals_.rounds;
+    return max_dp;
 }
 
 double
@@ -2437,6 +2592,7 @@ DibaAllocator::saveShardCheckpoint()
     c.hist = hist_;
     c.iterations = iterations_;
     c.quiet = quiet_;
+    c.budget = budget_;
 }
 
 bool
@@ -2455,6 +2611,8 @@ DibaAllocator::rollbackToShardCheckpoint(
     hist_ = c.hist;
     iterations_ = c.iterations;
     quiet_ = c.quiet;
+    budget_ = c.budget;
+    problem_.budget = c.budget;
     transport_round_ = rounds_completed;
     // An aborted round may have left a partially stepped frontier;
     // the post-rollback surgery (failNodeQuiet + re-federation)

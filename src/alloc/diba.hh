@@ -898,6 +898,24 @@ class DibaAllocator : public IterativeAllocator
     double roundViaTransport(net::Transport &t, std::size_t begin,
                              std::size_t end, bool overlap = false);
 
+    /**
+     * Active-set variant of the transport round, for synchronous
+     * (maxLag 0) transports that carry the wake channel
+     * (Transport::wakesSupported).  Offers EVERY cut pair with this
+     * shard's frontier hot bits riding along (quiesced pairs are
+     * suppressed to nothing on a v4 wire), drains the round, syncs
+     * the halo frontier bits from the transport's wake view, then
+     * sweeps frontier ∪ N(frontier) restricted to the owned block
+     * with the same fused kernel as iterateSparse() -- bitwise
+     * equal to the single-process active-set round under the same
+     * threshold.  Selected by roundViaTransport when
+     * active_threshold > 0; threshold 0 keeps the dense path (and
+     * its bitwise pin to the PR 8 trajectory) untouched.
+     */
+    double sparseRoundViaTransport(net::Transport &t,
+                                   std::size_t begin,
+                                   std::size_t end);
+
     /** Build (cached) the interior-run / boundary-node split of
      * [begin, end) for the overlapped schedule. */
     void buildOverlapSets(std::size_t begin, std::size_t end);
@@ -1087,6 +1105,11 @@ class DibaAllocator : public IterativeAllocator
         std::deque<std::vector<double>> hist;
         std::size_t iterations = 0;
         std::size_t quiet = 0;
+        /** Budget at save: a warm-started budget step between
+         * checkpoints must roll back with the state it shifted, or
+         * re-running the step round would re-apply the delta on an
+         * already-stepped budget. */
+        double budget = 0.0;
     };
     std::vector<ShardCheckpoint> ckpt_;
     std::size_t ckpt_depth_ = 0;

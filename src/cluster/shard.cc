@@ -325,6 +325,17 @@ shardMain(std::uint32_t shard_id, const ShardPlan &plan,
     tc.retrans_ms = opt.retrans_ms;
     tc.pipeline_depth = opt.pipeline_depth;
     tc.datagram_budget = opt.datagram_budget;
+    // v4's delta suppression assumes every cut pair is offered
+    // every round (the chains advance in lockstep); the lossy
+    // decorator drops offered pairs by fate, so lossy runs stay on
+    // the dense v3 protocol.
+    tc.wire_version =
+        opt.lossy ? net::kWireMinVersion
+                  : std::min<std::uint16_t>(opt.wire_version,
+                                            net::kWireVersion);
+    tc.hosts = opt.hosts;
+    if (!opt.hosts.empty())
+        tc.bind_host = opt.hosts[shard_id];
     if (guarded)
         tc.tick = tickNow;
     // The canonical edge list both sides of every shard pair
@@ -341,7 +352,7 @@ shardMain(std::uint32_t shard_id, const ShardPlan &plan,
         Frame hello;
         hello.type = FrameType::Hello;
         hello.hello.shard_id = shard_id;
-        hello.hello.version = net::kWireVersion;
+        hello.hello.version = tc.wire_version;
         hello.hello.udp_port = sock.localPort();
         hello.hello.tcp_port = sock.localPort();
         sendFrame(ctl.bfd, hello);
@@ -354,6 +365,10 @@ shardMain(std::uint32_t shard_id, const ShardPlan &plan,
                "expected Welcome from broker");
     DPC_ASSERT(welcome.welcome.num_shards == plan.num_shards,
                "broker shard count mismatch");
+    // Adopt the fleet minimum the broker agreed on (every shard
+    // advertises the same version here, so this is a no-op unless
+    // a heterogeneous deployment drives shardMain directly).
+    sock.setWireVersion(welcome.welcome.agreed_version);
     sock.connectPeers(
         opt.proto == net::SocketTransport::Proto::Udp
             ? welcome.welcome.udp_ports
@@ -514,6 +529,17 @@ shardMain(std::uint32_t shard_id, const ShardPlan &plan,
                 }
                 applyFaults(r);
             }
+            // Scheduled warm-started budget steps: every shard
+            // applies the same step at the same round boundary.
+            // The quadratic re-seed is per-node static arithmetic,
+            // so the shards land on bitwise-identical state with
+            // zero exchange.  Unconditional on re-reaching the
+            // round after a rollback: the checkpoint restored the
+            // pre-step budget along with the state it shifted.
+            for (const ShardRunOptions::BudgetStep &bs :
+                 opt.budget_steps)
+                if (bs.round == r)
+                    alloc.warmStart(alloc.result(), bs.delta);
             const double moved = alloc.iterateShard(
                 *transport, begin, end, opt.overlap);
             if (sock.aborted()) {
@@ -558,6 +584,9 @@ shardMain(std::uint32_t shard_id, const ShardPlan &plan,
         m.frames_received = st.frames_received;
         m.duplicates = st.duplicates;
         m.edges_suppressed = st.edges_suppressed;
+        m.suppressed_frames = st.suppressed_frames;
+        m.delta_frames = st.delta_frames;
+        m.wake_messages = st.wake_messages;
         m.stale_epoch_frames = st.stale_epoch_frames;
         m.gaveup_frames = st.gaveup_frames;
         m.suspect_events = st.suspect_events;
@@ -777,6 +806,10 @@ runShardedDiba(const AllocationProblem &prob, const Graph &topo,
                "(rollback reasons about one round in flight)");
     DPC_ASSERT(opt.num_shards <= 64,
                "dead_mask is 64 bits: at most 64 shards");
+    DPC_ASSERT(opt.hosts.empty() ||
+                   opt.hosts.size() == opt.num_shards,
+               "hosts must name every shard (or be empty for the "
+               "loopback default)");
 
     const bool guarded = opt.recover || !opt.faults.empty() ||
                          opt.heartbeat_ms > 0;
@@ -1442,6 +1475,9 @@ runShardedDiba(const AllocationProblem &prob, const Graph &topo,
         out.bytes_received += m.bytes_received;
         out.duplicates += m.duplicates;
         out.edges_suppressed += m.edges_suppressed;
+        out.suppressed_frames += m.suppressed_frames;
+        out.delta_frames += m.delta_frames;
+        out.wake_messages += m.wake_messages;
         out.stale_epoch_frames += m.stale_epoch_frames;
         out.gaveup_frames += m.gaveup_frames;
         out.suspect_events += m.suspect_events;

@@ -148,6 +148,40 @@ struct ShardRunOptions
      * (recover = true only).  Must cover the maximum inter-shard
      * round drift (<= the transport's 4-round rx window). */
     std::size_t checkpoint_depth = 8;
+    /**
+     * Advertised wire protocol version; the broker agrees on the
+     * fleet minimum and every shard adopts it before connecting.
+     * Lossy runs are forced down to v3: the fault decorator drops
+     * offered pairs by fate, which the v4 delta chains (every cut
+     * pair offered, every record XORed against the previous
+     * round's) do not model.
+     */
+    std::uint16_t wire_version = net::kWireVersion;
+    /**
+     * Scheduled warm-started budget steps: before running round
+     * `round`, every shard calls warmStart(result(), delta).  On a
+     * quadratic cluster that re-seeds straight at the new barrier
+     * equilibrium from per-node static data -- every shard lands
+     * on bitwise-identical state with zero extra exchange, and the
+     * sharded reconvergence matches a single-process allocator
+     * given the same warmStart at the same round.  Steps must
+     * precede any recovery that fails nodes (warmStart requires a
+     * fully-live cluster).
+     */
+    struct BudgetStep
+    {
+        std::size_t round = 0;
+        double delta = 0.0;
+    };
+    std::vector<BudgetStep> budget_steps;
+    /**
+     * Per-shard data-plane IPv4 addresses (hosts[s] = the address
+     * shard s binds and its peers dial).  Empty = every shard on
+     * 127.0.0.1, the tested default of the forked single-machine
+     * runner; a multi-host deployment driving shardMain-equivalent
+     * processes itself fills one entry per shard.
+     */
+    std::vector<std::string> hosts;
 };
 
 struct ShardRunResult
@@ -177,6 +211,15 @@ struct ShardRunResult
      * carrying [2^b, 2^(b+1)) cut halves. */
     std::array<std::uint64_t, net::kEdgesPerFrameBuckets>
         edges_per_frame_hist{};
+    // ---- steady-state wire sparsity (v4; zero on v3 runs) ----
+    /** Seq-0 frames declaring zero changed records: the whole
+     * peer-round quiesced and shipped only the fixed header. */
+    std::uint64_t suppressed_frames = 0;
+    /** First-transmitted frames carrying >= 1 XOR-delta record. */
+    std::uint64_t delta_frames = 0;
+    /** Boundary hot bits that FLIPPED peer-ward round over round
+     * (the wake channel's real information content). */
+    std::uint64_t wake_messages = 0;
     /** Per-phase seconds summed over shards and rounds. */
     double phase_send_s = 0.0;
     double phase_interior_s = 0.0;

@@ -212,6 +212,14 @@ class LossyTransport final : public net::Transport
         return inner_->maxLag() + chan_.maxLag();
     }
 
+    /** Explicitly dense: the sparse sharded path needs lossless
+     * in-order wakes, and a fate decorator can drop or lag the
+     * frame that carries them, so never advertise wake support --
+     * even over an inner transport that has it (the allocator's
+     * maxLag() gate would also refuse, but do not rely on the
+     * config being honest about zero-fault). */
+    bool wakesSupported() const override { return false; }
+
     /** The underlying fault model (stats, config). */
     const LossyChannel &channel() const { return chan_; }
 

@@ -70,6 +70,26 @@ class FrontierWorkset
     /** Whether vertex i is currently hot. */
     bool hot(std::size_t i) const { return hot_[i] != 0; }
 
+    /** Cool every vertex outside [begin, end) in two bulk fills.
+     * A sharded engine owns a contiguous block and re-asserts its
+     * halo from the wake view each round, so after a conservative
+     * global reheat this is how the remote bits come back down --
+     * one call, not n branchy setHot()s. */
+    void coolOutsideRange(std::size_t begin, std::size_t end)
+    {
+        std::fill(hot_.begin(),
+                  hot_.begin() + static_cast<std::ptrdiff_t>(begin),
+                  0);
+        std::fill(hot_.begin() + static_cast<std::ptrdiff_t>(end),
+                  hot_.end(), 0);
+        hot_count_ = static_cast<std::size_t>(
+            std::count(hot_.begin() +
+                           static_cast<std::ptrdiff_t>(begin),
+                       hot_.begin() +
+                           static_cast<std::ptrdiff_t>(end),
+                       std::uint8_t{1}));
+    }
+
     /** Record the engine's post-round verdict for vertex i. */
     void setHot(std::size_t i, bool h)
     {

@@ -20,17 +20,32 @@ namespace net {
 namespace {
 
 sockaddr_in
-loopbackAddr(std::uint16_t port)
+hostAddr(const std::string &host, std::uint16_t port)
 {
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (host.empty())
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    else
+        DPC_ASSERT(::inet_pton(AF_INET, host.c_str(),
+                               &addr.sin_addr) == 1,
+                   "bad IPv4 address '", host, "'");
     return addr;
 }
 
+sockaddr_in
+peerAddr(const SocketTransport::Config &cfg, std::uint32_t s,
+         std::uint16_t port)
+{
+    return hostAddr(s < cfg.hosts.size() ? cfg.hosts[s]
+                                         : std::string(),
+                    port);
+}
+
 int
-boundSocket(int type, std::uint16_t &port_out)
+boundSocket(int type, const std::string &bind_host,
+            std::uint16_t &port_out)
 {
     const int fd = ::socket(AF_INET, type, 0);
     DPC_ASSERT(fd >= 0, "socket(): ", std::strerror(errno));
@@ -56,7 +71,7 @@ boundSocket(int type, std::uint16_t &port_out)
             ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &big,
                          sizeof(big));
     }
-    sockaddr_in addr = loopbackAddr(0);
+    sockaddr_in addr = hostAddr(bind_host, 0);
     DPC_ASSERT(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
                       sizeof(addr)) == 0,
                "bind(): ", std::strerror(errno));
@@ -153,9 +168,13 @@ SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
                "datagram_budget ", cfg_.datagram_budget,
                " below the minimum useful frame size ",
                kMinFrameSize);
+    DPC_ASSERT(cfg_.wire_version >= kWireMinVersion &&
+                   cfg_.wire_version <= kWireVersion,
+               "unsupported negotiated wire version ",
+               cfg_.wire_version);
     const int type =
         cfg_.proto == Proto::Udp ? SOCK_DGRAM : SOCK_STREAM;
-    sock_ = boundSocket(type, local_port_);
+    sock_ = boundSocket(type, cfg_.bind_host, local_port_);
     if (cfg_.proto == Proto::Tcp)
         DPC_ASSERT(::listen(sock_,
                             static_cast<int>(cfg_.num_shards)) == 0,
@@ -186,8 +205,9 @@ SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
                     : (1ull << cfg_.num_shards) - 1;
 
     if (cfg_.proto == Proto::Udp) {
-        // The seq-0 fixed part (reports + full suppression bitmap)
-        // is never split; it must fit one datagram.
+        // The seq-0 fixed part (reports + full suppression bitmap
+        // in v3, reports + worst-case sparse hot bitmap in v4) is
+        // never split; it must fit one datagram.
         std::size_t max_words = 0;
         for (const std::size_t w : pair_words_)
             max_words = std::max(max_words, w);
@@ -195,6 +215,17 @@ SocketTransport::SocketTransport(Config cfg) : cfg_(std::move(cfg))
                        65000,
                    "per-pair cut list too large for one seq-0 "
                    "datagram");
+        if (cfg_.wire_version >= 4) {
+            std::size_t max_hot_words = 0;
+            for (const auto &tn : tx_nodes_)
+                max_hot_words =
+                    std::max(max_hot_words, (tn.size() + 63) / 64);
+            DPC_ASSERT(kCutBatchV4Fixed + kMaxDpReports * 24 + 20 +
+                               max_hot_words * 15 <
+                           65000,
+                       "per-pair boundary list too large for one "
+                       "seq-0 datagram");
+        }
     }
 }
 
@@ -205,6 +236,18 @@ SocketTransport::~SocketTransport()
             ::close(fd);
     if (sock_ >= 0)
         ::close(sock_);
+}
+
+void
+SocketTransport::setWireVersion(std::uint16_t v)
+{
+    DPC_ASSERT(v >= kWireMinVersion && v <= cfg_.wire_version,
+               "wire version ", v,
+               " outside [floor, configured] = [", kWireMinVersion,
+               ", ", cfg_.wire_version, "]");
+    DPC_ASSERT(rx_emitted_ == 0 && !started_,
+               "setWireVersion() after a round opened");
+    cfg_.wire_version = v;
 }
 
 void
@@ -237,6 +280,48 @@ SocketTransport::buildCutLists()
     }
     for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
         pair_words_[s] = (pair_cut_[s].size() + 63) / 64;
+
+    // Boundary node lists for the v4 wake channel: both endpoints
+    // of a shard pair derive the same ascending-original-id lists
+    // from the shared overlay, so bit positions agree with no
+    // exchange.
+    tx_nodes_.assign(cfg_.num_shards, {});
+    rx_nodes_.assign(cfg_.num_shards, {});
+    for (const CutEdge &ce : cut_) {
+        tx_nodes_[ce.peer].push_back(ce.own_u ? ce.u : ce.v);
+        rx_nodes_[ce.peer].push_back(ce.own_u ? ce.v : ce.u);
+    }
+    const auto uniq = [](std::vector<std::uint32_t> &v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    wake_base_.assign(cfg_.num_shards, 0);
+    wake_nodes_.clear();
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
+        uniq(tx_nodes_[s]);
+        uniq(rx_nodes_[s]);
+        wake_base_[s] = wake_nodes_.size();
+        wake_nodes_.insert(wake_nodes_.end(), rx_nodes_[s].begin(),
+                           rx_nodes_[s].end());
+    }
+    // All-hot until told otherwise, like a fresh frontier.
+    wake_hot_.assign(wake_nodes_.size(), 1);
+    tx_hot_last_.resize(cfg_.num_shards);
+    for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
+        tx_hot_last_[s].assign((tx_nodes_[s].size() + 63) / 64,
+                               ~0ull);
+    for (CutEdge &ce : cut_) {
+        const auto &tn = tx_nodes_[ce.peer];
+        const auto &rn = rx_nodes_[ce.peer];
+        ce.own_pos = static_cast<std::uint32_t>(
+            std::lower_bound(tn.begin(), tn.end(),
+                             ce.own_u ? ce.u : ce.v) -
+            tn.begin());
+        ce.peer_pos = static_cast<std::uint32_t>(
+            std::lower_bound(rn.begin(), rn.end(),
+                             ce.own_u ? ce.v : ce.u) -
+            rn.begin());
+    }
 }
 
 void
@@ -253,7 +338,7 @@ SocketTransport::connectPeers(const std::vector<std::uint16_t> &ports)
     for (std::uint32_t s = 0; s < cfg_.shard_id; ++s) {
         const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
         DPC_ASSERT(fd >= 0, "socket(): ", std::strerror(errno));
-        sockaddr_in addr = loopbackAddr(ports[s]);
+        sockaddr_in addr = peerAddr(cfg_, s, ports[s]);
         // The peer may not have reached accept() yet; retry
         // briefly instead of failing the whole shard.
         const std::int64_t give_up = nowMs() + 10000;
@@ -315,6 +400,11 @@ SocketTransport::rxSlot(std::uint64_t round)
     s.offered.clear();
     s.open = false;
     s.seq_seen.assign(cfg_.num_shards, {});
+    s.decl.assign(cfg_.num_shards, 0);
+    s.decl_seen.assign(cfg_.num_shards, 0);
+    s.got.assign(cfg_.num_shards, 0);
+    s.hot_mode.assign(cfg_.num_shards, kHotNone);
+    s.hot_words.assign(cfg_.num_shards, {});
     return s;
 }
 
@@ -338,7 +428,13 @@ SocketTransport::beginRound(std::uint64_t round, std::size_t num_edges)
     for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
         TxAccum &a = tx_[s];
         a.changed.clear();
-        a.bitmap.assign(pair_words_[s], 0);
+        if (cfg_.wire_version >= 4) {
+            a.bitmap.clear();
+            a.hot.assign((tx_nodes_[s].size() + 63) / 64, 0);
+            a.hot_valid = true;
+        } else {
+            a.bitmap.assign(pair_words_[s], 0);
+        }
         a.offered = 0;
         a.suppressed = 0;
         TxRound &tr = tx_ring_[std::size_t{s} * w_tx_ +
@@ -400,6 +496,24 @@ SocketTransport::send(const EdgePair &pair)
         bitsOf(ce.own_u ? pair.e_u : pair.e_v);
     TxAccum &a = tx_[ce.peer];
     ++a.offered;
+    if (cfg_.wire_version >= 4) {
+        // The wake channel: fold the own endpoint's hot bit into
+        // the per-peer boundary bitmap (shipped on seq 0).
+        if (ce.own_u ? pair.hot_u : pair.hot_v)
+            a.hot[ce.own_pos >> 6] |= 1ull << (ce.own_pos & 63);
+        if (tx_has_[ci] != 0 && tx_last_[ci] == bits) {
+            // Quiesced: ship NOTHING; the receiver holds the last
+            // delivered value under the epoch-fenced contract.
+            ++a.suppressed;
+        } else {
+            a.changed.emplace_back(
+                ce.pair_pos,
+                bits ^ (tx_has_[ci] != 0 ? tx_last_[ci] : 0));
+            tx_last_[ci] = bits;
+            tx_has_[ci] = 1;
+        }
+        return;
+    }
     if (tx_has_[ci] != 0 && tx_last_[ci] == bits) {
         a.bitmap[ce.pair_pos >> 6] |= 1ull << (ce.pair_pos & 63);
         ++a.suppressed;
@@ -416,7 +530,7 @@ SocketTransport::transmitBatch(std::uint32_t s,
                                std::size_t halves)
 {
     std::vector<std::uint8_t> buf;
-    encodeCutBatch(msg, buf);
+    encodeCutBatch(msg, buf, cfg_.wire_version);
     ++stats_.frames_sent;
     stats_.bytes_sent += buf.size();
     ++stats_.edges_per_frame_hist[histBucket(halves)];
@@ -427,7 +541,7 @@ SocketTransport::transmitBatch(std::uint32_t s,
             // retransmit machinery re-delivers it bitwise intact.
             ++stats_.gaveup_frames;
         } else {
-            sockaddr_in addr = loopbackAddr(peer_port_[s]);
+            sockaddr_in addr = peerAddr(cfg_, s, peer_port_[s]);
             const ssize_t k = ::sendto(
                 sock_, buf.data(), buf.size(), 0,
                 reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
@@ -511,6 +625,10 @@ SocketTransport::ensureFlushed()
     for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
         if (pair_cut_[s].empty() || !peer_alive_[s])
             continue;
+        if (cfg_.wire_version >= 4) {
+            flushPeerV4(s, reports);
+            continue;
+        }
         TxAccum &a = tx_[s];
         stats_.edges_suppressed += a.suppressed;
         std::size_t ci = 0;
@@ -549,6 +667,102 @@ SocketTransport::ensureFlushed()
 }
 
 void
+SocketTransport::flushPeerV4(std::uint32_t s,
+                             const std::vector<DpReport> &reports)
+{
+    TxAccum &a = tx_[s];
+    stats_.edges_suppressed += a.suppressed;
+    // The sweep may offer cut pairs in lane order; the v4 gap
+    // coding needs strictly ascending record positions.  The sort
+    // is deterministic (positions are unique).
+    std::sort(a.changed.begin(), a.changed.end());
+
+    // Elect the hot bitmap shape and account wake notifications
+    // (0 -> 1 transitions vs the previous round's sent bitmap).
+    const std::size_t nb = tx_nodes_[s].size();
+    std::size_t pop = 0;
+    for (std::size_t w = 0; w < a.hot.size(); ++w) {
+        pop += static_cast<std::size_t>(
+            __builtin_popcountll(a.hot[w]));
+        stats_.wake_messages += static_cast<std::uint64_t>(
+            __builtin_popcountll(a.hot[w] & ~tx_hot_last_[s][w]));
+    }
+    std::uint8_t mode = kHotSparse;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> hot_words;
+    if (pop == nb) {
+        mode = kHotAll;
+    } else if (pop == 0) {
+        mode = kHotClear;
+    } else {
+        for (std::size_t w = 0; w < a.hot.size(); ++w)
+            if (a.hot[w] != 0)
+                hot_words.emplace_back(
+                    static_cast<std::uint32_t>(w), a.hot[w]);
+    }
+    tx_hot_last_[s] = a.hot;
+
+    std::size_t hot_bytes = 0;
+    if (mode == kHotSparse) {
+        hot_bytes += varintSize(hot_words.size());
+        std::uint32_t hprev = 0;
+        bool hfirst = true;
+        for (const auto &[w, bits] : hot_words) {
+            hot_bytes += varintSize(hfirst ? w : w - hprev - 1) +
+                         varintSize(bits);
+            hprev = w;
+            hfirst = false;
+        }
+    }
+
+    const std::uint32_t total =
+        static_cast<std::uint32_t>(a.changed.size());
+    std::size_t ci = 0;
+    std::uint32_t seq = 0;
+    do {
+        CutBatchMsg m;
+        m.sender = cfg_.shard_id;
+        m.epoch = epoch_;
+        m.round = round_;
+        m.seq = seq;
+        std::size_t base = kCutBatchV4Fixed + 5; // n_changed bound
+        if (seq == 0) {
+            m.reports = reports;
+            m.total_changed = total;
+            m.hot_mode = mode;
+            m.hot_words = hot_words;
+            base += reports.size() * 24 + varintSize(total) +
+                    hot_bytes;
+        }
+        std::size_t take = 0;
+        std::uint32_t prev = 0;
+        bool first = true;
+        while (ci + take < a.changed.size()) {
+            const auto &[pos, xbits] = a.changed[ci + take];
+            const std::size_t rec =
+                varintSize(first ? pos : pos - prev - 1) +
+                varintSize(xbits);
+            if (base + rec > cfg_.datagram_budget &&
+                !(seq > 0 && take == 0))
+                break; // full (seq > 0 always makes progress)
+            base += rec;
+            prev = pos;
+            first = false;
+            ++take;
+        }
+        m.changed.assign(a.changed.begin() + static_cast<long>(ci),
+                         a.changed.begin() +
+                             static_cast<long>(ci + take));
+        ci += take;
+        if (seq == 0 && total == 0)
+            ++stats_.suppressed_frames;
+        else if (take > 0)
+            ++stats_.delta_frames;
+        transmitBatch(s, m, take + (seq == 0 ? a.suppressed : 0));
+        ++seq;
+    } while (ci < a.changed.size());
+}
+
+void
 SocketTransport::resendRound(std::uint32_t s, std::uint64_t round)
 {
     if (cfg_.proto != Proto::Udp || !peer_alive_[s])
@@ -562,7 +776,7 @@ SocketTransport::resendRound(std::uint32_t s, std::uint64_t round)
         return;
     }
     for (const auto &dg : tr.datagrams) {
-        sockaddr_in addr = loopbackAddr(peer_port_[s]);
+        sockaddr_in addr = peerAddr(cfg_, s, peer_port_[s]);
         (void)::sendto(sock_, dg.data(), dg.size(), 0,
                        reinterpret_cast<sockaddr *>(&addr),
                        sizeof(addr));
@@ -658,12 +872,20 @@ SocketTransport::pollGlobalMax(std::uint64_t &round,
 }
 
 void
-SocketTransport::fileBatch(const CutBatchMsg &msg)
+SocketTransport::fileBatch(const CutBatchMsg &msg,
+                           std::uint16_t version)
 {
     const std::uint32_t s = msg.sender;
     if (s >= cfg_.num_shards || s == cfg_.shard_id) {
         warn("shard ", cfg_.shard_id,
              " dropping batch with bad sender ", s);
+        return;
+    }
+    if ((version >= 4) != (cfg_.wire_version >= 4)) {
+        // A peer speaking the wrong negotiated layout: its records
+        // are not interpretable here (absolute vs XOR).
+        warn("shard ", cfg_.shard_id, " dropping v", version,
+             " batch on a v", cfg_.wire_version, " data plane");
         return;
     }
     if (msg.epoch != epoch_) {
@@ -700,6 +922,27 @@ SocketTransport::fileBatch(const CutBatchMsg &msg)
         foldReport(rep);
 
     const std::vector<std::uint32_t> &pcut = pair_cut_[s];
+    if (cfg_.wire_version >= 4) {
+        if (msg.seq == 0) {
+            slot.decl[s] = msg.total_changed;
+            slot.decl_seen[s] = 1;
+            slot.hot_mode[s] = msg.hot_mode;
+            slot.hot_words[s] = msg.hot_words;
+        }
+        for (const auto &[pos, xbits] : msg.changed) {
+            DPC_ASSERT(pos < pcut.size(),
+                       "cut record index ", pos,
+                       " outside the per-pair list");
+            const std::uint32_t ci = pcut[pos];
+            DPC_ASSERT(slot.st[ci] == 0,
+                       "cut edge filed twice in one round");
+            slot.val[ci] = xbits; // raw XOR; resolved at emit
+            slot.st[ci] = 1;
+            ++slot.filed;
+            ++slot.got[s];
+        }
+        return;
+    }
     for (const auto &[pos, bits] : msg.changed) {
         DPC_ASSERT(pos < pcut.size(),
                    "cut record index ", pos,
@@ -760,6 +1003,50 @@ SocketTransport::filePatchesInto(const PatchSink &sink)
     return true;
 }
 
+bool
+SocketTransport::peerDone(const RxSlot &slot, std::uint32_t s) const
+{
+    return slot.decl_seen[s] != 0 && slot.got[s] >= slot.decl[s];
+}
+
+void
+SocketTransport::applyHotWords(
+    std::uint32_t s, std::uint8_t mode,
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>
+        &words)
+{
+    const std::size_t base = wake_base_[s];
+    const std::size_t n = rx_nodes_[s].size();
+    if (mode == kHotAll) {
+        std::fill_n(wake_hot_.begin() + static_cast<long>(base), n,
+                    std::uint8_t{1});
+        return;
+    }
+    if (mode == kHotClear) {
+        std::fill_n(wake_hot_.begin() + static_cast<long>(base), n,
+                    std::uint8_t{0});
+        return;
+    }
+    DPC_ASSERT(mode == kHotSparse,
+               "emitting a round without a hot bitmap from peer ",
+               s);
+    std::fill_n(wake_hot_.begin() + static_cast<long>(base), n,
+                std::uint8_t{0});
+    for (const auto &[w, bits] : words) {
+        std::uint64_t word = bits;
+        while (word != 0) {
+            const std::uint32_t bit = static_cast<std::uint32_t>(
+                __builtin_ctzll(word));
+            word &= word - 1;
+            const std::size_t idx = std::size_t{w} * 64 + bit;
+            DPC_ASSERT(idx < n,
+                       "hot bit outside the boundary list of peer ",
+                       s);
+            wake_hot_[base + idx] = 1;
+        }
+    }
+}
+
 void
 SocketTransport::resolveRx()
 {
@@ -767,12 +1054,28 @@ SocketTransport::resolveRx()
         if (rx_emitted_ > round_)
             return;
         RxSlot &slot = rx_ring_[rx_emitted_ % w_rx_];
-        if (slot.round != rx_emitted_ || !slot.open ||
-            slot.filed < slot.offered.size())
+        if (slot.round != rx_emitted_ || !slot.open)
             return;
-        DPC_ASSERT(slot.filed == slot.offered.size(),
-                   "rx slot overfiled: ", slot.filed, " > ",
-                   slot.offered.size());
+        if (cfg_.wire_version >= 4) {
+            // Sender-driven completion: every cut peer's seq-0
+            // declaration seen and all declared records filed.
+            // Unfiled offered positions are HELD values.  Only a
+            // peer CONFIRMED dead by an epoch fence is excused --
+            // a suspected peer (stream down, obituary pending)
+            // still blocks, so the caller parks in poll() where
+            // the control-plane tick can abort the round.
+            for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
+                if (s != cfg_.shard_id && !pair_cut_[s].empty() &&
+                    ((peer_dead_mask_ >> s) & 1u) == 0 &&
+                    !peerDone(slot, s))
+                    return;
+        } else if (slot.filed < slot.offered.size()) {
+            return;
+        }
+        if (cfg_.wire_version < 4)
+            DPC_ASSERT(slot.filed == slot.offered.size(),
+                       "rx slot overfiled: ", slot.filed, " > ",
+                       slot.offered.size());
         // Emit in offer (canonical) order: refresh the replay
         // cache, then hand over the peer-owned half of every
         // offered cut pair -- written straight into the caller's
@@ -785,10 +1088,23 @@ SocketTransport::resolveRx()
                 age = sink_rows_.size() - 1;
             sink_row = sink_rows_[static_cast<std::size_t>(age)];
         }
+        const bool v4 = cfg_.wire_version >= 4;
         for (const std::uint32_t ci : slot.offered) {
             if (slot.st[ci] == 1) {
-                rx_val_[ci] = slot.val[ci];
+                // v4 records are XOR against the peer's previous
+                // transmission; both caches start empty together
+                // (construction / epoch change), so the chain
+                // stays in lockstep with no absolute/delta flag.
+                rx_val_[ci] = v4 ? (rx_has_[ci] != 0 ? rx_val_[ci]
+                                                     : 0) ^
+                                       slot.val[ci]
+                                 : slot.val[ci];
                 rx_has_[ci] = 1;
+            } else if (v4) {
+                DPC_ASSERT(slot.st[ci] == 0,
+                           "v4 rx slot carries a bitmap state");
+                DPC_ASSERT(rx_has_[ci] != 0,
+                           "held cut edge with no cached value");
             } else {
                 DPC_ASSERT(slot.st[ci] == 2,
                            "offered cut edge never filed");
@@ -817,6 +1133,15 @@ SocketTransport::resolveRx()
             }
             ready_.push_back(d);
         }
+        // The round's wake bitmaps land with its value patches
+        // (strict round order), which is what keeps the sharded
+        // participant gating equal to the single-process mask.
+        if (v4)
+            for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
+                if (s != cfg_.shard_id && !pair_cut_[s].empty() &&
+                    ((peer_dead_mask_ >> s) & 1u) == 0)
+                    applyHotWords(s, slot.hot_mode[s],
+                                  slot.hot_words[s]);
         ++rx_emitted_;
     }
 }
@@ -882,7 +1207,7 @@ SocketTransport::receiveSome(int timeout_ms)
                     break;
                 }
                 ++stats_.frames_received;
-                fileBatch(f.cut_batch);
+                fileBatch(f.cut_batch, f.version);
                 any = true;
                 off += used;
             }
@@ -945,7 +1270,7 @@ SocketTransport::receiveSome(int timeout_ms)
                     fatal("shard ", cfg_.shard_id,
                           ": unexpected frame type on data plane");
                 ++stats_.frames_received;
-                fileBatch(f.cut_batch);
+                fileBatch(f.cut_batch, f.version);
                 any = true;
                 off += used;
             }
@@ -1010,10 +1335,18 @@ SocketTransport::tickRetransmit()
     // peers that merely have not acked -- there are no acks.)
     const RxSlot &slot = rx_ring_[rx_emitted_ % w_rx_];
     std::vector<std::uint8_t> owed(cfg_.num_shards, 0);
-    if (slot.round == rx_emitted_)
-        for (const std::uint32_t ci : slot.offered)
-            if (slot.st[ci] == 0)
-                owed[cut_[ci].peer] = 1;
+    if (slot.round == rx_emitted_) {
+        if (cfg_.wire_version >= 4) {
+            for (std::uint32_t s = 0; s < cfg_.num_shards; ++s)
+                if (s != cfg_.shard_id && !pair_cut_[s].empty() &&
+                    !peerDone(slot, s))
+                    owed[s] = 1;
+        } else {
+            for (const std::uint32_t ci : slot.offered)
+                if (slot.st[ci] == 0)
+                    owed[cut_[ci].peer] = 1;
+        }
+    }
     for (std::uint32_t s = 0; s < cfg_.num_shards; ++s) {
         if (s == cfg_.shard_id || pair_cut_[s].empty() ||
             !peer_alive_[s])
@@ -1112,6 +1445,7 @@ SocketTransport::epochChange(std::uint32_t epoch,
             DPC_ASSERT(s != cfg_.shard_id,
                        "obituary names the local shard");
             peer_alive_[s] = 0;
+            peer_dead_mask_ |= 1ull << s;
             if (peer_fd_[s] >= 0) {
                 ::close(peer_fd_[s]);
                 peer_fd_[s] = -1;
@@ -1132,6 +1466,8 @@ SocketTransport::epochChange(std::uint32_t epoch,
         a.bitmap.clear();
         a.offered = 0;
         a.suppressed = 0;
+        a.hot.clear();
+        a.hot_valid = false;
     }
     for (RxSlot &s : rx_ring_) {
         s.round = kNoRound;
@@ -1141,6 +1477,11 @@ SocketTransport::epochChange(std::uint32_t epoch,
         s.offered.clear();
         s.open = false;
         s.seq_seen.clear();
+        s.decl.clear();
+        s.decl_seen.clear();
+        s.got.clear();
+        s.hot_mode.clear();
+        s.hot_words.clear();
     }
     ready_.clear();
     head_ = 0;
@@ -1151,6 +1492,12 @@ SocketTransport::epochChange(std::uint32_t epoch,
     // could disagree.
     std::fill(tx_has_.begin(), tx_has_.end(), 0);
     std::fill(rx_has_.begin(), rx_has_.end(), 0);
+    // The v4 wake view and wake accounting baseline go back to
+    // all-hot: the epoch fence invalidated every held verdict, and
+    // the first post-recovery rounds are dense anyway.
+    std::fill(wake_hot_.begin(), wake_hot_.end(), std::uint8_t{1});
+    for (auto &words : tx_hot_last_)
+        std::fill(words.begin(), words.end(), ~0ull);
     rx_emitted_ = resume_round;
     // The piggybacked all-reduce restarts at the resume round over
     // the survivor mask; unresolved pre-death rounds are abandoned

@@ -71,6 +71,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -135,6 +136,27 @@ class SocketTransport final : public Transport
          * dead peer.  Empty = pre-v3 behavior (fatal timeout).
          */
         std::function<bool()> tick;
+        /**
+         * Negotiated CutBatch wire version (the broker's agreed
+         * version).  >= 4: delta-suppressed frames (quiesced
+         * halves ship nothing, live halves ship XOR varints,
+         * completion is sender-declared) and the boundary wake
+         * channel.  3: the dense PR 8 layout -- full records +
+         * suppression bitmap, receiver-side completion -- for
+         * clusters holding a v3 peer.
+         */
+        std::uint16_t wire_version = kWireVersion;
+        /**
+         * Per-shard peer hosts as IPv4 dotted-quad strings
+         * (hosts[s] carries shard s's data address).  Empty, or an
+         * empty entry: 127.0.0.1, the tested single-machine
+         * default.  Paired with the broker port table handed to
+         * connectPeers().
+         */
+        std::vector<std::string> hosts;
+        /** Local address to bind the data socket on (dotted quad);
+         * empty: 127.0.0.1. */
+        std::string bind_host;
     };
 
     /** Per-run wire accounting (the BENCH_wire numbers).
@@ -169,6 +191,15 @@ class SocketTransport final : public Transport
         /** Bitmask of peers ever suspected (sticky; bit s = shard
          * s).  A queryable record, not a correctness input. */
         std::uint64_t peer_suspected = 0;
+        /** v4: first-transmission frames with zero changed records
+         * (one per fully-quiesced peer round). */
+        std::uint64_t suppressed_frames = 0;
+        /** v4: first-transmission frames carrying XOR-delta
+         * records. */
+        std::uint64_t delta_frames = 0;
+        /** v4: boundary wake notifications shipped (0 -> 1 hot
+         * transitions vs the previous round's sent bitmap). */
+        std::uint64_t wake_messages = 0;
     };
 
     /** Binds the local data port (ephemeral; localPort() reports
@@ -181,6 +212,15 @@ class SocketTransport final : public Transport
 
     /** The bound data port (UDP port or TCP listen port). */
     std::uint16_t localPort() const { return local_port_; }
+
+    /**
+     * Adopt the broker-negotiated wire version.  Downgrade only
+     * (the constructor validated the configured cap), and only
+     * before any round has opened: the per-version tx/rx state
+     * (delta chains, hot bitmaps, declared-count completion) is
+     * chosen at round granularity and never mixes.
+     */
+    void setWireVersion(std::uint16_t v);
 
     /**
      * Wire up the full peer mesh from the broker's port table
@@ -219,6 +259,28 @@ class SocketTransport final : public Transport
      * halves then land in the caller's rows straight from the
      * frame decode; resolveRx() queues nothing. */
     bool filePatchesInto(const PatchSink &sink) override;
+
+    /** The wake channel rides v4 seq-0 frames: EdgePair hot bits
+     * are folded into per-peer boundary bitmaps on send and the
+     * peers' bitmaps are applied to the wake view as their rounds
+     * emit (strict round order, same timing as the value
+     * patches). */
+    bool wakesSupported() const override
+    {
+        return cfg_.wire_version >= 4;
+    }
+
+    /** Peer-owned boundary nodes (per-peer ascending original id,
+     * peers concatenated ascending shard id) + their current hot
+     * bits; all-hot at construction and after an epoch change. */
+    WakeView remoteWakes() const override
+    {
+        WakeView w;
+        w.nodes = wake_nodes_.data();
+        w.hot = wake_hot_.data();
+        w.count = wake_nodes_.size();
+        return w;
+    }
 
     /**
      * Keep the data plane alive while the shard is parked outside
@@ -283,12 +345,14 @@ class SocketTransport final : public Transport
     /** This shard's cut edges (ascending edge id). */
     std::size_t numCutEdges() const { return cut_.size(); }
 
+    /** dp reports per seq-0 batch (count is deterministic --
+     * min(kMaxDpReports, round + 1) -- so bytes/round is too).
+     * Public: the steady-state byte ceiling is derived from it. */
+    static constexpr std::size_t kMaxDpReports = 8;
+
   private:
     static constexpr std::uint32_t kNoCut = 0xffffffffu;
     static constexpr std::uint64_t kNoRound = ~0ull;
-    /** dp reports per seq-0 batch (count is deterministic --
-     * min(kMaxDpReports, round + 1) -- so bytes/round is too). */
-    static constexpr std::size_t kMaxDpReports = 8;
     /** all-reduce window: in-flight unresolved rounds. */
     static constexpr std::size_t kDpWindow = 64;
 
@@ -303,6 +367,13 @@ class SocketTransport final : public Transport
         /** Position in the (me, peer) per-pair cut list -- the
          * wire record index. */
         std::uint32_t pair_pos = 0;
+        /** Position of the OWN endpoint in the (me, peer) boundary
+         * node list (the wake bitmap bit index). */
+        std::uint32_t own_pos = 0;
+        /** Position of the PEER endpoint in the peer's boundary
+         * node list = index into rx_nodes_[peer] / the wake view
+         * segment of that peer. */
+        std::uint32_t peer_pos = 0;
         /** We own u (else we own v). */
         bool own_u = false;
     };
@@ -315,6 +386,10 @@ class SocketTransport final : public Transport
         std::vector<std::uint64_t> bitmap;
         std::uint32_t offered = 0;
         std::uint32_t suppressed = 0;
+        /** v4: boundary hot bitmap over tx_nodes_[peer] (words),
+         * folded from EdgePair hot bits during send(). */
+        std::vector<std::uint64_t> hot;
+        bool hot_valid = false;
     };
 
     /** Retained first-transmission datagrams of one (peer, round)
@@ -329,19 +404,37 @@ class SocketTransport final : public Transport
     struct RxSlot
     {
         std::uint64_t round = kNoRound;
-        /** Raw IEEE bits of the peer half, by cut_ index. */
+        /** Raw IEEE bits of the peer half, by cut_ index (v4: the
+         * raw XOR against the previous emitted value, resolved at
+         * emit time in strict round order). */
         std::vector<std::uint64_t> val;
-        /** 0 unfiled, 1 explicit, 2 suppressed (replay cache). */
+        /** 0 unfiled, 1 explicit, 2 suppressed (replay cache).
+         * v4: 0 doubles as "suppressed" -- the sender-declared
+         * total decides completion, and an unfiled position at
+         * emit time means the sender shipped nothing for it. */
         std::vector<std::uint8_t> st;
         std::size_t filed = 0;
         /** cut_ indices this shard offered in the round, in send
          * order; identical replicas make it equal to what every
-         * peer sent, so offered.size() is the completion target. */
+         * peer sent, so offered.size() is the completion target
+         * (v3; v4 completion is the sender-declared totals). */
         std::vector<std::uint32_t> offered;
         /** Sends for the round are complete (offered is final). */
         bool open = false;
         /** Per-peer (round, seq) dedup bitsets. */
         std::vector<std::vector<std::uint64_t>> seq_seen;
+        /** v4: per-peer sender-declared record totals (from seq-0
+         * frames) and the records filed so far. */
+        std::vector<std::uint32_t> decl;
+        std::vector<std::uint8_t> decl_seen;
+        std::vector<std::uint32_t> got;
+        /** v4: per-peer boundary hot bitmap as shipped on seq 0
+         * (mode + sparse words), applied to the wake view when the
+         * round emits. */
+        std::vector<std::uint8_t> hot_mode;
+        std::vector<std::vector<std::pair<std::uint32_t,
+                                          std::uint64_t>>>
+            hot_words;
     };
 
     /** One in-flight all-reduce round. */
@@ -354,6 +447,23 @@ class SocketTransport final : public Transport
 
     std::uint32_t ownerOf(std::uint32_t node) const;
     void buildCutLists();
+
+    /** v4 flush: pack this round's accumulated records for peer s
+     * into delta frames (seq-0 declares the totals and carries the
+     * hot bitmap). */
+    void flushPeerV4(std::uint32_t s,
+                     const std::vector<DpReport> &reports);
+
+    /** v4: apply one emitted round's hot bitmap from peer s to the
+     * wake view segment. */
+    void applyHotWords(std::uint32_t s, std::uint8_t mode,
+                       const std::vector<std::pair<std::uint32_t,
+                                                   std::uint64_t>>
+                           &words);
+
+    /** v4 round completion for one peer: seq-0 seen and every
+     * declared record filed. */
+    bool peerDone(const RxSlot &slot, std::uint32_t s) const;
 
     /** The (possibly lazily initialized) rx slot for `round`. */
     RxSlot &rxSlot(std::uint64_t round);
@@ -376,8 +486,9 @@ class SocketTransport final : public Transport
      * and file frames.  Returns true if any frame was consumed. */
     bool receiveSome(int timeout_ms);
 
-    /** File one decoded CutBatch. */
-    void fileBatch(const CutBatchMsg &msg);
+    /** File one decoded CutBatch (version = its frame version;
+     * frames from the wrong negotiated layout are dropped). */
+    void fileBatch(const CutBatchMsg &msg, std::uint16_t version);
 
     /** Fold one all-reduce report; resolve in round order. */
     void foldReport(const DpReport &rep);
@@ -449,6 +560,24 @@ class SocketTransport final : public Transport
     std::vector<std::vector<std::uint32_t>> pair_cut_;
     /** Suppression bitmap words per peer. */
     std::vector<std::size_t> pair_words_;
+    /** tx_nodes_[s] = OWN boundary nodes of the (me, s) pair,
+     * ascending original id (the outgoing wake bitmap's bit
+     * space; the peer derives the identical list). */
+    std::vector<std::vector<std::uint32_t>> tx_nodes_;
+    /** rx_nodes_[s] = PEER-owned boundary nodes of the (me, s)
+     * pair, ascending original id (the incoming bitmap's bit
+     * space; equals the peer's tx_nodes_[me]). */
+    std::vector<std::vector<std::uint32_t>> rx_nodes_;
+    /** Previous round's SENT hot words per peer (wake_messages
+     * accounting; all-hot at construction and epoch change, like
+     * a fresh frontier). */
+    std::vector<std::vector<std::uint64_t>> tx_hot_last_;
+    /** Flattened rx_nodes_ (peers ascending) = WakeView::nodes. */
+    std::vector<std::uint32_t> wake_nodes_;
+    /** Current remote hot bits, parallel to wake_nodes_. */
+    std::vector<std::uint8_t> wake_hot_;
+    /** wake_base_[s] = offset of peer s's segment in wake_*. */
+    std::vector<std::size_t> wake_base_;
 
     /** Last-transmitted own-half bits per cut_ index (suppression
      * reference; the receiver mirrors it as rx_val_). */
@@ -488,6 +617,13 @@ class SocketTransport final : public Transport
     /** peer_alive_[s] = 0 once the broker declared s dead (or its
      * TCP stream closed under a fault-tolerant run). */
     std::vector<std::uint8_t> peer_alive_;
+    /** Bit s set once an epoch fence CONFIRMED shard s dead.  The
+     * v4 sender-driven completion may only skip these: a peer
+     * whose stream merely went down (suspected, obituary pending)
+     * must keep blocking resolution, or the survivor races ahead
+     * on held values instead of parking in poll() where the
+     * control-plane tick can quiesce it. */
+    std::uint64_t peer_dead_mask_ = 0;
     /** Consecutive fruitless retransmit ticks per peer while it
      * owes the oldest unresolved round (suspicion counter). */
     std::vector<int> peer_ticks_;

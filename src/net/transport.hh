@@ -111,6 +111,14 @@ struct EdgePair
     std::uint64_t round = 0;
     double e_u = 0.0;
     double e_v = 0.0;
+    /** Active-set verdicts of the endpoints entering this round
+     * (the cross-shard wake channel: a wake-capable transport
+     * ships the sender-owned bit to the peer so a node going hot
+     * re-activates its cut neighbours there).  Dense senders leave
+     * both true; a sharded sender's bit is authoritative only for
+     * the halves it owns, mirroring e_u/e_v. */
+    bool hot_u = true;
+    bool hot_v = true;
 };
 
 /**
@@ -259,6 +267,39 @@ class Transport
     {
         return false;
     }
+
+    /**
+     * Remote boundary wake view: the peer-owned endpoints of this
+     * caller's cut edges (canonical ORIGINAL ids) plus their
+     * current active-set bits as last carried by the wire.  The
+     * arrays are stable for the transport's lifetime (nodes never
+     * move; bits are refreshed in place as rounds resolve), start
+     * all-hot (matching a freshly reset frontier), and reset to
+     * all-hot on an epoch change (matching the caller's rollback
+     * reheat).  `count == 0` on transports with no remote peers.
+     */
+    struct WakeView
+    {
+        const std::uint32_t *nodes = nullptr;
+        const std::uint8_t *hot = nullptr;
+        std::size_t count = 0;
+    };
+
+    /**
+     * True when this transport carries EdgePair hot bits to remote
+     * peers and maintains remoteWakes() from theirs.  A sparse
+     * (active-set) sharded round requires it: without the wake
+     * channel a shard cannot learn that a quiesced cut neighbour
+     * went hot on the other side.  Default: not supported (a
+     * caller with no remote nodes never needs it; the lossy
+     * decorator deliberately does not forward support, which
+     * safely pins fault-model runs to the dense round path).
+     */
+    virtual bool wakesSupported() const { return false; }
+
+    /** The current remote wake view (see WakeView); meaningful
+     * only when wakesSupported(). */
+    virtual WakeView remoteWakes() const { return {}; }
 
     /** Upper bound on any fate lag poll() will ever report. */
     virtual std::size_t maxLag() const = 0;

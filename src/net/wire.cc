@@ -39,6 +39,19 @@ putF64(std::vector<std::uint8_t> &out, double x)
     putU64(out, std::bit_cast<std::uint64_t>(x));
 }
 
+/** Unsigned LEB128: 7 value bits per byte, low bits first, high
+ * bit = continuation.  Small XOR deltas (estimates converging in
+ * the low mantissa) encode in a byte or two. */
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
 /** Bounds-checked little-endian reader over one payload. */
 class Reader
 {
@@ -94,6 +107,34 @@ class Reader
         if (!u64(bits))
             return false;
         x = std::bit_cast<double>(bits);
+        return true;
+    }
+
+    /** Unsigned LEB128; rejects encodings past 10 bytes or with
+     * value bits beyond 64 (a 10th byte may only carry bit 63). */
+    bool varint(std::uint64_t &x)
+    {
+        x = 0;
+        for (int i = 0; i < 10; ++i) {
+            if (pos_ >= len_)
+                return false;
+            const std::uint8_t b = data_[pos_++];
+            if (i == 9 && (b & ~std::uint8_t{1}) != 0)
+                return false;
+            x |= std::uint64_t{b & 0x7fu} << (7 * i);
+            if ((b & 0x80u) == 0)
+                return true;
+        }
+        return false;
+    }
+
+    /** Varint bounded to u32 (counts, cut positions). */
+    bool varint32(std::uint32_t &x)
+    {
+        std::uint64_t v = 0;
+        if (!varint(v) || v > 0xffffffffull)
+            return false;
+        x = static_cast<std::uint32_t>(v);
         return true;
     }
 
@@ -187,6 +228,11 @@ encodeBody(const Frame &frame, std::vector<std::uint8_t> &out)
         putU64(out, m.gaveup_frames);
         putU64(out, m.suspect_events);
         putU64(out, m.peer_suspected);
+        if (frame.version >= 4) {
+            putU64(out, m.suppressed_frames);
+            putU64(out, m.delta_frames);
+            putU64(out, m.wake_messages);
+        }
         for (std::uint64_t b : m.edges_per_frame_hist)
             putU64(out, b);
         putF64(out, m.final_local_max_dp);
@@ -210,20 +256,50 @@ encodeBody(const Frame &frame, std::vector<std::uint8_t> &out)
         putU64(out, m.round);
         putU32(out, m.seq);
         out.push_back(static_cast<std::uint8_t>(m.reports.size()));
-        putU32(out, static_cast<std::uint32_t>(m.changed.size()));
-        putU32(out,
-               static_cast<std::uint32_t>(m.unchanged.size()));
+        if (frame.version >= 4) {
+            out.push_back(m.hot_mode);
+            putVarint(out, m.changed.size());
+            if (m.seq == 0)
+                putVarint(out, m.total_changed);
+            if (m.hot_mode == kHotSparse) {
+                putVarint(out, m.hot_words.size());
+                std::uint32_t prev = 0;
+                bool first = true;
+                for (const auto &[w, bits] : m.hot_words) {
+                    putVarint(out, first ? w : w - prev - 1);
+                    putVarint(out, bits);
+                    prev = w;
+                    first = false;
+                }
+            }
+        } else {
+            putU32(out,
+                   static_cast<std::uint32_t>(m.changed.size()));
+            putU32(out,
+                   static_cast<std::uint32_t>(m.unchanged.size()));
+        }
         for (const DpReport &rep : m.reports) {
             putU64(out, rep.round);
             putU64(out, rep.shard_mask);
             putF64(out, rep.max_dp);
         }
-        for (const auto &[idx, bits] : m.changed) {
-            putU32(out, idx);
-            putU64(out, bits);
+        if (frame.version >= 4) {
+            std::uint32_t prev = 0;
+            bool first = true;
+            for (const auto &[idx, bits] : m.changed) {
+                putVarint(out, first ? idx : idx - prev - 1);
+                putVarint(out, bits);
+                prev = idx;
+                first = false;
+            }
+        } else {
+            for (const auto &[idx, bits] : m.changed) {
+                putU32(out, idx);
+                putU64(out, bits);
+            }
+            for (std::uint64_t w : m.unchanged)
+                putU64(out, w);
         }
-        for (std::uint64_t w : m.unchanged)
-            putU64(out, w);
         break;
     }
     case FrameType::EpochChange: {
@@ -326,6 +402,10 @@ decodeBody(FrameType type, const std::uint8_t *data, std::size_t len,
               r.u64(m.gaveup_frames) && r.u64(m.suspect_events) &&
               r.u64(m.peer_suspected)))
             return false;
+        if (out.version >= 4 &&
+            !(r.u64(m.suppressed_frames) && r.u64(m.delta_frames) &&
+              r.u64(m.wake_messages)))
+            return false;
         for (auto &b : m.edges_per_frame_hist)
             if (!r.u64(b))
                 return false;
@@ -352,8 +432,75 @@ decodeBody(FrameType type, const std::uint8_t *data, std::size_t len,
         std::uint8_t n_reports = 0;
         std::uint32_t n_changed = 0, n_words = 0;
         if (!(r.u32(m.sender) && r.u32(m.epoch) &&
-              r.u64(m.round) && r.u32(m.seq) && r.u8(n_reports) &&
-              r.u32(n_changed) && r.u32(n_words)))
+              r.u64(m.round) && r.u32(m.seq) && r.u8(n_reports)))
+            return false;
+        if (out.version >= 4) {
+            m.unchanged.clear();
+            m.total_changed = 0;
+            m.hot_words.clear();
+            std::uint32_t n_hot = 0;
+            if (!(r.u8(m.hot_mode) && r.varint32(n_changed)))
+                return false;
+            if (m.seq == 0) {
+                if (!r.varint32(m.total_changed))
+                    return false;
+            } else if (m.hot_mode != kHotNone) {
+                // The hot bitmap rides seq 0 only.
+                return false;
+            }
+            if (m.hot_mode > kHotClear)
+                return false;
+            if (m.hot_mode == kHotSparse &&
+                !r.varint32(n_hot))
+                return false;
+            // Every entry/record is >= 2 varint bytes; reject
+            // counts that cannot fit before allocating.
+            if (std::size_t{n_reports} * 24 +
+                    std::size_t{n_changed} * 2 +
+                    std::size_t{n_hot} * 2 >
+                len)
+                return false;
+            m.hot_words.resize(n_hot);
+            std::uint64_t prev = 0;
+            bool first = true;
+            for (auto &[w, bits] : m.hot_words) {
+                std::uint32_t gap = 0;
+                if (!(r.varint32(gap) && r.varint(bits)))
+                    return false;
+                const std::uint64_t idx =
+                    first ? gap : prev + 1 + gap;
+                if (idx > 0xffffffffull)
+                    return false;
+                w = static_cast<std::uint32_t>(idx);
+                prev = idx;
+                first = false;
+            }
+            m.reports.resize(n_reports);
+            for (DpReport &rep : m.reports)
+                if (!(r.u64(rep.round) && r.u64(rep.shard_mask) &&
+                      r.f64(rep.max_dp)))
+                    return false;
+            m.changed.resize(n_changed);
+            prev = 0;
+            first = true;
+            for (auto &[idx, bits] : m.changed) {
+                std::uint32_t gap = 0;
+                if (!(r.varint32(gap) && r.varint(bits)))
+                    return false;
+                const std::uint64_t pos =
+                    first ? gap : prev + 1 + gap;
+                if (pos > 0xffffffffull)
+                    return false;
+                idx = static_cast<std::uint32_t>(pos);
+                prev = pos;
+                first = false;
+            }
+            return r.done();
+        }
+        m.total_changed = 0;
+        m.hot_mode = kHotNone;
+        m.hot_words.clear();
+        if (!(r.u32(n_changed) && r.u32(n_words)))
             return false;
         // The length prefix bounds the payload; reject counts that
         // cannot fit before allocating.
@@ -462,10 +609,12 @@ encodePairTransfer(const PairTransferMsg &msg,
 
 void
 encodeCutBatch(const CutBatchMsg &msg,
-               std::vector<std::uint8_t> &out)
+               std::vector<std::uint8_t> &out,
+               std::uint16_t version)
 {
     Frame f;
     f.type = FrameType::CutBatch;
+    f.version = version;
     f.cut_batch = msg;
     encodeFrame(f, out);
 }
@@ -504,6 +653,12 @@ decodeFrame(const std::uint8_t *data, std::size_t len, Frame &out,
     if (magic != kWireMagic)
         return DecodeStatus::Bad;
     if (version < kWireMinVersion)
+        return DecodeStatus::Bad;
+    // The body layout is version-split (CutBatch, Result); a frame
+    // from a NEWER build cannot be decoded by this one's layouts.
+    // Negotiation keeps agreed traffic at min(mine, theirs), so
+    // anything above kWireVersion is a peer that skipped it.
+    if (version > kWireVersion)
         return DecodeStatus::Bad;
     if (!knownType(type))
         return DecodeStatus::Bad;

@@ -76,12 +76,21 @@ inline constexpr std::uint32_t kWireMagic = 0x57435044u;
  * and the extended Result layout (stats + phase breakdown); v3
  * adds the epoch fence (epoch field on CutBatch/Result, the
  * EpochChange/EpochAck recovery handshake, and shard->broker
- * Heartbeat frames). */
-inline constexpr std::uint16_t kWireVersion = 3;
+ * Heartbeat frames); v4 makes the steady state cheap: quiesced cut
+ * halves are suppressed outright (the receiver holds the last
+ * delivered value under the epoch-fenced contract), live halves
+ * ship as varint XOR-deltas against the sender's previous
+ * transmission, seq-0 frames declare the round's total record
+ * count (sender-driven completion) and piggyback the sender's
+ * boundary hot bitmap (the cross-shard wake channel), and the
+ * Result layout grows the sparsity counters. */
+inline constexpr std::uint16_t kWireVersion = 4;
 
 /** Oldest version this build still accepts.  A v2 peer has no
  * epoch field in its CutBatch layout and cannot be fenced out of
- * a post-recovery round, so the floor moves with the version. */
+ * a post-recovery round, so the floor stays at the epoch fence; a
+ * v3 peer negotiates down to the dense bitmap CutBatch layout and
+ * simply never sees suppression or wake bits. */
 inline constexpr std::uint16_t kWireMinVersion = 3;
 
 /** Fixed header size in bytes. */
@@ -185,22 +194,69 @@ struct DpReport
     double max_dp = 0.0;
 };
 
+/** Encodings of the seq-0 boundary hot bitmap (v4 CutBatch): the
+ * sender's active-set verdicts over the canonical per-pair
+ * boundary node list, the wire half of the cross-shard wake
+ * protocol.  AllHot/AllCold collapse the two stationary cases
+ * (dense rounds, full quiescence) to one byte. */
+inline constexpr std::uint8_t kHotNone = 0;   ///< seq > 0: no bitmap
+inline constexpr std::uint8_t kHotSparse = 2; ///< sparse word entries
+inline constexpr std::uint8_t kHotAll = 1;    ///< every node hot
+inline constexpr std::uint8_t kHotClear = 3;  ///< every node cold
+
+/** Encoded size of one unsigned LEB128 varint (1..10 bytes). */
+inline std::size_t
+varintSize(std::uint64_t v)
+{
+    std::size_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
 /**
  * One batch of cut-edge halves from `sender` for round `round`.
  * Record indices address the canonical per-shard-pair cut list
  * (cut edges between the two shards, ascending edge id) that both
  * endpoints derive independently from the shared overlay + plan.
- * Halves whose value is bitwise-unchanged since the sender's last
- * transmission ship as set bits in `unchanged` (seq 0 only) and the
- * receiver replays them from its value cache; quiesced cut edges
- * therefore cost one bit per round instead of a 12-byte record.
  *
- * Payload layout (little-endian):
+ * v3: halves whose value is bitwise-unchanged since the sender's
+ * last transmission ship as set bits in `unchanged` (seq 0 only)
+ * and the receiver replays them from its value cache; quiesced cut
+ * edges therefore cost one bit per round instead of a 12-byte
+ * record.
+ *
+ * v3 payload layout (little-endian):
  *   u32 sender | u32 epoch | u64 round | u32 seq | u8 n_reports |
  *   u32 n_changed | u32 n_bitmap_words |
  *   n_reports  x { u64 round | u64 shard_mask | f64 max_dp } |
  *   n_changed  x { u32 cut_index | u64 e_bits } |
  *   n_bitmap_words x u64
+ *
+ * v4: unchanged halves ship NOTHING (the receiver holds the last
+ * delivered value; the epoch fence invalidates the cache on
+ * recovery), changed halves ship as XOR against the sender's
+ * previous transmission of the same cut position (absolute on
+ * first transmission after construction or an epoch change, when
+ * both ends agree the cache is empty).  Converging estimates
+ * differ in low mantissa bits only, so the XOR is a small integer
+ * and its LEB128 varint is short; record indices are
+ * gap-delta-coded (strictly ascending within a frame, first gap
+ * absolute).  seq-0 frames declare the round's total record count
+ * across all seqs -- completion is sender-driven, which is what
+ * lets a fully-quiesced round consist of one 36-byte frame -- and
+ * carry the sender's boundary hot bitmap (see kHot*).
+ *
+ * v4 payload layout (little-endian, v = unsigned LEB128 varint):
+ *   u32 sender | u32 epoch | u64 round | u32 seq |
+ *   u8 n_reports | u8 hot_mode | v n_changed |
+ *   [seq == 0:   v total_changed] |
+ *   [hot_mode == kHotSparse:
+ *                v n_hot | n_hot x { v word_gap | v word }] |
+ *   n_reports x { u64 round | u64 shard_mask | f64 max_dp } |
+ *   n_changed x { v index_gap | v xor_bits }
  */
 struct CutBatchMsg
 {
@@ -214,11 +270,22 @@ struct CutBatchMsg
      * unit for UDP replays. */
     std::uint32_t seq = 0;
     std::vector<DpReport> reports;
-    /** (position in the per-pair cut list, raw IEEE bits of the
-     * sender-owned estimate). */
+    /** v3: (position in the per-pair cut list, raw IEEE bits of
+     * the sender-owned estimate).  v4: (position, XOR of the raw
+     * bits against the sender's previous transmission); positions
+     * strictly ascending. */
     std::vector<std::pair<std::uint32_t, std::uint64_t>> changed;
-    /** Suppression bitmap over the per-pair cut list. */
+    /** v3 only: suppression bitmap over the per-pair cut list. */
     std::vector<std::uint64_t> unchanged;
+    /** v4, seq 0 only: total changed records of this (peer, round)
+     * across every seq -- the receiver's completion target. */
+    std::uint32_t total_changed = 0;
+    /** v4, seq 0 only: boundary hot bitmap encoding (kHot*). */
+    std::uint8_t hot_mode = kHotNone;
+    /** v4, hot_mode == kHotSparse: (word index, word bits) entries
+     * of the nonzero bitmap words, word indices strictly
+     * ascending. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> hot_words;
 };
 
 /** Result payload: a shard's final owned state + wire accounting +
@@ -249,6 +316,16 @@ struct ResultMsg
     std::uint64_t suspect_events = 0;
     /** Bitmask of peers ever suspected (bit s = shard s). */
     std::uint64_t peer_suspected = 0;
+    /** v4+: first-transmission CutBatch frames carrying zero
+     * changed records (pure header + hot bitmap -- the quiesced
+     * steady state). */
+    std::uint64_t suppressed_frames = 0;
+    /** v4+: first-transmission CutBatch frames carrying at least
+     * one XOR-delta record. */
+    std::uint64_t delta_frames = 0;
+    /** v4+: boundary-node wake notifications shipped (0 -> 1 hot
+     * transitions against the previous round's sent bitmap). */
+    std::uint64_t wake_messages = 0;
     std::array<std::uint64_t, kEdgesPerFrameBuckets>
         edges_per_frame_hist{};
     /** The shard's own last-round max |dp| (the broker maxes these
@@ -360,20 +437,33 @@ enum class DecodeStatus
     Bad,      ///< bad magic / version / length / payload; resync
 };
 
-/** Append one encoded frame to `out` (never fails). */
+/** Append one encoded frame to `out` (never fails).  The frame's
+ * `version` field selects the body layout for version-split
+ * message types (CutBatch, Result). */
 void encodeFrame(const Frame &frame, std::vector<std::uint8_t> &out);
 
-/** Convenience encoders for the common frame bodies. */
+/** Convenience encoders for the common frame bodies.  `version`
+ * selects the CutBatch body layout (>= 4: delta/suppression
+ * encoding; 3: dense records + bitmap). */
 void encodePairTransfer(const PairTransferMsg &msg,
                         std::vector<std::uint8_t> &out);
 void encodeCutBatch(const CutBatchMsg &msg,
-                    std::vector<std::uint8_t> &out);
+                    std::vector<std::uint8_t> &out,
+                    std::uint16_t version = kWireVersion);
 
-/** Encoded size of one CutBatch frame (header included) -- the
- * batch packer's budget arithmetic. */
+/** Encoded size of one v3 CutBatch frame (header included) -- the
+ * v3 batch packer's budget arithmetic. */
 std::size_t cutBatchFrameSize(std::size_t n_reports,
                               std::size_t n_changed,
                               std::size_t n_bitmap_words);
+
+/** Fixed part of one v4 CutBatch frame, header included: the 12
+ * byte header plus sender(4) + epoch(4) + round(8) + seq(4) +
+ * n_reports(1) + hot_mode(1) = 34; everything else is varints
+ * (n_changed, seq-0 totals, hot entries, records) the v4 packer
+ * accounts per item with varintSize(). */
+inline constexpr std::size_t kCutBatchV4Fixed =
+    kWireHeaderSize + 22;
 
 /**
  * Try to decode one frame from data[0..len).  Ok: `out` is filled

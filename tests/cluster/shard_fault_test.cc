@@ -325,6 +325,70 @@ TEST(ShardFaultTest, FourShardKillRecoversBitwise)
     expectSurvivorsBitwise(res, ref);
 }
 
+// ---- SIGKILL mid-steady-state: recovery x suppression ----------
+
+TEST(ShardFaultTest, KillDuringSteadyStateSuppressionRecoversBitwise)
+{
+    // The recovery fence vs the v4 value caches: survivors hold
+    // the dead peer's last delivered cut values and their own
+    // last-sent XOR bases, and the epoch bump must invalidate
+    // both, or the post-rollback rounds would replay stale bits.
+    // A warm-start re-seed at step_round forces the suppressed
+    // steady state (zero-record frames on the wire), the kill
+    // lands mid-suppression, and the survivors must land bitwise
+    // on the applyShardRecovery reference -- which runs dense
+    // post-surgery exactly like the shards do (failed nodes
+    // disable the sparse engine on both sides).
+    const std::size_t n = 64;
+    const std::size_t rounds = 60;
+    const std::size_t step_round = 10;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    DibaAllocator::Config cfg;
+    cfg.active_threshold = 0.25 * cfg.tolerance;
+    const double delta = 0.2 * prob.budget;
+
+    ShardRunOptions opt;
+    opt.num_shards = 2;
+    opt.rounds = rounds;
+    opt.recover = true;
+    opt.deadline_ms = 800;
+    opt.budget_steps.push_back({step_round, delta});
+    opt.faults.killAt(1, 35);
+
+    const auto res = runShardedDiba(prob, topo, cfg, opt);
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.rounds_run, rounds);
+    EXPECT_EQ(res.recoveries, 1u);
+    EXPECT_EQ(res.dead_mask, 1ull << 1);
+    EXPECT_DOUBLE_EQ(res.availability, 1.0);
+    ASSERT_EQ(res.shard_status.size(), 2u);
+    EXPECT_TRUE(killedBySignal(res.shard_status[1], SIGKILL))
+        << "status " << res.shard_status[1];
+    // The kill must land inside the suppressed steady state the
+    // re-seed produces (checkpoints save every round, so the
+    // rollback cannot reach back past the step).
+    EXPECT_GT(res.suppressed_frames, 0u);
+    EXPECT_GT(res.recovery_round, step_round);
+
+    DibaAllocator ref(topo, cfg);
+    ref.reset(prob);
+    for (std::uint64_t r = 0; r < res.recovery_round; ++r) {
+        if (r == step_round)
+            ref.warmStart(ref.result(), delta);
+        ref.iterate();
+    }
+    applyShardRecovery(ref, res.plan, res.dead_mask, res.epoch);
+    InvariantChecker checker;
+    checker.check(ref);
+    for (std::size_t r = res.recovery_round; r < rounds; ++r) {
+        ref.iterate();
+        checker.check(ref);
+    }
+    expectSurvivorsBitwise(res, ref);
+}
+
 // ---- SIGSTOP: slow vs hung --------------------------------------
 
 TEST(ShardFaultTest, StallUnderDeadlineIsBitwiseInvisible)

@@ -259,6 +259,191 @@ TEST(ShardProcessTest, PipelineDepthMatchesFixedLagReference)
     }
 }
 
+TEST(ShardSparseTest, ActiveSetTwoShardUdpMatchesIterateBitwise)
+{
+    // The steady-state tentpole's central pin: a positive
+    // active_threshold routes the sharded rounds through the
+    // sparse transport round (delta-suppressed frames + the wake
+    // channel), and the result must equal the single-process
+    // active-set engine -- plain iterate() -- bit for bit, round
+    // for round, including long-quiesced stretches.
+    const std::size_t n = 96, rounds = 400;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    DibaAllocator::Config cfg;
+    cfg.active_threshold = 0.25 * cfg.tolerance;
+
+    ShardRunOptions opt;
+    opt.num_shards = 2;
+    opt.rounds = rounds;
+    opt.proto = net::SocketTransport::Proto::Udp;
+    const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+    ASSERT_TRUE(sharded.ok) << sharded.error;
+
+    DibaAllocator ref(topo, cfg);
+    ref.reset(prob);
+    ASSERT_TRUE(ref.sparseEngineActive());
+    for (std::size_t r = 0; r < rounds; ++r)
+        ref.iterate();
+
+    expectBitwiseEqual(ref.power(), sharded.power, "power");
+    expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                       "estimate");
+    // A quarter-tolerance threshold keeps a sub-tolerance residual
+    // tail oscillating for thousands of rounds -- the demanding
+    // parity regime -- so full suppression is not expected here
+    // (see FullyQuiescedBoundaryShipsSuppressedFrames); but the
+    // delta path and the wake channel must both have carried real
+    // traffic while the frontier narrowed.
+    EXPECT_GT(sharded.delta_frames, 0u);
+    EXPECT_GT(sharded.wake_messages, 0u);
+}
+
+TEST(ShardSparseTest, FullyQuiescedBoundaryShipsSuppressedFrames)
+{
+    // At 4x tolerance the frontier fully drains (empirically round
+    // ~1700 on this problem); from there every sparse round's cut
+    // values are bit-identical, so every peer-round must collapse
+    // to one suppressed seq-0 frame -- and the trajectory still
+    // pins the single-process active-set engine bitwise.
+    const std::size_t n = 96, rounds = 2000;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    DibaAllocator::Config cfg;
+    cfg.active_threshold = 4.0 * cfg.tolerance;
+
+    ShardRunOptions opt;
+    opt.num_shards = 2;
+    opt.rounds = rounds;
+    opt.proto = net::SocketTransport::Proto::Udp;
+    const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+    ASSERT_TRUE(sharded.ok) << sharded.error;
+
+    DibaAllocator ref(topo, cfg);
+    ref.reset(prob);
+    for (std::size_t r = 0; r < rounds; ++r)
+        ref.iterate();
+    ASSERT_EQ(ref.frontierHotCount(), 0u)
+        << "reference never quiesced: the suppression assertions "
+           "below would be vacuous";
+
+    expectBitwiseEqual(ref.power(), sharded.power, "power");
+    expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                       "estimate");
+    EXPECT_GT(sharded.suppressed_frames, 0u);
+    EXPECT_GT(sharded.delta_frames, 0u);
+    EXPECT_GT(sharded.wake_messages, 0u);
+}
+
+TEST(ShardSparseTest, ThresholdZeroKeepsTheDenseShardedPath)
+{
+    // Structural pin: active_threshold == 0 must leave the sharded
+    // rounds on the dense PR 8 transport path (the sparse round is
+    // gated on a STRICTLY positive threshold), bitwise equal to
+    // the dense loopback reference -- on the v4 wire (whose delta
+    // framing then applies to the dense rounds) AND forced down to
+    // v3 through the broker's version negotiation, where the v4
+    // sparsity counters must all stay zero.
+    const std::size_t n = 64, rounds = 40;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    DibaAllocator::Config cfg;
+    cfg.active_threshold = 0.0;
+
+    const auto ref = referenceRun(prob, topo, cfg, rounds);
+    for (const std::uint16_t version :
+         {net::kWireVersion, net::kWireMinVersion}) {
+        ShardRunOptions opt;
+        opt.num_shards = 2;
+        opt.rounds = rounds;
+        opt.proto = net::SocketTransport::Proto::Udp;
+        opt.wire_version = version;
+        const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+        ASSERT_TRUE(sharded.ok) << sharded.error;
+        expectBitwiseEqual(ref.power(), sharded.power, "power");
+        expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                           "estimate");
+        if (version < 4) {
+            EXPECT_EQ(sharded.suppressed_frames, 0u);
+            EXPECT_EQ(sharded.delta_frames, 0u);
+            EXPECT_EQ(sharded.wake_messages, 0u);
+        }
+    }
+}
+
+TEST(ShardSparseTest, WarmStartedBudgetStepMatchesSingleProcess)
+{
+    // Warm-started sharded steps: every shard applies the same
+    // warmStart(result(), delta) at the same round boundary; on a
+    // quadratic cluster the re-seed is per-node static arithmetic,
+    // so the sharded trajectory through converge -> step ->
+    // reconverge must equal the single-process active-set run
+    // given the identical warmStart at the identical round.
+    const std::size_t n = 96, rounds = 400, step_round = 200;
+    const auto prob = test::npbProblem(n, 170.0, 5);
+    Rng topo_rng(9);
+    const auto topo = makeChordalRing(n, 8, topo_rng);
+    DibaAllocator::Config cfg;
+    cfg.active_threshold = 0.25 * cfg.tolerance;
+    const double delta = 0.2 * prob.budget;
+
+    ShardRunOptions opt;
+    opt.num_shards = 2;
+    opt.rounds = rounds;
+    opt.proto = net::SocketTransport::Proto::Udp;
+    opt.budget_steps.push_back({step_round, delta});
+    const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+    ASSERT_TRUE(sharded.ok) << sharded.error;
+
+    DibaAllocator ref(topo, cfg);
+    ref.reset(prob);
+    for (std::size_t r = 0; r < rounds; ++r) {
+        if (r == step_round)
+            ref.warmStart(ref.result(), delta);
+        ref.iterate();
+    }
+
+    expectBitwiseEqual(ref.power(), sharded.power, "power");
+    expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                       "estimate");
+    EXPECT_GT(sharded.suppressed_frames, 0u);
+}
+
+TEST(ShardSparseTest, SparseTcpAndFourShardsStayBitwise)
+{
+    // The sparse transport round must not depend on the datagram
+    // framing or the shard count: TCP streams and a 4-way split
+    // pin the same single-process active-set trajectory.
+    const std::size_t n = 96, rounds = 150;
+    const auto prob = test::npbProblem(n, 170.0, 7);
+    Rng topo_rng(3);
+    const auto topo = makeChordalRing(n, 6, topo_rng);
+    DibaAllocator::Config cfg;
+    cfg.active_threshold = 0.25 * cfg.tolerance;
+
+    DibaAllocator ref(topo, cfg);
+    ref.reset(prob);
+    for (std::size_t r = 0; r < rounds; ++r)
+        ref.iterate();
+
+    for (const auto proto : {net::SocketTransport::Proto::Tcp,
+                             net::SocketTransport::Proto::Udp}) {
+        ShardRunOptions opt;
+        opt.num_shards =
+            proto == net::SocketTransport::Proto::Tcp ? 2u : 4u;
+        opt.rounds = rounds;
+        opt.proto = proto;
+        const auto sharded = runShardedDiba(prob, topo, cfg, opt);
+        ASSERT_TRUE(sharded.ok) << sharded.error;
+        expectBitwiseEqual(ref.power(), sharded.power, "power");
+        expectBitwiseEqual(ref.estimates(), sharded.estimates,
+                           "estimate");
+    }
+}
+
 TEST(ShardProcessTest, LossyShardsMatchLossyLoopbackBitwise)
 {
     // Fault-model parity: every shard decorates its socket

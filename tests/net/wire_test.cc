@@ -177,7 +177,11 @@ TEST(WireCodecTest, ControlFramesRoundTrip)
 
 TEST(WireCodecTest, CutBatchRoundTripsExactly)
 {
+    // Pinned to the v3 body layout: the unchanged bitmap and raw
+    // 12-byte records exist only there (v4 suppresses / XOR-codes
+    // them and is exercised by the CutBatchV4* tests below).
     Frame in;
+    in.version = 3;
     in.type = FrameType::CutBatch;
     in.cut_batch.sender = 3;
     in.cut_batch.round = 0xfedcba9876543210ULL;
@@ -218,6 +222,7 @@ TEST(WireCodecTest, CutBatchRoundTripsExactly)
 
     // Empty containers round-trip too (a pure-suppression batch).
     Frame empty;
+    empty.version = 3;
     empty.type = FrameType::CutBatch;
     empty.cut_batch.sender = 0;
     empty.cut_batch.round = 0;
@@ -352,15 +357,17 @@ TEST(WireCodecTest, MinFrameSizeAdmitsTheSmallestRealBatch)
 
 TEST(WireCodecTest, CutBatchFrameSizeMatchesEncoder)
 {
-    // cutBatchFrameSize is the batch packer's budget arithmetic; a
-    // drift between it and the encoder would make the packer over-
-    // or under-fill datagrams.
+    // cutBatchFrameSize is the v3 batch packer's budget
+    // arithmetic; a drift between it and the encoder would make
+    // the packer over- or under-fill datagrams.  (The v4 packer
+    // accounts varints per item off kCutBatchV4Fixed instead.)
     const std::size_t shapes[][3] = {
         {0, 0, 0}, {1, 0, 0},  {0, 1, 0},  {0, 0, 1},
         {8, 3, 2}, {2, 40, 7}, {8, 116, 0},
     };
     for (const auto &s : shapes) {
         Frame f;
+        f.version = 3;
         f.type = FrameType::CutBatch;
         f.cut_batch.reports.resize(s[0]);
         for (std::size_t i = 0; i < s[1]; ++i)
@@ -373,6 +380,233 @@ TEST(WireCodecTest, CutBatchFrameSizeMatchesEncoder)
             << s[0] << " reports, " << s[1] << " changed, "
             << s[2] << " bitmap words";
     }
+}
+
+TEST(WireCodecTest, CutBatchV4RoundTripsEveryHotMode)
+{
+    // The v4 body gap-codes record indices and hot words and XOR-
+    // codes value bits; decode must hand back ABSOLUTE indices and
+    // the exact 64-bit patterns for every hot-bitmap encoding.
+    const std::uint8_t modes[] = {kHotAll, kHotClear, kHotSparse};
+    for (const std::uint8_t mode : modes) {
+        Frame in;
+        in.type = FrameType::CutBatch;
+        in.cut_batch.sender = 1;
+        in.cut_batch.epoch = 9;
+        in.cut_batch.round = 0xfedcba9876543210ULL;
+        in.cut_batch.seq = 0;
+        in.cut_batch.total_changed = 0x123456u;
+        in.cut_batch.hot_mode = mode;
+        if (mode == kHotSparse)
+            in.cut_batch.hot_words = {
+                {0u, 0x1ULL},
+                {3u, 0xdeadbeefcafef00dULL},
+                {70000u, ~0ULL},
+            };
+        in.cut_batch.reports = {
+            DpReport{/*round=*/41, /*shard_mask=*/0b1011,
+                     /*max_dp=*/0.001953125},
+        };
+        // Strictly ascending positions, XOR deltas spanning the
+        // 1-byte..10-byte varint range.
+        in.cut_batch.changed = {
+            {0u, 0x7fULL},
+            {1u, 0x80ULL},
+            {5u, 0x0000000100000000ULL},
+            {1000000u, 0xffffffffffffffffULL},
+        };
+
+        const Frame out = roundTrip(in);
+        ASSERT_EQ(out.type, FrameType::CutBatch);
+        EXPECT_EQ(out.version, kWireVersion);
+        const auto &b = out.cut_batch;
+        EXPECT_EQ(b.sender, 1u);
+        EXPECT_EQ(b.epoch, 9u);
+        EXPECT_EQ(b.round, in.cut_batch.round);
+        EXPECT_EQ(b.seq, 0u);
+        EXPECT_EQ(b.total_changed, 0x123456u);
+        EXPECT_EQ(b.hot_mode, mode);
+        EXPECT_EQ(b.hot_words, in.cut_batch.hot_words);
+        EXPECT_EQ(b.changed, in.cut_batch.changed);
+        ASSERT_EQ(b.reports.size(), 1u);
+        EXPECT_EQ(b.reports[0].round, 41u);
+        EXPECT_TRUE(sameBits(b.reports[0].max_dp, 0.001953125));
+        EXPECT_TRUE(b.unchanged.empty()); // v3-only field
+    }
+
+    // seq > 0: no hot bitmap, no total_changed on the wire.
+    Frame cont;
+    cont.type = FrameType::CutBatch;
+    cont.cut_batch.sender = 2;
+    cont.cut_batch.round = 7;
+    cont.cut_batch.seq = 3;
+    cont.cut_batch.changed = {{4u, 0x55ULL}, {8u, 0xaaULL}};
+    const Frame cout = roundTrip(cont);
+    EXPECT_EQ(cout.cut_batch.seq, 3u);
+    EXPECT_EQ(cout.cut_batch.hot_mode, kHotNone);
+    EXPECT_EQ(cout.cut_batch.total_changed, 0u);
+    EXPECT_EQ(cout.cut_batch.changed, cont.cut_batch.changed);
+}
+
+TEST(WireCodecTest, CutBatchV4QuiescedFrameIsHeaderSized)
+{
+    // The steady-state claim: a fully-quiesced round from one
+    // sender is a single seq-0 frame with zero records and a
+    // one-byte hot encoding -- kCutBatchV4Fixed plus two zero
+    // varints (n_changed, total_changed).
+    Frame f;
+    f.type = FrameType::CutBatch;
+    f.cut_batch.sender = 0;
+    f.cut_batch.round = 1000;
+    f.cut_batch.seq = 0;
+    f.cut_batch.hot_mode = kHotClear;
+    std::vector<std::uint8_t> buf;
+    encodeFrame(f, buf);
+    EXPECT_EQ(buf.size(), kCutBatchV4Fixed + 2);
+
+    const Frame out = roundTrip(f);
+    EXPECT_EQ(out.cut_batch.hot_mode, kHotClear);
+    EXPECT_TRUE(out.cut_batch.changed.empty());
+    EXPECT_EQ(out.cut_batch.total_changed, 0u);
+}
+
+TEST(WireCodecTest, CutBatchV4TruncationAsksForMore)
+{
+    Frame in;
+    in.type = FrameType::CutBatch;
+    in.cut_batch.seq = 0;
+    in.cut_batch.total_changed = 300;
+    in.cut_batch.hot_mode = kHotSparse;
+    in.cut_batch.hot_words = {{2u, 0xf0f0ULL}, {9u, 0x1ULL}};
+    in.cut_batch.reports.resize(2);
+    in.cut_batch.changed = {{1u, 0x100ULL}, {200u, 0x7fULL}};
+    std::vector<std::uint8_t> buf;
+    encodeFrame(in, buf);
+
+    Frame out;
+    std::size_t consumed = 0;
+    for (std::size_t len = 0; len < buf.size(); ++len) {
+        EXPECT_EQ(decodeFrame(buf.data(), len, out, consumed),
+                  DecodeStatus::NeedMore)
+            << "prefix length " << len;
+        EXPECT_EQ(consumed, 0u);
+    }
+    EXPECT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Ok);
+}
+
+TEST(WireCodecTest, CutBatchV4MalformedIsBad)
+{
+    // Offsets shared by every v4 CutBatch: n_reports at fixed +20,
+    // hot_mode at fixed +21.
+    const std::size_t n_reports_off = kWireHeaderSize + 20;
+    const std::size_t hot_mode_off = kWireHeaderSize + 21;
+
+    Frame out;
+    std::size_t consumed = 0;
+
+    // A hot bitmap on a continuation frame (seq > 0): the wake
+    // channel rides seq 0 only, anything else is a corrupt or
+    // hostile frame.
+    {
+        Frame f;
+        f.type = FrameType::CutBatch;
+        f.cut_batch.seq = 2;
+        std::vector<std::uint8_t> buf;
+        encodeFrame(f, buf);
+        buf[hot_mode_off] = kHotAll;
+        EXPECT_EQ(
+            decodeFrame(buf.data(), buf.size(), out, consumed),
+            DecodeStatus::Bad);
+    }
+
+    // hot_mode above the defined range.
+    {
+        Frame f;
+        f.type = FrameType::CutBatch;
+        f.cut_batch.seq = 0;
+        std::vector<std::uint8_t> buf;
+        encodeFrame(f, buf);
+        buf[hot_mode_off] = kHotClear + 1;
+        EXPECT_EQ(
+            decodeFrame(buf.data(), buf.size(), out, consumed),
+            DecodeStatus::Bad);
+    }
+
+    // Declared counts that cannot fit the payload.
+    {
+        Frame f;
+        f.type = FrameType::CutBatch;
+        f.cut_batch.seq = 0;
+        f.cut_batch.reports.resize(1);
+        f.cut_batch.changed = {{3u, 9ULL}};
+        std::vector<std::uint8_t> buf;
+        encodeFrame(f, buf);
+        buf[n_reports_off] = 200; // 200 * 24 bytes > payload
+        EXPECT_EQ(
+            decodeFrame(buf.data(), buf.size(), out, consumed),
+            DecodeStatus::Bad);
+    }
+
+    // Payload bytes left over after the declared records: Bad,
+    // not silently ignored (r.done() must hold).
+    {
+        Frame f;
+        f.type = FrameType::CutBatch;
+        f.cut_batch.seq = 0;
+        std::vector<std::uint8_t> buf;
+        encodeFrame(f, buf);
+        buf.push_back(0x00);
+        const std::uint32_t plen = static_cast<std::uint32_t>(
+            buf.size() - kWireHeaderSize);
+        std::memcpy(buf.data() + 8, &plen, sizeof(plen));
+        EXPECT_EQ(
+            decodeFrame(buf.data(), buf.size(), out, consumed),
+            DecodeStatus::Bad);
+    }
+}
+
+TEST(WireCodecTest, FramesAboveCurrentVersionAreBad)
+{
+    // Negotiation keeps agreed traffic at min(mine, theirs); a
+    // frame stamped from the future means the peer skipped it, and
+    // this build cannot know the newer body layout.
+    Frame in;
+    in.type = FrameType::CutBatch;
+    std::vector<std::uint8_t> buf;
+    encodeFrame(in, buf);
+    const std::uint16_t above = kWireVersion + 1;
+    buf[4] = static_cast<std::uint8_t>(above & 0xff);
+    buf[5] = static_cast<std::uint8_t>(above >> 8);
+    Frame out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decodeFrame(buf.data(), buf.size(), out, consumed),
+              DecodeStatus::Bad);
+}
+
+TEST(WireCodecTest, ResultSparsityCountersRideV4Only)
+{
+    Frame in;
+    in.type = FrameType::Result;
+    in.result.shard_id = 1;
+    in.result.suppressed_frames = 111;
+    in.result.delta_frames = 222;
+    in.result.wake_messages = 333;
+
+    // v4 (default): the counters round-trip.
+    const Frame out = roundTrip(in);
+    EXPECT_EQ(out.result.suppressed_frames, 111u);
+    EXPECT_EQ(out.result.delta_frames, 222u);
+    EXPECT_EQ(out.result.wake_messages, 333u);
+
+    // v3: not on the wire, decoded as zero.
+    Frame legacy = in;
+    legacy.version = 3;
+    const Frame lout = roundTrip(legacy);
+    EXPECT_EQ(lout.version, 3u);
+    EXPECT_EQ(lout.result.suppressed_frames, 0u);
+    EXPECT_EQ(lout.result.delta_frames, 0u);
+    EXPECT_EQ(lout.result.wake_messages, 0u);
 }
 
 TEST(WireCodecTest, TruncatedCutBatchAsksForMore)
@@ -396,8 +630,9 @@ TEST(WireCodecTest, TruncatedCutBatchAsksForMore)
 
     // Internally inconsistent counts must be Bad, not a crash: a
     // payload_len too small for the declared record counts.
-    // Fixed part of a v3 CutBatch: sender u32 | epoch u32 |
-    // round u64 | seq u32, then n_reports.
+    // Fixed part of a CutBatch (v3 and v4 agree up to here):
+    // sender u32 | epoch u32 | round u64 | seq u32, then
+    // n_reports.
     std::vector<std::uint8_t> bad = buf;
     bad[kWireHeaderSize + 4 + 4 + 8 + 4] = 9; // n_reports: 3 -> 9
     EXPECT_EQ(decodeFrame(bad.data(), bad.size(), out, consumed),

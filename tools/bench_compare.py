@@ -50,6 +50,23 @@ matched by identity and their metrics compared:
                               fraction of wire bytes; growth means
                               batches got smaller or the packer
                               started splitting needlessly)
+  steady_bytes_per_round,     lower is better; FAIL on any growth
+  steady_frames_per_round     past 0.1% (quiesced wire traffic is
+                              deterministic -- growth means frame
+                              suppression or delta coding
+                              regressed)
+  steady_rounds_per_sec       higher is better; FAIL below the
+                              perf threshold (a rate)
+  step_rounds_to_reconverge   lower is better; FAIL on ANY growth
+                              (deterministic round count of the
+                              warm-started budget step)
+
+Steady rows are additionally held to absolute cross-record bars
+against the dense (mode=sharded, overlap=on, same proto/n/shards)
+row of the CURRENT run: steady_bytes_per_round must be at most
+dense bytes_per_round / 8 and steady_rounds_per_sec at least 4x
+dense rounds_per_sec -- the steady-state sparsity claim itself, so
+a stale baseline cannot mask losing it.
 
 A baseline record with no current match is a FAIL (a benchmark
 disappeared); new current records pass (coverage grew).  Exit code
@@ -106,6 +123,15 @@ OTHER_METRICS = (
     "recovery_ms",
     "stale_epoch_frames",
     "gaveup_frames",
+    "converge_rounds",
+    "hold_rounds",
+    "steady_bytes_per_round",
+    "steady_frames_per_round",
+    "steady_rounds_per_sec",
+    "step_rounds_to_reconverge",
+    "suppressed_frames",
+    "delta_frames",
+    "wake_messages",
 )
 METRICS = set(PERF_METRICS) | set(OTHER_METRICS)
 
@@ -122,6 +148,10 @@ WIRE_BYTES_SLACK = 0.001
 AVAILABILITY_BAR = 0.999
 DETECTION_ROUNDS_BAR = 8
 RECOVERY_ROUNDS_BAR = 8
+# The steady-state sparsity claim, held against the CURRENT run's
+# own dense row (see module docstring).
+STEADY_BYTES_DIVISOR = 8.0
+STEADY_RATE_MULTIPLE = 4.0
 
 
 def identity(record):
@@ -216,10 +246,38 @@ def main():
                     f"{b:.4g} -> {c:.4g} "
                     f"(-{100.0 * (1.0 - c / b):.1f}%)"
                 )
+        if (
+            "steady_rounds_per_sec" in brec
+            and "steady_rounds_per_sec" in crec
+        ):
+            b = float(brec["steady_rounds_per_sec"])
+            c = float(crec["steady_rounds_per_sec"])
+            compared += 1
+            if b > 0.0 and c < b * (1.0 - args.threshold):
+                failures.append(
+                    f"RATE     {describe(key)}: "
+                    f"steady_rounds_per_sec "
+                    f"{b:.4g} -> {c:.4g} "
+                    f"(-{100.0 * (1.0 - c / b):.1f}%)"
+                )
+        if (
+            "step_rounds_to_reconverge" in brec
+            and "step_rounds_to_reconverge" in crec
+        ):
+            b = float(brec["step_rounds_to_reconverge"])
+            c = float(crec["step_rounds_to_reconverge"])
+            compared += 1
+            if c > b:
+                failures.append(
+                    f"WARMSTART {describe(key)}: "
+                    f"step_rounds_to_reconverge {b:.0f} -> {c:.0f}"
+                )
         for metric in (
             "bytes_per_round",
             "frames_per_round",
             "header_overhead_frac",
+            "steady_bytes_per_round",
+            "steady_frames_per_round",
         ):
             if metric not in brec or metric not in crec:
                 continue
@@ -240,6 +298,49 @@ def main():
                     f"WARMSTART {describe(key)}: warm_frac "
                     f"{c:.3f} > {WARM_FRAC_BAR}"
                 )
+
+    # Absolute steady-state bars: every steady row in the CURRENT
+    # run must beat its own dense twin by the claimed margins,
+    # matched baseline or not.
+    dense_rows = {
+        (crec.get("proto"), crec.get("n"), crec.get("shards")): crec
+        for crec in curr.values()
+        if crec.get("bench") == "wire_shard"
+        and crec.get("mode") == "sharded"
+        and crec.get("overlap") == "on"
+    }
+    for key, crec in sorted(curr.items()):
+        if (
+            crec.get("bench") != "wire_shard"
+            or crec.get("mode") != "steady"
+        ):
+            continue
+        dense = dense_rows.get(
+            (crec.get("proto"), crec.get("n"), crec.get("shards"))
+        )
+        if dense is None:
+            failures.append(
+                f"STEADY   {describe(key)}: no dense overlap=on "
+                f"row to compare against"
+            )
+            continue
+        compared += 1
+        sb = float(crec["steady_bytes_per_round"])
+        db = float(dense["bytes_per_round"])
+        if sb > db / STEADY_BYTES_DIVISOR:
+            failures.append(
+                f"STEADY   {describe(key)}: steady_bytes_per_round "
+                f"{sb:.4g} > dense {db:.4g} / "
+                f"{STEADY_BYTES_DIVISOR:.0f}"
+            )
+        sr = float(crec["steady_rounds_per_sec"])
+        dr = float(dense["rounds_per_sec"])
+        if sr < dr * STEADY_RATE_MULTIPLE:
+            failures.append(
+                f"STEADY   {describe(key)}: steady_rounds_per_sec "
+                f"{sr:.4g} < dense {dr:.4g} x "
+                f"{STEADY_RATE_MULTIPLE:.0f}"
+            )
 
     # Absolute recovery bars: every wire_recovery row in the
     # CURRENT run must clear them, matched baseline or not.

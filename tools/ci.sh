@@ -11,7 +11,13 @@
 #        loss, compute/communication overlap both on and off) and
 #        exits non-zero unless every reassembled result is bitwise
 #        equal to the single-process transport round -- which also
-#        pins the overlap schedule against the serialized one
+#        pins the overlap schedule against the serialized one.
+#        Its dense rows run at active_threshold 0 (the sharded
+#        parity pin for the threshold-0 path) and its steady
+#        section converges, holds, and budget-steps a 2-shard run,
+#        failing unless the quiesced rounds stay under the
+#        suppressed-frame byte ceiling and every steady row is
+#        bitwise equal to the sparse single-process reference
 #      + shard-death recovery smoke: wire_recovery SIGKILLs (and
 #        SIGSTOPs) forked shards mid-run under UDP and TCP and
 #        demands detection within deadline, partition-aware
@@ -57,7 +63,7 @@ bench_smoke_dir=$(mktemp -d)
          "$repo/build-avx2/bench/table4_2_packet_level")
 rm -rf "$bench_smoke_dir"
 
-step "loopback-vs-socket + overlap parity smoke (2 shards)"
+step "loopback-vs-socket, overlap + steady-state smoke (2 shards)"
 wire_smoke_dir=$(mktemp -d)
 (cd "$wire_smoke_dir" &&
      DPC_BENCH_SMOKE=1 "$repo/build-avx2/bench/wire_shard")

@@ -20,14 +20,19 @@
  *   dpc shard     --nodes N --shards S [--rounds R] [--proto P]
  *                 [--budget W/node] [--seed X] [--stats 1]
  *                 [--overlap 0|1] [--depth D] [--retrans-ms MS]
+ *                 [--threshold M]
  *       Fork S real shard processes that split the overlay and run
  *       DiBA over 127.0.0.1 sockets (proto: udp or tcp), then
  *       verify the reassembled caps bitwise against an in-process
  *       run -- the multi-host deployment path in miniature.
  *       --stats 1 prints the wire accounting (frames/bytes both
  *       directions, retransmits, dedup hits, suppressed halves,
- *       edges-per-frame histogram) and the per-phase round
- *       breakdown; --depth D enables bounded-staleness pipelining.
+ *       suppressed/delta frames and wake notifications of the
+ *       sparse steady-state path, edges-per-frame histogram) and
+ *       the per-phase round breakdown; --depth D enables
+ *       bounded-staleness pipelining; --threshold M sets the
+ *       active-set threshold to M x tolerance (M > 0 engages the
+ *       sparse wire path).
  */
 
 #include <cstdio>
@@ -301,7 +306,13 @@ cmdShard(const Args &args)
                            wpn * static_cast<double>(n)};
     Rng topo_rng(seed ^ 0xbeef);
     const auto topo = makeChordalRing(n, n / 5, topo_rng);
-    const DibaAllocator::Config cfg{};
+    DibaAllocator::Config cfg;
+    // --threshold M: active-set threshold as a multiple of the
+    // convergence tolerance; positive routes the sharded rounds
+    // through the sparse wire path (suppressed/delta frames + wake
+    // notifications, visible under --stats 1).
+    cfg.active_threshold =
+        args.num("threshold", 0.0) * cfg.tolerance;
 
     cluster::ShardRunOptions opt;
     opt.num_shards = shards;
@@ -379,6 +390,9 @@ cmdShard(const Args &args)
         row("retrans_bytes", run.retrans_bytes);
         row("duplicates", run.duplicates);
         row("edges_suppressed", run.edges_suppressed);
+        row("suppressed_frames", run.suppressed_frames);
+        row("delta_frames", run.delta_frames);
+        row("wake_messages", run.wake_messages);
         st.print(std::cout);
 
         Table hist({"edges_per_frame", "frames"});
@@ -408,23 +422,33 @@ cmdShard(const Args &args)
     }
 
     // The whole point of the exercise: the sharded trajectory IS
-    // the single-process one, bit for bit.  After a recovery the
-    // reference suffers the identical surgery at the identical
-    // round boundary and the survivors must still match.
+    // the single-process one, bit for bit.  A positive threshold
+    // routes the sharded rounds through the sparse path, whose pin
+    // is the sparse single-process engine (plain iterate());
+    // threshold 0 pins against the dense loopback round.  After a
+    // recovery the reference suffers the identical surgery at the
+    // identical round boundary and the survivors must still match.
+    const bool sparse_ref = cfg.active_threshold > 0.0;
     DibaAllocator ref(topo, cfg);
     ref.reset(prob);
     net::LoopbackTransport loopback;
+    const auto ref_round = [&] {
+        if (sparse_ref)
+            ref.iterate();
+        else
+            ref.stepWithTransport(loopback);
+    };
     const std::size_t pre =
         run.recoveries > 0
             ? static_cast<std::size_t>(run.recovery_round)
             : rounds;
     for (std::size_t r = 0; r < pre; ++r)
-        ref.stepWithTransport(loopback);
+        ref_round();
     if (run.recoveries > 0) {
         cluster::applyShardRecovery(ref, run.plan, run.dead_mask,
                                     run.epoch);
         for (std::size_t r = pre; r < rounds; ++r)
-            ref.stepWithTransport(loopback);
+            ref_round();
     }
     std::size_t bad = 0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -474,7 +498,7 @@ usage()
         << "  shard:    --nodes N --shards S --rounds R "
            "--proto udp|tcp --budget W/node --seed X\n"
            "            [--stats 1] [--overlap 0|1] [--depth D] "
-           "[--retrans-ms MS]\n"
+           "[--retrans-ms MS] [--threshold M]\n"
            "            [--kill-shard S@R] [--stall-shard S@R:D_MS]"
            " [--recover 0|1] [--deadline-ms MS]\n";
 }
